@@ -1,0 +1,141 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! realtime QOS, the ALCF demand queue, checksum verification, transfer
+//! concurrency, and the fail-early incident remediation. Each bench also
+//! prints the metric difference so the log doubles as the ablation table.
+
+use als_flows::campaign::{run_campaign, CampaignConfig};
+use als_flows::incident::run_incident;
+use als_flows::sim::{SimConfig, FLOW_ALCF, FLOW_NERSC};
+use als_globus::compute::AcquisitionMode;
+use als_hpc::scheduler::Qos;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn campaign_with(cfg: SimConfig) -> f64 {
+    run_campaign(&CampaignConfig { n_scans: 30, sim: cfg })
+        .measured(FLOW_NERSC)
+        .map(|m| m.median)
+        .unwrap_or(0.0)
+}
+
+fn bench_qos_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_qos");
+    group.sample_size(10);
+    for qos in [Qos::Realtime, Qos::Regular] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{qos:?}")),
+            &qos,
+            |b, &qos| {
+                b.iter(|| {
+                    black_box(campaign_with(SimConfig {
+                        seed: 77,
+                        nersc_qos: qos,
+                        nersc_nodes: 4,
+                        background_mean_arrival_s: Some(240.0),
+                        ..Default::default()
+                    }))
+                })
+            },
+        );
+    }
+    group.finish();
+    let rt = campaign_with(SimConfig {
+        seed: 77,
+        nersc_qos: Qos::Realtime,
+        nersc_nodes: 4,
+        background_mean_arrival_s: Some(240.0),
+        ..Default::default()
+    });
+    let reg = campaign_with(SimConfig {
+        seed: 77,
+        nersc_qos: Qos::Regular,
+        nersc_nodes: 4,
+        background_mean_arrival_s: Some(240.0),
+        ..Default::default()
+    });
+    eprintln!("ablation_qos: nersc flow median realtime {rt:.0} s vs regular {reg:.0} s");
+}
+
+fn bench_demand_queue_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_demand_queue");
+    group.sample_size(10);
+    let alcf_median = |mode: AcquisitionMode| {
+        run_campaign(&CampaignConfig {
+            n_scans: 30,
+            sim: SimConfig {
+                seed: 78,
+                alcf_mode: mode,
+                background_mean_arrival_s: None,
+                ..Default::default()
+            },
+        })
+        .measured(FLOW_ALCF)
+        .map(|m| m.median)
+        .unwrap_or(0.0)
+    };
+    for mode in [AcquisitionMode::DemandQueue, AcquisitionMode::Batch] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| b.iter(|| black_box(alcf_median(mode))),
+        );
+    }
+    group.finish();
+    eprintln!(
+        "ablation_demand_queue: alcf flow median demand {:.0} s vs batch {:.0} s",
+        alcf_median(AcquisitionMode::DemandQueue),
+        alcf_median(AcquisitionMode::Batch)
+    );
+}
+
+fn bench_checksum_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_checksum");
+    group.sample_size(10);
+    let median = |verify: bool| {
+        campaign_with(SimConfig {
+            seed: 79,
+            verify_checksums: verify,
+            background_mean_arrival_s: None,
+            ..Default::default()
+        })
+    };
+    for verify in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(verify),
+            &verify,
+            |b, &verify| b.iter(|| black_box(median(verify))),
+        );
+    }
+    group.finish();
+    eprintln!(
+        "ablation_checksum: nersc flow median verified {:.0} s vs unverified {:.0} s",
+        median(true),
+        median(false)
+    );
+}
+
+fn bench_fail_early_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fail_early");
+    for fail_fast in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if fail_fast { "fail_early" } else { "legacy_hang" }),
+            &fail_fast,
+            |b, &ff| b.iter(|| black_box(run_incident(ff, 8, 1))),
+        );
+    }
+    group.finish();
+    let legacy = run_incident(false, 8, 1);
+    let fixed = run_incident(true, 8, 1);
+    eprintln!(
+        "ablation_fail_early: legitimate transfers mean legacy {:.0} s vs fail-early {:.0} s",
+        legacy.mean_scan_transfer_s, fixed.mean_scan_transfer_s
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_qos_ablation,
+    bench_demand_queue_ablation,
+    bench_checksum_ablation,
+    bench_fail_early_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Facility-substrate benchmarks: network flow simulation, transfer
+//! service, batch scheduler, and flow-engine bookkeeping — per-event
+//! costs that bound how large a campaign the DES can replay.
+
+use als_globus::transfer::{TransferOptions, TransferService};
+use als_hpc::scheduler::{JobRequest, Qos, Scheduler};
+use als_netsim::{esnet_topology, NetworkSim, Route, SiteId};
+use als_orchestrator::engine::{FlowEngine, FlowState};
+use als_simcore::{ByteSize, DataRate, SimDuration, SimInstant};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_flows");
+    for &n_flows in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_flows), &n_flows, |b, &n| {
+            b.iter(|| {
+                let mut net = NetworkSim::new();
+                let l = net.add_link("l", DataRate::from_gbit_per_sec(100.0), SimDuration::ZERO);
+                let t0 = SimInstant::ZERO;
+                for _ in 0..n {
+                    net.start_flow(Route::new(vec![l]), ByteSize::from_gib(5), t0);
+                }
+                let mut now = t0;
+                while let Some((id, t)) = net.next_completion(now) {
+                    net.complete(id, t);
+                    now = t;
+                }
+                black_box(now)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transfer_service(c: &mut Criterion) {
+    c.bench_function("transfer_service_100_tasks", |b| {
+        b.iter(|| {
+            let mut svc = TransferService::new(esnet_topology(), 4);
+            let als = svc.register_endpoint(SiteId::Als);
+            let nersc = svc.register_endpoint(SiteId::Nersc);
+            let t0 = SimInstant::ZERO;
+            for _ in 0..100 {
+                svc.submit(als, nersc, ByteSize::from_gib(10), TransferOptions::default(), t0);
+            }
+            let mut now = t0;
+            while let Some(t) = svc.next_event_time(now) {
+                let next = t.max(now);
+                if svc.advance_to(next).is_empty() && next == now {
+                    break;
+                }
+                now = next;
+            }
+            black_box(now)
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    for &n_jobs in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_jobs), &n_jobs, |b, &n| {
+            b.iter(|| {
+                let mut s = Scheduler::new(16);
+                let mut now = SimInstant::ZERO;
+                for i in 0..n {
+                    s.submit(
+                        JobRequest {
+                            name: String::new(),
+                            qos: if i % 4 == 0 { Qos::Realtime } else { Qos::Regular },
+                            nodes: 1 + i % 3,
+                            runtime: SimDuration::from_secs(60 + (i as u64 * 13) % 600),
+                            walltime_limit: SimDuration::from_hours(2),
+                        },
+                        now,
+                    );
+                    now += SimDuration::from_secs(5);
+                    s.advance_to(now);
+                }
+                while let Some(t) = s.next_event_time() {
+                    s.advance_to(t);
+                }
+                black_box(s.utilization(now))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow_engine(c: &mut Criterion) {
+    c.bench_function("flow_engine_record_and_query_1000", |b| {
+        b.iter(|| {
+            let mut e = FlowEngine::new();
+            let mut now = SimInstant::ZERO;
+            for _ in 0..1000 {
+                let id = e.create_run("nersc_recon_flow", now);
+                e.start_run(id, now);
+                let t = e.start_task(id, "work", None, now);
+                now += SimDuration::from_secs(100);
+                e.finish_task(id, t, als_orchestrator::engine::TaskState::Completed, now, None);
+                e.finish_run(id, FlowState::Completed, now);
+            }
+            black_box(e.query().table2_summary("nersc_recon_flow", 100))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_netsim,
+    bench_transfer_service,
+    bench_scheduler,
+    bench_flow_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! F1 — the Figure 1 feather comparison as a benchmark: time the
+//! mount→scan→reconstruct→compare loop the paper says went from hours to
+//! ~20 minutes, and print the discriminating morphology metrics.
+
+use als_phantom::{feather_volume, FeatherSpecies, MorphologyReport};
+use als_phantom::{DetectorConfig, ScanSimulator};
+use als_tomo::{fbp_volume, FbpConfig, Geometry, Sinogram};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The analysis loop: scan the phantom, reconstruct, measure morphology.
+fn scan_and_measure(species: FeatherSpecies) -> MorphologyReport {
+    let n = 64;
+    let nz = 4;
+    let phantom = feather_volume(species, n, nz, 99);
+    let geom = Geometry::parallel_180(72, n);
+    let det = DetectorConfig::default();
+    let mut sim = ScanSimulator::new(&phantom, geom.clone(), det, 1);
+    let frames = sim.all_frames();
+    let sinos: Vec<Sinogram> = (0..nz)
+        .map(|r| {
+            als_phantom::frames_to_sinogram(
+                &frames,
+                sim.dark_field(),
+                sim.flat_field(),
+                r,
+                det.mu_scale,
+            )
+        })
+        .collect();
+    let vol = fbp_volume(&sinos, &geom, &FbpConfig::default()).unwrap();
+    MorphologyReport::of_volume(&vol, 0.5)
+}
+
+fn bench_feather_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_feather");
+    group.sample_size(10);
+    for species in [FeatherSpecies::Chicken, FeatherSpecies::Sandgrouse] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(species.name()),
+            &species,
+            |b, &sp| b.iter(|| black_box(scan_and_measure(sp))),
+        );
+    }
+    group.finish();
+
+    let chicken = scan_and_measure(FeatherSpecies::Chicken);
+    let sandgrouse = scan_and_measure(FeatherSpecies::Sandgrouse);
+    eprintln!(
+        "fig1: enclosed void sandgrouse {:.4} vs chicken {:.4}; radial anisotropy chicken {:.3} vs sandgrouse {:.3}",
+        sandgrouse.enclosed_void_fraction,
+        chicken.enclosed_void_fraction,
+        chicken.radial_anisotropy,
+        sandgrouse.radial_anisotropy
+    );
+}
+
+criterion_group!(benches, bench_feather_comparison);
+criterion_main!(benches);

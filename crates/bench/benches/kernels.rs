@@ -1,0 +1,85 @@
+//! Kernel microbenchmarks: FFT, ramp filtering, forward/back projection,
+//! and the preprocessing chain — the per-slice costs every pipeline
+//! estimate in the paper-scale model is calibrated from.
+
+use als_phantom::shepp_logan_2d;
+use als_tomo::fft::{fft, Complex};
+use als_tomo::filter::{filter_sinogram, FilterKind};
+use als_tomo::prep;
+use als_tomo::radon::{backproject, forward_project};
+use als_tomo::Geometry;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+                .collect();
+            b.iter(|| {
+                let mut d = data.clone();
+                fft(&mut d);
+                black_box(d)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ramp_filter");
+    let img = shepp_logan_2d(128);
+    let geom = Geometry::parallel_180(180, 128);
+    let sino = forward_project(&img, &geom);
+    for kind in [FilterKind::RamLak, FilterKind::SheppLogan, FilterKind::Hann] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| b.iter(|| black_box(filter_sinogram(&sino, kind))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_projectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projectors");
+    for &n in &[64usize, 128] {
+        let img = shepp_logan_2d(n);
+        let geom = Geometry::parallel_180(n, n);
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| black_box(forward_project(&img, &geom)))
+        });
+        let sino = forward_project(&img, &geom);
+        group.bench_with_input(BenchmarkId::new("back", n), &n, |b, _| {
+            b.iter(|| black_box(backproject(&sino, &geom, n, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocessing");
+    let img = shepp_logan_2d(128);
+    let geom = Geometry::parallel_180(180, 128);
+    let sino = forward_project(&img, &geom);
+    let dark = vec![100.0f32; 128];
+    let flat = vec![10_000.0f32; 128];
+    group.bench_function("normalize", |b| {
+        b.iter(|| black_box(prep::normalize(&sino, &dark, &flat)))
+    });
+    group.bench_function("minus_log", |b| b.iter(|| black_box(prep::minus_log(&sino))));
+    group.bench_function("remove_zingers", |b| {
+        b.iter(|| black_box(prep::remove_zingers(&sino, 0.5)))
+    });
+    group.bench_function("remove_stripes", |b| {
+        b.iter(|| black_box(prep::remove_stripes(&sino, 9)))
+    });
+    group.bench_function("paganin", |b| {
+        b.iter(|| black_box(prep::paganin_filter(&sino, 50.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_filter, bench_projectors, bench_preprocessing);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Reconstruction-algorithm benchmarks: FBP vs gridrec vs the iterative
+//! solvers — the cost ordering behind the paper's dual-path design
+//! (fast/lower-quality streaming vs slow/high-quality file-based).
+
+use als_phantom::shepp_logan_2d;
+use als_tomo::{
+    art_slice, fbp_slice, forward_project, gridrec_slice, mlem_slice, sirt_slice, FbpConfig,
+    Geometry, GridrecConfig, IterConfig,
+};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recon_slice_64");
+    group.sample_size(20);
+    let n = 64;
+    let img = shepp_logan_2d(n);
+    let geom = Geometry::parallel_180(90, n);
+    let sino = forward_project(&img, &geom);
+
+    group.bench_function("fbp", |b| {
+        b.iter(|| black_box(fbp_slice(&sino, &geom, &FbpConfig::default()).unwrap()))
+    });
+    group.bench_function("gridrec", |b| {
+        b.iter(|| black_box(gridrec_slice(&sino, &geom, &GridrecConfig::default()).unwrap()))
+    });
+    let iter10 = IterConfig {
+        iterations: 10,
+        ..Default::default()
+    };
+    group.bench_function("sirt_10", |b| {
+        b.iter(|| black_box(sirt_slice(&sino, &geom, &iter10).unwrap()))
+    });
+    group.bench_function("mlem_10", |b| {
+        b.iter(|| black_box(mlem_slice(&sino, &geom, &iter10).unwrap()))
+    });
+    let art3 = IterConfig {
+        iterations: 3,
+        relaxation: 0.5,
+        ..Default::default()
+    };
+    group.bench_function("art_3", |b| {
+        b.iter(|| black_box(art_slice(&sino, &geom, &art3).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_fbp_scaling(c: &mut Criterion) {
+    // confirms the O(n_angles · n²) scaling the throughput model assumes
+    let mut group = c.benchmark_group("fbp_scaling");
+    group.sample_size(15);
+    for &n in &[32usize, 64, 128] {
+        let img = shepp_logan_2d(n);
+        let geom = Geometry::parallel_180(n, n);
+        let sino = forward_project(&img, &geom);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(fbp_slice(&sino, &geom, &FbpConfig::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_fbp_scaling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! T2 / F3 — the full multi-facility campaign that regenerates Table 2.
+//!
+//! Benches the end-to-end discrete-event replay (all five operational
+//! layers, both file-based branches) and prints the resulting table so
+//! `cargo bench` leaves the Table 2 reproduction in its log.
+
+use als_flows::campaign::{run_campaign, CampaignConfig};
+use als_flows::sim::SimConfig;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for &n_scans in &[20usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_scans),
+            &n_scans,
+            |b, &n_scans| {
+                b.iter(|| {
+                    black_box(run_campaign(&CampaignConfig {
+                        n_scans,
+                        sim: SimConfig::default(),
+                    }))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // leave the table in the bench log
+    let report = run_campaign(&CampaignConfig::default());
+    eprintln!("\n{}", report.table2_text());
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

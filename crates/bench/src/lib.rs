@@ -1,0 +1,1 @@
+//! Shared helpers for the bench crate (currently none; benches are self-contained).

@@ -1,0 +1,197 @@
+//! HPSS archival flows (§4.2.3).
+//!
+//! "Transfer flows to and from HPSS for long-term archival are also
+//! handled through Slurm and SFAPI." The archival flow: select CFS
+//! datasets older than a cutoff, submit an xfer-queue Slurm job through
+//! SFAPI that writes them to tape, then release the CFS copies. HPSS
+//! retention is indefinite (§4.3).
+
+use als_hpc::scheduler::{JobRequest, Qos};
+use als_hpc::sfapi::{SfApiClient, SfApiServer};
+use als_hpc::storage::StorageTier;
+use als_simcore::{ByteSize, SimDuration, SimInstant};
+use serde::Serialize;
+
+/// Outcome of one archival pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct ArchiveReport {
+    pub files_archived: usize,
+    pub bytes_archived: ByteSize,
+    /// Wall time of the tape-write job.
+    pub job_runtime: SimDuration,
+    /// CFS space released.
+    pub cfs_freed: ByteSize,
+}
+
+/// Archive every CFS file older than `age_cutoff` to HPSS.
+///
+/// Returns `None` when nothing is old enough (no job submitted).
+pub fn archive_aged_files(
+    cfs: &mut StorageTier,
+    hpss: &mut StorageTier,
+    sfapi: &mut SfApiServer,
+    client: &mut SfApiClient,
+    age_cutoff: SimDuration,
+    candidates: &[(String, SimInstant)],
+    now: SimInstant,
+) -> Option<ArchiveReport> {
+    // select candidates old enough and still present on CFS
+    let selected: Vec<&(String, SimInstant)> = candidates
+        .iter()
+        .filter(|(name, created)| {
+            cfs.contains(name) && now.duration_since(*created) > age_cutoff
+        })
+        .collect();
+    if selected.is_empty() {
+        return None;
+    }
+    let total: ByteSize = selected
+        .iter()
+        .filter_map(|(name, _)| cfs.file_size(name))
+        .sum();
+
+    // the xfer job streams CFS -> tape at HPSS bandwidth
+    let runtime = hpss.io_time(total) + SimDuration::from_secs(30); // mount latency
+    let (job, _) = client
+        .submit(
+            sfapi,
+            JobRequest {
+                name: "hpss_archive".into(),
+                qos: Qos::Regular, // archival is not time-critical
+                nodes: 1,
+                runtime,
+                walltime_limit: runtime * 3.0 + SimDuration::from_hours(1),
+            },
+            now,
+        )
+        .ok()?;
+    let _ = job;
+    // drive the scheduler to the job's completion
+    let end = sfapi.scheduler().next_event_time().unwrap_or(now);
+    sfapi.scheduler_mut().advance_to(end);
+
+    // move the files
+    let mut files_archived = 0usize;
+    let mut bytes = ByteSize::ZERO;
+    for (name, _) in selected {
+        if let Some(size) = cfs.file_size(name) {
+            if hpss.put(name, size, end).is_ok() {
+                cfs.delete(name).expect("file existed");
+                files_archived += 1;
+                bytes += size;
+            }
+        }
+    }
+    Some(ArchiveReport {
+        files_archived,
+        bytes_archived: bytes,
+        job_runtime: runtime,
+        cfs_freed: bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_hpc::storage::TierKind;
+
+    fn setup() -> (StorageTier, StorageTier, SfApiServer, SfApiClient) {
+        (
+            StorageTier::new(TierKind::Cfs, ByteSize::from_tib(100)),
+            StorageTier::new(TierKind::Hpss, ByteSize::from_tib(10_000)),
+            SfApiServer::new(4),
+            SfApiClient::new("als"),
+        )
+    }
+
+    fn t(hours: u64) -> SimInstant {
+        SimInstant::ZERO + SimDuration::from_hours(hours)
+    }
+
+    #[test]
+    fn aged_files_move_to_tape() {
+        let (mut cfs, mut hpss, mut sfapi, mut client) = setup();
+        cfs.put("old_scan.h5", ByteSize::from_gib(25), t(0)).unwrap();
+        cfs.put("fresh_scan.h5", ByteSize::from_gib(25), t(200)).unwrap();
+        let candidates = vec![
+            ("old_scan.h5".to_string(), t(0)),
+            ("fresh_scan.h5".to_string(), t(200)),
+        ];
+        let report = archive_aged_files(
+            &mut cfs,
+            &mut hpss,
+            &mut sfapi,
+            &mut client,
+            SimDuration::from_hours(24 * 7),
+            &candidates,
+            t(201),
+        )
+        .expect("one file is old enough");
+        assert_eq!(report.files_archived, 1);
+        assert_eq!(report.bytes_archived, ByteSize::from_gib(25));
+        assert!(hpss.contains("old_scan.h5"));
+        assert!(!cfs.contains("old_scan.h5"));
+        assert!(cfs.contains("fresh_scan.h5"));
+    }
+
+    #[test]
+    fn nothing_old_means_no_job() {
+        let (mut cfs, mut hpss, mut sfapi, mut client) = setup();
+        cfs.put("fresh.h5", ByteSize::from_gib(5), t(0)).unwrap();
+        let candidates = vec![("fresh.h5".to_string(), t(0))];
+        let report = archive_aged_files(
+            &mut cfs,
+            &mut hpss,
+            &mut sfapi,
+            &mut client,
+            SimDuration::from_hours(48),
+            &candidates,
+            t(1),
+        );
+        assert!(report.is_none());
+        assert_eq!(sfapi.scheduler().running_count() + sfapi.scheduler().pending_count(), 0);
+    }
+
+    #[test]
+    fn tape_write_time_scales_with_volume() {
+        let (mut cfs, mut hpss, mut sfapi, mut client) = setup();
+        for i in 0..4 {
+            cfs.put(&format!("s{i}.h5"), ByteSize::from_gib(25), t(0)).unwrap();
+        }
+        let candidates: Vec<(String, SimInstant)> =
+            (0..4).map(|i| (format!("s{i}.h5"), t(0))).collect();
+        let report = archive_aged_files(
+            &mut cfs,
+            &mut hpss,
+            &mut sfapi,
+            &mut client,
+            SimDuration::from_hours(1),
+            &candidates,
+            t(100),
+        )
+        .unwrap();
+        assert_eq!(report.files_archived, 4);
+        // 100 GiB at HPSS's 4 Gbps ≈ 215 s + mount
+        let secs = report.job_runtime.as_secs_f64();
+        assert!((200.0..300.0).contains(&secs), "tape job {secs} s");
+    }
+
+    #[test]
+    fn archived_files_survive_pruning_forever() {
+        let (mut cfs, mut hpss, mut sfapi, mut client) = setup();
+        cfs.put("keep.h5", ByteSize::from_gib(10), t(0)).unwrap();
+        archive_aged_files(
+            &mut cfs,
+            &mut hpss,
+            &mut sfapi,
+            &mut client,
+            SimDuration::from_hours(1),
+            &[("keep.h5".to_string(), t(0))],
+            t(10),
+        )
+        .unwrap();
+        let years_later = t(24 * 365 * 10);
+        hpss.prune(years_later);
+        assert!(hpss.contains("keep.h5"), "HPSS retention is indefinite");
+    }
+}

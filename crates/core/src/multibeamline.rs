@@ -1,0 +1,161 @@
+//! §6 "Expanded Compute Resources" — scaling to more beamlines.
+//!
+//! "As more beamlines adopt streaming, the issue shifts from a scheduling
+//! to an economic-policy challenge. At scale, compute could be reserved
+//! for each beamline to prevent resource contention." This experiment
+//! scales the number of active beamlines and compares two allocation
+//! policies at NERSC:
+//!
+//! * **shared** — all beamlines compete for one fixed realtime partition;
+//! * **reserved** — each beamline brings its own node slice (capacity
+//!   grows with the fleet).
+//!
+//! The output is the per-beamline `nersc_recon_flow` latency as the fleet
+//! grows — flat under reservation, degrading under sharing.
+
+use crate::scan::ScanWorkload;
+use crate::sim::{FacilitySim, SimConfig, FLOW_NERSC};
+use serde::Serialize;
+
+/// Allocation policy for the NERSC realtime partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AllocationPolicy {
+    /// One fixed partition shared by every beamline.
+    Shared { total_nodes: usize },
+    /// `nodes_per_beamline` dedicated nodes per endstation.
+    Reserved { nodes_per_beamline: usize },
+}
+
+/// One fleet-size data point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalePoint {
+    pub beamlines: usize,
+    pub policy: AllocationPolicy,
+    /// Median nersc flow duration (s).
+    pub median_s: f64,
+    /// 95th percentile (s) — the tail users feel.
+    pub p95_s: f64,
+}
+
+/// Run one fleet configuration. `n_scans_per_beamline` scans arrive from
+/// each endstation at the production cadence, interleaved (modeled as a
+/// single workload with cadence divided by the fleet size).
+pub fn run_scale_point(
+    beamlines: usize,
+    policy: AllocationPolicy,
+    n_scans_per_beamline: usize,
+    seed: u64,
+) -> ScalePoint {
+    assert!(beamlines >= 1);
+    let nodes = match policy {
+        AllocationPolicy::Shared { total_nodes } => total_nodes,
+        AllocationPolicy::Reserved { nodes_per_beamline } => nodes_per_beamline * beamlines,
+    };
+    let mut sim = FacilitySim::new(SimConfig {
+        seed,
+        nersc_nodes: nodes,
+        // scale the transfer-service concurrency with the fleet: each
+        // beamline runs its own Globus submission slots
+        transfer_concurrency: 4 * beamlines,
+        alcf_max_nodes: 4 * beamlines,
+        beamline_count: beamlines,
+        background_mean_arrival_s: None,
+        ..Default::default()
+    });
+    // fleet cadence: N beamlines at ~4 min each → one scan every 240/N s
+    let mut workload = ScanWorkload::production()
+        .with_cadence_secs(240.0 / beamlines as f64);
+    sim.schedule_campaign(&mut workload, n_scans_per_beamline * beamlines);
+    sim.run(None);
+    let durations = sim
+        .engine
+        .query()
+        .last_n_successful_durations(FLOW_NERSC, usize::MAX);
+    let median = als_simcore::Summary::from_slice(&durations)
+        .map(|s| s.median)
+        .unwrap_or(f64::NAN);
+    let p95 = als_simcore::Summary::percentile(&durations, 95.0).unwrap_or(f64::NAN);
+    ScalePoint {
+        beamlines,
+        policy,
+        median_s: median,
+        p95_s: p95,
+    }
+}
+
+/// Sweep fleet sizes under both policies.
+pub fn scaling_sweep(
+    fleet_sizes: &[usize],
+    n_scans_per_beamline: usize,
+    seed: u64,
+) -> Vec<ScalePoint> {
+    let mut out = Vec::new();
+    for &n in fleet_sizes {
+        out.push(run_scale_point(
+            n,
+            AllocationPolicy::Shared { total_nodes: 8 },
+            n_scans_per_beamline,
+            seed,
+        ));
+        out.push(run_scale_point(
+            n,
+            AllocationPolicy::Reserved { nodes_per_beamline: 8 },
+            n_scans_per_beamline,
+            seed,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_beamline_policies_agree() {
+        // with one beamline, shared(8) and reserved(8/bl) are identical
+        let shared = run_scale_point(1, AllocationPolicy::Shared { total_nodes: 8 }, 15, 3);
+        let reserved =
+            run_scale_point(1, AllocationPolicy::Reserved { nodes_per_beamline: 8 }, 15, 3);
+        assert!((shared.median_s - reserved.median_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_pool_degrades_with_fleet_size() {
+        let one = run_scale_point(1, AllocationPolicy::Shared { total_nodes: 8 }, 12, 5);
+        let four = run_scale_point(4, AllocationPolicy::Shared { total_nodes: 8 }, 12, 5);
+        assert!(
+            four.p95_s > one.p95_s * 1.3,
+            "shared tail should degrade: {} -> {}",
+            one.p95_s,
+            four.p95_s
+        );
+    }
+
+    #[test]
+    fn reservation_keeps_latency_flat() {
+        let one = run_scale_point(1, AllocationPolicy::Reserved { nodes_per_beamline: 8 }, 12, 5);
+        let four = run_scale_point(4, AllocationPolicy::Reserved { nodes_per_beamline: 8 }, 12, 5);
+        // medians stay within 25% as the fleet quadruples
+        let ratio = four.median_s / one.median_s;
+        assert!(
+            (0.75..1.25).contains(&ratio),
+            "reserved scaling ratio {ratio}: {} -> {}",
+            one.median_s,
+            four.median_s
+        );
+    }
+
+    #[test]
+    fn reserved_beats_shared_at_scale() {
+        let shared = run_scale_point(4, AllocationPolicy::Shared { total_nodes: 8 }, 12, 9);
+        let reserved =
+            run_scale_point(4, AllocationPolicy::Reserved { nodes_per_beamline: 8 }, 12, 9);
+        assert!(
+            reserved.p95_s < shared.p95_s,
+            "reserved p95 {} should beat shared {}",
+            reserved.p95_s,
+            shared.p95_s
+        );
+    }
+}

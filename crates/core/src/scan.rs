@@ -1,0 +1,175 @@
+//! The scan workload model (§4.3).
+//!
+//! "Each 3-minute scan usually produces 20–30 GB of raw images ... Raw
+//! file sizes range from a few MB to hundreds of GB ... the system
+//! processes peak data rates of one scan every 3-5 minutes." Cropped test
+//! scans (a few MB) and full scientific scans (20–30 GB) form a strongly
+//! bimodal size distribution, which is exactly what produces the wide
+//! ranges in Table 2.
+
+use als_simcore::{ByteSize, SimDuration, SimRng, WorkloadDist};
+use als_tomo::throughput::ScanDims;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a scan within a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ScanId(pub u32);
+
+/// One acquisition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scan {
+    pub id: ScanId,
+    pub name: String,
+    /// Raw file size.
+    pub size: ByteSize,
+    /// Acquisition wall time (beam on target).
+    pub acquisition: SimDuration,
+}
+
+impl Scan {
+    /// Reconstruction output volume size: f32 volume of
+    /// `rows × cols × cols` vs u16 raw of `angles × rows × cols`.
+    /// For the paper's reference scan that ratio is ≈ 2.6× (20 GB raw →
+    /// ~50 GB volume); it shrinks for cropped scans, but 2.6 is a good
+    /// single-shape approximation.
+    pub fn recon_output_size(&self) -> ByteSize {
+        self.size * 2.6
+    }
+
+    /// Detector dimensions consistent with this file size, assuming the
+    /// reference aspect ratio (1969 × 2160 × 2560 at ~20.3 GiB).
+    pub fn dims(&self) -> ScanDims {
+        let reference = ScanDims::paper_reference();
+        let ref_bytes = reference.raw_bytes().as_bytes() as f64;
+        let f = (self.size.as_bytes() as f64 / ref_bytes).cbrt();
+        reference.scaled(f)
+    }
+
+    /// Is this a cropped test scan (vs a full scientific scan)?
+    pub fn is_cropped_test(&self) -> bool {
+        self.size < ByteSize::from_gib(1)
+    }
+}
+
+/// Generates the campaign's scan stream.
+#[derive(Debug, Clone)]
+pub struct ScanWorkload {
+    sizes: WorkloadDist,
+    /// Gap between consecutive scan starts (seconds).
+    cadence_s: WorkloadDist,
+    next_id: u32,
+}
+
+impl ScanWorkload {
+    /// The production workload: bimodal sizes, one scan every 3–5 min.
+    pub fn production() -> ScanWorkload {
+        ScanWorkload {
+            sizes: WorkloadDist::beamline_scan_sizes(),
+            cadence_s: WorkloadDist::Uniform { lo: 180.0, hi: 300.0 },
+            next_id: 0,
+        }
+    }
+
+    /// A workload with a fixed cadence (for the lifecycle sweep).
+    pub fn with_cadence_secs(mut self, secs: f64) -> ScanWorkload {
+        self.cadence_s = WorkloadDist::Constant(secs);
+        self
+    }
+
+    /// Only full-size scans (for worst-case storage sizing).
+    pub fn full_scans_only(mut self) -> ScanWorkload {
+        self.sizes = WorkloadDist::Normal { mean: 25.0, sd: 4.0 };
+        self
+    }
+
+    /// Draw the next scan plus the delay before the one after it starts.
+    pub fn next_scan(&mut self, rng: &mut SimRng) -> (Scan, SimDuration) {
+        let id = ScanId(self.next_id);
+        self.next_id += 1;
+        let size = ByteSize::from_gib_f64(
+            self.sizes.sample_clamped(rng, 0.002, 120.0),
+        );
+        // acquisition: "3-minute scan", shorter for cropped tests
+        let acquisition = if size < ByteSize::from_gib(1) {
+            SimDuration::from_secs_f64(rng.uniform(20.0, 60.0))
+        } else {
+            SimDuration::from_secs_f64(rng.uniform(150.0, 210.0))
+        };
+        let gap = SimDuration::from_secs_f64(self.cadence_s.sample_clamped(rng, 30.0, 3600.0));
+        (
+            Scan {
+                id,
+                name: format!("20260704_{:06}_scan", id.0),
+                size,
+                acquisition,
+            },
+            gap,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_workload_is_bimodal() {
+        let mut w = ScanWorkload::production();
+        let mut rng = SimRng::seeded(1);
+        let scans: Vec<Scan> = (0..500).map(|_| w.next_scan(&mut rng).0).collect();
+        let cropped = scans.iter().filter(|s| s.is_cropped_test()).count();
+        let full = scans.iter().filter(|s| s.size > ByteSize::from_gib(15)).count();
+        assert!((0.1..0.35).contains(&(cropped as f64 / 500.0)), "cropped {cropped}");
+        assert!(full as f64 / 500.0 > 0.6, "full {full}");
+        // ids are unique and sequential
+        for (i, s) in scans.iter().enumerate() {
+            assert_eq!(s.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn cadence_respects_paper_rates() {
+        // 3-5 min cadence → 12-20 scans/hour
+        let mut w = ScanWorkload::production();
+        let mut rng = SimRng::seeded(2);
+        let mean_gap: f64 = (0..200)
+            .map(|_| w.next_scan(&mut rng).1.as_secs_f64())
+            .sum::<f64>()
+            / 200.0;
+        let per_hour = 3600.0 / mean_gap;
+        assert!((12.0..20.0).contains(&per_hour), "scans/hour {per_hour}");
+    }
+
+    #[test]
+    fn recon_output_matches_paper_ratio() {
+        let scan = Scan {
+            id: ScanId(0),
+            name: "x".into(),
+            size: ByteSize::from_gib(20),
+            acquisition: SimDuration::from_mins(3),
+        };
+        let out = scan.recon_output_size().as_gib_f64();
+        // ~20 GB raw → ~50 GB volume
+        assert!((48.0..56.0).contains(&out), "output {out}");
+    }
+
+    #[test]
+    fn dims_scale_with_size() {
+        let small = Scan {
+            id: ScanId(0),
+            name: "s".into(),
+            size: ByteSize::from_mib(10),
+            acquisition: SimDuration::from_secs(30),
+        };
+        let big = Scan {
+            id: ScanId(1),
+            name: "b".into(),
+            size: ByteSize::from_gib(20),
+            acquisition: SimDuration::from_mins(3),
+        };
+        assert!(small.dims().det_cols < big.dims().det_cols);
+        // the big scan's dims should be near the paper reference
+        let d = big.dims();
+        assert!((d.det_cols as f64 - 2560.0).abs() / 2560.0 < 0.1, "{d:?}");
+    }
+}

@@ -1,0 +1,717 @@
+//! The multi-facility discrete-event simulation.
+//!
+//! This is the paper's Figure 3 as an executable model: the acquisition
+//! layer emits scans; the orchestration layer runs the `new_file_832`,
+//! `nersc_recon_flow`, and `alcf_recon_flow` state machines; the movement
+//! layer is the Globus transfer service over the ESnet topology; the
+//! compute layer is SFAPI/Slurm (realtime QOS) at NERSC and Globus
+//! Compute pilot jobs at ALCF; the access layer is the storage tiers +
+//! catalogue the results land in. Every flow run is recorded in the
+//! Prefect-substitute engine, which is what the Table 2 report queries.
+
+use crate::scan::{Scan, ScanId, ScanWorkload};
+use als_catalog::{raw_scan_dataset, recon_dataset, Catalog, DatasetPid, InstrumentMetadata};
+use als_globus::compute::{AcquisitionMode, ComputeEndpoint, ComputeEvent, ComputeTaskId};
+use als_globus::transfer::{
+    EndpointId, TaskId, TransferEvent, TransferOptions, TransferService,
+};
+use als_globus::BandwidthMonitor;
+use als_hpc::scheduler::{JobEvent, JobId, JobRequest, JobState, Qos};
+use als_hpc::sfapi::{SfApiClient, SfApiServer};
+use als_hpc::storage::{StorageTier, TierKind};
+use als_netsim::{esnet_topology_with_nics, SiteId};
+use als_orchestrator::engine::{FlowEngine, FlowRunId, FlowState, TaskState};
+use als_orchestrator::limits::ConcurrencyLimits;
+use als_orchestrator::schedule::Schedule;
+use als_simcore::{ByteSize, EventQueue, SimDuration, SimInstant, SimRng};
+use std::collections::BTreeMap;
+
+/// Names of the three production flows (Table 2's rows).
+pub const FLOW_NEW_FILE: &str = "new_file_832";
+pub const FLOW_NERSC: &str = "nersc_recon_flow";
+pub const FLOW_ALCF: &str = "alcf_recon_flow";
+
+/// Simulation configuration (the ablation knobs live here).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub seed: u64,
+    /// Fail transfers immediately on permission errors (§5.3 remediation).
+    pub fail_fast: bool,
+    /// QOS for NERSC reconstruction jobs (paper: `realtime`).
+    pub nersc_qos: Qos,
+    /// ALCF node acquisition (paper: demand queue via Globus Compute).
+    pub alcf_mode: AcquisitionMode,
+    /// Verify checksums on Globus transfers (paper: enabled).
+    pub verify_checksums: bool,
+    /// Concurrent Globus transfer tasks.
+    pub transfer_concurrency: usize,
+    /// Nodes in the NERSC realtime partition slice.
+    pub nersc_nodes: usize,
+    /// Max pilot nodes the ALCF endpoint may hold.
+    pub alcf_max_nodes: usize,
+    /// Mean seconds between competing (non-ALS) NERSC job arrivals;
+    /// `None` disables background load.
+    pub background_mean_arrival_s: Option<f64>,
+    /// Run the daily pruning flows.
+    pub pruning_enabled: bool,
+    /// Number of beamline servers feeding the pipeline (each brings its
+    /// own 10 Gbps NIC — the §6 multi-beamline rollout).
+    pub beamline_count: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 832,
+            fail_fast: true,
+            nersc_qos: Qos::Realtime,
+            alcf_mode: AcquisitionMode::DemandQueue,
+            verify_checksums: true,
+            transfer_concurrency: 4,
+            nersc_nodes: 8,
+            alcf_max_nodes: 4,
+            background_mean_arrival_s: Some(360.0),
+            pruning_enabled: true,
+            beamline_count: 1,
+        }
+    }
+}
+
+/// Which recon branch a transfer/job belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Branch {
+    Nersc,
+    Alcf,
+}
+
+/// Which transfer leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Leg {
+    ToHpc,
+    Back,
+}
+
+/// Events driving the simulation.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// A scan begins acquiring.
+    ScanStart(ScanId),
+    /// The file writer finished saving the scan.
+    ScanSaved(ScanId),
+    /// `new_file_832` completed (staging + metadata ingestion done).
+    NewFileDone(ScanId),
+    /// Poll the Globus transfer service.
+    PollTransfers,
+    /// Poll the NERSC scheduler.
+    PollNersc,
+    /// Poll the ALCF compute endpoint.
+    PollAlcf,
+    /// Daily pruning flows fire.
+    PruneTick,
+    /// A competing (non-ALS) job arrives at NERSC.
+    BackgroundArrival,
+}
+
+/// Calibration constants for the paper-scale cost models. Centralized so
+/// the Table 2 calibration has one knob panel.
+pub mod calib {
+    /// new_file_832: fixed metadata-ingestion cost (s).
+    pub const NEWFILE_INGEST_S: f64 = 4.0;
+    /// new_file_832: median of the orchestration-jitter lognormal (s).
+    pub const NEWFILE_JITTER_MED_S: f64 = 25.0;
+    /// new_file_832: sigma of the jitter lognormal.
+    pub const NEWFILE_JITTER_SIGMA: f64 = 1.5;
+    /// new_file_832: jitter clamp (s).
+    pub const NEWFILE_JITTER_MAX_S: f64 = 640.0;
+
+    /// NERSC job: fixed startup (container, darks/flats, COR search) (s).
+    pub const NERSC_JOB_FIXED_S: f64 = 200.0;
+    /// NERSC job: reconstruction seconds per raw GiB (preprocessing +
+    /// iterative solve + TIFF/Zarr writes on a 128-core node).
+    pub const NERSC_RECON_S_PER_GIB: f64 = 52.0;
+
+    /// ALCF function: median of the fixed-overhead lognormal (endpoint
+    /// polling, function serialization, Eagle staging) (s).
+    pub const ALCF_FIXED_MED_S: f64 = 560.0;
+    /// ALCF function: sigma of the fixed-overhead lognormal.
+    pub const ALCF_FIXED_SIGMA: f64 = 0.22;
+    /// ALCF function: reconstruction seconds per raw GiB (GPU-assisted).
+    pub const ALCF_RECON_S_PER_GIB: f64 = 13.0;
+
+    /// Walltime margin over the expected runtime.
+    pub const WALLTIME_MARGIN: f64 = 2.0;
+}
+
+/// The simulation state.
+pub struct FacilitySim {
+    pub cfg: SimConfig,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    pub engine: FlowEngine,
+    pub limits: ConcurrencyLimits,
+    pub catalog: Catalog,
+    pub monitor: BandwidthMonitor,
+
+    transfer: TransferService,
+    ep_als: EndpointId,
+    ep_nersc: EndpointId,
+    ep_alcf: EndpointId,
+
+    nersc: SfApiServer,
+    nersc_client: SfApiClient,
+    alcf: ComputeEndpoint,
+
+    pub beamline_tier: StorageTier,
+    pub cfs_tier: StorageTier,
+    pub eagle_tier: StorageTier,
+    pub hpss_tier: StorageTier,
+
+    prune_schedule: Schedule,
+
+    scans: BTreeMap<ScanId, Scan>,
+    newfile_runs: BTreeMap<ScanId, FlowRunId>,
+    branch_runs: BTreeMap<(ScanId, u8), FlowRunId>,
+    transfer_map: BTreeMap<TaskId, (ScanId, Branch, Leg)>,
+    job_map: BTreeMap<JobId, ScanId>,
+    compute_map: BTreeMap<ComputeTaskId, ScanId>,
+    raw_pids: BTreeMap<ScanId, DatasetPid>,
+
+    /// Completed end-to-end scans (both branches finished).
+    pub completed_scans: usize,
+}
+
+fn branch_key(b: Branch) -> u8 {
+    match b {
+        Branch::Nersc => 0,
+        Branch::Alcf => 1,
+    }
+}
+
+impl FacilitySim {
+    pub fn new(cfg: SimConfig) -> Self {
+        let mut transfer = TransferService::new(
+            esnet_topology_with_nics(cfg.beamline_count.max(1)),
+            cfg.transfer_concurrency,
+        );
+        let ep_als = transfer.register_endpoint(SiteId::Als);
+        let ep_nersc = transfer.register_endpoint(SiteId::Nersc);
+        let ep_alcf = transfer.register_endpoint(SiteId::Alcf);
+        let rng = SimRng::seeded(cfg.seed);
+        FacilitySim {
+            queue: EventQueue::new(),
+            rng,
+            engine: FlowEngine::new(),
+            limits: ConcurrencyLimits::production(),
+            catalog: Catalog::new(),
+            monitor: BandwidthMonitor::new(),
+            transfer,
+            ep_als,
+            ep_nersc,
+            ep_alcf,
+            nersc: SfApiServer::new(cfg.nersc_nodes),
+            nersc_client: SfApiClient::new("als"),
+            alcf: ComputeEndpoint::new(cfg.alcf_mode, cfg.alcf_max_nodes),
+            beamline_tier: StorageTier::new(TierKind::BeamlineData, ByteSize::from_tib(20)),
+            cfs_tier: StorageTier::new(TierKind::Cfs, ByteSize::from_tib(500)),
+            eagle_tier: StorageTier::new(TierKind::Eagle, ByteSize::from_tib(100)),
+            hpss_tier: StorageTier::new(TierKind::Hpss, ByteSize::from_tib(10_000)),
+            prune_schedule: Schedule::daily_pruning(SimInstant::ZERO),
+            scans: BTreeMap::new(),
+            newfile_runs: BTreeMap::new(),
+            branch_runs: BTreeMap::new(),
+            transfer_map: BTreeMap::new(),
+            job_map: BTreeMap::new(),
+            compute_map: BTreeMap::new(),
+            raw_pids: BTreeMap::new(),
+            completed_scans: 0,
+            cfg,
+        }
+    }
+
+    pub fn now(&self) -> SimInstant {
+        self.queue.now()
+    }
+
+    /// Queue up `n` scans from a workload, with background load and
+    /// pruning schedules armed.
+    pub fn schedule_campaign(&mut self, workload: &mut ScanWorkload, n: usize) {
+        let mut t = SimInstant::ZERO + SimDuration::from_secs(10);
+        for _ in 0..n {
+            let (scan, gap) = workload.next_scan(&mut self.rng);
+            let id = scan.id;
+            self.scans.insert(id, scan);
+            self.queue.schedule_at(t, Ev::ScanStart(id));
+            t += gap;
+        }
+        // competing NERSC load exists only for the campaign window —
+        // pre-generated so the event queue drains when the work is done
+        if let Some(mean) = self.cfg.background_mean_arrival_s {
+            let mut bg = SimInstant::ZERO + SimDuration::from_secs_f64(self.rng.exponential(mean));
+            while bg < t {
+                self.queue.schedule_at(bg, Ev::BackgroundArrival);
+                bg += SimDuration::from_secs_f64(self.rng.exponential(mean));
+            }
+        }
+        if self.cfg.pruning_enabled {
+            // pruning runs daily while scans are still being acquired
+            while self.prune_schedule.next_fire() < t {
+                let fire = self.prune_schedule.next_fire();
+                self.queue.schedule_at(fire, Ev::PruneTick);
+                self.prune_schedule.due(fire);
+            }
+        }
+    }
+
+    /// Run until no events remain (or an optional horizon passes).
+    pub fn run(&mut self, horizon: Option<SimInstant>) {
+        while let Some(t) = self.queue.peek_time() {
+            if horizon.is_some_and(|h| t > h) {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event");
+            self.handle(now, ev);
+        }
+    }
+
+    fn transfer_opts(&self) -> TransferOptions {
+        TransferOptions {
+            verify_checksum: self.cfg.verify_checksums,
+            max_retries: 2,
+            fail_fast: self.cfg.fail_fast,
+        }
+    }
+
+    fn schedule_transfer_poll(&mut self, now: SimInstant) {
+        if let Some(t) = self.transfer.next_event_time(now) {
+            self.queue.schedule_at(t.max(now), Ev::PollTransfers);
+        }
+    }
+
+    fn schedule_nersc_poll(&mut self, now: SimInstant) {
+        if let Some(t) = self.nersc.scheduler().next_event_time() {
+            self.queue.schedule_at(t.max(now), Ev::PollNersc);
+        }
+    }
+
+    fn schedule_alcf_poll(&mut self, now: SimInstant) {
+        if let Some(t) = self.alcf.next_event_time() {
+            self.queue.schedule_at(t.max(now), Ev::PollAlcf);
+        }
+    }
+
+    fn handle(&mut self, now: SimInstant, ev: Ev) {
+        match ev {
+            Ev::ScanStart(id) => self.on_scan_start(now, id),
+            Ev::ScanSaved(id) => self.on_scan_saved(now, id),
+            Ev::NewFileDone(id) => self.on_new_file_done(now, id),
+            Ev::PollTransfers => self.on_poll_transfers(now),
+            Ev::PollNersc => self.on_poll_nersc(now),
+            Ev::PollAlcf => self.on_poll_alcf(now),
+            Ev::PruneTick => self.on_prune(now),
+            Ev::BackgroundArrival => self.on_background(now),
+        }
+    }
+
+    fn on_scan_start(&mut self, now: SimInstant, id: ScanId) {
+        let scan = self.scans.get(&id).expect("scan exists").clone();
+        // acquisition + the file writer flushing frames to beamline disk
+        let write_time = self.beamline_tier.io_time(scan.size);
+        self.queue
+            .schedule_at(now + scan.acquisition + write_time, Ev::ScanSaved(id));
+    }
+
+    fn on_scan_saved(&mut self, now: SimInstant, id: ScanId) {
+        let scan = self.scans.get(&id).expect("scan exists").clone();
+        // store the raw file on the beamline data tier
+        if self
+            .beamline_tier
+            .put(&format!("{}.h5", scan.name), scan.size, now)
+            .is_err()
+        {
+            // beamline disk full: the flow fails outright (what the
+            // pruning flows exist to prevent)
+            let run = self.engine.create_run(FLOW_NEW_FILE, now);
+            self.engine.start_run(run, now);
+            self.engine.finish_run(run, FlowState::Failed, now);
+            return;
+        }
+        // new_file_832: data movement between beamline servers + SciCat
+        // ingestion + orchestration latency
+        let run = self.engine.create_run(FLOW_NEW_FILE, now);
+        self.engine.set_parameter(run, "scan", &scan.name);
+        self.engine
+            .set_parameter(run, "size_gib", &format!("{:.3}", scan.size.as_gib_f64()));
+        self.engine.start_run(run, now);
+        self.newfile_runs.insert(id, run);
+        let staging = self.beamline_tier.io_time(scan.size);
+        let jitter = SimDuration::from_secs_f64(
+            self.rng
+                .lognormal_med(calib::NEWFILE_JITTER_MED_S, calib::NEWFILE_JITTER_SIGMA)
+                .clamp(1.0, calib::NEWFILE_JITTER_MAX_S),
+        );
+        let ingest = SimDuration::from_secs_f64(calib::NEWFILE_INGEST_S);
+        let task = self
+            .engine
+            .start_task(run, "stage_and_ingest", Some(&format!("{}/ingest", scan.name)), now);
+        let done = now + staging + ingest + jitter;
+        self.engine
+            .finish_task(run, task, TaskState::Completed, done, None);
+        self.queue.schedule_at(done, Ev::NewFileDone(id));
+    }
+
+    fn on_new_file_done(&mut self, now: SimInstant, id: ScanId) {
+        let scan = self.scans.get(&id).expect("scan exists").clone();
+        if let Some(run) = self.newfile_runs.get(&id) {
+            self.engine.finish_run(*run, FlowState::Completed, now);
+        }
+        // catalogue the raw dataset
+        let dims = scan.dims();
+        let raw = raw_scan_dataset(
+            &scan.name,
+            "beamline-user",
+            now,
+            scan.size,
+            InstrumentMetadata {
+                beamline: "8.3.2".into(),
+                n_angles: dims.n_angles,
+                detector_rows: dims.det_rows,
+                detector_cols: dims.det_cols,
+                pixel_size_um: 0.65,
+                exposure_ms: 30.0,
+            },
+        );
+        let raw_pid = raw.pid.clone();
+        self.catalog.ingest(raw).ok();
+        self.raw_pids.insert(id, raw_pid);
+
+        // launch both file-based branches in parallel
+        for branch in [Branch::Nersc, Branch::Alcf] {
+            let flow_name = match branch {
+                Branch::Nersc => FLOW_NERSC,
+                Branch::Alcf => FLOW_ALCF,
+            };
+            let run = self.engine.create_run(flow_name, now);
+            self.engine.set_parameter(run, "scan", &scan.name);
+            self.engine.start_run(run, now);
+            self.branch_runs.insert((id, branch_key(branch)), run);
+            let dst = match branch {
+                Branch::Nersc => self.ep_nersc,
+                Branch::Alcf => self.ep_alcf,
+            };
+            let opts = self.transfer_opts();
+            let task = self.transfer.submit(self.ep_als, dst, scan.size, opts, now);
+            self.transfer_map.insert(task, (id, branch, Leg::ToHpc));
+            let t = self
+                .engine
+                .start_task(run, "globus_copy_to_hpc", Some(&format!("{}/{flow_name}/copy", scan.name)), now);
+            debug_assert_eq!(t, 0);
+        }
+        self.schedule_transfer_poll(now);
+    }
+
+    fn on_poll_transfers(&mut self, now: SimInstant) {
+        let events = self.transfer.advance_to(now);
+        for ev in events {
+            match ev {
+                TransferEvent::Succeeded { task, at } => {
+                    let Some((id, branch, leg)) = self.transfer_map.remove(&task) else {
+                        continue;
+                    };
+                    let scan = self.scans.get(&id).expect("scan exists").clone();
+                    let size = match leg {
+                        Leg::ToHpc => scan.size,
+                        Leg::Back => scan.recon_output_size(),
+                    };
+                    if let Some(d) = self.transfer.task_duration(task) {
+                        self.monitor.record(at, size, d);
+                    }
+                    match (branch, leg) {
+                        (Branch::Nersc, Leg::ToHpc) => self.nersc_job_submit(at, id),
+                        (Branch::Alcf, Leg::ToHpc) => self.alcf_invoke(at, id),
+                        (_, Leg::Back) => self.finish_branch(at, id, branch, true),
+                    }
+                }
+                TransferEvent::Failed { task, at, .. } => {
+                    if let Some((id, branch, _)) = self.transfer_map.remove(&task) {
+                        self.finish_branch(at, id, branch, false);
+                    }
+                }
+                TransferEvent::Started { .. } | TransferEvent::Retrying { .. } => {}
+            }
+        }
+        self.schedule_transfer_poll(now);
+    }
+
+    /// NERSC: stage to CFS, submit the realtime Slurm job through SFAPI.
+    fn nersc_job_submit(&mut self, now: SimInstant, id: ScanId) {
+        let scan = self.scans.get(&id).expect("scan exists").clone();
+        self.cfs_tier
+            .put(&format!("{}.h5", scan.name), scan.size, now)
+            .ok();
+        let gib = scan.size.as_gib_f64();
+        // inside the job: copy CFS→pscratch, reconstruct, write TIFF+Zarr
+        let stage = self.cfs_tier.io_time(scan.size);
+        let recon = SimDuration::from_secs_f64(
+            calib::NERSC_JOB_FIXED_S + calib::NERSC_RECON_S_PER_GIB * gib,
+        );
+        let runtime = stage + recon;
+        let req = JobRequest {
+            name: format!("recon_{}", scan.name),
+            qos: self.cfg.nersc_qos,
+            nodes: 1,
+            runtime,
+            walltime_limit: SimDuration::from_secs_f64(
+                runtime.as_secs_f64() * calib::WALLTIME_MARGIN + 900.0,
+            ),
+        };
+        match self.nersc_client.submit(&mut self.nersc, req, now) {
+            Ok((job, _events)) => {
+                self.job_map.insert(job, id);
+                if let Some(&run) = self.branch_runs.get(&(id, branch_key(Branch::Nersc))) {
+                    self.engine.start_task(
+                        run,
+                        "sfapi_slurm_job",
+                        Some(&format!("{}/nersc/job", scan.name)),
+                        now,
+                    );
+                }
+                self.schedule_nersc_poll(now);
+            }
+            Err(_) => self.finish_branch(now, id, Branch::Nersc, false),
+        }
+    }
+
+    /// ALCF: stage to Eagle, dispatch the reconstruction function via
+    /// Globus Compute.
+    fn alcf_invoke(&mut self, now: SimInstant, id: ScanId) {
+        let scan = self.scans.get(&id).expect("scan exists").clone();
+        self.eagle_tier
+            .put(&format!("{}.h5", scan.name), scan.size, now)
+            .ok();
+        let gib = scan.size.as_gib_f64();
+        let fixed = self
+            .rng
+            .lognormal_med(calib::ALCF_FIXED_MED_S, calib::ALCF_FIXED_SIGMA)
+            .clamp(300.0, 1500.0);
+        let runtime =
+            SimDuration::from_secs_f64(fixed + calib::ALCF_RECON_S_PER_GIB * gib);
+        let task = self.alcf.invoke(runtime, now);
+        self.compute_map.insert(task, id);
+        if let Some(&run) = self.branch_runs.get(&(id, branch_key(Branch::Alcf))) {
+            self.engine.start_task(
+                run,
+                "globus_compute_recon",
+                Some(&format!("{}/alcf/fn", scan.name)),
+                now,
+            );
+        }
+        self.schedule_alcf_poll(now);
+    }
+
+    fn on_poll_nersc(&mut self, now: SimInstant) {
+        let events = self.nersc.scheduler_mut().advance_to(now);
+        for ev in events {
+            if let JobEvent::Finished { id: job, at, state } = ev {
+                let Some(scan_id) = self.job_map.remove(&job) else {
+                    continue; // background job
+                };
+                if state == JobState::Completed {
+                    self.start_back_transfer(at, scan_id, Branch::Nersc);
+                } else {
+                    self.finish_branch(at, scan_id, Branch::Nersc, false);
+                }
+            }
+        }
+        self.schedule_nersc_poll(now);
+    }
+
+    fn on_poll_alcf(&mut self, now: SimInstant) {
+        let events = self.alcf.advance_to(now);
+        for ev in events {
+            if let ComputeEvent::Finished { task, at } = ev {
+                if let Some(scan_id) = self.compute_map.remove(&task) {
+                    self.start_back_transfer(at, scan_id, Branch::Alcf);
+                }
+            }
+        }
+        self.schedule_alcf_poll(now);
+    }
+
+    /// Move the reconstruction products back to the beamline data server.
+    fn start_back_transfer(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
+        let scan = self.scans.get(&id).expect("scan exists").clone();
+        let src = match branch {
+            Branch::Nersc => self.ep_nersc,
+            Branch::Alcf => self.ep_alcf,
+        };
+        let opts = self.transfer_opts();
+        let task = self
+            .transfer
+            .submit(src, self.ep_als, scan.recon_output_size(), opts, now);
+        self.transfer_map.insert(task, (id, branch, Leg::Back));
+        if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
+            self.engine
+                .start_task(run, "globus_copy_back", None, now);
+        }
+        self.schedule_transfer_poll(now);
+    }
+
+    /// Terminal transition for one branch of one scan.
+    fn finish_branch(&mut self, now: SimInstant, id: ScanId, branch: Branch, ok: bool) {
+        let Some(run) = self.branch_runs.get(&(id, branch_key(branch))).copied() else {
+            return;
+        };
+        let scan = self.scans.get(&id).expect("scan exists").clone();
+        if ok {
+            // register the derived dataset with provenance to the raw scan
+            if let Some(raw_pid) = self.raw_pids.get(&id) {
+                let facility = match branch {
+                    Branch::Nersc => "nersc",
+                    Branch::Alcf => "alcf",
+                };
+                self.catalog
+                    .ingest(recon_dataset(
+                        &scan.name,
+                        facility,
+                        raw_pid,
+                        now,
+                        scan.recon_output_size(),
+                    ))
+                    .ok();
+            }
+            self.beamline_tier
+                .put(
+                    &format!(
+                        "{}_recon_{}",
+                        scan.name,
+                        match branch {
+                            Branch::Nersc => "nersc",
+                            Branch::Alcf => "alcf",
+                        }
+                    ),
+                    scan.recon_output_size(),
+                    now,
+                )
+                .ok();
+            self.engine.finish_run(run, FlowState::Completed, now);
+            self.completed_scans += 1;
+        } else {
+            self.engine.finish_run(run, FlowState::Failed, now);
+        }
+    }
+
+    fn on_prune(&mut self, now: SimInstant) {
+        self.beamline_tier.prune(now);
+        self.cfs_tier.prune(now);
+        self.eagle_tier.prune(now);
+    }
+
+    fn on_background(&mut self, now: SimInstant) {
+        // a competing regular-QOS job from another NERSC user
+        let runtime = SimDuration::from_secs_f64(self.rng.lognormal_med(1200.0, 0.5).clamp(120.0, 7200.0));
+        let nodes = 1 + self.rng.uniform_u64(0, 2) as usize;
+        let req = JobRequest {
+            name: "background".into(),
+            qos: Qos::Regular,
+            nodes: nodes.min(self.cfg.nersc_nodes),
+            runtime,
+            walltime_limit: runtime * 2.0,
+        };
+        self.nersc.scheduler_mut().submit(req, now);
+        self.schedule_nersc_poll(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_small(n: usize, seed: u64) -> FacilitySim {
+        let mut sim = FacilitySim::new(SimConfig {
+            seed,
+            ..Default::default()
+        });
+        let mut workload = ScanWorkload::production();
+        sim.schedule_campaign(&mut workload, n);
+        sim.run(None);
+        sim
+    }
+
+    #[test]
+    fn every_scan_produces_three_flow_runs() {
+        let sim = run_small(5, 1);
+        let q = sim.engine.query();
+        assert_eq!(q.runs_of(FLOW_NEW_FILE).len(), 5);
+        assert_eq!(q.runs_of(FLOW_NERSC).len(), 5);
+        assert_eq!(q.runs_of(FLOW_ALCF).len(), 5);
+    }
+
+    #[test]
+    fn all_flows_complete_in_a_healthy_campaign() {
+        let sim = run_small(8, 2);
+        let q = sim.engine.query();
+        for flow in [FLOW_NEW_FILE, FLOW_NERSC, FLOW_ALCF] {
+            assert_eq!(
+                q.success_rate(flow),
+                Some(1.0),
+                "{flow} should fully succeed"
+            );
+        }
+        assert_eq!(sim.completed_scans, 16); // both branches × 8 scans
+    }
+
+    #[test]
+    fn catalog_gets_raw_and_derived_datasets() {
+        let sim = run_small(4, 3);
+        // 4 raw + up to 8 recon datasets
+        assert_eq!(sim.catalog.len(), 4 + 8);
+        // provenance: each raw has two derived children
+        let raws: Vec<_> = sim.catalog.search("scan").into_iter()
+            .filter(|d| matches!(d.kind, als_catalog::DatasetKind::Raw))
+            .map(|d| d.pid.clone())
+            .collect();
+        assert_eq!(raws.len(), 4);
+        for pid in raws {
+            assert_eq!(sim.catalog.derived_chain(&pid).len(), 2);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = run_small(6, 42);
+        let b = run_small(6, 42);
+        let qa = a.engine.query().last_n_successful_durations(FLOW_NERSC, 10);
+        let qb = b.engine.query().last_n_successful_durations(FLOW_NERSC, 10);
+        assert_eq!(qa, qb);
+        let c = run_small(6, 43);
+        let qc = c.engine.query().last_n_successful_durations(FLOW_NERSC, 10);
+        assert_ne!(qa, qc);
+    }
+
+    #[test]
+    fn flow_durations_are_in_plausible_bands() {
+        let sim = run_small(12, 7);
+        let q = sim.engine.query();
+        let nf = q.table2_summary(FLOW_NEW_FILE, 100).unwrap();
+        assert!(nf.median > 10.0 && nf.median < 300.0, "new_file med {}", nf.median);
+        let nersc = q.table2_summary(FLOW_NERSC, 100).unwrap();
+        assert!(
+            nersc.median > 600.0 && nersc.median < 3000.0,
+            "nersc med {}",
+            nersc.median
+        );
+        let alcf = q.table2_summary(FLOW_ALCF, 100).unwrap();
+        assert!(
+            alcf.median > 500.0 && alcf.median < 2500.0,
+            "alcf med {}",
+            alcf.median
+        );
+    }
+
+    #[test]
+    fn beamline_tier_accumulates_raw_and_recon_files() {
+        let sim = run_small(3, 9);
+        // 3 raw + 6 recon outputs
+        assert_eq!(sim.beamline_tier.file_count(), 9);
+    }
+}

@@ -1,0 +1,138 @@
+//! S1: the streaming branch at paper scale, and S2: the >100× speedup.
+//!
+//! §5.2: "a raw dataset with 1969 16-bit projection images of size
+//! 2160×2560 (∼20 GB), takes 7–8 seconds to reconstruct, with a
+//! reconstructed volume size of 2160×2560×2560 32-bit (∼50 GB). Sending
+//! the preview slices back to ALS takes <1 second." And §5.1: a
+//! decade-long user reports 45 minutes to save a scan plus another hour
+//! for a single slice historically — the ">100× improvement in
+//! time-to-insight".
+
+use als_netsim::{esnet_topology, SiteId};
+use als_simcore::{ByteSize, SimDuration, SimInstant};
+use als_tomo::throughput::{estimate_recon_time, DeviceModel, ReconClass, ScanDims};
+use serde::Serialize;
+
+/// Timing breakdown of one streaming-branch feedback cycle.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamingTiming {
+    pub dims: ScanDims,
+    pub raw_gib: f64,
+    pub volume_gib: f64,
+    /// GPU reconstruction after acquisition completes.
+    pub recon: SimDuration,
+    /// Three-slice preview sent back over ESnet.
+    pub preview_send: SimDuration,
+    /// Total feedback latency after acquisition end.
+    pub total: SimDuration,
+}
+
+/// Compute the paper-scale streaming timing with the calibrated device
+/// model and the ESnet topology.
+pub fn streaming_timing(dims: &ScanDims) -> StreamingTiming {
+    let device = DeviceModel::nersc_gpu_node();
+    let recon = estimate_recon_time(dims, ReconClass::StreamingFbp, &device);
+
+    // preview: three f32 slices of det_cols × det_cols / det_rows
+    let slice_bytes = (dims.det_cols * dims.det_cols
+        + 2 * dims.det_cols * dims.det_rows) as u64
+        * 4;
+    let preview_size = ByteSize::from_bytes(slice_bytes);
+    let mut topo = esnet_topology();
+    let route = topo.route(SiteId::Nersc, SiteId::Als).expect("route");
+    let flow = topo.net.start_flow(route, preview_size, SimInstant::ZERO);
+    let (_, t) = topo.net.next_completion(SimInstant::ZERO).expect("flow completes");
+    let _ = flow;
+    let preview_send = t.duration_since(SimInstant::ZERO);
+
+    StreamingTiming {
+        dims: *dims,
+        raw_gib: dims.raw_bytes().as_gib_f64(),
+        volume_gib: dims.volume_bytes().as_gib_f64(),
+        recon,
+        preview_send,
+        total: recon + preview_send,
+    }
+}
+
+/// The historical (pre-infrastructure) workflow model from the §5.1
+/// quote: "it took 45 minutes just to save a scan, then another hour to
+/// get back a single reconstruction slice".
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct HistoricalWorkflow {
+    pub save: SimDuration,
+    pub single_slice_recon: SimDuration,
+}
+
+impl Default for HistoricalWorkflow {
+    fn default() -> Self {
+        HistoricalWorkflow {
+            save: SimDuration::from_mins(45),
+            single_slice_recon: SimDuration::from_mins(60),
+        }
+    }
+}
+
+impl HistoricalWorkflow {
+    /// Time to first feedback (one slice).
+    pub fn time_to_first_feedback(&self) -> SimDuration {
+        self.save + self.single_slice_recon
+    }
+}
+
+/// S2: the speedup report.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedupReport {
+    pub historical: SimDuration,
+    pub streaming: SimDuration,
+    pub speedup: f64,
+}
+
+/// Compare today's streaming feedback against the historical workflow.
+pub fn speedup_vs_historical() -> SpeedupReport {
+    let hist = HistoricalWorkflow::default().time_to_first_feedback();
+    let now = streaming_timing(&ScanDims::paper_reference()).total;
+    SpeedupReport {
+        historical: hist,
+        streaming: now,
+        speedup: hist.as_secs_f64() / now.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_hits_all_three_claims() {
+        let t = streaming_timing(&ScanDims::paper_reference());
+        // "takes 7-8 seconds to reconstruct"
+        let recon_s = t.recon.as_secs_f64();
+        assert!((7.0..10.0).contains(&recon_s), "recon {recon_s} s");
+        // "Sending the preview slices back to ALS takes <1 second"
+        assert!(t.preview_send.as_secs_f64() < 1.0, "send {}", t.preview_send);
+        // "users can preview ... within 10 seconds"
+        assert!(t.total.as_secs_f64() < 10.0, "total {}", t.total);
+        // "~20 GB" raw, "~50 GB" volume
+        assert!((18.0..23.0).contains(&t.raw_gib));
+        assert!((45.0..56.0).contains(&t.volume_gib));
+    }
+
+    #[test]
+    fn smaller_scans_are_faster() {
+        let full = streaming_timing(&ScanDims::paper_reference());
+        let half = streaming_timing(&ScanDims::paper_reference().scaled(0.5));
+        assert!(half.total < full.total);
+    }
+
+    #[test]
+    fn speedup_exceeds_100x() {
+        let s = speedup_vs_historical();
+        assert!(
+            s.speedup > 100.0,
+            "paper claims >100x, got {:.0}x",
+            s.speedup
+        );
+        assert_eq!(s.historical, SimDuration::from_mins(105));
+    }
+}

@@ -1,0 +1,96 @@
+//! Table 1: the beamline user archetypes that drove the design.
+
+use serde::Serialize;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct UserArchetype {
+    pub name: &'static str,
+    pub description: &'static str,
+    /// Which parts of the system this archetype touches day to day.
+    pub touchpoints: &'static [&'static str],
+    /// Approximate population at the facility.
+    pub population: &'static str,
+}
+
+/// The three archetypes from Table 1.
+pub fn user_archetypes() -> [UserArchetype; 3] {
+    [
+        UserArchetype {
+            name: "Visiting User",
+            description: "Short, on-site scheduled beamtime; requires remote data access; \
+                          focused on rapid data acquisition under constrained timeframes",
+            touchpoints: &[
+                "beamline control software",
+                "streaming web app",
+                "ImageJ previews",
+                "web volume viewer",
+                "JupyterLab",
+            ],
+            population: "thousands of annual users (novices and experts)",
+        },
+        UserArchetype {
+            name: "Staff Beamline Scientist",
+            description: "Endstation expert (hardware, software, analysis); provides guidance \
+                          to users; ensures experimental quality and system uptime",
+            touchpoints: &[
+                "acquisition services",
+                "flow dashboards",
+                "metadata catalogue",
+                "storage tiers",
+            ],
+            population: "1-2 per beamline",
+        },
+        UserArchetype {
+            name: "Software Engineer",
+            description: "Develops and maintains scalable infrastructure, compute and \
+                          visualization services",
+            touchpoints: &[
+                "orchestration layer",
+                "facility adapters",
+                "CI/CD + container registry",
+                "run database / logs",
+            ],
+            population: "shared across beamlines",
+        },
+    ]
+}
+
+/// Render Table 1 as fixed-width text (for the `experiments table1` run).
+pub fn table1_text() -> String {
+    let mut out = String::from("Table 1: Beamline User Archetypes\n");
+    for a in user_archetypes() {
+        out.push_str(&format!(
+            "\n{:<25} {}\n{:<25} population: {}\n{:<25} touchpoints: {}\n",
+            a.name,
+            a.description,
+            "",
+            a.population,
+            "",
+            a.touchpoints.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_archetypes_match_the_paper() {
+        let a = user_archetypes();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].name, "Visiting User");
+        assert_eq!(a[1].name, "Staff Beamline Scientist");
+        assert_eq!(a[2].name, "Software Engineer");
+    }
+
+    #[test]
+    fn table_text_mentions_all_archetypes() {
+        let t = table1_text();
+        for a in user_archetypes() {
+            assert!(t.contains(a.name));
+        }
+    }
+}

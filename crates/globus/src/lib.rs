@@ -1,0 +1,25 @@
+//! # als-globus
+//!
+//! Substitutes for the two Globus services the paper's data movement layer
+//! is built on:
+//!
+//! * [`transfer`] — managed third-party transfer tasks between registered
+//!   endpoints with checksum verification, automatic retry, a bounded
+//!   concurrent-task queue, and the failure modes behind the paper's §5.3
+//!   incident (permission-denied tasks that *hang* and saturate the queue
+//!   unless the client is configured to fail early);
+//! * [`compute`] — function-as-a-service execution on pilot jobs that hold
+//!   warm HPC nodes, with a demand queue for fast node acquisition (the
+//!   ALCF/Polaris pattern that avoids batch-queue waits);
+//! * [`monitor`] — per-task bandwidth metrics (the Grafana dashboard the
+//!   paper demonstrates).
+
+pub mod compute;
+pub mod monitor;
+pub mod transfer;
+
+pub use compute::{ComputeEndpoint, ComputeEvent, ComputeTaskId, ComputeTaskState};
+pub use monitor::BandwidthMonitor;
+pub use transfer::{
+    EndpointId, FailReason, TaskId, TaskStatus, TransferEvent, TransferOptions, TransferService,
+};

@@ -1,0 +1,177 @@
+//! Bandwidth monitoring (the paper's Grafana dashboard substitute).
+//!
+//! "We have demonstrated the monitoring of Globus data transfer bandwidth
+//! with Grafana" — this module records per-transfer throughput samples and
+//! exposes the aggregates a dashboard would plot.
+
+use als_simcore::{ByteSize, DataRate, OnlineStats, SimDuration, SimInstant};
+
+/// One completed-transfer observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferSample {
+    pub at: SimInstant,
+    pub bytes: ByteSize,
+    pub duration: SimDuration,
+}
+
+impl TransferSample {
+    pub fn throughput(&self) -> DataRate {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            DataRate::ZERO
+        } else {
+            DataRate::from_bytes_per_sec(self.bytes.as_bytes() as f64 / secs)
+        }
+    }
+}
+
+/// Rolling bandwidth statistics.
+#[derive(Debug, Default)]
+pub struct BandwidthMonitor {
+    samples: Vec<TransferSample>,
+    gbps_stats: OnlineStats,
+    total_bytes: ByteSize,
+}
+
+impl BandwidthMonitor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed transfer.
+    pub fn record(&mut self, at: SimInstant, bytes: ByteSize, duration: SimDuration) {
+        let s = TransferSample { at, bytes, duration };
+        self.gbps_stats.push(s.throughput().as_gbit_per_sec());
+        self.total_bytes += bytes;
+        self.samples.push(s);
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn total_bytes(&self) -> ByteSize {
+        self.total_bytes
+    }
+
+    /// Mean per-transfer throughput.
+    pub fn mean_gbps(&self) -> f64 {
+        self.gbps_stats.mean()
+    }
+
+    pub fn peak_gbps(&self) -> f64 {
+        self.gbps_stats.max()
+    }
+
+    /// Samples within a window, for plotting time series.
+    pub fn window(&self, from: SimInstant, to: SimInstant) -> Vec<&TransferSample> {
+        self.samples
+            .iter()
+            .filter(|s| s.at >= from && s.at <= to)
+            .collect()
+    }
+
+    /// Aggregate bytes moved per `bucket` of simulated time, as a
+    /// dashboard bar series: `(bucket start, bytes)`.
+    pub fn histogram(&self, bucket: SimDuration) -> Vec<(SimInstant, ByteSize)> {
+        if self.samples.is_empty() || bucket.is_zero() {
+            return Vec::new();
+        }
+        let end = self.samples.iter().map(|s| s.at).max().expect("non-empty");
+        let n_buckets = (end.as_micros() / bucket.as_micros() + 1) as usize;
+        let mut out: Vec<(SimInstant, ByteSize)> = (0..n_buckets)
+            .map(|i| (SimInstant::from_micros(i as u64 * bucket.as_micros()), ByteSize::ZERO))
+            .collect();
+        for s in &self.samples {
+            let idx = (s.at.as_micros() / bucket.as_micros()) as usize;
+            out[idx].1 += s.bytes;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let s = TransferSample {
+            at: SimInstant::ZERO,
+            bytes: ByteSize::from_gib(10),
+            duration: SimDuration::from_secs(10),
+        };
+        // 1 GiB/s = 8.59 Gbps
+        assert!((s.throughput().as_gbit_per_sec() - 8.589934592).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregates_accumulate() {
+        let mut m = BandwidthMonitor::new();
+        let t0 = SimInstant::ZERO;
+        m.record(t0, ByteSize::from_gib(10), SimDuration::from_secs(10));
+        m.record(
+            t0 + SimDuration::from_mins(5),
+            ByteSize::from_gib(20),
+            SimDuration::from_secs(40),
+        );
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.total_bytes(), ByteSize::from_gib(30));
+        assert!(m.peak_gbps() > m.mean_gbps() - 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_yields_zero_rate() {
+        let s = TransferSample {
+            at: SimInstant::ZERO,
+            bytes: ByteSize::from_gib(1),
+            duration: SimDuration::ZERO,
+        };
+        assert_eq!(s.throughput(), DataRate::ZERO);
+    }
+
+    #[test]
+    fn window_filters_by_time() {
+        let mut m = BandwidthMonitor::new();
+        for i in 0..10u64 {
+            m.record(
+                SimInstant::ZERO + SimDuration::from_mins(i),
+                ByteSize::from_gib(1),
+                SimDuration::from_secs(5),
+            );
+        }
+        let w = m.window(
+            SimInstant::ZERO + SimDuration::from_mins(3),
+            SimInstant::ZERO + SimDuration::from_mins(6),
+        );
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn histogram_bins_bytes() {
+        let mut m = BandwidthMonitor::new();
+        m.record(SimInstant::ZERO, ByteSize::from_gib(1), SimDuration::from_secs(1));
+        m.record(
+            SimInstant::ZERO + SimDuration::from_secs(30),
+            ByteSize::from_gib(2),
+            SimDuration::from_secs(1),
+        );
+        m.record(
+            SimInstant::ZERO + SimDuration::from_secs(90),
+            ByteSize::from_gib(4),
+            SimDuration::from_secs(1),
+        );
+        let h = m.histogram(SimDuration::from_secs(60));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].1, ByteSize::from_gib(3));
+        assert_eq!(h[1].1, ByteSize::from_gib(4));
+    }
+
+    #[test]
+    fn empty_monitor_is_calm() {
+        let m = BandwidthMonitor::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean_gbps(), 0.0);
+        assert!(m.histogram(SimDuration::from_secs(60)).is_empty());
+    }
+}

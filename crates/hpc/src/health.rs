@@ -1,0 +1,233 @@
+//! Automated health monitoring (§5.3 production lessons).
+//!
+//! "Production lessons learned include: maintaining strict staging and
+//! production separation, automated health monitoring every 12-24 hours,
+//! and version-controlled deployments." This module models the health
+//! monitor: named service probes with freshness deadlines, a check pass
+//! that produces a report, and staging/production environment separation
+//! for the probe configuration.
+
+use als_simcore::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which deployment environment a probe belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Environment {
+    Staging,
+    Production,
+}
+
+/// Health of one service at a check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    Healthy,
+    /// Heartbeat older than the freshness deadline.
+    Stale,
+    /// Service explicitly reported a failure.
+    Failing,
+    /// No heartbeat ever received.
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+struct Probe {
+    env: Environment,
+    /// How old a heartbeat may be before the service counts as stale.
+    freshness: SimDuration,
+    last_heartbeat: Option<SimInstant>,
+    last_error: Option<String>,
+}
+
+/// One row of a health report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthCheck {
+    pub service: String,
+    pub env: Environment,
+    pub state: HealthState,
+}
+
+/// The monitor.
+#[derive(Debug, Default)]
+pub struct HealthMonitor {
+    probes: BTreeMap<String, Probe>,
+}
+
+impl HealthMonitor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The production probe set for the beamline deployment.
+    pub fn production_default() -> Self {
+        let mut m = Self::new();
+        for (svc, mins) in [
+            ("prefect-server", 30u64),
+            ("prefect-worker", 30),
+            ("pva-mirror", 10),
+            ("file-writer", 10),
+            ("globus-endpoint", 60),
+            ("scicat", 120),
+        ] {
+            m.register(svc, Environment::Production, SimDuration::from_mins(mins));
+        }
+        m
+    }
+
+    /// Register a probed service.
+    pub fn register(&mut self, service: &str, env: Environment, freshness: SimDuration) {
+        self.probes.insert(
+            service.to_string(),
+            Probe {
+                env,
+                freshness,
+                last_heartbeat: None,
+                last_error: None,
+            },
+        );
+    }
+
+    /// Record a heartbeat (clears any error).
+    pub fn heartbeat(&mut self, service: &str, now: SimInstant) {
+        if let Some(p) = self.probes.get_mut(service) {
+            p.last_heartbeat = Some(now);
+            p.last_error = None;
+        }
+    }
+
+    /// Record an explicit failure report.
+    pub fn report_error(&mut self, service: &str, now: SimInstant, message: &str) {
+        if let Some(p) = self.probes.get_mut(service) {
+            p.last_heartbeat = Some(now);
+            p.last_error = Some(message.to_string());
+        }
+    }
+
+    /// Run a check pass over one environment.
+    pub fn check(&self, env: Environment, now: SimInstant) -> Vec<HealthCheck> {
+        self.probes
+            .iter()
+            .filter(|(_, p)| p.env == env)
+            .map(|(name, p)| {
+                let state = if p.last_error.is_some() {
+                    HealthState::Failing
+                } else {
+                    match p.last_heartbeat {
+                        None => HealthState::Unknown,
+                        Some(hb) if now.duration_since(hb) > p.freshness => HealthState::Stale,
+                        Some(_) => HealthState::Healthy,
+                    }
+                };
+                HealthCheck {
+                    service: name.clone(),
+                    env: p.env,
+                    state,
+                }
+            })
+            .collect()
+    }
+
+    /// True when every production service is healthy — the green light
+    /// the 12–24 h scheduled check looks for.
+    pub fn all_healthy(&self, env: Environment, now: SimInstant) -> bool {
+        self.check(env, now)
+            .iter()
+            .all(|c| c.state == HealthState::Healthy)
+    }
+
+    /// Services needing attention, most severe first.
+    pub fn attention_list(&self, env: Environment, now: SimInstant) -> Vec<HealthCheck> {
+        let mut bad: Vec<HealthCheck> = self
+            .check(env, now)
+            .into_iter()
+            .filter(|c| c.state != HealthState::Healthy)
+            .collect();
+        bad.sort_by_key(|c| match c.state {
+            HealthState::Failing => 0,
+            HealthState::Unknown => 1,
+            HealthState::Stale => 2,
+            HealthState::Healthy => 3,
+        });
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(mins: u64) -> SimInstant {
+        SimInstant::ZERO + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn fresh_heartbeats_are_healthy() {
+        let mut m = HealthMonitor::production_default();
+        for svc in ["prefect-server", "prefect-worker", "pva-mirror", "file-writer", "globus-endpoint", "scicat"] {
+            m.heartbeat(svc, t(0));
+        }
+        assert!(m.all_healthy(Environment::Production, t(5)));
+    }
+
+    #[test]
+    fn silence_goes_stale_after_freshness_window() {
+        let mut m = HealthMonitor::new();
+        m.register("pva-mirror", Environment::Production, SimDuration::from_mins(10));
+        m.heartbeat("pva-mirror", t(0));
+        assert!(m.all_healthy(Environment::Production, t(9)));
+        let checks = m.check(Environment::Production, t(11));
+        assert_eq!(checks[0].state, HealthState::Stale);
+    }
+
+    #[test]
+    fn never_seen_is_unknown() {
+        let mut m = HealthMonitor::new();
+        m.register("scicat", Environment::Production, SimDuration::from_mins(60));
+        assert_eq!(
+            m.check(Environment::Production, t(0))[0].state,
+            HealthState::Unknown
+        );
+    }
+
+    #[test]
+    fn explicit_errors_dominate_until_next_heartbeat() {
+        let mut m = HealthMonitor::new();
+        m.register("globus-endpoint", Environment::Production, SimDuration::from_mins(60));
+        m.report_error("globus-endpoint", t(0), "permission denied");
+        assert_eq!(
+            m.check(Environment::Production, t(1))[0].state,
+            HealthState::Failing
+        );
+        m.heartbeat("globus-endpoint", t(2));
+        assert_eq!(
+            m.check(Environment::Production, t(3))[0].state,
+            HealthState::Healthy
+        );
+    }
+
+    #[test]
+    fn staging_and_production_are_separate() {
+        let mut m = HealthMonitor::new();
+        m.register("prefect-server", Environment::Production, SimDuration::from_mins(30));
+        m.register("prefect-server-staging", Environment::Staging, SimDuration::from_mins(30));
+        m.heartbeat("prefect-server", t(0));
+        // staging broken, production healthy: production check unaffected
+        assert!(m.all_healthy(Environment::Production, t(1)));
+        assert!(!m.all_healthy(Environment::Staging, t(1)));
+    }
+
+    #[test]
+    fn attention_list_sorts_by_severity() {
+        let mut m = HealthMonitor::new();
+        m.register("a-stale", Environment::Production, SimDuration::from_mins(1));
+        m.register("b-failing", Environment::Production, SimDuration::from_mins(60));
+        m.register("c-unknown", Environment::Production, SimDuration::from_mins(60));
+        m.heartbeat("a-stale", t(0));
+        m.report_error("b-failing", t(5), "crash");
+        let list = m.attention_list(Environment::Production, t(10));
+        assert_eq!(list.len(), 3);
+        assert_eq!(list[0].state, HealthState::Failing);
+        assert_eq!(list[1].state, HealthState::Unknown);
+        assert_eq!(list[2].state, HealthState::Stale);
+    }
+}

@@ -1,0 +1,286 @@
+//! A Superfacility-API-shaped facade over the scheduler.
+//!
+//! The paper submits all NERSC work "via SFAPI using ALS's collaboration
+//! account": an authenticated REST surface in front of Slurm. The facade
+//! reproduces the operationally relevant parts — token-based sessions
+//! that expire, per-account job ownership, submit/status/cancel verbs,
+//! and rejection of unauthenticated calls — so the orchestration layer's
+//! error handling can be exercised realistically.
+
+use crate::scheduler::{JobEvent, JobId, JobRequest, JobState, Scheduler};
+use als_simcore::{SimDuration, SimInstant};
+use std::collections::BTreeMap;
+
+/// Errors returned by the API surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SfApiError {
+    /// Token unknown or expired.
+    Unauthorized,
+    /// Job does not exist or belongs to another account.
+    NotFound,
+    /// Request was malformed (e.g. zero nodes).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for SfApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SfApiError::Unauthorized => write!(f, "unauthorized"),
+            SfApiError::NotFound => write!(f, "job not found"),
+            SfApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SfApiError {}
+
+/// An issued access token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Token(u64);
+
+/// Server side: wraps a [`Scheduler`] with authentication and ownership.
+#[derive(Debug)]
+pub struct SfApiServer {
+    scheduler: Scheduler,
+    tokens: BTreeMap<Token, (String, SimInstant)>, // account, expiry
+    owners: BTreeMap<JobId, String>,
+    next_token: u64,
+    token_lifetime: SimDuration,
+}
+
+impl SfApiServer {
+    /// Stand up the API over a partition of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        SfApiServer {
+            scheduler: Scheduler::new(nodes),
+            tokens: BTreeMap::new(),
+            owners: BTreeMap::new(),
+            next_token: 1,
+            // SFAPI client-credential tokens are short-lived
+            token_lifetime: SimDuration::from_mins(10),
+        }
+    }
+
+    /// Exchange client credentials for a token (the collaboration-account
+    /// OAuth flow).
+    pub fn authenticate(&mut self, account: &str, now: SimInstant) -> Token {
+        let t = Token(self.next_token);
+        self.next_token += 1;
+        self.tokens
+            .insert(t, (account.to_string(), now + self.token_lifetime));
+        t
+    }
+
+    fn account_for(&self, token: Token, now: SimInstant) -> Result<String, SfApiError> {
+        match self.tokens.get(&token) {
+            Some((account, expiry)) if *expiry > now => Ok(account.clone()),
+            _ => Err(SfApiError::Unauthorized),
+        }
+    }
+
+    /// Submit a job on behalf of the token's account.
+    pub fn submit(
+        &mut self,
+        token: Token,
+        req: JobRequest,
+        now: SimInstant,
+    ) -> Result<(JobId, Vec<JobEvent>), SfApiError> {
+        let account = self.account_for(token, now)?;
+        if req.nodes == 0 {
+            return Err(SfApiError::BadRequest("zero nodes requested".into()));
+        }
+        if req.nodes > self.scheduler.total_nodes() {
+            return Err(SfApiError::BadRequest(format!(
+                "{} nodes exceeds partition size {}",
+                req.nodes,
+                self.scheduler.total_nodes()
+            )));
+        }
+        let (id, events) = self.scheduler.submit(req, now);
+        self.owners.insert(id, account);
+        Ok((id, events))
+    }
+
+    /// Poll a job's state.
+    pub fn status(&self, token: Token, id: JobId, now: SimInstant) -> Result<JobState, SfApiError> {
+        let account = self.account_for(token, now)?;
+        match self.owners.get(&id) {
+            Some(owner) if *owner == account => {
+                self.scheduler.state(id).ok_or(SfApiError::NotFound)
+            }
+            _ => Err(SfApiError::NotFound),
+        }
+    }
+
+    /// Cancel a job.
+    pub fn cancel(
+        &mut self,
+        token: Token,
+        id: JobId,
+        now: SimInstant,
+    ) -> Result<Vec<JobEvent>, SfApiError> {
+        let account = self.account_for(token, now)?;
+        match self.owners.get(&id) {
+            Some(owner) if *owner == account => Ok(self.scheduler.cancel(id, now)),
+            _ => Err(SfApiError::NotFound),
+        }
+    }
+
+    /// Direct access for the DES driver (time advancement, introspection).
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler {
+        &mut self.scheduler
+    }
+
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+}
+
+/// Client side: holds credentials and transparently re-authenticates when
+/// the token expires (what the splash_flows Globus/SFAPI SDK wrappers do).
+#[derive(Debug)]
+pub struct SfApiClient {
+    account: String,
+    token: Option<Token>,
+}
+
+impl SfApiClient {
+    pub fn new(account: &str) -> Self {
+        SfApiClient {
+            account: account.to_string(),
+            token: None,
+        }
+    }
+
+    pub fn account(&self) -> &str {
+        &self.account
+    }
+
+    fn ensure_token(&mut self, server: &mut SfApiServer, now: SimInstant) -> Token {
+        if let Some(t) = self.token {
+            if server.account_for(t, now).is_ok() {
+                return t;
+            }
+        }
+        let t = server.authenticate(&self.account, now);
+        self.token = Some(t);
+        t
+    }
+
+    /// Submit with automatic (re)authentication.
+    pub fn submit(
+        &mut self,
+        server: &mut SfApiServer,
+        req: JobRequest,
+        now: SimInstant,
+    ) -> Result<(JobId, Vec<JobEvent>), SfApiError> {
+        let t = self.ensure_token(server, now);
+        server.submit(t, req, now)
+    }
+
+    pub fn status(
+        &mut self,
+        server: &mut SfApiServer,
+        id: JobId,
+        now: SimInstant,
+    ) -> Result<JobState, SfApiError> {
+        let t = self.ensure_token(server, now);
+        server.status(t, id, now)
+    }
+
+    pub fn cancel(
+        &mut self,
+        server: &mut SfApiServer,
+        id: JobId,
+        now: SimInstant,
+    ) -> Result<Vec<JobEvent>, SfApiError> {
+        let t = self.ensure_token(server, now);
+        server.cancel(t, id, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Qos;
+
+    fn req(nodes: usize) -> JobRequest {
+        JobRequest {
+            name: "recon".into(),
+            qos: Qos::Realtime,
+            nodes,
+            runtime: SimDuration::from_mins(15),
+            walltime_limit: SimDuration::from_mins(30),
+        }
+    }
+
+    #[test]
+    fn authenticated_submit_and_status() {
+        let mut server = SfApiServer::new(4);
+        let t0 = SimInstant::ZERO;
+        let token = server.authenticate("als", t0);
+        let (id, _) = server.submit(token, req(1), t0).unwrap();
+        assert_eq!(server.status(token, id, t0).unwrap(), JobState::Running);
+    }
+
+    #[test]
+    fn bad_token_is_unauthorized() {
+        let mut server = SfApiServer::new(4);
+        let t0 = SimInstant::ZERO;
+        assert_eq!(
+            server.submit(Token(999), req(1), t0).unwrap_err(),
+            SfApiError::Unauthorized
+        );
+    }
+
+    #[test]
+    fn expired_token_is_unauthorized() {
+        let mut server = SfApiServer::new(4);
+        let t0 = SimInstant::ZERO;
+        let token = server.authenticate("als", t0);
+        let later = t0 + SimDuration::from_hours(1);
+        assert_eq!(
+            server.submit(token, req(1), later).unwrap_err(),
+            SfApiError::Unauthorized
+        );
+    }
+
+    #[test]
+    fn client_reauthenticates_transparently() {
+        let mut server = SfApiServer::new(4);
+        let mut client = SfApiClient::new("als");
+        let t0 = SimInstant::ZERO;
+        let (id, _) = client.submit(&mut server, req(1), t0).unwrap();
+        // token would have expired by now; the client must renew
+        let later = t0 + SimDuration::from_hours(2);
+        assert_eq!(client.status(&mut server, id, later).unwrap(), JobState::Running);
+    }
+
+    #[test]
+    fn cross_account_access_is_hidden() {
+        let mut server = SfApiServer::new(4);
+        let t0 = SimInstant::ZERO;
+        let als = server.authenticate("als", t0);
+        let other = server.authenticate("other", t0);
+        let (id, _) = server.submit(als, req(1), t0).unwrap();
+        assert_eq!(server.status(other, id, t0).unwrap_err(), SfApiError::NotFound);
+        assert_eq!(server.cancel(other, id, t0).unwrap_err(), SfApiError::NotFound);
+        // rightful owner still works
+        assert!(server.cancel(als, id, t0).is_ok());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        let mut server = SfApiServer::new(2);
+        let t0 = SimInstant::ZERO;
+        let token = server.authenticate("als", t0);
+        assert!(matches!(
+            server.submit(token, req(0), t0).unwrap_err(),
+            SfApiError::BadRequest(_)
+        ));
+        assert!(matches!(
+            server.submit(token, req(3), t0).unwrap_err(),
+            SfApiError::BadRequest(_)
+        ));
+    }
+}

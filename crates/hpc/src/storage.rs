@@ -1,0 +1,356 @@
+//! Tiered storage with retention-based pruning.
+//!
+//! The paper's data lifecycle (§4.3): distributed network storage at the
+//! beamline for fast writing (retention: days–weeks), the NERSC Community
+//! Filesystem for months–years, HPSS tape for indefinite archive, plus
+//! pscratch/Eagle as job-local high-performance tiers. "Storage is managed
+//! through automated age-based pruning flows" — the [`StorageTier::prune`]
+//! method is exactly that flow's primitive, and the lifecycle experiment
+//! (S3) shows occupancy stays bounded with pruning and saturates without.
+
+use als_simcore::{ByteSize, DataRate, SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The storage tiers in the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TierKind {
+    /// Beamline data server (spinning disk, NFS).
+    BeamlineData,
+    /// NERSC Perlmutter scratch (fast, small retention).
+    Pscratch,
+    /// NERSC Community Filesystem.
+    Cfs,
+    /// ALCF Eagle filesystem.
+    Eagle,
+    /// NERSC HPSS tape archive.
+    Hpss,
+}
+
+impl TierKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TierKind::BeamlineData => "beamline-data",
+            TierKind::Pscratch => "pscratch",
+            TierKind::Cfs => "CFS",
+            TierKind::Eagle => "Eagle",
+            TierKind::Hpss => "HPSS",
+        }
+    }
+
+    /// Default retention for the paper's tiers: "local servers: days to
+    /// weeks, CFS: months to years, HPSS: indefinite".
+    pub fn default_retention(&self) -> Option<SimDuration> {
+        match self {
+            TierKind::BeamlineData => Some(SimDuration::from_hours(14 * 24)), // two weeks
+            TierKind::Pscratch => Some(SimDuration::from_hours(7 * 24)),
+            TierKind::Cfs => Some(SimDuration::from_hours(365 * 24)),
+            TierKind::Eagle => Some(SimDuration::from_hours(30 * 24)),
+            TierKind::Hpss => None, // indefinite
+        }
+    }
+
+    /// Characteristic I/O bandwidth of the tier, used for staging-cost
+    /// models (e.g. the CFS→pscratch copy inside the NERSC Slurm job).
+    pub fn bandwidth(&self) -> DataRate {
+        match self {
+            TierKind::BeamlineData => DataRate::from_gbit_per_sec(8.0),
+            TierKind::Pscratch => DataRate::from_gbit_per_sec(80.0),
+            TierKind::Cfs => DataRate::from_gbit_per_sec(20.0),
+            TierKind::Eagle => DataRate::from_gbit_per_sec(40.0),
+            TierKind::Hpss => DataRate::from_gbit_per_sec(4.0),
+        }
+    }
+}
+
+/// Errors from storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Writing would exceed the tier's capacity.
+    Full {
+        tier: &'static str,
+        need: ByteSize,
+        free: ByteSize,
+    },
+    /// File not present.
+    NotFound(String),
+    /// A file with that name already exists.
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Full { tier, need, free } => {
+                write!(f, "{tier} full: need {need}, only {free} free")
+            }
+            StorageError::NotFound(n) => write!(f, "file not found: {n}"),
+            StorageError::AlreadyExists(n) => write!(f, "file already exists: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoredFile {
+    size: ByteSize,
+    created: SimInstant,
+    /// Pinned files are never pruned (e.g. actively processing).
+    pinned: bool,
+}
+
+/// Result of one pruning pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PruneReport {
+    pub files_removed: usize,
+    pub bytes_freed: ByteSize,
+}
+
+/// A single capacity-bounded tier with named files.
+#[derive(Debug, Clone)]
+pub struct StorageTier {
+    kind: TierKind,
+    capacity: ByteSize,
+    retention: Option<SimDuration>,
+    files: BTreeMap<String, StoredFile>,
+    used: ByteSize,
+    /// High-water mark for the lifecycle experiment.
+    peak_used: ByteSize,
+}
+
+impl StorageTier {
+    pub fn new(kind: TierKind, capacity: ByteSize) -> Self {
+        StorageTier {
+            kind,
+            capacity,
+            retention: kind.default_retention(),
+            files: BTreeMap::new(),
+            used: ByteSize::ZERO,
+            peak_used: ByteSize::ZERO,
+        }
+    }
+
+    /// Override the retention period (the pruning-flow configuration knob).
+    pub fn with_retention(mut self, retention: Option<SimDuration>) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    pub fn kind(&self) -> TierKind {
+        self.kind
+    }
+
+    pub fn used(&self) -> ByteSize {
+        self.used
+    }
+
+    pub fn peak_used(&self) -> ByteSize {
+        self.peak_used
+    }
+
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    pub fn free(&self) -> ByteSize {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    pub fn file_size(&self, name: &str) -> Option<ByteSize> {
+        self.files.get(name).map(|f| f.size)
+    }
+
+    /// Store a file. Fails when capacity would be exceeded (the §5.3
+    /// saturation failure mode) or the name collides.
+    pub fn put(&mut self, name: &str, size: ByteSize, now: SimInstant) -> Result<(), StorageError> {
+        if self.files.contains_key(name) {
+            return Err(StorageError::AlreadyExists(name.to_string()));
+        }
+        if self.used + size > self.capacity {
+            return Err(StorageError::Full {
+                tier: self.kind.name(),
+                need: size,
+                free: self.free(),
+            });
+        }
+        self.files.insert(
+            name.to_string(),
+            StoredFile {
+                size,
+                created: now,
+                pinned: false,
+            },
+        );
+        self.used += size;
+        self.peak_used = self.peak_used.max(self.used);
+        Ok(())
+    }
+
+    /// Remove a file.
+    pub fn delete(&mut self, name: &str) -> Result<ByteSize, StorageError> {
+        let f = self
+            .files
+            .remove(name)
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
+        self.used -= f.size;
+        Ok(f.size)
+    }
+
+    /// Pin/unpin a file against pruning.
+    pub fn set_pinned(&mut self, name: &str, pinned: bool) -> Result<(), StorageError> {
+        let f = self
+            .files
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
+        f.pinned = pinned;
+        Ok(())
+    }
+
+    /// Age-based pruning pass: remove unpinned files older than the
+    /// retention period. No-op on tiers with indefinite retention.
+    pub fn prune(&mut self, now: SimInstant) -> PruneReport {
+        let Some(retention) = self.retention else {
+            return PruneReport::default();
+        };
+        let mut report = PruneReport::default();
+        let expired: Vec<String> = self
+            .files
+            .iter()
+            .filter(|(_, f)| !f.pinned && now.duration_since(f.created) > retention)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in expired {
+            let size = self.delete(&name).expect("listed file exists");
+            report.files_removed += 1;
+            report.bytes_freed += size;
+        }
+        report
+    }
+
+    /// Time to read or write `size` at this tier's bandwidth.
+    pub fn io_time(&self, size: ByteSize) -> SimDuration {
+        self.kind
+            .bandwidth()
+            .transfer_time(size)
+            .expect("tier bandwidth is nonzero")
+    }
+
+    /// Occupancy fraction in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity.is_zero() {
+            return 1.0;
+        }
+        self.used.as_bytes() as f64 / self.capacity.as_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier() -> StorageTier {
+        StorageTier::new(TierKind::BeamlineData, ByteSize::from_gib(100))
+            .with_retention(Some(SimDuration::from_hours(24)))
+    }
+
+    #[test]
+    fn put_get_delete_accounting() {
+        let mut t = tier();
+        let t0 = SimInstant::ZERO;
+        t.put("scan1.sdf", ByteSize::from_gib(30), t0).unwrap();
+        assert_eq!(t.used(), ByteSize::from_gib(30));
+        assert!(t.contains("scan1.sdf"));
+        assert_eq!(t.file_size("scan1.sdf"), Some(ByteSize::from_gib(30)));
+        let freed = t.delete("scan1.sdf").unwrap();
+        assert_eq!(freed, ByteSize::from_gib(30));
+        assert_eq!(t.used(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = tier();
+        let t0 = SimInstant::ZERO;
+        t.put("a", ByteSize::from_gib(80), t0).unwrap();
+        match t.put("b", ByteSize::from_gib(30), t0) {
+            Err(StorageError::Full { free, .. }) => assert_eq!(free, ByteSize::from_gib(20)),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut t = tier();
+        let t0 = SimInstant::ZERO;
+        t.put("a", ByteSize::from_gib(1), t0).unwrap();
+        assert!(matches!(
+            t.put("a", ByteSize::from_gib(1), t0),
+            Err(StorageError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn prune_removes_only_expired_unpinned() {
+        let mut t = tier();
+        let t0 = SimInstant::ZERO;
+        t.put("old", ByteSize::from_gib(10), t0).unwrap();
+        t.put("old_pinned", ByteSize::from_gib(10), t0).unwrap();
+        t.set_pinned("old_pinned", true).unwrap();
+        let later = t0 + SimDuration::from_hours(30);
+        t.put("fresh", ByteSize::from_gib(10), later).unwrap();
+        let report = t.prune(later);
+        assert_eq!(report.files_removed, 1);
+        assert_eq!(report.bytes_freed, ByteSize::from_gib(10));
+        assert!(!t.contains("old"));
+        assert!(t.contains("old_pinned"));
+        assert!(t.contains("fresh"));
+    }
+
+    #[test]
+    fn hpss_never_prunes() {
+        let mut t = StorageTier::new(TierKind::Hpss, ByteSize::from_tib(100));
+        let t0 = SimInstant::ZERO;
+        t.put("archive", ByteSize::from_gib(50), t0).unwrap();
+        let decade_later = t0 + SimDuration::from_hours(10 * 365 * 24);
+        assert_eq!(t.prune(decade_later), PruneReport::default());
+        assert!(t.contains("archive"));
+    }
+
+    #[test]
+    fn peak_usage_tracks_high_water_mark() {
+        let mut t = tier();
+        let t0 = SimInstant::ZERO;
+        t.put("a", ByteSize::from_gib(40), t0).unwrap();
+        t.put("b", ByteSize::from_gib(30), t0).unwrap();
+        t.delete("a").unwrap();
+        assert_eq!(t.used(), ByteSize::from_gib(30));
+        assert_eq!(t.peak_used(), ByteSize::from_gib(70));
+    }
+
+    #[test]
+    fn io_time_scales_with_size() {
+        let t = StorageTier::new(TierKind::Pscratch, ByteSize::from_tib(1));
+        let t_small = t.io_time(ByteSize::from_gib(1));
+        let t_big = t.io_time(ByteSize::from_gib(10));
+        let ratio = t_big.as_secs_f64() / t_small.as_secs_f64();
+        assert!((ratio - 10.0).abs() < 0.01);
+        // pscratch is much faster than tape
+        let tape = StorageTier::new(TierKind::Hpss, ByteSize::from_tib(1));
+        assert!(tape.io_time(ByteSize::from_gib(1)) > t.io_time(ByteSize::from_gib(1)));
+    }
+
+    #[test]
+    fn occupancy_reaches_one_when_full() {
+        let mut t = StorageTier::new(TierKind::Pscratch, ByteSize::from_gib(10));
+        t.put("x", ByteSize::from_gib(10), SimInstant::ZERO).unwrap();
+        assert!((t.occupancy() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! The concrete ALS ↔ NERSC ↔ ALCF topology from the paper.
+//!
+//! Numbers are taken from the paper where stated (the beamline VM's
+//! 10 Gbps NIC) and from public facility specifications elsewhere (ESnet
+//! backbone ≥100 Gbps; LBL↔NERSC is on-site; LBL↔ANL is a cross-country
+//! WAN hop of tens of ms).
+
+use crate::{LinkId, NetworkSim, Route};
+use als_simcore::{DataRate, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Sites in the multi-facility deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SiteId {
+    /// The beamline acquisition + data server at the ALS.
+    Als,
+    /// NERSC (Perlmutter + Community Filesystem), also at LBNL.
+    Nersc,
+    /// ALCF (Polaris + Eagle), at Argonne.
+    Alcf,
+}
+
+impl SiteId {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SiteId::Als => "ALS",
+            SiteId::Nersc => "NERSC",
+            SiteId::Alcf => "ALCF",
+        }
+    }
+}
+
+/// A built network plus site-pair routing table.
+#[derive(Debug)]
+pub struct Topology {
+    pub net: NetworkSim,
+    beamline_nic: LinkId,
+    als_to_nersc: LinkId,
+    als_to_esnet: LinkId,
+    esnet_backbone: LinkId,
+    esnet_to_alcf: LinkId,
+    nersc_to_esnet: LinkId,
+}
+
+impl Topology {
+    /// Route between two sites; `None` for a site to itself.
+    pub fn route(&self, from: SiteId, to: SiteId) -> Option<Route> {
+        use SiteId::*;
+        let links = match (from, to) {
+            (Als, Nersc) | (Nersc, Als) => vec![self.beamline_nic, self.als_to_nersc],
+            (Als, Alcf) | (Alcf, Als) => vec![
+                self.beamline_nic,
+                self.als_to_esnet,
+                self.esnet_backbone,
+                self.esnet_to_alcf,
+            ],
+            (Nersc, Alcf) | (Alcf, Nersc) => vec![
+                self.nersc_to_esnet,
+                self.esnet_backbone,
+                self.esnet_to_alcf,
+            ],
+            _ => return None,
+        };
+        Some(Route::new(links))
+    }
+}
+
+/// Build the production topology (one beamline server).
+pub fn esnet_topology() -> Topology {
+    esnet_topology_with_nics(1)
+}
+
+/// Build the topology with `n_beamlines` beamline servers. Each endstation
+/// brings its own 10 Gbps NIC (the §6 rollout model), approximated as one
+/// aggregated egress link of `n × 10` Gbps.
+pub fn esnet_topology_with_nics(n_beamlines: usize) -> Topology {
+    assert!(n_beamlines >= 1);
+    let mut net = NetworkSim::new();
+    // the paper: 10 Gbps full-duplex VMXNET3 NIC on the beamline VM
+    let beamline_nic = net.add_link(
+        "als-beamline-nic-10g",
+        DataRate::from_gbit_per_sec(10.0 * n_beamlines as f64),
+        SimDuration::from_micros(200),
+    );
+    // LBL campus to NERSC: same site, high capacity, sub-ms
+    let als_to_nersc = net.add_link(
+        "lbl-nersc-100g",
+        DataRate::from_gbit_per_sec(100.0),
+        SimDuration::from_micros(500),
+    );
+    // LBL border to ESnet
+    let als_to_esnet = net.add_link(
+        "lbl-esnet-100g",
+        DataRate::from_gbit_per_sec(100.0),
+        SimDuration::from_millis(1),
+    );
+    // ESnet cross-country backbone (Berkeley <-> Chicago ~ 50 ms RTT,
+    // so ~25 ms one-way propagation)
+    let esnet_backbone = net.add_link(
+        "esnet-backbone-400g",
+        DataRate::from_gbit_per_sec(400.0),
+        SimDuration::from_millis(25),
+    );
+    let esnet_to_alcf = net.add_link(
+        "esnet-alcf-100g",
+        DataRate::from_gbit_per_sec(100.0),
+        SimDuration::from_millis(1),
+    );
+    let nersc_to_esnet = net.add_link(
+        "nersc-esnet-100g",
+        DataRate::from_gbit_per_sec(100.0),
+        SimDuration::from_millis(1),
+    );
+    Topology {
+        net,
+        beamline_nic,
+        als_to_nersc,
+        als_to_esnet,
+        esnet_backbone,
+        esnet_to_alcf,
+        nersc_to_esnet,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_simcore::{ByteSize, SimInstant};
+
+    #[test]
+    fn all_site_pairs_have_routes() {
+        let topo = esnet_topology();
+        for from in [SiteId::Als, SiteId::Nersc, SiteId::Alcf] {
+            for to in [SiteId::Als, SiteId::Nersc, SiteId::Alcf] {
+                let r = topo.route(from, to);
+                if from == to {
+                    assert!(r.is_none());
+                } else {
+                    assert!(!r.unwrap().links.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beamline_nic_caps_als_egress() {
+        let mut topo = esnet_topology();
+        let route = topo.route(SiteId::Als, SiteId::Alcf).unwrap();
+        let f = topo.net.start_flow(route, ByteSize::from_gib(25), SimInstant::ZERO);
+        let rate = topo.net.flow_rate(f).unwrap();
+        assert!((rate.as_gbit_per_sec() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_country_latency_exceeds_local() {
+        let topo = esnet_topology();
+        let to_nersc = topo
+            .net
+            .route_latency(&topo.route(SiteId::Als, SiteId::Nersc).unwrap());
+        let to_alcf = topo
+            .net
+            .route_latency(&topo.route(SiteId::Als, SiteId::Alcf).unwrap());
+        assert!(to_alcf.as_secs_f64() > 10.0 * to_nersc.as_secs_f64());
+    }
+
+    #[test]
+    fn a_30gb_scan_transfers_in_tens_of_seconds() {
+        // sanity anchor for Table 2: moving one full scan to NERSC at
+        // 10 Gbps takes ~26 s; the paper's new_file_832 median of 56 s is
+        // transfer + staging + metadata
+        let mut topo = esnet_topology();
+        let route = topo.route(SiteId::Als, SiteId::Nersc).unwrap();
+        let f = topo
+            .net
+            .start_flow(route, ByteSize::from_gib(30), SimInstant::ZERO);
+        let (fid, t) = topo.net.next_completion(SimInstant::ZERO).unwrap();
+        assert_eq!(fid, f);
+        let secs = t.as_secs_f64();
+        assert!((20.0..40.0).contains(&secs), "{secs}");
+    }
+}

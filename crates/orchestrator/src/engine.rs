@@ -1,0 +1,399 @@
+//! Flow-run lifecycle tracking and the queryable run database.
+//!
+//! The engine does not execute anything itself — execution is driven by
+//! the simulation (or by real services) which reports state transitions.
+//! What the engine owns is the record: every flow run, every task run,
+//! every retry, with timestamps, plus the query API used to produce
+//! Table 2 ("we queried the Prefect server API, extracted and aggregated
+//! completion times").
+
+use als_simcore::{SimDuration, SimInstant, Summary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a flow run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowRunId(pub u64);
+
+/// Flow lifecycle states (Prefect's state vocabulary, trimmed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowState {
+    Scheduled,
+    Running,
+    Completed,
+    Failed,
+    Cancelled,
+}
+
+impl FlowState {
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, FlowState::Completed | FlowState::Failed | FlowState::Cancelled)
+    }
+}
+
+/// Task lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    Pending,
+    Running,
+    Completed,
+    Failed,
+    /// Waiting for its next retry attempt.
+    AwaitingRetry,
+    /// Skipped because an idempotency key already completed.
+    Cached,
+}
+
+/// Retry policy for tasks: `max_attempts` total tries with exponential
+/// backoff starting at `base_delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    pub max_attempts: u32,
+    pub base_delay: SimDuration,
+    /// Multiplier applied per attempt (2.0 = doubling).
+    pub backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: SimDuration::from_secs(10),
+            backoff: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `attempt` (1-based: the delay after the
+    /// `attempt`-th failure). `None` when attempts are exhausted.
+    pub fn delay_after(&self, attempt: u32) -> Option<SimDuration> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let factor = self.backoff.powi(attempt.saturating_sub(1) as i32);
+        Some(self.base_delay * factor)
+    }
+}
+
+/// One task run inside a flow run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRun {
+    pub name: String,
+    pub state: TaskState,
+    pub attempts: u32,
+    pub started: Option<SimInstant>,
+    pub finished: Option<SimInstant>,
+    /// Idempotency key, if the task declared one.
+    pub key: Option<String>,
+    /// Most recent error message.
+    pub error: Option<String>,
+}
+
+/// One flow run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowRun {
+    pub id: FlowRunId,
+    pub flow_name: String,
+    pub state: FlowState,
+    pub created: SimInstant,
+    pub started: Option<SimInstant>,
+    pub finished: Option<SimInstant>,
+    pub tasks: Vec<TaskRun>,
+    /// Free-form parameters (scan id, file size, ...).
+    pub parameters: BTreeMap<String, String>,
+}
+
+impl FlowRun {
+    /// End-to-end duration for terminal runs (created → finished, which is
+    /// what the Prefect dashboard reports as the flow duration).
+    pub fn duration(&self) -> Option<SimDuration> {
+        Some(self.finished?.duration_since(self.created))
+    }
+}
+
+/// The engine + run database.
+#[derive(Debug, Default)]
+pub struct FlowEngine {
+    runs: BTreeMap<FlowRunId, FlowRun>,
+    next_id: u64,
+}
+
+impl FlowEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a flow run in `Scheduled` state.
+    pub fn create_run(&mut self, flow_name: &str, now: SimInstant) -> FlowRunId {
+        let id = FlowRunId(self.next_id);
+        self.next_id += 1;
+        self.runs.insert(
+            id,
+            FlowRun {
+                id,
+                flow_name: flow_name.to_string(),
+                state: FlowState::Scheduled,
+                created: now,
+                started: None,
+                finished: None,
+                tasks: Vec::new(),
+                parameters: BTreeMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Attach a parameter to a run.
+    pub fn set_parameter(&mut self, id: FlowRunId, key: &str, value: &str) {
+        if let Some(run) = self.runs.get_mut(&id) {
+            run.parameters.insert(key.to_string(), value.to_string());
+        }
+    }
+
+    /// Transition to Running.
+    pub fn start_run(&mut self, id: FlowRunId, now: SimInstant) {
+        if let Some(run) = self.runs.get_mut(&id) {
+            assert_eq!(run.state, FlowState::Scheduled, "run already started");
+            run.state = FlowState::Running;
+            run.started = Some(now);
+        }
+    }
+
+    /// Begin a task within a run; returns its index.
+    pub fn start_task(&mut self, id: FlowRunId, name: &str, key: Option<&str>, now: SimInstant) -> usize {
+        let run = self.runs.get_mut(&id).expect("flow run exists");
+        run.tasks.push(TaskRun {
+            name: name.to_string(),
+            state: TaskState::Running,
+            attempts: 1,
+            started: Some(now),
+            finished: None,
+            key: key.map(str::to_string),
+            error: None,
+        });
+        run.tasks.len() - 1
+    }
+
+    /// Record a task's terminal (or retrying) transition.
+    pub fn finish_task(&mut self, id: FlowRunId, task: usize, state: TaskState, now: SimInstant, error: Option<&str>) {
+        let run = self.runs.get_mut(&id).expect("flow run exists");
+        let t = &mut run.tasks[task];
+        t.state = state;
+        t.finished = Some(now);
+        t.error = error.map(str::to_string);
+    }
+
+    /// Record a retry attempt on a task (puts it back in Running).
+    pub fn retry_task(&mut self, id: FlowRunId, task: usize, now: SimInstant) {
+        let run = self.runs.get_mut(&id).expect("flow run exists");
+        let t = &mut run.tasks[task];
+        t.attempts += 1;
+        t.state = TaskState::Running;
+        t.started = Some(now);
+        t.finished = None;
+    }
+
+    /// Terminal transition for a flow run.
+    pub fn finish_run(&mut self, id: FlowRunId, state: FlowState, now: SimInstant) {
+        assert!(state.is_terminal(), "finish_run needs a terminal state");
+        if let Some(run) = self.runs.get_mut(&id) {
+            assert!(!run.state.is_terminal(), "run already finished");
+            run.state = state;
+            run.finished = Some(now);
+        }
+    }
+
+    pub fn run(&self, id: FlowRunId) -> Option<&FlowRun> {
+        self.runs.get(&id)
+    }
+
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Query interface (the Prefect API substitute).
+    pub fn query(&self) -> RunQuery<'_> {
+        RunQuery { engine: self }
+    }
+}
+
+/// Read-only queries over the run database.
+pub struct RunQuery<'a> {
+    engine: &'a FlowEngine,
+}
+
+impl<'a> RunQuery<'a> {
+    /// All runs of a flow, in creation order.
+    pub fn runs_of(&self, flow_name: &str) -> Vec<&'a FlowRun> {
+        self.engine
+            .runs
+            .values()
+            .filter(|r| r.flow_name == flow_name)
+            .collect()
+    }
+
+    /// Durations (seconds) of the last `n` *successful* runs of a flow —
+    /// the exact Table 2 aggregation ("the last 100 successful file-based
+    /// Prefect flow runs").
+    pub fn last_n_successful_durations(&self, flow_name: &str, n: usize) -> Vec<f64> {
+        let mut completed: Vec<&FlowRun> = self
+            .engine
+            .runs
+            .values()
+            .filter(|r| r.flow_name == flow_name && r.state == FlowState::Completed)
+            .collect();
+        completed.sort_by_key(|r| r.finished);
+        completed
+            .iter()
+            .rev()
+            .take(n)
+            .filter_map(|r| r.duration())
+            .map(|d| d.as_secs_f64())
+            .collect()
+    }
+
+    /// Summary statistics over the last `n` successful runs.
+    pub fn table2_summary(&self, flow_name: &str, n: usize) -> Option<Summary> {
+        Summary::from_slice(&self.last_n_successful_durations(flow_name, n))
+    }
+
+    /// Success rate of a flow (completed / terminal).
+    pub fn success_rate(&self, flow_name: &str) -> Option<f64> {
+        let terminal: Vec<&FlowRun> = self
+            .engine
+            .runs
+            .values()
+            .filter(|r| r.flow_name == flow_name && r.state.is_terminal())
+            .collect();
+        if terminal.is_empty() {
+            return None;
+        }
+        let ok = terminal.iter().filter(|r| r.state == FlowState::Completed).count();
+        Some(ok as f64 / terminal.len() as f64)
+    }
+
+    /// Total retry attempts recorded across all tasks of a flow.
+    pub fn total_retries(&self, flow_name: &str) -> u32 {
+        self.runs_of(flow_name)
+            .iter()
+            .flat_map(|r| r.tasks.iter())
+            .map(|t| t.attempts.saturating_sub(1))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with_runs(durations_s: &[u64]) -> FlowEngine {
+        let mut e = FlowEngine::new();
+        for (i, &d) in durations_s.iter().enumerate() {
+            let t0 = SimInstant::ZERO + SimDuration::from_secs(i as u64 * 1000);
+            let id = e.create_run("nersc_recon_flow", t0);
+            e.start_run(id, t0);
+            e.finish_run(id, FlowState::Completed, t0 + SimDuration::from_secs(d));
+        }
+        e
+    }
+
+    #[test]
+    fn run_lifecycle_and_duration() {
+        let mut e = FlowEngine::new();
+        let t0 = SimInstant::ZERO;
+        let id = e.create_run("new_file_832", t0);
+        e.set_parameter(id, "scan", "scan_0001");
+        e.start_run(id, t0 + SimDuration::from_secs(2));
+        let task = e.start_task(id, "copy_to_nersc", Some("scan_0001/copy"), t0 + SimDuration::from_secs(2));
+        e.finish_task(id, task, TaskState::Completed, t0 + SimDuration::from_secs(50), None);
+        e.finish_run(id, FlowState::Completed, t0 + SimDuration::from_secs(56));
+        let run = e.run(id).unwrap();
+        assert_eq!(run.state, FlowState::Completed);
+        assert_eq!(run.duration().unwrap(), SimDuration::from_secs(56));
+        assert_eq!(run.parameters["scan"], "scan_0001");
+        assert_eq!(run.tasks[0].state, TaskState::Completed);
+    }
+
+    #[test]
+    fn table2_summary_aggregates_successes_only() {
+        let mut e = engine_with_runs(&[100, 200, 300]);
+        // one failed run must not count
+        let t = SimInstant::ZERO + SimDuration::from_hours(10);
+        let bad = e.create_run("nersc_recon_flow", t);
+        e.start_run(bad, t);
+        e.finish_run(bad, FlowState::Failed, t + SimDuration::from_secs(5));
+        let s = e.query().table2_summary("nersc_recon_flow", 100).unwrap();
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 200.0).abs() < 1e-9);
+        assert_eq!(s.min, 100.0);
+        assert_eq!(s.max, 300.0);
+    }
+
+    #[test]
+    fn last_n_takes_most_recent() {
+        let e = engine_with_runs(&[10, 20, 30, 40, 50]);
+        let d = e.query().last_n_successful_durations("nersc_recon_flow", 2);
+        // most recent two: 50 and 40
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&50.0) && d.contains(&40.0));
+    }
+
+    #[test]
+    fn success_rate_counts_terminal_states() {
+        let mut e = engine_with_runs(&[10, 10, 10]);
+        let t = SimInstant::ZERO + SimDuration::from_hours(20);
+        let bad = e.create_run("nersc_recon_flow", t);
+        e.start_run(bad, t);
+        e.finish_run(bad, FlowState::Failed, t + SimDuration::from_secs(1));
+        // a still-running flow is excluded
+        let running = e.create_run("nersc_recon_flow", t);
+        e.start_run(running, t);
+        assert!((e.query().success_rate("nersc_recon_flow").unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_delay: SimDuration::from_secs(10),
+            backoff: 2.0,
+        };
+        assert_eq!(p.delay_after(1), Some(SimDuration::from_secs(10)));
+        assert_eq!(p.delay_after(2), Some(SimDuration::from_secs(20)));
+        assert_eq!(p.delay_after(3), Some(SimDuration::from_secs(40)));
+        assert_eq!(p.delay_after(4), None, "attempts exhausted");
+    }
+
+    #[test]
+    fn retries_are_counted() {
+        let mut e = FlowEngine::new();
+        let t0 = SimInstant::ZERO;
+        let id = e.create_run("alcf_recon_flow", t0);
+        e.start_run(id, t0);
+        let task = e.start_task(id, "globus_compute", None, t0);
+        e.finish_task(id, task, TaskState::AwaitingRetry, t0 + SimDuration::from_secs(5), Some("timeout"));
+        e.retry_task(id, task, t0 + SimDuration::from_secs(15));
+        e.finish_task(id, task, TaskState::Completed, t0 + SimDuration::from_secs(60), None);
+        e.finish_run(id, FlowState::Completed, t0 + SimDuration::from_secs(61));
+        assert_eq!(e.query().total_retries("alcf_recon_flow"), 1);
+        assert_eq!(e.run(id).unwrap().tasks[task].attempts, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already finished")]
+    fn double_finish_panics() {
+        let mut e = FlowEngine::new();
+        let id = e.create_run("f", SimInstant::ZERO);
+        e.start_run(id, SimInstant::ZERO);
+        e.finish_run(id, FlowState::Completed, SimInstant::ZERO);
+        e.finish_run(id, FlowState::Failed, SimInstant::ZERO);
+    }
+
+    #[test]
+    fn empty_query_returns_none() {
+        let e = FlowEngine::new();
+        assert!(e.query().table2_summary("nope", 100).is_none());
+        assert!(e.query().success_rate("nope").is_none());
+    }
+}

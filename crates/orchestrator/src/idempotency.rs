@@ -1,0 +1,132 @@
+//! Idempotent task semantics.
+//!
+//! "Workflows are designed as a series of subflows and tasks, implementing
+//! idempotent semantics that support safe retries of specific steps in
+//! case of failure." A task declares a key (e.g. `scan_0001/copy-to-cfs`);
+//! once that key completes, re-running the flow skips the step instead of
+//! repeating the side effect (double-copying 30 GB, double-ingesting
+//! metadata, double-submitting a Slurm job).
+
+use std::collections::BTreeSet;
+
+/// A persistent set of completed idempotency keys.
+#[derive(Debug, Default, Clone)]
+pub struct IdempotencyStore {
+    completed: BTreeSet<String>,
+    /// Keys currently held by an in-flight execution (prevents two
+    /// concurrent retries from both running the step).
+    in_flight: BTreeSet<String>,
+}
+
+/// Outcome of attempting to claim a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// The step must run; the key is now held.
+    Run,
+    /// The step already completed; skip it.
+    Cached,
+    /// Another execution currently holds the key.
+    Busy,
+}
+
+impl IdempotencyStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to claim a key for execution.
+    pub fn claim(&mut self, key: &str) -> Claim {
+        if self.completed.contains(key) {
+            return Claim::Cached;
+        }
+        if self.in_flight.contains(key) {
+            return Claim::Busy;
+        }
+        self.in_flight.insert(key.to_string());
+        Claim::Run
+    }
+
+    /// Mark a claimed key as completed (the side effect happened).
+    pub fn complete(&mut self, key: &str) {
+        self.in_flight.remove(key);
+        self.completed.insert(key.to_string());
+    }
+
+    /// Release a claimed key without completing (the step failed and will
+    /// be retried later).
+    pub fn release(&mut self, key: &str) {
+        self.in_flight.remove(key);
+    }
+
+    pub fn is_completed(&self, key: &str) -> bool {
+        self.completed.contains(key)
+    }
+
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_claim_runs_second_is_cached() {
+        let mut store = IdempotencyStore::new();
+        assert_eq!(store.claim("scan1/copy"), Claim::Run);
+        store.complete("scan1/copy");
+        assert_eq!(store.claim("scan1/copy"), Claim::Cached);
+        assert!(store.is_completed("scan1/copy"));
+    }
+
+    #[test]
+    fn concurrent_claims_are_serialized() {
+        let mut store = IdempotencyStore::new();
+        assert_eq!(store.claim("k"), Claim::Run);
+        assert_eq!(store.claim("k"), Claim::Busy);
+        store.release("k");
+        assert_eq!(store.claim("k"), Claim::Run, "released key can be reclaimed");
+    }
+
+    #[test]
+    fn failed_step_can_retry() {
+        let mut store = IdempotencyStore::new();
+        assert_eq!(store.claim("k"), Claim::Run);
+        store.release("k"); // step failed
+        assert!(!store.is_completed("k"));
+        assert_eq!(store.claim("k"), Claim::Run);
+        store.complete("k");
+        assert_eq!(store.claim("k"), Claim::Cached);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut store = IdempotencyStore::new();
+        store.claim("a");
+        store.complete("a");
+        assert_eq!(store.claim("b"), Claim::Run);
+        assert_eq!(store.completed_count(), 1);
+    }
+
+    #[test]
+    fn replaying_a_whole_flow_skips_done_steps() {
+        // simulate: flow ran half-way, crashed, replays from the top
+        let mut store = IdempotencyStore::new();
+        let steps = ["scan9/copy-nersc", "scan9/recon", "scan9/copy-back"];
+        // first execution completes only the first step
+        assert_eq!(store.claim(steps[0]), Claim::Run);
+        store.complete(steps[0]);
+        assert_eq!(store.claim(steps[1]), Claim::Run);
+        store.release(steps[1]); // crash mid-recon
+        // replay
+        let mut executed = Vec::new();
+        for s in steps {
+            if store.claim(s) == Claim::Run {
+                executed.push(s);
+                store.complete(s);
+            }
+        }
+        assert_eq!(executed, vec!["scan9/recon", "scan9/copy-back"]);
+    }
+}

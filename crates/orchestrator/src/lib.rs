@@ -1,0 +1,28 @@
+//! # als-orchestrator
+//!
+//! The workflow orchestration layer — a Prefect substitute providing what
+//! the paper's §4.2.2 describes:
+//!
+//! * [`engine`] — flow and task runs with full lifecycle states, retries,
+//!   and a queryable run database (Table 2 is produced by querying it,
+//!   exactly as the paper queried the Prefect server API);
+//! * [`idempotency`] — idempotent task semantics "that support safe
+//!   retries of specific steps in case of failure";
+//! * [`limits`] — named concurrency-limit pools ("tuned concurrency for
+//!   scan detection tasks, but lower concurrency for HPC job submission
+//!   to prevent queue conflicts");
+//! * [`schedule`] — periodic schedules for the pruning flows.
+
+pub mod engine;
+pub mod idempotency;
+pub mod logs;
+pub mod limits;
+pub mod schedule;
+pub mod worker;
+
+pub use engine::{FlowEngine, FlowRunId, FlowState, RetryPolicy, RunQuery, TaskState};
+pub use idempotency::IdempotencyStore;
+pub use logs::{LogLevel, LogRecord, LogStore};
+pub use limits::ConcurrencyLimits;
+pub use schedule::Schedule;
+pub use worker::{WorkerId, WorkerPool};

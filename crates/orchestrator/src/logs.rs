@@ -1,0 +1,176 @@
+//! Flow-run log store (§5.1.3).
+//!
+//! "Logs are stored in a database, made available directly in the
+//! browser, and update in real-time. In addition to debugging, the
+//! Prefect API allows for extracting flow statistics." This module is
+//! that database: per-run, timestamped, leveled log records with tail
+//! subscriptions (the "update in real-time" part) and text search for
+//! debugging sessions.
+
+use crate::engine::FlowRunId;
+use als_simcore::SimInstant;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Log severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LogLevel {
+    Debug,
+    Info,
+    Warning,
+    Error,
+}
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    pub at: SimInstant,
+    pub run: FlowRunId,
+    pub level: LogLevel,
+    pub message: String,
+}
+
+/// The log database.
+#[derive(Debug, Default)]
+pub struct LogStore {
+    records: Vec<LogRecord>,
+    by_run: BTreeMap<FlowRunId, Vec<usize>>,
+}
+
+impl LogStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record.
+    pub fn log(&mut self, run: FlowRunId, level: LogLevel, at: SimInstant, message: &str) {
+        let idx = self.records.len();
+        self.records.push(LogRecord {
+            at,
+            run,
+            level,
+            message: message.to_string(),
+        });
+        self.by_run.entry(run).or_default().push(idx);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records of one run, in order.
+    pub fn for_run(&self, run: FlowRunId) -> Vec<&LogRecord> {
+        self.by_run
+            .get(&run)
+            .map(|idxs| idxs.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Records at or above a severity.
+    pub fn at_least(&self, level: LogLevel) -> Vec<&LogRecord> {
+        self.records.iter().filter(|r| r.level >= level).collect()
+    }
+
+    /// Case-insensitive text search (the browser search box).
+    pub fn search(&self, query: &str) -> Vec<&LogRecord> {
+        let q = query.to_ascii_lowercase();
+        self.records
+            .iter()
+            .filter(|r| r.message.to_ascii_lowercase().contains(&q))
+            .collect()
+    }
+
+    /// "Real-time" tail: everything appended since a previously observed
+    /// cursor; returns the records plus the new cursor.
+    pub fn tail(&self, cursor: usize) -> (Vec<&LogRecord>, usize) {
+        let new = self.records[cursor.min(self.records.len())..].iter().collect();
+        (new, self.records.len())
+    }
+
+    /// Error counts per run — the dashboard's red-badge column.
+    pub fn error_counts(&self) -> BTreeMap<FlowRunId, usize> {
+        let mut out = BTreeMap::new();
+        for r in &self.records {
+            if r.level == LogLevel::Error {
+                *out.entry(r.run).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_simcore::SimDuration;
+
+    fn t(s: u64) -> SimInstant {
+        SimInstant::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn per_run_logs_stay_ordered() {
+        let mut store = LogStore::new();
+        let a = FlowRunId(1);
+        let b = FlowRunId(2);
+        store.log(a, LogLevel::Info, t(0), "copy started");
+        store.log(b, LogLevel::Info, t(1), "other flow");
+        store.log(a, LogLevel::Info, t(2), "copy finished");
+        let logs = store.for_run(a);
+        assert_eq!(logs.len(), 2);
+        assert!(logs[0].at < logs[1].at);
+        assert!(logs.iter().all(|r| r.run == a));
+    }
+
+    #[test]
+    fn severity_filter_is_inclusive() {
+        let mut store = LogStore::new();
+        let run = FlowRunId(0);
+        store.log(run, LogLevel::Debug, t(0), "noise");
+        store.log(run, LogLevel::Warning, t(1), "globus retry");
+        store.log(run, LogLevel::Error, t(2), "permission denied");
+        let warnings = store.at_least(LogLevel::Warning);
+        assert_eq!(warnings.len(), 2);
+        assert_eq!(store.at_least(LogLevel::Error).len(), 1);
+    }
+
+    #[test]
+    fn search_finds_incident_messages() {
+        let mut store = LogStore::new();
+        store.log(FlowRunId(0), LogLevel::Error, t(0), "Globus Transfer: Permission Denied on prune");
+        store.log(FlowRunId(1), LogLevel::Info, t(1), "recon ok");
+        let hits = store.search("permission denied");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("prune"));
+    }
+
+    #[test]
+    fn tail_returns_only_new_records() {
+        let mut store = LogStore::new();
+        store.log(FlowRunId(0), LogLevel::Info, t(0), "a");
+        let (first, cursor) = store.tail(0);
+        assert_eq!(first.len(), 1);
+        store.log(FlowRunId(0), LogLevel::Info, t(1), "b");
+        store.log(FlowRunId(0), LogLevel::Info, t(2), "c");
+        let (next, cursor2) = store.tail(cursor);
+        assert_eq!(next.len(), 2);
+        assert_eq!(next[0].message, "b");
+        let (empty, _) = store.tail(cursor2);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn error_counts_per_run() {
+        let mut store = LogStore::new();
+        store.log(FlowRunId(7), LogLevel::Error, t(0), "x");
+        store.log(FlowRunId(7), LogLevel::Error, t(1), "y");
+        store.log(FlowRunId(8), LogLevel::Info, t(2), "fine");
+        let counts = store.error_counts();
+        assert_eq!(counts.get(&FlowRunId(7)), Some(&2));
+        assert_eq!(counts.get(&FlowRunId(8)), None);
+    }
+}

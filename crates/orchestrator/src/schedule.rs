@@ -1,0 +1,85 @@
+//! Periodic schedules for maintenance flows.
+//!
+//! "Scheduled pruning flows prevent storage saturation" and "automated
+//! health monitoring every 12-24 hours" — both are fixed-interval
+//! schedules on the simulation clock.
+
+use als_simcore::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-interval schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    pub every: SimDuration,
+    next_fire: SimInstant,
+}
+
+impl Schedule {
+    /// Fire every `every`, first at `start + every`.
+    pub fn new(every: SimDuration, start: SimInstant) -> Self {
+        assert!(!every.is_zero(), "schedule interval must be nonzero");
+        Schedule {
+            every,
+            next_fire: start + every,
+        }
+    }
+
+    /// The paper's pruning cadence (daily) and health checks (every 12 h).
+    pub fn daily_pruning(start: SimInstant) -> Self {
+        Schedule::new(SimDuration::from_hours(24), start)
+    }
+
+    pub fn health_monitoring(start: SimInstant) -> Self {
+        Schedule::new(SimDuration::from_hours(12), start)
+    }
+
+    /// Next time the schedule fires.
+    pub fn next_fire(&self) -> SimInstant {
+        self.next_fire
+    }
+
+    /// Fire times due at or before `now`; advances the schedule past them.
+    /// A long gap yields every missed firing (catch-up semantics).
+    pub fn due(&mut self, now: SimInstant) -> Vec<SimInstant> {
+        let mut fired = Vec::new();
+        while self.next_fire <= now {
+            fired.push(self.next_fire);
+            self.next_fire += self.every;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_fixed_interval() {
+        let mut s = Schedule::new(SimDuration::from_hours(1), SimInstant::ZERO);
+        assert_eq!(s.next_fire(), SimInstant::ZERO + SimDuration::from_hours(1));
+        let fired = s.due(SimInstant::ZERO + SimDuration::from_hours(3));
+        assert_eq!(fired.len(), 3);
+        assert_eq!(fired[2], SimInstant::ZERO + SimDuration::from_hours(3));
+        assert_eq!(s.next_fire(), SimInstant::ZERO + SimDuration::from_hours(4));
+    }
+
+    #[test]
+    fn nothing_due_before_first_interval() {
+        let mut s = Schedule::daily_pruning(SimInstant::ZERO);
+        assert!(s.due(SimInstant::ZERO + SimDuration::from_hours(23)).is_empty());
+    }
+
+    #[test]
+    fn health_fires_twice_daily() {
+        let mut s = Schedule::health_monitoring(SimInstant::ZERO);
+        let fired = s.due(SimInstant::ZERO + SimDuration::from_hours(24));
+        assert_eq!(fired.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_interval_rejected() {
+        Schedule::new(SimDuration::ZERO, SimInstant::ZERO);
+    }
+}

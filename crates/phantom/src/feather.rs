@@ -1,0 +1,207 @@
+//! Feather phantoms for Case Study 1 (Figure 1).
+//!
+//! The paper compares chicken and sandgrouse feathers: the sandgrouse has
+//! evolved *coiled barbule* structures that hold water (desert survival),
+//! absent in chicken feathers. We model a feather cross-section as a
+//! central rachis (shaft) with barbules radiating outwards:
+//!
+//! * **Chicken** — straight barbules: thin line segments radiating from
+//!   the shaft, giving a strongly anisotropic, low-porosity-contrast
+//!   texture;
+//! * **Sandgrouse** — coiled barbules: small rings (helical coils seen in
+//!   cross-section) scattered around the shaft, giving closed voids that
+//!   can store water and an isotropic texture.
+//!
+//! The [`crate::morphology`] metrics separate the two quantitatively, so
+//! the Figure 1 experiment has a pass/fail criterion rather than a picture.
+
+use als_simcore::SimRng;
+use als_tomo::{Image, Volume};
+use serde::{Deserialize, Serialize};
+
+/// Which feather to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatherSpecies {
+    /// Straight barbules, no water-storage coils.
+    Chicken,
+    /// Coiled, water-holding barbules.
+    Sandgrouse,
+}
+
+impl FeatherSpecies {
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatherSpecies::Chicken => "chicken",
+            FeatherSpecies::Sandgrouse => "sandgrouse",
+        }
+    }
+}
+
+const KERATIN: f32 = 1.0;
+
+/// Draw an anti-aliased-ish thick line segment into an image.
+fn draw_segment(img: &mut Image, x0: f64, y0: f64, x1: f64, y1: f64, half_width: f64, v: f32) {
+    let steps = ((x1 - x0).hypot(y1 - y0).ceil() as usize).max(1) * 2;
+    for i in 0..=steps {
+        let t = i as f64 / steps as f64;
+        let cx = x0 + (x1 - x0) * t;
+        let cy = y0 + (y1 - y0) * t;
+        stamp_disk(img, cx, cy, half_width, v);
+    }
+}
+
+/// Draw a ring (annulus) into an image.
+fn draw_ring(img: &mut Image, cx: f64, cy: f64, radius: f64, thickness: f64, v: f32) {
+    let steps = ((2.0 * std::f64::consts::PI * radius).ceil() as usize).max(8) * 2;
+    for i in 0..steps {
+        let a = 2.0 * std::f64::consts::PI * i as f64 / steps as f64;
+        stamp_disk(img, cx + radius * a.cos(), cy + radius * a.sin(), thickness, v);
+    }
+}
+
+fn stamp_disk(img: &mut Image, cx: f64, cy: f64, r: f64, v: f32) {
+    let r_ceil = r.ceil() as i64 + 1;
+    let xi = cx.round() as i64;
+    let yi = cy.round() as i64;
+    for dy in -r_ceil..=r_ceil {
+        for dx in -r_ceil..=r_ceil {
+            let x = xi + dx;
+            let y = yi + dy;
+            if x < 0 || y < 0 || x as usize >= img.width || y as usize >= img.height {
+                continue;
+            }
+            let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+            if d <= r {
+                img.set(x as usize, y as usize, v);
+            }
+        }
+    }
+}
+
+/// Render one feather cross-section slice.
+///
+/// `phase` rotates the barbule arrangement slightly so consecutive slices
+/// of a volume differ (as a helical structure would).
+pub fn feather_slice(species: FeatherSpecies, n: usize, phase: f64, rng: &mut SimRng) -> Image {
+    let mut img = Image::square(n);
+    let c = (n as f64 - 1.0) / 2.0;
+    let shaft_r = n as f64 * 0.06;
+    // rachis: solid central shaft
+    stamp_disk(&mut img, c, c, shaft_r, KERATIN);
+
+    let n_barbs = 14;
+    let reach = n as f64 * 0.38;
+    match species {
+        FeatherSpecies::Chicken => {
+            // straight barbules radiating outwards
+            for b in 0..n_barbs {
+                let ang = 2.0 * std::f64::consts::PI * b as f64 / n_barbs as f64
+                    + phase
+                    + rng.uniform(-0.05, 0.05);
+                let x0 = c + shaft_r * ang.cos();
+                let y0 = c + shaft_r * ang.sin();
+                let x1 = c + reach * ang.cos();
+                let y1 = c + reach * ang.sin();
+                draw_segment(&mut img, x0, y0, x1, y1, n as f64 * 0.008, KERATIN);
+            }
+        }
+        FeatherSpecies::Sandgrouse => {
+            // short barb stubs ending in coiled (ring) barbules
+            for b in 0..n_barbs {
+                let ang = 2.0 * std::f64::consts::PI * b as f64 / n_barbs as f64
+                    + phase
+                    + rng.uniform(-0.05, 0.05);
+                let stub = reach * 0.35;
+                let x0 = c + shaft_r * ang.cos();
+                let y0 = c + shaft_r * ang.sin();
+                let x1 = c + stub * ang.cos();
+                let y1 = c + stub * ang.sin();
+                draw_segment(&mut img, x0, y0, x1, y1, n as f64 * 0.008, KERATIN);
+                // two to three coils along the remaining reach
+                let coil_r = n as f64 * rng.uniform(0.035, 0.055);
+                for k in 0..3 {
+                    let rr = stub + coil_r * (2.0 * k as f64 + 1.2);
+                    if rr + coil_r > n as f64 * 0.48 {
+                        break;
+                    }
+                    draw_ring(
+                        &mut img,
+                        c + rr * ang.cos(),
+                        c + rr * ang.sin(),
+                        coil_r,
+                        n as f64 * 0.006,
+                        KERATIN,
+                    );
+                }
+            }
+        }
+    }
+    img
+}
+
+/// Render a feather volume of `nz` slices at `n × n`; the barbule pattern
+/// twists slowly along z.
+pub fn feather_volume(species: FeatherSpecies, n: usize, nz: usize, seed: u64) -> Volume {
+    let mut rng = SimRng::seeded(seed);
+    let mut vol = Volume::zeros(n, n, nz);
+    for z in 0..nz {
+        let phase = 0.15 * z as f64;
+        let img = feather_slice(species, n, phase, &mut rng);
+        vol.set_slice_xy(z, &img);
+    }
+    vol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_species_have_material_and_void() {
+        let mut rng = SimRng::seeded(1);
+        for sp in [FeatherSpecies::Chicken, FeatherSpecies::Sandgrouse] {
+            let img = feather_slice(sp, 96, 0.0, &mut rng);
+            let material = img.data.iter().filter(|&&v| v > 0.0).count();
+            let frac = material as f64 / img.data.len() as f64;
+            assert!(
+                (0.01..0.5).contains(&frac),
+                "{}: material fraction {frac}",
+                sp.name()
+            );
+        }
+    }
+
+    #[test]
+    fn shaft_is_present_in_both() {
+        let mut rng = SimRng::seeded(2);
+        for sp in [FeatherSpecies::Chicken, FeatherSpecies::Sandgrouse] {
+            let img = feather_slice(sp, 96, 0.0, &mut rng);
+            assert_eq!(img.get(48, 48), KERATIN, "{} shaft missing", sp.name());
+        }
+    }
+
+    #[test]
+    fn sandgrouse_has_more_enclosed_void() {
+        // rings enclose empty space; straight lines do not — compare the
+        // material at a mid-radius annulus vs enclosed-void structure via
+        // morphology in morphology.rs tests; here just check they differ
+        let a = feather_volume(FeatherSpecies::Chicken, 96, 4, 7);
+        let b = feather_volume(FeatherSpecies::Sandgrouse, 96, 4, 7);
+        assert_ne!(a.data, b.data);
+    }
+
+    #[test]
+    fn volume_twists_along_z() {
+        let vol = feather_volume(FeatherSpecies::Chicken, 64, 8, 3);
+        assert_ne!(vol.slice_xy(0).data, vol.slice_xy(7).data);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = feather_volume(FeatherSpecies::Sandgrouse, 64, 4, 42);
+        let b = feather_volume(FeatherSpecies::Sandgrouse, 64, 4, 42);
+        assert_eq!(a.data, b.data);
+        let c = feather_volume(FeatherSpecies::Sandgrouse, 64, 4, 43);
+        assert_ne!(a.data, c.data);
+    }
+}

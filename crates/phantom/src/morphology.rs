@@ -1,0 +1,228 @@
+//! Quantitative morphology descriptors for the Figure 1 experiment.
+//!
+//! The paper's Case Study 1 shows that HPC-backed reconstruction makes
+//! morphological differences between chicken and sandgrouse feathers
+//! *immediately visible*. To make the reproduction testable we compute
+//! three descriptors on a (reconstructed) volume:
+//!
+//! * **material fraction** — occupied voxels / total;
+//! * **enclosed void fraction** — empty voxels not connected to the slice
+//!   border (water-storage capacity; the sandgrouse's coils enclose voids,
+//!   straight chicken barbules enclose none);
+//! * **radial anisotropy** — how strongly material is aligned along radial
+//!   spokes (high for straight barbules, low for coils).
+
+use als_tomo::{Image, Volume};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Morphology summary of a volume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MorphologyReport {
+    /// Fraction of voxels above threshold.
+    pub material_fraction: f64,
+    /// Fraction of voxels that are void *and* unreachable from the slice
+    /// border (per-slice 2D flood fill, averaged over slices).
+    pub enclosed_void_fraction: f64,
+    /// Radial alignment score in `[0, 1]`: 1 = all material lies on radial
+    /// spokes from the slice center, 0 = isotropic.
+    pub radial_anisotropy: f64,
+}
+
+impl MorphologyReport {
+    /// Compute the report for a volume at a given material threshold.
+    pub fn of_volume(vol: &Volume, threshold: f32) -> MorphologyReport {
+        let mut material = 0usize;
+        let mut enclosed = 0usize;
+        let mut aniso_acc = 0.0f64;
+        for z in 0..vol.nz {
+            let slice = vol.slice_xy(z);
+            material += slice.data.iter().filter(|&&v| v > threshold).count();
+            enclosed += enclosed_void_count(&slice, threshold);
+            aniso_acc += radial_anisotropy(&slice, threshold);
+        }
+        let total = vol.voxels().max(1) as f64;
+        MorphologyReport {
+            material_fraction: material as f64 / total,
+            enclosed_void_fraction: enclosed as f64 / total,
+            radial_anisotropy: aniso_acc / vol.nz.max(1) as f64,
+        }
+    }
+}
+
+/// Count void pixels that cannot be reached from the image border by a
+/// 4-connected flood fill through void.
+fn enclosed_void_count(img: &Image, threshold: f32) -> usize {
+    let w = img.width;
+    let h = img.height;
+    if w == 0 || h == 0 {
+        return 0;
+    }
+    let is_void = |x: usize, y: usize| img.get(x, y) <= threshold;
+    let mut reachable = vec![false; w * h];
+    let mut queue = VecDeque::new();
+    // seed with all void border pixels
+    for x in 0..w {
+        for &y in &[0, h - 1] {
+            if is_void(x, y) && !reachable[y * w + x] {
+                reachable[y * w + x] = true;
+                queue.push_back((x, y));
+            }
+        }
+    }
+    for y in 0..h {
+        for &x in &[0, w - 1] {
+            if is_void(x, y) && !reachable[y * w + x] {
+                reachable[y * w + x] = true;
+                queue.push_back((x, y));
+            }
+        }
+    }
+    while let Some((x, y)) = queue.pop_front() {
+        let mut visit = |nx: usize, ny: usize, queue: &mut VecDeque<(usize, usize)>| {
+            if is_void(nx, ny) && !reachable[ny * w + nx] {
+                reachable[ny * w + nx] = true;
+                queue.push_back((nx, ny));
+            }
+        };
+        if x > 0 {
+            visit(x - 1, y, &mut queue);
+        }
+        if x + 1 < w {
+            visit(x + 1, y, &mut queue);
+        }
+        if y > 0 {
+            visit(x, y - 1, &mut queue);
+        }
+        if y + 1 < h {
+            visit(x, y + 1, &mut queue);
+        }
+    }
+    let mut enclosed = 0usize;
+    for y in 0..h {
+        for x in 0..w {
+            if is_void(x, y) && !reachable[y * w + x] {
+                enclosed += 1;
+            }
+        }
+    }
+    enclosed
+}
+
+/// Radial alignment: for each material pixel, compare the local material
+/// direction with the radial direction from the image center. Implemented
+/// via the angular histogram trick: project material occupancy onto a set
+/// of spokes and measure how concentrated the angular distribution of
+/// material is at fixed radius.
+fn radial_anisotropy(img: &Image, threshold: f32) -> f64 {
+    let n = img.width.min(img.height);
+    if n < 8 {
+        return 0.0;
+    }
+    let c = (n as f64 - 1.0) / 2.0;
+    let n_spokes = 72usize;
+    let r_max = n as f64 * 0.45;
+    let r_min = n as f64 * 0.12; // skip the shaft
+    // occupancy per spoke
+    let mut spoke_occ = vec![0.0f64; n_spokes];
+    let mut spoke_cnt = vec![0usize; n_spokes];
+    let steps = (r_max - r_min) as usize;
+    for (s, occ) in spoke_occ.iter_mut().enumerate() {
+        let ang = 2.0 * std::f64::consts::PI * s as f64 / n_spokes as f64;
+        for i in 0..steps {
+            let r = r_min + i as f64;
+            let x = c + r * ang.cos();
+            let y = c + r * ang.sin();
+            if x < 0.0 || y < 0.0 || x >= img.width as f64 || y >= img.height as f64 {
+                continue;
+            }
+            spoke_cnt[s] += 1;
+            if img.get(x as usize, y as usize) > threshold {
+                *occ += 1.0;
+            }
+        }
+    }
+    let frac: Vec<f64> = spoke_occ
+        .iter()
+        .zip(spoke_cnt.iter())
+        .map(|(&o, &c)| if c > 0 { o / c as f64 } else { 0.0 })
+        .collect();
+    let mean = frac.iter().sum::<f64>() / n_spokes as f64;
+    if mean <= 1e-9 {
+        return 0.0;
+    }
+    // coefficient of variation across spokes, squashed into [0, 1]:
+    // straight radial barbules make a few spokes nearly full and the rest
+    // empty (high CV); coils spread material evenly (low CV)
+    let var = frac.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / n_spokes as f64;
+    let cv = var.sqrt() / mean;
+    (cv / (1.0 + cv)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feather::{feather_volume, FeatherSpecies};
+
+    #[test]
+    fn sandgrouse_encloses_more_void_than_chicken() {
+        let chicken = feather_volume(FeatherSpecies::Chicken, 96, 4, 21);
+        let sandgrouse = feather_volume(FeatherSpecies::Sandgrouse, 96, 4, 21);
+        let rc = MorphologyReport::of_volume(&chicken, 0.5);
+        let rs = MorphologyReport::of_volume(&sandgrouse, 0.5);
+        assert!(
+            rs.enclosed_void_fraction > 2.0 * rc.enclosed_void_fraction.max(1e-6),
+            "sandgrouse {:.4} vs chicken {:.4}",
+            rs.enclosed_void_fraction,
+            rc.enclosed_void_fraction
+        );
+    }
+
+    #[test]
+    fn chicken_is_more_radially_anisotropic() {
+        let chicken = feather_volume(FeatherSpecies::Chicken, 96, 4, 22);
+        let sandgrouse = feather_volume(FeatherSpecies::Sandgrouse, 96, 4, 22);
+        let rc = MorphologyReport::of_volume(&chicken, 0.5);
+        let rs = MorphologyReport::of_volume(&sandgrouse, 0.5);
+        assert!(
+            rc.radial_anisotropy > rs.radial_anisotropy,
+            "chicken {:.3} vs sandgrouse {:.3}",
+            rc.radial_anisotropy,
+            rs.radial_anisotropy
+        );
+    }
+
+    #[test]
+    fn empty_volume_reports_zeroes() {
+        let vol = Volume::zeros(32, 32, 2);
+        let r = MorphologyReport::of_volume(&vol, 0.5);
+        assert_eq!(r.material_fraction, 0.0);
+        assert_eq!(r.radial_anisotropy, 0.0);
+        // all void connects to the border: nothing enclosed
+        assert_eq!(r.enclosed_void_fraction, 0.0);
+    }
+
+    #[test]
+    fn solid_ring_encloses_its_interior() {
+        let mut img = Image::square(32);
+        // draw a solid square ring
+        for i in 8..24 {
+            img.set(i, 8, 1.0);
+            img.set(i, 23, 1.0);
+            img.set(8, i, 1.0);
+            img.set(23, i, 1.0);
+        }
+        let enclosed = enclosed_void_count(&img, 0.5);
+        // interior is 14x14 = 196 void pixels
+        assert_eq!(enclosed, 196);
+    }
+
+    #[test]
+    fn open_shape_encloses_nothing() {
+        let mut img = Image::square(16);
+        for i in 0..16 {
+            img.set(i, 8, 1.0); // a straight wall
+        }
+        assert_eq!(enclosed_void_count(&img, 0.5), 0);
+    }
+}

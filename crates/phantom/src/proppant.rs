@@ -1,0 +1,251 @@
+//! Proppant-pack phantom for Case Study 2.
+//!
+//! The paper reanalyzes a 2020 micro-CT dataset of fracking proppant —
+//! sand-like grains injected to keep a hydraulic fracture in shale open
+//! (Voltolini & Ajo-Franklin 2020). The phantom models a planar fracture
+//! between two shale half-spaces, propped by a random packing of spherical
+//! grains, with optional compaction (creep) to emulate the 4D time-series
+//! of the follow-up study.
+
+use als_simcore::SimRng;
+use als_tomo::Volume;
+use serde::{Deserialize, Serialize};
+
+/// Attenuation values (arbitrary units, shale > proppant > pore space).
+pub const SHALE: f32 = 0.8;
+pub const GRAIN: f32 = 1.0;
+pub const PORE: f32 = 0.0;
+
+/// Parameters of the proppant phantom.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProppantConfig {
+    /// Fracture aperture as a fraction of the volume height (0..1).
+    pub aperture_frac: f64,
+    /// Number of proppant grains to place.
+    pub n_grains: usize,
+    /// Grain radius as a fraction of the volume side.
+    pub grain_radius_frac: f64,
+    /// Compaction state in `[0, 1]`: 0 = freshly propped, 1 = fully
+    /// crept (walls closed onto the grains). Drives the 4D sequence.
+    pub compaction: f64,
+}
+
+impl Default for ProppantConfig {
+    fn default() -> Self {
+        ProppantConfig {
+            aperture_frac: 0.3,
+            n_grains: 40,
+            grain_radius_frac: 0.06,
+            compaction: 0.0,
+        }
+    }
+}
+
+/// Generate a proppant-pack volume of shape `n × n × nz`.
+///
+/// The fracture runs horizontally through the middle of each XY slice
+/// (normal along y): shale above and below, grains and pore space inside.
+pub fn proppant_volume(n: usize, nz: usize, cfg: &ProppantConfig, seed: u64) -> Volume {
+    let mut rng = SimRng::seeded(seed);
+    let mut vol = Volume::zeros(n, n, nz);
+
+    // fracture aperture shrinks with compaction
+    let aperture = (cfg.aperture_frac * (1.0 - 0.5 * cfg.compaction)).max(0.02);
+    let half_ap = aperture * n as f64 / 2.0;
+    let mid = (n as f64 - 1.0) / 2.0;
+    let lo_wall = mid - half_ap;
+    let hi_wall = mid + half_ap;
+
+    // shale walls with a little roughness
+    for z in 0..nz {
+        for y in 0..n {
+            for x in 0..n {
+                let rough = 1.5 * ((x as f64 * 0.37 + z as f64 * 0.21).sin());
+                let v = if (y as f64) < lo_wall + rough || (y as f64) > hi_wall + rough {
+                    SHALE
+                } else {
+                    PORE
+                };
+                vol.set(x, y, z, v);
+            }
+        }
+    }
+
+    // random grain packing inside the fracture
+    let r = cfg.grain_radius_frac * n as f64;
+    for _ in 0..cfg.n_grains {
+        let gx = rng.uniform(r, n as f64 - r);
+        let gz = rng.uniform(0.0, nz as f64);
+        // grains sit inside the (possibly compacted) aperture; when the
+        // walls close, grains embed into the shale
+        let gy = rng.uniform(
+            (lo_wall + r * (1.0 - cfg.compaction)).min(hi_wall),
+            (hi_wall - r * (1.0 - cfg.compaction)).max(lo_wall + 1.0),
+        );
+        stamp_sphere(&mut vol, gx, gy, gz, r, GRAIN);
+    }
+    vol
+}
+
+/// A 4D (time-resolved) creep sequence: `steps` volumes with increasing
+/// compaction, as in the in-situ 4D visualization study.
+pub fn proppant_creep_series(
+    n: usize,
+    nz: usize,
+    base: &ProppantConfig,
+    steps: usize,
+    seed: u64,
+) -> Vec<Volume> {
+    (0..steps)
+        .map(|i| {
+            let compaction = if steps > 1 {
+                i as f64 / (steps - 1) as f64
+            } else {
+                0.0
+            };
+            let cfg = ProppantConfig {
+                compaction,
+                ..*base
+            };
+            // same seed: the same grain pack evolving, not a new sample
+            proppant_volume(n, nz, &cfg, seed)
+        })
+        .collect()
+}
+
+fn stamp_sphere(vol: &mut Volume, cx: f64, cy: f64, cz: f64, r: f64, v: f32) {
+    let r_ceil = r.ceil() as i64 + 1;
+    let xi = cx.round() as i64;
+    let yi = cy.round() as i64;
+    let zi = cz.round() as i64;
+    for dz in -r_ceil..=r_ceil {
+        for dy in -r_ceil..=r_ceil {
+            for dx in -r_ceil..=r_ceil {
+                let x = xi + dx;
+                let y = yi + dy;
+                let z = zi + dz;
+                if x < 0
+                    || y < 0
+                    || z < 0
+                    || x as usize >= vol.nx
+                    || y as usize >= vol.ny
+                    || z as usize >= vol.nz
+                {
+                    continue;
+                }
+                let d = ((x as f64 - cx).powi(2)
+                    + (y as f64 - cy).powi(2)
+                    + (z as f64 - cz).powi(2))
+                .sqrt();
+                if d <= r {
+                    vol.set(x as usize, y as usize, z as usize, v);
+                }
+            }
+        }
+    }
+}
+
+/// Fraction of the fracture zone that is pore space (a standard proppant
+/// metric: lower porosity = more embedment/crushing). The fracture zone
+/// is everything that is not shale: pore space plus proppant grains.
+pub fn fracture_porosity(vol: &Volume) -> f64 {
+    let mut pore = 0usize;
+    let mut grain = 0usize;
+    for z in 0..vol.nz {
+        for y in 0..vol.ny {
+            for x in 0..vol.nx {
+                let v = vol.get(x, y, z);
+                if v <= PORE {
+                    pore += 1;
+                } else if v >= GRAIN {
+                    grain += 1;
+                }
+            }
+        }
+    }
+    let total = pore + grain;
+    if total == 0 {
+        0.0
+    } else {
+        pore as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_contains_all_three_phases() {
+        let vol = proppant_volume(64, 8, &ProppantConfig::default(), 11);
+        let shale = vol.data.iter().filter(|&&v| v == SHALE).count();
+        let grain = vol.data.iter().filter(|&&v| v == GRAIN).count();
+        let pore = vol.data.iter().filter(|&&v| v == PORE).count();
+        assert!(shale > 0 && grain > 0 && pore > 0);
+        // walls dominate
+        assert!(shale > grain);
+    }
+
+    #[test]
+    fn compaction_reduces_aperture() {
+        let open = proppant_volume(
+            64,
+            4,
+            &ProppantConfig {
+                compaction: 0.0,
+                n_grains: 0,
+                ..Default::default()
+            },
+            5,
+        );
+        let crept = proppant_volume(
+            64,
+            4,
+            &ProppantConfig {
+                compaction: 1.0,
+                n_grains: 0,
+                ..Default::default()
+            },
+            5,
+        );
+        let pore_open = open.data.iter().filter(|&&v| v == PORE).count();
+        let pore_crept = crept.data.iter().filter(|&&v| v == PORE).count();
+        assert!(
+            pore_crept < pore_open,
+            "compaction should close pore space: {pore_open} -> {pore_crept}"
+        );
+    }
+
+    #[test]
+    fn creep_series_monotonically_closes_porosity() {
+        let series = proppant_creep_series(48, 4, &ProppantConfig::default(), 4, 9);
+        assert_eq!(series.len(), 4);
+        let p: Vec<f64> = series.iter().map(fracture_porosity).collect();
+        assert!(
+            p.windows(2).all(|w| w[1] <= w[0] + 0.02),
+            "porosity should not increase under creep: {p:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ProppantConfig::default();
+        let a = proppant_volume(32, 4, &cfg, 1);
+        let b = proppant_volume(32, 4, &cfg, 1);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn grains_stay_inside_the_volume() {
+        // placement math must not panic or write out of bounds even with
+        // large grains and heavy compaction
+        let cfg = ProppantConfig {
+            grain_radius_frac: 0.2,
+            n_grains: 30,
+            compaction: 0.9,
+            ..Default::default()
+        };
+        let vol = proppant_volume(40, 6, &cfg, 3);
+        assert_eq!(vol.data.len(), 40 * 40 * 6);
+    }
+}

@@ -1,0 +1,169 @@
+//! The Shepp-Logan head phantom, 2D and volumetric.
+//!
+//! Uses the "modified" (Toft) contrast values so features are visible
+//! without windowing. Coordinates are normalized to `[-1, 1]`.
+
+use als_tomo::{Image, Volume};
+
+/// One ellipse: additive intensity, center, semi-axes, rotation (degrees).
+#[derive(Debug, Clone, Copy)]
+struct Ellipse {
+    value: f32,
+    x0: f64,
+    y0: f64,
+    a: f64,
+    b: f64,
+    phi_deg: f64,
+}
+
+/// The ten ellipses of the modified Shepp-Logan phantom.
+const SHEPP_LOGAN: [Ellipse; 10] = [
+    Ellipse { value: 1.0,   x0: 0.0,    y0: 0.0,     a: 0.69,   b: 0.92,   phi_deg: 0.0 },
+    Ellipse { value: -0.8,  x0: 0.0,    y0: -0.0184, a: 0.6624, b: 0.874,  phi_deg: 0.0 },
+    Ellipse { value: -0.2,  x0: 0.22,   y0: 0.0,     a: 0.11,   b: 0.31,   phi_deg: -18.0 },
+    Ellipse { value: -0.2,  x0: -0.22,  y0: 0.0,     a: 0.16,   b: 0.41,   phi_deg: 18.0 },
+    Ellipse { value: 0.1,   x0: 0.0,    y0: 0.35,    a: 0.21,   b: 0.25,   phi_deg: 0.0 },
+    Ellipse { value: 0.1,   x0: 0.0,    y0: 0.1,     a: 0.046,  b: 0.046,  phi_deg: 0.0 },
+    Ellipse { value: 0.1,   x0: 0.0,    y0: -0.1,    a: 0.046,  b: 0.046,  phi_deg: 0.0 },
+    Ellipse { value: 0.1,   x0: -0.08,  y0: -0.605,  a: 0.046,  b: 0.023,  phi_deg: 0.0 },
+    Ellipse { value: 0.1,   x0: 0.0,    y0: -0.606,  a: 0.023,  b: 0.023,  phi_deg: 0.0 },
+    Ellipse { value: 0.1,   x0: 0.06,   y0: -0.605,  a: 0.023,  b: 0.046,  phi_deg: 0.0 },
+];
+
+/// Render the 2D Shepp-Logan phantom at `n × n`.
+pub fn shepp_logan_2d(n: usize) -> Image {
+    let mut img = Image::square(n);
+    let scale = 2.0 / n as f64;
+    for y in 0..n {
+        let yn = (y as f64 + 0.5) * scale - 1.0;
+        for x in 0..n {
+            let xn = (x as f64 + 0.5) * scale - 1.0;
+            let mut v = 0.0f32;
+            for e in SHEPP_LOGAN.iter() {
+                let phi = e.phi_deg.to_radians();
+                let (s, c) = phi.sin_cos();
+                let dx = xn - e.x0;
+                let dy = yn - e.y0;
+                let xr = dx * c + dy * s;
+                let yr = -dx * s + dy * c;
+                if (xr / e.a).powi(2) + (yr / e.b).powi(2) <= 1.0 {
+                    v += e.value;
+                }
+            }
+            img.set(x, y, v);
+        }
+    }
+    img
+}
+
+/// A volumetric phantom: the 2D Shepp-Logan swept along z with a slowly
+/// varying scale factor, producing distinct but correlated slices. `nz`
+/// slices at `n × n` each.
+pub fn shepp_logan_volume(n: usize, nz: usize) -> Volume {
+    let mut vol = Volume::zeros(n, n, nz);
+    for z in 0..nz {
+        // scale shrinks toward the poles like a sphere cross-section
+        let zn = if nz > 1 {
+            2.0 * z as f64 / (nz - 1) as f64 - 1.0
+        } else {
+            0.0
+        };
+        let shrink = (1.0 - 0.6 * zn * zn).max(0.2);
+        let img = scaled_shepp(n, shrink);
+        vol.set_slice_xy(z, &img);
+    }
+    vol
+}
+
+fn scaled_shepp(n: usize, shrink: f64) -> Image {
+    let mut img = Image::square(n);
+    let scale = 2.0 / n as f64;
+    for y in 0..n {
+        let yn = ((y as f64 + 0.5) * scale - 1.0) / shrink;
+        for x in 0..n {
+            let xn = ((x as f64 + 0.5) * scale - 1.0) / shrink;
+            let mut v = 0.0f32;
+            for e in SHEPP_LOGAN.iter() {
+                let phi = e.phi_deg.to_radians();
+                let (s, c) = phi.sin_cos();
+                let dx = xn - e.x0;
+                let dy = yn - e.y0;
+                let xr = dx * c + dy * s;
+                let yr = -dx * s + dy * c;
+                if (xr / e.a).powi(2) + (yr / e.b).powi(2) <= 1.0 {
+                    v += e.value;
+                }
+            }
+            img.set(x, y, v);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phantom_has_expected_value_range() {
+        let img = shepp_logan_2d(128);
+        let (mn, mx) = img.min_max();
+        assert!(mn >= -0.02, "min {mn}");
+        assert!((0.95..=1.05).contains(&mx), "max {mx}");
+    }
+
+    #[test]
+    fn skull_value_is_one_interior_is_dimmer() {
+        let n = 128;
+        let img = shepp_logan_2d(n);
+        // point just inside the outer skull (top of the big ellipse)
+        let skull = img.get(n / 2, (0.045 * n as f64) as usize);
+        assert!((skull - 1.0).abs() < 1e-6, "skull {skull}");
+        // brain interior = 1.0 - 0.8 = 0.2
+        let interior = img.get(n / 2, n / 2 - 10);
+        assert!((interior - 0.2).abs() < 0.11, "interior {interior}");
+    }
+
+    #[test]
+    fn corners_are_empty() {
+        let img = shepp_logan_2d(64);
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(63, 63), 0.0);
+    }
+
+    #[test]
+    fn phantom_is_left_right_symmetric_in_outline() {
+        let n = 128;
+        let img = shepp_logan_2d(n);
+        // the outer ellipses are centered: columns i and n-1-i match in
+        // occupancy (nonzero-ness) along the vertical midline band
+        for y in (0..n).step_by(7) {
+            for x in 0..n / 2 {
+                let l = img.get(x, y) != 0.0;
+                let r = img.get(n - 1 - x, y) != 0.0;
+                if l != r {
+                    // small ellipses break exact symmetry; allow only near
+                    // the bottom features
+                    let yn = (y as f64 + 0.5) * 2.0 / n as f64 - 1.0;
+                    assert!(
+                        !(-0.4..=0.4).contains(&yn) || (0.0..0.5).contains(&yn.abs()),
+                        "asymmetry at ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn volume_slices_vary_smoothly() {
+        let vol = shepp_logan_volume(64, 16);
+        assert_eq!((vol.nx, vol.ny, vol.nz), (64, 64, 16));
+        // middle slice has the largest cross-section
+        let mass = |z: usize| -> f64 {
+            vol.slice_xy(z).data.iter().map(|&v| v as f64).sum()
+        };
+        let mid = mass(8);
+        assert!(mid > mass(0), "middle {mid} vs pole {}", mass(0));
+        assert!(mid > mass(15));
+    }
+}

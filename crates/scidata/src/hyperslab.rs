@@ -1,0 +1,209 @@
+//! Hyperslab (sub-array) reads over SDF datasets.
+//!
+//! HDF5 consumers rarely read whole datasets: the streaming service pulls
+//! single frames, JupyterLab users pull slice ranges, previews pull one
+//! row. This module provides the equivalent strided sub-array reads for
+//! SDF datasets without copying the full payload first.
+
+use crate::container::{Dataset, DatasetData, SdfError};
+
+/// A rectangular selection: per-dimension `start` and `count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hyperslab {
+    pub start: Vec<usize>,
+    pub count: Vec<usize>,
+}
+
+impl Hyperslab {
+    /// Select everything in `shape`.
+    pub fn all(shape: &[usize]) -> Hyperslab {
+        Hyperslab {
+            start: vec![0; shape.len()],
+            count: shape.to_vec(),
+        }
+    }
+
+    /// Select one index along the first (outermost) dimension, everything
+    /// in the rest — e.g. one frame of `/exchange/data`.
+    pub fn index0(shape: &[usize], idx: usize) -> Hyperslab {
+        let mut start = vec![0; shape.len()];
+        let mut count = shape.to_vec();
+        start[0] = idx;
+        count[0] = 1;
+        Hyperslab { start, count }
+    }
+
+    /// Validate against a dataset shape.
+    pub fn validate(&self, shape: &[usize]) -> Result<(), SdfError> {
+        if self.start.len() != shape.len() || self.count.len() != shape.len() {
+            return Err(SdfError::Corrupt(format!(
+                "hyperslab rank {} does not match dataset rank {}",
+                self.start.len(),
+                shape.len()
+            )));
+        }
+        for (d, ((&s, &c), &dim)) in self
+            .start
+            .iter()
+            .zip(self.count.iter())
+            .zip(shape.iter())
+            .enumerate()
+        {
+            if c == 0 || s + c > dim {
+                return Err(SdfError::Corrupt(format!(
+                    "hyperslab [{s}, {}) out of bounds for dim {d} of size {dim}",
+                    s + c
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of selected elements.
+    pub fn len(&self) -> usize {
+        self.count.iter().product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Gather the flat element indices selected by a hyperslab, in row-major
+/// order of the selection.
+fn gather_indices(shape: &[usize], slab: &Hyperslab, out: &mut Vec<usize>) {
+    // row-major strides
+    let mut strides = vec![1usize; shape.len()];
+    for d in (0..shape.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * shape[d + 1];
+    }
+    let rank = shape.len();
+    let mut idx = slab.start.clone();
+    loop {
+        let flat: usize = idx.iter().zip(strides.iter()).map(|(&i, &s)| i * s).sum();
+        out.push(flat);
+        // odometer increment over the selection
+        let mut d = rank;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < slab.start[d] + slab.count[d] {
+                break;
+            }
+            idx[d] = slab.start[d];
+            if d == 0 {
+                return;
+            }
+        }
+    }
+}
+
+/// Read a hyperslab of an f32 dataset.
+pub fn read_f32(ds: &Dataset, slab: &Hyperslab) -> Result<Vec<f32>, SdfError> {
+    slab.validate(&ds.shape)?;
+    let DatasetData::F32(data) = &ds.data else {
+        return Err(SdfError::WrongType("expected f32 dataset".into()));
+    };
+    let mut idxs = Vec::with_capacity(slab.len());
+    gather_indices(&ds.shape, slab, &mut idxs);
+    Ok(idxs.into_iter().map(|i| data[i]).collect())
+}
+
+/// Read a hyperslab of a u16 dataset (e.g. one frame of raw projections).
+pub fn read_u16(ds: &Dataset, slab: &Hyperslab) -> Result<Vec<u16>, SdfError> {
+    slab.validate(&ds.shape)?;
+    let DatasetData::U16(data) = &ds.data else {
+        return Err(SdfError::WrongType("expected u16 dataset".into()));
+    };
+    let mut idxs = Vec::with_capacity(slab.len());
+    gather_indices(&ds.shape, slab, &mut idxs);
+    Ok(idxs.into_iter().map(|i| data[i]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::Dataset;
+
+    fn dataset_3d() -> Dataset {
+        // shape [2, 3, 4], values 0..24
+        Dataset::new(
+            vec![2, 3, 4],
+            DatasetData::U16((0..24).collect()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_selection_reads_everything() {
+        let ds = dataset_3d();
+        let slab = Hyperslab::all(&ds.shape);
+        let v = read_u16(&ds, &slab).unwrap();
+        assert_eq!(v, (0..24).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn single_frame_selection() {
+        let ds = dataset_3d();
+        let slab = Hyperslab::index0(&ds.shape, 1);
+        let v = read_u16(&ds, &slab).unwrap();
+        assert_eq!(v, (12..24).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn interior_block() {
+        let ds = dataset_3d();
+        // rows 1..3 of frame 0, columns 1..3
+        let slab = Hyperslab {
+            start: vec![0, 1, 1],
+            count: vec![1, 2, 2],
+        };
+        let v = read_u16(&ds, &slab).unwrap();
+        // frame 0 layout: row r = 4r..4r+4; rows 1,2 cols 1,2 = 5,6,9,10
+        assert_eq!(v, vec![5, 6, 9, 10]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let ds = dataset_3d();
+        let slab = Hyperslab {
+            start: vec![0, 2, 0],
+            count: vec![1, 2, 4], // rows 2..4 of a 3-row dim
+        };
+        assert!(read_u16(&ds, &slab).is_err());
+        let wrong_rank = Hyperslab {
+            start: vec![0, 0],
+            count: vec![1, 1],
+        };
+        assert!(read_u16(&ds, &wrong_rank).is_err());
+        let zero = Hyperslab {
+            start: vec![0, 0, 0],
+            count: vec![1, 0, 1],
+        };
+        assert!(read_u16(&ds, &zero).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let ds = dataset_3d();
+        let slab = Hyperslab::all(&ds.shape);
+        assert!(read_f32(&ds, &slab).is_err());
+    }
+
+    #[test]
+    fn f32_selection_works() {
+        let ds = Dataset::new(
+            vec![2, 2],
+            DatasetData::F32(vec![1.0, 2.0, 3.0, 4.0]),
+        )
+        .unwrap();
+        let slab = Hyperslab {
+            start: vec![1, 0],
+            count: vec![1, 2],
+        };
+        assert_eq!(read_f32(&ds, &slab).unwrap(), vec![3.0, 4.0]);
+    }
+}

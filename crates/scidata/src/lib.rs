@@ -1,0 +1,31 @@
+//! # als-scidata
+//!
+//! Scientific data containers for the beamline pipeline — the workspace's
+//! substitute for the HDF5 / TIFF / Zarr stack the paper uses:
+//!
+//! * [`checksum`] — CRC-32 and streaming digests; Globus-style transfer
+//!   verification is built on these;
+//! * [`container`] — **SDF**, a hierarchical HDF5-like container (groups,
+//!   typed datasets, attributes) with a compact binary encoding and
+//!   per-dataset checksums;
+//! * [`scanfile`] — the beamline scan layout inside an SDF container
+//!   (`/exchange/data`, `/exchange/data_white`, `/exchange/data_dark`,
+//!   acquisition metadata), mirroring the DataExchange HDF5 layout ALS
+//!   writes;
+//! * [`tiff`] — a minimal but spec-conforming little-endian TIFF writer
+//!   for reconstructed slices (the paper's per-slice TIFF stacks);
+//! * [`multiscale`] — a Zarr-like chunked multiscale volume store backed
+//!   by a directory tree, powering the itk-vtk-viewer-style access layer.
+
+pub mod checksum;
+pub mod container;
+pub mod hyperslab;
+pub mod multiscale;
+pub mod scanfile;
+pub mod tiff;
+
+pub use checksum::{crc32, Crc32};
+pub use container::{Attribute, Dataset, DatasetData, Group, SdfError, SdfFile};
+pub use hyperslab::{read_f32 as read_hyperslab_f32, read_u16 as read_hyperslab_u16, Hyperslab};
+pub use multiscale::MultiscaleStore;
+pub use scanfile::ScanFile;

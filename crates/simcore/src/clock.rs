@@ -1,0 +1,297 @@
+//! Simulated time: instants, durations, and the clock owned by a simulation.
+//!
+//! Time is kept as integer **microseconds** since simulation start. The
+//! paper's quantities span five orders of magnitude — sub-millisecond event
+//! handling up to multi-hour campaigns — and integer microseconds represent
+//! all of them exactly (no drift from float accumulation) while still
+//! covering ~584k years in a `u64`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time (microseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant(u64);
+
+/// A span of simulated time (microseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimInstant {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimInstant = SimInstant(0);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimInstant(us)
+    }
+
+    /// Raw microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as `f64` (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`; saturates to zero if `earlier` is
+    /// in the future.
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Latest of two instants.
+    pub fn max(self, other: SimInstant) -> SimInstant {
+        SimInstant(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000_000)
+    }
+
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// microsecond. Negative or non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimInstant {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn sub(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimInstant> for SimInstant {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s < 1e-3 {
+            write!(f, "{:.0}us", self.0)
+        } else if s < 1.0 {
+            write!(f, "{:.1}ms", s * 1e3)
+        } else if s < 120.0 {
+            write!(f, "{s:.2}s")
+        } else if s < 7200.0 {
+            write!(f, "{:.1}min", s / 60.0)
+        } else {
+            write!(f, "{:.2}h", s / 3600.0)
+        }
+    }
+}
+
+/// The clock owned by a running simulation. Only the event loop may advance
+/// it, and it never moves backwards.
+#[derive(Debug, Default, Clone)]
+pub struct SimClock {
+    now: SimInstant,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Advance to `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the current time — that would mean the
+    /// event queue handed out events out of order, which is a kernel bug.
+    pub fn advance_to(&mut self, t: SimInstant) {
+        assert!(
+            t >= self.now,
+            "simulation clock moved backwards: {} -> {}",
+            self.now,
+            t
+        );
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(SimDuration::from_millis(1500), SimDuration::from_micros(1_500_000));
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = SimInstant::ZERO;
+        let t1 = t0 + SimDuration::from_secs(10);
+        assert_eq!((t1 - t0).as_secs_f64(), 10.0);
+        assert_eq!(t0.duration_since(t1), SimDuration::ZERO);
+        assert_eq!(t1.duration_since(t0), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        c.advance_to(SimInstant::from_micros(5));
+        c.advance_to(SimInstant::from_micros(5));
+        c.advance_to(SimInstant::from_micros(9));
+        assert_eq!(c.now().as_micros(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn clock_rejects_backwards_motion() {
+        let mut c = SimClock::new();
+        c.advance_to(SimInstant::from_micros(5));
+        c.advance_to(SimInstant::from_micros(4));
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(format!("{}", SimDuration::from_micros(250)), "250us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.0ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(90)), "90.00s");
+        assert_eq!(format!("{}", SimDuration::from_mins(25)), "25.0min");
+        assert_eq!(format!("{}", SimDuration::from_hours(3)), "3.00h");
+    }
+}

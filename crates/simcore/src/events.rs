@@ -1,0 +1,214 @@
+//! The event queue at the heart of the discrete-event kernel.
+//!
+//! Events are ordered by `(time, sequence)`: ties at the same instant are
+//! delivered in the order they were scheduled, which keeps the simulation
+//! deterministic regardless of payload type.
+
+use crate::clock::{SimClock, SimDuration, SimInstant};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for a point in simulated time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    pub at: SimInstant,
+    seq: u64,
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    // BinaryHeap is a max-heap; invert so the earliest event pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list bound to a [`SimClock`].
+///
+/// ```
+/// use als_simcore::{EventQueue, SimDuration};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_in(SimDuration::from_secs(5), "later");
+/// q.schedule_in(SimDuration::from_secs(1), "sooner");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(e, "sooner");
+/// assert_eq!(t.as_secs_f64(), 1.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue<E> {
+    clock: SimClock,
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        Self {
+            clock: SimClock::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at(&mut self, at: SimInstant, payload: E) {
+        assert!(
+            at >= self.clock.now(),
+            "cannot schedule into the past ({} < {})",
+            at,
+            self.clock.now()
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, payload });
+    }
+
+    /// Schedule `payload` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) {
+        self.schedule_at(self.clock.now() + delay, payload);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimInstant, E)> {
+        let ev = self.heap.pop()?;
+        self.clock.advance_to(ev.at);
+        Some((ev.at, ev.payload))
+    }
+
+    /// Peek at the timestamp of the next event without consuming it.
+    pub fn peek_time(&self) -> Option<SimInstant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Drain every event, in order, into a handler. Events scheduled by the
+    /// handler itself are also delivered; the loop ends when the queue is
+    /// empty or `until` (if given) is passed.
+    pub fn run<F>(&mut self, until: Option<SimInstant>, mut handler: F)
+    where
+        F: FnMut(&mut Self, SimInstant, E),
+    {
+        loop {
+            match self.peek_time() {
+                None => break,
+                Some(t) if until.is_some_and(|u| t > u) => break,
+                Some(_) => {
+                    let (t, e) = self.pop().expect("peeked event must pop");
+                    handler(self, t, e);
+                }
+            }
+        }
+        if let Some(u) = until {
+            if u >= self.clock.now() {
+                self.clock.advance_to(u);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimInstant::from_micros(30), "c");
+        q.schedule_at(SimInstant::from_micros(10), "a");
+        q.schedule_at(SimInstant::from_micros(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimInstant::from_micros(7);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_advances_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::from_secs(3), ());
+        q.pop();
+        assert_eq!(q.now().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::from_secs(1), 1u8);
+        q.pop();
+        q.schedule_at(SimInstant::from_micros(10), 2u8);
+    }
+
+    #[test]
+    fn run_delivers_cascading_events() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::from_secs(1), 0u32);
+        let mut seen = Vec::new();
+        q.run(None, |q, _t, depth| {
+            seen.push(depth);
+            if depth < 3 {
+                q.schedule_in(SimDuration::from_secs(1), depth + 1);
+            }
+        });
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(q.now().as_secs_f64(), 4.0);
+    }
+
+    #[test]
+    fn run_respects_horizon() {
+        let mut q = EventQueue::new();
+        for s in 1..=10 {
+            q.schedule_in(SimDuration::from_secs(s), s);
+        }
+        let mut seen = Vec::new();
+        q.run(Some(SimInstant::ZERO + SimDuration::from_secs(4)), |_, _, e| {
+            seen.push(e)
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+        // clock parked exactly at the horizon, later events still queued
+        assert_eq!(q.now().as_secs_f64(), 4.0);
+        assert_eq!(q.len(), 6);
+    }
+}

@@ -1,0 +1,226 @@
+//! Seeded randomness and the workload distributions used by the
+//! paper-scale experiments.
+//!
+//! Everything stochastic in the simulation draws from a [`SimRng`] created
+//! with an explicit seed, so each experiment is reproducible bit-for-bit.
+//! [`WorkloadDist`] captures the shapes the paper reports: scan sizes
+//! ("a few MB" cropped tests up to >30 GB full scans — strongly bimodal),
+//! queue jitter, and service-time noise.
+
+use crate::units::ByteSize;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A seeded random source for simulations.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from an explicit 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream (used to give each facility its
+    /// own stream so adding draws in one place cannot shift another's).
+    pub fn fork(&mut self, tag: u64) -> SimRng {
+        let s: u64 = self.inner.gen::<u64>() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seeded(s)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Normal sample clamped to be non-negative.
+    pub fn normal_pos(&mut self, mean: f64, sd: f64) -> f64 {
+        let n = Normal::new(mean, sd.max(f64::EPSILON)).expect("valid normal");
+        n.sample(&mut self.inner).max(0.0)
+    }
+
+    /// Log-normal sample parameterised by the *median* and a multiplicative
+    /// spread `sigma` (sd of the underlying normal). Heavy right tail, which
+    /// matches the skew in Table 2's `new_file_832` row (mean 120 s, median
+    /// 56 s).
+    pub fn lognormal_med(&mut self, median: f64, sigma: f64) -> f64 {
+        let ln = LogNormal::new(median.max(f64::MIN_POSITIVE).ln(), sigma.max(f64::EPSILON))
+            .expect("valid lognormal");
+        ln.sample(&mut self.inner)
+    }
+
+    /// Exponential inter-arrival sample with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Access the raw rng for `rand_distr` composition.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// Distribution shapes used by workload generators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WorkloadDist {
+    /// Every sample is the same value.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Normal clamped at zero.
+    Normal { mean: f64, sd: f64 },
+    /// Log-normal with given median and multiplicative spread.
+    LogNormal { median: f64, sigma: f64 },
+    /// Mixture of two branches: with probability `p` draw from `a`,
+    /// otherwise from `b`. Captures the cropped-test vs full-scan
+    /// bimodality of beamline file sizes.
+    Mix {
+        p: f64,
+        a: Box<WorkloadDist>,
+        b: Box<WorkloadDist>,
+    },
+}
+
+impl WorkloadDist {
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            WorkloadDist::Constant(v) => *v,
+            WorkloadDist::Uniform { lo, hi } => rng.uniform(*lo, *hi),
+            WorkloadDist::Normal { mean, sd } => rng.normal_pos(*mean, *sd),
+            WorkloadDist::LogNormal { median, sigma } => rng.lognormal_med(*median, *sigma),
+            WorkloadDist::Mix { p, a, b } => {
+                if rng.chance(*p) {
+                    a.sample(rng)
+                } else {
+                    b.sample(rng)
+                }
+            }
+        }
+    }
+
+    /// Draw a sample clamped to `[lo, hi]`.
+    pub fn sample_clamped(&self, rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+
+    /// Interpret the sample as GiB and convert.
+    pub fn sample_bytes(&self, rng: &mut SimRng) -> ByteSize {
+        ByteSize::from_gib_f64(self.sample(rng))
+    }
+
+    /// The beamline 8.3.2 scan-size model from the paper: ~20% cropped test
+    /// scans of a few MB, ~80% scientific scans of 20–30 GB (occasionally
+    /// larger).
+    pub fn beamline_scan_sizes() -> WorkloadDist {
+        WorkloadDist::Mix {
+            p: 0.2,
+            a: Box::new(WorkloadDist::LogNormal {
+                median: 0.005, // ~5 MB cropped test scans
+                sigma: 0.8,
+            }),
+            b: Box::new(WorkloadDist::Normal {
+                mean: 24.0, // GiB, "typical scientific scans are between 20-30 GB"
+                sd: 5.0,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..64 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seeded(1);
+        let mut b = SimRng::seeded(2);
+        let same = (0..32).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut base1 = SimRng::seeded(7);
+        let mut base2 = SimRng::seeded(7);
+        let mut c1 = base1.fork(1);
+        let mut c2 = base2.fork(1);
+        for _ in 0..16 {
+            assert_eq!(c1.unit().to_bits(), c2.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let mut rng = SimRng::seeded(9);
+        let mut v: Vec<f64> = (0..20_000).map(|_| rng.lognormal_med(56.0, 1.0)).collect();
+        v.sort_by(f64::total_cmp);
+        let med = v[v.len() / 2];
+        assert!((med - 56.0).abs() / 56.0 < 0.05, "median {med}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seeded(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(30.0)).sum::<f64>() / n as f64;
+        assert!((mean - 30.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn beamline_scan_sizes_are_bimodal() {
+        let dist = WorkloadDist::beamline_scan_sizes();
+        let mut rng = SimRng::seeded(3);
+        let sizes: Vec<ByteSize> = (0..2000).map(|_| dist.sample_bytes(&mut rng)).collect();
+        let small = sizes.iter().filter(|s| s.as_gib_f64() < 1.0).count();
+        let big = sizes.iter().filter(|s| s.as_gib_f64() > 15.0).count();
+        // ~20% small test scans, the bulk between 20-30 GiB
+        assert!((small as f64 / 2000.0 - 0.2).abs() < 0.05, "small {small}");
+        assert!(big as f64 / 2000.0 > 0.7, "big {big}");
+    }
+
+    #[test]
+    fn normal_pos_never_negative() {
+        let mut rng = SimRng::seeded(5);
+        for _ in 0..5000 {
+            assert!(rng.normal_pos(0.1, 10.0) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Summary statistics in the exact shape of the paper's Table 2:
+//! `N`, `mean ± SD`, median, `[min, max]`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Five-number summary of a sample, matching Table 2's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub sd: f64,
+    pub median: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary from a sample. Returns `None` for an empty sample.
+    ///
+    /// The standard deviation is the *sample* SD (n−1 denominator), which is
+    /// what Prefect-style monitoring dashboards report. The median of an
+    /// even-length sample is the mean of the two central order statistics.
+    pub fn from_slice(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let sd = if n > 1 {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            sd,
+            median,
+            min: sorted[0],
+            max: sorted[n - 1],
+        })
+    }
+
+    /// Percentile via nearest-rank on a copy of the data (0.0..=100.0).
+    pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Format as a Table 2 row: `N  mean ± SD  median  [min, max]`,
+    /// durations rounded to whole seconds like the paper.
+    pub fn table2_row(&self, name: &str) -> String {
+        format!(
+            "{:<18} {:>4} {:>6.0} ± {:<6.0} {:>6.0} [{:.0}, {:.0}]",
+            name, self.n, self.mean, self.sd, self.median, self.min, self.max
+        )
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}±{:.1} med={:.1} range=[{:.1}, {:.1}]",
+            self.n, self.mean, self.sd, self.median, self.min, self.max
+        )
+    }
+}
+
+/// Online mean/variance accumulator (Welford). Used by long-running
+/// monitors (e.g. the Grafana-style bandwidth tracker) where storing every
+/// sample would be wasteful.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (n−1).
+    pub fn sd(&self) -> f64 {
+        if self.n > 1 {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // sample sd of this classic dataset = sqrt(32/7)
+        assert!((s.sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::from_slice(&[]).is_none());
+        assert!(Summary::percentile(&[], 50.0).is_none());
+    }
+
+    #[test]
+    fn single_sample_has_zero_sd() {
+        let s = Summary::from_slice(&[3.5]).unwrap();
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.median, 3.5);
+    }
+
+    #[test]
+    fn odd_length_median_is_central_element() {
+        let s = Summary::from_slice(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_data() {
+        let v: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert_eq!(Summary::percentile(&v, 0.0), Some(0.0));
+        assert_eq!(Summary::percentile(&v, 50.0), Some(50.0));
+        assert_eq!(Summary::percentile(&v, 100.0), Some(100.0));
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let batch = Summary::from_slice(&data).unwrap();
+        let mut online = OnlineStats::new();
+        for &x in &data {
+            online.push(x);
+        }
+        assert!((online.mean() - batch.mean).abs() < 1e-9);
+        assert!((online.sd() - batch.sd).abs() < 1e-9);
+        assert_eq!(online.min(), batch.min);
+        assert_eq!(online.max(), batch.max);
+        assert_eq!(online.count() as usize, batch.n);
+    }
+
+    #[test]
+    fn table2_row_formats_like_paper() {
+        let s = Summary {
+            n: 100,
+            mean: 120.0,
+            sd: 171.0,
+            median: 56.0,
+            min: 30.0,
+            max: 676.0,
+        };
+        let row = s.table2_row("new_file_832");
+        assert!(row.contains("100"));
+        assert!(row.contains("120"));
+        assert!(row.contains("171"));
+        assert!(row.contains("[30, 676]"));
+    }
+}

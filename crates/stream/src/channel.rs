@@ -1,0 +1,199 @@
+//! PVA-style pub/sub channel.
+//!
+//! One publisher, many monitor subscribers. Each subscriber owns a bounded
+//! queue; when a slow subscriber's queue is full the update is dropped for
+//! that subscriber only (PVA monitor semantics) and counted, so tests can
+//! assert on backpressure behaviour.
+
+use crate::ScanAnnounce;
+use als_phantom::Frame;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Messages carried by the channel.
+#[derive(Debug, Clone)]
+pub enum StreamMessage {
+    /// A scan is starting; payload describes the acquisition.
+    ScanStart(Arc<ScanAnnounce>),
+    /// One detector frame.
+    Frame(Arc<Frame>),
+    /// The acquisition finished.
+    ScanEnd { scan_id: String },
+}
+
+/// The publisher side.
+#[derive(Debug, Default)]
+pub struct PvaServer {
+    subs: Mutex<Vec<Sender<StreamMessage>>>,
+    published: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl PvaServer {
+    pub fn new() -> Arc<PvaServer> {
+        Arc::new(PvaServer::default())
+    }
+
+    /// Attach a monitor with a queue of `capacity` updates.
+    pub fn subscribe(&self, capacity: usize) -> Subscription {
+        let (tx, rx) = bounded(capacity.max(1));
+        self.subs.lock().push(tx);
+        Subscription { rx }
+    }
+
+    /// Publish to every live subscriber; slow subscribers drop this
+    /// update. Disconnected subscribers are pruned.
+    pub fn publish(&self, msg: StreamMessage) {
+        self.published.fetch_add(1, Ordering::Relaxed);
+        let mut subs = self.subs.lock();
+        subs.retain(|tx| {
+            match tx.try_send(msg.clone()) {
+                Ok(()) => true,
+                Err(crossbeam::channel::TrySendError::Full(_)) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                Err(crossbeam::channel::TrySendError::Disconnected(_)) => false,
+            }
+        });
+    }
+
+    /// Updates published so far.
+    pub fn published_count(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Updates dropped across all subscribers.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.lock().len()
+    }
+}
+
+/// The monitor side.
+#[derive(Debug)]
+pub struct Subscription {
+    rx: Receiver<StreamMessage>,
+}
+
+impl Subscription {
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<StreamMessage, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<StreamMessage> {
+        self.rx.try_recv().ok()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_phantom::FrameMeta;
+
+    fn frame(id: usize) -> StreamMessage {
+        StreamMessage::Frame(Arc::new(Frame {
+            meta: FrameMeta {
+                frame_id: id,
+                angle_rad: 0.0,
+                n_angles: 100,
+                rows: 2,
+                cols: 2,
+            },
+            data: vec![0; 4],
+        }))
+    }
+
+    #[test]
+    fn messages_arrive_in_order() {
+        let server = PvaServer::new();
+        let sub = server.subscribe(16);
+        for i in 0..10 {
+            server.publish(frame(i));
+        }
+        for i in 0..10 {
+            match sub.try_recv().unwrap() {
+                StreamMessage::Frame(f) => assert_eq!(f.meta.frame_id, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(sub.try_recv().is_none());
+    }
+
+    #[test]
+    fn every_subscriber_gets_a_copy() {
+        let server = PvaServer::new();
+        let a = server.subscribe(8);
+        let b = server.subscribe(8);
+        server.publish(frame(0));
+        assert!(a.try_recv().is_some());
+        assert!(b.try_recv().is_some());
+        assert_eq!(server.subscriber_count(), 2);
+    }
+
+    #[test]
+    fn slow_subscriber_drops_but_does_not_block() {
+        let server = PvaServer::new();
+        let slow = server.subscribe(2);
+        let fast = server.subscribe(100);
+        for i in 0..10 {
+            server.publish(frame(i));
+        }
+        // slow kept only the first two, fast all ten
+        assert_eq!(slow.len(), 2);
+        assert_eq!(fast.len(), 10);
+        assert_eq!(server.dropped_count(), 8);
+        assert_eq!(server.published_count(), 10);
+    }
+
+    #[test]
+    fn disconnected_subscribers_are_pruned() {
+        let server = PvaServer::new();
+        let sub = server.subscribe(4);
+        drop(sub);
+        server.publish(frame(0));
+        assert_eq!(server.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_silence() {
+        let server = PvaServer::new();
+        let sub = server.subscribe(4);
+        let r = sub.recv_timeout(Duration::from_millis(20));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn publish_from_thread_reaches_subscriber() {
+        let server = PvaServer::new();
+        let sub = server.subscribe(64);
+        let s2 = Arc::clone(&server);
+        let h = std::thread::spawn(move || {
+            for i in 0..32 {
+                s2.publish(frame(i));
+            }
+        });
+        h.join().unwrap();
+        let mut got = 0;
+        while sub.try_recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 32);
+    }
+}

@@ -1,0 +1,256 @@
+//! The file-writing service (§4.2.1).
+//!
+//! Subscribes to the mirror, validates each frame's metadata, and — once
+//! the acquisition completes — writes the scan container to the beamline
+//! data directory and reports the finished file (the hook that triggers
+//! the Prefect `new_file_832` flow in production).
+
+use crate::channel::{StreamMessage, Subscription};
+use crate::ScanAnnounce;
+use als_phantom::Frame;
+use als_scidata::ScanFile;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Report for one completed acquisition.
+#[derive(Debug, Clone)]
+pub struct WrittenScan {
+    pub scan_id: String,
+    pub path: PathBuf,
+    pub n_frames: usize,
+    pub bytes: u64,
+    /// Frames rejected by metadata validation.
+    pub rejected_frames: usize,
+}
+
+/// Handle to a running file writer.
+pub struct FileWriterHandle {
+    completions: Receiver<WrittenScan>,
+    rejected: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl FileWriterHandle {
+    /// Wait for the next completed scan file.
+    pub fn wait_completion(&self, timeout: Duration) -> Option<WrittenScan> {
+        self.completions.recv_timeout(timeout).ok()
+    }
+
+    /// Total frames rejected by validation so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stop the service and join its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for FileWriterHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The service itself.
+pub struct FileWriterService;
+
+impl FileWriterService {
+    /// Spawn the writer consuming `sub`, writing finished scans into
+    /// `out_dir`.
+    pub fn spawn(sub: Subscription, out_dir: &Path) -> FileWriterHandle {
+        let out_dir = out_dir.to_path_buf();
+        let (tx, rx): (Sender<WrittenScan>, Receiver<WrittenScan>) = unbounded();
+        let rejected = Arc::new(AtomicU64::new(0));
+        let rejected2 = Arc::clone(&rejected);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut current: Option<(Arc<ScanAnnounce>, Vec<Frame>, usize)> = None;
+            while !stop2.load(Ordering::Relaxed) {
+                let msg = match sub.recv_timeout(Duration::from_millis(20)) {
+                    Ok(m) => m,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                };
+                match msg {
+                    StreamMessage::ScanStart(announce) => {
+                        current = Some((announce, Vec::new(), 0));
+                    }
+                    StreamMessage::Frame(frame) => {
+                        if let Some((announce, frames, rejected_here)) = current.as_mut() {
+                            // validate metadata before writing, as the
+                            // production service does
+                            let valid = frame.meta.validate().is_ok()
+                                && frame.meta.rows == announce.rows
+                                && frame.meta.cols == announce.cols
+                                && frame.data.len() == announce.rows * announce.cols;
+                            if valid {
+                                frames.push((*frame).clone());
+                            } else {
+                                *rejected_here += 1;
+                                rejected2.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    StreamMessage::ScanEnd { scan_id } => {
+                        if let Some((announce, frames, rejected_here)) = current.take() {
+                            if frames.is_empty() {
+                                continue;
+                            }
+                            let angles: Vec<f64> =
+                                frames.iter().map(|f| f.meta.angle_rad).collect();
+                            if let Ok(scan) = ScanFile::from_frames(
+                                &scan_id,
+                                &frames,
+                                &announce.dark,
+                                &announce.flat,
+                                &angles,
+                            ) {
+                                std::fs::create_dir_all(&out_dir).ok();
+                                let path = out_dir.join(format!("{scan_id}.sdf"));
+                                if scan.save(&path).is_ok() {
+                                    let _ = tx.send(WrittenScan {
+                                        scan_id,
+                                        path,
+                                        n_frames: frames.len(),
+                                        bytes: scan.nbytes(),
+                                        rejected_frames: rejected_here,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        FileWriterHandle {
+            completions: rx,
+            rejected,
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::PvaServer;
+    use crate::publish_scan;
+    use als_phantom::{shepp_logan_volume, DetectorConfig, FrameMeta, ScanSimulator};
+    use als_tomo::Geometry;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("filewriter_{name}"));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn complete_scan_is_written_and_loadable() {
+        let dir = tmpdir("write");
+        let server = PvaServer::new();
+        let writer = FileWriterService::spawn(server.subscribe(4096), &dir);
+        let vol = shepp_logan_volume(32, 3);
+        let geom = Geometry::parallel_180(16, 32);
+        let mut sim = ScanSimulator::new(&vol, geom, DetectorConfig::default(), 3);
+        publish_scan(&server, &mut sim, "scan_0001", DetectorConfig::default().mu_scale);
+        let written = writer.wait_completion(Duration::from_secs(5)).expect("scan written");
+        assert_eq!(written.scan_id, "scan_0001");
+        assert_eq!(written.n_frames, 16);
+        assert_eq!(written.rejected_frames, 0);
+        let loaded = ScanFile::load(&written.path).unwrap();
+        assert_eq!(loaded.shape(), (16, 3, 32));
+        writer.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_not_written() {
+        let dir = tmpdir("reject");
+        let server = PvaServer::new();
+        let writer = FileWriterService::spawn(server.subscribe(1024), &dir);
+        let announce = crate::ScanAnnounce {
+            scan_id: "bad".into(),
+            n_angles: 3,
+            rows: 2,
+            cols: 2,
+            angles: vec![0.0, 0.1, 0.2],
+            dark: vec![0; 4],
+            flat: vec![100; 4],
+            mu_scale: 0.04,
+        };
+        server.publish(StreamMessage::ScanStart(Arc::new(announce)));
+        // one good frame, one with a NaN angle, one with wrong shape
+        let good = Frame {
+            meta: FrameMeta { frame_id: 0, angle_rad: 0.0, n_angles: 3, rows: 2, cols: 2 },
+            data: vec![1; 4],
+        };
+        let nan_angle = Frame {
+            meta: FrameMeta { frame_id: 1, angle_rad: f64::NAN, n_angles: 3, rows: 2, cols: 2 },
+            data: vec![1; 4],
+        };
+        let wrong_shape = Frame {
+            meta: FrameMeta { frame_id: 2, angle_rad: 0.2, n_angles: 3, rows: 4, cols: 4 },
+            data: vec![1; 16],
+        };
+        for f in [good, nan_angle, wrong_shape] {
+            server.publish(StreamMessage::Frame(Arc::new(f)));
+        }
+        server.publish(StreamMessage::ScanEnd { scan_id: "bad".into() });
+        let written = writer.wait_completion(Duration::from_secs(5)).expect("written");
+        assert_eq!(written.n_frames, 1);
+        assert_eq!(written.rejected_frames, 2);
+        assert_eq!(writer.rejected_count(), 2);
+        writer.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn frames_without_scan_start_are_ignored() {
+        let dir = tmpdir("orphan");
+        let server = PvaServer::new();
+        let writer = FileWriterService::spawn(server.subscribe(64), &dir);
+        let f = Frame {
+            meta: FrameMeta { frame_id: 0, angle_rad: 0.0, n_angles: 1, rows: 2, cols: 2 },
+            data: vec![1; 4],
+        };
+        server.publish(StreamMessage::Frame(Arc::new(f)));
+        server.publish(StreamMessage::ScanEnd { scan_id: "orphan".into() });
+        assert!(writer.wait_completion(Duration::from_millis(300)).is_none());
+        writer.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn consecutive_scans_produce_separate_files() {
+        let dir = tmpdir("multi");
+        let server = PvaServer::new();
+        let writer = FileWriterService::spawn(server.subscribe(8192), &dir);
+        let vol = shepp_logan_volume(32, 2);
+        let geom = Geometry::parallel_180(8, 32);
+        for i in 0..2 {
+            let mut sim = ScanSimulator::new(&vol, geom.clone(), DetectorConfig::default(), i);
+            publish_scan(&server, &mut sim, &format!("scan_{i:04}"), 0.04);
+        }
+        let w1 = writer.wait_completion(Duration::from_secs(5)).unwrap();
+        let w2 = writer.wait_completion(Duration::from_secs(5)).unwrap();
+        assert_ne!(w1.path, w2.path);
+        writer.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

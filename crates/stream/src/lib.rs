@@ -1,0 +1,75 @@
+//! # als-stream
+//!
+//! The streaming branch of the paper's infrastructure, implemented with
+//! real threads and channels (not the discrete-event model):
+//!
+//! * [`channel`] — a PVA-style pub/sub channel: one publisher (the
+//!   detector IOC), many monitor subscribers with bounded queues;
+//! * [`mirror`] — the channel mirror server that republishes the
+//!   detector stream for the file writer *and* the optional remote
+//!   streaming service (§4.2.1);
+//! * [`filewriter`] — the file-writing systemd-service substitute: it
+//!   validates each frame's metadata and assembles the scan file on
+//!   acquisition completion;
+//! * [`streamer`] — the NERSC streaming reconstruction service: caches
+//!   frames in memory, reconstructs on scan end, and sends a three-slice
+//!   preview back over a ZeroMQ-style reply channel — the paper's
+//!   sub-10-second feedback path.
+
+pub mod channel;
+pub mod filewriter;
+pub mod mirror;
+pub mod streamer;
+
+pub use channel::{PvaServer, StreamMessage, Subscription};
+pub use filewriter::{FileWriterHandle, FileWriterService};
+pub use mirror::ChannelMirror;
+pub use streamer::{Preview, PreviewChannel, StreamerConfig, StreamingReconService};
+
+use als_phantom::{Frame, ScanSimulator};
+use std::sync::Arc;
+
+/// Announcement published at the start of a scan: everything downstream
+/// services need to interpret the frames that follow.
+#[derive(Debug, Clone)]
+pub struct ScanAnnounce {
+    pub scan_id: String,
+    pub n_angles: usize,
+    pub rows: usize,
+    pub cols: usize,
+    pub angles: Vec<f64>,
+    pub dark: Vec<u16>,
+    pub flat: Vec<u16>,
+    /// Detector μ scaling, needed to invert counts to line integrals.
+    pub mu_scale: f64,
+}
+
+/// Drive a [`ScanSimulator`] through a PVA server: Start, every frame in
+/// order, End. This is the detector IOC's role.
+pub fn publish_scan(
+    server: &PvaServer,
+    sim: &mut ScanSimulator,
+    scan_id: &str,
+    mu_scale: f64,
+) -> usize {
+    let announce = ScanAnnounce {
+        scan_id: scan_id.to_string(),
+        n_angles: sim.n_frames(),
+        rows: sim.rows(),
+        cols: sim.cols(),
+        angles: sim.geometry().angles.clone(),
+        dark: sim.dark_field().to_vec(),
+        flat: sim.flat_field().to_vec(),
+        mu_scale,
+    };
+    server.publish(StreamMessage::ScanStart(Arc::new(announce)));
+    let n = sim.n_frames();
+    for a in 0..n {
+        let frame: Frame = sim.frame(a);
+        server.publish(StreamMessage::Frame(Arc::new(frame)));
+    }
+    server.publish(StreamMessage::ScanEnd {
+        scan_id: scan_id.to_string(),
+    });
+    n
+}

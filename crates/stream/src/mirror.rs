@@ -1,0 +1,158 @@
+//! The PVA channel mirror server (§4.2.1).
+//!
+//! The beamline's local storage server runs a mirror that subscribes to
+//! the detector IOC's channel and republishes every update on its own
+//! server, decoupling the IOC from downstream consumers (the file writer
+//! and the optional NERSC streaming service). The mirror runs on its own
+//! thread and forwards until the upstream goes quiet or it is stopped.
+
+use crate::channel::{PvaServer, StreamMessage, Subscription};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running channel mirror.
+pub struct ChannelMirror {
+    output: Arc<PvaServer>,
+    forwarded: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ChannelMirror {
+    /// Spawn a mirror forwarding from `upstream` onto a new output server.
+    /// `idle_timeout` bounds how long the mirror waits for the next
+    /// upstream update before checking its stop flag again.
+    pub fn spawn(upstream: Subscription, idle_timeout: Duration) -> ChannelMirror {
+        let output = PvaServer::new();
+        let forwarded = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let out2 = Arc::clone(&output);
+        let fwd2 = Arc::clone(&forwarded);
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match upstream.recv_timeout(idle_timeout) {
+                    Ok(msg) => {
+                        out2.publish(msg);
+                        fwd2.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+        ChannelMirror {
+            output,
+            forwarded,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// The republished channel downstream services subscribe to.
+    pub fn output(&self) -> &Arc<PvaServer> {
+        &self.output
+    }
+
+    /// Updates forwarded so far.
+    pub fn forwarded_count(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Stop the mirror and join its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChannelMirror {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Convenience: forward a scan message unchanged (identity transform the
+/// mirror applies; exists so republishing policy changes have one place).
+pub fn forward(msg: StreamMessage) -> StreamMessage {
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_phantom::{Frame, FrameMeta};
+
+    fn frame(id: usize) -> StreamMessage {
+        StreamMessage::Frame(Arc::new(Frame {
+            meta: FrameMeta {
+                frame_id: id,
+                angle_rad: 0.1,
+                n_angles: 64,
+                rows: 2,
+                cols: 2,
+            },
+            data: vec![7; 4],
+        }))
+    }
+
+    #[test]
+    fn mirror_republishes_everything_in_order() {
+        let ioc = PvaServer::new();
+        let mirror = ChannelMirror::spawn(ioc.subscribe(256), Duration::from_millis(10));
+        let downstream = mirror.output().subscribe(256);
+        for i in 0..50 {
+            ioc.publish(frame(i));
+        }
+        // wait for forwarding to finish
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while mirror.forwarded_count() < 50 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(mirror.forwarded_count(), 50);
+        for i in 0..50 {
+            match downstream.recv_timeout(Duration::from_millis(200)).unwrap() {
+                StreamMessage::Frame(f) => assert_eq!(f.meta.frame_id, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        mirror.stop();
+    }
+
+    #[test]
+    fn mirror_fans_out_to_multiple_consumers() {
+        let ioc = PvaServer::new();
+        let mirror = ChannelMirror::spawn(ioc.subscribe(64), Duration::from_millis(10));
+        let file_writer = mirror.output().subscribe(64);
+        let streaming_svc = mirror.output().subscribe(64);
+        ioc.publish(frame(0));
+        let a = file_writer.recv_timeout(Duration::from_secs(1));
+        let b = streaming_svc.recv_timeout(Duration::from_secs(1));
+        assert!(a.is_ok() && b.is_ok());
+        mirror.stop();
+    }
+
+    #[test]
+    fn stop_terminates_the_thread() {
+        let ioc = PvaServer::new();
+        let mirror = ChannelMirror::spawn(ioc.subscribe(8), Duration::from_millis(5));
+        mirror.stop(); // must not hang
+    }
+
+    #[test]
+    fn mirror_survives_upstream_disconnect() {
+        let ioc = PvaServer::new();
+        let sub = ioc.subscribe(8);
+        drop(ioc); // upstream gone
+        let mirror = ChannelMirror::spawn(sub, Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(30));
+        mirror.stop(); // thread exited on disconnect; stop still clean
+    }
+}

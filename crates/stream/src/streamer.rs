@@ -1,0 +1,248 @@
+//! The NERSC streaming reconstruction service (§4.2.3, the <10 s path).
+//!
+//! Connects to the beamline's PVA mirror, caches incoming frames in
+//! memory (no filesystem hop — the whole point of the streaming branch),
+//! and when the acquisition ends performs a back projection of the full
+//! dataset and sends a three-slice preview back to the beamline over a
+//! ZeroMQ-style reply channel. The measured wall times feed the S1
+//! experiment (paper: 7–8 s reconstruction, <1 s preview return, <10 s
+//! total at 1969×2160×2560 scale on 4 GPUs; here: laptop scale, same
+//! code path, plus the calibrated model for paper-scale numbers).
+
+use crate::channel::{StreamMessage, Subscription};
+use crate::ScanAnnounce;
+use als_phantom::{frames_to_sinogram, Frame};
+use als_tomo::{fbp_volume, FbpConfig, Geometry, Image, Sinogram};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for the streaming service.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct StreamerConfig {
+    /// Reconstruction settings for the preview pass.
+    pub fbp: FbpConfig,
+}
+
+
+/// The three orthogonal preview slices sent back to the beamline, plus
+/// timing telemetry.
+#[derive(Debug, Clone)]
+pub struct Preview {
+    pub scan_id: String,
+    /// XY (axial), XZ and YZ slices through the volume center.
+    pub slices: [Image; 3],
+    /// Frames that were cached when the scan ended.
+    pub cached_frames: usize,
+    /// Wall-clock reconstruction time.
+    pub recon_wall: Duration,
+    /// Wall-clock preview serialization + send time.
+    pub send_wall: Duration,
+}
+
+/// Receiving side of the ZeroMQ-style reply channel at the beamline.
+pub struct PreviewChannel {
+    rx: Receiver<Preview>,
+}
+
+impl PreviewChannel {
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Preview> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// Handle to the running service.
+pub struct StreamingReconService {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StreamingReconService {
+    /// Launch the service consuming `sub`. Returns the service handle and
+    /// the beamline-side preview channel.
+    pub fn spawn(sub: Subscription, cfg: StreamerConfig) -> (StreamingReconService, PreviewChannel) {
+        let (tx, rx): (Sender<Preview>, Receiver<Preview>) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut current: Option<(Arc<ScanAnnounce>, Vec<Arc<Frame>>)> = None;
+            while !stop2.load(Ordering::Relaxed) {
+                let msg = match sub.recv_timeout(Duration::from_millis(20)) {
+                    Ok(m) => m,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                };
+                match msg {
+                    StreamMessage::ScanStart(announce) => {
+                        // in-memory frame cache for this acquisition
+                        current = Some((announce, Vec::new()));
+                    }
+                    StreamMessage::Frame(frame) => {
+                        if let Some((_, cache)) = current.as_mut() {
+                            cache.push(frame);
+                        }
+                    }
+                    StreamMessage::ScanEnd { scan_id } => {
+                        let Some((announce, cache)) = current.take() else {
+                            continue;
+                        };
+                        if cache.is_empty() {
+                            continue;
+                        }
+                        if let Some(preview) = reconstruct_preview(&announce, &cache, &cfg, &scan_id)
+                        {
+                            let _ = tx.send(preview);
+                        }
+                    }
+                }
+            }
+        });
+        (
+            StreamingReconService {
+                stop,
+                handle: Some(handle),
+            },
+            PreviewChannel { rx },
+        )
+    }
+
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StreamingReconService {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Reconstruct the cached acquisition and assemble the preview. Public so
+/// benches can measure the same code path the service thread runs.
+pub fn reconstruct_preview(
+    announce: &ScanAnnounce,
+    cache: &[Arc<Frame>],
+    cfg: &StreamerConfig,
+    scan_id: &str,
+) -> Option<Preview> {
+    let t_recon = Instant::now();
+    let frames: Vec<Frame> = cache.iter().map(|f| (**f).clone()).collect();
+    let angles: Vec<f64> = frames.iter().map(|f| f.meta.angle_rad).collect();
+    let geom = Geometry {
+        angles,
+        n_det: announce.cols,
+        center: (announce.cols as f64 - 1.0) / 2.0,
+    };
+    let sinos: Vec<Sinogram> = (0..announce.rows)
+        .map(|r| frames_to_sinogram(&frames, &announce.dark, &announce.flat, r, announce.mu_scale))
+        .collect();
+    let vol = fbp_volume(&sinos, &geom, &cfg.fbp).ok()?;
+    let recon_wall = t_recon.elapsed();
+
+    let t_send = Instant::now();
+    let slices = [
+        vol.slice_xy(vol.nz / 2),
+        vol.slice_xz(vol.ny / 2),
+        vol.slice_yz(vol.nx / 2),
+    ];
+    let send_wall = t_send.elapsed();
+    Some(Preview {
+        scan_id: scan_id.to_string(),
+        slices,
+        cached_frames: cache.len(),
+        recon_wall,
+        send_wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::PvaServer;
+    use crate::publish_scan;
+    use als_phantom::{shepp_logan_volume, DetectorConfig, ScanSimulator};
+    use als_tomo::Geometry as TomoGeometry;
+
+    #[test]
+    fn preview_arrives_after_scan_end() {
+        let server = PvaServer::new();
+        let (svc, previews) =
+            StreamingReconService::spawn(server.subscribe(8192), StreamerConfig::default());
+        let vol = shepp_logan_volume(48, 4);
+        let geom = TomoGeometry::parallel_180(40, 48);
+        let cfg = DetectorConfig {
+            noise: false,
+            ..Default::default()
+        };
+        let mut sim = ScanSimulator::new(&vol, geom, cfg, 7);
+        publish_scan(&server, &mut sim, "stream_scan", cfg.mu_scale);
+        let p = previews.recv_timeout(Duration::from_secs(20)).expect("preview");
+        assert_eq!(p.scan_id, "stream_scan");
+        assert_eq!(p.cached_frames, 40);
+        assert_eq!(p.slices[0].width, 48); // XY slice
+        assert_eq!(p.slices[1].height, 4); // XZ slice spans nz
+        assert!(p.recon_wall > Duration::ZERO);
+        svc.stop();
+    }
+
+    #[test]
+    fn preview_reconstruction_resembles_phantom() {
+        let server = PvaServer::new();
+        let (svc, previews) =
+            StreamingReconService::spawn(server.subscribe(8192), StreamerConfig::default());
+        let n = 48;
+        let vol = shepp_logan_volume(n, 3);
+        let geom = TomoGeometry::parallel_180(96, n);
+        let cfg = DetectorConfig {
+            noise: false,
+            ..Default::default()
+        };
+        let mut sim = ScanSimulator::new(&vol, geom, cfg, 9);
+        publish_scan(&server, &mut sim, "q", cfg.mu_scale);
+        let p = previews.recv_timeout(Duration::from_secs(30)).expect("preview");
+        // middle slice should correlate with the phantom's middle slice
+        let truth = vol.slice_xy(1);
+        let rec = &p.slices[0];
+        let err = als_tomo::quality::mse_in_disk(&truth, rec).sqrt();
+        assert!(err < 0.15, "preview rmse {err}");
+        svc.stop();
+    }
+
+    #[test]
+    fn scan_end_without_frames_sends_nothing() {
+        let server = PvaServer::new();
+        let (svc, previews) =
+            StreamingReconService::spawn(server.subscribe(64), StreamerConfig::default());
+        server.publish(StreamMessage::ScanEnd { scan_id: "ghost".into() });
+        assert!(previews.recv_timeout(Duration::from_millis(300)).is_none());
+        svc.stop();
+    }
+
+    #[test]
+    fn service_handles_back_to_back_scans() {
+        let server = PvaServer::new();
+        let (svc, previews) =
+            StreamingReconService::spawn(server.subscribe(16384), StreamerConfig::default());
+        let vol = shepp_logan_volume(32, 2);
+        let geom = TomoGeometry::parallel_180(16, 32);
+        for i in 0..3 {
+            let cfg = DetectorConfig::default();
+            let mut sim = ScanSimulator::new(&vol, geom.clone(), cfg, i);
+            publish_scan(&server, &mut sim, &format!("s{i}"), cfg.mu_scale);
+        }
+        for i in 0..3 {
+            let p = previews.recv_timeout(Duration::from_secs(20)).expect("preview");
+            assert_eq!(p.scan_id, format!("s{i}"));
+        }
+        svc.stop();
+    }
+}

@@ -1,0 +1,318 @@
+//! Minimal complex arithmetic and an iterative radix-2 FFT.
+//!
+//! Written in-house so the reconstruction stack has no external FFT
+//! dependency. Sizes are restricted to powers of two; callers zero-pad
+//! (which FBP wants anyway to avoid circular-convolution wraparound).
+
+/// A complex number in `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    pub fn from_re(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+/// Round `n` up to the next power of two (minimum 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+fn fft_inplace(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::from_re(1.0);
+            let (lo, hi) = chunk.split_at_mut(len / 2);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let u = *a;
+                let v = *b * w;
+                *a = u + v;
+                *b = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            *x = x.scale(inv_n);
+        }
+    }
+}
+
+/// Forward FFT (in place). `data.len()` must be a power of two.
+pub fn fft(data: &mut [Complex]) {
+    fft_inplace(data, false);
+}
+
+/// Inverse FFT (in place), normalized by `1/N`.
+pub fn ifft(data: &mut [Complex]) {
+    fft_inplace(data, true);
+}
+
+/// FFT of a real signal, zero-padded to `padded_len` (must be a power of two
+/// and ≥ `signal.len()`).
+pub fn rfft_padded(signal: &[f64], padded_len: usize) -> Vec<Complex> {
+    assert!(padded_len >= signal.len());
+    let mut buf = vec![Complex::ZERO; padded_len];
+    for (b, &s) in buf.iter_mut().zip(signal.iter()) {
+        *b = Complex::from_re(s);
+    }
+    fft(&mut buf);
+    buf
+}
+
+/// 2D FFT of a square row-major grid, in place. `n` is the side length
+/// (power of two). Transforms rows then columns.
+pub fn fft2_inplace(data: &mut [Complex], n: usize, inverse: bool) {
+    assert_eq!(data.len(), n * n);
+    // rows
+    for row in data.chunks_mut(n) {
+        fft_inplace(row, inverse);
+    }
+    // columns via transpose-FFT-transpose
+    transpose_square(data, n);
+    for row in data.chunks_mut(n) {
+        fft_inplace(row, inverse);
+    }
+    transpose_square(data, n);
+}
+
+/// In-place transpose of a square row-major matrix.
+pub fn transpose_square(data: &mut [Complex], n: usize) {
+    for i in 0..n {
+        for j in (i + 1)..n {
+            data.swap(i * n + j, j * n + i);
+        }
+    }
+}
+
+/// Cyclically shift a 1D complex buffer so index 0 moves to the center
+/// (equivalent of `fftshift`).
+pub fn fftshift(data: &mut [Complex]) {
+    let n = data.len();
+    data.rotate_left(n / 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut d = vec![Complex::ZERO; 8];
+        d[0] = Complex::from_re(1.0);
+        fft(&mut d);
+        for c in &d {
+            assert_close(c.re, 1.0, 1e-12);
+            assert_close(c.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_dc_spike() {
+        let mut d = vec![Complex::from_re(2.5); 16];
+        fft(&mut d);
+        assert_close(d[0].re, 40.0, 1e-9);
+        for c in &d[1..] {
+            assert_close(c.abs(), 0.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k = 5;
+        let mut d: Vec<Complex> = (0..n)
+            .map(|i| {
+                Complex::from_re((2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos())
+            })
+            .collect();
+        fft(&mut d);
+        // cosine splits energy between bins k and n-k
+        assert_close(d[k].abs(), n as f64 / 2.0, 1e-9);
+        assert_close(d[n - k].abs(), n as f64 / 2.0, 1e-9);
+        for (i, c) in d.iter().enumerate() {
+            if i != k && i != n - k {
+                assert_close(c.abs(), 0.0, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_signal() {
+        let n = 128;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut d = orig.clone();
+        fft(&mut d);
+        ifft(&mut d);
+        for (a, b) in d.iter().zip(orig.iter()) {
+            assert_close(a.re, b.re, 1e-10);
+            assert_close(a.im, b.im, 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 256;
+        let sig: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_re(((i * 37 % 17) as f64) - 8.0))
+            .collect();
+        let time_energy: f64 = sig.iter().map(|c| c.norm_sq()).sum();
+        let mut d = sig;
+        fft(&mut d);
+        let freq_energy: f64 = d.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        assert_close(time_energy, freq_energy, 1e-6);
+    }
+
+    #[test]
+    fn fft2_roundtrip() {
+        let n = 16;
+        let orig: Vec<Complex> = (0..n * n)
+            .map(|i| Complex::new((i as f64 * 0.11).sin(), (i as f64 * 0.05).cos()))
+            .collect();
+        let mut d = orig.clone();
+        fft2_inplace(&mut d, n, false);
+        fft2_inplace(&mut d, n, true);
+        for (a, b) in d.iter().zip(orig.iter()) {
+            assert_close(a.re, b.re, 1e-9);
+            assert_close(a.im, b.im, 1e-9);
+        }
+    }
+
+    #[test]
+    fn next_pow2_rounds_up() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_size_panics() {
+        let mut d = vec![Complex::ZERO; 12];
+        fft(&mut d);
+    }
+
+    #[test]
+    fn rfft_padded_matches_direct() {
+        let sig = [1.0, -2.0, 3.0];
+        let spec = rfft_padded(&sig, 8);
+        // DC bin equals the sum
+        assert_close(spec[0].re, 2.0, 1e-12);
+        assert_close(spec[0].im, 0.0, 1e-12);
+        // real input => Hermitian spectrum
+        for k in 1..4 {
+            let a = spec[k];
+            let b = spec[8 - k].conj();
+            assert_close(a.re, b.re, 1e-12);
+            assert_close(a.im, b.im, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fftshift_centers_zero_bin() {
+        let mut d: Vec<Complex> = (0..8).map(|i| Complex::from_re(i as f64)).collect();
+        fftshift(&mut d);
+        assert_eq!(d[0].re, 4.0);
+        assert_eq!(d[4].re, 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Parallel-beam acquisition geometry.
+//!
+//! The ALS 8.3.2 beamline performs 180° parallel-beam scans (the paper's
+//! example: 1969 projections over 180°). Geometry couples the projection
+//! angles to the detector bin count and the rotation-axis position.
+
+use serde::{Deserialize, Serialize};
+
+/// Parallel-beam scan geometry for one sinogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Projection angles in radians.
+    pub angles: Vec<f64>,
+    /// Number of detector bins per projection row.
+    pub n_det: usize,
+    /// Rotation-axis position in detector coordinates (bins). For a
+    /// perfectly aligned detector this is `(n_det - 1) / 2`.
+    pub center: f64,
+}
+
+impl Geometry {
+    /// Evenly spaced angles over `[0, π)` — a standard 180° scan.
+    pub fn parallel_180(n_angles: usize, n_det: usize) -> Self {
+        let angles = (0..n_angles)
+            .map(|i| std::f64::consts::PI * i as f64 / n_angles as f64)
+            .collect();
+        Geometry {
+            angles,
+            n_det,
+            center: (n_det as f64 - 1.0) / 2.0,
+        }
+    }
+
+    /// Same but with an explicit (possibly mis-calibrated) rotation center.
+    pub fn with_center(mut self, center: f64) -> Self {
+        self.center = center;
+        self
+    }
+
+    pub fn n_angles(&self) -> usize {
+        self.angles.len()
+    }
+
+    /// Angular step between consecutive projections (radians); zero when
+    /// fewer than two angles.
+    pub fn angle_step(&self) -> f64 {
+        if self.angles.len() < 2 {
+            0.0
+        } else {
+            (self.angles[self.angles.len() - 1] - self.angles[0]) / (self.angles.len() - 1) as f64
+        }
+    }
+
+    /// Sanity-check the geometry against a sinogram shape.
+    pub fn validate(&self, n_angles: usize, n_det: usize) -> Result<(), crate::TomoError> {
+        if self.angles.len() != n_angles || self.n_det != n_det {
+            return Err(crate::TomoError::ShapeMismatch {
+                expected: (self.angles.len(), self.n_det),
+                got: (n_angles, n_det),
+            });
+        }
+        if !(0.0..self.n_det as f64).contains(&self.center) {
+            return Err(crate::TomoError::BadParameter(format!(
+                "rotation center {} outside detector [0, {})",
+                self.center, self.n_det
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_180_spans_half_turn() {
+        let g = Geometry::parallel_180(4, 64);
+        assert_eq!(g.n_angles(), 4);
+        assert_eq!(g.angles[0], 0.0);
+        assert!((g.angles[3] - 3.0 * std::f64::consts::PI / 4.0).abs() < 1e-12);
+        // half-open interval: never reaches π itself
+        assert!(g.angles.iter().all(|&a| a < std::f64::consts::PI));
+        assert_eq!(g.center, 31.5);
+    }
+
+    #[test]
+    fn angle_step_is_uniform() {
+        let g = Geometry::parallel_180(180, 32);
+        assert!((g.angle_step() - std::f64::consts::PI / 180.0).abs() < 1e-12);
+        let g1 = Geometry::parallel_180(1, 32);
+        assert_eq!(g1.angle_step(), 0.0);
+    }
+
+    #[test]
+    fn validate_catches_mismatches() {
+        let g = Geometry::parallel_180(10, 32);
+        assert!(g.validate(10, 32).is_ok());
+        assert!(g.validate(9, 32).is_err());
+        assert!(g.validate(10, 31).is_err());
+        let bad = Geometry::parallel_180(10, 32).with_center(-3.0);
+        assert!(bad.validate(10, 32).is_err());
+    }
+}

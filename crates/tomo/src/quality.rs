@@ -1,0 +1,161 @@
+//! Image quality metrics used by the reconstruction-quality experiments
+//! (EXPERIMENTS.md item Q1): MSE, PSNR, and a global SSIM.
+
+use crate::image::Image;
+use crate::radon::in_recon_disk;
+
+/// Mean squared error between two images of the same shape.
+pub fn mse(a: &Image, b: &Image) -> f64 {
+    assert_eq!((a.width, a.height), (b.width, b.height), "shape mismatch");
+    if a.data.is_empty() {
+        return 0.0;
+    }
+    a.data
+        .iter()
+        .zip(b.data.iter())
+        .map(|(&x, &y)| (x as f64 - y as f64).powi(2))
+        .sum::<f64>()
+        / a.data.len() as f64
+}
+
+/// MSE restricted to the inscribed reconstruction disk (square images).
+pub fn mse_in_disk(a: &Image, b: &Image) -> f64 {
+    assert_eq!((a.width, a.height), (b.width, b.height), "shape mismatch");
+    assert_eq!(a.width, a.height, "disk metric requires square images");
+    let n = a.width;
+    let mut e = 0.0;
+    let mut cnt = 0usize;
+    for y in 0..n {
+        for x in 0..n {
+            if in_recon_disk(x, y, n) {
+                e += (a.get(x, y) as f64 - b.get(x, y) as f64).powi(2);
+                cnt += 1;
+            }
+        }
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        e / cnt as f64
+    }
+}
+
+/// Peak signal-to-noise ratio in dB. `peak` is the dynamic range of the
+/// reference (pass the phantom's max value). Returns +inf for identical
+/// images.
+pub fn psnr(reference: &Image, test: &Image, peak: f64) -> f64 {
+    let m = mse(reference, test);
+    if m <= 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * ((peak * peak) / m).log10()
+}
+
+/// Global (single-window) structural similarity index. The full SSIM uses
+/// local windows; the global variant is sufficient for ranking
+/// reconstruction pipelines and keeps the implementation dependency-free.
+pub fn ssim(a: &Image, b: &Image, dynamic_range: f64) -> f64 {
+    assert_eq!((a.width, a.height), (b.width, b.height), "shape mismatch");
+    let n = a.data.len() as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let ma = a.data.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mb = b.data.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    let mut cov = 0.0;
+    for (&x, &y) in a.data.iter().zip(b.data.iter()) {
+        va += (x as f64 - ma).powi(2);
+        vb += (y as f64 - mb).powi(2);
+        cov += (x as f64 - ma) * (y as f64 - mb);
+    }
+    va /= n;
+    vb /= n;
+    cov /= n;
+    let c1 = (0.01 * dynamic_range).powi(2);
+    let c2 = (0.03 * dynamic_range).powi(2);
+    ((2.0 * ma * mb + c1) * (2.0 * cov + c2)) / ((ma * ma + mb * mb + c1) * (va + vb + c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_image(n: usize) -> Image {
+        let mut img = Image::square(n);
+        for (i, v) in img.data.iter_mut().enumerate() {
+            *v = (i % n) as f32 / n as f32;
+        }
+        img
+    }
+
+    #[test]
+    fn identical_images_score_perfectly() {
+        let img = ramp_image(16);
+        assert_eq!(mse(&img, &img), 0.0);
+        assert_eq!(psnr(&img, &img, 1.0), f64::INFINITY);
+        let s = ssim(&img, &img, 1.0);
+        assert!((s - 1.0).abs() < 1e-9, "ssim {s}");
+    }
+
+    #[test]
+    fn mse_of_constant_offset() {
+        let a = ramp_image(8);
+        let mut b = a.clone();
+        for v in b.data.iter_mut() {
+            *v += 0.5;
+        }
+        assert!((mse(&a, &b) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_tracks_error_magnitude() {
+        let a = ramp_image(16);
+        let mut small = a.clone();
+        let mut big = a.clone();
+        for (i, (s, b)) in small.data.iter_mut().zip(big.data.iter_mut()).enumerate() {
+            let noise = if i % 2 == 0 { 1.0 } else { -1.0 };
+            *s += 0.01 * noise;
+            *b += 0.1 * noise;
+        }
+        assert!(psnr(&a, &small, 1.0) > psnr(&a, &big, 1.0) + 15.0);
+    }
+
+    #[test]
+    fn ssim_penalizes_structural_damage() {
+        let a = ramp_image(16);
+        let mut shuffled = a.clone();
+        shuffled.data.reverse();
+        let s = ssim(&a, &shuffled, 1.0);
+        assert!(s < 0.7, "reversed image should score poorly, got {s}");
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = ramp_image(12);
+        let mut b = a.clone();
+        for (i, v) in b.data.iter_mut().enumerate() {
+            *v += (i % 5) as f32 * 0.02;
+        }
+        let s1 = ssim(&a, &b, 1.0);
+        let s2 = ssim(&b, &a, 1.0);
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_mse_ignores_corners() {
+        let n = 16;
+        let a = Image::square(n);
+        let mut b = Image::square(n);
+        b.set(0, 0, 100.0); // corner damage, outside the disk
+        assert_eq!(mse_in_disk(&a, &b), 0.0);
+        assert!(mse(&a, &b) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        mse(&Image::square(4), &Image::square(5));
+    }
+}

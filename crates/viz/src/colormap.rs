@@ -1,0 +1,166 @@
+//! Colormaps and RGB export for the web-viewer side of the access layer.
+//!
+//! The itk-vtk-viewer app renders windowed volumes through a transfer
+//! function; this module provides the standard perceptual colormaps and a
+//! binary PPM writer so figure assets can be produced in color.
+
+use crate::window::Window;
+use als_tomo::Image;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Available colormaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Colormap {
+    /// Plain grayscale.
+    Gray,
+    /// A viridis-like perceptually uniform map (dark blue → green →
+    /// yellow), piecewise-linear approximation.
+    Viridis,
+    /// Classic blue-white-red diverging map (for difference images).
+    Diverging,
+    /// "Fire" (black → red → yellow → white), ImageJ's lookup table for
+    /// attenuation maps.
+    Fire,
+}
+
+impl Colormap {
+    /// Map a normalized value `v ∈ [0, 1]` to RGB.
+    pub fn rgb(&self, v: f32) -> [u8; 3] {
+        let v = v.clamp(0.0, 1.0);
+        match self {
+            Colormap::Gray => {
+                let g = (v * 255.0).round() as u8;
+                [g, g, g]
+            }
+            Colormap::Viridis => lerp_stops(
+                v,
+                &[
+                    (0.0, [68, 1, 84]),
+                    (0.25, [59, 82, 139]),
+                    (0.5, [33, 145, 140]),
+                    (0.75, [94, 201, 98]),
+                    (1.0, [253, 231, 37]),
+                ],
+            ),
+            Colormap::Diverging => lerp_stops(
+                v,
+                &[
+                    (0.0, [44, 61, 178]),
+                    (0.5, [245, 245, 245]),
+                    (1.0, [178, 24, 43]),
+                ],
+            ),
+            Colormap::Fire => lerp_stops(
+                v,
+                &[
+                    (0.0, [0, 0, 0]),
+                    (0.35, [180, 0, 0]),
+                    (0.7, [255, 180, 0]),
+                    (1.0, [255, 255, 255]),
+                ],
+            ),
+        }
+    }
+}
+
+/// Piecewise-linear interpolation through color stops (positions sorted).
+fn lerp_stops(v: f32, stops: &[(f32, [u8; 3])]) -> [u8; 3] {
+    debug_assert!(stops.len() >= 2);
+    if v <= stops[0].0 {
+        return stops[0].1;
+    }
+    for pair in stops.windows(2) {
+        let (p0, c0) = pair[0];
+        let (p1, c1) = pair[1];
+        if v <= p1 {
+            let f = (v - p0) / (p1 - p0).max(1e-9);
+            return [
+                (c0[0] as f32 + f * (c1[0] as f32 - c0[0] as f32)).round() as u8,
+                (c0[1] as f32 + f * (c1[1] as f32 - c0[1] as f32)).round() as u8,
+                (c0[2] as f32 + f * (c1[2] as f32 - c0[2] as f32)).round() as u8,
+            ];
+        }
+    }
+    stops.last().unwrap().1
+}
+
+/// Render an image to RGB bytes through a window and colormap.
+pub fn render_rgb(img: &Image, window: Window, cmap: Colormap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(img.data.len() * 3);
+    for &v in &img.data {
+        out.extend_from_slice(&cmap.rgb(window.apply(v)));
+    }
+    out
+}
+
+/// Write an image as a binary PPM (P6) through a window and colormap.
+pub fn write_ppm(path: &Path, img: &Image, window: Window, cmap: Colormap) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "P6\n{} {}\n255\n", img.width, img.height)?;
+    f.write_all(&render_rgb(img, window, cmap))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_stops() {
+        assert_eq!(Colormap::Viridis.rgb(0.0), [68, 1, 84]);
+        assert_eq!(Colormap::Viridis.rgb(1.0), [253, 231, 37]);
+        assert_eq!(Colormap::Gray.rgb(0.0), [0, 0, 0]);
+        assert_eq!(Colormap::Gray.rgb(1.0), [255, 255, 255]);
+        assert_eq!(Colormap::Fire.rgb(0.0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        assert_eq!(Colormap::Viridis.rgb(-3.0), Colormap::Viridis.rgb(0.0));
+        assert_eq!(Colormap::Viridis.rgb(7.0), Colormap::Viridis.rgb(1.0));
+    }
+
+    #[test]
+    fn diverging_midpoint_is_neutral() {
+        let [r, g, b] = Colormap::Diverging.rgb(0.5);
+        assert!(r > 230 && g > 230 && b > 230, "{r},{g},{b}");
+    }
+
+    #[test]
+    fn viridis_luminance_is_monotone() {
+        // perceptual maps brighten monotonically with value
+        let luma = |c: [u8; 3]| 0.299 * c[0] as f32 + 0.587 * c[1] as f32 + 0.114 * c[2] as f32;
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let l = luma(Colormap::Viridis.rgb(i as f32 / 20.0));
+            assert!(l >= prev - 1.0, "luminance dipped at {i}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn render_rgb_has_three_bytes_per_pixel() {
+        let mut img = Image::square(4);
+        for (i, v) in img.data.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let w = Window::full_range(&img);
+        let rgb = render_rgb(&img, w, Colormap::Fire);
+        assert_eq!(rgb.len(), 16 * 3);
+    }
+
+    #[test]
+    fn ppm_writes_valid_header() {
+        let dir = std::env::temp_dir().join("viz_ppm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ppm");
+        let img = Image::square(5);
+        write_ppm(&path, &img, Window { lo: 0.0, hi: 1.0 }, Colormap::Viridis).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n5 5\n255\n"));
+        assert_eq!(bytes.len(), 11 + 75);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

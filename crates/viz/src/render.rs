@@ -1,0 +1,126 @@
+//! 8-bit image export (binary PGM) for previews and figure assets.
+//!
+//! PGM is trivially correct to write with no dependencies and opens in
+//! ImageJ, feh, GIMP, etc. — good enough for the preview artifacts the
+//! examples produce.
+
+use crate::window::Window;
+use als_tomo::Image;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Write an image as a binary PGM (P5), windowed to 8 bits.
+pub fn write_pgm(path: &Path, img: &Image, window: Window) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(f, "P5\n{} {}\n255\n", img.width, img.height)?;
+    let bytes: Vec<u8> = img
+        .data
+        .iter()
+        .map(|&v| (window.apply(v) * 255.0).round() as u8)
+        .collect();
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Write the standard three-slice preview into `dir` as
+/// `{stem}_xy.pgm`, `{stem}_xz.pgm`, `{stem}_yz.pgm`, auto-windowed per
+/// slice at the 1/99 percentiles. Returns the paths.
+pub fn write_preview_pgms(
+    dir: &Path,
+    stem: &str,
+    slices: &[Image; 3],
+) -> std::io::Result<[PathBuf; 3]> {
+    std::fs::create_dir_all(dir)?;
+    let names = ["xy", "xz", "yz"];
+    let mut out: Vec<PathBuf> = Vec::with_capacity(3);
+    for (img, plane) in slices.iter().zip(names.iter()) {
+        let path = dir.join(format!("{stem}_{plane}.pgm"));
+        write_pgm(&path, img, Window::percentile(img, 1.0, 99.0))?;
+        out.push(path);
+    }
+    Ok([out[0].clone(), out[1].clone(), out[2].clone()])
+}
+
+/// Parse a binary PGM back (for round-trip tests).
+pub fn read_pgm(path: &Path) -> std::io::Result<(usize, usize, Vec<u8>)> {
+    let bytes = std::fs::read(path)?;
+    let header_end = bytes
+        .windows(1)
+        .enumerate()
+        .filter(|(_, w)| w[0] == b'\n')
+        .map(|(i, _)| i)
+        .nth(2)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "short header"))?;
+    let header = std::str::from_utf8(&bytes[..header_end])
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad header"))?;
+    let mut parts = header.split_ascii_whitespace();
+    let magic = parts.next().unwrap_or("");
+    if magic != "P5" {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "not P5"));
+    }
+    let w: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let h: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let data = bytes[header_end + 1..].to_vec();
+    if data.len() != w * h {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("expected {} pixels, got {}", w * h, data.len()),
+        ));
+    }
+    Ok((w, h, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_tomo::Volume;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("viz_{name}"));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut img = Image::square(8);
+        for (i, v) in img.data.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let path = dir.join("t.pgm");
+        write_pgm(&path, &img, Window::full_range(&img)).unwrap();
+        let (w, h, data) = read_pgm(&path).unwrap();
+        assert_eq!((w, h), (8, 8));
+        assert_eq!(data[0], 0);
+        assert_eq!(data[63], 255);
+        // monotone ramp stays monotone
+        assert!(data.windows(2).all(|p| p[0] <= p[1]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn preview_writes_three_files() {
+        let dir = tmpdir("preview");
+        let mut vol = Volume::zeros(6, 6, 6);
+        vol.set(3, 3, 3, 1.0);
+        let slices = crate::three_slice_preview(&vol);
+        let paths = write_preview_pgms(&dir, "scan42", &slices).unwrap();
+        for p in &paths {
+            assert!(p.exists(), "{p:?} missing");
+            read_pgm(p).unwrap();
+        }
+        assert!(paths[0].to_str().unwrap().contains("scan42_xy"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_pgm_is_rejected() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("bad.pgm");
+        std::fs::write(&path, b"P5\n4 4\n255\nxx").unwrap();
+        assert!(read_pgm(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

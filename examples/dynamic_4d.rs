@@ -1,0 +1,51 @@
+//! The §6 future-work extension, running: 4D time-resolved streaming.
+//!
+//! An in-situ creep experiment on a proppant-filled fracture: every time
+//! step is scanned and streamed through the real reconstruction service,
+//! and the porosity trace updates live — the signal an experimenter uses
+//! to steer (or stop) the experiment.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_4d
+//! ```
+
+use als_flows::dynamic::run_creep_series;
+
+fn main() {
+    println!("== 4D time-resolved streaming (paper §6, implemented) ==\n");
+    println!("sample: proppant-filled shale fracture under creep, 6 time steps");
+    println!("pipeline: scan -> PVA stream -> in-memory cache -> FBP -> porosity\n");
+
+    let series = run_creep_series(80, 5, 6, 80, 2020);
+
+    println!(
+        "{:>5} {:>12} {:>12} {:>12}",
+        "step", "compaction", "porosity", "recon (s)"
+    );
+    let mut prev: Option<f64> = None;
+    for s in &series.steps {
+        let trend = match prev {
+            Some(p) if s.porosity < p - 0.005 => "▼ closing",
+            Some(_) => "≈ stable",
+            None => "",
+        };
+        println!(
+            "{:>5} {:>12.2} {:>12.3} {:>12.2}   {}",
+            s.step, s.compaction, s.porosity, s.recon_secs, trend
+        );
+        prev = Some(s.porosity);
+    }
+
+    let first = series.steps.first().unwrap().porosity;
+    let last = series.steps.last().unwrap().porosity;
+    println!(
+        "\nfracture porosity closed from {:.3} to {:.3} over the experiment",
+        first, last
+    );
+    println!(
+        "trace monotone: {} — at production scale each point would arrive \
+         <10 s after its scan, fast enough to stop the press before the \
+         fracture seals",
+        series.porosity_monotone_decreasing(0.03)
+    );
+}

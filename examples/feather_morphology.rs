@@ -1,0 +1,82 @@
+//! Case Study 1 (Figure 1): chicken vs sandgrouse feather morphology.
+//!
+//! The sandgrouse has evolved coiled barbule structures that store water
+//! — absent in chicken feathers. The pipeline's job is to make that
+//! difference visible *fast*: mount, scan, reconstruct, compare. Here we
+//! run both samples through the full acquisition + reconstruction path
+//! and quantify the difference with morphology descriptors.
+//!
+//! ```sh
+//! cargo run --release --example feather_morphology
+//! ```
+
+use als_flows::realmode::run_session;
+use als_phantom::{feather_volume, FeatherSpecies, MorphologyReport};
+use als_viz::{write_pgm, Window};
+use std::time::Instant;
+
+fn main() {
+    let out_dir = std::env::temp_dir().join("als_flows_feathers");
+    std::fs::remove_dir_all(&out_dir).ok();
+    std::fs::create_dir_all(&out_dir).unwrap();
+
+    println!("== Case Study 1: feather morphology comparison ==\n");
+    let t_session = Instant::now();
+
+    let mut reports = Vec::new();
+    for species in [FeatherSpecies::Chicken, FeatherSpecies::Sandgrouse] {
+        let t0 = Instant::now();
+        // mount + scan + reconstruct
+        let phantom = feather_volume(species, 96, 6, 1234);
+        let result = run_session(
+            &phantom,
+            120,
+            &out_dir.join(species.name()),
+            &format!("{}_feather", species.name()),
+            7,
+        );
+        // measure morphology on the *reconstructed* volume, as a user
+        // would — not on the phantom
+        let report = MorphologyReport::of_volume(&result.file_based_volume, 0.5);
+        println!(
+            "{:<11} scanned+reconstructed in {:>5.1} s",
+            species.name(),
+            t0.elapsed().as_secs_f64()
+        );
+        println!(
+            "{:<11} material {:.3}  enclosed-void {:.4}  radial-anisotropy {:.3}",
+            "", report.material_fraction, report.enclosed_void_fraction, report.radial_anisotropy
+        );
+        let mid = result.file_based_volume.slice_xy(3);
+        write_pgm(
+            &out_dir.join(format!("{}_recon.pgm", species.name())),
+            &mid,
+            Window::percentile(&mid, 1.0, 99.0),
+        )
+        .unwrap();
+        reports.push((species, report));
+    }
+
+    println!("\n-- side-by-side (the Figure 1 comparison, quantified) --");
+    let (chicken, sandgrouse) = (&reports[0].1, &reports[1].1);
+    println!(
+        "enclosed void (water storage): sandgrouse {:.4} vs chicken {:.4}  ({}x)",
+        sandgrouse.enclosed_void_fraction,
+        chicken.enclosed_void_fraction,
+        (sandgrouse.enclosed_void_fraction / chicken.enclosed_void_fraction.max(1e-6)) as u32
+    );
+    println!(
+        "radial anisotropy (straight barbules): chicken {:.3} vs sandgrouse {:.3}",
+        chicken.radial_anisotropy, sandgrouse.radial_anisotropy
+    );
+    assert!(
+        sandgrouse.enclosed_void_fraction > chicken.enclosed_void_fraction,
+        "the sandgrouse's coiled barbules must enclose more void"
+    );
+    println!(
+        "\nmount→scan→reconstruct→compare took {:.1} s wall \
+         (the paper: '20 minutes instead of hours' at production scale)",
+        t_session.elapsed().as_secs_f64()
+    );
+    println!("renders in {}", out_dir.display());
+}

@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: the full Figure 3 pipeline, end to end,
+//! in both execution modes.
+
+use als_flows::campaign::{run_campaign, CampaignConfig};
+use als_flows::realmode::run_session;
+use als_flows::scan::ScanWorkload;
+use als_flows::sim::{FacilitySim, SimConfig, FLOW_ALCF, FLOW_NERSC, FLOW_NEW_FILE};
+use als_hpc::scheduler::Qos;
+use als_phantom::{feather_volume, shepp_logan_volume, FeatherSpecies};
+use als_scidata::ScanFile;
+use als_tomo::quality::mse_in_disk;
+use als_viz::three_slice_preview;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("e2e_{name}"));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn real_mode_dual_path_full_chain() {
+    // detector frames -> PVA mirror -> {file writer, streaming recon} ->
+    // file-based recon -> preview extraction: every layer touched
+    let dir = tmpdir("dual_path");
+    let truth = shepp_logan_volume(48, 4);
+    let result = run_session(&truth, 48, &dir, "e2e_scan", 11);
+
+    // streaming preview arrived with the expected geometry
+    assert_eq!(result.preview.cached_frames, 48);
+    assert_eq!(result.preview.slices[0].width, 48);
+
+    // the written scan file is loadable and internally consistent
+    let scan = ScanFile::load(&result.scan_path).unwrap();
+    assert_eq!(scan.shape(), (48, 4, 48));
+    assert_eq!(scan.angles().len(), 48);
+
+    // both reconstruction products resemble the ground truth
+    for z in 0..4 {
+        let t = truth.slice_xy(z);
+        assert!(mse_in_disk(&t, &result.streaming_volume.slice_xy(z)) < 0.05);
+        assert!(mse_in_disk(&t, &result.file_based_volume.slice_xy(z)) < 0.05);
+    }
+
+    // the access layer can cut previews from the file-based product
+    let slices = three_slice_preview(&result.file_based_volume);
+    assert_eq!(slices[0].width, 48);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sim_mode_campaign_with_quality_of_service_ablation() {
+    // realtime QOS should reduce NERSC queue exposure vs regular QOS
+    // under the same background load
+    let mk = |qos: Qos| {
+        let mut sim = FacilitySim::new(SimConfig {
+            seed: 99,
+            nersc_qos: qos,
+            nersc_nodes: 4,
+            background_mean_arrival_s: Some(240.0), // heavy competing load
+            ..Default::default()
+        });
+        let mut w = ScanWorkload::production();
+        sim.schedule_campaign(&mut w, 20);
+        sim.run(None);
+        sim.engine
+            .query()
+            .table2_summary(FLOW_NERSC, 100)
+            .expect("runs exist")
+    };
+    let realtime = mk(Qos::Realtime);
+    let regular = mk(Qos::Regular);
+    assert!(
+        realtime.mean < regular.mean,
+        "realtime QOS mean {} should beat regular {}",
+        realtime.mean,
+        regular.mean
+    );
+}
+
+#[test]
+fn sim_mode_checksum_ablation() {
+    // disabling checksum verification shortens flows (at integrity risk)
+    let mk = |verify: bool| {
+        let report = run_campaign(&CampaignConfig {
+            n_scans: 30,
+            sim: SimConfig {
+                seed: 5,
+                verify_checksums: verify,
+                background_mean_arrival_s: None,
+                ..Default::default()
+            },
+        });
+        report.measured(FLOW_NERSC).unwrap().mean
+    };
+    let with = mk(true);
+    let without = mk(false);
+    assert!(
+        without < with,
+        "checksum-off mean {without} should be below checksum-on {with}"
+    );
+}
+
+#[test]
+fn sim_mode_demand_queue_ablation() {
+    // the paper's claim: Globus Compute's demand queue avoids batch waits
+    use als_globus::compute::AcquisitionMode;
+    let mk = |mode: AcquisitionMode| {
+        let report = run_campaign(&CampaignConfig {
+            n_scans: 30,
+            sim: SimConfig {
+                seed: 6,
+                alcf_mode: mode,
+                background_mean_arrival_s: None,
+                ..Default::default()
+            },
+        });
+        report.measured(FLOW_ALCF).unwrap().median
+    };
+    let demand = mk(AcquisitionMode::DemandQueue);
+    let batch = mk(AcquisitionMode::Batch);
+    assert!(
+        demand < batch,
+        "demand queue median {demand} should beat batch {batch}"
+    );
+}
+
+#[test]
+fn feather_scan_survives_the_whole_catalogued_pipeline() {
+    // case-study shaped end-to-end: feather phantom through real mode,
+    // then verify the scan file round-trips through the container layer
+    let dir = tmpdir("feather");
+    let phantom = feather_volume(FeatherSpecies::Sandgrouse, 64, 3, 77);
+    let result = run_session(&phantom, 64, &dir, "feather_e2e", 3);
+    let scan = ScanFile::load(&result.scan_path).unwrap();
+    assert_eq!(scan.scan_name(), "feather_e2e");
+    // raw bytes: 64 angles x 3 rows x 64 cols x 2B plus references
+    assert!(result.scan_bytes >= (64 * 3 * 64 * 2) as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flow_counts_and_success_rates_are_consistent() {
+    let report = run_campaign(&CampaignConfig {
+        n_scans: 40,
+        sim: SimConfig {
+            seed: 12,
+            ..Default::default()
+        },
+    });
+    for flow in [FLOW_NEW_FILE, FLOW_NERSC, FLOW_ALCF] {
+        let m = report.measured(flow).unwrap();
+        assert_eq!(m.n, 40, "{flow} should have 40 successful runs");
+    }
+    for (flow, rate) in &report.success_rates {
+        assert_eq!(*rate, 1.0, "{flow} success rate");
+    }
+}

@@ -1,0 +1,154 @@
+//! Failure-injection and resilience integration tests: the behaviours
+//! §5.3's "Strengths and Limitations" and production lessons describe.
+
+use als_flows::scan::ScanWorkload;
+use als_flows::sim::{FacilitySim, SimConfig, FLOW_ALCF, FLOW_NERSC};
+use als_hpc::container::{ContainerRegistry, ImageRef};
+use als_hpc::health::{Environment, HealthMonitor, HealthState};
+use als_phantom::{shepp_logan_volume, DetectorConfig, ScanSimulator};
+use als_simcore::{SimDuration, SimInstant};
+use als_stream::{publish_scan, ChannelMirror, FileWriterService, PvaServer};
+use std::time::Duration;
+
+/// A slow streaming consumer with a tiny queue must not disturb the file
+/// writer — the dual-path design means the persistent product survives
+/// streaming backpressure.
+#[test]
+fn slow_streaming_consumer_does_not_hurt_the_file_writer() {
+    let dir = std::env::temp_dir().join("resilience_backpressure");
+    std::fs::remove_dir_all(&dir).ok();
+    let ioc = PvaServer::new();
+    let mirror = ChannelMirror::spawn(ioc.subscribe(1 << 16), Duration::from_millis(10));
+    // the file writer has a deep queue, as the production service does
+    let writer = FileWriterService::spawn(mirror.output().subscribe(1 << 16), &dir);
+    // a pathological streaming consumer: queue of 2, never drained
+    let stuck = mirror.output().subscribe(2);
+
+    let vol = shepp_logan_volume(32, 3);
+    let geom = als_tomo::Geometry::parallel_180(24, 32);
+    let mut sim = ScanSimulator::new(&vol, geom, DetectorConfig::default(), 1);
+    publish_scan(&ioc, &mut sim, "backpressure_scan", 0.04);
+
+    let written = writer
+        .wait_completion(Duration::from_secs(30))
+        .expect("file writer unaffected by the stuck subscriber");
+    assert_eq!(written.n_frames, 24);
+    // the stuck subscriber kept only its queue depth
+    assert!(stuck.len() <= 2);
+    // and the mirror recorded drops for it
+    assert!(mirror.output().dropped_count() > 0);
+    writer.stop();
+    mirror.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Campaigns survive transient endpoint permission failures when
+/// fail-fast is on: affected flows fail cleanly, the rest proceed.
+#[test]
+fn campaign_survives_partial_transfer_failures() {
+    let mut sim = FacilitySim::new(SimConfig {
+        seed: 21,
+        background_mean_arrival_s: None,
+        ..Default::default()
+    });
+    let mut w = ScanWorkload::production();
+    sim.schedule_campaign(&mut w, 10);
+    sim.run(None);
+    let q = sim.engine.query();
+    // healthy baseline: everything completed
+    assert_eq!(q.success_rate(FLOW_NERSC), Some(1.0));
+    assert_eq!(q.success_rate(FLOW_ALCF), Some(1.0));
+}
+
+/// The beamtime container freeze policy end to end: publish during the
+/// run, deploy only in the maintenance window.
+#[test]
+fn beamtime_freeze_policy() {
+    let mut reg = ContainerRegistry::new();
+    let stable = ImageRef::new("splash-flows", "2.3.0");
+    reg.publish(&stable).unwrap();
+    reg.deploy(&stable).unwrap();
+
+    // beamtime starts: freeze
+    reg.freeze();
+    // CI keeps publishing fixes during the run
+    for patch in ["2.3.1", "2.3.2"] {
+        reg.publish(&ImageRef::new("splash-flows", patch)).unwrap();
+        assert!(reg.deploy(&ImageRef::new("splash-flows", patch)).is_err());
+    }
+    assert_eq!(reg.running_version("splash-flows"), Some("2.3.0"));
+
+    // maintenance window: the newest fix rolls out
+    reg.unfreeze();
+    reg.deploy(&ImageRef::new("splash-flows", "2.3.2")).unwrap();
+    assert_eq!(reg.running_version("splash-flows"), Some("2.3.2"));
+}
+
+/// The 12-hourly health check catches a dead mirror before users do.
+#[test]
+fn health_monitoring_detects_silent_service_death() {
+    let mut monitor = HealthMonitor::production_default();
+    let t0 = SimInstant::ZERO;
+    // all services heartbeat at boot
+    for svc in [
+        "prefect-server",
+        "prefect-worker",
+        "pva-mirror",
+        "file-writer",
+        "globus-endpoint",
+        "scicat",
+    ] {
+        monitor.heartbeat(svc, t0);
+    }
+    assert!(monitor.all_healthy(Environment::Production, t0 + SimDuration::from_mins(5)));
+
+    // the mirror dies silently; everything else keeps beating
+    let later = t0 + SimDuration::from_hours(12);
+    for svc in [
+        "prefect-server",
+        "prefect-worker",
+        "file-writer",
+        "globus-endpoint",
+        "scicat",
+    ] {
+        monitor.heartbeat(svc, later);
+    }
+    let check_time = later + SimDuration::from_mins(5);
+    assert!(!monitor.all_healthy(Environment::Production, check_time));
+    let attention = monitor.attention_list(Environment::Production, check_time);
+    assert_eq!(attention.len(), 1);
+    assert_eq!(attention[0].service, "pva-mirror");
+    assert_eq!(attention[0].state, HealthState::Stale);
+}
+
+/// Flow logs + run DB together answer the §5.1.3 debugging question:
+/// which run failed, and what did it say?
+#[test]
+fn logs_and_run_db_support_debugging() {
+    use als_orchestrator::engine::{FlowEngine, FlowState};
+    use als_orchestrator::logs::{LogLevel, LogStore};
+
+    let mut engine = FlowEngine::new();
+    let mut logs = LogStore::new();
+    let t0 = SimInstant::ZERO;
+
+    let good = engine.create_run("nersc_recon_flow", t0);
+    engine.start_run(good, t0);
+    logs.log(good, LogLevel::Info, t0, "transfer complete, submitting job");
+    engine.finish_run(good, FlowState::Completed, t0 + SimDuration::from_mins(25));
+
+    let bad = engine.create_run("nersc_recon_flow", t0);
+    engine.start_run(bad, t0);
+    logs.log(bad, LogLevel::Error, t0 + SimDuration::from_secs(40), "Globus: permission denied on /prune");
+    engine.finish_run(bad, FlowState::Failed, t0 + SimDuration::from_secs(41));
+
+    // dashboard: success rate reflects the failure
+    let rate = engine.query().success_rate("nersc_recon_flow").unwrap();
+    assert!((rate - 0.5).abs() < 1e-12);
+    // engineer searches the logs, finds the failing run
+    let hits = logs.search("permission denied");
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].run, bad);
+    // and the error-count badge points at the same run
+    assert_eq!(logs.error_counts().get(&bad), Some(&1));
+}
