@@ -11,10 +11,13 @@ use als_hpc::scheduler::Qos;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn campaign_with(cfg: SimConfig) -> f64 {
-    run_campaign(&CampaignConfig { n_scans: 30, sim: cfg })
-        .measured(FLOW_NERSC)
-        .map(|m| m.median)
-        .unwrap_or(0.0)
+    run_campaign(&CampaignConfig {
+        n_scans: 30,
+        sim: cfg,
+    })
+    .measured(FLOW_NERSC)
+    .map(|m| m.median)
+    .unwrap_or(0.0)
 }
 
 fn bench_qos_ablation(c: &mut Criterion) {
@@ -117,7 +120,11 @@ fn bench_fail_early_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_fail_early");
     for fail_fast in [false, true] {
         group.bench_with_input(
-            BenchmarkId::from_parameter(if fail_fast { "fail_early" } else { "legacy_hang" }),
+            BenchmarkId::from_parameter(if fail_fast {
+                "fail_early"
+            } else {
+                "legacy_hang"
+            }),
             &fail_fast,
             |b, &ff| b.iter(|| black_box(run_incident(ff, 8, 1))),
         );
@@ -127,7 +134,8 @@ fn bench_fail_early_ablation(c: &mut Criterion) {
     let fixed = run_incident(true, 8, 1);
     eprintln!(
         "ablation_fail_early: legitimate transfers mean legacy {:.0} s vs fail-early {:.0} s",
-        legacy.mean_scan_transfer_s, fixed.mean_scan_transfer_s
+        legacy.mean_scan_transfer_s.unwrap_or(f64::NAN),
+        fixed.mean_scan_transfer_s.unwrap_or(f64::NAN)
     );
 }
 

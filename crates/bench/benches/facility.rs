@@ -40,7 +40,13 @@ fn bench_transfer_service(c: &mut Criterion) {
             let nersc = svc.register_endpoint(SiteId::Nersc);
             let t0 = SimInstant::ZERO;
             for _ in 0..100 {
-                svc.submit(als, nersc, ByteSize::from_gib(10), TransferOptions::default(), t0);
+                svc.submit(
+                    als,
+                    nersc,
+                    ByteSize::from_gib(10),
+                    TransferOptions::default(),
+                    t0,
+                );
             }
             let mut now = t0;
             while let Some(t) = svc.next_event_time(now) {
@@ -66,7 +72,11 @@ fn bench_scheduler(c: &mut Criterion) {
                     s.submit(
                         JobRequest {
                             name: String::new(),
-                            qos: if i % 4 == 0 { Qos::Realtime } else { Qos::Regular },
+                            qos: if i % 4 == 0 {
+                                Qos::Realtime
+                            } else {
+                                Qos::Regular
+                            },
                             nodes: 1 + i % 3,
                             runtime: SimDuration::from_secs(60 + (i as u64 * 13) % 600),
                             walltime_limit: SimDuration::from_hours(2),
@@ -96,7 +106,13 @@ fn bench_flow_engine(c: &mut Criterion) {
                 e.start_run(id, now);
                 let t = e.start_task(id, "work", None, now);
                 now += SimDuration::from_secs(100);
-                e.finish_task(id, t, als_orchestrator::engine::TaskState::Completed, now, None);
+                e.finish_task(
+                    id,
+                    t,
+                    als_orchestrator::engine::TaskState::Completed,
+                    now,
+                    None,
+                );
                 e.finish_run(id, FlowState::Completed, now);
             }
             black_box(e.query().table2_summary("nersc_recon_flow", 100))

@@ -68,7 +68,9 @@ fn bench_preprocessing(c: &mut Criterion) {
     group.bench_function("normalize", |b| {
         b.iter(|| black_box(prep::normalize(&sino, &dark, &flat)))
     });
-    group.bench_function("minus_log", |b| b.iter(|| black_box(prep::minus_log(&sino))));
+    group.bench_function("minus_log", |b| {
+        b.iter(|| black_box(prep::minus_log(&sino)))
+    });
     group.bench_function("remove_zingers", |b| {
         b.iter(|| black_box(prep::remove_zingers(&sino, 0.5)))
     });
@@ -81,5 +83,11 @@ fn bench_preprocessing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_filter, bench_projectors, bench_preprocessing);
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_filter,
+    bench_projectors,
+    bench_preprocessing
+);
 criterion_main!(benches);

@@ -6,8 +6,8 @@
 //! ```
 //!
 //! Artifacts: `table1`, `table2`, `fig1`, `fig2`, `fig3`, `streaming`
-//! (S1), `speedup` (S2), `lifecycle` (S3), `incident` (S4), `quality`
-//! (Q1). Output goes to stdout; figure assets land in
+//! (S1), `speedup` (S2), `lifecycle` (S3), `incident` (S4), `resilience`
+//! (R1), `quality` (Q1). Output goes to stdout; figure assets land in
 //! `target/experiments/`.
 
 use als_flows::campaign::{run_campaign, CampaignConfig};
@@ -83,19 +83,31 @@ fn main() {
         let result = run_session(&phantom, 96, &dir, "fig2_scan", 42);
         println!("A. sample aligned (phantom mounted)");
         println!("B. streaming service launched at NERSC (SFAPI)");
-        println!("C. scan started: {} frames published", result.preview.cached_frames);
+        println!(
+            "C. scan started: {} frames published",
+            result.preview.cached_frames
+        );
         println!(
             "D/E. orthogonal preview in ImageJ {:.2} s after acquisition end",
             result.preview.recon_wall.as_secs_f64() + result.preview.send_wall.as_secs_f64()
         );
         let paths = write_preview_pgms(&out_dir(), "fig2_preview", &result.preview.slices).unwrap();
-        println!("F. scan file for JupyterLab analysis: {}", result.scan_path.display());
-        println!("G. preview assets: {}", paths[0].parent().unwrap().display());
+        println!(
+            "F. scan file for JupyterLab analysis: {}",
+            result.scan_path.display()
+        );
+        println!(
+            "G. preview assets: {}",
+            paths[0].parent().unwrap().display()
+        );
     }
     if wants("fig3") {
         println!("\n================ FIGURE 3 (operational layers) ================\n");
         let t = streaming_timing(&ScanDims::paper_reference());
-        println!("Acquisition : 1969 frames, {:.1} GiB raw, ~3 min beam time", t.raw_gib);
+        println!(
+            "Acquisition : 1969 frames, {:.1} GiB raw, ~3 min beam time",
+            t.raw_gib
+        );
         println!("Orchestration: new_file_832 + nersc_recon_flow + alcf_recon_flow per scan");
         println!("Movement    : streaming (PVA) + Globus file transfer (checksummed)");
         println!(
@@ -110,7 +122,10 @@ fn main() {
             n_scans: 20,
             ..Default::default()
         });
-        println!("\n20-scan layer throughput check:\n{}", report.table2_text());
+        println!(
+            "\n20-scan layer throughput check:\n{}",
+            report.table2_text()
+        );
     }
     if wants("streaming") {
         println!("\n================ S1 (streaming branch timing) ================\n");
@@ -164,23 +179,54 @@ fn main() {
     }
     if wants("incident") {
         println!("\n================ S4 (prune-burst incident) ================\n");
+        let fmt_mean = |m: Option<f64>| m.map_or("   n/a".to_string(), |s| format!("{s:>6.0}"));
         for burst in [4, 8, 16] {
             let (legacy, fixed) = incident_comparison(burst, 1);
             println!(
-                "burst {burst:>3}: legacy mean {:>6.0} s ({}/{} on time) | fail-early mean {:>5.0} s ({}/{} on time)",
-                legacy.mean_scan_transfer_s,
+                "burst {burst:>3}: legacy mean {} s ({}/{} on time) | fail-early mean {} s ({}/{} on time)",
+                fmt_mean(legacy.mean_scan_transfer_s),
                 legacy.scans_on_time,
                 legacy.scans_total,
-                fixed.mean_scan_transfer_s,
+                fmt_mean(fixed.mean_scan_transfer_s),
                 fixed.scans_on_time,
                 fixed.scans_total
             );
         }
     }
+    if wants("resilience") {
+        println!("\n================ R1 (fault injection + failover) ================\n");
+        let report = als_flows::resilience::resilience_experiment(24, 5);
+        let row = |o: &als_flows::ResilienceOutcome| {
+            format!(
+                "{:>5.1}% complete ({:>2}/{:<2}) | {:>2} failovers {:>2} remote-cancels {:>2} breaker trips | p50 {} p99 {}",
+                o.completion_rate * 100.0,
+                o.branch_flows_completed,
+                o.branch_flows_total,
+                o.failover_count,
+                o.remote_cancels,
+                o.nersc_breaker_trips + o.alcf_breaker_trips,
+                o.p50_flow_s.map_or("   n/a".into(), |s| format!("{s:>6.0} s")),
+                o.p99_flow_s.map_or("   n/a".into(), |s| format!("{s:>6.0} s")),
+            )
+        };
+        println!("90-min NERSC outage mid-beamtime (24 scans @ 5 min):");
+        println!("  failover on : {}", row(&report.outage.with_failover));
+        println!("  failover off: {}", row(&report.outage.without_failover));
+        println!("\nseeded fault storms (mixed outages/brownouts/auth/corruption):");
+        for p in &report.sweep {
+            println!("  intensity {:.2}", p.intensity);
+            println!("    failover on : {}", row(&p.comparison.with_failover));
+            println!("    failover off: {}", row(&p.comparison.without_failover));
+        }
+        println!("\n(cross-facility failover holds completion near 100% as faults intensify)");
+    }
     if wants("dynamic") {
         println!("\n================ §6 extension: 4D time-resolved streaming ================\n");
         let series = als_flows::dynamic::run_creep_series(64, 4, 5, 64, 2020);
-        println!("{:>5} {:>12} {:>12} {:>10}", "step", "compaction", "porosity", "recon s");
+        println!(
+            "{:>5} {:>12} {:>12} {:>10}",
+            "step", "compaction", "porosity", "recon s"
+        );
         for s in &series.steps {
             println!(
                 "{:>5} {:>12.2} {:>12.3} {:>10.2}",
@@ -210,7 +256,9 @@ fn main() {
         println!("(shared pool degrades with fleet size; reserved compute stays flat)");
     }
     if wants("quality") {
-        println!("\n================ Q1 (recon quality: streaming vs file-based) ================\n");
+        println!(
+            "\n================ Q1 (recon quality: streaming vs file-based) ================\n"
+        );
         let dir = out_dir().join("quality");
         let truth = shepp_logan_volume(64, 2);
         // photon-limited acquisition: the regime where preprocessing +

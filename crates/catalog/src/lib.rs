@@ -183,7 +183,10 @@ impl Catalog {
 
     /// Datasets owned by a user (what a visiting user sees after leaving).
     pub fn owned_by(&self, owner: &str) -> Vec<&Dataset> {
-        self.datasets.values().filter(|d| d.owner == owner).collect()
+        self.datasets
+            .values()
+            .filter(|d| d.owner == owner)
+            .collect()
     }
 
     /// Total catalogued bytes per dataset kind — the storage-review
@@ -283,7 +286,13 @@ mod tests {
     #[test]
     fn ingest_and_get() {
         let mut cat = Catalog::new();
-        let ds = raw_scan_dataset("scan_0001", "ahexemer", SimInstant::ZERO, ByteSize::from_gib(22), instrument());
+        let ds = raw_scan_dataset(
+            "scan_0001",
+            "ahexemer",
+            SimInstant::ZERO,
+            ByteSize::from_gib(22),
+            instrument(),
+        );
         let pid = ds.pid.clone();
         cat.ingest(ds).unwrap();
         assert_eq!(cat.get(&pid).unwrap().instrument.n_angles, 1969);
@@ -317,14 +326,32 @@ mod tests {
     #[test]
     fn derived_chain_walks_transitively() {
         let mut cat = Catalog::new();
-        let raw = raw_scan_dataset("s1", "o", SimInstant::ZERO, ByteSize::from_gib(20), instrument());
+        let raw = raw_scan_dataset(
+            "s1",
+            "o",
+            SimInstant::ZERO,
+            ByteSize::from_gib(20),
+            instrument(),
+        );
         let raw_pid = raw.pid.clone();
         cat.ingest(raw).unwrap();
-        let rec = recon_dataset("s1", "nersc", &raw_pid, SimInstant::ZERO, ByteSize::from_gib(50));
+        let rec = recon_dataset(
+            "s1",
+            "nersc",
+            &raw_pid,
+            SimInstant::ZERO,
+            ByteSize::from_gib(50),
+        );
         let rec_pid = rec.pid.clone();
         cat.ingest(rec).unwrap();
         // segmentation derived from the reconstruction
-        let mut seg = recon_dataset("s1", "mlx-seg", &rec_pid, SimInstant::ZERO, ByteSize::from_gib(2));
+        let mut seg = recon_dataset(
+            "s1",
+            "mlx-seg",
+            &rec_pid,
+            SimInstant::ZERO,
+            ByteSize::from_gib(2),
+        );
         seg.pid = DatasetPid("als/8.3.2/seg/s1".into());
         cat.ingest(seg).unwrap();
         let chain = cat.derived_chain(&raw_pid);
@@ -334,7 +361,13 @@ mod tests {
     #[test]
     fn search_is_case_insensitive_and_covers_metadata() {
         let mut cat = Catalog::new();
-        let mut ds = raw_scan_dataset("feather_scan", "namyi", SimInstant::ZERO, ByteSize::ZERO, instrument());
+        let mut ds = raw_scan_dataset(
+            "feather_scan",
+            "namyi",
+            SimInstant::ZERO,
+            ByteSize::ZERO,
+            instrument(),
+        );
         ds.scientific.insert("species".into(), "Sandgrouse".into());
         cat.ingest(ds).unwrap();
         assert_eq!(cat.search("FEATHER").len(), 1);
@@ -347,8 +380,17 @@ mod tests {
     fn time_and_owner_queries() {
         let mut cat = Catalog::new();
         let t = |h: u64| SimInstant::ZERO + als_simcore::SimDuration::from_hours(h);
-        for (i, (owner, hour)) in [("alice", 1u64), ("bob", 5), ("alice", 10)].iter().enumerate() {
-            let mut ds = raw_scan_dataset(&format!("s{i}"), owner, t(*hour), ByteSize::from_gib(20), instrument());
+        for (i, (owner, hour)) in [("alice", 1u64), ("bob", 5), ("alice", 10)]
+            .iter()
+            .enumerate()
+        {
+            let mut ds = raw_scan_dataset(
+                &format!("s{i}"),
+                owner,
+                t(*hour),
+                ByteSize::from_gib(20),
+                instrument(),
+            );
             ds.pid = DatasetPid(format!("pid{i}"));
             cat.ingest(ds).unwrap();
         }
@@ -360,11 +402,23 @@ mod tests {
     #[test]
     fn bytes_by_kind_totals() {
         let mut cat = Catalog::new();
-        let raw = raw_scan_dataset("s", "o", SimInstant::ZERO, ByteSize::from_gib(20), instrument());
+        let raw = raw_scan_dataset(
+            "s",
+            "o",
+            SimInstant::ZERO,
+            ByteSize::from_gib(20),
+            instrument(),
+        );
         let raw_pid = raw.pid.clone();
         cat.ingest(raw).unwrap();
-        cat.ingest(recon_dataset("s", "nersc", &raw_pid, SimInstant::ZERO, ByteSize::from_gib(52)))
-            .unwrap();
+        cat.ingest(recon_dataset(
+            "s",
+            "nersc",
+            &raw_pid,
+            SimInstant::ZERO,
+            ByteSize::from_gib(52),
+        ))
+        .unwrap();
         let (r, d) = cat.bytes_by_kind();
         assert_eq!(r, ByteSize::from_gib(20));
         assert_eq!(d, ByteSize::from_gib(52));
@@ -373,8 +427,14 @@ mod tests {
     #[test]
     fn json_export_is_parseable_and_complete() {
         let mut cat = Catalog::new();
-        cat.ingest(raw_scan_dataset("s1", "o", SimInstant::ZERO, ByteSize::from_gib(1), instrument()))
-            .unwrap();
+        cat.ingest(raw_scan_dataset(
+            "s1",
+            "o",
+            SimInstant::ZERO,
+            ByteSize::from_gib(1),
+            instrument(),
+        ))
+        .unwrap();
         let json = cat.export_json();
         let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed.as_array().unwrap().len(), 1);

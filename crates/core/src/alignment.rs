@@ -85,8 +85,7 @@ mod tests {
     fn miscentered_scan(n: usize, offset: f64) -> (Sinogram, Vec<f64>, Image) {
         let vol = feather_volume(FeatherSpecies::Chicken, n, 1, 5);
         let truth = vol.slice_xy(0);
-        let mut geom = Geometry::parallel_180(96, n)
-            .with_center((n as f64 - 1.0) / 2.0 + offset);
+        let mut geom = Geometry::parallel_180(96, n).with_center((n as f64 - 1.0) / 2.0 + offset);
         // include the 180° endpoint so first/last rows are mirror pairs
         geom.angles.push(std::f64::consts::PI);
         let sino = forward_project(&truth, &geom);

@@ -38,9 +38,7 @@ pub fn archive_aged_files(
     // select candidates old enough and still present on CFS
     let selected: Vec<&(String, SimInstant)> = candidates
         .iter()
-        .filter(|(name, created)| {
-            cfs.contains(name) && now.duration_since(*created) > age_cutoff
-        })
+        .filter(|(name, created)| cfs.contains(name) && now.duration_since(*created) > age_cutoff)
         .collect();
     if selected.is_empty() {
         return None;
@@ -111,8 +109,10 @@ mod tests {
     #[test]
     fn aged_files_move_to_tape() {
         let (mut cfs, mut hpss, mut sfapi, mut client) = setup();
-        cfs.put("old_scan.h5", ByteSize::from_gib(25), t(0)).unwrap();
-        cfs.put("fresh_scan.h5", ByteSize::from_gib(25), t(200)).unwrap();
+        cfs.put("old_scan.h5", ByteSize::from_gib(25), t(0))
+            .unwrap();
+        cfs.put("fresh_scan.h5", ByteSize::from_gib(25), t(200))
+            .unwrap();
         let candidates = vec![
             ("old_scan.h5".to_string(), t(0)),
             ("fresh_scan.h5".to_string(), t(200)),
@@ -149,14 +149,18 @@ mod tests {
             t(1),
         );
         assert!(report.is_none());
-        assert_eq!(sfapi.scheduler().running_count() + sfapi.scheduler().pending_count(), 0);
+        assert_eq!(
+            sfapi.scheduler().running_count() + sfapi.scheduler().pending_count(),
+            0
+        );
     }
 
     #[test]
     fn tape_write_time_scales_with_volume() {
         let (mut cfs, mut hpss, mut sfapi, mut client) = setup();
         for i in 0..4 {
-            cfs.put(&format!("s{i}.h5"), ByteSize::from_gib(25), t(0)).unwrap();
+            cfs.put(&format!("s{i}.h5"), ByteSize::from_gib(25), t(0))
+                .unwrap();
         }
         let candidates: Vec<(String, SimInstant)> =
             (0..4).map(|i| (format!("s{i}.h5"), t(0))).collect();

@@ -128,7 +128,10 @@ impl CampaignReport {
 
     /// Look up a flow's measured summary.
     pub fn measured(&self, flow: &str) -> Option<&Summary> {
-        self.flows.iter().find(|f| f.flow == flow).map(|f| &f.measured)
+        self.flows
+            .iter()
+            .find(|f| f.flow == flow)
+            .map(|f| &f.measured)
     }
 }
 
@@ -149,7 +152,11 @@ mod tests {
             assert_eq!(f.measured.n, 100);
         }
         for (_, rate) in &r.success_rates {
-            assert!(*rate > 0.95, "success rates should be high: {:?}", r.success_rates);
+            assert!(
+                *rate > 0.95,
+                "success rates should be high: {:?}",
+                r.success_rates
+            );
         }
     }
 
@@ -165,11 +172,20 @@ mod tests {
         let alcf = r.measured(FLOW_ALCF).unwrap();
 
         // ordering of medians
-        assert!(nersc.median > alcf.median, "nersc {} vs alcf {}", nersc.median, alcf.median);
+        assert!(
+            nersc.median > alcf.median,
+            "nersc {} vs alcf {}",
+            nersc.median,
+            alcf.median
+        );
         assert!(alcf.median > nf.median);
 
         // medians within 25% of the paper
-        assert!((nf.median - 56.0).abs() / 56.0 < 0.5, "new_file med {}", nf.median);
+        assert!(
+            (nf.median - 56.0).abs() / 56.0 < 0.5,
+            "new_file med {}",
+            nf.median
+        );
         assert!(
             (nersc.median - 1665.0).abs() / 1665.0 < 0.25,
             "nersc med {}",
@@ -204,9 +220,17 @@ mod tests {
     fn campaign_moves_terabytes() {
         let r = full_campaign();
         // ~80 full scans × (24 GiB out × 2 + ~62 GiB back × 2) ≈ 10+ TiB
-        assert!(r.total_transfer_gib > 2000.0, "moved {} GiB", r.total_transfer_gib);
+        assert!(
+            r.total_transfer_gib > 2000.0,
+            "moved {} GiB",
+            r.total_transfer_gib
+        );
         assert!(r.mean_transfer_gbps > 1.0);
         // 100 scans at 3-5 min cadence ≈ 7 h of beam time
-        assert!(r.campaign_hours > 5.0 && r.campaign_hours < 24.0, "{}", r.campaign_hours);
+        assert!(
+            r.campaign_hours > 5.0 && r.campaign_hours < 24.0,
+            "{}",
+            r.campaign_hours
+        );
     }
 }

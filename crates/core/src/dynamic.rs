@@ -75,8 +75,7 @@ pub fn run_creep_series(
     n_angles: usize,
     seed: u64,
 ) -> DynamicSeries {
-    let series: Vec<Volume> =
-        proppant_creep_series(n, nz, &ProppantConfig::default(), steps, seed);
+    let series: Vec<Volume> = proppant_creep_series(n, nz, &ProppantConfig::default(), steps, seed);
     let server = PvaServer::new();
     let (svc, previews) =
         StreamingReconService::spawn(server.subscribe(1 << 17), StreamerConfig::default());
@@ -133,11 +132,7 @@ mod tests {
         assert!(
             series.porosity_monotone_decreasing(0.03),
             "porosity trace {:?}",
-            series
-                .steps
-                .iter()
-                .map(|s| s.porosity)
-                .collect::<Vec<_>>()
+            series.steps.iter().map(|s| s.porosity).collect::<Vec<_>>()
         );
         // and the effect is real, not flat
         let first = series.steps.first().unwrap().porosity;

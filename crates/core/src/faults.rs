@@ -1,0 +1,201 @@
+//! Deterministic fault plans for the multi-facility simulation.
+//!
+//! The paper's §5.3 recounts real incidents during beamtime: a NERSC
+//! scheduler outage that stranded reconstruction jobs, auth-session
+//! expiries, and degraded wide-area transfers. A [`FaultPlan`] encodes
+//! such incidents as timed windows that [`crate::sim::FacilitySim`]
+//! replays exactly — the same seed and plan always produce the same
+//! campaign, which is what makes the resilience experiments (and their
+//! with/without-failover comparisons) meaningful.
+
+use als_simcore::{SimDuration, SimInstant, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// What breaks during a [`FaultWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// NERSC scheduler outage: the partition drains, running ALS jobs are
+    /// killed, heartbeats stop. The DTN stays up, so transfers land and
+    /// their jobs strand in the queue (the paper's incident shape).
+    NerscOutage,
+    /// ALCF compute-endpoint outage: live Globus Compute invocations fail
+    /// and new ones are rejected; heartbeats stop.
+    AlcfOutage,
+    /// ESnet brownout: every WAN segment runs at `capacity_factor` ×
+    /// nominal bandwidth.
+    EsnetBrownout { capacity_factor: f64 },
+    /// SFAPI identity provider down: tokens are revoked and re-auth fails.
+    SfApiAuthExpiry,
+    /// Checksum-corruption burst on the facility DTNs: the next `burst`
+    /// transfers through each HPC endpoint fail verification.
+    TransferCorruption { burst: u32 },
+}
+
+/// One timed fault: `kind` holds over `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    pub start: SimInstant,
+    pub end: SimInstant,
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    pub fn new(start: SimInstant, end: SimInstant, kind: FaultKind) -> Self {
+        assert!(end > start, "fault window must have positive length");
+        if let FaultKind::EsnetBrownout { capacity_factor } = kind {
+            assert!(
+                (0.01..=1.0).contains(&capacity_factor),
+                "brownout factor {capacity_factor} outside [0.01, 1.0]"
+            );
+        }
+        FaultWindow { start, end, kind }
+    }
+
+    pub fn duration(&self) -> SimDuration {
+        self.end.duration_since(self.start)
+    }
+
+    /// Does this window cover `t`?
+    pub fn contains(&self, t: SimInstant) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// A full fault schedule for one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Timed incident windows, replayed verbatim.
+    pub windows: Vec<FaultWindow>,
+    /// Probability that any individual compute job/invocation fails at
+    /// completion (transient node-level failures outside any window).
+    pub job_failure_prob: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: a healthy campaign.
+    pub fn none() -> Self {
+        FaultPlan {
+            windows: Vec::new(),
+            job_failure_prob: 0.0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty() && self.job_failure_prob == 0.0
+    }
+
+    /// Builder: add a window.
+    pub fn with_window(mut self, w: FaultWindow) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&self.job_failure_prob),
+            "probability out of range"
+        );
+        self.windows.push(w);
+        self
+    }
+
+    /// Builder: set the background per-job failure probability.
+    pub fn with_job_failure_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.job_failure_prob = p;
+        self
+    }
+
+    /// Generate a random-but-reproducible "fault storm" over `[0,
+    /// horizon)`. `intensity` in `[0, 1]` scales how much of the horizon
+    /// is under some fault and the background job-failure rate. The same
+    /// `(seed, horizon, intensity)` always yields the same plan.
+    pub fn storm(seed: u64, horizon: SimDuration, intensity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&intensity), "intensity out of range");
+        let mut rng = SimRng::seeded(seed ^ 0x000F_A175);
+        let horizon_s = horizon.as_secs_f64();
+        // up to ~6 windows at full intensity
+        let n_windows = (intensity * 6.0).round() as usize;
+        let mut plan = FaultPlan::none().with_job_failure_prob(0.08 * intensity);
+        for i in 0..n_windows {
+            // each window lasts 2–10% of the horizon, scaled by intensity
+            let len_s = horizon_s * rng.uniform(0.02, 0.10) * (0.5 + 0.5 * intensity);
+            let start_s = rng.uniform(0.0, (horizon_s - len_s).max(1.0));
+            let start = SimInstant::ZERO + SimDuration::from_secs_f64(start_s);
+            let end = start + SimDuration::from_secs_f64(len_s.max(1.0));
+            let kind = match i % 5 {
+                0 => FaultKind::NerscOutage,
+                1 => FaultKind::AlcfOutage,
+                2 => FaultKind::EsnetBrownout {
+                    capacity_factor: rng.uniform(0.1, 0.5),
+                },
+                3 => FaultKind::SfApiAuthExpiry,
+                _ => FaultKind::TransferCorruption {
+                    burst: rng.uniform_u64(1, 4) as u32,
+                },
+            };
+            plan.windows.push(FaultWindow::new(start, end, kind));
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimInstant {
+        SimInstant::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn window_containment_is_half_open() {
+        let w = FaultWindow::new(secs(10), secs(20), FaultKind::NerscOutage);
+        assert!(!w.contains(secs(9)));
+        assert!(w.contains(secs(10)));
+        assert!(w.contains(secs(19)));
+        assert!(!w.contains(secs(20)));
+        assert_eq!(w.duration(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn empty_window_is_rejected() {
+        FaultWindow::new(secs(10), secs(10), FaultKind::NerscOutage);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn total_blackout_brownout_is_rejected() {
+        FaultWindow::new(
+            secs(0),
+            secs(10),
+            FaultKind::EsnetBrownout {
+                capacity_factor: 0.0,
+            },
+        );
+    }
+
+    #[test]
+    fn storm_is_deterministic_and_scales_with_intensity() {
+        let h = SimDuration::from_hours(4);
+        let a = FaultPlan::storm(7, h, 0.8);
+        let b = FaultPlan::storm(7, h, 0.8);
+        assert_eq!(a, b, "same inputs, same plan");
+        let c = FaultPlan::storm(8, h, 0.8);
+        assert_ne!(a, c, "different seed, different plan");
+        assert_eq!(FaultPlan::storm(7, h, 0.0).windows.len(), 0);
+        assert!(a.windows.len() >= 4);
+        assert!(a.job_failure_prob > 0.0);
+        for w in &a.windows {
+            assert!(w.end.as_secs_f64() <= h.as_secs_f64() * 1.1);
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::none().with_job_failure_prob(0.1).is_empty());
+    }
+}

@@ -24,10 +24,11 @@ pub struct IncidentReport {
     pub prune_burst: usize,
     /// Transfer-queue concurrency limit.
     pub max_concurrent: usize,
-    /// Mean completion time of the legitimate scan transfers (s).
-    pub mean_scan_transfer_s: f64,
-    /// Worst-case completion time (s).
-    pub max_scan_transfer_s: f64,
+    /// Mean completion time of the legitimate scan transfers (s); `None`
+    /// when no scan transfer completed at all.
+    pub mean_scan_transfer_s: Option<f64>,
+    /// Worst-case completion time (s); `None` when nothing completed.
+    pub max_scan_transfer_s: Option<f64>,
     /// How many legitimate transfers finished within 5 minutes.
     pub scans_on_time: usize,
     pub scans_total: usize,
@@ -88,13 +89,24 @@ pub fn run_incident(fail_fast: bool, prune_burst: usize, seed: u64) -> IncidentR
         .map(|d| d.as_secs_f64())
         .collect();
     let scans_total = scans.len();
+    assert_eq!(
+        durations.len(),
+        scans_total,
+        "every scan transfer must reach a terminal state with a duration"
+    );
     let on_time = durations.iter().filter(|&&d| d < 300.0).count();
     IncidentReport {
         fail_fast,
         prune_burst,
         max_concurrent,
-        mean_scan_transfer_s: durations.iter().sum::<f64>() / durations.len().max(1) as f64,
-        max_scan_transfer_s: durations.iter().fold(0.0, |m, &d| m.max(d)),
+        mean_scan_transfer_s: if durations.is_empty() {
+            None
+        } else {
+            Some(durations.iter().sum::<f64>() / durations.len() as f64)
+        },
+        max_scan_transfer_s: durations
+            .iter()
+            .fold(None, |m, &d| Some(m.map_or(d, |m: f64| m.max(d)))),
         scans_on_time: on_time,
         scans_total,
     }
@@ -117,10 +129,10 @@ mod tests {
         let r = run_incident(false, 8, 1);
         // hung prune tasks hold all slots for the 30-minute timeout:
         // legitimate transfers stall past any reasonable deadline
+        let mean = r.mean_scan_transfer_s.expect("all scans terminal");
         assert!(
-            r.mean_scan_transfer_s > 1500.0,
-            "mean scan transfer {} s should show saturation",
-            r.mean_scan_transfer_s
+            mean > 1500.0,
+            "mean scan transfer {mean} s should show saturation"
         );
         assert_eq!(r.scans_on_time, 0);
     }
@@ -130,11 +142,9 @@ mod tests {
         let r = run_incident(true, 8, 1);
         // failed prunes release their slots immediately; 25 GiB at a
         // shared 10 Gbps finishes within a couple of minutes each
-        assert!(
-            r.mean_scan_transfer_s < 300.0,
-            "mean scan transfer {} s",
-            r.mean_scan_transfer_s
-        );
+        let mean = r.mean_scan_transfer_s.expect("all scans terminal");
+        assert!(mean < 300.0, "mean scan transfer {mean} s");
+        assert!(r.max_scan_transfer_s.unwrap() >= mean);
         assert!(r.scans_on_time >= r.scans_total - 1);
     }
 
@@ -142,12 +152,11 @@ mod tests {
     fn remediation_dominates_across_burst_sizes() {
         for burst in [4, 8, 16] {
             let (legacy, fixed) = incident_comparison(burst, 2);
-            assert!(
-                fixed.mean_scan_transfer_s < legacy.mean_scan_transfer_s / 3.0,
-                "burst {burst}: fixed {} vs legacy {}",
-                fixed.mean_scan_transfer_s,
-                legacy.mean_scan_transfer_s
+            let (f, l) = (
+                fixed.mean_scan_transfer_s.unwrap(),
+                legacy.mean_scan_transfer_s.unwrap(),
             );
+            assert!(f < l / 3.0, "burst {burst}: fixed {f} vs legacy {l}");
         }
     }
 }

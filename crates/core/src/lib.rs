@@ -41,16 +41,23 @@ pub mod alignment;
 pub mod archive;
 pub mod campaign;
 pub mod dynamic;
+pub mod faults;
 pub mod incident;
 pub mod lifecycle;
 pub mod multibeamline;
 pub mod realmode;
+pub mod resilience;
 pub mod scan;
 pub mod sim;
 pub mod streaming_model;
 pub mod users;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use faults::{FaultKind, FaultPlan, FaultWindow};
+pub use resilience::{
+    resilience_comparison, resilience_experiment, ResilienceComparison, ResilienceOutcome,
+    ResilienceReport,
+};
 pub use scan::{Scan, ScanId, ScanWorkload};
 pub use sim::{FacilitySim, SimConfig};
 pub use users::{user_archetypes, UserArchetype};

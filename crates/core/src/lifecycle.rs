@@ -56,9 +56,7 @@ pub fn run_lifecycle(cadence_s: f64, days: u64, pruning: bool, seed: u64) -> Lif
     let horizon = SimInstant::ZERO + SimDuration::from_hours(hours);
     sim.run(Some(horizon));
 
-    let raw_total: ByteSize = sim
-        .monitor
-        .total_bytes();
+    let raw_total: ByteSize = sim.monitor.total_bytes();
     let _ = raw_total;
     // daily raw volume: scans/day × mean size (~25 GiB)
     let scans_per_hour = 3600.0 / cadence_s;

@@ -63,8 +63,7 @@ pub fn run_scale_point(
         ..Default::default()
     });
     // fleet cadence: N beamlines at ~4 min each → one scan every 240/N s
-    let mut workload = ScanWorkload::production()
-        .with_cadence_secs(240.0 / beamlines as f64);
+    let mut workload = ScanWorkload::production().with_cadence_secs(240.0 / beamlines as f64);
     sim.schedule_campaign(&mut workload, n_scans_per_beamline * beamlines);
     sim.run(None);
     let durations = sim
@@ -99,7 +98,9 @@ pub fn scaling_sweep(
         ));
         out.push(run_scale_point(
             n,
-            AllocationPolicy::Reserved { nodes_per_beamline: 8 },
+            AllocationPolicy::Reserved {
+                nodes_per_beamline: 8,
+            },
             n_scans_per_beamline,
             seed,
         ));
@@ -115,8 +116,14 @@ mod tests {
     fn single_beamline_policies_agree() {
         // with one beamline, shared(8) and reserved(8/bl) are identical
         let shared = run_scale_point(1, AllocationPolicy::Shared { total_nodes: 8 }, 15, 3);
-        let reserved =
-            run_scale_point(1, AllocationPolicy::Reserved { nodes_per_beamline: 8 }, 15, 3);
+        let reserved = run_scale_point(
+            1,
+            AllocationPolicy::Reserved {
+                nodes_per_beamline: 8,
+            },
+            15,
+            3,
+        );
         assert!((shared.median_s - reserved.median_s).abs() < 1e-9);
     }
 
@@ -134,8 +141,22 @@ mod tests {
 
     #[test]
     fn reservation_keeps_latency_flat() {
-        let one = run_scale_point(1, AllocationPolicy::Reserved { nodes_per_beamline: 8 }, 12, 5);
-        let four = run_scale_point(4, AllocationPolicy::Reserved { nodes_per_beamline: 8 }, 12, 5);
+        let one = run_scale_point(
+            1,
+            AllocationPolicy::Reserved {
+                nodes_per_beamline: 8,
+            },
+            12,
+            5,
+        );
+        let four = run_scale_point(
+            4,
+            AllocationPolicy::Reserved {
+                nodes_per_beamline: 8,
+            },
+            12,
+            5,
+        );
         // medians stay within 25% as the fleet quadruples
         let ratio = four.median_s / one.median_s;
         assert!(
@@ -149,8 +170,14 @@ mod tests {
     #[test]
     fn reserved_beats_shared_at_scale() {
         let shared = run_scale_point(4, AllocationPolicy::Shared { total_nodes: 8 }, 12, 9);
-        let reserved =
-            run_scale_point(4, AllocationPolicy::Reserved { nodes_per_beamline: 8 }, 12, 9);
+        let reserved = run_scale_point(
+            4,
+            AllocationPolicy::Reserved {
+                nodes_per_beamline: 8,
+            },
+            12,
+            9,
+        );
         assert!(
             reserved.p95_s < shared.p95_s,
             "reserved p95 {} should beat shared {}",

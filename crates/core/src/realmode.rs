@@ -12,9 +12,7 @@ use als_stream::{
     publish_scan, ChannelMirror, FileWriterService, Preview, PvaServer, StreamerConfig,
     StreamingReconService,
 };
-use als_tomo::{
-    fbp_slice, sirt_slice, FbpConfig, Geometry, Image, IterConfig, Sinogram, Volume,
-};
+use als_tomo::{fbp_slice, sirt_slice, FbpConfig, Geometry, Image, IterConfig, Sinogram, Volume};
 use std::path::Path;
 use std::time::Duration;
 
@@ -44,7 +42,14 @@ pub fn run_session(
     scan_id: &str,
     seed: u64,
 ) -> SessionResult {
-    run_session_with(vol, n_angles, out_dir, scan_id, seed, DetectorConfig::default())
+    run_session_with(
+        vol,
+        n_angles,
+        out_dir,
+        scan_id,
+        seed,
+        DetectorConfig::default(),
+    )
 }
 
 /// [`run_session`] with an explicit detector model (photon budget, noise).

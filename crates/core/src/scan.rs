@@ -65,7 +65,10 @@ impl ScanWorkload {
     pub fn production() -> ScanWorkload {
         ScanWorkload {
             sizes: WorkloadDist::beamline_scan_sizes(),
-            cadence_s: WorkloadDist::Uniform { lo: 180.0, hi: 300.0 },
+            cadence_s: WorkloadDist::Uniform {
+                lo: 180.0,
+                hi: 300.0,
+            },
             next_id: 0,
         }
     }
@@ -78,7 +81,10 @@ impl ScanWorkload {
 
     /// Only full-size scans (for worst-case storage sizing).
     pub fn full_scans_only(mut self) -> ScanWorkload {
-        self.sizes = WorkloadDist::Normal { mean: 25.0, sd: 4.0 };
+        self.sizes = WorkloadDist::Normal {
+            mean: 25.0,
+            sd: 4.0,
+        };
         self
     }
 
@@ -86,9 +92,7 @@ impl ScanWorkload {
     pub fn next_scan(&mut self, rng: &mut SimRng) -> (Scan, SimDuration) {
         let id = ScanId(self.next_id);
         self.next_id += 1;
-        let size = ByteSize::from_gib_f64(
-            self.sizes.sample_clamped(rng, 0.002, 120.0),
-        );
+        let size = ByteSize::from_gib_f64(self.sizes.sample_clamped(rng, 0.002, 120.0));
         // acquisition: "3-minute scan", shorter for cropped tests
         let acquisition = if size < ByteSize::from_gib(1) {
             SimDuration::from_secs_f64(rng.uniform(20.0, 60.0))
@@ -118,8 +122,14 @@ mod tests {
         let mut rng = SimRng::seeded(1);
         let scans: Vec<Scan> = (0..500).map(|_| w.next_scan(&mut rng).0).collect();
         let cropped = scans.iter().filter(|s| s.is_cropped_test()).count();
-        let full = scans.iter().filter(|s| s.size > ByteSize::from_gib(15)).count();
-        assert!((0.1..0.35).contains(&(cropped as f64 / 500.0)), "cropped {cropped}");
+        let full = scans
+            .iter()
+            .filter(|s| s.size > ByteSize::from_gib(15))
+            .count();
+        assert!(
+            (0.1..0.35).contains(&(cropped as f64 / 500.0)),
+            "cropped {cropped}"
+        );
         assert!(full as f64 / 500.0 > 0.6, "full {full}");
         // ids are unique and sequential
         for (i, s) in scans.iter().enumerate() {

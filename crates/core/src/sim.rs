@@ -9,13 +9,16 @@
 //! catalogue the results land in. Every flow run is recorded in the
 //! Prefect-substitute engine, which is what the Table 2 report queries.
 
+use crate::faults::{FaultKind, FaultPlan};
 use crate::scan::{Scan, ScanId, ScanWorkload};
 use als_catalog::{raw_scan_dataset, recon_dataset, Catalog, DatasetPid, InstrumentMetadata};
-use als_globus::compute::{AcquisitionMode, ComputeEndpoint, ComputeEvent, ComputeTaskId};
-use als_globus::transfer::{
-    EndpointId, TaskId, TransferEvent, TransferOptions, TransferService,
+use als_globus::compute::{
+    AcquisitionMode, ComputeEndpoint, ComputeEvent, ComputeTaskId, ComputeTaskState,
 };
+use als_globus::transfer::{EndpointId, TaskId, TransferEvent, TransferOptions, TransferService};
 use als_globus::BandwidthMonitor;
+use als_hpc::circuit::{BreakerConfig, CircuitBreaker};
+use als_hpc::health::{Environment, HealthMonitor, HealthState};
 use als_hpc::scheduler::{JobEvent, JobId, JobRequest, JobState, Qos};
 use als_hpc::sfapi::{SfApiClient, SfApiServer};
 use als_hpc::storage::{StorageTier, TierKind};
@@ -24,7 +27,7 @@ use als_orchestrator::engine::{FlowEngine, FlowRunId, FlowState, TaskState};
 use als_orchestrator::limits::ConcurrencyLimits;
 use als_orchestrator::schedule::Schedule;
 use als_simcore::{ByteSize, EventQueue, SimDuration, SimInstant, SimRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Names of the three production flows (Table 2's rows).
 pub const FLOW_NEW_FILE: &str = "new_file_832";
@@ -57,6 +60,13 @@ pub struct SimConfig {
     /// Number of beamline servers feeding the pipeline (each brings its
     /// own 10 Gbps NIC — the §6 multi-beamline rollout).
     pub beamline_count: usize,
+    /// Deterministic fault schedule replayed during the campaign
+    /// (default: none — a healthy campaign).
+    pub faults: FaultPlan,
+    /// Route recon branches away from an unhealthy facility (circuit
+    /// breakers + NERSC↔ALCF redirects, the §5.3 remediation). With an
+    /// empty fault plan this changes nothing.
+    pub failover_enabled: bool,
 }
 
 impl Default for SimConfig {
@@ -73,6 +83,8 @@ impl Default for SimConfig {
             background_mean_arrival_s: Some(360.0),
             pruning_enabled: true,
             beamline_count: 1,
+            faults: FaultPlan::none(),
+            failover_enabled: true,
         }
     }
 }
@@ -110,6 +122,17 @@ enum Ev {
     PruneTick,
     /// A competing (non-ALS) job arrives at NERSC.
     BackgroundArrival,
+    /// The `i`-th fault window of the plan opens.
+    FaultStart(usize),
+    /// The `i`-th fault window of the plan closes.
+    FaultEnd(usize),
+    /// Facilities emit heartbeats; the router checks for staleness.
+    HealthTick,
+    /// Deadline for a NERSC job: if still live, it is stranded behind an
+    /// outage — cancel it remotely and fail over.
+    JobDeadline(JobId),
+    /// Deadline for an ALCF invocation, same semantics.
+    TaskDeadline(ComputeTaskId),
 }
 
 /// Calibration constants for the paper-scale cost models. Centralized so
@@ -172,12 +195,31 @@ pub struct FacilitySim {
     newfile_runs: BTreeMap<ScanId, FlowRunId>,
     branch_runs: BTreeMap<(ScanId, u8), FlowRunId>,
     transfer_map: BTreeMap<TaskId, (ScanId, Branch, Leg)>,
-    job_map: BTreeMap<JobId, ScanId>,
-    compute_map: BTreeMap<ComputeTaskId, ScanId>,
+    /// Live NERSC jobs → (scan, *flow* branch they serve). After a
+    /// failover an ALCF-branch flow may execute at NERSC, so the value is
+    /// the branch identity, not the facility.
+    job_map: BTreeMap<JobId, (ScanId, Branch)>,
+    compute_map: BTreeMap<ComputeTaskId, (ScanId, Branch)>,
     raw_pids: BTreeMap<ScanId, DatasetPid>,
+
+    /// Facility actually executing each flow branch (differs from the
+    /// branch's home facility after a failover redirect).
+    exec_site: BTreeMap<(ScanId, u8), Branch>,
+    /// Branches that already failed over once (failover is one-shot).
+    failed_over: BTreeSet<(ScanId, u8)>,
+    /// Facility heartbeats + per-facility circuit breakers (§5.3).
+    pub health: HealthMonitor,
+    pub nersc_breaker: CircuitBreaker,
+    pub alcf_breaker: CircuitBreaker,
+    nersc_heartbeats_suppressed: bool,
+    alcf_heartbeats_suppressed: bool,
 
     /// Completed end-to-end scans (both branches finished).
     pub completed_scans: usize,
+    /// Branch redirects performed (NERSC↔ALCF).
+    pub failover_count: usize,
+    /// Jobs/invocations cancelled remotely after missing their deadline.
+    pub remote_cancel_count: usize,
 }
 
 fn branch_key(b: Branch) -> u8 {
@@ -186,6 +228,27 @@ fn branch_key(b: Branch) -> u8 {
         Branch::Alcf => 1,
     }
 }
+
+fn other_branch(b: Branch) -> Branch {
+    match b {
+        Branch::Nersc => Branch::Alcf,
+        Branch::Alcf => Branch::Nersc,
+    }
+}
+
+fn facility_name(b: Branch) -> &'static str {
+    match b {
+        Branch::Nersc => "nersc",
+        Branch::Alcf => "alcf",
+    }
+}
+
+/// Facility heartbeat cadence (and how stale one may get before the
+/// router trips the facility's breaker).
+const HEARTBEAT_PERIOD: SimDuration = SimDuration::from_secs(60);
+const HEARTBEAT_FRESHNESS: SimDuration = SimDuration::from_secs(180);
+/// Slack past a job's walltime before the deadline watchdog fires.
+const DEADLINE_SLACK_S: f64 = 600.0;
 
 impl FacilitySim {
     pub fn new(cfg: SimConfig) -> Self {
@@ -197,6 +260,13 @@ impl FacilitySim {
         let ep_nersc = transfer.register_endpoint(SiteId::Nersc);
         let ep_alcf = transfer.register_endpoint(SiteId::Alcf);
         let rng = SimRng::seeded(cfg.seed);
+        let mut health = HealthMonitor::new();
+        health.register("nersc", Environment::Production, HEARTBEAT_FRESHNESS);
+        health.register("alcf", Environment::Production, HEARTBEAT_FRESHNESS);
+        let breaker_cfg = BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_mins(10),
+        };
         FacilitySim {
             queue: EventQueue::new(),
             rng,
@@ -223,7 +293,16 @@ impl FacilitySim {
             job_map: BTreeMap::new(),
             compute_map: BTreeMap::new(),
             raw_pids: BTreeMap::new(),
+            exec_site: BTreeMap::new(),
+            failed_over: BTreeSet::new(),
+            health,
+            nersc_breaker: CircuitBreaker::new(breaker_cfg),
+            alcf_breaker: CircuitBreaker::new(breaker_cfg),
+            nersc_heartbeats_suppressed: false,
+            alcf_heartbeats_suppressed: false,
             completed_scans: 0,
+            failover_count: 0,
+            remote_cancel_count: 0,
             cfg,
         }
     }
@@ -258,6 +337,25 @@ impl FacilitySim {
                 let fire = self.prune_schedule.next_fire();
                 self.queue.schedule_at(fire, Ev::PruneTick);
                 self.prune_schedule.due(fire);
+            }
+        }
+        // arm the fault plan + the heartbeat/health machinery (windows
+        // and heartbeats are pre-scheduled so the event queue stays
+        // finite and the campaign drains)
+        let faults = self.cfg.faults.clone();
+        for (i, w) in faults.windows.iter().enumerate() {
+            self.queue.schedule_at(w.start, Ev::FaultStart(i));
+            self.queue.schedule_at(w.end, Ev::FaultEnd(i));
+        }
+        if self.cfg.failover_enabled && !faults.is_empty() {
+            let mut horizon = t + SimDuration::from_hours(3);
+            for w in &faults.windows {
+                horizon = horizon.max(w.end + SimDuration::from_hours(2));
+            }
+            let mut ht = SimInstant::ZERO;
+            while ht < horizon {
+                self.queue.schedule_at(ht, Ev::HealthTick);
+                ht += HEARTBEAT_PERIOD;
             }
         }
     }
@@ -309,6 +407,11 @@ impl FacilitySim {
             Ev::PollAlcf => self.on_poll_alcf(now),
             Ev::PruneTick => self.on_prune(now),
             Ev::BackgroundArrival => self.on_background(now),
+            Ev::FaultStart(i) => self.on_fault_start(now, i),
+            Ev::FaultEnd(i) => self.on_fault_end(now, i),
+            Ev::HealthTick => self.on_health_tick(now),
+            Ev::JobDeadline(job) => self.on_job_deadline(now, job),
+            Ev::TaskDeadline(task) => self.on_task_deadline(now, task),
         }
     }
 
@@ -350,9 +453,12 @@ impl FacilitySim {
                 .clamp(1.0, calib::NEWFILE_JITTER_MAX_S),
         );
         let ingest = SimDuration::from_secs_f64(calib::NEWFILE_INGEST_S);
-        let task = self
-            .engine
-            .start_task(run, "stage_and_ingest", Some(&format!("{}/ingest", scan.name)), now);
+        let task = self.engine.start_task(
+            run,
+            "stage_and_ingest",
+            Some(&format!("{}/ingest", scan.name)),
+            now,
+        );
         let done = now + staging + ingest + jitter;
         self.engine
             .finish_task(run, task, TaskState::Completed, done, None);
@@ -394,19 +500,58 @@ impl FacilitySim {
             self.engine.set_parameter(run, "scan", &scan.name);
             self.engine.start_run(run, now);
             self.branch_runs.insert((id, branch_key(branch)), run);
-            let dst = match branch {
-                Branch::Nersc => self.ep_nersc,
-                Branch::Alcf => self.ep_alcf,
-            };
+            // route around a facility whose breaker is open (launch-time
+            // failover: the raw data goes straight to the healthy site)
+            let exec = self.choose_exec_site(now, id, branch);
+            let dst = self.branch_endpoint(exec);
             let opts = self.transfer_opts();
             let task = self.transfer.submit(self.ep_als, dst, scan.size, opts, now);
             self.transfer_map.insert(task, (id, branch, Leg::ToHpc));
-            let t = self
-                .engine
-                .start_task(run, "globus_copy_to_hpc", Some(&format!("{}/{flow_name}/copy", scan.name)), now);
+            let t = self.engine.start_task(
+                run,
+                "globus_copy_to_hpc",
+                Some(&format!("{}/{flow_name}/copy", scan.name)),
+                now,
+            );
             debug_assert_eq!(t, 0);
         }
         self.schedule_transfer_poll(now);
+    }
+
+    fn branch_endpoint(&self, b: Branch) -> EndpointId {
+        match b {
+            Branch::Nersc => self.ep_nersc,
+            Branch::Alcf => self.ep_alcf,
+        }
+    }
+
+    fn breaker_allows(&mut self, facility: Branch, now: SimInstant) -> bool {
+        match facility {
+            Branch::Nersc => self.nersc_breaker.allow_request(now),
+            Branch::Alcf => self.alcf_breaker.allow_request(now),
+        }
+    }
+
+    /// Pick the facility that will execute a newly launched flow branch:
+    /// its home facility unless that breaker refuses and the other
+    /// facility's breaker accepts.
+    fn choose_exec_site(&mut self, now: SimInstant, id: ScanId, branch: Branch) -> Branch {
+        let bk = branch_key(branch);
+        let mut exec = branch;
+        if self.cfg.failover_enabled && !self.breaker_allows(branch, now) {
+            let other = other_branch(branch);
+            if self.breaker_allows(other, now) {
+                exec = other;
+                self.failed_over.insert((id, bk));
+                self.failover_count += 1;
+                if let Some(&run) = self.branch_runs.get(&(id, bk)) {
+                    self.engine
+                        .set_parameter(run, "failover", facility_name(other));
+                }
+            }
+        }
+        self.exec_site.insert((id, bk), exec);
+        exec
     }
 
     fn on_poll_transfers(&mut self, now: SimInstant) {
@@ -425,15 +570,20 @@ impl FacilitySim {
                     if let Some(d) = self.transfer.task_duration(task) {
                         self.monitor.record(at, size, d);
                     }
-                    match (branch, leg) {
-                        (Branch::Nersc, Leg::ToHpc) => self.nersc_job_submit(at, id),
-                        (Branch::Alcf, Leg::ToHpc) => self.alcf_invoke(at, id),
+                    let exec = self
+                        .exec_site
+                        .get(&(id, branch_key(branch)))
+                        .copied()
+                        .unwrap_or(branch);
+                    match (exec, leg) {
+                        (Branch::Nersc, Leg::ToHpc) => self.nersc_job_submit(at, id, branch),
+                        (Branch::Alcf, Leg::ToHpc) => self.alcf_invoke(at, id, branch),
                         (_, Leg::Back) => self.finish_branch(at, id, branch, true),
                     }
                 }
                 TransferEvent::Failed { task, at, .. } => {
                     if let Some((id, branch, _)) = self.transfer_map.remove(&task) {
-                        self.finish_branch(at, id, branch, false);
+                        self.branch_failed(at, id, branch);
                     }
                 }
                 TransferEvent::Started { .. } | TransferEvent::Retrying { .. } => {}
@@ -442,8 +592,18 @@ impl FacilitySim {
         self.schedule_transfer_poll(now);
     }
 
+    /// Should deadline watchdogs be armed? Only in fault-injected runs —
+    /// a healthy campaign never needs remote cancellation. (Armed even
+    /// with failover disabled: cancelling stranded work is the baseline
+    /// operator behavior; rerouting it is the remediation under test.)
+    fn deadlines_armed(&self) -> bool {
+        !self.cfg.faults.is_empty()
+    }
+
     /// NERSC: stage to CFS, submit the realtime Slurm job through SFAPI.
-    fn nersc_job_submit(&mut self, now: SimInstant, id: ScanId) {
+    /// `branch` is the *flow* branch this execution serves (it may be the
+    /// ALCF flow, redirected here by a failover).
+    fn nersc_job_submit(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
         let scan = self.scans.get(&id).expect("scan exists").clone();
         self.cfs_tier
             .put(&format!("{}.h5", scan.name), scan.size, now)
@@ -455,19 +615,19 @@ impl FacilitySim {
             calib::NERSC_JOB_FIXED_S + calib::NERSC_RECON_S_PER_GIB * gib,
         );
         let runtime = stage + recon;
+        let walltime =
+            SimDuration::from_secs_f64(runtime.as_secs_f64() * calib::WALLTIME_MARGIN + 900.0);
         let req = JobRequest {
             name: format!("recon_{}", scan.name),
             qos: self.cfg.nersc_qos,
             nodes: 1,
             runtime,
-            walltime_limit: SimDuration::from_secs_f64(
-                runtime.as_secs_f64() * calib::WALLTIME_MARGIN + 900.0,
-            ),
+            walltime_limit: walltime,
         };
         match self.nersc_client.submit(&mut self.nersc, req, now) {
             Ok((job, _events)) => {
-                self.job_map.insert(job, id);
-                if let Some(&run) = self.branch_runs.get(&(id, branch_key(Branch::Nersc))) {
+                self.job_map.insert(job, (id, branch));
+                if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
                     self.engine.start_task(
                         run,
                         "sfapi_slurm_job",
@@ -475,15 +635,19 @@ impl FacilitySim {
                         now,
                     );
                 }
+                if self.deadlines_armed() {
+                    let deadline = now + walltime + SimDuration::from_secs_f64(DEADLINE_SLACK_S);
+                    self.queue.schedule_at(deadline, Ev::JobDeadline(job));
+                }
                 self.schedule_nersc_poll(now);
             }
-            Err(_) => self.finish_branch(now, id, Branch::Nersc, false),
+            Err(_) => self.branch_failed(now, id, branch),
         }
     }
 
     /// ALCF: stage to Eagle, dispatch the reconstruction function via
-    /// Globus Compute.
-    fn alcf_invoke(&mut self, now: SimInstant, id: ScanId) {
+    /// Globus Compute. `branch` is the flow branch being served.
+    fn alcf_invoke(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
         let scan = self.scans.get(&id).expect("scan exists").clone();
         self.eagle_tier
             .put(&format!("{}.h5", scan.name), scan.size, now)
@@ -493,11 +657,15 @@ impl FacilitySim {
             .rng
             .lognormal_med(calib::ALCF_FIXED_MED_S, calib::ALCF_FIXED_SIGMA)
             .clamp(300.0, 1500.0);
-        let runtime =
-            SimDuration::from_secs_f64(fixed + calib::ALCF_RECON_S_PER_GIB * gib);
+        let runtime = SimDuration::from_secs_f64(fixed + calib::ALCF_RECON_S_PER_GIB * gib);
         let task = self.alcf.invoke(runtime, now);
-        self.compute_map.insert(task, id);
-        if let Some(&run) = self.branch_runs.get(&(id, branch_key(Branch::Alcf))) {
+        if self.alcf.state(task) == Some(ComputeTaskState::Failed) {
+            // endpoint down: the invocation is rejected on arrival
+            self.branch_failed(now, id, branch);
+            return;
+        }
+        self.compute_map.insert(task, (id, branch));
+        if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
             self.engine.start_task(
                 run,
                 "globus_compute_recon",
@@ -505,20 +673,34 @@ impl FacilitySim {
                 now,
             );
         }
+        if self.deadlines_armed() {
+            let deadline = now + runtime * 2.0 + SimDuration::from_secs(3600);
+            self.queue.schedule_at(deadline, Ev::TaskDeadline(task));
+        }
         self.schedule_alcf_poll(now);
+    }
+
+    /// Does this completion get converted to a transient failure by the
+    /// plan's background job-failure probability? (The rng is consulted
+    /// only when the probability is non-zero, preserving the healthy-run
+    /// random streams.)
+    fn rolls_transient_failure(&mut self) -> bool {
+        let p = self.cfg.faults.job_failure_prob;
+        p > 0.0 && self.rng.chance(p)
     }
 
     fn on_poll_nersc(&mut self, now: SimInstant) {
         let events = self.nersc.scheduler_mut().advance_to(now);
         for ev in events {
             if let JobEvent::Finished { id: job, at, state } = ev {
-                let Some(scan_id) = self.job_map.remove(&job) else {
-                    continue; // background job
+                let Some((scan_id, branch)) = self.job_map.remove(&job) else {
+                    continue; // background or abandoned job
                 };
-                if state == JobState::Completed {
-                    self.start_back_transfer(at, scan_id, Branch::Nersc);
+                if state == JobState::Completed && !self.rolls_transient_failure() {
+                    self.nersc_breaker.record_success();
+                    self.start_back_transfer(at, scan_id, branch);
                 } else {
-                    self.finish_branch(at, scan_id, Branch::Nersc, false);
+                    self.branch_failed(at, scan_id, branch);
                 }
             }
         }
@@ -529,31 +711,107 @@ impl FacilitySim {
         let events = self.alcf.advance_to(now);
         for ev in events {
             if let ComputeEvent::Finished { task, at } = ev {
-                if let Some(scan_id) = self.compute_map.remove(&task) {
-                    self.start_back_transfer(at, scan_id, Branch::Alcf);
+                if let Some((scan_id, branch)) = self.compute_map.remove(&task) {
+                    if self.rolls_transient_failure() {
+                        self.branch_failed(at, scan_id, branch);
+                    } else {
+                        self.alcf_breaker.record_success();
+                        self.start_back_transfer(at, scan_id, branch);
+                    }
                 }
             }
         }
         self.schedule_alcf_poll(now);
     }
 
-    /// Move the reconstruction products back to the beamline data server.
+    /// Deadline watchdog: the job never finished — it is stranded behind
+    /// a facility outage. Cancel it remotely (§5.3: "remotely cancelling
+    /// stuck jobs") and route the branch elsewhere.
+    fn on_job_deadline(&mut self, now: SimInstant, job: JobId) {
+        let Some((scan_id, branch)) = self.job_map.remove(&job) else {
+            return; // finished in time
+        };
+        // removed from job_map first so the Cancelled event is ignored
+        self.nersc_client.cancel(&mut self.nersc, job, now).ok();
+        self.remote_cancel_count += 1;
+        if let Some(&run) = self.branch_runs.get(&(scan_id, branch_key(branch))) {
+            self.engine
+                .start_task(run, "remote_cancel_stranded_job", None, now);
+        }
+        self.schedule_nersc_poll(now);
+        self.branch_failed(now, scan_id, branch);
+    }
+
+    fn on_task_deadline(&mut self, now: SimInstant, task: ComputeTaskId) {
+        let Some((scan_id, branch)) = self.compute_map.remove(&task) else {
+            return;
+        };
+        self.alcf.cancel(task, now);
+        self.remote_cancel_count += 1;
+        if let Some(&run) = self.branch_runs.get(&(scan_id, branch_key(branch))) {
+            self.engine
+                .start_task(run, "remote_cancel_stranded_job", None, now);
+        }
+        self.schedule_alcf_poll(now);
+        self.branch_failed(now, scan_id, branch);
+    }
+
+    /// Move the reconstruction products back to the beamline data server
+    /// from wherever the branch actually executed.
     fn start_back_transfer(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
         let scan = self.scans.get(&id).expect("scan exists").clone();
-        let src = match branch {
-            Branch::Nersc => self.ep_nersc,
-            Branch::Alcf => self.ep_alcf,
-        };
+        let exec = self
+            .exec_site
+            .get(&(id, branch_key(branch)))
+            .copied()
+            .unwrap_or(branch);
+        let src = self.branch_endpoint(exec);
         let opts = self.transfer_opts();
         let task = self
             .transfer
             .submit(src, self.ep_als, scan.recon_output_size(), opts, now);
         self.transfer_map.insert(task, (id, branch, Leg::Back));
         if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
-            self.engine
-                .start_task(run, "globus_copy_back", None, now);
+            self.engine.start_task(run, "globus_copy_back", None, now);
         }
         self.schedule_transfer_poll(now);
+    }
+
+    /// A branch's execution failed. Record it against the facility that
+    /// ran it; then either fail over (once per branch, if the other
+    /// facility's breaker accepts) or fail the flow run.
+    fn branch_failed(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
+        let bk = branch_key(branch);
+        let exec = self.exec_site.get(&(id, bk)).copied().unwrap_or(branch);
+        match exec {
+            Branch::Nersc => self.nersc_breaker.record_failure(now),
+            Branch::Alcf => self.alcf_breaker.record_failure(now),
+        }
+        self.health
+            .report_error(facility_name(exec), now, "branch execution failed");
+        if self.cfg.failover_enabled && !self.failed_over.contains(&(id, bk)) {
+            let target = other_branch(exec);
+            if self.breaker_allows(target, now) {
+                self.failed_over.insert((id, bk));
+                self.failover_count += 1;
+                self.exec_site.insert((id, bk), target);
+                let scan = self.scans.get(&id).expect("scan exists").clone();
+                if let Some(&run) = self.branch_runs.get(&(id, bk)) {
+                    self.engine
+                        .set_parameter(run, "failover", facility_name(target));
+                    self.engine.start_task(run, "failover_redirect", None, now);
+                }
+                // re-ship the raw data from the beamline to the healthy
+                // facility; the normal ToHpc machinery takes over
+                let dst = self.branch_endpoint(target);
+                let opts = self.transfer_opts();
+                let task = self.transfer.submit(self.ep_als, dst, scan.size, opts, now);
+                self.transfer_map.insert(task, (id, branch, Leg::ToHpc));
+                self.schedule_transfer_poll(now);
+                return;
+            }
+        }
+        self.finish_branch(now, id, branch, false);
     }
 
     /// Terminal transition for one branch of one scan.
@@ -563,32 +821,30 @@ impl FacilitySim {
         };
         let scan = self.scans.get(&id).expect("scan exists").clone();
         if ok {
+            // the facility that produced the recon (≠ home facility
+            // after a failover) is what provenance should record
+            let exec = self
+                .exec_site
+                .get(&(id, branch_key(branch)))
+                .copied()
+                .unwrap_or(branch);
             // register the derived dataset with provenance to the raw scan
             if let Some(raw_pid) = self.raw_pids.get(&id) {
-                let facility = match branch {
-                    Branch::Nersc => "nersc",
-                    Branch::Alcf => "alcf",
-                };
                 self.catalog
                     .ingest(recon_dataset(
                         &scan.name,
-                        facility,
+                        facility_name(exec),
                         raw_pid,
                         now,
                         scan.recon_output_size(),
                     ))
                     .ok();
             }
+            // the product file is named for the flow branch (stable even
+            // when a failover ran it elsewhere), so names stay unique
             self.beamline_tier
                 .put(
-                    &format!(
-                        "{}_recon_{}",
-                        scan.name,
-                        match branch {
-                            Branch::Nersc => "nersc",
-                            Branch::Alcf => "alcf",
-                        }
-                    ),
+                    &format!("{}_recon_{}", scan.name, facility_name(branch)),
                     scan.recon_output_size(),
                     now,
                 )
@@ -600,6 +856,111 @@ impl FacilitySim {
         }
     }
 
+    fn on_fault_start(&mut self, now: SimInstant, i: usize) {
+        let kind = self.cfg.faults.windows[i].kind;
+        match kind {
+            FaultKind::NerscOutage => {
+                // the partition drains; running ALS jobs die with it; the
+                // DTN stays up, so in-flight transfers still land and
+                // their jobs strand in the queue (the paper's incident)
+                let total = self.nersc.scheduler().total_nodes();
+                self.nersc.scheduler_mut().set_offline(total, now);
+                let running: Vec<JobId> = self
+                    .job_map
+                    .iter()
+                    .filter(|(job, _)| {
+                        self.nersc.scheduler().state(**job) == Some(JobState::Running)
+                    })
+                    .map(|(job, _)| *job)
+                    .collect();
+                for job in running {
+                    let (scan_id, branch) = self.job_map.remove(&job).expect("job is mapped");
+                    self.nersc.scheduler_mut().fail(job, now);
+                    self.branch_failed(now, scan_id, branch);
+                }
+                self.nersc_heartbeats_suppressed = true;
+                self.schedule_nersc_poll(now);
+            }
+            FaultKind::AlcfOutage => {
+                let events = self.alcf.set_down(true, now);
+                for ev in events {
+                    if let ComputeEvent::Failed { task, at } = ev {
+                        if let Some((scan_id, branch)) = self.compute_map.remove(&task) {
+                            self.branch_failed(at, scan_id, branch);
+                        }
+                    }
+                }
+                self.alcf_heartbeats_suppressed = true;
+            }
+            FaultKind::EsnetBrownout { capacity_factor } => {
+                self.transfer.set_wan_capacity_factor(capacity_factor, now);
+                self.schedule_transfer_poll(now);
+            }
+            FaultKind::SfApiAuthExpiry => {
+                self.nersc.set_auth_available(false);
+                self.nersc.revoke_all_tokens();
+            }
+            FaultKind::TransferCorruption { burst } => {
+                self.transfer.corrupt_next(self.ep_nersc, burst);
+                self.transfer.corrupt_next(self.ep_alcf, burst);
+            }
+        }
+    }
+
+    fn on_fault_end(&mut self, now: SimInstant, i: usize) {
+        let kind = self.cfg.faults.windows[i].kind;
+        match kind {
+            FaultKind::NerscOutage => {
+                self.nersc.scheduler_mut().set_offline(0, now);
+                self.nersc_heartbeats_suppressed = false;
+                self.schedule_nersc_poll(now);
+            }
+            FaultKind::AlcfOutage => {
+                self.alcf.set_down(false, now);
+                self.alcf_heartbeats_suppressed = false;
+                self.schedule_alcf_poll(now);
+            }
+            FaultKind::EsnetBrownout { .. } => {
+                self.transfer.set_wan_capacity_factor(1.0, now);
+                self.schedule_transfer_poll(now);
+            }
+            FaultKind::SfApiAuthExpiry => {
+                self.nersc.set_auth_available(true);
+            }
+            FaultKind::TransferCorruption { .. } => {
+                self.transfer.corrupt_next(self.ep_nersc, 0);
+                self.transfer.corrupt_next(self.ep_alcf, 0);
+            }
+        }
+    }
+
+    fn facility_health(&self, name: &str, now: SimInstant) -> HealthState {
+        self.health
+            .check(Environment::Production, now)
+            .into_iter()
+            .find(|c| c.service == name)
+            .map(|c| c.state)
+            .unwrap_or(HealthState::Unknown)
+    }
+
+    /// Heartbeat cadence: facilities under an outage stay silent; a
+    /// heartbeat gone stale force-opens that facility's breaker (the
+    /// monitor sees the outage before enough job failures accumulate).
+    fn on_health_tick(&mut self, now: SimInstant) {
+        if !self.nersc_heartbeats_suppressed {
+            self.health.heartbeat("nersc", now);
+        }
+        if !self.alcf_heartbeats_suppressed {
+            self.health.heartbeat("alcf", now);
+        }
+        if self.facility_health("nersc", now) == HealthState::Stale {
+            self.nersc_breaker.force_open(now);
+        }
+        if self.facility_health("alcf", now) == HealthState::Stale {
+            self.alcf_breaker.force_open(now);
+        }
+    }
+
     fn on_prune(&mut self, now: SimInstant) {
         self.beamline_tier.prune(now);
         self.cfs_tier.prune(now);
@@ -608,7 +969,8 @@ impl FacilitySim {
 
     fn on_background(&mut self, now: SimInstant) {
         // a competing regular-QOS job from another NERSC user
-        let runtime = SimDuration::from_secs_f64(self.rng.lognormal_med(1200.0, 0.5).clamp(120.0, 7200.0));
+        let runtime =
+            SimDuration::from_secs_f64(self.rng.lognormal_med(1200.0, 0.5).clamp(120.0, 7200.0));
         let nodes = 1 + self.rng.uniform_u64(0, 2) as usize;
         let req = JobRequest {
             name: "background".into(),
@@ -666,7 +1028,10 @@ mod tests {
         // 4 raw + up to 8 recon datasets
         assert_eq!(sim.catalog.len(), 4 + 8);
         // provenance: each raw has two derived children
-        let raws: Vec<_> = sim.catalog.search("scan").into_iter()
+        let raws: Vec<_> = sim
+            .catalog
+            .search("scan")
+            .into_iter()
             .filter(|d| matches!(d.kind, als_catalog::DatasetKind::Raw))
             .map(|d| d.pid.clone())
             .collect();
@@ -693,7 +1058,11 @@ mod tests {
         let sim = run_small(12, 7);
         let q = sim.engine.query();
         let nf = q.table2_summary(FLOW_NEW_FILE, 100).unwrap();
-        assert!(nf.median > 10.0 && nf.median < 300.0, "new_file med {}", nf.median);
+        assert!(
+            nf.median > 10.0 && nf.median < 300.0,
+            "new_file med {}",
+            nf.median
+        );
         let nersc = q.table2_summary(FLOW_NERSC, 100).unwrap();
         assert!(
             nersc.median > 600.0 && nersc.median < 3000.0,

@@ -34,14 +34,16 @@ pub fn streaming_timing(dims: &ScanDims) -> StreamingTiming {
     let recon = estimate_recon_time(dims, ReconClass::StreamingFbp, &device);
 
     // preview: three f32 slices of det_cols × det_cols / det_rows
-    let slice_bytes = (dims.det_cols * dims.det_cols
-        + 2 * dims.det_cols * dims.det_rows) as u64
-        * 4;
+    let slice_bytes =
+        (dims.det_cols * dims.det_cols + 2 * dims.det_cols * dims.det_rows) as u64 * 4;
     let preview_size = ByteSize::from_bytes(slice_bytes);
     let mut topo = esnet_topology();
     let route = topo.route(SiteId::Nersc, SiteId::Als).expect("route");
     let flow = topo.net.start_flow(route, preview_size, SimInstant::ZERO);
-    let (_, t) = topo.net.next_completion(SimInstant::ZERO).expect("flow completes");
+    let (_, t) = topo
+        .net
+        .next_completion(SimInstant::ZERO)
+        .expect("flow completes");
     let _ = flow;
     let preview_send = t.duration_since(SimInstant::ZERO);
 
@@ -110,7 +112,11 @@ mod tests {
         let recon_s = t.recon.as_secs_f64();
         assert!((7.0..10.0).contains(&recon_s), "recon {recon_s} s");
         // "Sending the preview slices back to ALS takes <1 second"
-        assert!(t.preview_send.as_secs_f64() < 1.0, "send {}", t.preview_send);
+        assert!(
+            t.preview_send.as_secs_f64() < 1.0,
+            "send {}",
+            t.preview_send
+        );
         // "users can preview ... within 10 seconds"
         assert!(t.total.as_secs_f64() < 10.0, "total {}", t.total);
         // "~20 GB" raw, "~50 GB" volume

@@ -26,6 +26,8 @@ pub enum ComputeTaskState {
     Running,
     Completed,
     Cancelled,
+    /// Lost to an endpoint outage (fault injection).
+    Failed,
 }
 
 /// Events from time advancement.
@@ -33,6 +35,7 @@ pub enum ComputeTaskState {
 pub enum ComputeEvent {
     Started { task: ComputeTaskId, at: SimInstant },
     Finished { task: ComputeTaskId, at: SimInstant },
+    Failed { task: ComputeTaskId, at: SimInstant },
 }
 
 /// Node-acquisition policy.
@@ -79,6 +82,8 @@ pub struct ComputeEndpoint {
     /// Pending + running invocations (terminal ones produce no events).
     live: std::collections::BTreeSet<ComputeTaskId>,
     next_id: u64,
+    /// Endpoint outage flag: while down, new invocations fail on arrival.
+    down: bool,
 }
 
 impl ComputeEndpoint {
@@ -94,7 +99,33 @@ impl ComputeEndpoint {
             tasks: BTreeMap::new(),
             live: std::collections::BTreeSet::new(),
             next_id: 0,
+            down: false,
         }
+    }
+
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Take the endpoint down (or bring it back). Going down kills every
+    /// live invocation — the pilot jobs die with the endpoint — and
+    /// releases the warm-node pool. Returns the failure events.
+    pub fn set_down(&mut self, down: bool, now: SimInstant) -> Vec<ComputeEvent> {
+        self.down = down;
+        let mut events = Vec::new();
+        if down {
+            let live: Vec<ComputeTaskId> = self.live.iter().copied().collect();
+            for id in live {
+                let t = self.tasks.get_mut(&id).expect("live task exists");
+                t.state = ComputeTaskState::Failed;
+                t.finished = Some(now);
+                t.node_ready = None;
+                self.live.remove(&id);
+                events.push(ComputeEvent::Failed { task: id, at: now });
+            }
+            self.warm_nodes.clear();
+        }
+        events
     }
 
     pub fn mode(&self) -> AcquisitionMode {
@@ -116,10 +147,26 @@ impl ComputeEndpoint {
         Some(t.started?.duration_since(t.submitted))
     }
 
-    /// Submit a function invocation with known service time.
+    /// Submit a function invocation with known service time. While the
+    /// endpoint is down the task is accepted but immediately Failed —
+    /// callers observe the failure via `state()`.
     pub fn invoke(&mut self, runtime: SimDuration, now: SimInstant) -> ComputeTaskId {
         let id = ComputeTaskId(self.next_id);
         self.next_id += 1;
+        if self.down {
+            self.tasks.insert(
+                id,
+                Invocation {
+                    runtime,
+                    state: ComputeTaskState::Failed,
+                    submitted: now,
+                    started: None,
+                    finished: Some(now),
+                    node_ready: None,
+                },
+            );
+            return id;
+        }
         // choose path: reuse an idle warm node, or acquire a new one
         let node_ready = if self.take_idle_node() {
             Some(now + self.dispatch_latency)
@@ -247,7 +294,11 @@ impl ComputeEndpoint {
             }
             for (i, slot) in self.warm_nodes.iter().enumerate() {
                 if let Some(idle_since) = slot {
-                    consider(*idle_since + self.idle_timeout, Ev::IdleExpire(i), &mut next);
+                    consider(
+                        *idle_since + self.idle_timeout,
+                        Ev::IdleExpire(i),
+                        &mut next,
+                    );
                 }
             }
             let Some((t, ev)) = next else { break };
@@ -391,6 +442,38 @@ mod tests {
         let c = ep.invoke(SimDuration::from_mins(1), end);
         drain(&mut ep, end);
         assert!(ep.queue_wait(c).unwrap().as_secs_f64() >= 60.0);
+    }
+
+    #[test]
+    fn endpoint_outage_fails_live_tasks_and_new_invocations() {
+        let mut ep = ComputeEndpoint::new(AcquisitionMode::DemandQueue, 2);
+        let t0 = SimInstant::ZERO;
+        let running = ep.invoke(SimDuration::from_mins(30), t0);
+        ep.advance_to(t0 + SimDuration::from_mins(2));
+        assert_eq!(ep.state(running), Some(ComputeTaskState::Running));
+
+        let t1 = t0 + SimDuration::from_mins(5);
+        let events = ep.set_down(true, t1);
+        assert!(events.contains(&ComputeEvent::Failed {
+            task: running,
+            at: t1
+        }));
+        assert_eq!(ep.state(running), Some(ComputeTaskState::Failed));
+        assert_eq!(ep.warm_node_count(), 0, "pilot nodes die with the endpoint");
+
+        // invocations during the outage fail on arrival, with no events
+        let dead = ep.invoke(SimDuration::from_mins(5), t1);
+        assert_eq!(ep.state(dead), Some(ComputeTaskState::Failed));
+        assert!(ep.next_event_time().is_none());
+
+        // recovery: fresh invocations run normally (cold start again)
+        let t2 = t1 + SimDuration::from_mins(10);
+        assert!(ep.set_down(false, t2).is_empty());
+        let revived = ep.invoke(SimDuration::from_mins(5), t2);
+        while let Some(t) = ep.next_event_time() {
+            ep.advance_to(t);
+        }
+        assert_eq!(ep.state(revived), Some(ComputeTaskState::Completed));
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl BandwidthMonitor {
 
     /// Record a completed transfer.
     pub fn record(&mut self, at: SimInstant, bytes: ByteSize, duration: SimDuration) {
-        let s = TransferSample { at, bytes, duration };
+        let s = TransferSample {
+            at,
+            bytes,
+            duration,
+        };
         self.gbps_stats.push(s.throughput().as_gbit_per_sec());
         self.total_bytes += bytes;
         self.samples.push(s);
@@ -80,7 +84,12 @@ impl BandwidthMonitor {
         let end = self.samples.iter().map(|s| s.at).max().expect("non-empty");
         let n_buckets = (end.as_micros() / bucket.as_micros() + 1) as usize;
         let mut out: Vec<(SimInstant, ByteSize)> = (0..n_buckets)
-            .map(|i| (SimInstant::from_micros(i as u64 * bucket.as_micros()), ByteSize::ZERO))
+            .map(|i| {
+                (
+                    SimInstant::from_micros(i as u64 * bucket.as_micros()),
+                    ByteSize::ZERO,
+                )
+            })
             .collect();
         for s in &self.samples {
             let idx = (s.at.as_micros() / bucket.as_micros()) as usize;
@@ -150,7 +159,11 @@ mod tests {
     #[test]
     fn histogram_bins_bytes() {
         let mut m = BandwidthMonitor::new();
-        m.record(SimInstant::ZERO, ByteSize::from_gib(1), SimDuration::from_secs(1));
+        m.record(
+            SimInstant::ZERO,
+            ByteSize::from_gib(1),
+            SimDuration::from_secs(1),
+        );
         m.record(
             SimInstant::ZERO + SimDuration::from_secs(30),
             ByteSize::from_gib(2),

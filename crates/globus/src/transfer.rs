@@ -81,10 +81,24 @@ impl Default for TransferOptions {
 /// Events surfaced to the orchestrator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransferEvent {
-    Started { task: TaskId, at: SimInstant },
-    Succeeded { task: TaskId, at: SimInstant },
-    Failed { task: TaskId, at: SimInstant, reason: FailReason },
-    Retrying { task: TaskId, at: SimInstant, attempt: u32 },
+    Started {
+        task: TaskId,
+        at: SimInstant,
+    },
+    Succeeded {
+        task: TaskId,
+        at: SimInstant,
+    },
+    Failed {
+        task: TaskId,
+        at: SimInstant,
+        reason: FailReason,
+    },
+    Retrying {
+        task: TaskId,
+        at: SimInstant,
+        attempt: u32,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -180,6 +194,15 @@ impl TransferService {
     /// Fault injection: corrupt the next `n` transfers through `ep`.
     pub fn corrupt_next(&mut self, ep: EndpointId, n: u32) {
         self.endpoints.get_mut(&ep).expect("endpoint").corrupt_count = n;
+    }
+
+    /// Fault injection: degrade (or restore) every ESnet WAN segment to
+    /// `factor` × nominal capacity — a link brownout. In-flight flows are
+    /// settled at the old rate up to `now`, then continue degraded.
+    pub fn set_wan_capacity_factor(&mut self, factor: f64, now: SimInstant) {
+        for link in self.topo.wan_link_ids() {
+            self.topo.net.set_capacity_factor(link, factor, now);
+        }
     }
 
     pub fn status(&self, task: TaskId) -> Option<TaskStatus> {
@@ -290,7 +313,9 @@ impl TransferService {
         loop {
             // activate queued tasks while slots are free
             while self.active < self.max_concurrent {
-                let Some(id) = self.queue.pop_front() else { break };
+                let Some(id) = self.queue.pop_front() else {
+                    break;
+                };
                 events.extend(self.activate(id, self.activation_time(now)));
             }
             // find the earliest pending internal event at or before `now`
@@ -375,7 +400,11 @@ impl TransferService {
                                 .route(src_site, dst_site)
                                 .expect("distinct sites have routes");
                             task.flow = Some(self.topo.net.start_flow(route, size, t));
-                            events.push(TransferEvent::Retrying { task: id, at: t, attempt });
+                            events.push(TransferEvent::Retrying {
+                                task: id,
+                                at: t,
+                                attempt,
+                            });
                         } else {
                             task.status = TaskStatus::Failed(FailReason::ChecksumMismatch);
                             task.finished = Some(t);
@@ -518,7 +547,13 @@ mod tests {
     fn simple_transfer_succeeds_in_expected_time() {
         let (mut svc, als, nersc, _) = service(4);
         let t0 = SimInstant::ZERO;
-        let id = svc.submit(als, nersc, ByteSize::from_gib(25), TransferOptions::default(), t0);
+        let id = svc.submit(
+            als,
+            nersc,
+            ByteSize::from_gib(25),
+            TransferOptions::default(),
+            t0,
+        );
         let (events, _) = drain(&mut svc, t0);
         assert!(events
             .iter()
@@ -532,7 +567,13 @@ mod tests {
     fn checksum_off_is_faster() {
         let (mut svc, als, nersc, _) = service(4);
         let t0 = SimInstant::ZERO;
-        let with = svc.submit(als, nersc, ByteSize::from_gib(10), TransferOptions::default(), t0);
+        let with = svc.submit(
+            als,
+            nersc,
+            ByteSize::from_gib(10),
+            TransferOptions::default(),
+            t0,
+        );
         let (_, end) = drain(&mut svc, t0);
         let without = svc.submit(
             als,
@@ -553,7 +594,13 @@ mod tests {
         let (mut svc, als, nersc, _) = service(4);
         let t0 = SimInstant::ZERO;
         svc.corrupt_next(nersc, 1);
-        let id = svc.submit(als, nersc, ByteSize::from_gib(5), TransferOptions::default(), t0);
+        let id = svc.submit(
+            als,
+            nersc,
+            ByteSize::from_gib(5),
+            TransferOptions::default(),
+            t0,
+        );
         let (events, _) = drain(&mut svc, t0);
         assert!(events
             .iter()
@@ -566,7 +613,13 @@ mod tests {
         let (mut svc, als, nersc, _) = service(4);
         let t0 = SimInstant::ZERO;
         svc.corrupt_next(nersc, 100);
-        let id = svc.submit(als, nersc, ByteSize::from_gib(1), TransferOptions::default(), t0);
+        let id = svc.submit(
+            als,
+            nersc,
+            ByteSize::from_gib(1),
+            TransferOptions::default(),
+            t0,
+        );
         let (events, _) = drain(&mut svc, t0);
         assert!(events.iter().any(|e| matches!(
             e,
@@ -579,7 +632,13 @@ mod tests {
         let (mut svc, als, nersc, _) = service(2);
         let t0 = SimInstant::ZERO;
         svc.set_permitted(nersc, false);
-        let id = svc.submit(als, nersc, ByteSize::from_gib(1), TransferOptions::default(), t0);
+        let id = svc.submit(
+            als,
+            nersc,
+            ByteSize::from_gib(1),
+            TransferOptions::default(),
+            t0,
+        );
         let events = svc.advance_to(t0);
         assert!(events.iter().any(|e| matches!(
             e,
@@ -607,7 +666,13 @@ mod tests {
         // a legitimate transfer submitted right after
         svc.set_permitted(nersc, false);
         let good_dst = svc.register_endpoint(SiteId::Alcf);
-        let good = svc.submit(als, good_dst, ByteSize::from_gib(1), TransferOptions::default(), t0);
+        let good = svc.submit(
+            als,
+            good_dst,
+            ByteSize::from_gib(1),
+            TransferOptions::default(),
+            t0,
+        );
         svc.advance_to(t0);
         // both slots hung; the good task cannot start
         assert_eq!(svc.active_count(), 2);
@@ -625,8 +690,20 @@ mod tests {
     fn cancel_queued_and_active() {
         let (mut svc, als, nersc, alcf) = service(1);
         let t0 = SimInstant::ZERO;
-        let a = svc.submit(als, nersc, ByteSize::from_gib(10), TransferOptions::default(), t0);
-        let b = svc.submit(als, alcf, ByteSize::from_gib(10), TransferOptions::default(), t0);
+        let a = svc.submit(
+            als,
+            nersc,
+            ByteSize::from_gib(10),
+            TransferOptions::default(),
+            t0,
+        );
+        let b = svc.submit(
+            als,
+            alcf,
+            ByteSize::from_gib(10),
+            TransferOptions::default(),
+            t0,
+        );
         svc.advance_to(t0);
         assert_eq!(svc.status(a), Some(TaskStatus::Active));
         svc.cancel(b, t0);
@@ -642,7 +719,13 @@ mod tests {
         let (mut svc, als, _, _) = service(2);
         let als2 = svc.register_endpoint(SiteId::Als);
         let t0 = SimInstant::ZERO;
-        let id = svc.submit(als, als2, ByteSize::from_gib(5), TransferOptions::default(), t0);
+        let id = svc.submit(
+            als,
+            als2,
+            ByteSize::from_gib(5),
+            TransferOptions::default(),
+            t0,
+        );
         svc.advance_to(t0);
         assert_eq!(svc.status(id), Some(TaskStatus::Succeeded));
     }
@@ -652,7 +735,13 @@ mod tests {
         let (mut svc, als, nersc, _) = service(3);
         let t0 = SimInstant::ZERO;
         for _ in 0..5 {
-            svc.submit(als, nersc, ByteSize::from_gib(5), TransferOptions::default(), t0);
+            svc.submit(
+                als,
+                nersc,
+                ByteSize::from_gib(5),
+                TransferOptions::default(),
+                t0,
+            );
         }
         svc.advance_to(t0);
         assert_eq!(svc.active_count(), 3);

@@ -1,0 +1,272 @@
+//! Per-facility circuit breaker for multi-facility failover.
+//!
+//! The paper's §5.3 incident review (NERSC scheduler outage mid-beamtime)
+//! motivates routing work away from a facility that keeps failing instead
+//! of retrying into it. The breaker follows the classic three-state
+//! pattern on the simulation clock:
+//!
+//! * **Closed** — requests flow; `failure_threshold` *consecutive*
+//!   failures trip it open.
+//! * **Open** — requests are refused; after `cooldown` the next request
+//!   is allowed through as a probe (Half-Open).
+//! * **Half-Open** — exactly one probe is in flight. Success closes the
+//!   breaker (fail-back); failure re-opens it and restarts the cooldown.
+//!
+//! A stale facility heartbeat can also [`CircuitBreaker::force_open`] the
+//! breaker directly — the health monitor sees an outage before enough
+//! job-level failures would accumulate.
+
+use als_simcore::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+
+/// Breaker position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: requests pass.
+    Closed,
+    /// Tripped: requests are refused until the cooldown elapses.
+    Open,
+    /// Cooled down: one probe request may test the facility.
+    HalfOpen,
+}
+
+/// Tunables for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip Closed → Open.
+    pub failure_threshold: u32,
+    /// Time spent Open before permitting a Half-Open probe.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_mins(10),
+        }
+    }
+}
+
+/// A single facility's breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<SimInstant>,
+    probe_inflight: bool,
+    open_count: usize,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            probe_inflight: false,
+            open_count: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped open over its lifetime.
+    pub fn open_count(&self) -> usize {
+        self.open_count
+    }
+
+    fn trip(&mut self, now: SimInstant) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(now);
+        self.probe_inflight = false;
+        self.open_count += 1;
+    }
+
+    /// Advance breaker-internal time: an Open breaker whose cooldown has
+    /// elapsed becomes Half-Open (ready for one probe).
+    pub fn tick(&mut self, now: SimInstant) {
+        if self.state == BreakerState::Open {
+            if let Some(t) = self.opened_at {
+                if now.duration_since(t) >= self.cfg.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_inflight = false;
+                }
+            }
+        }
+    }
+
+    /// May a request be sent to this facility right now? Closed: always.
+    /// Open: never (though the call ticks the cooldown first). Half-Open:
+    /// only the single probe.
+    pub fn allow_request(&mut self, now: SimInstant) -> bool {
+        self.tick(now);
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probe_inflight {
+                    false
+                } else {
+                    self.probe_inflight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// A request to the facility succeeded.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.probe_inflight = false;
+    }
+
+    /// A request to the facility failed.
+    pub fn record_failure(&mut self, now: SimInstant) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Trip immediately (stale heartbeat / monitor says the facility is
+    /// down). Restarts the cooldown even if already Open.
+    pub fn force_open(&mut self, now: SimInstant) {
+        let already_open = self.state == BreakerState::Open;
+        self.state = BreakerState::Open;
+        self.opened_at = Some(now);
+        self.probe_inflight = false;
+        if !already_open {
+            self.open_count += 1;
+        }
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimInstant {
+        SimInstant::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(100),
+        })
+    }
+
+    #[test]
+    fn stays_closed_below_threshold_and_success_resets_the_count() {
+        let mut b = breaker();
+        b.record_failure(secs(1));
+        b.record_failure(secs(2));
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_success(); // resets consecutive count
+        b.record_failure(secs(3));
+        b.record_failure(secs(4));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow_request(secs(5)));
+    }
+
+    #[test]
+    fn consecutive_failures_trip_open() {
+        let mut b = breaker();
+        for t in 1..=3 {
+            b.record_failure(secs(t));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.open_count(), 1);
+        assert!(!b.allow_request(secs(10)));
+    }
+
+    #[test]
+    fn cooldown_elapses_to_half_open_with_a_single_probe() {
+        let mut b = breaker();
+        for t in 1..=3 {
+            b.record_failure(secs(t));
+        }
+        // before cooldown: refused
+        assert!(!b.allow_request(secs(50)));
+        // after cooldown: exactly one probe allowed
+        assert!(b.allow_request(secs(103 + 1)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow_request(secs(105)), "second probe refused");
+    }
+
+    #[test]
+    fn probe_success_closes_the_breaker() {
+        let mut b = breaker();
+        for t in 1..=3 {
+            b.record_failure(secs(t));
+        }
+        assert!(b.allow_request(secs(200)));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow_request(secs(201)));
+        // failure counter started fresh after fail-back
+        b.record_failure(secs(202));
+        b.record_failure(secs(203));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_failure_reopens_and_restarts_cooldown() {
+        let mut b = breaker();
+        for t in 1..=3 {
+            b.record_failure(secs(t));
+        }
+        assert!(b.allow_request(secs(200)));
+        b.record_failure(secs(200));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.open_count(), 2);
+        // cooldown restarted at 200: still refused at 250
+        assert!(!b.allow_request(secs(250)));
+        assert!(b.allow_request(secs(301)));
+    }
+
+    #[test]
+    fn force_open_trips_immediately_and_extends_an_open_window() {
+        let mut b = breaker();
+        b.force_open(secs(10));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.open_count(), 1);
+        // forcing again while open extends the cooldown but is one trip
+        b.force_open(secs(100));
+        assert_eq!(b.open_count(), 1);
+        assert!(!b.allow_request(secs(150)));
+        assert!(b.allow_request(secs(201)));
+    }
+
+    #[test]
+    fn failures_while_open_are_ignored() {
+        let mut b = breaker();
+        for t in 1..=3 {
+            b.record_failure(secs(t));
+        }
+        b.record_failure(secs(4));
+        b.record_failure(secs(5));
+        assert_eq!(b.open_count(), 1);
+        // cooldown still measured from the original trip at t=3
+        assert!(b.allow_request(secs(104)));
+    }
+}

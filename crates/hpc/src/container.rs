@@ -93,7 +93,8 @@ impl ContainerRegistry {
         if !known {
             return Err(RegistryError::NotFound(image.to_string()));
         }
-        self.deployed.insert(image.name.clone(), image.version.clone());
+        self.deployed
+            .insert(image.name.clone(), image.version.clone());
         Ok(())
     }
 
@@ -153,7 +154,10 @@ mod tests {
         let mut reg = ContainerRegistry::new();
         let img = ImageRef::new("recon", "2.0.0");
         reg.publish(&img).unwrap();
-        assert!(matches!(reg.publish(&img), Err(RegistryError::TagExists(_))));
+        assert!(matches!(
+            reg.publish(&img),
+            Err(RegistryError::TagExists(_))
+        ));
     }
 
     #[test]

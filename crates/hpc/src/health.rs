@@ -163,7 +163,14 @@ mod tests {
     #[test]
     fn fresh_heartbeats_are_healthy() {
         let mut m = HealthMonitor::production_default();
-        for svc in ["prefect-server", "prefect-worker", "pva-mirror", "file-writer", "globus-endpoint", "scicat"] {
+        for svc in [
+            "prefect-server",
+            "prefect-worker",
+            "pva-mirror",
+            "file-writer",
+            "globus-endpoint",
+            "scicat",
+        ] {
             m.heartbeat(svc, t(0));
         }
         assert!(m.all_healthy(Environment::Production, t(5)));
@@ -172,7 +179,11 @@ mod tests {
     #[test]
     fn silence_goes_stale_after_freshness_window() {
         let mut m = HealthMonitor::new();
-        m.register("pva-mirror", Environment::Production, SimDuration::from_mins(10));
+        m.register(
+            "pva-mirror",
+            Environment::Production,
+            SimDuration::from_mins(10),
+        );
         m.heartbeat("pva-mirror", t(0));
         assert!(m.all_healthy(Environment::Production, t(9)));
         let checks = m.check(Environment::Production, t(11));
@@ -182,7 +193,11 @@ mod tests {
     #[test]
     fn never_seen_is_unknown() {
         let mut m = HealthMonitor::new();
-        m.register("scicat", Environment::Production, SimDuration::from_mins(60));
+        m.register(
+            "scicat",
+            Environment::Production,
+            SimDuration::from_mins(60),
+        );
         assert_eq!(
             m.check(Environment::Production, t(0))[0].state,
             HealthState::Unknown
@@ -192,7 +207,11 @@ mod tests {
     #[test]
     fn explicit_errors_dominate_until_next_heartbeat() {
         let mut m = HealthMonitor::new();
-        m.register("globus-endpoint", Environment::Production, SimDuration::from_mins(60));
+        m.register(
+            "globus-endpoint",
+            Environment::Production,
+            SimDuration::from_mins(60),
+        );
         m.report_error("globus-endpoint", t(0), "permission denied");
         assert_eq!(
             m.check(Environment::Production, t(1))[0].state,
@@ -208,8 +227,16 @@ mod tests {
     #[test]
     fn staging_and_production_are_separate() {
         let mut m = HealthMonitor::new();
-        m.register("prefect-server", Environment::Production, SimDuration::from_mins(30));
-        m.register("prefect-server-staging", Environment::Staging, SimDuration::from_mins(30));
+        m.register(
+            "prefect-server",
+            Environment::Production,
+            SimDuration::from_mins(30),
+        );
+        m.register(
+            "prefect-server-staging",
+            Environment::Staging,
+            SimDuration::from_mins(30),
+        );
         m.heartbeat("prefect-server", t(0));
         // staging broken, production healthy: production check unaffected
         assert!(m.all_healthy(Environment::Production, t(1)));
@@ -219,9 +246,21 @@ mod tests {
     #[test]
     fn attention_list_sorts_by_severity() {
         let mut m = HealthMonitor::new();
-        m.register("a-stale", Environment::Production, SimDuration::from_mins(1));
-        m.register("b-failing", Environment::Production, SimDuration::from_mins(60));
-        m.register("c-unknown", Environment::Production, SimDuration::from_mins(60));
+        m.register(
+            "a-stale",
+            Environment::Production,
+            SimDuration::from_mins(1),
+        );
+        m.register(
+            "b-failing",
+            Environment::Production,
+            SimDuration::from_mins(60),
+        );
+        m.register(
+            "c-unknown",
+            Environment::Production,
+            SimDuration::from_mins(60),
+        );
         m.heartbeat("a-stale", t(0));
         m.report_error("b-failing", t(5), "crash");
         let list = m.attention_list(Environment::Production, t(10));

@@ -12,14 +12,18 @@
 //!   Eagle, HPSS) with capacity accounting, per-tier retention, and the
 //!   age-based pruning the orchestration layer schedules;
 //! * [`container`] — podman-hpc-style image registry with version pinning
-//!   (the paper freezes container versions during beamtime).
+//!   (the paper freezes container versions during beamtime);
+//! * [`circuit`] — per-facility circuit breakers that gate where new work
+//!   is routed during an outage (§5.3 remediation).
 
+pub mod circuit;
 pub mod container;
 pub mod health;
 pub mod scheduler;
 pub mod sfapi;
 pub mod storage;
 
+pub use circuit::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use container::{ContainerRegistry, ImageRef};
 pub use health::{Environment, HealthCheck, HealthMonitor, HealthState};
 pub use scheduler::{JobEvent, JobId, JobRequest, JobState, Qos, Scheduler};

@@ -61,13 +61,22 @@ pub enum JobState {
     /// Killed at its walltime limit.
     TimedOut,
     Cancelled,
+    /// Killed by a node/system failure (fault injection).
+    Failed,
 }
 
 /// Events produced as simulated time advances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobEvent {
-    Started { id: JobId, at: SimInstant },
-    Finished { id: JobId, at: SimInstant, state: JobState },
+    Started {
+        id: JobId,
+        at: SimInstant,
+    },
+    Finished {
+        id: JobId,
+        at: SimInstant,
+        state: JobState,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -91,6 +100,9 @@ pub struct Scheduler {
     pending: std::collections::BTreeSet<JobId>,
     running: std::collections::BTreeSet<JobId>,
     next_id: u64,
+    /// Nodes drained for maintenance or downed by an outage; they stay
+    /// out of the dispatchable pool until restored via `set_offline(0)`.
+    offline_nodes: usize,
     /// Busy-time integral for utilization reporting.
     busy_node_seconds: f64,
     last_account: SimInstant,
@@ -106,6 +118,7 @@ impl Scheduler {
             pending: std::collections::BTreeSet::new(),
             running: std::collections::BTreeSet::new(),
             next_id: 0,
+            offline_nodes: 0,
             busy_node_seconds: 0.0,
             last_account: SimInstant::ZERO,
         }
@@ -126,6 +139,44 @@ impl Scheduler {
 
     pub fn running_count(&self) -> usize {
         self.running.len()
+    }
+
+    /// Nodes currently held out of the dispatchable pool.
+    pub fn offline_nodes(&self) -> usize {
+        self.offline_nodes
+    }
+
+    /// Drain `n` nodes (capped at the partition size). Already-running
+    /// jobs keep their nodes; the drain only blocks new dispatch, like a
+    /// Slurm maintenance reservation. `set_offline(0)` restores the full
+    /// partition and dispatches whatever now fits.
+    pub fn set_offline(&mut self, n: usize, now: SimInstant) -> Vec<JobEvent> {
+        self.account(now);
+        self.offline_nodes = n.min(self.total_nodes);
+        self.try_dispatch(now)
+    }
+
+    /// Kill a running job as failed (node crash / system outage). Frees
+    /// its nodes and dispatches queued work; no-op unless running.
+    pub fn fail(&mut self, id: JobId, now: SimInstant) -> Vec<JobEvent> {
+        self.account(now);
+        let mut events = Vec::new();
+        if let Some(job) = self.jobs.get_mut(&id) {
+            if job.state == JobState::Running {
+                job.state = JobState::Failed;
+                job.finished = Some(now);
+                self.running.remove(&id);
+                let nodes = job.req.nodes;
+                self.free_nodes += nodes;
+                events.push(JobEvent::Finished {
+                    id,
+                    at: now,
+                    state: JobState::Failed,
+                });
+                events.extend(self.try_dispatch(now));
+            }
+        }
+        events
     }
 
     fn account(&mut self, now: SimInstant) {
@@ -261,7 +312,7 @@ impl Scheduler {
         queued.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         for (_, _, id) in queued {
             let job = self.jobs.get_mut(&id).expect("job exists");
-            if job.req.nodes <= self.free_nodes {
+            if job.req.nodes <= self.free_nodes.saturating_sub(self.offline_nodes) {
                 self.free_nodes -= job.req.nodes;
                 job.state = JobState::Running;
                 job.started = Some(now);
@@ -297,8 +348,8 @@ impl Scheduler {
         if span <= 0.0 {
             return 0.0;
         }
-        let pending_busy =
-            now.duration_since(self.last_account).as_secs_f64() * (self.total_nodes - self.free_nodes) as f64;
+        let pending_busy = now.duration_since(self.last_account).as_secs_f64()
+            * (self.total_nodes - self.free_nodes) as f64;
         (self.busy_node_seconds + pending_busy) / (span * self.total_nodes as f64)
     }
 }
@@ -321,7 +372,13 @@ mod tests {
     fn job_starts_immediately_when_nodes_free() {
         let mut s = Scheduler::new(4);
         let (id, events) = s.submit(req("a", Qos::Regular, 2, 100), SimInstant::ZERO);
-        assert_eq!(events, vec![JobEvent::Started { id, at: SimInstant::ZERO }]);
+        assert_eq!(
+            events,
+            vec![JobEvent::Started {
+                id,
+                at: SimInstant::ZERO
+            }]
+        );
         assert_eq!(s.free_nodes(), 2);
         assert_eq!(s.state(id), Some(JobState::Running));
     }
@@ -381,7 +438,9 @@ mod tests {
         let (blocked, _) = s.submit(req("blocked", Qos::Regular, 4, 10), t0);
         // 1-node job CAN start on the free node
         let (small, ev) = s.submit(req("small", Qos::Regular, 1, 10), t0);
-        assert!(ev.iter().any(|e| matches!(e, JobEvent::Started { id, .. } if *id == small)));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, JobEvent::Started { id, .. } if *id == small)));
         assert_eq!(s.state(blocked), Some(JobState::Pending));
     }
 
@@ -413,9 +472,9 @@ mod tests {
         assert_eq!(s.state(b), Some(JobState::Cancelled));
         // cancel running frees the node
         let ev = s.cancel(a, t0 + SimDuration::from_secs(2));
-        assert!(ev
-            .iter()
-            .any(|e| matches!(e, JobEvent::Finished { id, state: JobState::Cancelled, .. } if *id == a)));
+        assert!(ev.iter().any(
+            |e| matches!(e, JobEvent::Finished { id, state: JobState::Cancelled, .. } if *id == a)
+        ));
         assert_eq!(s.free_nodes(), 1);
     }
 
@@ -427,7 +486,19 @@ mod tests {
         for i in 0..200u64 {
             let nodes = 1 + (i % 5) as usize;
             let runtime = 10 + (i * 7) % 50;
-            s.submit(req(&format!("j{i}"), if i % 3 == 0 { Qos::Realtime } else { Qos::Regular }, nodes, runtime), now);
+            s.submit(
+                req(
+                    &format!("j{i}"),
+                    if i % 3 == 0 {
+                        Qos::Realtime
+                    } else {
+                        Qos::Regular
+                    },
+                    nodes,
+                    runtime,
+                ),
+                now,
+            );
             now += SimDuration::from_secs(3);
             s.advance_to(now);
             assert!(s.free_nodes() <= 8);
@@ -438,6 +509,76 @@ mod tests {
         }
         assert_eq!(s.free_nodes(), 8);
         assert_eq!(s.pending_count(), 0);
+    }
+
+    #[test]
+    fn drained_nodes_block_dispatch_until_restored() {
+        let mut s = Scheduler::new(4);
+        let t0 = SimInstant::ZERO;
+        let ev = s.set_offline(4, t0);
+        assert!(ev.is_empty());
+        assert_eq!(s.offline_nodes(), 4);
+        let (id, ev) = s.submit(req("blocked", Qos::Realtime, 1, 10), t0);
+        assert!(ev.is_empty(), "no dispatch while partition is drained");
+        assert_eq!(s.state(id), Some(JobState::Pending));
+        assert!(s.next_event_time().is_none());
+        // restoring the partition dispatches the queued job
+        let t1 = t0 + SimDuration::from_secs(300);
+        let ev = s.set_offline(0, t1);
+        assert_eq!(ev, vec![JobEvent::Started { id, at: t1 }]);
+    }
+
+    #[test]
+    fn partial_drain_leaves_remaining_capacity_usable() {
+        let mut s = Scheduler::new(4);
+        let t0 = SimInstant::ZERO;
+        s.set_offline(3, t0);
+        let (small, ev) = s.submit(req("small", Qos::Regular, 1, 10), t0);
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, JobEvent::Started { id, .. } if *id == small)));
+        let (big, ev) = s.submit(req("big", Qos::Regular, 2, 10), t0);
+        assert!(ev.is_empty());
+        assert_eq!(s.state(big), Some(JobState::Pending));
+    }
+
+    #[test]
+    fn drain_does_not_kill_running_jobs() {
+        let mut s = Scheduler::new(2);
+        let t0 = SimInstant::ZERO;
+        let (id, _) = s.submit(req("a", Qos::Regular, 2, 60), t0);
+        s.set_offline(2, t0 + SimDuration::from_secs(1));
+        assert_eq!(s.state(id), Some(JobState::Running));
+        let t = s.next_event_time().unwrap();
+        let ev = s.advance_to(t);
+        assert!(ev.contains(&JobEvent::Finished {
+            id,
+            at: t,
+            state: JobState::Completed
+        }));
+    }
+
+    #[test]
+    fn fail_kills_running_job_and_frees_nodes() {
+        let mut s = Scheduler::new(2);
+        let t0 = SimInstant::ZERO;
+        let (a, _) = s.submit(req("a", Qos::Regular, 2, 100), t0);
+        let (b, _) = s.submit(req("b", Qos::Regular, 1, 10), t0);
+        let t1 = t0 + SimDuration::from_secs(5);
+        let ev = s.fail(a, t1);
+        assert!(ev.contains(&JobEvent::Finished {
+            id: a,
+            at: t1,
+            state: JobState::Failed
+        }));
+        assert_eq!(s.state(a), Some(JobState::Failed));
+        // freed nodes dispatch the queued job
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, JobEvent::Started { id, .. } if *id == b)));
+        // failing a job that is not running is a no-op
+        assert!(s.fail(a, t1).is_empty());
+        assert_eq!(s.free_nodes(), 1);
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub struct SfApiServer {
     owners: BTreeMap<JobId, String>,
     next_token: u64,
     token_lifetime: SimDuration,
+    /// When false the identity provider is down: new tokens are issued
+    /// already expired, so every authenticated call fails Unauthorized.
+    auth_available: bool,
 }
 
 impl SfApiServer {
@@ -58,7 +61,25 @@ impl SfApiServer {
             next_token: 1,
             // SFAPI client-credential tokens are short-lived
             token_lifetime: SimDuration::from_mins(10),
+            auth_available: true,
         }
+    }
+
+    /// Take the identity provider down (or bring it back). While down,
+    /// `authenticate` hands out dead tokens and all API verbs fail with
+    /// [`SfApiError::Unauthorized`] — the session-auth expiry incident
+    /// class from the paper's §5.3 remediation discussion.
+    pub fn set_auth_available(&mut self, available: bool) {
+        self.auth_available = available;
+    }
+
+    pub fn auth_available(&self) -> bool {
+        self.auth_available
+    }
+
+    /// Invalidate every outstanding session token (forced re-auth).
+    pub fn revoke_all_tokens(&mut self) {
+        self.tokens.clear();
     }
 
     /// Exchange client credentials for a token (the collaboration-account
@@ -66,8 +87,12 @@ impl SfApiServer {
     pub fn authenticate(&mut self, account: &str, now: SimInstant) -> Token {
         let t = Token(self.next_token);
         self.next_token += 1;
-        self.tokens
-            .insert(t, (account.to_string(), now + self.token_lifetime));
+        let expiry = if self.auth_available {
+            now + self.token_lifetime
+        } else {
+            now // already expired: every use fails Unauthorized
+        };
+        self.tokens.insert(t, (account.to_string(), expiry));
         t
     }
 
@@ -253,7 +278,39 @@ mod tests {
         let (id, _) = client.submit(&mut server, req(1), t0).unwrap();
         // token would have expired by now; the client must renew
         let later = t0 + SimDuration::from_hours(2);
-        assert_eq!(client.status(&mut server, id, later).unwrap(), JobState::Running);
+        assert_eq!(
+            client.status(&mut server, id, later).unwrap(),
+            JobState::Running
+        );
+    }
+
+    #[test]
+    fn auth_outage_rejects_everything_until_restored() {
+        let mut server = SfApiServer::new(4);
+        let mut client = SfApiClient::new("als");
+        let t0 = SimInstant::ZERO;
+        let (id, _) = client.submit(&mut server, req(1), t0).unwrap();
+
+        // the outage revokes live sessions and poisons new ones
+        server.set_auth_available(false);
+        server.revoke_all_tokens();
+        let t1 = t0 + SimDuration::from_secs(30);
+        assert_eq!(
+            client.status(&mut server, id, t1).unwrap_err(),
+            SfApiError::Unauthorized
+        );
+        assert_eq!(
+            client.submit(&mut server, req(1), t1).unwrap_err(),
+            SfApiError::Unauthorized
+        );
+
+        // restoration: the client transparently re-authenticates
+        server.set_auth_available(true);
+        let t2 = t1 + SimDuration::from_secs(30);
+        assert_eq!(
+            client.status(&mut server, id, t2).unwrap(),
+            JobState::Running
+        );
     }
 
     #[test]
@@ -263,8 +320,14 @@ mod tests {
         let als = server.authenticate("als", t0);
         let other = server.authenticate("other", t0);
         let (id, _) = server.submit(als, req(1), t0).unwrap();
-        assert_eq!(server.status(other, id, t0).unwrap_err(), SfApiError::NotFound);
-        assert_eq!(server.cancel(other, id, t0).unwrap_err(), SfApiError::NotFound);
+        assert_eq!(
+            server.status(other, id, t0).unwrap_err(),
+            SfApiError::NotFound
+        );
+        assert_eq!(
+            server.cancel(other, id, t0).unwrap_err(),
+            SfApiError::NotFound
+        );
         // rightful owner still works
         assert!(server.cancel(als, id, t0).is_ok());
     }

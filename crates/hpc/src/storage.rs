@@ -350,7 +350,8 @@ mod tests {
     #[test]
     fn occupancy_reaches_one_when_full() {
         let mut t = StorageTier::new(TierKind::Pscratch, ByteSize::from_gib(10));
-        t.put("x", ByteSize::from_gib(10), SimInstant::ZERO).unwrap();
+        t.put("x", ByteSize::from_gib(10), SimInstant::ZERO)
+            .unwrap();
         assert!((t.occupancy() - 1.0).abs() < 1e-12);
     }
 }

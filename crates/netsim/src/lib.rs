@@ -69,6 +69,9 @@ struct Flow {
 #[derive(Debug, Default)]
 pub struct NetworkSim {
     links: Vec<Link>,
+    /// Per-link capacity multiplier in [0, 1] (fault injection: a value
+    /// below 1 models an ESnet brownout on that link).
+    factors: Vec<f64>,
     flows: BTreeMap<FlowId, Flow>,
     next_id: u64,
 }
@@ -85,7 +88,28 @@ impl NetworkSim {
             capacity,
             latency,
         });
+        self.factors.push(1.0);
         LinkId(self.links.len() - 1)
+    }
+
+    /// Fault injection: scale a link's capacity by `factor` from `now` on.
+    /// In-flight traffic is settled at the old rate first, so the change
+    /// is exact in time. A factor of 0 stalls flows on the link
+    /// indefinitely (they resume when capacity is restored).
+    pub fn set_capacity_factor(&mut self, id: LinkId, factor: f64, now: SimInstant) {
+        assert!(id.0 < self.links.len(), "unknown link {id:?}");
+        self.settle(now);
+        self.factors[id.0] = factor.clamp(0.0, 1.0);
+    }
+
+    /// Current capacity multiplier on a link.
+    pub fn capacity_factor(&self, id: LinkId) -> f64 {
+        self.factors[id.0]
+    }
+
+    /// Number of registered links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
     }
 
     pub fn link(&self, id: LinkId) -> &Link {
@@ -148,7 +172,8 @@ impl NetworkSim {
                 .filter(|f| f.route.links.contains(&l))
                 .count()
                 .max(1);
-            let share = self.links[l.0].capacity.as_bytes_per_sec() / users as f64;
+            let share =
+                self.links[l.0].capacity.as_bytes_per_sec() * self.factors[l.0] / users as f64;
             rate = rate.min(share);
         }
         if rate.is_finite() {
@@ -214,7 +239,10 @@ impl NetworkSim {
     pub fn abort(&mut self, id: FlowId, now: SimInstant) -> Option<ByteSize> {
         self.settle(now);
         let f = self.flows.remove(&id)?;
-        Some(f.total.saturating_sub(ByteSize::from_bytes(f.remaining as u64)))
+        Some(
+            f.total
+                .saturating_sub(ByteSize::from_bytes(f.remaining as u64)),
+        )
     }
 }
 
@@ -240,7 +268,11 @@ mod tests {
         let (fid, t) = net.next_completion(t0).unwrap();
         assert_eq!(fid, id);
         // 20 GiB / 1.25 GB/s = 17.18 s + 1 ms latency
-        assert!((t.as_secs_f64() - 17.181).abs() < 0.01, "{}", t.as_secs_f64());
+        assert!(
+            (t.as_secs_f64() - 17.181).abs() < 0.01,
+            "{}",
+            t.as_secs_f64()
+        );
     }
 
     #[test]
@@ -253,7 +285,11 @@ mod tests {
         assert!((ra.as_gbit_per_sec() - 5.0).abs() < 1e-9);
         // both finish around 2x the solo time
         let (_, t) = net.next_completion(t0).unwrap();
-        assert!((t.as_secs_f64() - 17.18).abs() < 0.05, "{}", t.as_secs_f64());
+        assert!(
+            (t.as_secs_f64() - 17.18).abs() < 0.05,
+            "{}",
+            t.as_secs_f64()
+        );
     }
 
     #[test]
@@ -288,7 +324,10 @@ mod tests {
         let t0 = SimInstant::ZERO;
         let f = net.start_flow(Route::new(vec![nic, wan]), ByteSize::from_gib(20), t0);
         let r = net.flow_rate(f).unwrap();
-        assert!((r.as_gbit_per_sec() - 10.0).abs() < 1e-9, "NIC should cap the flow");
+        assert!(
+            (r.as_gbit_per_sec() - 10.0).abs() < 1e-9,
+            "NIC should cap the flow"
+        );
         // latency accumulates across hops
         let lat = net.route_latency(&Route::new(vec![nic, wan]));
         assert_eq!(lat, SimDuration::from_micros(12_100));
@@ -319,6 +358,49 @@ mod tests {
         let gib = moved.as_gib_f64();
         assert!((4.5..4.8).contains(&gib), "moved {gib} GiB");
         assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn brownout_halves_the_rate_and_restoring_recovers_it() {
+        let (mut net, l) = sim_one_link();
+        let t0 = SimInstant::ZERO;
+        let f = net.start_flow(Route::new(vec![l]), ByteSize::from_gib(10), t0);
+        assert!((net.flow_rate(f).unwrap().as_gbit_per_sec() - 10.0).abs() < 1e-9);
+        let t1 = t0 + SimDuration::from_secs(2);
+        net.set_capacity_factor(l, 0.5, t1);
+        assert!((net.flow_rate(f).unwrap().as_gbit_per_sec() - 5.0).abs() < 1e-9);
+        // settle at the degraded rate, then restore
+        let t2 = t1 + SimDuration::from_secs(2);
+        net.set_capacity_factor(l, 1.0, t2);
+        assert!((net.flow_rate(f).unwrap().as_gbit_per_sec() - 10.0).abs() < 1e-9);
+        // bytes conserved across the rate changes:
+        // 2 s @ 1.25 GB/s + 2 s @ 0.625 GB/s moved, remainder at full rate
+        let moved = 2.0 * 1.25e9 + 2.0 * 0.625e9;
+        let left = 10.0 * (1u64 << 30) as f64 - moved;
+        let expected = t2.as_secs_f64() + left / 1.25e9;
+        let (fid, t) = net.next_completion(t2).unwrap();
+        assert_eq!(fid, f);
+        assert!(
+            (t.as_secs_f64() - expected).abs() < 0.05,
+            "{} vs {expected}",
+            t.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn zero_factor_stalls_flows_until_restored() {
+        let (mut net, l) = sim_one_link();
+        let t0 = SimInstant::ZERO;
+        let f = net.start_flow(Route::new(vec![l]), ByteSize::from_gib(1), t0);
+        net.set_capacity_factor(l, 0.0, t0);
+        assert!(
+            net.next_completion(t0).is_none(),
+            "stalled flow never completes"
+        );
+        let t1 = t0 + SimDuration::from_secs(100);
+        net.set_capacity_factor(l, 1.0, t1);
+        let (fid, _) = net.next_completion(t1).unwrap();
+        assert_eq!(fid, f);
     }
 
     #[test]

@@ -54,14 +54,25 @@ impl Topology {
                 self.esnet_backbone,
                 self.esnet_to_alcf,
             ],
-            (Nersc, Alcf) | (Alcf, Nersc) => vec![
-                self.nersc_to_esnet,
-                self.esnet_backbone,
-                self.esnet_to_alcf,
-            ],
+            (Nersc, Alcf) | (Alcf, Nersc) => {
+                vec![self.nersc_to_esnet, self.esnet_backbone, self.esnet_to_alcf]
+            }
             _ => return None,
         };
         Some(Route::new(links))
+    }
+
+    /// The ESnet WAN segments of the topology (everything except the
+    /// beamline NIC), in a stable order. Fault injection degrades these
+    /// to model a backbone brownout without touching the LAN.
+    pub fn wan_link_ids(&self) -> Vec<LinkId> {
+        vec![
+            self.als_to_nersc,
+            self.als_to_esnet,
+            self.esnet_backbone,
+            self.esnet_to_alcf,
+            self.nersc_to_esnet,
+        ]
     }
 }
 
@@ -146,7 +157,9 @@ mod tests {
     fn beamline_nic_caps_als_egress() {
         let mut topo = esnet_topology();
         let route = topo.route(SiteId::Als, SiteId::Alcf).unwrap();
-        let f = topo.net.start_flow(route, ByteSize::from_gib(25), SimInstant::ZERO);
+        let f = topo
+            .net
+            .start_flow(route, ByteSize::from_gib(25), SimInstant::ZERO);
         let rate = topo.net.flow_rate(f).unwrap();
         assert!((rate.as_gbit_per_sec() - 10.0).abs() < 1e-9);
     }

@@ -27,7 +27,10 @@ pub enum FlowState {
 
 impl FlowState {
     pub fn is_terminal(&self) -> bool {
-        matches!(self, FlowState::Completed | FlowState::Failed | FlowState::Cancelled)
+        matches!(
+            self,
+            FlowState::Completed | FlowState::Failed | FlowState::Cancelled
+        )
     }
 }
 
@@ -45,13 +48,17 @@ pub enum TaskState {
 }
 
 /// Retry policy for tasks: `max_attempts` total tries with exponential
-/// backoff starting at `base_delay`.
+/// backoff starting at `base_delay`, optionally jittered so that flows
+/// which failed together don't retry together.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RetryPolicy {
     pub max_attempts: u32,
     pub base_delay: SimDuration,
     /// Multiplier applied per attempt (2.0 = doubling).
     pub backoff: f64,
+    /// Jitter fraction in `[0, 1)`: each seeded delay is scaled by a
+    /// factor drawn uniformly from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -60,19 +67,46 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             base_delay: SimDuration::from_secs(10),
             backoff: 2.0,
+            jitter: 0.0,
         }
     }
 }
 
 impl RetryPolicy {
     /// Delay before retry number `attempt` (1-based: the delay after the
-    /// `attempt`-th failure). `None` when attempts are exhausted.
+    /// `attempt`-th failure). `None` when attempts are exhausted. The
+    /// deterministic nominal schedule — jitter is applied only by
+    /// [`RetryPolicy::delay_after_seeded`].
     pub fn delay_after(&self, attempt: u32) -> Option<SimDuration> {
         if attempt >= self.max_attempts {
             return None;
         }
         let factor = self.backoff.powi(attempt.saturating_sub(1) as i32);
         Some(self.base_delay * factor)
+    }
+
+    /// Like [`RetryPolicy::delay_after`], but decorrelated: the delay is
+    /// jittered by a factor derived deterministically from `(seed,
+    /// attempt)`, so the same flow run replays the same schedule while
+    /// distinct runs spread out instead of retrying in lockstep (the
+    /// thundering-herd failure mode after a facility-wide outage).
+    pub fn delay_after_seeded(&self, attempt: u32, seed: u64) -> Option<SimDuration> {
+        let nominal = self.delay_after(attempt)?;
+        if self.jitter == 0.0 {
+            return Some(nominal);
+        }
+        debug_assert!((0.0..1.0).contains(&self.jitter), "jitter outside [0, 1)");
+        // splitmix64 over the (seed, attempt) pair: cheap, stateless, and
+        // well-distributed even for consecutive seeds
+        let mut z = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64; // uniform [0, 1)
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * u;
+        Some(SimDuration::from_secs_f64(nominal.as_secs_f64() * factor))
     }
 }
 
@@ -161,7 +195,13 @@ impl FlowEngine {
     }
 
     /// Begin a task within a run; returns its index.
-    pub fn start_task(&mut self, id: FlowRunId, name: &str, key: Option<&str>, now: SimInstant) -> usize {
+    pub fn start_task(
+        &mut self,
+        id: FlowRunId,
+        name: &str,
+        key: Option<&str>,
+        now: SimInstant,
+    ) -> usize {
         let run = self.runs.get_mut(&id).expect("flow run exists");
         run.tasks.push(TaskRun {
             name: name.to_string(),
@@ -176,7 +216,14 @@ impl FlowEngine {
     }
 
     /// Record a task's terminal (or retrying) transition.
-    pub fn finish_task(&mut self, id: FlowRunId, task: usize, state: TaskState, now: SimInstant, error: Option<&str>) {
+    pub fn finish_task(
+        &mut self,
+        id: FlowRunId,
+        task: usize,
+        state: TaskState,
+        now: SimInstant,
+        error: Option<&str>,
+    ) {
         let run = self.runs.get_mut(&id).expect("flow run exists");
         let t = &mut run.tasks[task];
         t.state = state;
@@ -269,7 +316,10 @@ impl<'a> RunQuery<'a> {
         if terminal.is_empty() {
             return None;
         }
-        let ok = terminal.iter().filter(|r| r.state == FlowState::Completed).count();
+        let ok = terminal
+            .iter()
+            .filter(|r| r.state == FlowState::Completed)
+            .count();
         Some(ok as f64 / terminal.len() as f64)
     }
 
@@ -305,8 +355,19 @@ mod tests {
         let id = e.create_run("new_file_832", t0);
         e.set_parameter(id, "scan", "scan_0001");
         e.start_run(id, t0 + SimDuration::from_secs(2));
-        let task = e.start_task(id, "copy_to_nersc", Some("scan_0001/copy"), t0 + SimDuration::from_secs(2));
-        e.finish_task(id, task, TaskState::Completed, t0 + SimDuration::from_secs(50), None);
+        let task = e.start_task(
+            id,
+            "copy_to_nersc",
+            Some("scan_0001/copy"),
+            t0 + SimDuration::from_secs(2),
+        );
+        e.finish_task(
+            id,
+            task,
+            TaskState::Completed,
+            t0 + SimDuration::from_secs(50),
+            None,
+        );
         e.finish_run(id, FlowState::Completed, t0 + SimDuration::from_secs(56));
         let run = e.run(id).unwrap();
         assert_eq!(run.state, FlowState::Completed);
@@ -358,11 +419,67 @@ mod tests {
             max_attempts: 4,
             base_delay: SimDuration::from_secs(10),
             backoff: 2.0,
+            jitter: 0.0,
         };
         assert_eq!(p.delay_after(1), Some(SimDuration::from_secs(10)));
         assert_eq!(p.delay_after(2), Some(SimDuration::from_secs(20)));
         assert_eq!(p.delay_after(3), Some(SimDuration::from_secs(40)));
         assert_eq!(p.delay_after(4), None, "attempts exhausted");
+    }
+
+    #[test]
+    fn seeded_jitter_is_reproducible_and_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            jitter: 0.3,
+            ..Default::default()
+        };
+        for attempt in 1..=3 {
+            let a = p.delay_after_seeded(attempt, 42).unwrap();
+            let b = p.delay_after_seeded(attempt, 42).unwrap();
+            assert_eq!(a, b, "same (seed, attempt) must replay identically");
+            let nominal = p.delay_after(attempt).unwrap().as_secs_f64();
+            let s = a.as_secs_f64();
+            assert!(
+                s >= nominal * 0.7 - 1e-9 && s <= nominal * 1.3 + 1e-9,
+                "jittered {s} outside ±30% of {nominal}"
+            );
+        }
+        assert_eq!(p.delay_after_seeded(4, 42), None, "exhaustion unaffected");
+    }
+
+    #[test]
+    fn seeded_jitter_decorrelates_neighbouring_seeds() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..Default::default()
+        };
+        // flows that failed together (consecutive run ids as seeds) must
+        // not retry in lockstep: their first-retry delays should spread
+        let delays: Vec<f64> = (0..50)
+            .map(|seed| p.delay_after_seeded(1, seed).unwrap().as_secs_f64())
+            .collect();
+        let distinct = {
+            let mut d = delays.clone();
+            d.sort_by(f64::total_cmp);
+            d.dedup();
+            d.len()
+        };
+        assert!(distinct >= 45, "only {distinct}/50 distinct delays");
+        let spread = delays.iter().cloned().fold(f64::MIN, f64::max)
+            - delays.iter().cloned().fold(f64::MAX, f64::min);
+        let nominal = p.delay_after(1).unwrap().as_secs_f64();
+        assert!(spread > 0.5 * nominal, "herd barely spread: {spread} s");
+    }
+
+    #[test]
+    fn zero_jitter_matches_the_nominal_schedule() {
+        let p = RetryPolicy::default();
+        for attempt in 0..5 {
+            for seed in [0u64, 1, u64::MAX] {
+                assert_eq!(p.delay_after_seeded(attempt, seed), p.delay_after(attempt));
+            }
+        }
     }
 
     #[test]
@@ -372,9 +489,21 @@ mod tests {
         let id = e.create_run("alcf_recon_flow", t0);
         e.start_run(id, t0);
         let task = e.start_task(id, "globus_compute", None, t0);
-        e.finish_task(id, task, TaskState::AwaitingRetry, t0 + SimDuration::from_secs(5), Some("timeout"));
+        e.finish_task(
+            id,
+            task,
+            TaskState::AwaitingRetry,
+            t0 + SimDuration::from_secs(5),
+            Some("timeout"),
+        );
         e.retry_task(id, task, t0 + SimDuration::from_secs(15));
-        e.finish_task(id, task, TaskState::Completed, t0 + SimDuration::from_secs(60), None);
+        e.finish_task(
+            id,
+            task,
+            TaskState::Completed,
+            t0 + SimDuration::from_secs(60),
+            None,
+        );
         e.finish_run(id, FlowState::Completed, t0 + SimDuration::from_secs(61));
         assert_eq!(e.query().total_retries("alcf_recon_flow"), 1);
         assert_eq!(e.run(id).unwrap().tasks[task].attempts, 2);

@@ -86,7 +86,11 @@ mod tests {
         assert_eq!(store.claim("k"), Claim::Run);
         assert_eq!(store.claim("k"), Claim::Busy);
         store.release("k");
-        assert_eq!(store.claim("k"), Claim::Run, "released key can be reclaimed");
+        assert_eq!(
+            store.claim("k"),
+            Claim::Run,
+            "released key can be reclaimed"
+        );
     }
 
     #[test]
@@ -119,7 +123,7 @@ mod tests {
         store.complete(steps[0]);
         assert_eq!(store.claim(steps[1]), Claim::Run);
         store.release(steps[1]); // crash mid-recon
-        // replay
+                                 // replay
         let mut executed = Vec::new();
         for s in steps {
             if store.claim(s) == Claim::Run {

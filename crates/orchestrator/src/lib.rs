@@ -15,14 +15,14 @@
 
 pub mod engine;
 pub mod idempotency;
-pub mod logs;
 pub mod limits;
+pub mod logs;
 pub mod schedule;
 pub mod worker;
 
 pub use engine::{FlowEngine, FlowRunId, FlowState, RetryPolicy, RunQuery, TaskState};
 pub use idempotency::IdempotencyStore;
-pub use logs::{LogLevel, LogRecord, LogStore};
 pub use limits::ConcurrencyLimits;
+pub use logs::{LogLevel, LogRecord, LogStore};
 pub use schedule::Schedule;
 pub use worker::{WorkerId, WorkerPool};

@@ -87,7 +87,9 @@ impl LogStore {
     /// "Real-time" tail: everything appended since a previously observed
     /// cursor; returns the records plus the new cursor.
     pub fn tail(&self, cursor: usize) -> (Vec<&LogRecord>, usize) {
-        let new = self.records[cursor.min(self.records.len())..].iter().collect();
+        let new = self.records[cursor.min(self.records.len())..]
+            .iter()
+            .collect();
         (new, self.records.len())
     }
 
@@ -141,7 +143,12 @@ mod tests {
     #[test]
     fn search_finds_incident_messages() {
         let mut store = LogStore::new();
-        store.log(FlowRunId(0), LogLevel::Error, t(0), "Globus Transfer: Permission Denied on prune");
+        store.log(
+            FlowRunId(0),
+            LogLevel::Error,
+            t(0),
+            "Globus Transfer: Permission Denied on prune",
+        );
         store.log(FlowRunId(1), LogLevel::Info, t(1), "recon ok");
         let hits = store.search("permission denied");
         assert_eq!(hits.len(), 1);

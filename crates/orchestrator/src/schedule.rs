@@ -67,7 +67,9 @@ mod tests {
     #[test]
     fn nothing_due_before_first_interval() {
         let mut s = Schedule::daily_pruning(SimInstant::ZERO);
-        assert!(s.due(SimInstant::ZERO + SimDuration::from_hours(23)).is_empty());
+        assert!(s
+            .due(SimInstant::ZERO + SimDuration::from_hours(23))
+            .is_empty());
     }
 
     #[test]

@@ -55,7 +55,13 @@ fn draw_ring(img: &mut Image, cx: f64, cy: f64, radius: f64, thickness: f64, v: 
     let steps = ((2.0 * std::f64::consts::PI * radius).ceil() as usize).max(8) * 2;
     for i in 0..steps {
         let a = 2.0 * std::f64::consts::PI * i as f64 / steps as f64;
-        stamp_disk(img, cx + radius * a.cos(), cy + radius * a.sin(), thickness, v);
+        stamp_disk(
+            img,
+            cx + radius * a.cos(),
+            cy + radius * a.sin(),
+            thickness,
+            v,
+        );
     }
 }
 

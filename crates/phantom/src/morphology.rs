@@ -123,7 +123,7 @@ fn radial_anisotropy(img: &Image, threshold: f32) -> f64 {
     let n_spokes = 72usize;
     let r_max = n as f64 * 0.45;
     let r_min = n as f64 * 0.12; // skip the shaft
-    // occupancy per spoke
+                                 // occupancy per spoke
     let mut spoke_occ = vec![0.0f64; n_spokes];
     let mut spoke_cnt = vec![0usize; n_spokes];
     let steps = (r_max - r_min) as usize;

@@ -133,10 +133,9 @@ fn stamp_sphere(vol: &mut Volume, cx: f64, cy: f64, cz: f64, r: f64, v: f32) {
                 {
                     continue;
                 }
-                let d = ((x as f64 - cx).powi(2)
-                    + (y as f64 - cy).powi(2)
-                    + (z as f64 - cz).powi(2))
-                .sqrt();
+                let d =
+                    ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2) + (z as f64 - cz).powi(2))
+                        .sqrt();
                 if d <= r {
                     vol.set(x as usize, y as usize, z as usize, v);
                 }

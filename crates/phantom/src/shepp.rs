@@ -18,16 +18,86 @@ struct Ellipse {
 
 /// The ten ellipses of the modified Shepp-Logan phantom.
 const SHEPP_LOGAN: [Ellipse; 10] = [
-    Ellipse { value: 1.0,   x0: 0.0,    y0: 0.0,     a: 0.69,   b: 0.92,   phi_deg: 0.0 },
-    Ellipse { value: -0.8,  x0: 0.0,    y0: -0.0184, a: 0.6624, b: 0.874,  phi_deg: 0.0 },
-    Ellipse { value: -0.2,  x0: 0.22,   y0: 0.0,     a: 0.11,   b: 0.31,   phi_deg: -18.0 },
-    Ellipse { value: -0.2,  x0: -0.22,  y0: 0.0,     a: 0.16,   b: 0.41,   phi_deg: 18.0 },
-    Ellipse { value: 0.1,   x0: 0.0,    y0: 0.35,    a: 0.21,   b: 0.25,   phi_deg: 0.0 },
-    Ellipse { value: 0.1,   x0: 0.0,    y0: 0.1,     a: 0.046,  b: 0.046,  phi_deg: 0.0 },
-    Ellipse { value: 0.1,   x0: 0.0,    y0: -0.1,    a: 0.046,  b: 0.046,  phi_deg: 0.0 },
-    Ellipse { value: 0.1,   x0: -0.08,  y0: -0.605,  a: 0.046,  b: 0.023,  phi_deg: 0.0 },
-    Ellipse { value: 0.1,   x0: 0.0,    y0: -0.606,  a: 0.023,  b: 0.023,  phi_deg: 0.0 },
-    Ellipse { value: 0.1,   x0: 0.06,   y0: -0.605,  a: 0.023,  b: 0.046,  phi_deg: 0.0 },
+    Ellipse {
+        value: 1.0,
+        x0: 0.0,
+        y0: 0.0,
+        a: 0.69,
+        b: 0.92,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: -0.8,
+        x0: 0.0,
+        y0: -0.0184,
+        a: 0.6624,
+        b: 0.874,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: -0.2,
+        x0: 0.22,
+        y0: 0.0,
+        a: 0.11,
+        b: 0.31,
+        phi_deg: -18.0,
+    },
+    Ellipse {
+        value: -0.2,
+        x0: -0.22,
+        y0: 0.0,
+        a: 0.16,
+        b: 0.41,
+        phi_deg: 18.0,
+    },
+    Ellipse {
+        value: 0.1,
+        x0: 0.0,
+        y0: 0.35,
+        a: 0.21,
+        b: 0.25,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: 0.1,
+        x0: 0.0,
+        y0: 0.1,
+        a: 0.046,
+        b: 0.046,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: 0.1,
+        x0: 0.0,
+        y0: -0.1,
+        a: 0.046,
+        b: 0.046,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: 0.1,
+        x0: -0.08,
+        y0: -0.605,
+        a: 0.046,
+        b: 0.023,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: 0.1,
+        x0: 0.0,
+        y0: -0.606,
+        a: 0.023,
+        b: 0.023,
+        phi_deg: 0.0,
+    },
+    Ellipse {
+        value: 0.1,
+        x0: 0.06,
+        y0: -0.605,
+        a: 0.023,
+        b: 0.046,
+        phi_deg: 0.0,
+    },
 ];
 
 /// Render the 2D Shepp-Logan phantom at `n × n`.
@@ -159,9 +229,7 @@ mod tests {
         let vol = shepp_logan_volume(64, 16);
         assert_eq!((vol.nx, vol.ny, vol.nz), (64, 64, 16));
         // middle slice has the largest cross-section
-        let mass = |z: usize| -> f64 {
-            vol.slice_xy(z).data.iter().map(|&v| v as f64).sum()
-        };
+        let mass = |z: usize| -> f64 { vol.slice_xy(z).data.iter().map(|&v| v as f64).sum() };
         let mid = mass(8);
         assert!(mid > mass(0), "middle {mid} vs pole {}", mass(0));
         assert!(mid > mass(15));

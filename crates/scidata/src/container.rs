@@ -287,9 +287,7 @@ impl SdfFile {
         if let Some(Node::Group(_)) = parent.children.get(*name) {
             return Err(SdfError::WrongType(path.to_string()));
         }
-        parent
-            .children
-            .insert(name.to_string(), Node::Dataset(ds));
+        parent.children.insert(name.to_string(), Node::Dataset(ds));
         Ok(())
     }
 
@@ -448,11 +446,15 @@ fn take<'a>(bytes: &'a [u8], cursor: &mut usize, n: usize) -> Result<&'a [u8], S
 }
 
 fn get_u32(bytes: &[u8], cursor: &mut usize) -> Result<u32, SdfError> {
-    Ok(u32::from_le_bytes(take(bytes, cursor, 4)?.try_into().unwrap()))
+    Ok(u32::from_le_bytes(
+        take(bytes, cursor, 4)?.try_into().unwrap(),
+    ))
 }
 
 fn get_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, SdfError> {
-    Ok(u64::from_le_bytes(take(bytes, cursor, 8)?.try_into().unwrap()))
+    Ok(u64::from_le_bytes(
+        take(bytes, cursor, 8)?.try_into().unwrap(),
+    ))
 }
 
 fn get_str(bytes: &[u8], cursor: &mut usize) -> Result<String, SdfError> {
@@ -469,8 +471,12 @@ fn decode_group(bytes: &[u8], cursor: &mut usize) -> Result<Group, SdfError> {
         let tag = take(bytes, cursor, 1)?[0];
         let attr = match tag {
             0 => Attribute::Str(get_str(bytes, cursor)?),
-            1 => Attribute::Int(i64::from_le_bytes(take(bytes, cursor, 8)?.try_into().unwrap())),
-            2 => Attribute::Float(f64::from_le_bytes(take(bytes, cursor, 8)?.try_into().unwrap())),
+            1 => Attribute::Int(i64::from_le_bytes(
+                take(bytes, cursor, 8)?.try_into().unwrap(),
+            )),
+            2 => Attribute::Float(f64::from_le_bytes(
+                take(bytes, cursor, 8)?.try_into().unwrap(),
+            )),
             t => return Err(SdfError::Corrupt(format!("unknown attr tag {t}"))),
         };
         g.attrs.insert(name, attr);
@@ -515,8 +521,10 @@ mod tests {
         f.create_group("/exchange").unwrap();
         f.set_attr("/exchange", "facility", Attribute::Str("ALS 8.3.2".into()))
             .unwrap();
-        f.set_attr("/exchange", "n_angles", Attribute::Int(1969)).unwrap();
-        f.set_attr("/exchange", "pixel_um", Attribute::Float(0.65)).unwrap();
+        f.set_attr("/exchange", "n_angles", Attribute::Int(1969))
+            .unwrap();
+        f.set_attr("/exchange", "pixel_um", Attribute::Float(0.65))
+            .unwrap();
         f.write_dataset(
             "/exchange/data",
             Dataset::u16_3d(2, 2, 3, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]).unwrap(),
@@ -554,7 +562,10 @@ mod tests {
             f.attr("/exchange", "facility").unwrap(),
             &Attribute::Str("ALS 8.3.2".into())
         );
-        assert_eq!(f.attr("/exchange", "n_angles").unwrap(), &Attribute::Int(1969));
+        assert_eq!(
+            f.attr("/exchange", "n_angles").unwrap(),
+            &Attribute::Int(1969)
+        );
         assert!(f.attr("/exchange", "missing").is_err());
     }
 
@@ -593,7 +604,10 @@ mod tests {
             SdfFile::from_bytes(b"NOPE"),
             Err(SdfError::Corrupt(_))
         ));
-        assert!(matches!(SdfFile::from_bytes(b""), Err(SdfError::Corrupt(_))));
+        assert!(matches!(
+            SdfFile::from_bytes(b""),
+            Err(SdfError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -619,7 +633,8 @@ mod tests {
     fn overwrite_replaces_dataset() {
         let mut f = SdfFile::new();
         f.write_dataset("/d", Dataset::f32_1d(vec![1.0])).unwrap();
-        f.write_dataset("/d", Dataset::f32_1d(vec![2.0, 3.0])).unwrap();
+        f.write_dataset("/d", Dataset::f32_1d(vec![2.0, 3.0]))
+            .unwrap();
         assert_eq!(f.dataset("/d").unwrap().shape, vec![2]);
     }
 

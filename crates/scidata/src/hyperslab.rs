@@ -130,11 +130,7 @@ mod tests {
 
     fn dataset_3d() -> Dataset {
         // shape [2, 3, 4], values 0..24
-        Dataset::new(
-            vec![2, 3, 4],
-            DatasetData::U16((0..24).collect()),
-        )
-        .unwrap()
+        Dataset::new(vec![2, 3, 4], DatasetData::U16((0..24).collect())).unwrap()
     }
 
     #[test]
@@ -195,11 +191,7 @@ mod tests {
 
     #[test]
     fn f32_selection_works() {
-        let ds = Dataset::new(
-            vec![2, 2],
-            DatasetData::F32(vec![1.0, 2.0, 3.0, 4.0]),
-        )
-        .unwrap();
+        let ds = Dataset::new(vec![2, 2], DatasetData::F32(vec![1.0, 2.0, 3.0, 4.0])).unwrap();
         let slab = Hyperslab {
             start: vec![1, 0],
             count: vec![1, 2],

@@ -97,8 +97,8 @@ impl MultiscaleStore {
             dtype: "f32".into(),
             levels,
         };
-        let meta_json = serde_json::to_string_pretty(&meta)
-            .map_err(|e| StoreError::Meta(e.to_string()))?;
+        let meta_json =
+            serde_json::to_string_pretty(&meta).map_err(|e| StoreError::Meta(e.to_string()))?;
         std::fs::write(root.join(".mzarr.json"), meta_json)?;
         Ok(MultiscaleStore {
             root: root.to_path_buf(),
@@ -112,7 +112,10 @@ impl MultiscaleStore {
         let meta: StoreMeta =
             serde_json::from_str(&meta_raw).map_err(|e| StoreError::Meta(e.to_string()))?;
         if meta.dtype != "f32" {
-            return Err(StoreError::Meta(format!("unsupported dtype {}", meta.dtype)));
+            return Err(StoreError::Meta(format!(
+                "unsupported dtype {}",
+                meta.dtype
+            )));
         }
         Ok(MultiscaleStore {
             root: root.to_path_buf(),
@@ -188,11 +191,18 @@ impl MultiscaleStore {
     }
 
     fn chunk_path(&self, level: usize, cz: usize, cy: usize, cx: usize) -> PathBuf {
-        self.root.join(format!("L{level}")).join(format!("{cz}.{cy}.{cx}"))
+        self.root
+            .join(format!("L{level}"))
+            .join(format!("{cz}.{cy}.{cx}"))
     }
 }
 
-fn write_level(root: &Path, level: usize, vol: &Volume, chunk: [usize; 3]) -> Result<(), StoreError> {
+fn write_level(
+    root: &Path,
+    level: usize,
+    vol: &Volume,
+    chunk: [usize; 3],
+) -> Result<(), StoreError> {
     let dir = root.join(format!("L{level}"));
     std::fs::create_dir_all(&dir)?;
     let shape = [vol.nz, vol.ny, vol.nx];

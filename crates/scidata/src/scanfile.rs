@@ -75,7 +75,11 @@ impl ScanFile {
 
     /// Wrap an existing container, validating the layout.
     pub fn from_container(inner: SdfFile) -> Result<ScanFile, SdfError> {
-        for required in ["/exchange/data", "/exchange/data_dark", "/exchange/data_white"] {
+        for required in [
+            "/exchange/data",
+            "/exchange/data_dark",
+            "/exchange/data_white",
+        ] {
             inner.dataset(required)?;
         }
         Ok(ScanFile { inner })
@@ -90,13 +94,19 @@ impl ScanFile {
 
     /// (n_angles, rows, cols).
     pub fn shape(&self) -> (usize, usize, usize) {
-        let ds = self.inner.dataset("/exchange/data").expect("validated layout");
+        let ds = self
+            .inner
+            .dataset("/exchange/data")
+            .expect("validated layout");
         (ds.shape[0], ds.shape[1], ds.shape[2])
     }
 
     /// Raw projection counts for frame `a`, row-major `rows × cols`.
     pub fn frame_data(&self, a: usize) -> &[u16] {
-        let ds = self.inner.dataset("/exchange/data").expect("validated layout");
+        let ds = self
+            .inner
+            .dataset("/exchange/data")
+            .expect("validated layout");
         let (n, rows, cols) = (ds.shape[0], ds.shape[1], ds.shape[2]);
         assert!(a < n, "frame index {a} out of range ({n})");
         match &ds.data {
@@ -195,8 +205,14 @@ mod tests {
         };
         let mut sim = ScanSimulator::new(&vol, geom.clone(), cfg, 9);
         let frames = sim.all_frames();
-        let scan = ScanFile::from_frames("t", &frames, sim.dark_field(), sim.flat_field(), &geom.angles)
-            .unwrap();
+        let scan = ScanFile::from_frames(
+            "t",
+            &frames,
+            sim.dark_field(),
+            sim.flat_field(),
+            &geom.angles,
+        )
+        .unwrap();
         for (a, f) in frames.iter().enumerate() {
             assert_eq!(scan.frame_data(a), &f.data[..]);
         }
@@ -233,7 +249,8 @@ mod tests {
             })
             .collect();
         assert!(
-            ScanFile::from_frames("x", &frames, sim.dark_field(), sim.flat_field(), &[0.0]).is_err()
+            ScanFile::from_frames("x", &frames, sim.dark_field(), sim.flat_field(), &[0.0])
+                .is_err()
         );
     }
 

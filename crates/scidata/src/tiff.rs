@@ -65,15 +65,60 @@ pub fn encode_f32(img: &Image) -> Vec<u8> {
     let ifd_offset = data_offset + pixel_bytes.len() as u32;
 
     let entries = [
-        IfdEntry { tag: TAG_WIDTH, typ: TYPE_LONG, count: 1, value: img.width as u32 },
-        IfdEntry { tag: TAG_HEIGHT, typ: TYPE_LONG, count: 1, value: img.height as u32 },
-        IfdEntry { tag: TAG_BITS_PER_SAMPLE, typ: TYPE_SHORT, count: 1, value: 32 },
-        IfdEntry { tag: TAG_COMPRESSION, typ: TYPE_SHORT, count: 1, value: 1 }, // none
-        IfdEntry { tag: TAG_PHOTOMETRIC, typ: TYPE_SHORT, count: 1, value: 1 }, // min-is-black
-        IfdEntry { tag: TAG_STRIP_OFFSETS, typ: TYPE_LONG, count: 1, value: data_offset },
-        IfdEntry { tag: TAG_ROWS_PER_STRIP, typ: TYPE_LONG, count: 1, value: img.height as u32 },
-        IfdEntry { tag: TAG_STRIP_BYTE_COUNTS, typ: TYPE_LONG, count: 1, value: pixel_bytes.len() as u32 },
-        IfdEntry { tag: TAG_SAMPLE_FORMAT, typ: TYPE_SHORT, count: 1, value: 3 }, // IEEE float
+        IfdEntry {
+            tag: TAG_WIDTH,
+            typ: TYPE_LONG,
+            count: 1,
+            value: img.width as u32,
+        },
+        IfdEntry {
+            tag: TAG_HEIGHT,
+            typ: TYPE_LONG,
+            count: 1,
+            value: img.height as u32,
+        },
+        IfdEntry {
+            tag: TAG_BITS_PER_SAMPLE,
+            typ: TYPE_SHORT,
+            count: 1,
+            value: 32,
+        },
+        IfdEntry {
+            tag: TAG_COMPRESSION,
+            typ: TYPE_SHORT,
+            count: 1,
+            value: 1,
+        }, // none
+        IfdEntry {
+            tag: TAG_PHOTOMETRIC,
+            typ: TYPE_SHORT,
+            count: 1,
+            value: 1,
+        }, // min-is-black
+        IfdEntry {
+            tag: TAG_STRIP_OFFSETS,
+            typ: TYPE_LONG,
+            count: 1,
+            value: data_offset,
+        },
+        IfdEntry {
+            tag: TAG_ROWS_PER_STRIP,
+            typ: TYPE_LONG,
+            count: 1,
+            value: img.height as u32,
+        },
+        IfdEntry {
+            tag: TAG_STRIP_BYTE_COUNTS,
+            typ: TYPE_LONG,
+            count: 1,
+            value: pixel_bytes.len() as u32,
+        },
+        IfdEntry {
+            tag: TAG_SAMPLE_FORMAT,
+            typ: TYPE_SHORT,
+            count: 1,
+            value: 3,
+        }, // IEEE float
     ];
 
     let mut out = Vec::with_capacity(8 + pixel_bytes.len() + 2 + 12 * n_entries as usize + 4);
@@ -259,7 +304,12 @@ mod tests {
             .collect();
         let paths = write_stack(&dir, &slices).unwrap();
         assert_eq!(paths.len(), 12);
-        assert!(paths[3].file_name().unwrap().to_str().unwrap().contains("0003"));
+        assert!(paths[3]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("0003"));
         let back = read_stack(&dir).unwrap();
         assert_eq!(back, slices);
         std::fs::remove_dir_all(&dir).ok();

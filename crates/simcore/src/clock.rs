@@ -247,7 +247,10 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
-        assert_eq!(SimDuration::from_millis(1500), SimDuration::from_micros(1_500_000));
+        assert_eq!(
+            SimDuration::from_millis(1500),
+            SimDuration::from_micros(1_500_000)
+        );
         assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
         assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
     }

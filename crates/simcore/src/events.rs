@@ -203,9 +203,10 @@ mod tests {
             q.schedule_in(SimDuration::from_secs(s), s);
         }
         let mut seen = Vec::new();
-        q.run(Some(SimInstant::ZERO + SimDuration::from_secs(4)), |_, _, e| {
-            seen.push(e)
-        });
+        q.run(
+            Some(SimInstant::ZERO + SimDuration::from_secs(4)),
+            |_, _, e| seen.push(e),
+        );
         assert_eq!(seen, vec![1, 2, 3, 4]);
         // clock parked exactly at the horizon, later events still queued
         assert_eq!(q.now().as_secs_f64(), 4.0);

@@ -261,7 +261,9 @@ mod tests {
 
     #[test]
     fn zero_rate_never_completes() {
-        assert!(DataRate::ZERO.transfer_time(ByteSize::from_mib(1)).is_none());
+        assert!(DataRate::ZERO
+            .transfer_time(ByteSize::from_mib(1))
+            .is_none());
     }
 
     #[test]

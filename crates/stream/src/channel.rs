@@ -49,15 +49,13 @@ impl PvaServer {
     pub fn publish(&self, msg: StreamMessage) {
         self.published.fetch_add(1, Ordering::Relaxed);
         let mut subs = self.subs.lock();
-        subs.retain(|tx| {
-            match tx.try_send(msg.clone()) {
-                Ok(()) => true,
-                Err(crossbeam::channel::TrySendError::Full(_)) => {
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
-                    true
-                }
-                Err(crossbeam::channel::TrySendError::Disconnected(_)) => false,
+        subs.retain(|tx| match tx.try_send(msg.clone()) {
+            Ok(()) => true,
+            Err(crossbeam::channel::TrySendError::Full(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                true
             }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => false,
         });
     }
 

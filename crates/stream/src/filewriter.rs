@@ -168,8 +168,15 @@ mod tests {
         let vol = shepp_logan_volume(32, 3);
         let geom = Geometry::parallel_180(16, 32);
         let mut sim = ScanSimulator::new(&vol, geom, DetectorConfig::default(), 3);
-        publish_scan(&server, &mut sim, "scan_0001", DetectorConfig::default().mu_scale);
-        let written = writer.wait_completion(Duration::from_secs(5)).expect("scan written");
+        publish_scan(
+            &server,
+            &mut sim,
+            "scan_0001",
+            DetectorConfig::default().mu_scale,
+        );
+        let written = writer
+            .wait_completion(Duration::from_secs(5))
+            .expect("scan written");
         assert_eq!(written.scan_id, "scan_0001");
         assert_eq!(written.n_frames, 16);
         assert_eq!(written.rejected_frames, 0);
@@ -197,22 +204,44 @@ mod tests {
         server.publish(StreamMessage::ScanStart(Arc::new(announce)));
         // one good frame, one with a NaN angle, one with wrong shape
         let good = Frame {
-            meta: FrameMeta { frame_id: 0, angle_rad: 0.0, n_angles: 3, rows: 2, cols: 2 },
+            meta: FrameMeta {
+                frame_id: 0,
+                angle_rad: 0.0,
+                n_angles: 3,
+                rows: 2,
+                cols: 2,
+            },
             data: vec![1; 4],
         };
         let nan_angle = Frame {
-            meta: FrameMeta { frame_id: 1, angle_rad: f64::NAN, n_angles: 3, rows: 2, cols: 2 },
+            meta: FrameMeta {
+                frame_id: 1,
+                angle_rad: f64::NAN,
+                n_angles: 3,
+                rows: 2,
+                cols: 2,
+            },
             data: vec![1; 4],
         };
         let wrong_shape = Frame {
-            meta: FrameMeta { frame_id: 2, angle_rad: 0.2, n_angles: 3, rows: 4, cols: 4 },
+            meta: FrameMeta {
+                frame_id: 2,
+                angle_rad: 0.2,
+                n_angles: 3,
+                rows: 4,
+                cols: 4,
+            },
             data: vec![1; 16],
         };
         for f in [good, nan_angle, wrong_shape] {
             server.publish(StreamMessage::Frame(Arc::new(f)));
         }
-        server.publish(StreamMessage::ScanEnd { scan_id: "bad".into() });
-        let written = writer.wait_completion(Duration::from_secs(5)).expect("written");
+        server.publish(StreamMessage::ScanEnd {
+            scan_id: "bad".into(),
+        });
+        let written = writer
+            .wait_completion(Duration::from_secs(5))
+            .expect("written");
         assert_eq!(written.n_frames, 1);
         assert_eq!(written.rejected_frames, 2);
         assert_eq!(writer.rejected_count(), 2);
@@ -226,11 +255,19 @@ mod tests {
         let server = PvaServer::new();
         let writer = FileWriterService::spawn(server.subscribe(64), &dir);
         let f = Frame {
-            meta: FrameMeta { frame_id: 0, angle_rad: 0.0, n_angles: 1, rows: 2, cols: 2 },
+            meta: FrameMeta {
+                frame_id: 0,
+                angle_rad: 0.0,
+                n_angles: 1,
+                rows: 2,
+                cols: 2,
+            },
             data: vec![1; 4],
         };
         server.publish(StreamMessage::Frame(Arc::new(f)));
-        server.publish(StreamMessage::ScanEnd { scan_id: "orphan".into() });
+        server.publish(StreamMessage::ScanEnd {
+            scan_id: "orphan".into(),
+        });
         assert!(writer.wait_completion(Duration::from_millis(300)).is_none());
         writer.stop();
         std::fs::remove_dir_all(&dir).ok();

@@ -20,13 +20,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration for the streaming service.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StreamerConfig {
     /// Reconstruction settings for the preview pass.
     pub fbp: FbpConfig,
 }
-
 
 /// The three orthogonal preview slices sent back to the beamline, plus
 /// timing telemetry.
@@ -63,7 +61,10 @@ pub struct StreamingReconService {
 impl StreamingReconService {
     /// Launch the service consuming `sub`. Returns the service handle and
     /// the beamline-side preview channel.
-    pub fn spawn(sub: Subscription, cfg: StreamerConfig) -> (StreamingReconService, PreviewChannel) {
+    pub fn spawn(
+        sub: Subscription,
+        cfg: StreamerConfig,
+    ) -> (StreamingReconService, PreviewChannel) {
         let (tx, rx): (Sender<Preview>, Receiver<Preview>) = unbounded();
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
@@ -92,7 +93,8 @@ impl StreamingReconService {
                         if cache.is_empty() {
                             continue;
                         }
-                        if let Some(preview) = reconstruct_preview(&announce, &cache, &cfg, &scan_id)
+                        if let Some(preview) =
+                            reconstruct_preview(&announce, &cache, &cfg, &scan_id)
                         {
                             let _ = tx.send(preview);
                         }
@@ -143,7 +145,15 @@ pub fn reconstruct_preview(
         center: (announce.cols as f64 - 1.0) / 2.0,
     };
     let sinos: Vec<Sinogram> = (0..announce.rows)
-        .map(|r| frames_to_sinogram(&frames, &announce.dark, &announce.flat, r, announce.mu_scale))
+        .map(|r| {
+            frames_to_sinogram(
+                &frames,
+                &announce.dark,
+                &announce.flat,
+                r,
+                announce.mu_scale,
+            )
+        })
         .collect();
     let vol = fbp_volume(&sinos, &geom, &cfg.fbp).ok()?;
     let recon_wall = t_recon.elapsed();
@@ -185,7 +195,9 @@ mod tests {
         };
         let mut sim = ScanSimulator::new(&vol, geom, cfg, 7);
         publish_scan(&server, &mut sim, "stream_scan", cfg.mu_scale);
-        let p = previews.recv_timeout(Duration::from_secs(20)).expect("preview");
+        let p = previews
+            .recv_timeout(Duration::from_secs(20))
+            .expect("preview");
         assert_eq!(p.scan_id, "stream_scan");
         assert_eq!(p.cached_frames, 40);
         assert_eq!(p.slices[0].width, 48); // XY slice
@@ -208,7 +220,9 @@ mod tests {
         };
         let mut sim = ScanSimulator::new(&vol, geom, cfg, 9);
         publish_scan(&server, &mut sim, "q", cfg.mu_scale);
-        let p = previews.recv_timeout(Duration::from_secs(30)).expect("preview");
+        let p = previews
+            .recv_timeout(Duration::from_secs(30))
+            .expect("preview");
         // middle slice should correlate with the phantom's middle slice
         let truth = vol.slice_xy(1);
         let rec = &p.slices[0];
@@ -222,7 +236,9 @@ mod tests {
         let server = PvaServer::new();
         let (svc, previews) =
             StreamingReconService::spawn(server.subscribe(64), StreamerConfig::default());
-        server.publish(StreamMessage::ScanEnd { scan_id: "ghost".into() });
+        server.publish(StreamMessage::ScanEnd {
+            scan_id: "ghost".into(),
+        });
         assert!(previews.recv_timeout(Duration::from_millis(300)).is_none());
         svc.stop();
     }
@@ -240,7 +256,9 @@ mod tests {
             publish_scan(&server, &mut sim, &format!("s{i}"), cfg.mu_scale);
         }
         for i in 0..3 {
-            let p = previews.recv_timeout(Duration::from_secs(20)).expect("preview");
+            let p = previews
+                .recv_timeout(Duration::from_secs(20))
+                .expect("preview");
             assert_eq!(p.scan_id, format!("s{i}"));
         }
         svc.stop();

@@ -59,10 +59,8 @@ pub fn fbp_volume(
         return Err(TomoError::BadParameter("empty sinogram stack".into()));
     }
     let n = geom.n_det;
-    let slices: Result<Vec<Image>, TomoError> = sinos
-        .par_iter()
-        .map(|s| fbp_slice(s, geom, cfg))
-        .collect();
+    let slices: Result<Vec<Image>, TomoError> =
+        sinos.par_iter().map(|s| fbp_slice(s, geom, cfg)).collect();
     let slices = slices?;
     let mut vol = Volume::zeros(n, n, slices.len());
     for (z, img) in slices.iter().enumerate() {

@@ -98,7 +98,10 @@ fn bit_reverse_permute(data: &mut [Complex]) {
 
 fn fft_inplace(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT size must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -218,7 +221,9 @@ mod tests {
         let k = 5;
         let mut d: Vec<Complex> = (0..n)
             .map(|i| {
-                Complex::from_re((2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos())
+                Complex::from_re(
+                    (2.0 * std::f64::consts::PI * k as f64 * i as f64 / n as f64).cos(),
+                )
             })
             .collect();
         fft(&mut d);

@@ -105,8 +105,8 @@ impl FilterKind {
             .map(|k| {
                 let f = if k <= pad / 2 { k } else { pad - k } as f64 / pad as f64;
                 let w = 2.0 * f; // normalized to Nyquist
-                // ramp response is real and non-negative by construction;
-                // its magnitude is ≈ |f| cycles/sample (0.5 at Nyquist)
+                                 // ramp response is real and non-negative by construction;
+                                 // its magnitude is ≈ |f| cycles/sample (0.5 at Nyquist)
                 h[k].re.max(0.0) * self.window(w)
             })
             .collect()
@@ -204,10 +204,11 @@ mod tests {
         let mut sino = Sinogram::zeros(1, 64);
         sino.row_mut(0).iter_mut().for_each(|v| *v = 5.0);
         let f = filter_sinogram(&sino, FilterKind::SheppLogan);
-        let peak = f.row(0)[16..48]
-            .iter()
-            .fold(0.0f32, |m, &v| m.max(v.abs()));
-        assert!(peak < 0.25, "constant-row interior should be near zero, peak {peak}");
+        let peak = f.row(0)[16..48].iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(
+            peak < 0.25,
+            "constant-row interior should be near zero, peak {peak}"
+        );
     }
 
     #[test]

@@ -264,7 +264,10 @@ mod tests {
         .unwrap();
         let e_lo = rmse_in_disk(&lo, &truth);
         let e_hi = rmse_in_disk(&hi, &truth);
-        assert!(e_hi <= e_lo * 1.2, "oversampling regressed: {e_lo} -> {e_hi}");
+        assert!(
+            e_hi <= e_lo * 1.2,
+            "oversampling regressed: {e_lo} -> {e_hi}"
+        );
     }
 
     #[test]

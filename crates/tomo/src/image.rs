@@ -154,7 +154,11 @@ impl Sinogram {
     }
 
     pub fn from_vec(n_angles: usize, n_det: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), n_angles * n_det, "sinogram buffer size mismatch");
+        assert_eq!(
+            data.len(),
+            n_angles * n_det,
+            "sinogram buffer size mismatch"
+        );
         Sinogram {
             n_angles,
             n_det,

@@ -243,7 +243,10 @@ mod tests {
         let r40 = sirt_slice(&sino, &geom, &cfg40).unwrap();
         let e5 = rmse_in_disk(&r5, &truth);
         let e40 = rmse_in_disk(&r40, &truth);
-        assert!(e40 < e5, "SIRT should improve with iterations: {e5} -> {e40}");
+        assert!(
+            e40 < e5,
+            "SIRT should improve with iterations: {e5} -> {e40}"
+        );
         assert!(e40 < 0.12, "SIRT final error too high: {e40}");
     }
 

@@ -182,7 +182,8 @@ mod tests {
     #[test]
     fn minus_log_inverts_exponential() {
         let mut sino = Sinogram::zeros(1, 3);
-        sino.data.copy_from_slice(&[1.0, (-2.0f32).exp(), (-0.5f32).exp()]);
+        sino.data
+            .copy_from_slice(&[1.0, (-2.0f32).exp(), (-0.5f32).exp()]);
         let l = minus_log(&sino);
         assert!((l.data[0] - 0.0).abs() < 1e-6);
         assert!((l.data[1] - 2.0).abs() < 1e-5);
@@ -199,7 +200,8 @@ mod tests {
     #[test]
     fn zinger_is_removed_but_edges_kept() {
         let mut sino = Sinogram::zeros(1, 7);
-        sino.data.copy_from_slice(&[1.0, 1.0, 1.0, 9.0, 1.0, 4.0, 4.0]);
+        sino.data
+            .copy_from_slice(&[1.0, 1.0, 1.0, 9.0, 1.0, 4.0, 4.0]);
         let z = remove_zingers(&sino, 2.0);
         assert_eq!(z.data[3], 1.0); // isolated spike removed
         assert_eq!(z.data[5], 4.0); // genuine step preserved
@@ -250,7 +252,10 @@ mod tests {
         }
         let p = paganin_filter(&sino, 50.0);
         let amp = p.row(0)[20..40].iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-        assert!(amp < 0.4, "high-frequency noise should be damped, got {amp}");
+        assert!(
+            amp < 0.4,
+            "high-frequency noise should be damped, got {amp}"
+        );
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub fn forward_project_into(img: &Image, geom: &Geometry, sino: &mut Sinogram) {
     let cx = (img.width as f64 - 1.0) / 2.0;
     let cy = (img.height as f64 - 1.0) / 2.0;
     // ray length covers the image diagonal
-    let half_len = (((img.width * img.width + img.height * img.height) as f64).sqrt() / 2.0)
-        .ceil() as i64;
+    let half_len =
+        (((img.width * img.width + img.height * img.height) as f64).sqrt() / 2.0).ceil() as i64;
 
     for (a, &theta) in geom.angles.iter().enumerate() {
         let (sin_t, cos_t) = theta.sin_cos();

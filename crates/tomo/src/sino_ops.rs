@@ -12,7 +12,10 @@ use crate::TomoError;
 /// average for centered 360° acquisitions.
 ///
 /// Requires an even number of angles spanning a full turn.
-pub fn fold_360_to_180(sino: &Sinogram, geom: &Geometry) -> Result<(Sinogram, Geometry), TomoError> {
+pub fn fold_360_to_180(
+    sino: &Sinogram,
+    geom: &Geometry,
+) -> Result<(Sinogram, Geometry), TomoError> {
     geom.validate(sino.n_angles, sino.n_det)?;
     if sino.n_angles % 2 != 0 {
         return Err(TomoError::BadParameter(
@@ -228,7 +231,8 @@ mod tests {
     fn binning_averages_and_rescales_center() {
         let geom = Geometry::parallel_180(1, 8);
         let mut sino = Sinogram::zeros(1, 8);
-        sino.row_mut(0).copy_from_slice(&[0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
+        sino.row_mut(0)
+            .copy_from_slice(&[0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0]);
         let (binned, bgeom) = bin_detector(&sino, &geom, 2).unwrap();
         assert_eq!(binned.row(0), &[1.0, 5.0, 9.0, 13.0]);
         // center 3.5 -> (3.5 - 0.5)/2 = 1.5, the midpoint of 4 bins

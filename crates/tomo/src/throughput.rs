@@ -151,7 +151,11 @@ impl ReconClass {
 
 /// Estimate the wall time of a reconstruction of `dims` with `class` on
 /// `device`.
-pub fn estimate_recon_time(dims: &ScanDims, class: ReconClass, device: &DeviceModel) -> SimDuration {
+pub fn estimate_recon_time(
+    dims: &ScanDims,
+    class: ReconClass,
+    device: &DeviceModel,
+) -> SimDuration {
     let ops = dims.backproj_ops() as f64 * class.pass_factor();
     SimDuration::from_secs_f64(ops / device.backproj_ops_per_sec.max(1.0))
 }

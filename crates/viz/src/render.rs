@@ -56,7 +56,10 @@ pub fn read_pgm(path: &Path) -> std::io::Result<(usize, usize, Vec<u8>)> {
     let mut parts = header.split_ascii_whitespace();
     let magic = parts.next().unwrap_or("");
     if magic != "P5" {
-        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "not P5"));
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not P5",
+        ));
     }
     let w: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);
     let h: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0);

@@ -105,7 +105,10 @@ mod tests {
         img.data[0] = -1e9;
         img.data[1] = 1e9;
         let w = Window::percentile(&img, 5.0, 95.0);
-        assert!(w.lo > -1e8 && w.hi < 1e8, "window {w:?} should exclude outliers");
+        assert!(
+            w.lo > -1e8 && w.hi < 1e8,
+            "window {w:?} should exclude outliers"
+        );
     }
 
     #[test]

@@ -52,10 +52,14 @@ fn main() {
     let (legacy, fixed) = incident_comparison(8, 1);
     println!(
         "legacy (hang):      scan transfers mean {:>7.0} s, {}/{} on time",
-        legacy.mean_scan_transfer_s, legacy.scans_on_time, legacy.scans_total
+        legacy.mean_scan_transfer_s.unwrap_or(f64::NAN),
+        legacy.scans_on_time,
+        legacy.scans_total
     );
     println!(
         "fail-early (fixed): scan transfers mean {:>7.0} s, {}/{} on time",
-        fixed.mean_scan_transfer_s, fixed.scans_on_time, fixed.scans_total
+        fixed.mean_scan_transfer_s.unwrap_or(f64::NAN),
+        fixed.scans_on_time,
+        fixed.scans_total
     );
 }

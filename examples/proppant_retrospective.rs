@@ -13,7 +13,7 @@
 
 use als_phantom::proppant::{fracture_porosity, proppant_creep_series, ProppantConfig};
 use als_scidata::MultiscaleStore;
-use als_tomo::{fbp_slice, FbpConfig, forward_project, Geometry, Volume};
+use als_tomo::{fbp_slice, forward_project, FbpConfig, Geometry, Volume};
 use als_viz::{write_pgm, Window};
 
 fn main() {
@@ -28,7 +28,10 @@ fn main() {
     let geom = Geometry::parallel_180(120, 96);
     let cfg = FbpConfig::default();
 
-    println!("{:<6} {:>18} {:>18}", "step", "porosity (truth)", "porosity (recon)");
+    println!(
+        "{:<6} {:>18} {:>18}",
+        "step", "porosity (truth)", "porosity (recon)"
+    );
     let mut last_recon = None;
     for (step, truth) in series.iter().enumerate() {
         // reprocess through the reconstruction pipeline

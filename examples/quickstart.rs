@@ -44,7 +44,10 @@ fn main() {
         result.preview.send_wall.as_secs_f64()
     );
     let paths = write_preview_pgms(&out_dir, "preview", &result.preview.slices).unwrap();
-    println!("preview slices written  : {}", paths[0].parent().unwrap().display());
+    println!(
+        "preview slices written  : {}",
+        paths[0].parent().unwrap().display()
+    );
 
     // 3. the file-based branch's product
     println!("\n-- file-based branch --");

@@ -239,7 +239,7 @@ proptest! {
         let mut now = SimInstant::ZERO;
         let mut shadow: std::collections::BTreeMap<String, u64> = Default::default();
         for (i, &(op, gib)) in ops.iter().enumerate() {
-            now = now + SimDuration::from_hours(1);
+            now += SimDuration::from_hours(1);
             match op {
                 0 => {
                     let name = format!("f{i}");
@@ -265,6 +265,77 @@ proptest! {
             prop_assert!(tier.used() <= tier.capacity());
             prop_assert_eq!(tier.file_count(), shadow.len());
         }
+    }
+
+    /// The scheduler neither loses nor duplicates jobs under arbitrary
+    /// interleavings of submits, cancels, node failures, time advances,
+    /// and partition drains: every submitted id stays unique and tracked,
+    /// and once the partition is restored and the queue drained, every
+    /// job is terminal with all nodes back in the pool.
+    #[test]
+    fn scheduler_never_loses_or_duplicates_jobs(ops in prop::collection::vec((0u8..5, any::<u16>()), 1..80)) {
+        use als_hpc::scheduler::{JobRequest, JobState, Qos, Scheduler};
+        let total = 4;
+        let mut s = Scheduler::new(total);
+        let mut now = SimInstant::ZERO;
+        let mut ids = Vec::new();
+        for (i, &(op, x)) in ops.iter().enumerate() {
+            match op {
+                0 | 1 => {
+                    // submit (weighted 2/5 so most sequences build a queue)
+                    let (id, _) = s.submit(JobRequest {
+                        name: format!("p{i}"),
+                        qos: if x % 2 == 0 { Qos::Realtime } else { Qos::Regular },
+                        nodes: 1 + (x as usize % total),
+                        runtime: SimDuration::from_secs(10 + u64::from(x % 500)),
+                        walltime_limit: SimDuration::from_secs(10_000),
+                    }, now);
+                    ids.push(id);
+                }
+                2 => {
+                    // cancel an arbitrary earlier job (any state; no-ops ok)
+                    if !ids.is_empty() {
+                        s.cancel(ids[x as usize % ids.len()], now);
+                    }
+                }
+                3 => {
+                    // a node failure kills an arbitrary job if it is running
+                    if !ids.is_empty() {
+                        s.fail(ids[x as usize % ids.len()], now);
+                    }
+                }
+                _ => {
+                    // drain part of the partition, or restore it
+                    s.set_offline(x as usize % (total + 1), now);
+                }
+            }
+            now += SimDuration::from_secs(u64::from(x % 60));
+            s.advance_to(now);
+            prop_assert!(s.free_nodes() <= total);
+        }
+        // ids are never reused across submits
+        let unique: std::collections::BTreeSet<_> = ids.iter().copied().collect();
+        prop_assert_eq!(unique.len(), ids.len(), "duplicate job ids handed out");
+        // restore the partition and drain whatever is still queued/running
+        s.set_offline(0, now);
+        while let Some(t) = s.next_event_time() {
+            now = t.max(now);
+            s.advance_to(now);
+            prop_assert!(s.free_nodes() <= total);
+        }
+        // no job lost: each one is tracked and terminal
+        for &id in &ids {
+            let st = s.state(id);
+            prop_assert!(st.is_some(), "job {:?} vanished", id);
+            let st = st.unwrap();
+            prop_assert!(
+                matches!(st, JobState::Completed | JobState::Cancelled | JobState::Failed),
+                "job {:?} stuck in {:?}", id, st
+            );
+        }
+        prop_assert_eq!(s.pending_count(), 0);
+        prop_assert_eq!(s.running_count(), 0);
+        prop_assert_eq!(s.free_nodes(), total, "nodes leaked");
     }
 
     /// Idempotency: once completed, a key never runs again, no matter the

@@ -1,0 +1,546 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy/runner subset the workspace's property tests
+//! use: the `proptest!` macro with `#![proptest_config(..)]`, range and
+//! collection strategies, `any::<T>()`, tuple strategies, a small
+//! character-class regex subset for `String` generation, and the
+//! `prop_assert*` macros. Cases are generated from a seed derived from
+//! the test name, so failures reproduce exactly across runs. Shrinking
+//! is not implemented — a failing case reports its index and message.
+
+use std::ops::Range;
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure raised by `prop_assert!` and friends.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl std::fmt::Display) -> Self {
+        TestCaseError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Deterministic per-test entropy source (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Drives a single `proptest!`-generated test function.
+pub struct TestRunner {
+    seed: u64,
+}
+
+impl TestRunner {
+    pub fn new(_config: &ProptestConfig, test_name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { seed }
+    }
+
+    pub fn rng_for(&self, case: u32) -> TestRng {
+        TestRng {
+            state: self
+                .seed
+                .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+/// A generator of values for one test argument.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        (self.start as f64..self.end as f64).generate(rng) as f32
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a default "anything" strategy (`any::<T>()`).
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Size specification for `vec`: an exact `usize` or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = (self.size.lo as u64..self.size.hi as u64).generate(rng) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    pub mod f32 {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for normal (non-zero, non-subnormal, finite) f32s,
+        /// both signs, like `proptest::num::f32::NORMAL`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalF32;
+
+        pub const NORMAL: NormalF32 = NormalF32;
+
+        impl Strategy for NormalF32 {
+            type Value = f32;
+            fn generate(&self, rng: &mut TestRng) -> f32 {
+                let bits = rng.next_u64();
+                let sign = ((bits >> 63) as u32) << 31;
+                // biased exponent in 1..=254: excludes zero/subnormal
+                // (0) and inf/nan (255)
+                let exp = (1 + (bits >> 32) as u32 % 254) << 23;
+                let mantissa = (bits as u32) & 0x007F_FFFF;
+                f32::from_bits(sign | exp | mantissa)
+            }
+        }
+    }
+}
+
+/// Character-class regex subset: sequences of literal chars and
+/// `[a-z...]` classes, each optionally repeated `{m}` or `{m,n}`.
+/// Enough for strategies like `"[a-z]{1,12}"`; anything else panics so
+/// the gap is visible instead of silently generating wrong data.
+mod regex_gen {
+    use super::TestRng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    pub struct Pattern {
+        pieces: Vec<Piece>,
+    }
+
+    pub fn parse(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                        + i;
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty class in pattern `{pattern}`");
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`"));
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c if !"{}()|*+?.^$".contains(c) => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c => panic!(
+                    "proptest stand-in supports only literal/class patterns; \
+                     `{c}` in `{pattern}` is not implemented"
+                ),
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repeat lower bound"),
+                        hi.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "bad repeat bounds in `{pattern}`");
+            pieces.push(Piece { atom, min, max });
+        }
+        Pattern { pieces }
+    }
+
+    impl Pattern {
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let span = (piece.max - piece.min + 1) as u64;
+                let n = piece.min + (rng.next_u64() % span) as usize;
+                for _ in 0..n {
+                    match &piece.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let total: u64 =
+                                ranges.iter().map(|&(a, b)| (b as u64 - a as u64) + 1).sum();
+                            let mut pick = rng.next_u64() % total;
+                            for &(a, b) in ranges {
+                                let width = (b as u64 - a as u64) + 1;
+                                if pick < width {
+                                    out.push(char::from_u32(a as u32 + pick as u32).unwrap());
+                                    break;
+                                }
+                                pick -= width;
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::parse(self).generate(rng)
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// The test-defining macro. Each property becomes a `#[test]` running
+/// `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+     $( $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __runner = $crate::TestRunner::new(&__config, stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __rng = __runner.rng_for(__case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        panic!("property {} failed on case {}: {}",
+                               stringify!($name), __case, __e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u64..10, b in -3i32..3, f in 0.5f64..2.0) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((-3..3).contains(&b));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(exact in prop::collection::vec(0u8..255, 7),
+                                    ranged in prop::collection::vec(0u64..10, 2..5)) {
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!((2..5).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn regex_class_subset(name in "[a-c]{2,4}", tagged in "x[0-9]{3}") {
+            prop_assert!((2..=4).contains(&name.len()));
+            prop_assert!(name.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert_eq!(tagged.len(), 4);
+            prop_assert!(tagged.starts_with('x'));
+        }
+
+        #[test]
+        fn normal_f32s_are_normal(f in prop::num::f32::NORMAL) {
+            prop_assert!(f.is_normal(), "{} not normal", f);
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0usize..4, 10u64..20)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((10..20).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let cfg = ProptestConfig::with_cases(4);
+        let r1 = crate::TestRunner::new(&cfg, "some_test");
+        let r2 = crate::TestRunner::new(&cfg, "some_test");
+        let mut a = r1.rng_for(0);
+        let mut b = r2.rng_for(0);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

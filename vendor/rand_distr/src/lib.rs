@@ -1,0 +1,129 @@
+//! Offline stand-in for `rand_distr`: the `Distribution` trait plus the
+//! `Normal` and `LogNormal` distributions the workload models use.
+//! Normal deviates come from the Box–Muller transform, which is exact
+//! and deterministic given the underlying `rand` stream.
+
+use rand::Rng;
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// Standard deviation / sigma was negative or non-finite.
+    BadVariance,
+    /// Mean / location parameter was non-finite.
+    BadMean,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::BadVariance => write!(f, "invalid variance parameter"),
+            ParamError::BadMean => write!(f, "invalid mean parameter"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Types that can be sampled given an entropy source.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1 = 1.0 - rng.next_f64();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, sd: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() {
+            return Err(ParamError::BadMean);
+        }
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(ParamError::BadVariance);
+        }
+        Ok(Normal { mean, sd })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * box_muller(rng)
+    }
+}
+
+/// Log-normal distribution parameterized by the underlying normal's
+/// mean (`mu`) and standard deviation (`sigma`), matching upstream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() {
+            return Err(ParamError::BadMean);
+        }
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamError::BadVariance);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * box_muller(rng)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_matches_mu() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let median = 120.0f64;
+        let d = LogNormal::new(median.ln(), 0.4).unwrap();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let observed = samples[10_000];
+        assert!(
+            (observed / median - 1.0).abs() < 0.05,
+            "median {observed} vs {median}"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline stand-in for `rayon`: `par_iter().map(..).collect()` over
+//! slices, executed on scoped std threads. Work is split into one
+//! contiguous chunk per available core, which preserves output order
+//! and gives near-linear speedup for the embarrassingly parallel
+//! slice-reconstruction loops this workspace runs.
+
+use std::thread;
+
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `.par_iter()` on slices (and anything that derefs to a slice).
+pub trait IntoParallelRefIterator<'a> {
+    type Iter;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Marker trait so call sites can bound on `ParallelIterator` idiomatically.
+pub trait ParallelIterator {}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<T> ParallelIterator for ParIter<'_, T> {}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<T, F> ParallelIterator for ParMap<'_, T, F> {}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    pub fn collect<U, C>(self) -> C
+    where
+        F: Fn(&'a T) -> U + Sync,
+        U: Send,
+        C: FromParallelIterator<U>,
+    {
+        C::from_ordered_results(par_map(self.items, &self.f))
+    }
+}
+
+fn par_map<'a, I, U, F>(items: &'a [I], f: &F) -> Vec<U>
+where
+    I: Sync,
+    U: Send,
+    F: Fn(&'a I) -> U + Sync,
+{
+    let workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Sink types for `.collect()`; results arrive already in input order.
+pub trait FromParallelIterator<U>: Sized {
+    fn from_ordered_results(results: Vec<U>) -> Self;
+}
+
+impl<U> FromParallelIterator<U> for Vec<U> {
+    fn from_ordered_results(results: Vec<U>) -> Self {
+        results
+    }
+}
+
+impl<U, E> FromParallelIterator<Result<U, E>> for Result<Vec<U>, E> {
+    fn from_ordered_results(results: Vec<Result<U, E>>) -> Self {
+        results.into_iter().collect()
+    }
+}
+
+impl<U> FromParallelIterator<Option<U>> for Option<Vec<U>> {
+    fn from_ordered_results(results: Vec<Option<U>>) -> Self {
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let squared: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        assert_eq!(squared.len(), input.len());
+        for (i, v) in squared.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_err() {
+        let input: Vec<i32> = (0..100).collect();
+        let ok: Result<Vec<i32>, String> = input.par_iter().map(|&x| Ok(x + 1)).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<i32>, String> = input
+            .par_iter()
+            .map(|&x| {
+                if x == 57 {
+                    Err(format!("boom {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom 57");
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7];
+        let out: Vec<i32> = one.par_iter().map(|&x| x * 6).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

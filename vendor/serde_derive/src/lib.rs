@@ -1,0 +1,457 @@
+//! Hand-written `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored serde stand-in.
+//!
+//! With no access to crates.io there is no `syn`/`quote`; the item is
+//! parsed directly from the raw `proc_macro::TokenStream`. Supported
+//! shapes are exactly what this workspace derives on: non-generic
+//! structs (named, tuple, unit) and enums (unit / tuple / struct
+//! variants, externally tagged like serde's default). Anything fancier
+//! — generics, lifetimes, `#[serde(...)]` attributes — is rejected
+//! with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip any number of outer attributes (`#[...]`), doc comments
+    /// included. Rejects `#[serde(...)]`, which the stand-in cannot honor.
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") {
+                        panic!("serde stand-in derive does not support #[serde(...)] attributes");
+                    }
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde stand-in derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skip tokens until a comma at angle-bracket depth 0, consuming
+    /// the comma. Used to step over field types and discriminants.
+    fn skip_past_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive does not support generic type `{name}`");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(&mut c, &name)),
+        "enum" => Shape::Enum(parse_variants(&mut c, &name)),
+        other => panic!("serde stand-in derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn parse_struct_fields(c: &mut Cursor, name: &str) -> Fields {
+    match c.peek() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream());
+            c.next();
+            Fields::Named(fields)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let count = count_tuple_fields(g.stream());
+            c.next();
+            Fields::Tuple(count)
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde stand-in derive: unexpected struct body for `{name}`: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let field = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stand-in derive: expected `:` after `{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        c.skip_past_comma();
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut pending = false;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if pending {
+                        count += 1;
+                        pending = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(c: &mut Cursor, name: &str) -> Vec<(String, Fields)> {
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde stand-in derive: expected enum body for `{name}`, found {other:?}"),
+    };
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let variant = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                c.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((variant, fields));
+        // Step over an optional `= discriminant` and the separating comma.
+        c.skip_past_comma();
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Value {{ "
+    );
+    match &item.shape {
+        Shape::Struct(Fields::Unit) => out.push_str("::serde::Value::Null"),
+        Shape::Struct(Fields::Tuple(1)) => {
+            out.push_str("::serde::Serialize::serialize(&self.0)");
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            out.push_str("::serde::Value::Array(::std::vec![");
+            for i in 0..*n {
+                let _ = write!(out, "::serde::Serialize::serialize(&self.{i}),");
+            }
+            out.push_str("])");
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            out.push_str("let mut __m = ::serde::Map::new();");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize(&self.{f}));"
+                );
+            }
+            out.push_str("::serde::Value::Object(__m)");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("match self {");
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{v} => \
+                             ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(out, "{name}::{v}({}) => {{", binds.join(","));
+                        out.push_str("let mut __m = ::serde::Map::new();");
+                        if *n == 1 {
+                            let _ = write!(
+                                out,
+                                "__m.insert(::std::string::String::from(\"{v}\"), \
+                                 ::serde::Serialize::serialize(__f0));"
+                            );
+                        } else {
+                            out.push_str("let __items = ::std::vec![");
+                            for b in &binds {
+                                let _ = write!(out, "::serde::Serialize::serialize({b}),");
+                            }
+                            out.push_str("];");
+                            let _ = write!(
+                                out,
+                                "__m.insert(::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Array(__items));"
+                            );
+                        }
+                        out.push_str("::serde::Value::Object(__m) },");
+                    }
+                    Fields::Named(fields) => {
+                        let _ = write!(out, "{name}::{v} {{ {} }} => {{", fields.join(","));
+                        out.push_str("let mut __inner = ::serde::Map::new();");
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "__inner.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize({f}));"
+                            );
+                        }
+                        out.push_str("let mut __m = ::serde::Map::new();");
+                        let _ = write!(
+                            out,
+                            "__m.insert(::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(__inner));"
+                        );
+                        out.push_str("::serde::Value::Object(__m) },");
+                    }
+                }
+            }
+            out.push('}');
+        }
+    }
+    out.push_str(" } }");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{ "
+    );
+    match &item.shape {
+        Shape::Struct(Fields::Unit) => {
+            let _ = write!(out, "::std::result::Result::Ok({name})");
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            let _ = write!(
+                out,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+            );
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let _ = write!(
+                out,
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong arity for {name}\")); }}"
+            );
+            let _ = write!(out, "::std::result::Result::Ok({name}(");
+            for i in 0..*n {
+                let _ = write!(out, "::serde::Deserialize::deserialize(&__a[{i}])?,");
+            }
+            out.push_str("))");
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let _ = write!(
+                out,
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;"
+            );
+            let _ = write!(out, "::std::result::Result::Ok({name} {{");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "{f}: ::serde::Deserialize::deserialize(\
+                     __m.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,"
+                );
+            }
+            out.push_str("})");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("if let ::std::option::Option::Some(__s) = __v.as_str() { match __s {");
+            for (v, fields) in variants {
+                if matches!(fields, Fields::Unit) {
+                    let _ = write!(
+                        out,
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),"
+                    );
+                }
+            }
+            out.push_str("_ => {} } }");
+            out.push_str("if let ::std::option::Option::Some(__m) = __v.as_object() {");
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "if let ::std::option::Option::Some(__inner) = __m.get(\"{v}\") {{ \
+                             return ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::deserialize(__inner)?)); }}"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let _ = write!(
+                            out,
+                            "if let ::std::option::Option::Some(__inner) = __m.get(\"{v}\") {{ \
+                             let __a = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{v}\"))?;\
+                             if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong arity for {name}::{v}\")); }}\
+                             return ::std::result::Result::Ok({name}::{v}("
+                        );
+                        for i in 0..*n {
+                            let _ = write!(out, "::serde::Deserialize::deserialize(&__a[{i}])?,");
+                        }
+                        out.push_str(")); }");
+                    }
+                    Fields::Named(fields) => {
+                        let _ = write!(
+                            out,
+                            "if let ::std::option::Option::Some(__inner) = __m.get(\"{v}\") {{ \
+                             let __vm = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{v}\"))?;\
+                             return ::std::result::Result::Ok({name}::{v} {{"
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "{f}: ::serde::Deserialize::deserialize(\
+                                 __vm.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,"
+                            );
+                        }
+                        out.push_str("}); }");
+                    }
+                }
+            }
+            out.push('}');
+            let _ = write!(
+                out,
+                "::std::result::Result::Err(::serde::Error::custom(\
+                 \"unrecognized value for enum {name}\"))"
+            );
+        }
+    }
+    out.push_str(" } }");
+    out
+}
