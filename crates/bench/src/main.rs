@@ -7,8 +7,8 @@
 //!
 //! Artifacts: `table1`, `table2`, `fig1`, `fig2`, `fig3`, `streaming`
 //! (S1), `speedup` (S2), `lifecycle` (S3), `incident` (S4), `resilience`
-//! (R1), `quality` (Q1). Output goes to stdout; figure assets land in
-//! `target/experiments/`.
+//! (R1), `recovery` (R2), `quality` (Q1). Output goes to stdout; figure
+//! assets land in `target/experiments/`.
 
 use als_flows::campaign::{run_campaign, CampaignConfig};
 use als_flows::incident::incident_comparison;
@@ -219,6 +219,36 @@ fn main() {
             println!("    failover off: {}", row(&p.comparison.without_failover));
         }
         println!("\n(cross-facility failover holds completion near 100% as faults intensify)");
+    }
+    if wants("recovery") {
+        println!(
+            "\n================ R2 (orchestrator crash + durable recovery) ================\n"
+        );
+        let report = als_flows::recovery::recovery_experiment(24, 5);
+        let row = |o: &als_flows::RecoveryOutcome| {
+            format!(
+                "{:>5.1}% complete ({:>2}/{:<2}) | {:>2} duplicated steps | {} crashes {} replays {:>2} re-attached {:>2} orphans cancelled | p50 {} p99 {}",
+                o.completion_rate * 100.0,
+                o.branches_completed,
+                o.branches_total,
+                o.duplicate_side_effects,
+                o.crashes,
+                o.recoveries,
+                o.reattached_ops,
+                o.orphans_cancelled,
+                o.p50_latency_s.map_or("   n/a".into(), |s| format!("{s:>6.0} s")),
+                o.p99_latency_s.map_or("   n/a".into(), |s| format!("{s:>6.0} s")),
+            )
+        };
+        println!("one crash mid-campaign, 10-min restart gap (24 scans @ 5 min):");
+        println!("  journal on : {}", row(&report.one_crash.durable));
+        println!("  journal off: {}", row(&report.one_crash.non_durable));
+        println!("\ncrash storm (three deaths, 7.5-min gaps):");
+        println!("  journal on : {}", row(&report.crash_storm.durable));
+        println!("  journal off: {}", row(&report.crash_storm.non_durable));
+        println!(
+            "\n(the write-ahead journal resumes in-flight work without re-initiating it; the\n amnesiac baseline either loses branches or duplicates facility work)"
+        );
     }
     if wants("dynamic") {
         println!("\n================ §6 extension: 4D time-resolved streaming ================\n");

@@ -61,6 +61,30 @@ impl FaultWindow {
     }
 }
 
+/// The orchestrator process dies at `at` and a new incarnation comes up
+/// `restart_after` later. Unlike facility faults, this kills the
+/// *coordinator*: in-memory flow state is lost (unless journaled),
+/// facility-side jobs and transfers keep running unattended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrchestratorCrash {
+    pub at: SimInstant,
+    pub restart_after: SimDuration,
+}
+
+impl OrchestratorCrash {
+    pub fn new(at: SimInstant, restart_after: SimDuration) -> Self {
+        assert!(
+            restart_after > SimDuration::ZERO,
+            "restart must come after the crash"
+        );
+        OrchestratorCrash { at, restart_after }
+    }
+
+    pub fn restart_at(&self) -> SimInstant {
+        self.at + self.restart_after
+    }
+}
+
 /// A full fault schedule for one campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -69,6 +93,8 @@ pub struct FaultPlan {
     /// Probability that any individual compute job/invocation fails at
     /// completion (transient node-level failures outside any window).
     pub job_failure_prob: f64,
+    /// Orchestrator deaths, replayed verbatim.
+    pub orchestrator_crashes: Vec<OrchestratorCrash>,
 }
 
 impl Default for FaultPlan {
@@ -83,11 +109,14 @@ impl FaultPlan {
         FaultPlan {
             windows: Vec::new(),
             job_failure_prob: 0.0,
+            orchestrator_crashes: Vec::new(),
         }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.windows.is_empty() && self.job_failure_prob == 0.0
+        self.windows.is_empty()
+            && self.job_failure_prob == 0.0
+            && self.orchestrator_crashes.is_empty()
     }
 
     /// Builder: add a window.
@@ -104,6 +133,14 @@ impl FaultPlan {
     pub fn with_job_failure_prob(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.job_failure_prob = p;
+        self
+    }
+
+    /// Builder: kill the orchestrator at `at`, restart `restart_after`
+    /// later.
+    pub fn with_orchestrator_crash(mut self, at: SimInstant, restart_after: SimDuration) -> Self {
+        self.orchestrator_crashes
+            .push(OrchestratorCrash::new(at, restart_after));
         self
     }
 
@@ -197,5 +234,14 @@ mod tests {
     fn empty_plan_is_empty() {
         assert!(FaultPlan::none().is_empty());
         assert!(!FaultPlan::none().with_job_failure_prob(0.1).is_empty());
+        assert!(!FaultPlan::none()
+            .with_orchestrator_crash(secs(100), SimDuration::from_secs(60))
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must come after")]
+    fn instant_restart_is_rejected() {
+        OrchestratorCrash::new(secs(100), SimDuration::ZERO);
     }
 }

@@ -46,6 +46,7 @@ pub mod incident;
 pub mod lifecycle;
 pub mod multibeamline;
 pub mod realmode;
+pub mod recovery;
 pub mod resilience;
 pub mod scan;
 pub mod sim;
@@ -53,7 +54,10 @@ pub mod streaming_model;
 pub mod users;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
-pub use faults::{FaultKind, FaultPlan, FaultWindow};
+pub use faults::{FaultKind, FaultPlan, FaultWindow, OrchestratorCrash};
+pub use recovery::{
+    recovery_comparison, recovery_experiment, RecoveryComparison, RecoveryOutcome, RecoveryReport,
+};
 pub use resilience::{
     resilience_comparison, resilience_experiment, ResilienceComparison, ResilienceOutcome,
     ResilienceReport,

@@ -67,7 +67,7 @@ pub fn run_scale_point(
     sim.schedule_campaign(&mut workload, n_scans_per_beamline * beamlines);
     sim.run(None);
     let durations = sim
-        .engine
+        .engine()
         .query()
         .last_n_successful_durations(FLOW_NERSC, usize::MAX);
     let median = als_simcore::Summary::from_slice(&durations)

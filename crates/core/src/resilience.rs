@@ -91,7 +91,7 @@ pub fn run_resilience_sim(
     sim
 }
 
-fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
@@ -101,7 +101,7 @@ fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
 
 /// Aggregate a drained simulator into an outcome row.
 pub fn outcome_of(sim: &FacilitySim, scans: usize) -> ResilienceOutcome {
-    let q = sim.engine.query();
+    let q = sim.engine().query();
     let mut total = 0usize;
     let mut completed = 0usize;
     let mut durations: Vec<f64> = Vec::new();

@@ -24,9 +24,12 @@ use als_hpc::sfapi::{SfApiClient, SfApiServer};
 use als_hpc::storage::{StorageTier, TierKind};
 use als_netsim::{esnet_topology_with_nics, SiteId};
 use als_orchestrator::engine::{FlowEngine, FlowRunId, FlowState, TaskState};
-use als_orchestrator::limits::ConcurrencyLimits;
 use als_orchestrator::schedule::Schedule;
+use als_orchestrator::{
+    cancel_orphan_jobs, compute_fate, job_fate, Claim, DurableOrchestrator, ExternalKind, OpFate,
+};
 use als_simcore::{ByteSize, EventQueue, SimDuration, SimInstant, SimRng};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Names of the three production flows (Table 2's rows).
@@ -67,6 +70,11 @@ pub struct SimConfig {
     /// breakers + NERSC↔ALCF redirects, the §5.3 remediation). With an
     /// empty fault plan this changes nothing.
     pub failover_enabled: bool,
+    /// Persist the orchestrator's write-ahead journal and recover from it
+    /// after a crash. When `false`, a crashed orchestrator restarts empty
+    /// and falls back to rescanning facility state (the measured
+    /// baseline for the recovery experiment).
+    pub durable_recovery: bool,
 }
 
 impl Default for SimConfig {
@@ -85,6 +93,7 @@ impl Default for SimConfig {
             beamline_count: 1,
             faults: FaultPlan::none(),
             failover_enabled: true,
+            durable_recovery: true,
         }
     }
 }
@@ -110,8 +119,10 @@ enum Ev {
     ScanStart(ScanId),
     /// The file writer finished saving the scan.
     ScanSaved(ScanId),
-    /// `new_file_832` completed (staging + metadata ingestion done).
-    NewFileDone(ScanId),
+    /// `new_file_832` completed (staging + metadata ingestion done). The
+    /// second field is the orchestrator epoch that scheduled it: events
+    /// queued by a dead incarnation are ignored by its successor.
+    NewFileDone(ScanId, u32),
     /// Poll the Globus transfer service.
     PollTransfers,
     /// Poll the NERSC scheduler.
@@ -133,6 +144,24 @@ enum Ev {
     JobDeadline(JobId),
     /// Deadline for an ALCF invocation, same semantics.
     TaskDeadline(ComputeTaskId),
+    /// The `i`-th orchestrator crash of the plan: the coordinator process
+    /// dies, losing all in-memory state.
+    CrashStart(usize),
+    /// A new orchestrator incarnation comes up for crash `i`.
+    CrashEnd(usize),
+}
+
+/// Re-attach context journaled with every external operation, enough for
+/// a recovered incarnation to rebuild its dispatch tables.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct OpCtx {
+    scan: u32,
+    /// Flow branch served (0 = NERSC flow, 1 = ALCF flow).
+    branch: u8,
+    /// Transfer leg (0 = to HPC, 1 = back); 0 for jobs/invocations.
+    leg: u8,
+    /// Facility actually executing (0 = NERSC, 1 = ALCF).
+    fac: u8,
 }
 
 /// Calibration constants for the paper-scale cost models. Centralized so
@@ -170,8 +199,9 @@ pub struct FacilitySim {
     pub cfg: SimConfig,
     queue: EventQueue<Ev>,
     rng: SimRng,
-    pub engine: FlowEngine,
-    pub limits: ConcurrencyLimits,
+    /// The durable orchestrator core: flow engine + idempotency store +
+    /// concurrency limits, every mutation write-ahead journaled.
+    pub orch: DurableOrchestrator,
     pub catalog: Catalog,
     pub monitor: BandwidthMonitor,
 
@@ -194,7 +224,9 @@ pub struct FacilitySim {
     scans: BTreeMap<ScanId, Scan>,
     newfile_runs: BTreeMap<ScanId, FlowRunId>,
     branch_runs: BTreeMap<(ScanId, u8), FlowRunId>,
-    transfer_map: BTreeMap<TaskId, (ScanId, Branch, Leg)>,
+    /// Live transfers → (scan, flow branch, leg, executing facility the
+    /// HPC-side endpoint belongs to).
+    transfer_map: BTreeMap<TaskId, (ScanId, Branch, Leg, Branch)>,
     /// Live NERSC jobs → (scan, *flow* branch they serve). After a
     /// failover an ALCF-branch flow may execute at NERSC, so the value is
     /// the branch identity, not the facility.
@@ -220,6 +252,38 @@ pub struct FacilitySim {
     pub failover_count: usize,
     /// Jobs/invocations cancelled remotely after missing their deadline.
     pub remote_cancel_count: usize,
+
+    /// Orchestrator incarnation counter; bumped at every restart so stale
+    /// events queued by a dead incarnation can be recognised and dropped.
+    epoch: u32,
+    /// The coordinator process is currently dead.
+    orchestrator_down: bool,
+    /// Journal bytes that survive a crash (durable mode only).
+    persisted_wal: Option<Vec<u8>>,
+    /// Scans saved while the coordinator was dead, ingested at restart.
+    backlog: Vec<ScanId>,
+    /// Branches already counted in `completed_scans` (guards against
+    /// double-counting when a rescan re-completes pre-crash work).
+    branch_completed: BTreeSet<(ScanId, u8)>,
+    /// Side-effect ledger (measurement infrastructure, outside the
+    /// simulated orchestrator): key → finished. A second `begin` on a key
+    /// that was already initiated is duplicated facility work.
+    ledger: BTreeMap<String, bool>,
+    /// When each scan started acquiring (for end-to-end latency).
+    scan_started: BTreeMap<ScanId, SimInstant>,
+    /// End-to-end scan-start → branch-completion latencies (s).
+    pub branch_latencies: Vec<f64>,
+    /// Side-effecting steps initiated twice (the recovery experiment's
+    /// duplicate-work metric).
+    pub duplicate_side_effects: usize,
+    /// Orchestrator crashes suffered.
+    pub crash_count: usize,
+    /// Successful journal recoveries performed.
+    pub recovery_count: usize,
+    /// External operations re-attached from the journal after a restart.
+    pub reattached_ops: usize,
+    /// Live facility jobs cancelled because the journal disowned them.
+    pub orphan_cancel_count: usize,
 }
 
 fn branch_key(b: Branch) -> u8 {
@@ -243,12 +307,30 @@ fn facility_name(b: Branch) -> &'static str {
     }
 }
 
+fn flow_of(b: Branch) -> &'static str {
+    match b {
+        Branch::Nersc => FLOW_NERSC,
+        Branch::Alcf => FLOW_ALCF,
+    }
+}
+
+fn branch_from_key(k: u8) -> Branch {
+    if k == 0 {
+        Branch::Nersc
+    } else {
+        Branch::Alcf
+    }
+}
+
 /// Facility heartbeat cadence (and how stale one may get before the
 /// router trips the facility's breaker).
 const HEARTBEAT_PERIOD: SimDuration = SimDuration::from_secs(60);
 const HEARTBEAT_FRESHNESS: SimDuration = SimDuration::from_secs(180);
 /// Slack past a job's walltime before the deadline watchdog fires.
 const DEADLINE_SLACK_S: f64 = 600.0;
+/// Idempotency-claim lease: long enough to cover any single step, short
+/// enough that a wedged holder eventually loses the key.
+const CLAIM_LEASE: SimDuration = SimDuration::from_secs(6 * 3600);
 
 impl FacilitySim {
     pub fn new(cfg: SimConfig) -> Self {
@@ -270,8 +352,7 @@ impl FacilitySim {
         FacilitySim {
             queue: EventQueue::new(),
             rng,
-            engine: FlowEngine::new(),
-            limits: ConcurrencyLimits::production(),
+            orch: DurableOrchestrator::production("orch-0", SimInstant::ZERO),
             catalog: Catalog::new(),
             monitor: BandwidthMonitor::new(),
             transfer,
@@ -303,12 +384,107 @@ impl FacilitySim {
             completed_scans: 0,
             failover_count: 0,
             remote_cancel_count: 0,
+            epoch: 0,
+            orchestrator_down: false,
+            persisted_wal: None,
+            backlog: Vec::new(),
+            branch_completed: BTreeSet::new(),
+            ledger: BTreeMap::new(),
+            scan_started: BTreeMap::new(),
+            branch_latencies: Vec::new(),
+            duplicate_side_effects: 0,
+            crash_count: 0,
+            recovery_count: 0,
+            reattached_ops: 0,
+            orphan_cancel_count: 0,
             cfg,
         }
     }
 
     pub fn now(&self) -> SimInstant {
         self.queue.now()
+    }
+
+    /// The live incarnation's flow-run database (the Table 2 source).
+    pub fn engine(&self) -> &FlowEngine {
+        &self.orch.engine
+    }
+
+    /// Recon branches that physically delivered their product back to the
+    /// beamline (counted at the sim level, so it survives orchestrator
+    /// crashes in both durable and baseline modes).
+    pub fn branches_completed(&self) -> usize {
+        self.branch_completed.len()
+    }
+
+    // ---- idempotency keys (facility-qualified: a failover redirect is a
+    // fresh claim, not a duplicate of the original site's work) ----
+
+    fn scan_name(&self, id: ScanId) -> String {
+        self.scans.get(&id).expect("scan exists").name.clone()
+    }
+
+    fn ingest_key(&self, id: ScanId) -> String {
+        format!("{}/ingest", self.scan_name(id))
+    }
+
+    fn copy_key(&self, id: ScanId, branch: Branch, fac: Branch) -> String {
+        format!(
+            "{}/{}/copy@{}",
+            self.scan_name(id),
+            flow_of(branch),
+            facility_name(fac)
+        )
+    }
+
+    fn exec_key(&self, id: ScanId, branch: Branch, fac: Branch) -> String {
+        format!(
+            "{}/{}/exec@{}",
+            self.scan_name(id),
+            flow_of(branch),
+            facility_name(fac)
+        )
+    }
+
+    fn back_key(&self, id: ScanId, branch: Branch, fac: Branch) -> String {
+        format!(
+            "{}/{}/back@{}",
+            self.scan_name(id),
+            flow_of(branch),
+            facility_name(fac)
+        )
+    }
+
+    fn op_ctx(&self, id: ScanId, branch: Branch, leg: Leg, fac: Branch) -> String {
+        let ctx = OpCtx {
+            scan: id.0,
+            branch: branch_key(branch),
+            leg: match leg {
+                Leg::ToHpc => 0,
+                Leg::Back => 1,
+            },
+            fac: branch_key(fac),
+        };
+        serde_json::to_string(&ctx).expect("ctx serializes")
+    }
+
+    // ---- the side-effect ledger (duplicate-work measurement) ----
+
+    fn ledger_begin(&mut self, key: &str) {
+        if self.ledger.contains_key(key) {
+            self.duplicate_side_effects += 1;
+        }
+        self.ledger.insert(key.to_string(), false);
+    }
+
+    fn ledger_done(&mut self, key: &str) {
+        self.ledger.insert(key.to_string(), true);
+    }
+
+    fn ledger_abort(&mut self, key: &str) {
+        // a genuine failure releases the key: retrying it is recovery
+        // work, not duplicated work
+        self.ledger.remove(key);
     }
 
     /// Queue up `n` scans from a workload, with background load and
@@ -347,10 +523,17 @@ impl FacilitySim {
             self.queue.schedule_at(w.start, Ev::FaultStart(i));
             self.queue.schedule_at(w.end, Ev::FaultEnd(i));
         }
+        for (i, c) in faults.orchestrator_crashes.iter().enumerate() {
+            self.queue.schedule_at(c.at, Ev::CrashStart(i));
+            self.queue.schedule_at(c.restart_at(), Ev::CrashEnd(i));
+        }
         if self.cfg.failover_enabled && !faults.is_empty() {
             let mut horizon = t + SimDuration::from_hours(3);
             for w in &faults.windows {
                 horizon = horizon.max(w.end + SimDuration::from_hours(2));
+            }
+            for c in &faults.orchestrator_crashes {
+                horizon = horizon.max(c.restart_at() + SimDuration::from_hours(2));
             }
             let mut ht = SimInstant::ZERO;
             while ht < horizon {
@@ -374,24 +557,30 @@ impl FacilitySim {
     fn transfer_opts(&self) -> TransferOptions {
         TransferOptions {
             verify_checksum: self.cfg.verify_checksums,
-            max_retries: 2,
             fail_fast: self.cfg.fail_fast,
         }
     }
 
-    fn schedule_transfer_poll(&mut self, now: SimInstant) {
+    // Poll scheduling clamps to the queue clock, not the handler's event
+    // time: when a restart drains events buffered during the dead window,
+    // facility timestamps lie in the past.
+
+    fn schedule_transfer_poll(&mut self) {
+        let now = self.queue.now();
         if let Some(t) = self.transfer.next_event_time(now) {
             self.queue.schedule_at(t.max(now), Ev::PollTransfers);
         }
     }
 
-    fn schedule_nersc_poll(&mut self, now: SimInstant) {
+    fn schedule_nersc_poll(&mut self) {
+        let now = self.queue.now();
         if let Some(t) = self.nersc.scheduler().next_event_time() {
             self.queue.schedule_at(t.max(now), Ev::PollNersc);
         }
     }
 
-    fn schedule_alcf_poll(&mut self, now: SimInstant) {
+    fn schedule_alcf_poll(&mut self) {
+        let now = self.queue.now();
         if let Some(t) = self.alcf.next_event_time() {
             self.queue.schedule_at(t.max(now), Ev::PollAlcf);
         }
@@ -401,7 +590,7 @@ impl FacilitySim {
         match ev {
             Ev::ScanStart(id) => self.on_scan_start(now, id),
             Ev::ScanSaved(id) => self.on_scan_saved(now, id),
-            Ev::NewFileDone(id) => self.on_new_file_done(now, id),
+            Ev::NewFileDone(id, epoch) => self.on_new_file_done(now, id, epoch),
             Ev::PollTransfers => self.on_poll_transfers(now),
             Ev::PollNersc => self.on_poll_nersc(now),
             Ev::PollAlcf => self.on_poll_alcf(now),
@@ -412,11 +601,14 @@ impl FacilitySim {
             Ev::HealthTick => self.on_health_tick(now),
             Ev::JobDeadline(job) => self.on_job_deadline(now, job),
             Ev::TaskDeadline(task) => self.on_task_deadline(now, task),
+            Ev::CrashStart(i) => self.on_crash_start(now, i),
+            Ev::CrashEnd(i) => self.on_crash_end(now, i),
         }
     }
 
     fn on_scan_start(&mut self, now: SimInstant, id: ScanId) {
         let scan = self.scans.get(&id).expect("scan exists").clone();
+        self.scan_started.insert(id, now);
         // acquisition + the file writer flushing frames to beamline disk
         let write_time = self.beamline_tier.io_time(scan.size);
         self.queue
@@ -425,7 +617,8 @@ impl FacilitySim {
 
     fn on_scan_saved(&mut self, now: SimInstant, id: ScanId) {
         let scan = self.scans.get(&id).expect("scan exists").clone();
-        // store the raw file on the beamline data tier
+        // store the raw file on the beamline data tier: the file writer
+        // is beamline-side and keeps running through coordinator deaths
         if self
             .beamline_tier
             .put(&format!("{}.h5", scan.name), scan.size, now)
@@ -433,18 +626,43 @@ impl FacilitySim {
         {
             // beamline disk full: the flow fails outright (what the
             // pruning flows exist to prevent)
-            let run = self.engine.create_run(FLOW_NEW_FILE, now);
-            self.engine.start_run(run, now);
-            self.engine.finish_run(run, FlowState::Failed, now);
+            if !self.orchestrator_down {
+                let run = self.orch.create_run(FLOW_NEW_FILE, now);
+                self.orch.start_run(run, now);
+                self.orch.finish_run(run, FlowState::Failed, now);
+            }
             return;
         }
-        // new_file_832: data movement between beamline servers + SciCat
-        // ingestion + orchestration latency
-        let run = self.engine.create_run(FLOW_NEW_FILE, now);
-        self.engine.set_parameter(run, "scan", &scan.name);
-        self.engine
+        if self.orchestrator_down {
+            // nobody is watching the filesystem; the restart ingests it
+            self.backlog.push(id);
+            return;
+        }
+        self.start_new_file(now, id);
+    }
+
+    /// new_file_832: claim the ingest key, then model data movement
+    /// between beamline servers + SciCat ingestion + orchestration
+    /// latency.
+    fn start_new_file(&mut self, now: SimInstant, id: ScanId) {
+        let scan = self.scans.get(&id).expect("scan exists").clone();
+        let key = self.ingest_key(id);
+        match self.orch.claim(&key, now, CLAIM_LEASE) {
+            Claim::Cached => {
+                // ingestion already happened in a previous incarnation;
+                // go straight to launching the branches
+                self.queue.schedule_at(now, Ev::NewFileDone(id, self.epoch));
+                return;
+            }
+            Claim::Busy => return,
+            Claim::Run => {}
+        }
+        self.ledger_begin(&key);
+        let run = self.orch.create_run(FLOW_NEW_FILE, now);
+        self.orch.set_parameter(run, "scan", &scan.name);
+        self.orch
             .set_parameter(run, "size_gib", &format!("{:.3}", scan.size.as_gib_f64()));
-        self.engine.start_run(run, now);
+        self.orch.start_run(run, now);
         self.newfile_runs.insert(id, run);
         let staging = self.beamline_tier.io_time(scan.size);
         let jitter = SimDuration::from_secs_f64(
@@ -453,69 +671,130 @@ impl FacilitySim {
                 .clamp(1.0, calib::NEWFILE_JITTER_MAX_S),
         );
         let ingest = SimDuration::from_secs_f64(calib::NEWFILE_INGEST_S);
-        let task = self.engine.start_task(
-            run,
-            "stage_and_ingest",
-            Some(&format!("{}/ingest", scan.name)),
-            now,
-        );
+        let task = self
+            .orch
+            .start_task(run, "stage_and_ingest", Some(&key), now);
         let done = now + staging + ingest + jitter;
-        self.engine
+        self.orch
             .finish_task(run, task, TaskState::Completed, done, None);
-        self.queue.schedule_at(done, Ev::NewFileDone(id));
+        self.queue
+            .schedule_at(done, Ev::NewFileDone(id, self.epoch));
     }
 
-    fn on_new_file_done(&mut self, now: SimInstant, id: ScanId) {
-        let scan = self.scans.get(&id).expect("scan exists").clone();
-        if let Some(run) = self.newfile_runs.get(&id) {
-            self.engine.finish_run(*run, FlowState::Completed, now);
+    fn on_new_file_done(&mut self, now: SimInstant, id: ScanId, epoch: u32) {
+        if self.orchestrator_down || epoch != self.epoch {
+            return; // scheduled by a dead incarnation
         }
-        // catalogue the raw dataset
-        let dims = scan.dims();
-        let raw = raw_scan_dataset(
-            &scan.name,
-            "beamline-user",
-            now,
-            scan.size,
-            InstrumentMetadata {
-                beamline: "8.3.2".into(),
-                n_angles: dims.n_angles,
-                detector_rows: dims.det_rows,
-                detector_cols: dims.det_cols,
-                pixel_size_um: 0.65,
-                exposure_ms: 30.0,
-            },
-        );
-        let raw_pid = raw.pid.clone();
-        self.catalog.ingest(raw).ok();
-        self.raw_pids.insert(id, raw_pid);
+        let scan = self.scans.get(&id).expect("scan exists").clone();
+        if let Some(&run) = self.newfile_runs.get(&id) {
+            if self
+                .orch
+                .engine
+                .run(run)
+                .is_some_and(|r| !r.state.is_terminal())
+            {
+                self.orch.finish_run(run, FlowState::Completed, now);
+            }
+        }
+        let key = self.ingest_key(id);
+        self.orch.complete(&key);
+        self.ledger_done(&key);
+        // catalogue the raw dataset (idempotent: the PID survives crashes
+        // in the catalogue itself)
+        if !self.raw_pids.contains_key(&id) {
+            let dims = scan.dims();
+            let raw = raw_scan_dataset(
+                &scan.name,
+                "beamline-user",
+                now,
+                scan.size,
+                InstrumentMetadata {
+                    beamline: "8.3.2".into(),
+                    n_angles: dims.n_angles,
+                    detector_rows: dims.det_rows,
+                    detector_cols: dims.det_cols,
+                    pixel_size_um: 0.65,
+                    exposure_ms: 30.0,
+                },
+            );
+            let raw_pid = raw.pid.clone();
+            self.catalog.ingest(raw).ok();
+            self.raw_pids.insert(id, raw_pid);
+        }
 
         // launch both file-based branches in parallel
         for branch in [Branch::Nersc, Branch::Alcf] {
-            let flow_name = match branch {
-                Branch::Nersc => FLOW_NERSC,
-                Branch::Alcf => FLOW_ALCF,
-            };
-            let run = self.engine.create_run(flow_name, now);
-            self.engine.set_parameter(run, "scan", &scan.name);
-            self.engine.start_run(run, now);
-            self.branch_runs.insert((id, branch_key(branch)), run);
+            self.launch_branch(now, id, branch);
+        }
+    }
+
+    /// Ensure a branch flow run exists and drive it through the
+    /// claim-gated step cascade (copy → exec → back).
+    fn launch_branch(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
+        let bk = branch_key(branch);
+        if let Some(&run) = self.branch_runs.get(&(id, bk)) {
+            if self
+                .orch
+                .engine
+                .run(run)
+                .is_some_and(|r| r.state.is_terminal())
+            {
+                return;
+            }
+        } else {
+            let scan = self.scans.get(&id).expect("scan exists").clone();
+            let run = self.orch.create_run(flow_of(branch), now);
+            self.orch.set_parameter(run, "scan", &scan.name);
+            self.orch.start_run(run, now);
+            self.branch_runs.insert((id, bk), run);
+        }
+        if !self.exec_site.contains_key(&(id, bk)) {
             // route around a facility whose breaker is open (launch-time
             // failover: the raw data goes straight to the healthy site)
-            let exec = self.choose_exec_site(now, id, branch);
-            let dst = self.branch_endpoint(exec);
-            let opts = self.transfer_opts();
-            let task = self.transfer.submit(self.ep_als, dst, scan.size, opts, now);
-            self.transfer_map.insert(task, (id, branch, Leg::ToHpc));
-            let t = self.engine.start_task(
-                run,
-                "globus_copy_to_hpc",
-                Some(&format!("{}/{flow_name}/copy", scan.name)),
-                now,
-            );
-            debug_assert_eq!(t, 0);
+            self.choose_exec_site(now, id, branch);
         }
-        self.schedule_transfer_poll(now);
+        self.step_copy(now, id, branch);
+    }
+
+    /// Step 1: ship the raw data to the executing facility.
+    fn step_copy(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
+        let bk = branch_key(branch);
+        let exec = self.exec_site.get(&(id, bk)).copied().unwrap_or(branch);
+        let key = self.copy_key(id, branch, exec);
+        match self.orch.claim(&key, now, CLAIM_LEASE) {
+            Claim::Cached => return self.step_exec(now, id, branch),
+            Claim::Busy => return,
+            Claim::Run => {}
+        }
+        self.ledger_begin(&key);
+        let scan = self.scans.get(&id).expect("scan exists").clone();
+        let dst = self.branch_endpoint(exec);
+        let opts = self.transfer_opts();
+        let task = self.transfer.submit(self.ep_als, dst, scan.size, opts, now);
+        self.transfer_map
+            .insert(task, (id, branch, Leg::ToHpc, exec));
+        if let Some(&run) = self.branch_runs.get(&(id, bk)) {
+            self.orch
+                .start_task(run, "globus_copy_to_hpc", Some(&key), now);
+            let ctx = self.op_ctx(id, branch, Leg::ToHpc, exec);
+            self.orch
+                .external_submitted(ExternalKind::Transfer, task.0, run, &ctx);
+        }
+        self.schedule_transfer_poll();
+    }
+
+    /// Step 2: execute the reconstruction at whichever facility the
+    /// branch is routed to.
+    fn step_exec(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
+        let exec = self
+            .exec_site
+            .get(&(id, branch_key(branch)))
+            .copied()
+            .unwrap_or(branch);
+        match exec {
+            Branch::Nersc => self.nersc_job_submit(now, id, branch),
+            Branch::Alcf => self.alcf_invoke(now, id, branch),
+        }
     }
 
     fn branch_endpoint(&self, b: Branch) -> EndpointId {
@@ -545,7 +824,7 @@ impl FacilitySim {
                 self.failed_over.insert((id, bk));
                 self.failover_count += 1;
                 if let Some(&run) = self.branch_runs.get(&(id, bk)) {
-                    self.engine
+                    self.orch
                         .set_parameter(run, "failover", facility_name(other));
                 }
             }
@@ -555,13 +834,20 @@ impl FacilitySim {
     }
 
     fn on_poll_transfers(&mut self, now: SimInstant) {
+        if self.orchestrator_down {
+            return; // events stay buffered in the service until restart
+        }
         let events = self.transfer.advance_to(now);
         for ev in events {
             match ev {
                 TransferEvent::Succeeded { task, at } => {
-                    let Some((id, branch, leg)) = self.transfer_map.remove(&task) else {
+                    let Some((id, branch, leg, fac)) = self.transfer_map.remove(&task) else {
                         continue;
                     };
+                    // buffered completions from the dead window are
+                    // harvested at restart time, not back-dated
+                    let at = at.max(now);
+                    self.orch.external_resolved(ExternalKind::Transfer, task.0);
                     let scan = self.scans.get(&id).expect("scan exists").clone();
                     let size = match leg {
                         Leg::ToHpc => scan.size,
@@ -570,26 +856,38 @@ impl FacilitySim {
                     if let Some(d) = self.transfer.task_duration(task) {
                         self.monitor.record(at, size, d);
                     }
-                    let exec = self
-                        .exec_site
-                        .get(&(id, branch_key(branch)))
-                        .copied()
-                        .unwrap_or(branch);
-                    match (exec, leg) {
-                        (Branch::Nersc, Leg::ToHpc) => self.nersc_job_submit(at, id, branch),
-                        (Branch::Alcf, Leg::ToHpc) => self.alcf_invoke(at, id, branch),
-                        (_, Leg::Back) => self.finish_branch(at, id, branch, true),
+                    match leg {
+                        Leg::ToHpc => {
+                            let key = self.copy_key(id, branch, fac);
+                            self.orch.complete(&key);
+                            self.ledger_done(&key);
+                            self.step_exec(at, id, branch);
+                        }
+                        Leg::Back => {
+                            let key = self.back_key(id, branch, fac);
+                            self.orch.complete(&key);
+                            self.ledger_done(&key);
+                            self.finish_branch(at, id, branch, true);
+                        }
                     }
                 }
                 TransferEvent::Failed { task, at, .. } => {
-                    if let Some((id, branch, _)) = self.transfer_map.remove(&task) {
+                    if let Some((id, branch, leg, fac)) = self.transfer_map.remove(&task) {
+                        let at = at.max(now);
+                        self.orch.external_resolved(ExternalKind::Transfer, task.0);
+                        let key = match leg {
+                            Leg::ToHpc => self.copy_key(id, branch, fac),
+                            Leg::Back => self.back_key(id, branch, fac),
+                        };
+                        self.orch.release(&key);
+                        self.ledger_abort(&key);
                         self.branch_failed(at, id, branch);
                     }
                 }
                 TransferEvent::Started { .. } | TransferEvent::Retrying { .. } => {}
             }
         }
-        self.schedule_transfer_poll(now);
+        self.schedule_transfer_poll();
     }
 
     /// Should deadline watchdogs be armed? Only in fault-injected runs —
@@ -604,6 +902,13 @@ impl FacilitySim {
     /// `branch` is the *flow* branch this execution serves (it may be the
     /// ALCF flow, redirected here by a failover).
     fn nersc_job_submit(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
+        let key = self.exec_key(id, branch, Branch::Nersc);
+        match self.orch.claim(&key, now, CLAIM_LEASE) {
+            Claim::Cached => return self.step_back(now, id, branch),
+            Claim::Busy => return,
+            Claim::Run => {}
+        }
+        self.ledger_begin(&key);
         let scan = self.scans.get(&id).expect("scan exists").clone();
         self.cfs_tier
             .put(&format!("{}.h5", scan.name), scan.size, now)
@@ -628,26 +933,36 @@ impl FacilitySim {
             Ok((job, _events)) => {
                 self.job_map.insert(job, (id, branch));
                 if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
-                    self.engine.start_task(
-                        run,
-                        "sfapi_slurm_job",
-                        Some(&format!("{}/nersc/job", scan.name)),
-                        now,
-                    );
+                    self.orch
+                        .start_task(run, "sfapi_slurm_job", Some(&key), now);
+                    let ctx = self.op_ctx(id, branch, Leg::ToHpc, Branch::Nersc);
+                    self.orch
+                        .external_submitted(ExternalKind::Job, job.0, run, &ctx);
                 }
                 if self.deadlines_armed() {
                     let deadline = now + walltime + SimDuration::from_secs_f64(DEADLINE_SLACK_S);
                     self.queue.schedule_at(deadline, Ev::JobDeadline(job));
                 }
-                self.schedule_nersc_poll(now);
+                self.schedule_nersc_poll();
             }
-            Err(_) => self.branch_failed(now, id, branch),
+            Err(_) => {
+                self.orch.release(&key);
+                self.ledger_abort(&key);
+                self.branch_failed(now, id, branch);
+            }
         }
     }
 
     /// ALCF: stage to Eagle, dispatch the reconstruction function via
     /// Globus Compute. `branch` is the flow branch being served.
     fn alcf_invoke(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
+        let key = self.exec_key(id, branch, Branch::Alcf);
+        match self.orch.claim(&key, now, CLAIM_LEASE) {
+            Claim::Cached => return self.step_back(now, id, branch),
+            Claim::Busy => return,
+            Claim::Run => {}
+        }
+        self.ledger_begin(&key);
         let scan = self.scans.get(&id).expect("scan exists").clone();
         self.eagle_tier
             .put(&format!("{}.h5", scan.name), scan.size, now)
@@ -661,23 +976,24 @@ impl FacilitySim {
         let task = self.alcf.invoke(runtime, now);
         if self.alcf.state(task) == Some(ComputeTaskState::Failed) {
             // endpoint down: the invocation is rejected on arrival
+            self.orch.release(&key);
+            self.ledger_abort(&key);
             self.branch_failed(now, id, branch);
             return;
         }
         self.compute_map.insert(task, (id, branch));
         if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
-            self.engine.start_task(
-                run,
-                "globus_compute_recon",
-                Some(&format!("{}/alcf/fn", scan.name)),
-                now,
-            );
+            self.orch
+                .start_task(run, "globus_compute_recon", Some(&key), now);
+            let ctx = self.op_ctx(id, branch, Leg::ToHpc, Branch::Alcf);
+            self.orch
+                .external_submitted(ExternalKind::Compute, task.0, run, &ctx);
         }
         if self.deadlines_armed() {
             let deadline = now + runtime * 2.0 + SimDuration::from_secs(3600);
             self.queue.schedule_at(deadline, Ev::TaskDeadline(task));
         }
-        self.schedule_alcf_poll(now);
+        self.schedule_alcf_poll();
     }
 
     /// Does this completion get converted to a transient failure by the
@@ -690,91 +1006,134 @@ impl FacilitySim {
     }
 
     fn on_poll_nersc(&mut self, now: SimInstant) {
+        if self.orchestrator_down {
+            return; // events stay buffered in the scheduler until restart
+        }
         let events = self.nersc.scheduler_mut().advance_to(now);
         for ev in events {
             if let JobEvent::Finished { id: job, at, state } = ev {
                 let Some((scan_id, branch)) = self.job_map.remove(&job) else {
                     continue; // background or abandoned job
                 };
+                let at = at.max(now);
+                self.orch.external_resolved(ExternalKind::Job, job.0);
+                let key = self.exec_key(scan_id, branch, Branch::Nersc);
                 if state == JobState::Completed && !self.rolls_transient_failure() {
                     self.nersc_breaker.record_success();
-                    self.start_back_transfer(at, scan_id, branch);
+                    self.orch.complete(&key);
+                    self.ledger_done(&key);
+                    self.step_back(at, scan_id, branch);
                 } else {
+                    self.orch.release(&key);
+                    self.ledger_abort(&key);
                     self.branch_failed(at, scan_id, branch);
                 }
             }
         }
-        self.schedule_nersc_poll(now);
+        self.schedule_nersc_poll();
     }
 
     fn on_poll_alcf(&mut self, now: SimInstant) {
+        if self.orchestrator_down {
+            return;
+        }
         let events = self.alcf.advance_to(now);
         for ev in events {
             if let ComputeEvent::Finished { task, at } = ev {
                 if let Some((scan_id, branch)) = self.compute_map.remove(&task) {
+                    let at = at.max(now);
+                    self.orch.external_resolved(ExternalKind::Compute, task.0);
+                    let key = self.exec_key(scan_id, branch, Branch::Alcf);
                     if self.rolls_transient_failure() {
+                        self.orch.release(&key);
+                        self.ledger_abort(&key);
                         self.branch_failed(at, scan_id, branch);
                     } else {
                         self.alcf_breaker.record_success();
-                        self.start_back_transfer(at, scan_id, branch);
+                        self.orch.complete(&key);
+                        self.ledger_done(&key);
+                        self.step_back(at, scan_id, branch);
                     }
                 }
             }
         }
-        self.schedule_alcf_poll(now);
+        self.schedule_alcf_poll();
     }
 
     /// Deadline watchdog: the job never finished — it is stranded behind
     /// a facility outage. Cancel it remotely (§5.3: "remotely cancelling
     /// stuck jobs") and route the branch elsewhere.
     fn on_job_deadline(&mut self, now: SimInstant, job: JobId) {
+        if self.orchestrator_down {
+            return; // nobody is watching; reconciliation handles it
+        }
         let Some((scan_id, branch)) = self.job_map.remove(&job) else {
             return; // finished in time
         };
         // removed from job_map first so the Cancelled event is ignored
         self.nersc_client.cancel(&mut self.nersc, job, now).ok();
         self.remote_cancel_count += 1;
+        self.orch.external_resolved(ExternalKind::Job, job.0);
+        let key = self.exec_key(scan_id, branch, Branch::Nersc);
+        self.orch.release(&key);
+        self.ledger_abort(&key);
         if let Some(&run) = self.branch_runs.get(&(scan_id, branch_key(branch))) {
-            self.engine
+            self.orch
                 .start_task(run, "remote_cancel_stranded_job", None, now);
         }
-        self.schedule_nersc_poll(now);
+        self.schedule_nersc_poll();
         self.branch_failed(now, scan_id, branch);
     }
 
     fn on_task_deadline(&mut self, now: SimInstant, task: ComputeTaskId) {
+        if self.orchestrator_down {
+            return;
+        }
         let Some((scan_id, branch)) = self.compute_map.remove(&task) else {
             return;
         };
         self.alcf.cancel(task, now);
         self.remote_cancel_count += 1;
+        self.orch.external_resolved(ExternalKind::Compute, task.0);
+        let key = self.exec_key(scan_id, branch, Branch::Alcf);
+        self.orch.release(&key);
+        self.ledger_abort(&key);
         if let Some(&run) = self.branch_runs.get(&(scan_id, branch_key(branch))) {
-            self.engine
+            self.orch
                 .start_task(run, "remote_cancel_stranded_job", None, now);
         }
-        self.schedule_alcf_poll(now);
+        self.schedule_alcf_poll();
         self.branch_failed(now, scan_id, branch);
     }
 
-    /// Move the reconstruction products back to the beamline data server
-    /// from wherever the branch actually executed.
-    fn start_back_transfer(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
+    /// Step 3: move the reconstruction products back to the beamline data
+    /// server from wherever the branch actually executed.
+    fn step_back(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
+        let bk = branch_key(branch);
+        let exec = self.exec_site.get(&(id, bk)).copied().unwrap_or(branch);
+        let key = self.back_key(id, branch, exec);
+        match self.orch.claim(&key, now, CLAIM_LEASE) {
+            Claim::Cached => return self.finish_branch(now, id, branch, true),
+            Claim::Busy => return,
+            Claim::Run => {}
+        }
+        self.ledger_begin(&key);
         let scan = self.scans.get(&id).expect("scan exists").clone();
-        let exec = self
-            .exec_site
-            .get(&(id, branch_key(branch)))
-            .copied()
-            .unwrap_or(branch);
         let src = self.branch_endpoint(exec);
         let opts = self.transfer_opts();
         let task = self
             .transfer
             .submit(src, self.ep_als, scan.recon_output_size(), opts, now);
-        self.transfer_map.insert(task, (id, branch, Leg::Back));
-        if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
-            self.engine.start_task(run, "globus_copy_back", None, now);
+        self.transfer_map
+            .insert(task, (id, branch, Leg::Back, exec));
+        if let Some(&run) = self.branch_runs.get(&(id, bk)) {
+            self.orch
+                .start_task(run, "globus_copy_back", Some(&key), now);
+            let ctx = self.op_ctx(id, branch, Leg::Back, exec);
+            self.orch
+                .external_submitted(ExternalKind::Transfer, task.0, run, &ctx);
         }
-        self.schedule_transfer_poll(now);
+        self.schedule_transfer_poll();
     }
 
     /// A branch's execution failed. Record it against the facility that
@@ -795,19 +1154,15 @@ impl FacilitySim {
                 self.failed_over.insert((id, bk));
                 self.failover_count += 1;
                 self.exec_site.insert((id, bk), target);
-                let scan = self.scans.get(&id).expect("scan exists").clone();
                 if let Some(&run) = self.branch_runs.get(&(id, bk)) {
-                    self.engine
+                    self.orch
                         .set_parameter(run, "failover", facility_name(target));
-                    self.engine.start_task(run, "failover_redirect", None, now);
+                    self.orch.start_task(run, "failover_redirect", None, now);
                 }
                 // re-ship the raw data from the beamline to the healthy
-                // facility; the normal ToHpc machinery takes over
-                let dst = self.branch_endpoint(target);
-                let opts = self.transfer_opts();
-                let task = self.transfer.submit(self.ep_als, dst, scan.size, opts, now);
-                self.transfer_map.insert(task, (id, branch, Leg::ToHpc));
-                self.schedule_transfer_poll(now);
+                // facility under a fresh facility-qualified claim; the
+                // normal step cascade takes over
+                self.step_copy(now, id, branch);
                 return;
             }
         }
@@ -816,18 +1171,21 @@ impl FacilitySim {
 
     /// Terminal transition for one branch of one scan.
     fn finish_branch(&mut self, now: SimInstant, id: ScanId, branch: Branch, ok: bool) {
-        let Some(run) = self.branch_runs.get(&(id, branch_key(branch))).copied() else {
+        let bk = branch_key(branch);
+        let Some(run) = self.branch_runs.get(&(id, bk)).copied() else {
             return;
         };
         let scan = self.scans.get(&id).expect("scan exists").clone();
+        let terminal = self
+            .orch
+            .engine
+            .run(run)
+            .map(|r| r.state.is_terminal())
+            .unwrap_or(true);
         if ok {
             // the facility that produced the recon (≠ home facility
             // after a failover) is what provenance should record
-            let exec = self
-                .exec_site
-                .get(&(id, branch_key(branch)))
-                .copied()
-                .unwrap_or(branch);
+            let exec = self.exec_site.get(&(id, bk)).copied().unwrap_or(branch);
             // register the derived dataset with provenance to the raw scan
             if let Some(raw_pid) = self.raw_pids.get(&id) {
                 self.catalog
@@ -849,10 +1207,18 @@ impl FacilitySim {
                     now,
                 )
                 .ok();
-            self.engine.finish_run(run, FlowState::Completed, now);
-            self.completed_scans += 1;
-        } else {
-            self.engine.finish_run(run, FlowState::Failed, now);
+            if !terminal {
+                self.orch.finish_run(run, FlowState::Completed, now);
+            }
+            if self.branch_completed.insert((id, bk)) {
+                self.completed_scans += 1;
+                if let Some(&start) = self.scan_started.get(&id) {
+                    self.branch_latencies
+                        .push(now.duration_since(start).as_secs_f64());
+                }
+            }
+        } else if !terminal {
+            self.orch.finish_run(run, FlowState::Failed, now);
         }
     }
 
@@ -865,27 +1231,57 @@ impl FacilitySim {
                 // their jobs strand in the queue (the paper's incident)
                 let total = self.nersc.scheduler().total_nodes();
                 self.nersc.scheduler_mut().set_offline(total, now);
-                let running: Vec<JobId> = self
-                    .job_map
-                    .iter()
-                    .filter(|(job, _)| {
-                        self.nersc.scheduler().state(**job) == Some(JobState::Running)
-                    })
-                    .map(|(job, _)| *job)
-                    .collect();
-                for job in running {
-                    let (scan_id, branch) = self.job_map.remove(&job).expect("job is mapped");
-                    self.nersc.scheduler_mut().fail(job, now);
-                    self.branch_failed(now, scan_id, branch);
+                if self.orchestrator_down {
+                    // the outage is facility-side and does not care that
+                    // the coordinator is dead: running recon jobs die
+                    let stranded: Vec<JobId> = self
+                        .nersc
+                        .scheduler()
+                        .live_jobs()
+                        .into_iter()
+                        .filter(|&j| {
+                            self.nersc.scheduler().state(j) == Some(JobState::Running)
+                                && self
+                                    .nersc
+                                    .scheduler()
+                                    .job_name(j)
+                                    .is_some_and(|n| n.starts_with("recon_"))
+                        })
+                        .collect();
+                    for job in stranded {
+                        self.nersc.scheduler_mut().fail(job, now);
+                    }
+                } else {
+                    let running: Vec<JobId> = self
+                        .job_map
+                        .iter()
+                        .filter(|(job, _)| {
+                            self.nersc.scheduler().state(**job) == Some(JobState::Running)
+                        })
+                        .map(|(job, _)| *job)
+                        .collect();
+                    for job in running {
+                        let (scan_id, branch) = self.job_map.remove(&job).expect("job is mapped");
+                        self.nersc.scheduler_mut().fail(job, now);
+                        self.orch.external_resolved(ExternalKind::Job, job.0);
+                        let key = self.exec_key(scan_id, branch, Branch::Nersc);
+                        self.orch.release(&key);
+                        self.ledger_abort(&key);
+                        self.branch_failed(now, scan_id, branch);
+                    }
+                    self.schedule_nersc_poll();
                 }
                 self.nersc_heartbeats_suppressed = true;
-                self.schedule_nersc_poll(now);
             }
             FaultKind::AlcfOutage => {
                 let events = self.alcf.set_down(true, now);
                 for ev in events {
                     if let ComputeEvent::Failed { task, at } = ev {
                         if let Some((scan_id, branch)) = self.compute_map.remove(&task) {
+                            self.orch.external_resolved(ExternalKind::Compute, task.0);
+                            let key = self.exec_key(scan_id, branch, Branch::Alcf);
+                            self.orch.release(&key);
+                            self.ledger_abort(&key);
                             self.branch_failed(at, scan_id, branch);
                         }
                     }
@@ -894,7 +1290,7 @@ impl FacilitySim {
             }
             FaultKind::EsnetBrownout { capacity_factor } => {
                 self.transfer.set_wan_capacity_factor(capacity_factor, now);
-                self.schedule_transfer_poll(now);
+                self.schedule_transfer_poll();
             }
             FaultKind::SfApiAuthExpiry => {
                 self.nersc.set_auth_available(false);
@@ -913,16 +1309,16 @@ impl FacilitySim {
             FaultKind::NerscOutage => {
                 self.nersc.scheduler_mut().set_offline(0, now);
                 self.nersc_heartbeats_suppressed = false;
-                self.schedule_nersc_poll(now);
+                self.schedule_nersc_poll();
             }
             FaultKind::AlcfOutage => {
                 self.alcf.set_down(false, now);
                 self.alcf_heartbeats_suppressed = false;
-                self.schedule_alcf_poll(now);
+                self.schedule_alcf_poll();
             }
             FaultKind::EsnetBrownout { .. } => {
                 self.transfer.set_wan_capacity_factor(1.0, now);
-                self.schedule_transfer_poll(now);
+                self.schedule_transfer_poll();
             }
             FaultKind::SfApiAuthExpiry => {
                 self.nersc.set_auth_available(true);
@@ -980,7 +1376,310 @@ impl FacilitySim {
             walltime_limit: runtime * 2.0,
         };
         self.nersc.scheduler_mut().submit(req, now);
-        self.schedule_nersc_poll(now);
+        self.schedule_nersc_poll();
+    }
+
+    // ---- orchestrator crash + recovery ----
+
+    fn on_crash_start(&mut self, now: SimInstant, _i: usize) {
+        if self.orchestrator_down {
+            return;
+        }
+        self.orchestrator_down = true;
+        self.crash_count += 1;
+        // durable mode: the journal was written ahead of every mutation,
+        // so its bytes survive the process; baseline loses everything
+        self.persisted_wal = if self.cfg.durable_recovery {
+            Some(self.orch.journal().bytes().to_vec())
+        } else {
+            None
+        };
+        let _ = now;
+        // the process dies: every in-memory coordinator structure is gone
+        self.orch = DurableOrchestrator::default();
+        self.newfile_runs.clear();
+        self.branch_runs.clear();
+        self.transfer_map.clear();
+        self.job_map.clear();
+        self.compute_map.clear();
+        self.raw_pids.clear();
+        self.exec_site.clear();
+        self.failed_over.clear();
+    }
+
+    fn on_crash_end(&mut self, now: SimInstant, _i: usize) {
+        if !self.orchestrator_down {
+            return;
+        }
+        self.orchestrator_down = false;
+        self.epoch += 1;
+        let holder = format!("orch-{}", self.epoch);
+        match self.persisted_wal.take() {
+            Some(wal) => self.recover_durable(now, &wal, &holder),
+            None => {
+                self.orch = DurableOrchestrator::production(&holder, now);
+                self.baseline_rescan(now);
+            }
+        }
+        // ingest scans the file writer saved while nobody was watching
+        let backlog: Vec<ScanId> = std::mem::take(&mut self.backlog);
+        for id in backlog {
+            self.start_new_file(now, id);
+        }
+        self.schedule_transfer_poll();
+        self.schedule_nersc_poll();
+        self.schedule_alcf_poll();
+    }
+
+    /// Durable restart: replay the journal, reconcile with live facility
+    /// state, and resume interrupted flows.
+    fn recover_durable(&mut self, now: SimInstant, wal: &[u8], holder: &str) {
+        let (orch, info) = DurableOrchestrator::recover(wal, holder, now);
+        self.orch = orch;
+        self.recovery_count += 1;
+
+        // rebuild the in-memory dispatch tables the dead incarnation held
+        let by_name: BTreeMap<String, ScanId> = self
+            .scans
+            .iter()
+            .map(|(&id, s)| (s.name.clone(), id))
+            .collect();
+        let mut resume_newfile: Vec<(ScanId, SimInstant)> = Vec::new();
+        let mut resume_branches: Vec<(ScanId, Branch)> = Vec::new();
+        for run in self.orch.engine.runs() {
+            let Some(&id) = run
+                .parameters
+                .get("scan")
+                .and_then(|name| by_name.get(name))
+            else {
+                continue;
+            };
+            let terminal = run.state.is_terminal();
+            match run.flow_name.as_str() {
+                FLOW_NEW_FILE => {
+                    self.newfile_runs.insert(id, run.id);
+                    if !terminal {
+                        // the journal recorded the ingest's scheduled
+                        // completion; fire the lost event then
+                        let done = run
+                            .tasks
+                            .first()
+                            .and_then(|t| t.finished)
+                            .map_or(now, |d| d.max(now));
+                        resume_newfile.push((id, done));
+                    }
+                }
+                FLOW_NERSC | FLOW_ALCF => {
+                    let branch = if run.flow_name == FLOW_NERSC {
+                        Branch::Nersc
+                    } else {
+                        Branch::Alcf
+                    };
+                    let bk = branch_key(branch);
+                    self.branch_runs.insert((id, bk), run.id);
+                    let exec = match run.parameters.get("failover").map(String::as_str) {
+                        Some("nersc") => Branch::Nersc,
+                        Some("alcf") => Branch::Alcf,
+                        _ => branch,
+                    };
+                    self.exec_site.insert((id, bk), exec);
+                    if run.parameters.contains_key("failover") {
+                        self.failed_over.insert((id, bk));
+                    }
+                    if !terminal {
+                        resume_branches.push((id, branch));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // re-attach in-flight external operations from their journaled ctx
+        for op in &info.pending_external {
+            let Ok(ctx) = serde_json::from_str::<OpCtx>(&op.ctx) else {
+                continue;
+            };
+            let id = ScanId(ctx.scan);
+            let branch = branch_from_key(ctx.branch);
+            let fac = branch_from_key(ctx.fac);
+            match op.kind {
+                ExternalKind::Transfer => {
+                    let leg = if ctx.leg == 0 { Leg::ToHpc } else { Leg::Back };
+                    self.transfer_map
+                        .insert(TaskId(op.handle), (id, branch, leg, fac));
+                }
+                ExternalKind::Job => {
+                    self.job_map.insert(JobId(op.handle), (id, branch));
+                }
+                ExternalKind::Compute => {
+                    self.compute_map
+                        .insert(ComputeTaskId(op.handle), (id, branch));
+                }
+            }
+            self.reattached_ops += 1;
+        }
+
+        // re-derive raw-dataset provenance from the catalogue (the
+        // catalogue is facility-side and survived the crash)
+        for (&id, scan) in &self.scans {
+            if let Some(d) = self
+                .catalog
+                .search(&scan.name)
+                .into_iter()
+                .find(|d| matches!(d.kind, als_catalog::DatasetKind::Raw))
+            {
+                self.raw_pids.insert(id, d.pid.clone());
+            }
+        }
+
+        // drain facility events buffered while the coordinator was dead —
+        // re-attached completions/failures flow through the normal paths
+        self.on_poll_transfers(now);
+        self.on_poll_nersc(now);
+        self.on_poll_alcf(now);
+
+        // sweep re-attached ops whose terminal event was emitted inline
+        // while nobody was listening (e.g. an endpoint outage window)
+        let jobs: Vec<(JobId, ScanId, Branch)> =
+            self.job_map.iter().map(|(&j, &(i, b))| (j, i, b)).collect();
+        for (job, id, branch) in jobs {
+            match job_fate(self.nersc.scheduler(), job) {
+                OpFate::Live => {}
+                OpFate::Completed => {
+                    self.job_map.remove(&job);
+                    self.orch.external_resolved(ExternalKind::Job, job.0);
+                    let key = self.exec_key(id, branch, Branch::Nersc);
+                    if self.rolls_transient_failure() {
+                        self.orch.release(&key);
+                        self.ledger_abort(&key);
+                        self.branch_failed(now, id, branch);
+                    } else {
+                        self.nersc_breaker.record_success();
+                        self.orch.complete(&key);
+                        self.ledger_done(&key);
+                        self.step_back(now, id, branch);
+                    }
+                }
+                OpFate::Failed | OpFate::Lost => {
+                    self.job_map.remove(&job);
+                    self.orch.external_resolved(ExternalKind::Job, job.0);
+                    let key = self.exec_key(id, branch, Branch::Nersc);
+                    self.orch.release(&key);
+                    self.ledger_abort(&key);
+                    self.branch_failed(now, id, branch);
+                }
+            }
+        }
+        let tasks: Vec<(ComputeTaskId, ScanId, Branch)> = self
+            .compute_map
+            .iter()
+            .map(|(&t, &(i, b))| (t, i, b))
+            .collect();
+        for (task, id, branch) in tasks {
+            match compute_fate(&self.alcf, task) {
+                OpFate::Live => {}
+                OpFate::Completed => {
+                    self.compute_map.remove(&task);
+                    self.orch.external_resolved(ExternalKind::Compute, task.0);
+                    let key = self.exec_key(id, branch, Branch::Alcf);
+                    if self.rolls_transient_failure() {
+                        self.orch.release(&key);
+                        self.ledger_abort(&key);
+                        self.branch_failed(now, id, branch);
+                    } else {
+                        self.alcf_breaker.record_success();
+                        self.orch.complete(&key);
+                        self.ledger_done(&key);
+                        self.step_back(now, id, branch);
+                    }
+                }
+                OpFate::Failed | OpFate::Lost => {
+                    self.compute_map.remove(&task);
+                    self.orch.external_resolved(ExternalKind::Compute, task.0);
+                    let key = self.exec_key(id, branch, Branch::Alcf);
+                    self.orch.release(&key);
+                    self.ledger_abort(&key);
+                    self.branch_failed(now, id, branch);
+                }
+            }
+        }
+
+        // reconcile: cancel live recon jobs the journal disowns (their
+        // ExternalSubmitted record was lost in a torn tail)
+        let known: BTreeSet<u64> = self.job_map.keys().map(|j| j.0).collect();
+        let orphans = cancel_orphan_jobs(self.nersc.scheduler_mut(), &known, "recon_", now);
+        self.orphan_cancel_count += orphans.len();
+        if !orphans.is_empty() {
+            self.schedule_nersc_poll();
+        }
+
+        // resume interrupted flows that have no live op to report back;
+        // runs with an open external op are left alone — the op's
+        // completion (or its deadline) drives the next step
+        let open_runs = self.orch.runs_with_open_ops();
+        for (id, branch) in resume_branches {
+            let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) else {
+                continue;
+            };
+            if open_runs.contains(&run)
+                || self
+                    .orch
+                    .engine
+                    .run(run)
+                    .is_some_and(|r| r.state.is_terminal())
+            {
+                continue;
+            }
+            self.launch_branch(now, id, branch);
+        }
+        for (id, done) in resume_newfile {
+            let Some(&run) = self.newfile_runs.get(&id) else {
+                continue;
+            };
+            if self
+                .orch
+                .engine
+                .run(run)
+                .is_some_and(|r| r.state.is_terminal())
+            {
+                continue;
+            }
+            self.queue
+                .schedule_at(done, Ev::NewFileDone(id, self.epoch));
+        }
+    }
+
+    /// Baseline restart (no journal): the new incarnation knows nothing.
+    /// It walks the beamline filesystem and the catalogue and re-runs
+    /// whatever looks unfinished — re-initiating work that is actually
+    /// still in flight at the facilities (the duplicates the durable
+    /// path exists to avoid).
+    fn baseline_rescan(&mut self, now: SimInstant) {
+        let ids: Vec<ScanId> = self.scans.keys().copied().collect();
+        for id in ids {
+            let scan = self.scans.get(&id).expect("scan exists").clone();
+            if !self.beamline_tier.contains(&format!("{}.h5", scan.name)) {
+                continue; // not saved yet; its ScanSaved event will come
+            }
+            let raw_pid = self
+                .catalog
+                .search(&scan.name)
+                .into_iter()
+                .find(|d| matches!(d.kind, als_catalog::DatasetKind::Raw))
+                .map(|d| d.pid.clone());
+            match raw_pid {
+                None => self.start_new_file(now, id),
+                Some(pid) => {
+                    self.raw_pids.insert(id, pid);
+                    for branch in [Branch::Nersc, Branch::Alcf] {
+                        let product = format!("{}_recon_{}", scan.name, facility_name(branch));
+                        if !self.beamline_tier.contains(&product) {
+                            self.launch_branch(now, id, branch);
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -1002,7 +1701,7 @@ mod tests {
     #[test]
     fn every_scan_produces_three_flow_runs() {
         let sim = run_small(5, 1);
-        let q = sim.engine.query();
+        let q = sim.engine().query();
         assert_eq!(q.runs_of(FLOW_NEW_FILE).len(), 5);
         assert_eq!(q.runs_of(FLOW_NERSC).len(), 5);
         assert_eq!(q.runs_of(FLOW_ALCF).len(), 5);
@@ -1011,7 +1710,7 @@ mod tests {
     #[test]
     fn all_flows_complete_in_a_healthy_campaign() {
         let sim = run_small(8, 2);
-        let q = sim.engine.query();
+        let q = sim.engine().query();
         for flow in [FLOW_NEW_FILE, FLOW_NERSC, FLOW_ALCF] {
             assert_eq!(
                 q.success_rate(flow),
@@ -1045,18 +1744,27 @@ mod tests {
     fn simulation_is_deterministic() {
         let a = run_small(6, 42);
         let b = run_small(6, 42);
-        let qa = a.engine.query().last_n_successful_durations(FLOW_NERSC, 10);
-        let qb = b.engine.query().last_n_successful_durations(FLOW_NERSC, 10);
+        let qa = a
+            .engine()
+            .query()
+            .last_n_successful_durations(FLOW_NERSC, 10);
+        let qb = b
+            .engine()
+            .query()
+            .last_n_successful_durations(FLOW_NERSC, 10);
         assert_eq!(qa, qb);
         let c = run_small(6, 43);
-        let qc = c.engine.query().last_n_successful_durations(FLOW_NERSC, 10);
+        let qc = c
+            .engine()
+            .query()
+            .last_n_successful_durations(FLOW_NERSC, 10);
         assert_ne!(qa, qc);
     }
 
     #[test]
     fn flow_durations_are_in_plausible_bands() {
         let sim = run_small(12, 7);
-        let q = sim.engine.query();
+        let q = sim.engine().query();
         let nf = q.table2_summary(FLOW_NEW_FILE, 100).unwrap();
         assert!(
             nf.median > 10.0 && nf.median < 300.0,

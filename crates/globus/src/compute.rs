@@ -141,6 +141,12 @@ impl ComputeEndpoint {
         self.tasks.get(&id).map(|t| t.state)
     }
 
+    /// All pending or running invocations — the query a restarted
+    /// orchestrator uses to re-attach in-flight work.
+    pub fn live_tasks(&self) -> Vec<ComputeTaskId> {
+        self.live.iter().copied().collect()
+    }
+
     /// Queue wait (submit → start).
     pub fn queue_wait(&self, id: ComputeTaskId) -> Option<SimDuration> {
         let t = self.tasks.get(&id)?;

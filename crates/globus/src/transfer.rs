@@ -10,6 +10,7 @@
 //! with `fail_fast` on it fails immediately and the queue keeps draining.
 
 use als_netsim::{FlowId, SiteId, Topology};
+use als_scidata::checksum::{crc32, Crc32};
 use als_simcore::{ByteSize, DataRate, SimDuration, SimInstant};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -60,9 +61,10 @@ impl TaskStatus {
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TransferOptions {
     /// Verify checksums after the bytes arrive (the paper enables this).
+    /// On mismatch the service re-transfers exactly once automatically —
+    /// a second mismatch is a real integrity incident, surfaced as
+    /// [`FailReason::ChecksumMismatch`] for the orchestrator to handle.
     pub verify_checksum: bool,
-    /// Max automatic retries on checksum mismatch.
-    pub max_retries: u32,
     /// Fail immediately on permission errors instead of hanging — the
     /// remediation the paper adopted after the incident.
     pub fail_fast: bool,
@@ -72,11 +74,13 @@ impl Default for TransferOptions {
     fn default() -> Self {
         TransferOptions {
             verify_checksum: true,
-            max_retries: 2,
             fail_fast: true,
         }
     }
 }
+
+/// Automatic re-transfers on checksum mismatch: exactly one.
+const MAX_RETRANSFERS: u32 = 1;
 
 /// Events surfaced to the orchestrator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,12 +124,40 @@ struct Task {
     status: TaskStatus,
     submitted: SimInstant,
     finished: Option<SimInstant>,
+    /// Re-transfers performed after a checksum mismatch.
     attempt: u32,
     flow: Option<FlowId>,
     /// When a hung task gives up.
     hang_deadline: Option<SimInstant>,
     /// When checksum verification completes (if in that phase).
     verify_done: Option<SimInstant>,
+    /// CRC-32 of the source payload, computed at submission — the
+    /// reference digest the destination must reproduce.
+    src_digest: u32,
+    /// Did the last delivery pass through a corrupting endpoint?
+    delivered_corrupt: bool,
+}
+
+/// Deterministic stand-in for the file's bytes: the simulation doesn't
+/// move real payloads, so checksums are computed over this sample, which
+/// is unique per (task, size) and reproducible on both ends.
+fn payload_sample(id: TaskId, size: ByteSize) -> [u8; 16] {
+    let mut s = [0u8; 16];
+    s[..8].copy_from_slice(&id.0.to_le_bytes());
+    s[8..].copy_from_slice(&size.as_bytes().to_le_bytes());
+    s
+}
+
+/// The digest the destination endpoint reads back after a delivery —
+/// corruption flips a bit, exactly what CRC-32 exists to catch.
+fn delivered_digest(id: TaskId, size: ByteSize, corrupt: bool) -> u32 {
+    let mut sample = payload_sample(id, size);
+    if corrupt {
+        sample[0] ^= 0x01;
+    }
+    let mut c = Crc32::new();
+    c.update(&sample);
+    c.finalize()
 }
 
 /// The transfer service.
@@ -219,6 +251,15 @@ impl TransferService {
         self.queue.len()
     }
 
+    /// All non-terminal tasks (queued, active, hung, or verifying) — the
+    /// query a restarted orchestrator uses to re-attach in-flight work.
+    pub fn live_tasks(&self) -> Vec<TaskId> {
+        let mut ids: Vec<TaskId> = self.queue.iter().copied().collect();
+        ids.extend(self.live.iter().copied());
+        ids.sort_unstable();
+        ids
+    }
+
     pub fn active_count(&self) -> usize {
         self.active
     }
@@ -250,6 +291,8 @@ impl TransferService {
                 flow: None,
                 hang_deadline: None,
                 verify_done: None,
+                src_digest: crc32(&payload_sample(id, size)),
+                delivered_corrupt: false,
             },
         );
         self.queue.push_back(id);
@@ -372,10 +415,8 @@ impl TransferService {
                             .transfer_time(task.size)
                             .expect("nonzero checksum rate");
                         task.verify_done = Some(t + verify);
-                        // remember corruption outcome for the verify step
-                        if corrupted {
-                            task.attempt |= CORRUPT_FLAG;
-                        }
+                        // the verify step reads the delivered bytes back
+                        task.delivered_corrupt = corrupted;
                     } else {
                         task.status = TaskStatus::Succeeded;
                         task.finished = Some(t);
@@ -387,10 +428,10 @@ impl TransferService {
                 InternalEvent::VerifyDone(id) => {
                     let task = self.tasks.get_mut(&id).expect("task");
                     task.verify_done = None;
-                    let corrupted = task.attempt & CORRUPT_FLAG != 0;
-                    task.attempt &= !CORRUPT_FLAG;
-                    if corrupted {
-                        if task.attempt < task.opts.max_retries {
+                    let dst_digest = delivered_digest(id, task.size, task.delivered_corrupt);
+                    task.delivered_corrupt = false;
+                    if dst_digest != task.src_digest {
+                        if task.attempt < MAX_RETRANSFERS {
                             task.attempt += 1;
                             let attempt = task.attempt;
                             let (src_site, dst_site, size) = self.task_route_info(id);
@@ -505,10 +546,6 @@ impl TransferService {
         events
     }
 }
-
-/// Bit stashed in `attempt` to remember a corrupted delivery between the
-/// flow-completion and verify-completion events.
-const CORRUPT_FLAG: u32 = 0x8000_0000;
 
 #[derive(Debug, Clone, Copy)]
 enum InternalEvent {
@@ -625,6 +662,25 @@ mod tests {
             e,
             TransferEvent::Failed { task, reason: FailReason::ChecksumMismatch, .. } if *task == id
         )));
+        // exactly one automatic re-transfer before giving up
+        let retries = events
+            .iter()
+            .filter(|e| matches!(e, TransferEvent::Retrying { task, .. } if *task == id))
+            .count();
+        assert_eq!(retries, 1);
+    }
+
+    #[test]
+    fn digests_are_per_task_and_detect_corruption() {
+        // the reference digests of distinct tasks differ, and a corrupted
+        // delivery never reproduces the source digest
+        let a = crc32(&payload_sample(TaskId(1), ByteSize::from_gib(5)));
+        let b = crc32(&payload_sample(TaskId(2), ByteSize::from_gib(5)));
+        let c = crc32(&payload_sample(TaskId(1), ByteSize::from_gib(6)));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(delivered_digest(TaskId(1), ByteSize::from_gib(5), false), a);
+        assert_ne!(delivered_digest(TaskId(1), ByteSize::from_gib(5), true), a);
     }
 
     #[test]

@@ -336,6 +336,21 @@ impl Scheduler {
         self.jobs.get(&id).map(|j| j.state)
     }
 
+    /// All pending or running jobs, in submission order — the query a
+    /// restarted orchestrator uses to hunt for orphaned work.
+    pub fn live_jobs(&self) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .filter(|(_, j)| matches!(j.state, JobState::Pending | JobState::Running))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// The submitted job name (`squeue`-style lookup).
+    pub fn job_name(&self, id: JobId) -> Option<&str> {
+        self.jobs.get(&id).map(|j| j.req.name.as_str())
+    }
+
     /// Wall-clock span a finished job occupied (start → finish).
     pub fn run_span(&self, id: JobId) -> Option<SimDuration> {
         let j = self.jobs.get(&id)?;

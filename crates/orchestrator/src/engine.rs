@@ -111,7 +111,7 @@ impl RetryPolicy {
 }
 
 /// One task run inside a flow run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskRun {
     pub name: String,
     pub state: TaskState,
@@ -125,7 +125,7 @@ pub struct TaskRun {
 }
 
 /// One flow run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlowRun {
     pub id: FlowRunId,
     pub flow_name: String,
@@ -147,7 +147,7 @@ impl FlowRun {
 }
 
 /// The engine + run database.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct FlowEngine {
     runs: BTreeMap<FlowRunId, FlowRun>,
     next_id: u64,
@@ -257,6 +257,17 @@ impl FlowEngine {
 
     pub fn run_count(&self) -> usize {
         self.runs.len()
+    }
+
+    /// The id the next [`FlowEngine::create_run`] will assign. The
+    /// write-ahead journal records it before the run exists.
+    pub fn peek_next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// All runs, in creation order.
+    pub fn runs(&self) -> impl Iterator<Item = &FlowRun> {
+        self.runs.values()
     }
 
     /// Query interface (the Prefect API substitute).

@@ -1,4 +1,4 @@
-//! Idempotent task semantics.
+//! Idempotent task semantics with lease-based claims.
 //!
 //! "Workflows are designed as a series of subflows and tasks, implementing
 //! idempotent semantics that support safe retries of specific steps in
@@ -6,26 +6,51 @@
 //! once that key completes, re-running the flow skips the step instead of
 //! repeating the side effect (double-copying 30 GB, double-ingesting
 //! metadata, double-submitting a Slurm job).
+//!
+//! A claim is a *lease*, not a lock: it records who holds the key and
+//! until when. A claim held by an execution that died (orchestrator
+//! crash, worker eviction) expires at its deadline and can then be stolen
+//! by a later execution — without expiry, one crash mid-step would wedge
+//! that key forever. Live holders still get the exclusive [`Claim::Busy`]
+//! behaviour.
 
+use als_simcore::{SimDuration, SimInstant};
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-/// A persistent set of completed idempotency keys.
-#[derive(Debug, Default, Clone)]
+/// An in-flight claim on a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// Who holds the key (e.g. an orchestrator incarnation id).
+    pub holder: String,
+    /// The lease is dead at and after this instant.
+    pub deadline: SimInstant,
+}
+
+impl Lease {
+    /// Is the lease still protecting its holder at `now`?
+    pub fn is_live(&self, now: SimInstant) -> bool {
+        now < self.deadline
+    }
+}
+
+/// A persistent set of completed idempotency keys plus live leases.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct IdempotencyStore {
     completed: BTreeSet<String>,
-    /// Keys currently held by an in-flight execution (prevents two
+    /// Keys currently leased to an in-flight execution (prevents two
     /// concurrent retries from both running the step).
-    in_flight: BTreeSet<String>,
+    leases: BTreeMap<String, Lease>,
 }
 
 /// Outcome of attempting to claim a key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Claim {
-    /// The step must run; the key is now held.
+    /// The step must run; the key is now leased to the caller.
     Run,
     /// The step already completed; skip it.
     Cached,
-    /// Another execution currently holds the key.
+    /// Another execution holds a live lease on the key.
     Busy,
 }
 
@@ -34,28 +59,43 @@ impl IdempotencyStore {
         Self::default()
     }
 
-    /// Try to claim a key for execution.
-    pub fn claim(&mut self, key: &str) -> Claim {
+    /// Try to claim a key for execution. A live lease held by someone
+    /// else yields [`Claim::Busy`]; an expired lease is stolen.
+    pub fn claim(&mut self, key: &str, holder: &str, now: SimInstant, lease: SimDuration) -> Claim {
         if self.completed.contains(key) {
             return Claim::Cached;
         }
-        if self.in_flight.contains(key) {
-            return Claim::Busy;
+        if let Some(l) = self.leases.get(key) {
+            if l.is_live(now) {
+                return Claim::Busy;
+            }
         }
-        self.in_flight.insert(key.to_string());
+        self.install_lease(key, holder, now + lease);
         Claim::Run
+    }
+
+    /// Install (or overwrite) a lease directly — the journal-replay path,
+    /// where the claim decision was already made and recorded.
+    pub fn install_lease(&mut self, key: &str, holder: &str, deadline: SimInstant) {
+        self.leases.insert(
+            key.to_string(),
+            Lease {
+                holder: holder.to_string(),
+                deadline,
+            },
+        );
     }
 
     /// Mark a claimed key as completed (the side effect happened).
     pub fn complete(&mut self, key: &str) {
-        self.in_flight.remove(key);
+        self.leases.remove(key);
         self.completed.insert(key.to_string());
     }
 
     /// Release a claimed key without completing (the step failed and will
     /// be retried later).
     pub fn release(&mut self, key: &str) {
-        self.in_flight.remove(key);
+        self.leases.remove(key);
     }
 
     pub fn is_completed(&self, key: &str) -> bool {
@@ -65,29 +105,56 @@ impl IdempotencyStore {
     pub fn completed_count(&self) -> usize {
         self.completed.len()
     }
+
+    /// The current lease on a key, live or expired.
+    pub fn lease(&self, key: &str) -> Option<&Lease> {
+        self.leases.get(key)
+    }
+
+    /// Number of keys currently leased (live or expired).
+    pub fn in_flight_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Keys leased to holders other than `survivor` — the set a restarted
+    /// orchestrator must expire after recovery.
+    pub fn foreign_leases(&self, survivor: &str) -> Vec<String> {
+        self.leases
+            .iter()
+            .filter(|(_, l)| l.holder != survivor)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const T0: SimInstant = SimInstant::ZERO;
+    const LEASE: SimDuration = SimDuration::from_secs(600);
+
+    fn at(s: u64) -> SimInstant {
+        T0 + SimDuration::from_secs(s)
+    }
+
     #[test]
     fn first_claim_runs_second_is_cached() {
         let mut store = IdempotencyStore::new();
-        assert_eq!(store.claim("scan1/copy"), Claim::Run);
+        assert_eq!(store.claim("scan1/copy", "w1", T0, LEASE), Claim::Run);
         store.complete("scan1/copy");
-        assert_eq!(store.claim("scan1/copy"), Claim::Cached);
+        assert_eq!(store.claim("scan1/copy", "w2", T0, LEASE), Claim::Cached);
         assert!(store.is_completed("scan1/copy"));
     }
 
     #[test]
     fn concurrent_claims_are_serialized() {
         let mut store = IdempotencyStore::new();
-        assert_eq!(store.claim("k"), Claim::Run);
-        assert_eq!(store.claim("k"), Claim::Busy);
+        assert_eq!(store.claim("k", "w1", T0, LEASE), Claim::Run);
+        assert_eq!(store.claim("k", "w2", T0, LEASE), Claim::Busy);
         store.release("k");
         assert_eq!(
-            store.claim("k"),
+            store.claim("k", "w2", T0, LEASE),
             Claim::Run,
             "released key can be reclaimed"
         );
@@ -96,37 +163,61 @@ mod tests {
     #[test]
     fn failed_step_can_retry() {
         let mut store = IdempotencyStore::new();
-        assert_eq!(store.claim("k"), Claim::Run);
+        assert_eq!(store.claim("k", "w1", T0, LEASE), Claim::Run);
         store.release("k"); // step failed
         assert!(!store.is_completed("k"));
-        assert_eq!(store.claim("k"), Claim::Run);
+        assert_eq!(store.claim("k", "w1", T0, LEASE), Claim::Run);
         store.complete("k");
-        assert_eq!(store.claim("k"), Claim::Cached);
+        assert_eq!(store.claim("k", "w1", T0, LEASE), Claim::Cached);
     }
 
     #[test]
     fn keys_are_independent() {
         let mut store = IdempotencyStore::new();
-        store.claim("a");
+        store.claim("a", "w1", T0, LEASE);
         store.complete("a");
-        assert_eq!(store.claim("b"), Claim::Run);
+        assert_eq!(store.claim("b", "w1", T0, LEASE), Claim::Run);
         assert_eq!(store.completed_count(), 1);
     }
 
     #[test]
+    fn expired_lease_is_stolen() {
+        let mut store = IdempotencyStore::new();
+        assert_eq!(store.claim("k", "dead", T0, LEASE), Claim::Run);
+        // just before the deadline the original holder is still protected
+        assert_eq!(store.claim("k", "w2", at(599), LEASE), Claim::Busy);
+        // at the deadline the lease is dead and the key can be stolen
+        assert_eq!(store.claim("k", "w2", at(600), LEASE), Claim::Run);
+        let l = store.lease("k").unwrap();
+        assert_eq!(l.holder, "w2");
+        assert_eq!(l.deadline, at(1200), "stolen lease gets a fresh deadline");
+    }
+
+    #[test]
+    fn foreign_leases_lists_only_other_holders() {
+        let mut store = IdempotencyStore::new();
+        store.claim("a", "orch-0", T0, LEASE);
+        store.claim("b", "orch-0", T0, LEASE);
+        store.claim("c", "orch-1", T0, LEASE);
+        assert_eq!(store.foreign_leases("orch-1"), vec!["a", "b"]);
+        assert!(store.foreign_leases("orch-0").contains(&"c".to_string()));
+    }
+
+    #[test]
     fn replaying_a_whole_flow_skips_done_steps() {
-        // simulate: flow ran half-way, crashed, replays from the top
+        // simulate: flow ran half-way, the incarnation died, a new one
+        // replays from the top after the old leases expired
         let mut store = IdempotencyStore::new();
         let steps = ["scan9/copy-nersc", "scan9/recon", "scan9/copy-back"];
-        // first execution completes only the first step
-        assert_eq!(store.claim(steps[0]), Claim::Run);
+        // first incarnation completes only the first step
+        assert_eq!(store.claim(steps[0], "orch-0", T0, LEASE), Claim::Run);
         store.complete(steps[0]);
-        assert_eq!(store.claim(steps[1]), Claim::Run);
-        store.release(steps[1]); // crash mid-recon
-                                 // replay
+        assert_eq!(store.claim(steps[1], "orch-0", T0, LEASE), Claim::Run);
+        // crash mid-recon: nothing released, but the lease expires
+        let later = at(3600);
         let mut executed = Vec::new();
         for s in steps {
-            if store.claim(s) == Claim::Run {
+            if store.claim(s, "orch-1", later, LEASE) == Claim::Run {
                 executed.push(s);
                 store.complete(s);
             }

@@ -1,0 +1,425 @@
+//! Append-only write-ahead journal for the orchestrator.
+//!
+//! Every flow/task state transition, retry scheduling decision,
+//! idempotency claim/complete/release, concurrency-limit decision, and
+//! external-operation handoff is serialized as one framed record *before*
+//! the in-memory state mutates. Replaying the journal from the top
+//! therefore reconstructs the orchestrator's exact state — the property
+//! [`crate::recovery::DurableOrchestrator`] builds crash recovery on.
+//!
+//! Frame format (one record per line):
+//!
+//! ```text
+//! <seq:16 hex> <crc32:8 hex> <json payload>\n
+//! ```
+//!
+//! The CRC-32 (IEEE, from `als_scidata::checksum`) covers the sequence
+//! number and the payload, so a record torn mid-write (the classic
+//! power-cut tail), bit-rotted in place, or spliced from another journal
+//! fails verification. Replay stops at the first bad frame and reports
+//! the torn tail so recovery can truncate it.
+
+use crate::engine::{FlowState, TaskState};
+use als_scidata::checksum::crc32;
+use als_simcore::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+
+/// Kinds of external operations the orchestrator hands off to facility
+/// services. The journal records the handle so a restarted incarnation
+/// can re-attach to (or cancel) the live operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ExternalKind {
+    /// A Slurm job submitted through the SFAPI (`hpc::Scheduler`).
+    Job,
+    /// A Globus transfer task (`globus::TransferService`).
+    Transfer,
+    /// A Globus Compute invocation (`globus::ComputeEndpoint`).
+    Compute,
+}
+
+/// One journal record. Variants mirror the mutating operations of
+/// `FlowEngine`, `IdempotencyStore`, and `ConcurrencyLimits`, plus the
+/// external-operation ledger that reconciliation needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A new orchestrator incarnation opened the journal.
+    IncarnationStarted {
+        holder: String,
+        at: SimInstant,
+    },
+    FlowCreated {
+        run: u64,
+        flow: String,
+        at: SimInstant,
+    },
+    FlowParam {
+        run: u64,
+        key: String,
+        value: String,
+    },
+    FlowStarted {
+        run: u64,
+        at: SimInstant,
+    },
+    FlowFinished {
+        run: u64,
+        state: FlowState,
+        at: SimInstant,
+    },
+    TaskStarted {
+        run: u64,
+        task: usize,
+        name: String,
+        key: Option<String>,
+        at: SimInstant,
+    },
+    TaskFinished {
+        run: u64,
+        task: usize,
+        state: TaskState,
+        at: SimInstant,
+        error: Option<String>,
+    },
+    TaskRetried {
+        run: u64,
+        task: usize,
+        at: SimInstant,
+    },
+    /// A retry was *decided* (delay computed from the retry policy).
+    /// Pure bookkeeping for recovery: state changes only at the later
+    /// `TaskRetried`.
+    RetryScheduled {
+        run: u64,
+        task: usize,
+        attempt: u32,
+        delay: SimDuration,
+    },
+    ClaimAcquired {
+        key: String,
+        holder: String,
+        deadline: SimInstant,
+    },
+    ClaimCompleted {
+        key: String,
+    },
+    ClaimReleased {
+        key: String,
+    },
+    /// An expired lease (typically held by a dead incarnation) was
+    /// evicted before re-claiming.
+    LeaseExpired {
+        key: String,
+        holder: String,
+    },
+    LimitSet {
+        tag: String,
+        limit: usize,
+    },
+    LimitAcquired {
+        tag: String,
+    },
+    LimitReleased {
+        tag: String,
+    },
+    /// An acquisition was refused. Journaled so replay reproduces the
+    /// rejection counters exactly.
+    LimitRejected {
+        tag: String,
+    },
+    /// An external operation was handed to a facility service.
+    /// `ctx` is caller-defined (JSON) context for re-attachment.
+    ExternalSubmitted {
+        kind: ExternalKind,
+        handle: u64,
+        run: u64,
+        ctx: String,
+    },
+    /// The external operation reached a terminal state (either way).
+    ExternalResolved {
+        kind: ExternalKind,
+        handle: u64,
+    },
+}
+
+/// What replay found at the end of the journal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TailReport {
+    /// Records that verified and were replayed.
+    pub valid_records: u64,
+    /// Bytes of torn/corrupt tail truncated after the last valid record.
+    pub dropped_bytes: usize,
+    /// Why the tail was dropped, when it was.
+    pub damage: Option<TailDamage>,
+}
+
+/// The first defect replay hit (everything from there on is dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailDamage {
+    /// Record ended without a newline (torn mid-write).
+    TornWrite,
+    /// Frame didn't parse as `seq crc payload`.
+    BadFrame,
+    /// CRC-32 mismatch: the payload was altered after writing.
+    ChecksumMismatch,
+    /// Sequence number out of order (lost or duplicated record).
+    SequenceGap,
+}
+
+impl TailReport {
+    pub fn is_clean(&self) -> bool {
+        self.damage.is_none()
+    }
+}
+
+/// The append-only journal. In production this would sit on durable
+/// storage; here it is an in-memory byte log whose contents survive a
+/// simulated crash exactly when the simulation chooses to persist them.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    buf: Vec<u8>,
+    next_seq: u64,
+}
+
+fn frame_crc(seq: u64, payload: &str) -> u32 {
+    let mut framed = format!("{seq:016x} ").into_bytes();
+    framed.extend_from_slice(payload.as_bytes());
+    crc32(&framed)
+}
+
+impl Journal {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record. Must be called *before* applying the mutation
+    /// it describes (write-ahead discipline).
+    pub fn append(&mut self, rec: &JournalRecord) {
+        let payload = serde_json::to_string(rec).expect("journal record serializes");
+        let crc = frame_crc(self.next_seq, &payload);
+        let line = format!("{:016x} {:08x} {}\n", self.next_seq, crc, payload);
+        self.buf.extend_from_slice(line.as_bytes());
+        self.next_seq += 1;
+    }
+
+    /// The raw journal bytes (what a crash-surviving store would hold).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of records appended so far.
+    pub fn record_count(&self) -> u64 {
+        self.next_seq
+    }
+
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Damage the journal for tests/experiments: drop the last
+    /// `drop_bytes` bytes, simulating a write torn by the crash.
+    pub fn tear_tail(&mut self, drop_bytes: usize) {
+        let keep = self.buf.len().saturating_sub(drop_bytes);
+        self.buf.truncate(keep);
+    }
+
+    /// Flip one byte in place (bit-rot injection for tests).
+    pub fn corrupt_byte(&mut self, offset: usize) {
+        if let Some(b) = self.buf.get_mut(offset) {
+            *b ^= 0x01;
+        }
+    }
+
+    /// Decode a journal image: every record that frames, checksums, and
+    /// sequences correctly, plus a report on the (possibly torn) tail.
+    /// Decoding stops at the first bad frame — a write-ahead log is only
+    /// trustworthy up to its first defect.
+    pub fn replay_bytes(bytes: &[u8]) -> (Vec<JournalRecord>, TailReport) {
+        let mut records = Vec::new();
+        let mut report = TailReport::default();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let rest = &bytes[pos..];
+            let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+                report.damage = Some(TailDamage::TornWrite);
+                break;
+            };
+            let line = &rest[..nl];
+            match Self::decode_line(line, report.valid_records) {
+                Ok(rec) => {
+                    records.push(rec);
+                    report.valid_records += 1;
+                    pos += nl + 1;
+                }
+                Err(damage) => {
+                    report.damage = Some(damage);
+                    break;
+                }
+            }
+        }
+        report.dropped_bytes = bytes.len() - pos;
+        (records, report)
+    }
+
+    fn decode_line(line: &[u8], expected_seq: u64) -> Result<JournalRecord, TailDamage> {
+        let text = std::str::from_utf8(line).map_err(|_| TailDamage::BadFrame)?;
+        // "<seq:16> <crc:8> <payload>"
+        if text.len() < 26 || text.as_bytes().get(16) != Some(&b' ') {
+            return Err(TailDamage::BadFrame);
+        }
+        let seq = u64::from_str_radix(&text[..16], 16).map_err(|_| TailDamage::BadFrame)?;
+        let crc = u32::from_str_radix(&text[17..25], 16).map_err(|_| TailDamage::BadFrame)?;
+        let payload = text.get(26..).ok_or(TailDamage::BadFrame)?;
+        if frame_crc(seq, payload) != crc {
+            return Err(TailDamage::ChecksumMismatch);
+        }
+        if seq != expected_seq {
+            return Err(TailDamage::SequenceGap);
+        }
+        serde_json::from_str(payload).map_err(|_| TailDamage::BadFrame)
+    }
+
+    /// Rebuild a journal from the valid prefix of a crash-surviving
+    /// image, so appends continue the sequence. Returns the journal, the
+    /// decoded records, and the tail report.
+    pub fn from_bytes(bytes: &[u8]) -> (Self, Vec<JournalRecord>, TailReport) {
+        let (records, report) = Self::replay_bytes(bytes);
+        let valid_len = bytes.len() - report.dropped_bytes;
+        let journal = Journal {
+            buf: bytes[..valid_len].to_vec(),
+            next_seq: report.valid_records,
+        };
+        (journal, records, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimInstant {
+        SimInstant::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::IncarnationStarted {
+                holder: "orch-0".into(),
+                at: t(0),
+            },
+            JournalRecord::FlowCreated {
+                run: 0,
+                flow: "new_file_832".into(),
+                at: t(1),
+            },
+            JournalRecord::FlowParam {
+                run: 0,
+                key: "scan".into(),
+                value: "scan_0001".into(),
+            },
+            JournalRecord::TaskStarted {
+                run: 0,
+                task: 0,
+                name: "stage_and_ingest".into(),
+                key: Some("scan_0001/ingest".into()),
+                at: t(2),
+            },
+            JournalRecord::ClaimAcquired {
+                key: "scan_0001/ingest".into(),
+                holder: "orch-0".into(),
+                deadline: t(3600),
+            },
+            JournalRecord::RetryScheduled {
+                run: 0,
+                task: 0,
+                attempt: 1,
+                delay: SimDuration::from_secs(10),
+            },
+            JournalRecord::ExternalSubmitted {
+                kind: ExternalKind::Transfer,
+                handle: 7,
+                run: 0,
+                ctx: "{\"scan\":1}".into(),
+            },
+            JournalRecord::FlowFinished {
+                run: 0,
+                state: FlowState::Completed,
+                at: t(60),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_record() {
+        let mut j = Journal::new();
+        let recs = sample_records();
+        for r in &recs {
+            j.append(r);
+        }
+        let (decoded, report) = Journal::replay_bytes(j.bytes());
+        assert_eq!(decoded, recs);
+        assert!(report.is_clean());
+        assert_eq!(report.valid_records, recs.len() as u64);
+        assert_eq!(report.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated() {
+        let mut j = Journal::new();
+        for r in sample_records() {
+            j.append(&r);
+        }
+        let full = j.byte_len();
+        j.tear_tail(10); // rip the last record mid-write
+        let (decoded, report) = Journal::replay_bytes(j.bytes());
+        assert_eq!(decoded.len(), sample_records().len() - 1);
+        assert_eq!(report.damage, Some(TailDamage::TornWrite));
+        assert!(report.dropped_bytes > 0 && report.dropped_bytes < full);
+        // the surviving prefix replays the same records
+        assert_eq!(decoded, sample_records()[..decoded.len()].to_vec());
+    }
+
+    #[test]
+    fn bit_rot_fails_the_checksum() {
+        let mut j = Journal::new();
+        for r in sample_records() {
+            j.append(&r);
+        }
+        // flip a payload byte in the middle of the log
+        j.corrupt_byte(j.byte_len() / 2);
+        let (decoded, report) = Journal::replay_bytes(j.bytes());
+        assert!(decoded.len() < sample_records().len());
+        assert!(matches!(
+            report.damage,
+            Some(TailDamage::ChecksumMismatch | TailDamage::BadFrame)
+        ));
+    }
+
+    #[test]
+    fn from_bytes_continues_the_sequence_after_truncation() {
+        let mut j = Journal::new();
+        for r in sample_records() {
+            j.append(&r);
+        }
+        j.tear_tail(5);
+        let (mut revived, decoded, report) = Journal::from_bytes(j.bytes());
+        assert!(!report.is_clean());
+        assert_eq!(revived.record_count(), decoded.len() as u64);
+        revived.append(&JournalRecord::IncarnationStarted {
+            holder: "orch-1".into(),
+            at: t(100),
+        });
+        let (again, report2) = Journal::replay_bytes(revived.bytes());
+        assert!(
+            report2.is_clean(),
+            "truncate-then-append yields a clean log"
+        );
+        assert_eq!(again.len(), decoded.len() + 1);
+    }
+
+    #[test]
+    fn empty_journal_is_clean() {
+        let (recs, report) = Journal::replay_bytes(&[]);
+        assert!(recs.is_empty());
+        assert!(report.is_clean());
+    }
+}

@@ -11,18 +11,30 @@
 //! * [`limits`] — named concurrency-limit pools ("tuned concurrency for
 //!   scan detection tasks, but lower concurrency for HPC job submission
 //!   to prevent queue conflicts");
-//! * [`schedule`] — periodic schedules for the pruning flows.
+//! * [`schedule`] — periodic schedules for the pruning flows;
+//! * [`journal`] — append-only write-ahead event journal with
+//!   per-record checksums and torn-tail detection;
+//! * [`recovery`] — crash recovery by journal replay plus reconciliation
+//!   against live facility state (orphaned jobs, in-flight transfers,
+//!   leases held by the dead incarnation).
 
 pub mod engine;
 pub mod idempotency;
+pub mod journal;
 pub mod limits;
 pub mod logs;
+pub mod recovery;
 pub mod schedule;
 pub mod worker;
 
 pub use engine::{FlowEngine, FlowRunId, FlowState, RetryPolicy, RunQuery, TaskState};
-pub use idempotency::IdempotencyStore;
+pub use idempotency::{Claim, IdempotencyStore, Lease};
+pub use journal::{ExternalKind, Journal, JournalRecord, TailDamage, TailReport};
 pub use limits::ConcurrencyLimits;
 pub use logs::{LogLevel, LogRecord, LogStore};
+pub use recovery::{
+    cancel_orphan_jobs, compute_fate, job_fate, transfer_fate, DurableOrchestrator, OpFate,
+    PendingOp, PendingRetry, RecoveryInfo,
+};
 pub use schedule::Schedule;
 pub use worker::{WorkerId, WorkerPool};

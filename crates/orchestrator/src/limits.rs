@@ -9,12 +9,12 @@
 use std::collections::BTreeMap;
 
 /// A set of named counting semaphores.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ConcurrencyLimits {
     pools: BTreeMap<String, Pool>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 struct Pool {
     limit: usize,
     in_use: usize,
@@ -66,6 +66,14 @@ impl ConcurrencyLimits {
                 }
             }
         }
+    }
+
+    /// Would [`ConcurrencyLimits::try_acquire`] succeed right now?
+    /// Read-only: no slot is taken and no rejection is counted. The
+    /// durable orchestrator peeks the outcome, journals it, and lets the
+    /// journal apply perform the actual mutation.
+    pub fn would_admit(&self, tag: &str) -> bool {
+        self.pools.get(tag).is_none_or(|p| p.in_use < p.limit)
     }
 
     /// Release a previously acquired slot.

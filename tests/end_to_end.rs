@@ -63,7 +63,7 @@ fn sim_mode_campaign_with_quality_of_service_ablation() {
         let mut w = ScanWorkload::production();
         sim.schedule_campaign(&mut w, 20);
         sim.run(None);
-        sim.engine
+        sim.engine()
             .query()
             .table2_summary(FLOW_NERSC, 100)
             .expect("runs exist")

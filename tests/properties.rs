@@ -339,24 +339,32 @@ proptest! {
     }
 
     /// Idempotency: once completed, a key never runs again, no matter the
-    /// claim/release sequence beforehand.
+    /// claim/release/expiry sequence beforehand. A live lease blocks other
+    /// holders; an expired lease is stolen.
     #[test]
-    fn idempotency_never_reruns(ops in prop::collection::vec(0u8..3, 1..50)) {
+    fn idempotency_never_reruns(ops in prop::collection::vec(0u8..4, 1..50)) {
         use als_orchestrator::idempotency::{Claim, IdempotencyStore};
+        let lease = SimDuration::from_secs(600);
         let mut store = IdempotencyStore::new();
+        let mut now = SimInstant::ZERO;
         let mut completed = false;
         let mut held = false;
         for op in ops {
             match op {
                 0 => {
-                    let c = store.claim("k");
+                    let c = store.claim("k", "holder", now, lease);
                     if completed {
                         prop_assert_eq!(c, Claim::Cached);
-                    } else if held {
-                        prop_assert_eq!(c, Claim::Busy);
                     } else {
-                        prop_assert_eq!(c, Claim::Run);
-                        held = true;
+                        // same holder, and any prior lease we took has
+                        // either been released or can be re-entered once
+                        // expired — but a live lease is Busy even to us
+                        if held {
+                            prop_assert_eq!(c, Claim::Busy);
+                        } else {
+                            prop_assert_eq!(c, Claim::Run);
+                            held = true;
+                        }
                     }
                 }
                 1 => {
@@ -366,11 +374,17 @@ proptest! {
                         completed = true;
                     }
                 }
-                _ => {
+                2 => {
                     if held {
                         store.release("k");
                         held = false;
                     }
+                }
+                _ => {
+                    // time passes beyond the lease deadline: a held,
+                    // uncompleted key becomes stealable
+                    now = now + lease + SimDuration::from_secs(1);
+                    held = false;
                 }
             }
         }

@@ -1,0 +1,116 @@
+//! Crash-recovery integration tests: the orchestrator process dies
+//! mid-campaign, a new incarnation replays the write-ahead journal,
+//! reconciles with live facility state, and finishes the beamtime —
+//! without re-initiating work the facilities already have in flight.
+
+use als_flows::faults::FaultPlan;
+use als_flows::recovery::{one_crash_plan, outcome_of, run_recovery_sim};
+use als_flows::scan::ScanWorkload;
+use als_flows::sim::{FacilitySim, SimConfig, FLOW_ALCF, FLOW_NERSC, FLOW_NEW_FILE};
+use als_orchestrator::engine::FlowState;
+use als_simcore::{SimDuration, SimInstant};
+
+fn secs(s: u64) -> SimInstant {
+    SimInstant::ZERO + SimDuration::from_secs(s)
+}
+
+/// The headline scenario: one crash mid-campaign. The durable restart
+/// replays the journal, re-attaches in-flight operations, and the
+/// campaign completes with zero duplicated side-effecting steps.
+#[test]
+fn crash_restart_reconcile_completes_without_duplicates() {
+    let sim = run_recovery_sim(10, 41, true, &one_crash_plan());
+    let out = outcome_of(&sim, 10);
+
+    assert_eq!(out.crashes, 1, "the plan's crash must fire");
+    assert_eq!(out.recoveries, 1, "restart must replay the journal");
+    assert_eq!(
+        out.branches_completed, out.branches_total,
+        "every recon branch must deliver: {out:?}"
+    );
+    assert_eq!(
+        out.duplicate_side_effects, 0,
+        "recovery must not re-initiate facility work"
+    );
+    assert!(
+        out.reattached_ops > 0,
+        "a 40-minutes-in crash should catch transfers/jobs in flight"
+    );
+
+    // the replayed engine's history is coherent: every terminal flow run
+    // completed, and the journal-recovered runs include pre-crash ones
+    let q = sim.engine().query();
+    for flow in [FLOW_NEW_FILE, FLOW_NERSC, FLOW_ALCF] {
+        for run in q.runs_of(flow) {
+            assert!(
+                run.state == FlowState::Completed,
+                "{flow} run {:?} ended {:?}",
+                run.id,
+                run.state
+            );
+        }
+    }
+    assert_eq!(q.runs_of(FLOW_NEW_FILE).len(), 10);
+}
+
+/// The same crash without the journal: the amnesiac incarnation rescans
+/// the filesystem and re-initiates work that is still in flight at the
+/// facilities — measurable duplicated side effects (or lost branches).
+#[test]
+fn baseline_restart_pays_for_forgetting() {
+    let durable = outcome_of(&run_recovery_sim(10, 41, true, &one_crash_plan()), 10);
+    let baseline = outcome_of(&run_recovery_sim(10, 41, false, &one_crash_plan()), 10);
+    assert_eq!(baseline.crashes, 1);
+    assert_eq!(baseline.recoveries, 0, "no journal, no replay");
+    assert!(
+        baseline.completion_rate < durable.completion_rate || baseline.duplicate_side_effects > 0,
+        "baseline should lose work or duplicate it: {baseline:?}"
+    );
+}
+
+/// Crashing while the coordinator is *already* down (back-to-back plan
+/// entries) and restarting into a quiet system must both be harmless.
+#[test]
+fn crash_during_idle_tail_is_harmless() {
+    // crash long after the 4-scan campaign has drained
+    let plan = FaultPlan::none().with_orchestrator_crash(secs(40_000), SimDuration::from_secs(300));
+    for durable in [true, false] {
+        let sim = run_recovery_sim(4, 17, durable, &plan);
+        let out = outcome_of(&sim, 4);
+        assert_eq!(out.crashes, 1, "durable={durable}");
+        assert_eq!(out.branches_completed, 8, "durable={durable}");
+        assert_eq!(out.duplicate_side_effects, 0, "durable={durable}");
+    }
+}
+
+/// Scans saved while the coordinator is dead are backlogged by the file
+/// writer and ingested at restart — acquisition never blocks on the
+/// orchestrator.
+#[test]
+fn scans_saved_during_downtime_are_ingested_at_restart() {
+    // kill the coordinator before the first scan lands and keep it down
+    // across several arrivals
+    let plan = FaultPlan::none().with_orchestrator_crash(secs(60), SimDuration::from_secs(1800));
+    let mut sim = FacilitySim::new(SimConfig {
+        seed: 23,
+        faults: plan,
+        durable_recovery: true,
+        ..Default::default()
+    });
+    let mut workload = ScanWorkload::production().with_cadence_secs(300.0);
+    sim.schedule_campaign(&mut workload, 5);
+    sim.run(None);
+    let out = outcome_of(&sim, 5);
+    assert_eq!(out.branches_completed, 10, "backlog must drain: {out:?}");
+    assert_eq!(out.duplicate_side_effects, 0);
+}
+
+/// Determinism: the same seed and plan reproduce the same recovery run
+/// bit-for-bit (completion, duplicates, re-attached ops, latencies).
+#[test]
+fn recovery_runs_are_deterministic() {
+    let a = run_recovery_sim(6, 9, true, &one_crash_plan());
+    let b = run_recovery_sim(6, 9, true, &one_crash_plan());
+    assert_eq!(outcome_of(&a, 6), outcome_of(&b, 6));
+    assert_eq!(a.branch_latencies, b.branch_latencies);
+}
