@@ -1,14 +1,21 @@
 //! Kernel microbenchmarks: FFT, ramp filtering, forward/back projection,
 //! and the preprocessing chain — the per-slice costs every pipeline
 //! estimate in the paper-scale model is calibrated from.
+//!
+//! Besides the criterion groups, this bench measures plan-based
+//! reconstruction throughput against the retained pre-plan reference
+//! kernels (same run, same inputs) and writes `BENCH_recon.json` at the
+//! workspace root so the perf trajectory is tracked per PR. Run with
+//! `--quick` (CI) for a reduced-repetition pass.
 
 use als_phantom::shepp_logan_2d;
 use als_tomo::fft::{fft, Complex};
 use als_tomo::filter::{filter_sinogram, FilterKind};
 use als_tomo::prep;
 use als_tomo::radon::{backproject, forward_project};
-use als_tomo::Geometry;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use als_tomo::{reference, FbpConfig, Geometry, ReconPlan, Sinogram};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use std::time::Instant;
 
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
@@ -90,4 +97,170 @@ criterion_group!(
     bench_projectors,
     bench_preprocessing
 );
-criterion_main!(benches);
+
+// ---------------------------------------------------------------------------
+// BENCH_recon.json: plan vs reference reconstruction throughput
+// ---------------------------------------------------------------------------
+
+/// Best-of-`reps` wall time of `f`, after one warmup call.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn shepp_sino(n: usize, n_angles: usize) -> (Sinogram, Geometry) {
+    let img = shepp_logan_2d(n);
+    let geom = Geometry::parallel_180(n_angles, n);
+    (forward_project(&img, &geom), geom)
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn slice_entry(n: usize, n_angles: usize, reps: usize) -> String {
+    let (sino, geom) = shepp_sino(n, n_angles);
+    let cfg = FbpConfig::default();
+    let plan = ReconPlan::new(&geom, &cfg).unwrap();
+    let mut scratch = plan.make_scratch();
+    let t_plan = time_best(reps, || {
+        black_box(plan.fbp_slice_with(&sino, &mut scratch).unwrap());
+    });
+    let t_ref = time_best(reps, || {
+        black_box(reference::fbp_slice(&sino, &geom, &cfg).unwrap());
+    });
+    let mpix = (n * n) as f64 / 1e6;
+    println!(
+        "recon/slice {n}x{n}x{n_angles}: plan {:.3} ms ({:.1} slices/s), reference {:.3} ms, speedup {:.2}x",
+        t_plan * 1e3,
+        1.0 / t_plan,
+        t_ref * 1e3,
+        t_ref / t_plan
+    );
+    format!(
+        "    {{\"n\": {n}, \"n_angles\": {n_angles}, \"plan_ms\": {}, \"reference_ms\": {}, \"plan_slices_per_s\": {}, \"plan_mpix_per_s\": {}, \"speedup\": {}}}",
+        json_num(t_plan * 1e3),
+        json_num(t_ref * 1e3),
+        json_num(1.0 / t_plan),
+        json_num(mpix / t_plan),
+        json_num(t_ref / t_plan)
+    )
+}
+
+struct VolumeResult {
+    json: String,
+    single_thread_speedup: f64,
+}
+
+fn volume_entry(n: usize, n_angles: usize, nz: usize, reps: usize) -> VolumeResult {
+    let (sino, geom) = shepp_sino(n, n_angles);
+    let sinos = vec![sino; nz];
+    let cfg = FbpConfig::default();
+    let plan = ReconPlan::new(&geom, &cfg).unwrap();
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    // single-thread plan vs (inherently single-thread) reference, same run
+    rayon::set_num_threads(1);
+    let t_plan_1 = time_best(reps, || {
+        black_box(plan.fbp_volume(&sinos).unwrap());
+    });
+    let t_ref = time_best(reps, || {
+        black_box(reference::fbp_volume(&sinos, &geom, &cfg).unwrap());
+    });
+    let single_thread_speedup = t_ref / t_plan_1;
+    println!(
+        "recon/volume {n}x{n}x{n_angles} ({nz} slices) 1 thread: plan {:.1} ms, reference {:.1} ms, speedup {:.2}x",
+        t_plan_1 * 1e3,
+        t_ref * 1e3,
+        single_thread_speedup
+    );
+
+    // thread sweep; efficiency is normalized by the cores actually present
+    let mut sweep = Vec::new();
+    for threads in [1usize, 2, 4] {
+        rayon::set_num_threads(threads);
+        let t = if threads == 1 {
+            t_plan_1
+        } else {
+            time_best(reps, || {
+                black_box(plan.fbp_volume(&sinos).unwrap());
+            })
+        };
+        let speedup_vs_1 = t_plan_1 / t;
+        let efficiency = speedup_vs_1 / threads.min(cores) as f64;
+        println!(
+            "recon/volume {n}x{n}x{n_angles} ({nz} slices) {threads} threads: {:.1} ms, {:.2}x vs 1 thread, efficiency {:.2}",
+            t * 1e3,
+            speedup_vs_1,
+            efficiency
+        );
+        sweep.push(format!(
+            "      {{\"threads\": {threads}, \"plan_ms\": {}, \"slices_per_s\": {}, \"speedup_vs_1_thread\": {}, \"scaling_efficiency\": {}}}",
+            json_num(t * 1e3),
+            json_num(nz as f64 / t),
+            json_num(speedup_vs_1),
+            json_num(efficiency)
+        ));
+    }
+    rayon::set_num_threads(0);
+
+    let json = format!(
+        "    {{\"n\": {n}, \"n_angles\": {n_angles}, \"nz\": {nz}, \"available_cores\": {cores}, \"plan_1_thread_ms\": {}, \"reference_1_thread_ms\": {}, \"single_thread_speedup\": {}, \"thread_sweep\": [\n{}\n    ]}}",
+        json_num(t_plan_1 * 1e3),
+        json_num(t_ref * 1e3),
+        json_num(single_thread_speedup),
+        sweep.join(",\n")
+    );
+    VolumeResult {
+        json,
+        single_thread_speedup,
+    }
+}
+
+fn recon_throughput(quick: bool) {
+    let reps = if quick { 1 } else { 3 };
+    let nz = if quick { 4 } else { 8 };
+    let slice_sizes: &[(usize, usize)] = &[(64, 90), (128, 180), (256, 180), (512, 360)];
+    let slices: Vec<String> = slice_sizes
+        .iter()
+        .map(|&(n, a)| slice_entry(n, a, reps))
+        .collect();
+    // the acceptance volume: 256×256, 180 angles
+    let vol = volume_entry(256, 180, nz, reps);
+
+    let json = format!(
+        "{{\n  \"bench\": \"recon\",\n  \"mode\": \"{}\",\n  \"note\": \"plan engine vs retained pre-plan reference, same run, same inputs; scaling_efficiency = (speedup vs 1 thread) / min(threads, available_cores)\",\n  \"slice_fbp\": [\n{}\n  ],\n  \"volume_fbp\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        slices.join(",\n"),
+        vol.json
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recon.json");
+    std::fs::write(out, &json).expect("write BENCH_recon.json");
+    println!("wrote {out}");
+    if vol.single_thread_speedup < 3.0 {
+        println!(
+            "WARNING: single-thread volume speedup {:.2}x below the 3x acceptance bar",
+            vol.single_thread_speedup
+        );
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if !quick {
+        benches();
+    }
+    recon_throughput(quick);
+}

@@ -12,7 +12,7 @@
 use crate::channel::{StreamMessage, Subscription};
 use crate::ScanAnnounce;
 use als_phantom::{frames_to_sinogram, Frame};
-use als_tomo::{fbp_volume, FbpConfig, Geometry, Image, Sinogram};
+use als_tomo::{FbpConfig, Geometry, Image, ReconPlan, Sinogram};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -155,7 +155,10 @@ pub fn reconstruct_preview(
             )
         })
         .collect();
-    let vol = fbp_volume(&sinos, &geom, &cfg.fbp).ok()?;
+    // one plan for the whole stack: the filter response, FFT tables and
+    // trig tables are shared by every slice worker
+    let plan = ReconPlan::new(&geom, &cfg.fbp).ok()?;
+    let vol = plan.fbp_volume(&sinos).ok()?;
     let recon_wall = t_recon.elapsed();
 
     let t_send = Instant::now();

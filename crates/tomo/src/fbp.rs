@@ -6,12 +6,11 @@
 //! sinogram-level decomposition tomopy uses across the 128 cores of a
 //! NERSC CPU node (and streamtomocupy across 4 GPUs).
 
-use crate::filter::{filter_sinogram, FilterKind};
+use crate::filter::FilterKind;
 use crate::geometry::Geometry;
 use crate::image::{Image, Sinogram, Volume};
-use crate::radon::{apply_disk_mask, backproject};
+use crate::plan::ReconPlan;
 use crate::TomoError;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for filtered back projection.
@@ -34,22 +33,22 @@ impl Default for FbpConfig {
 
 /// Reconstruct a single slice from its sinogram. The output is a square
 /// image with side `n_det`.
+///
+/// Convenience wrapper that builds a [`ReconPlan`] per call; anything
+/// reconstructing more than one slice of the same geometry should hold a
+/// plan and call [`ReconPlan::fbp_slice_with`] to amortize the filter
+/// response, FFT tables, and scratch buffers.
 pub fn fbp_slice(sino: &Sinogram, geom: &Geometry, cfg: &FbpConfig) -> Result<Image, TomoError> {
     geom.validate(sino.n_angles, sino.n_det)?;
-    if geom.n_angles() == 0 {
-        return Err(TomoError::BadParameter("no projection angles".into()));
-    }
-    let filtered = filter_sinogram(sino, cfg.filter);
-    let scale = std::f64::consts::PI / geom.n_angles() as f64;
-    let mut img = backproject(&filtered, geom, geom.n_det, scale);
-    if cfg.mask_disk {
-        apply_disk_mask(&mut img);
-    }
-    Ok(img)
+    let plan = ReconPlan::new(geom, cfg)?;
+    let mut scratch = plan.make_scratch();
+    plan.fbp_slice_with(sino, &mut scratch)
 }
 
 /// Reconstruct a full volume from a stack of per-slice sinograms,
-/// slice-parallel via rayon.
+/// slice-parallel via rayon. Convenience wrapper over
+/// [`ReconPlan::fbp_volume`], which reconstructs directly into the
+/// volume's slice buffers with one scratch per worker thread.
 pub fn fbp_volume(
     sinos: &[Sinogram],
     geom: &Geometry,
@@ -58,15 +57,8 @@ pub fn fbp_volume(
     if sinos.is_empty() {
         return Err(TomoError::BadParameter("empty sinogram stack".into()));
     }
-    let n = geom.n_det;
-    let slices: Result<Vec<Image>, TomoError> =
-        sinos.par_iter().map(|s| fbp_slice(s, geom, cfg)).collect();
-    let slices = slices?;
-    let mut vol = Volume::zeros(n, n, slices.len());
-    for (z, img) in slices.iter().enumerate() {
-        vol.set_slice_xy(z, img);
-    }
-    Ok(vol)
+    let plan = ReconPlan::new(geom, cfg)?;
+    plan.fbp_volume(sinos)
 }
 
 #[cfg(test)]

@@ -132,6 +132,129 @@ fn fft_inplace(data: &mut [Complex], inverse: bool) {
     }
 }
 
+/// Precomputed radix-2 FFT plan: bit-reversal permutation and per-stage
+/// twiddle tables built once and reused across transforms of the same
+/// length. The free functions [`fft`]/[`ifft`] derive every twiddle by
+/// recursive multiplication, which is fine for one-shot transforms but
+/// wasteful inside the reconstruction loops that run thousands of
+/// same-size FFTs — those go through a plan (see [`crate::plan`]).
+///
+/// Table twiddles are each computed directly with `sin`/`cos`, so a plan
+/// is also slightly *more* accurate than the recursive path.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversed index of every position (swap when `i < rev[i]`).
+    rev: Vec<u32>,
+    /// Forward twiddles, stages concatenated: for each `len` in
+    /// `2, 4, …, n`, the factors `e^{-2πi j/len}` for `j < len/2`.
+    tw: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Build a plan for transforms of length `n` (power of two).
+    pub fn new(n: usize) -> FftPlan {
+        assert!(
+            n.is_power_of_two(),
+            "FFT size must be a power of two, got {n}"
+        );
+        assert!(n <= u32::MAX as usize, "FFT size {n} too large for plan");
+        let mut rev = vec![0u32; n];
+        let mut j = 0usize;
+        for r in rev.iter_mut().skip(1) {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            *r = j as u32;
+        }
+        let mut tw = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2usize;
+        while len <= n {
+            let ang = -2.0 * std::f64::consts::PI / len as f64;
+            for j in 0..len / 2 {
+                tw.push(Complex::cis(ang * j as f64));
+            }
+            len <<= 1;
+        }
+        FftPlan { n, rev, tw }
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward FFT (in place). `data.len()` must equal `self.len()`.
+    pub fn forward(&self, data: &mut [Complex]) {
+        self.process(data, false);
+    }
+
+    /// Inverse FFT (in place), normalized by `1/N`.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        self.process(data, true);
+    }
+
+    fn process(&self, data: &mut [Complex], inverse: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "buffer length does not match plan");
+        if n <= 1 {
+            return;
+        }
+        for i in 1..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2usize;
+        let mut stage = 0usize;
+        while len <= n {
+            let half = len / 2;
+            let tw = &self.tw[stage..stage + half];
+            for chunk in data.chunks_mut(len) {
+                let (lo, hi) = chunk.split_at_mut(half);
+                for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(tw.iter()) {
+                    let w = if inverse { w.conj() } else { w };
+                    let u = *a;
+                    let v = *b * w;
+                    *a = u + v;
+                    *b = u - v;
+                }
+            }
+            stage += half;
+            len <<= 1;
+        }
+        if inverse {
+            let inv_n = 1.0 / n as f64;
+            for x in data.iter_mut() {
+                *x = x.scale(inv_n);
+            }
+        }
+    }
+}
+
+/// 2D FFT of a square row-major grid through a prebuilt plan of length
+/// `n` (rows, then columns via transpose).
+pub fn fft2_with_plan(plan: &FftPlan, data: &mut [Complex], inverse: bool) {
+    let n = plan.len();
+    assert_eq!(data.len(), n * n);
+    for row in data.chunks_mut(n) {
+        plan.process(row, inverse);
+    }
+    transpose_square(data, n);
+    for row in data.chunks_mut(n) {
+        plan.process(row, inverse);
+    }
+    transpose_square(data, n);
+}
+
 /// Forward FFT (in place). `data.len()` must be a power of two.
 pub fn fft(data: &mut [Complex]) {
     fft_inplace(data, false);
@@ -311,6 +434,54 @@ mod tests {
             assert_close(a.re, b.re, 1e-12);
             assert_close(a.im, b.im, 1e-12);
         }
+    }
+
+    #[test]
+    fn plan_matches_free_functions() {
+        for n in [1usize, 2, 8, 64, 256] {
+            let plan = FftPlan::new(n);
+            let orig: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.13).sin(), (i as f64 * 0.41).cos()))
+                .collect();
+            let mut a = orig.clone();
+            let mut b = orig.clone();
+            fft(&mut a);
+            plan.forward(&mut b);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_close(x.re, y.re, 1e-9);
+                assert_close(x.im, y.im, 1e-9);
+            }
+            ifft(&mut a);
+            plan.inverse(&mut b);
+            for (x, y) in b.iter().zip(orig.iter()) {
+                assert_close(x.re, y.re, 1e-9);
+                assert_close(x.im, y.im, 1e-9);
+            }
+            let _ = a;
+        }
+    }
+
+    #[test]
+    fn fft2_with_plan_matches_inplace() {
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let orig: Vec<Complex> = (0..n * n)
+            .map(|i| Complex::new((i as f64 * 0.07).sin(), (i as f64 * 0.03).cos()))
+            .collect();
+        let mut a = orig.clone();
+        let mut b = orig;
+        fft2_inplace(&mut a, n, true);
+        fft2_with_plan(&plan, &mut b, true);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_close(x.re, y.re, 1e-9);
+            assert_close(x.im, y.im, 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn plan_rejects_non_pow2() {
+        FftPlan::new(12);
     }
 
     #[test]

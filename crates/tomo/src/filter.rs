@@ -6,7 +6,7 @@
 //! cupping artifact of a naive `|ω|` ramp. Apodizing windows mirror the
 //! TomoPy filter family.
 
-use crate::fft::{fft, ifft, next_pow2, Complex};
+use crate::fft::{fft, next_pow2, Complex, FftPlan};
 use crate::image::Sinogram;
 use serde::{Deserialize, Serialize};
 
@@ -113,33 +113,111 @@ impl FilterKind {
     }
 }
 
+/// Cached filtering state for one `(FilterKind, n_det)` pair: the padded
+/// frequency response and a table-driven [`FftPlan`], built once and
+/// reused for every row of every slice. [`crate::plan::ReconPlan`]
+/// embeds one of these; [`filter_sinogram`] builds a throwaway one.
+#[derive(Debug, Clone)]
+pub struct FilterPlan {
+    n_det: usize,
+    pad: usize,
+    /// One real gain per FFT bin; empty for [`FilterKind::None`].
+    response: Vec<f64>,
+    fft: FftPlan,
+}
+
+impl FilterPlan {
+    pub fn new(kind: FilterKind, n_det: usize) -> FilterPlan {
+        // zero-pad to at least twice the detector width to avoid
+        // circular-convolution wraparound
+        let pad = next_pow2(2 * n_det);
+        let response = if kind == FilterKind::None {
+            Vec::new()
+        } else {
+            kind.response(pad)
+        };
+        FilterPlan {
+            n_det,
+            pad,
+            response,
+            fft: FftPlan::new(pad),
+        }
+    }
+
+    /// Padded FFT length; the scratch buffer must be exactly this long.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Allocate a staging buffer compatible with [`FilterPlan::filter_rows`].
+    pub fn make_buf(&self) -> Vec<Complex> {
+        vec![Complex::ZERO; self.pad]
+    }
+
+    /// Filter every row of `sino` into `out` (same shape), packing two
+    /// real rows per complex FFT: the response is real, so scaling the
+    /// packed spectrum filters both rows at once and the inverse FFT
+    /// leaves row `a` in the real parts and row `a+1` in the imaginary
+    /// parts. `cbuf` is caller-owned scratch (reused across calls); only
+    /// its padded tail is cleared — the head is overwritten by row data.
+    pub fn filter_rows(&self, sino: &Sinogram, cbuf: &mut [Complex], out: &mut Sinogram) {
+        assert_eq!(sino.n_det, self.n_det, "detector width mismatch");
+        assert_eq!((out.n_angles, out.n_det), (sino.n_angles, sino.n_det));
+        assert_eq!(cbuf.len(), self.pad, "scratch buffer length mismatch");
+        if self.response.is_empty() {
+            out.data.copy_from_slice(&sino.data);
+            return;
+        }
+        let nd = sino.n_det;
+        let mut a = 0usize;
+        while a < sino.n_angles {
+            let packed = a + 1 < sino.n_angles;
+            let r0 = sino.row(a);
+            if packed {
+                let r1 = sino.row(a + 1);
+                for ((c, &v0), &v1) in cbuf.iter_mut().zip(r0.iter()).zip(r1.iter()) {
+                    *c = Complex::new(v0 as f64, v1 as f64);
+                }
+            } else {
+                for (c, &v0) in cbuf.iter_mut().zip(r0.iter()) {
+                    *c = Complex::from_re(v0 as f64);
+                }
+            }
+            for c in cbuf[nd..].iter_mut() {
+                *c = Complex::ZERO;
+            }
+            self.fft.forward(cbuf);
+            for (c, &r) in cbuf.iter_mut().zip(self.response.iter()) {
+                *c = c.scale(r);
+            }
+            self.fft.inverse(cbuf);
+            for (o, c) in out.row_mut(a).iter_mut().zip(cbuf.iter()) {
+                *o = c.re as f32;
+            }
+            if packed {
+                for (o, c) in out.row_mut(a + 1).iter_mut().zip(cbuf.iter()) {
+                    *o = c.im as f32;
+                }
+                a += 2;
+            } else {
+                a += 1;
+            }
+        }
+    }
+}
+
 /// Filter every row of a sinogram, returning a new sinogram of the same
-/// shape. Rows are zero-padded to at least twice the detector width to
-/// avoid circular-convolution wraparound.
+/// shape. Convenience wrapper that builds a [`FilterPlan`] per call;
+/// hot loops should hold a plan (or a [`crate::plan::ReconPlan`]) and
+/// reuse its scratch instead.
 pub fn filter_sinogram(sino: &Sinogram, kind: FilterKind) -> Sinogram {
     if kind == FilterKind::None {
         return sino.clone();
     }
-    let pad = next_pow2(2 * sino.n_det);
-    let response = kind.response(pad);
+    let plan = FilterPlan::new(kind, sino.n_det);
+    let mut buf = plan.make_buf();
     let mut out = Sinogram::zeros(sino.n_angles, sino.n_det);
-    let mut buf = vec![Complex::ZERO; pad];
-    for a in 0..sino.n_angles {
-        for c in buf.iter_mut() {
-            *c = Complex::ZERO;
-        }
-        for (c, &v) in buf.iter_mut().zip(sino.row(a).iter()) {
-            *c = Complex::from_re(v as f64);
-        }
-        fft(&mut buf);
-        for (c, &r) in buf.iter_mut().zip(response.iter()) {
-            *c = c.scale(r);
-        }
-        ifft(&mut buf);
-        for (o, c) in out.row_mut(a).iter_mut().zip(buf.iter()) {
-            *o = c.re as f32;
-        }
-    }
+    plan.filter_rows(sino, &mut buf, &mut out);
     out
 }
 

@@ -8,11 +8,10 @@
 //! paper's file-based pipeline uses when speed matters more than the
 //! iterative solvers' quality.
 
-use crate::fft::{fft, fft2_inplace, next_pow2, Complex};
 use crate::filter::FilterKind;
 use crate::geometry::Geometry;
 use crate::image::{Image, Sinogram};
-use crate::radon::apply_disk_mask;
+use crate::plan::GridrecPlan;
 use crate::TomoError;
 use serde::{Deserialize, Serialize};
 
@@ -41,111 +40,21 @@ impl Default for GridrecConfig {
 }
 
 /// Reconstruct a slice with the direct Fourier method.
+///
+/// Convenience wrapper that builds a [`GridrecPlan`] (gather table, FFT
+/// plan, phase factors) per call; batch reconstructions should hold a
+/// plan and call [`GridrecPlan::gridrec_slice_with`] to amortize it.
 pub fn gridrec_slice(
     sino: &Sinogram,
     geom: &Geometry,
     cfg: &GridrecConfig,
 ) -> Result<Image, TomoError> {
-    geom.validate(sino.n_angles, sino.n_det)?;
-    let n_angles = geom.n_angles();
-    if n_angles < 2 {
-        return Err(TomoError::BadParameter(
-            "gridrec needs at least two angles".into(),
-        ));
-    }
-    let n = geom.n_det;
-    let m = next_pow2(cfg.oversample.max(1) * n);
-    let mf = m as f64;
-    let tau = 2.0 * std::f64::consts::PI;
-
-    // 1) FFT every projection, phase-shifted so the rotation axis is the
-    //    spatial origin: F(k) = e^{+i 2π k c / M} · FFT(p)(k).
-    let mut spectra = vec![Complex::ZERO; n_angles * m];
-    let mut buf = vec![Complex::ZERO; m];
-    for a in 0..n_angles {
-        buf.iter_mut().for_each(|c| *c = Complex::ZERO);
-        for (c, &v) in buf.iter_mut().zip(sino.row(a).iter()) {
-            *c = Complex::from_re(v as f64);
-        }
-        fft(&mut buf);
-        for (k, c) in buf.iter().enumerate() {
-            let q = signed_index(k, m) as f64;
-            let phase = Complex::cis(tau * q * geom.center / mf);
-            spectra[a * m + k] = *c * phase;
-        }
-    }
-
-    // radial sampler with circular linear interpolation
-    let sample_radial = |a: usize, rho: f64| -> Complex {
-        let idx = rho.rem_euclid(mf);
-        let i0 = idx.floor() as usize % m;
-        let i1 = (i0 + 1) % m;
-        let f = idx - idx.floor();
-        let c0 = spectra[a * m + i0];
-        let c1 = spectra[a * m + i1];
-        c0.scale(1.0 - f) + c1.scale(f)
-    };
-
-    // 2) Gather the Cartesian spectrum from the polar samples.
-    let dtheta = std::f64::consts::PI / n_angles as f64;
-    let nyq = mf / 2.0;
-    let cx = (n as f64 - 1.0) / 2.0;
-    let mut grid = vec![Complex::ZERO; m * m];
-    for j in 0..m {
-        let qy = signed_index(j, m) as f64;
-        for k in 0..m {
-            let qx = signed_index(k, m) as f64;
-            let mut rho = (qx * qx + qy * qy).sqrt();
-            if rho > nyq {
-                continue;
-            }
-            let mut theta = qy.atan2(qx);
-            if theta < 0.0 {
-                theta += std::f64::consts::PI;
-                rho = -rho;
-            }
-            if theta >= std::f64::consts::PI {
-                theta -= std::f64::consts::PI;
-                rho = -rho;
-            }
-            let pos = theta / dtheta;
-            let a0 = pos.floor() as usize;
-            let w = pos - a0 as f64;
-            let a0 = a0.min(n_angles - 1);
-            let v0 = sample_radial(a0, rho);
-            let v1 = if a0 + 1 < n_angles {
-                sample_radial(a0 + 1, rho)
-            } else {
-                // wrap past the last angle: θ → θ - π flips the ray
-                sample_radial(0, -rho)
-            };
-            let mut val = v0.scale(1.0 - w) + v1.scale(w);
-            let wgain = match cfg.window {
-                FilterKind::None | FilterKind::RamLak => 1.0,
-                other => window_gain(other, rho.abs() / nyq),
-            };
-            // translate the output so pixel (cx, cx) is the rotation axis
-            let shift = Complex::cis(-tau * (qx * cx + qy * cx) / mf);
-            val = val.scale(wgain) * shift;
-            grid[j * m + k] = val;
-        }
-    }
-
-    // 3) Inverse 2D FFT and crop.
-    fft2_inplace(&mut grid, m, true);
-    let mut img = Image::square(n);
-    for y in 0..n {
-        for x in 0..n {
-            img.set(x, y, grid[y * m + x].re as f32);
-        }
-    }
-    if cfg.mask_disk {
-        apply_disk_mask(&mut img);
-    }
-    Ok(img)
+    let plan = GridrecPlan::new(geom, cfg)?;
+    let mut scratch = plan.make_scratch();
+    plan.gridrec_slice_with(sino, &mut scratch)
 }
 
-fn signed_index(k: usize, m: usize) -> i64 {
+pub(crate) fn signed_index(k: usize, m: usize) -> i64 {
     if k < m / 2 {
         k as i64
     } else {
@@ -153,7 +62,7 @@ fn signed_index(k: usize, m: usize) -> i64 {
     }
 }
 
-fn window_gain(kind: FilterKind, w: f64) -> f64 {
+pub(crate) fn window_gain(kind: FilterKind, w: f64) -> f64 {
     use std::f64::consts::PI;
     match kind {
         FilterKind::SheppLogan => {

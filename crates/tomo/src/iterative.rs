@@ -4,9 +4,12 @@
 //! paper's high-quality file-based branch: slower than FBP/gridrec but
 //! markedly better on noisy or angle-starved data.
 
+use crate::fbp::FbpConfig;
+use crate::filter::FilterKind;
 use crate::geometry::Geometry;
 use crate::image::{Image, Sinogram};
-use crate::radon::{apply_disk_mask, backproject_into, forward_project_into, in_recon_disk};
+use crate::plan::ReconPlan;
+use crate::radon::{apply_disk_mask, in_recon_disk};
 use crate::TomoError;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +53,19 @@ fn validate(sino: &Sinogram, geom: &Geometry, cfg: &IterConfig) -> Result<(), To
     Ok(())
 }
 
+/// Build the projector plan the iterative solvers share: no filtering,
+/// backprojection extents matching the solver's disk mask. Amortizes the
+/// per-angle trig tables across all iterations × angles.
+fn projector_plan(geom: &Geometry, cfg: &IterConfig) -> Result<ReconPlan, TomoError> {
+    ReconPlan::new(
+        geom,
+        &FbpConfig {
+            filter: FilterKind::None,
+            mask_disk: cfg.mask_disk,
+        },
+    )
+}
+
 fn post_iterate(img: &mut Image, cfg: &IterConfig) {
     if cfg.nonneg {
         for v in img.data.iter_mut() {
@@ -71,16 +87,18 @@ fn post_iterate(img: &mut Image, cfg: &IterConfig) {
 pub fn sirt_slice(sino: &Sinogram, geom: &Geometry, cfg: &IterConfig) -> Result<Image, TomoError> {
     validate(sino, geom, cfg)?;
     let n = geom.n_det;
+    let plan = projector_plan(geom, cfg)?;
 
     // Row sums: projection of an all-ones image; column sums: back
     // projection of an all-ones sinogram.
     let mut ones_img = Image::square(n);
     ones_img.data.iter_mut().for_each(|v| *v = 1.0);
     let mut row_sums = Sinogram::zeros(sino.n_angles, sino.n_det);
-    forward_project_into(&ones_img, geom, &mut row_sums);
+    plan.forward_into(&ones_img, &mut row_sums);
     let mut ones_sino = Sinogram::zeros(sino.n_angles, sino.n_det);
     ones_sino.data.iter_mut().for_each(|v| *v = 1.0);
-    let col_sums = crate::radon::backproject(&ones_sino, geom, n, 1.0);
+    let mut col_sums = Image::square(n);
+    plan.backproject_acc(&ones_sino, &mut col_sums.data, 1.0);
 
     let mut x = Image::square(n);
     let mut fwd = Sinogram::zeros(sino.n_angles, sino.n_det);
@@ -88,13 +106,13 @@ pub fn sirt_slice(sino: &Sinogram, geom: &Geometry, cfg: &IterConfig) -> Result<
     let mut update = Image::square(n);
 
     for _ in 0..cfg.iterations {
-        forward_project_into(&x, geom, &mut fwd);
+        plan.forward_into(&x, &mut fwd);
         for i in 0..resid.data.len() {
             let r = row_sums.data[i].max(1e-6);
             resid.data[i] = (sino.data[i] - fwd.data[i]) / r;
         }
         update.data.iter_mut().for_each(|v| *v = 0.0);
-        backproject_into(&resid, geom, &mut update, 1.0);
+        plan.backproject_acc(&resid, &mut update.data, 1.0);
         for i in 0..x.data.len() {
             let c = col_sums.data[i].max(1e-6);
             x.data[i] += cfg.relaxation as f32 * update.data[i] / c;
@@ -110,29 +128,25 @@ pub fn sirt_slice(sino: &Sinogram, geom: &Geometry, cfg: &IterConfig) -> Result<
 pub fn art_slice(sino: &Sinogram, geom: &Geometry, cfg: &IterConfig) -> Result<Image, TomoError> {
     validate(sino, geom, cfg)?;
     let n = geom.n_det;
+    let plan = projector_plan(geom, cfg)?;
 
     let mut ones_img = Image::square(n);
     ones_img.data.iter_mut().for_each(|v| *v = 1.0);
     let mut row_sums = Sinogram::zeros(sino.n_angles, sino.n_det);
-    forward_project_into(&ones_img, geom, &mut row_sums);
+    plan.forward_into(&ones_img, &mut row_sums);
 
     let mut x = Image::square(n);
-    // single-angle scratch geometry reused for block updates
+    // per-angle scratch rows reused across the whole sweep
+    let mut fwd = vec![0.0f32; n];
+    let mut resid = vec![0.0f32; n];
     for _ in 0..cfg.iterations {
         for a in 0..geom.n_angles() {
-            let sub_geom = Geometry {
-                angles: vec![geom.angles[a]],
-                n_det: geom.n_det,
-                center: geom.center,
-            };
-            let mut fwd = Sinogram::zeros(1, n);
-            forward_project_into(&x, &sub_geom, &mut fwd);
-            let mut resid = Sinogram::zeros(1, n);
+            plan.forward_angle_into(&x, a, &mut fwd);
             for t in 0..n {
                 let norm = row_sums.get(a, t).max(1e-6);
-                resid.data[t] = cfg.relaxation as f32 * (sino.get(a, t) - fwd.data[t]) / norm;
+                resid[t] = cfg.relaxation as f32 * (sino.get(a, t) - fwd[t]) / norm;
             }
-            backproject_into(&resid, &sub_geom, &mut x, 1.0);
+            plan.backproject_angle_acc(&resid, a, &mut x.data, 1.0);
         }
         post_iterate(&mut x, cfg);
     }
@@ -150,10 +164,12 @@ pub fn mlem_slice(sino: &Sinogram, geom: &Geometry, cfg: &IterConfig) -> Result<
         ));
     }
     let n = geom.n_det;
+    let plan = projector_plan(geom, cfg)?;
 
     let mut ones_sino = Sinogram::zeros(sino.n_angles, sino.n_det);
     ones_sino.data.iter_mut().for_each(|v| *v = 1.0);
-    let sens = crate::radon::backproject(&ones_sino, geom, n, 1.0);
+    let mut sens = Image::square(n);
+    plan.backproject_acc(&ones_sino, &mut sens.data, 1.0);
 
     let mut x = Image::square(n);
     // start from a uniform positive image inside the disk
@@ -170,12 +186,12 @@ pub fn mlem_slice(sino: &Sinogram, geom: &Geometry, cfg: &IterConfig) -> Result<
     let mut corr = Image::square(n);
 
     for _ in 0..cfg.iterations {
-        forward_project_into(&x, geom, &mut fwd);
+        plan.forward_into(&x, &mut fwd);
         for i in 0..ratio.data.len() {
             ratio.data[i] = sino.data[i] / fwd.data[i].max(1e-6);
         }
         corr.data.iter_mut().for_each(|v| *v = 0.0);
-        backproject_into(&ratio, geom, &mut corr, 1.0);
+        plan.backproject_acc(&ratio, &mut corr.data, 1.0);
         for i in 0..x.data.len() {
             let s = sens.data[i].max(1e-6);
             x.data[i] *= corr.data[i] / s;

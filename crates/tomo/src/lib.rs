@@ -17,7 +17,14 @@
 //! * [`iterative`] — ART / SIRT / MLEM, the "higher quality owing to the
 //!   preprocessing and iterative algorithms" branch of the paper;
 //! * [`radon`] — forward/back projection operators shared by everything;
-//! * [`fft`] — an in-house radix-2 FFT (no external FFT dependency);
+//! * [`fft`] — an in-house radix-2 FFT (no external FFT dependency), with
+//!   table-driven [`fft::FftPlan`]s for hot loops;
+//! * [`plan`] — the plan-and-scratch reconstruction engine: per-geometry
+//!   cached filter responses, FFT tables, trig tables, disk-mask extents,
+//!   and reusable per-thread scratch (the CPU analogue of
+//!   streamtomocupy's persistent GPU plans);
+//! * [`reference`] — retained pre-plan kernels, kept for equivalence
+//!   tests and same-run before/after benchmarking;
 //! * [`quality`] — MSE/PSNR/SSIM metrics used by the quality experiments;
 //! * [`throughput`] — calibrated cost models that let the discrete-event
 //!   simulation report paper-scale (2160×2560×1969) reconstruction times.
@@ -34,18 +41,21 @@ pub mod geometry;
 pub mod gridrec;
 pub mod image;
 pub mod iterative;
+pub mod plan;
 pub mod prep;
 pub mod quality;
 pub mod radon;
+pub mod reference;
 pub mod sino_ops;
 pub mod throughput;
 
 pub use fbp::{fbp_slice, fbp_volume, FbpConfig};
-pub use filter::FilterKind;
+pub use filter::{FilterKind, FilterPlan};
 pub use geometry::Geometry;
 pub use gridrec::{gridrec_slice, GridrecConfig};
 pub use image::{Image, Sinogram, Volume};
 pub use iterative::{art_slice, mlem_slice, sirt_slice, IterConfig};
+pub use plan::{GridrecPlan, GridrecScratch, ReconPlan, ReconScratch};
 pub use quality::{mse, psnr, ssim};
 pub use radon::{backproject, forward_project};
 pub use sino_ops::{bin_detector, crop_roi, fold_360_to_180, pad_edges};

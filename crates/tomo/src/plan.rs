@@ -1,0 +1,591 @@
+//! Plan-and-scratch reconstruction engine.
+//!
+//! The paper's streaming branch lives on kernel speed: `streamtomocupy`
+//! keeps persistent cuFFT plans and GPU scratch buffers for the whole
+//! acquisition, so the per-scan work is *only* the FFTs and the
+//! gather/scatter — nothing is re-derived per slice. This module is the
+//! CPU analogue. A [`ReconPlan`] is built once per `(Geometry,
+//! FbpConfig)` and owns everything that is invariant across slices:
+//!
+//! * the padded ramp-filter frequency response (previously rebuilt — and
+//!   re-FFT'd — once per `filter_sinogram` call, i.e. once per slice);
+//! * an [`FftPlan`] with precomputed twiddle and bit-reversal tables;
+//! * per-angle `(sin θ, cos θ)` tables;
+//! * per-row disk-mask extents, so backprojection never touches pixels
+//!   the mask would zero anyway.
+//!
+//! Per-thread mutable state lives in a [`ReconScratch`] (one padded
+//! complex FFT buffer plus one filtered-sinogram buffer), created once
+//! per worker via [`ReconPlan::make_scratch`] and reused across slices.
+//!
+//! Two kernel-level optimisations ride on the plan:
+//!
+//! * **packed real FFT filtering** — the ramp response is real and
+//!   symmetric, so two real sinogram rows are packed into one complex
+//!   signal (`row_a + i·row_b`), filtered with a single FFT round trip,
+//!   and unpacked from the real/imaginary parts. Linearity of the FFT
+//!   and the realness of the filter make this exact; it halves the FFT
+//!   work per sinogram.
+//! * **incremental backprojection** — `t = x·cosθ + y·sinθ + center` is
+//!   affine in `x`, so the inner loop advances `t` by `cosθ` instead of
+//!   recomputing the full affine form per pixel, and the valid `x`
+//!   range (where `t` lands on the detector *and* inside the disk mask)
+//!   is hoisted out of the loop so the body carries no bounds checks.
+//!
+//! The pre-plan implementations are retained verbatim in
+//! [`crate::reference`]; equivalence tests and the `kernels` bench
+//! compare against them.
+
+use crate::fbp::FbpConfig;
+use crate::fft::{next_pow2, Complex, FftPlan};
+use crate::filter::{FilterKind, FilterPlan};
+use crate::geometry::Geometry;
+use crate::gridrec::{signed_index, GridrecConfig};
+use crate::image::{Image, Sinogram, Volume};
+use crate::radon::in_recon_disk;
+use crate::TomoError;
+use rayon::prelude::*;
+
+/// Everything invariant across slices for filtered back projection of a
+/// fixed `(Geometry, FbpConfig)` pair.
+#[derive(Debug, Clone)]
+pub struct ReconPlan {
+    geom: Geometry,
+    cfg: FbpConfig,
+    /// Cached padded filter response + FFT twiddle tables.
+    filter: FilterPlan,
+    /// `(sin θ, cos θ)` per projection angle.
+    trig: Vec<(f64, f64)>,
+    /// Per output row `y`: the half-open pixel range `[x0, x1)` to
+    /// reconstruct (disk-mask extent, or the full row when unmasked).
+    extents: Vec<(usize, usize)>,
+    /// Backprojection weight `π / n_angles`.
+    scale: f64,
+}
+
+/// Reusable per-thread buffers for plan-based reconstruction.
+#[derive(Debug, Clone)]
+pub struct ReconScratch {
+    /// Padded complex FFT staging buffer (`pad` long).
+    cbuf: Vec<Complex>,
+    /// Filtered-sinogram buffer.
+    filtered: Sinogram,
+}
+
+impl ReconPlan {
+    /// Build a plan. Fails when the geometry is degenerate (no angles,
+    /// rotation center off the detector).
+    pub fn new(geom: &Geometry, cfg: &FbpConfig) -> Result<ReconPlan, TomoError> {
+        if geom.n_angles() == 0 {
+            return Err(TomoError::BadParameter("no projection angles".into()));
+        }
+        geom.validate(geom.n_angles(), geom.n_det)?;
+        let n = geom.n_det;
+        let trig = geom.angles.iter().map(|&t| t.sin_cos()).collect();
+        let extents = (0..n)
+            .map(|y| {
+                if !cfg.mask_disk {
+                    return (0, n);
+                }
+                let x0 = (0..n).find(|&x| in_recon_disk(x, y, n));
+                match x0 {
+                    None => (0, 0),
+                    Some(x0) => {
+                        let x1 = (x0..n).take_while(|&x| in_recon_disk(x, y, n)).count() + x0;
+                        (x0, x1)
+                    }
+                }
+            })
+            .collect();
+        Ok(ReconPlan {
+            geom: geom.clone(),
+            cfg: *cfg,
+            filter: FilterPlan::new(cfg.filter, n),
+            trig,
+            extents,
+            scale: std::f64::consts::PI / geom.n_angles() as f64,
+        })
+    }
+
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    pub fn config(&self) -> &FbpConfig {
+        &self.cfg
+    }
+
+    /// Allocate the mutable buffers one worker thread needs. Create one
+    /// per thread and reuse it for every slice that thread processes.
+    pub fn make_scratch(&self) -> ReconScratch {
+        ReconScratch {
+            cbuf: self.filter.make_buf(),
+            filtered: Sinogram::zeros(self.geom.n_angles(), self.geom.n_det),
+        }
+    }
+
+    /// Filter every sinogram row into `scratch.filtered` using the
+    /// cached frequency response, two rows per complex FFT (see
+    /// [`FilterPlan::filter_rows`]).
+    pub fn filter_sinogram_with(&self, sino: &Sinogram, scratch: &mut ReconScratch) {
+        let ReconScratch { cbuf, filtered } = scratch;
+        self.filter.filter_rows(sino, cbuf, filtered);
+    }
+
+    /// Accumulate the backprojection of `sino` into `out` (`n_det²`
+    /// pixels, row-major), weighting every angle by `scale`. Pixels
+    /// outside the plan's row extents are untouched.
+    pub fn backproject_acc(&self, sino: &Sinogram, out: &mut [f32], scale: f64) {
+        let mut rowf = vec![0.0f64; self.geom.n_det + 1];
+        for (a, &(sin_t, cos_t)) in self.trig.iter().enumerate() {
+            prescale_row(sino.row(a), scale, &mut rowf);
+            self.backproject_one(&rowf, sin_t, cos_t, out);
+        }
+    }
+
+    /// Accumulate the backprojection of a single projection row (angle
+    /// index `a` of the plan's geometry) into `out`.
+    pub fn backproject_angle_acc(&self, row: &[f32], a: usize, out: &mut [f32], scale: f64) {
+        let (sin_t, cos_t) = self.trig[a];
+        let mut rowf = vec![0.0f64; self.geom.n_det + 1];
+        prescale_row(row, scale, &mut rowf);
+        self.backproject_one(&rowf, sin_t, cos_t, out);
+    }
+
+    /// `rowf` is the projection row pre-multiplied by the angle weight,
+    /// one sentinel `0.0` appended (see [`prescale_row`]).
+    fn backproject_one(&self, rowf: &[f64], sin_t: f64, cos_t: f64, out: &mut [f32]) {
+        let n = self.geom.n_det;
+        debug_assert_eq!(out.len(), n * n);
+        debug_assert_eq!(rowf.len(), n + 1);
+        let c = (n as f64 - 1.0) / 2.0;
+        let last = (n - 1) as f64;
+        for y in 0..n {
+            let (x0, x1) = self.extents[y];
+            if x0 >= x1 {
+                continue;
+            }
+            let yr = y as f64 - c;
+            // Detector coordinate with the same float association as the
+            // reference backprojector's bounds test, so inclusion never
+            // flips on a boundary ulp.
+            let t_of = |x: usize| -> f64 { (x as f64 - c) * cos_t + yr * sin_t + self.geom.center };
+            // t_of is weakly monotone in x (affine map, and f64 rounding
+            // is monotone), so the x range landing on the detector is a
+            // single interval — binary-search its endpoints instead of
+            // bounds-testing every pixel. An inverse float solve is NOT
+            // safe here: near θ = π/2, rounding makes t_of plateau at a
+            // boundary value across many pixels, far outside any fixed
+            // widening of the algebraic interval.
+            let (xa, xb) = if cos_t > 0.0 {
+                (
+                    lower_bound(x0, x1, |x| t_of(x) >= 0.0),
+                    lower_bound(x0, x1, |x| t_of(x) > last),
+                )
+            } else if cos_t < 0.0 {
+                (
+                    lower_bound(x0, x1, |x| t_of(x) <= last),
+                    lower_bound(x0, x1, |x| t_of(x) < 0.0),
+                )
+            } else if (0.0..=last).contains(&t_of(x0)) {
+                (x0, x1)
+            } else {
+                continue;
+            };
+            if xa >= xb {
+                continue;
+            }
+            let base = yr * sin_t + self.geom.center;
+            // Hoisted bounds: every x in [xa, xb) passes the predicate,
+            // so t stays in [0, last] (give or take ~n·ε of incremental
+            // drift) and the loop needs no clamp branches: `t as usize`
+            // saturates at 0 for drift below zero, and the sentinel
+            // rowf[n] = 0 absorbs i+1 = n when t lands on `last` — the
+            // f ≈ 0 weight makes either deviation vanish in round-off.
+            let mut t = (xa as f64 - c) * cos_t + base;
+            for o in out[y * n + xa..y * n + xb].iter_mut() {
+                let i = t as usize;
+                let f = t - i as f64;
+                let lo = rowf[i];
+                *o += (lo + f * (rowf[i + 1] - lo)) as f32;
+                t += cos_t;
+            }
+        }
+    }
+
+    /// Filtered back projection of one sinogram directly into a
+    /// caller-provided `n_det × n_det` pixel buffer (e.g. a volume
+    /// slice). The buffer is fully overwritten. Shapes must already be
+    /// validated against the plan's geometry.
+    pub fn fbp_slice_into(&self, sino: &Sinogram, scratch: &mut ReconScratch, out: &mut [f32]) {
+        let ReconScratch { cbuf, filtered } = scratch;
+        self.filter.filter_rows(sino, cbuf, filtered);
+        out.fill(0.0);
+        self.backproject_acc(filtered, out, self.scale);
+    }
+
+    /// Filtered back projection of one sinogram, returning a fresh
+    /// image. Validates shapes.
+    pub fn fbp_slice_with(
+        &self,
+        sino: &Sinogram,
+        scratch: &mut ReconScratch,
+    ) -> Result<Image, TomoError> {
+        self.geom.validate(sino.n_angles, sino.n_det)?;
+        let n = self.geom.n_det;
+        let mut img = Image::square(n);
+        self.fbp_slice_into(sino, scratch, &mut img.data);
+        Ok(img)
+    }
+
+    /// Reconstruct a stack of sinograms directly into a [`Volume`],
+    /// slice-parallel with one scratch per worker thread and no
+    /// intermediate `Vec<Image>` copy.
+    pub fn fbp_volume(&self, sinos: &[Sinogram]) -> Result<Volume, TomoError> {
+        if sinos.is_empty() {
+            return Err(TomoError::BadParameter("empty sinogram stack".into()));
+        }
+        for s in sinos {
+            self.geom.validate(s.n_angles, s.n_det)?;
+        }
+        let n = self.geom.n_det;
+        let mut vol = Volume::zeros(n, n, sinos.len());
+        vol.data.par_chunks_mut(n * n).enumerate().for_each_init(
+            || self.make_scratch(),
+            |scratch, (z, slice)| self.fbp_slice_into(&sinos[z], scratch, slice),
+        );
+        Ok(vol)
+    }
+
+    /// Forward-project `img` into `sino` using the plan's trig tables
+    /// and per-ray clipping of the integration range.
+    pub fn forward_into(&self, img: &Image, sino: &mut Sinogram) {
+        debug_assert_eq!(sino.n_angles, self.geom.n_angles());
+        debug_assert_eq!(sino.n_det, self.geom.n_det);
+        for a in 0..self.geom.n_angles() {
+            let (sin_t, cos_t) = self.trig[a];
+            let row = sino.row_mut(a);
+            crate::radon::project_angle_into(img, &self.geom, sin_t, cos_t, row);
+        }
+    }
+
+    /// Forward-project a single angle of the plan's geometry into a
+    /// detector row buffer.
+    pub fn forward_angle_into(&self, img: &Image, a: usize, out: &mut [f32]) {
+        let (sin_t, cos_t) = self.trig[a];
+        crate::radon::project_angle_into(img, &self.geom, sin_t, cos_t, out);
+    }
+}
+
+/// Widen a projection row to f64 pre-multiplied by the angle weight,
+/// so the backprojection inner loop pays neither the scale multiply
+/// nor the f32→f64 conversion per pixel. `rowf` must hold `n + 1`
+/// entries; the extra sentinel stays `0.0` and is only ever read with
+/// an interpolation weight of (numerically) zero.
+fn prescale_row(row: &[f32], scale: f64, rowf: &mut [f64]) {
+    debug_assert_eq!(rowf.len(), row.len() + 1);
+    for (d, &s) in rowf.iter_mut().zip(row.iter()) {
+        *d = s as f64 * scale;
+    }
+    rowf[row.len()] = 0.0;
+}
+
+/// Smallest `x` in `[lo, hi]` for which `cond` holds, assuming `cond`
+/// is monotone false→true over the range (returns `hi` when none does).
+fn lower_bound(mut lo: usize, mut hi: usize, cond: impl Fn(usize) -> bool) -> usize {
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if cond(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Cell of the precomputed polar→Cartesian gather for gridrec: which
+/// two spectra rows to sample, at which (signed) radii, with which
+/// angular weight and combined window-gain/centering-shift factor.
+#[derive(Debug, Clone, Copy)]
+struct GatherCell {
+    /// Destination index `j*m + k` in the Cartesian spectrum.
+    idx: u32,
+    a0: u32,
+    a1: u32,
+    rho0: f64,
+    rho1: f64,
+    /// Angular interpolation weight toward `a1`.
+    w: f64,
+    /// Window gain × output-centering phase, folded into one factor.
+    gs: Complex,
+}
+
+/// Everything invariant across slices for direct Fourier ("gridrec")
+/// reconstruction of a fixed `(Geometry, GridrecConfig)` pair: the
+/// oversampled FFT plan, the rotation-axis phase ramp, and the full
+/// polar→Cartesian gather table (the per-cell `atan2`/`sqrt`/`cis`
+/// work that used to be redone for every slice).
+#[derive(Debug, Clone)]
+pub struct GridrecPlan {
+    geom: Geometry,
+    cfg: GridrecConfig,
+    m: usize,
+    fft: FftPlan,
+    /// Per-bin phase factor moving the rotation axis to the origin.
+    phase: Vec<Complex>,
+    cells: Vec<GatherCell>,
+}
+
+/// Reusable buffers for plan-based gridrec.
+#[derive(Debug, Clone)]
+pub struct GridrecScratch {
+    /// Per-angle projection spectra (`n_angles × m`).
+    spectra: Vec<Complex>,
+    /// Row staging buffer (`m`).
+    buf: Vec<Complex>,
+    /// Cartesian spectrum / image grid (`m × m`).
+    grid: Vec<Complex>,
+}
+
+impl GridrecPlan {
+    pub fn new(geom: &Geometry, cfg: &GridrecConfig) -> Result<GridrecPlan, TomoError> {
+        let n_angles = geom.n_angles();
+        if n_angles < 2 {
+            return Err(TomoError::BadParameter(
+                "gridrec needs at least two angles".into(),
+            ));
+        }
+        geom.validate(n_angles, geom.n_det)?;
+        let n = geom.n_det;
+        let m = next_pow2(cfg.oversample.max(1) * n);
+        let mf = m as f64;
+        let tau = 2.0 * std::f64::consts::PI;
+        let phase = (0..m)
+            .map(|k| {
+                let q = signed_index(k, m) as f64;
+                Complex::cis(tau * q * geom.center / mf)
+            })
+            .collect();
+
+        let dtheta = std::f64::consts::PI / n_angles as f64;
+        let nyq = mf / 2.0;
+        let cx = (n as f64 - 1.0) / 2.0;
+        let mut cells = Vec::with_capacity(m * m * 4 / 5);
+        for j in 0..m {
+            let qy = signed_index(j, m) as f64;
+            for k in 0..m {
+                let qx = signed_index(k, m) as f64;
+                let mut rho = (qx * qx + qy * qy).sqrt();
+                if rho > nyq {
+                    continue;
+                }
+                let mut theta = qy.atan2(qx);
+                if theta < 0.0 {
+                    theta += std::f64::consts::PI;
+                    rho = -rho;
+                }
+                if theta >= std::f64::consts::PI {
+                    theta -= std::f64::consts::PI;
+                    rho = -rho;
+                }
+                let pos = theta / dtheta;
+                let a0 = pos.floor() as usize;
+                let w = pos - a0 as f64;
+                let a0 = a0.min(n_angles - 1);
+                // wrap past the last angle: θ → θ - π flips the ray
+                let (a1, rho1) = if a0 + 1 < n_angles {
+                    (a0 + 1, rho)
+                } else {
+                    (0, -rho)
+                };
+                let wgain = match cfg.window {
+                    FilterKind::None | FilterKind::RamLak => 1.0,
+                    other => crate::gridrec::window_gain(other, rho.abs() / nyq),
+                };
+                let shift = Complex::cis(-tau * (qx * cx + qy * cx) / mf);
+                cells.push(GatherCell {
+                    idx: (j * m + k) as u32,
+                    a0: a0 as u32,
+                    a1: a1 as u32,
+                    rho0: rho,
+                    rho1,
+                    w,
+                    gs: shift.scale(wgain),
+                });
+            }
+        }
+        Ok(GridrecPlan {
+            geom: geom.clone(),
+            cfg: *cfg,
+            m,
+            fft: FftPlan::new(m),
+            phase,
+            cells,
+        })
+    }
+
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    pub fn config(&self) -> &GridrecConfig {
+        &self.cfg
+    }
+
+    pub fn make_scratch(&self) -> GridrecScratch {
+        GridrecScratch {
+            spectra: vec![Complex::ZERO; self.geom.n_angles() * self.m],
+            buf: vec![Complex::ZERO; self.m],
+            grid: vec![Complex::ZERO; self.m * self.m],
+        }
+    }
+
+    /// Reconstruct one slice through the plan.
+    pub fn gridrec_slice_with(
+        &self,
+        sino: &Sinogram,
+        scratch: &mut GridrecScratch,
+    ) -> Result<Image, TomoError> {
+        self.geom.validate(sino.n_angles, sino.n_det)?;
+        let n = self.geom.n_det;
+        let m = self.m;
+        let mf = m as f64;
+        let GridrecScratch { spectra, buf, grid } = scratch;
+
+        // 1) FFT every projection, phase-shifted so the rotation axis
+        //    is the spatial origin.
+        for a in 0..sino.n_angles {
+            let nd = sino.n_det;
+            for (c, &v) in buf.iter_mut().zip(sino.row(a).iter()) {
+                *c = Complex::from_re(v as f64);
+            }
+            for c in buf[nd..].iter_mut() {
+                *c = Complex::ZERO;
+            }
+            self.fft.forward(buf);
+            for (k, (s, c)) in spectra[a * m..(a + 1) * m]
+                .iter_mut()
+                .zip(buf.iter())
+                .enumerate()
+            {
+                *s = *c * self.phase[k];
+            }
+        }
+
+        // 2) Gather the Cartesian spectrum from the precomputed cells.
+        let sample_radial = |a: usize, rho: f64| -> Complex {
+            let idx = rho.rem_euclid(mf);
+            let i0 = idx.floor() as usize % m;
+            let i1 = (i0 + 1) % m;
+            let f = idx - idx.floor();
+            let c0 = spectra[a * m + i0];
+            let c1 = spectra[a * m + i1];
+            c0.scale(1.0 - f) + c1.scale(f)
+        };
+        grid.fill(Complex::ZERO);
+        for cell in &self.cells {
+            let v0 = sample_radial(cell.a0 as usize, cell.rho0);
+            let v1 = sample_radial(cell.a1 as usize, cell.rho1);
+            let val = v0.scale(1.0 - cell.w) + v1.scale(cell.w);
+            grid[cell.idx as usize] = val * cell.gs;
+        }
+
+        // 3) Inverse 2D FFT and crop.
+        crate::fft::fft2_with_plan(&self.fft, grid, true);
+        let mut img = Image::square(n);
+        for y in 0..n {
+            for x in 0..n {
+                img.set(x, y, grid[y * m + x].re as f32);
+            }
+        }
+        if self.cfg.mask_disk {
+            crate::radon::apply_disk_mask(&mut img);
+        }
+        Ok(img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radon::forward_project;
+
+    fn disk_image(n: usize, r: f64, v: f32) -> Image {
+        let mut img = Image::square(n);
+        let c = (n as f64 - 1.0) / 2.0;
+        for y in 0..n {
+            for x in 0..n {
+                let dx = x as f64 - c;
+                let dy = y as f64 - c;
+                if (dx * dx + dy * dy).sqrt() <= r {
+                    img.set(x, y, v);
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn plan_extents_match_disk_mask() {
+        let geom = Geometry::parallel_180(8, 32);
+        let plan = ReconPlan::new(&geom, &FbpConfig::default()).unwrap();
+        for y in 0..32 {
+            let (x0, x1) = plan.extents[y];
+            for x in 0..32 {
+                let inside = x >= x0 && x < x1;
+                assert_eq!(inside, in_recon_disk(x, y, 32), "pixel ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_rejects_degenerate_geometry() {
+        let empty = Geometry {
+            angles: vec![],
+            n_det: 16,
+            center: 7.5,
+        };
+        assert!(ReconPlan::new(&empty, &FbpConfig::default()).is_err());
+        let bad_center = Geometry::parallel_180(4, 16).with_center(-1.0);
+        assert!(ReconPlan::new(&bad_center, &FbpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let n = 32;
+        let truth = disk_image(n, 9.0, 1.0);
+        let geom = Geometry::parallel_180(24, n);
+        let sino = forward_project(&truth, &geom);
+        let plan = ReconPlan::new(&geom, &FbpConfig::default()).unwrap();
+        let mut scratch = plan.make_scratch();
+        let a = plan.fbp_slice_with(&sino, &mut scratch).unwrap();
+        let b = plan.fbp_slice_with(&sino, &mut scratch).unwrap();
+        assert_eq!(a, b, "dirty scratch must not leak into the next slice");
+    }
+
+    #[test]
+    fn plan_volume_matches_plan_slices() {
+        let n = 32;
+        let truth = disk_image(n, 8.0, 1.0);
+        let geom = Geometry::parallel_180(20, n);
+        let sino = forward_project(&truth, &geom);
+        let plan = ReconPlan::new(&geom, &FbpConfig::default()).unwrap();
+        let sinos = vec![sino.clone(); 5];
+        let vol = plan.fbp_volume(&sinos).unwrap();
+        let mut scratch = plan.make_scratch();
+        let single = plan.fbp_slice_with(&sino, &mut scratch).unwrap();
+        for z in 0..5 {
+            assert_eq!(vol.slice_xy(z), single);
+        }
+    }
+
+    #[test]
+    fn volume_shape_mismatch_is_an_error() {
+        let geom = Geometry::parallel_180(8, 16);
+        let plan = ReconPlan::new(&geom, &FbpConfig::default()).unwrap();
+        assert!(plan.fbp_volume(&[]).is_err());
+        let bad = Sinogram::zeros(8, 12);
+        assert!(plan.fbp_volume(&[bad]).is_err());
+    }
+}

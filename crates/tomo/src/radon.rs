@@ -25,29 +25,70 @@ pub fn forward_project(img: &Image, geom: &Geometry) -> Sinogram {
 pub fn forward_project_into(img: &Image, geom: &Geometry, sino: &mut Sinogram) {
     assert_eq!(sino.n_angles, geom.n_angles());
     assert_eq!(sino.n_det, geom.n_det);
+    for (a, &theta) in geom.angles.iter().enumerate() {
+        let (sin_t, cos_t) = theta.sin_cos();
+        project_angle_into(img, geom, sin_t, cos_t, sino.row_mut(a));
+    }
+}
+
+/// Integrate one projection angle (given as its precomputed `sinθ`/`cosθ`)
+/// into a detector row. The integration range of each ray is clipped to
+/// where it can intersect the image rectangle: `sample_bilinear` is exactly
+/// zero unless `x ∈ [0, w-1]` and `y ∈ [0, h-1]`, so the clip (widened by
+/// two steps on each side for float safety) changes no sums — it only skips
+/// samples that were exact zeros.
+pub(crate) fn project_angle_into(
+    img: &Image,
+    geom: &Geometry,
+    sin_t: f64,
+    cos_t: f64,
+    out_row: &mut [f32],
+) {
     let cx = (img.width as f64 - 1.0) / 2.0;
     let cy = (img.height as f64 - 1.0) / 2.0;
+    let last_x = img.width as f64 - 1.0;
+    let last_y = img.height as f64 - 1.0;
     // ray length covers the image diagonal
     let half_len =
         (((img.width * img.width + img.height * img.height) as f64).sqrt() / 2.0).ceil() as i64;
-
-    for (a, &theta) in geom.angles.iter().enumerate() {
-        let (sin_t, cos_t) = theta.sin_cos();
-        let row = sino.row_mut(a);
-        for (t, out) in row.iter_mut().enumerate() {
-            let s = t as f64 - geom.center;
-            // base point on the detector line through the image center
-            let bx = cx + s * cos_t;
-            let by = cy + s * sin_t;
-            let mut acc = 0.0f64;
-            for r in -half_len..=half_len {
-                let rf = r as f64;
-                let x = bx - rf * sin_t;
-                let y = by + rf * cos_t;
-                acc += img.sample_bilinear(x, y);
-            }
-            *out = acc as f32;
+    for (t, out) in out_row.iter_mut().enumerate() {
+        let s = t as f64 - geom.center;
+        // base point on the detector line through the image center
+        let bx = cx + s * cos_t;
+        let by = cy + s * sin_t;
+        let mut lo = -(half_len as f64);
+        let mut hi = half_len as f64;
+        // x(r) = bx − r·sinθ ∈ [0, last_x]
+        if sin_t != 0.0 {
+            let a = (bx - last_x) / sin_t;
+            let b = bx / sin_t;
+            lo = lo.max(a.min(b));
+            hi = hi.min(a.max(b));
+        } else if !(0.0..=last_x).contains(&bx) {
+            *out = 0.0;
+            continue;
         }
+        // y(r) = by + r·cosθ ∈ [0, last_y]
+        if cos_t != 0.0 {
+            let a = -by / cos_t;
+            let b = (last_y - by) / cos_t;
+            lo = lo.max(a.min(b));
+            hi = hi.min(a.max(b));
+        } else if !(0.0..=last_y).contains(&by) {
+            *out = 0.0;
+            continue;
+        }
+        // float-to-int casts saturate, so degenerate (empty) intervals are safe
+        let r_lo = ((lo.floor() as i64) - 2).max(-half_len);
+        let r_hi = ((hi.ceil() as i64) + 2).min(half_len);
+        let mut acc = 0.0f64;
+        for r in r_lo..=r_hi {
+            let rf = r as f64;
+            let x = bx - rf * sin_t;
+            let y = by + rf * cos_t;
+            acc += img.sample_bilinear(x, y);
+        }
+        *out = acc as f32;
     }
 }
 

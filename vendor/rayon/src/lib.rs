@@ -1,13 +1,55 @@
 //! Offline stand-in for `rayon`: `par_iter().map(..).collect()` over
-//! slices, executed on scoped std threads. Work is split into one
-//! contiguous chunk per available core, which preserves output order
-//! and gives near-linear speedup for the embarrassingly parallel
-//! slice-reconstruction loops this workspace runs.
+//! slices and `par_chunks_mut(..)` over mutable slices, executed on
+//! scoped std threads.
+//!
+//! Work is distributed through a chunked work queue: workers claim the
+//! next chunk index from a shared atomic counter, so heterogeneous
+//! per-item costs (e.g. slices of very different sparsity) no longer
+//! leave straggler threads idle the way a one-contiguous-chunk-per-core
+//! split did. Output order is preserved by tagging each produced chunk
+//! with its input offset and merging in offset order.
+//!
+//! The worker count is `RAYON_NUM_THREADS` (env) or [`set_num_threads`],
+//! falling back to `available_parallelism`, matching the knobs real
+//! rayon exposes that the bench harness relies on.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 pub mod prelude {
-    pub use crate::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{
+        FromParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// Global worker-count override; 0 means "auto".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker count for subsequent parallel calls (0 restores
+/// the default). Real rayon configures this through a thread-pool
+/// builder; a process-global setter is enough for the bench sweeps.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Current worker count: explicit override, then `RAYON_NUM_THREADS`,
+/// then the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let explicit = NUM_THREADS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// `.par_iter()` on slices (and anything that derefs to a slice).
@@ -64,34 +106,170 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
+/// Pick the work-queue granularity: several chunks per worker so costs
+/// balance, but at least one item per chunk.
+fn queue_chunk_size(len: usize, workers: usize) -> usize {
+    (len / (workers * 4)).max(1)
+}
+
 fn par_map<'a, I, U, F>(items: &'a [I], f: &F) -> Vec<U>
 where
     I: Sync,
     U: Send,
     F: Fn(&'a I) -> U + Sync,
 {
-    let workers = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    let len = items.len();
+    let workers = current_num_threads().min(len.max(1));
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
-    let chunk = items.len().div_ceil(workers);
+    let chunk = queue_chunk_size(len, workers);
+    let n_chunks = len.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
     thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<U>>()))
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut parts: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(len);
+                        parts.push((start, items[start..end].iter().map(f).collect()));
+                    }
+                    parts
+                })
+            })
             .collect();
-        let mut out = Vec::with_capacity(items.len());
+        let mut parts: Vec<(usize, Vec<U>)> = Vec::new();
         for h in handles {
             match h.join() {
-                Ok(part) => out.extend(part),
+                Ok(p) => parts.extend(p),
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
+        // chunks come back in claim order; offsets restore input order
+        parts.sort_by_key(|&(start, _)| start);
+        let mut out = Vec::with_capacity(len);
+        for (_, mut p) in parts {
+            out.append(&mut p);
+        }
         out
     })
+}
+
+/// `.par_chunks_mut(size)` on mutable slices: disjoint chunks handed to
+/// workers through the same atomic work queue.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T> ParallelIterator for ParChunksMut<'_, T> {}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T> ParallelIterator for ParChunksMutEnumerate<'_, T> {}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        self.for_each_init(|| (), |(), pair| f(pair));
+    }
+
+    /// Like rayon's `for_each_init`: `init` runs once per worker thread
+    /// and the state it builds is reused for every chunk that worker
+    /// claims — this is what keeps one reconstruction scratch per thread
+    /// instead of one per slice.
+    pub fn for_each_init<S, INIT, F>(self, init: INIT, f: F)
+    where
+        S: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, (usize, &'a mut [T])) + Sync,
+    {
+        let n = self.chunks.len();
+        let workers = current_num_threads().min(n.max(1));
+        if workers <= 1 {
+            let mut state = init();
+            for (i, chunk) in self.chunks.into_iter().enumerate() {
+                f(&mut state, (i, chunk));
+            }
+            return;
+        }
+        // Hand each &mut chunk out exactly once: the atomic index picks
+        // the slot, the mutex moves the reference out of shared storage.
+        let slots: Vec<Mutex<Option<&'a mut [T]>>> = self
+            .chunks
+            .into_iter()
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let slots = &slots;
+                    let next = &next;
+                    let init = &init;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= slots.len() {
+                                break;
+                            }
+                            let chunk = slots[i]
+                                .lock()
+                                .expect("work-queue slot poisoned")
+                                .take()
+                                .expect("chunk claimed twice");
+                            f(&mut state, (i, chunk));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
 }
 
 /// Sink types for `.collect()`; results arrive already in input order.
@@ -157,5 +335,30 @@ mod tests {
         let one = [7];
         let out: Vec<i32> = one.par_iter().map(|&x| x * 6).collect();
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn chunks_mut_for_each_writes_every_chunk() {
+        let mut data = vec![0u32; 1000];
+        data.par_chunks_mut(7)
+            .enumerate()
+            .for_each(|(i, chunk)| chunk.iter_mut().for_each(|v| *v = i as u32));
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 7) as u32);
+        }
+    }
+
+    #[test]
+    fn for_each_init_reuses_state_per_worker() {
+        // the init counter must not exceed the worker count
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let mut data = [0u8; 64];
+        data.par_chunks_mut(1).enumerate().for_each_init(
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, (_, chunk)| chunk[0] = 1,
+        );
+        assert!(data.iter().all(|&v| v == 1));
+        assert!(inits.load(Ordering::Relaxed) <= crate::current_num_threads());
     }
 }

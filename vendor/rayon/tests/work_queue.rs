@@ -1,0 +1,131 @@
+//! Property tests for the chunked work-queue executor: for any item
+//! count × worker count, parallel map must preserve input order and
+//! visit every item exactly once, and `par_chunks_mut` must hand every
+//! chunk to exactly one worker — including the 0- and 1-item edges.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// `set_num_threads` is process-global; serialize the tests that sweep it.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_workers<R>(workers: usize, body: impl FnOnce() -> R) -> R {
+    let _guard = THREADS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    rayon::set_num_threads(workers);
+    let out = body();
+    rayon::set_num_threads(0);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn par_map_preserves_order_and_visits_once(len in 0usize..257, workers in 1usize..9) {
+        let items: Vec<usize> = (0..len).collect();
+        let visits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        let out: Vec<usize> = with_workers(workers, || {
+            items
+                .par_iter()
+                .map(|&x| {
+                    visits[x].fetch_add(1, Ordering::Relaxed);
+                    x * 3 + 1
+                })
+                .collect()
+        });
+        prop_assert_eq!(out.len(), len);
+        for (i, v) in out.iter().enumerate() {
+            prop_assert_eq!(*v, i * 3 + 1, "order broken at {}", i);
+        }
+        for (i, c) in visits.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "item {} visit count", i);
+        }
+    }
+
+    #[test]
+    fn par_map_collects_results_like_sequential(len in 0usize..200, workers in 1usize..9) {
+        let items: Vec<u64> = (0..len as u64).map(|x| x.wrapping_mul(2654435761)).collect();
+        let par: Result<Vec<u64>, String> =
+            with_workers(workers, || items.par_iter().map(|&x| Ok(x ^ 0xABCD)).collect());
+        let seq: Vec<u64> = items.iter().map(|&x| x ^ 0xABCD).collect();
+        prop_assert_eq!(par.unwrap(), seq);
+    }
+
+    #[test]
+    fn chunks_mut_runs_every_chunk_exactly_once(
+        len in 0usize..400,
+        chunk in 1usize..50,
+        workers in 1usize..9,
+    ) {
+        let mut data = vec![usize::MAX; len];
+        let n_chunks = len.div_ceil(chunk);
+        let claims: Vec<AtomicUsize> = (0..n_chunks).map(|_| AtomicUsize::new(0)).collect();
+        with_workers(workers, || {
+            data.par_chunks_mut(chunk).enumerate().for_each(|(i, c)| {
+                claims[i].fetch_add(1, Ordering::Relaxed);
+                c.iter_mut().for_each(|v| *v = i);
+            });
+        });
+        for (i, c) in claims.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "chunk {} claim count", i);
+        }
+        for (i, v) in data.iter().enumerate() {
+            prop_assert_eq!(*v, i / chunk, "element {} labeled with wrong chunk", i);
+        }
+    }
+
+    #[test]
+    fn for_each_init_state_stays_per_worker(
+        len in 0usize..300,
+        chunk in 1usize..40,
+        workers in 1usize..9,
+    ) {
+        let inits = AtomicUsize::new(0);
+        let mut data = vec![0u8; len];
+        with_workers(workers, || {
+            data.par_chunks_mut(chunk).enumerate().for_each_init(
+                || inits.fetch_add(1, Ordering::Relaxed),
+                |_state, (_i, c)| c.iter_mut().for_each(|v| *v += 1),
+            );
+        });
+        prop_assert!(data.iter().all(|&v| v == 1), "some element touched != once");
+        // one state per worker, never one per chunk
+        prop_assert!(
+            inits.load(Ordering::Relaxed) <= workers.max(1),
+            "init ran {} times for {} workers",
+            inits.load(Ordering::Relaxed),
+            workers
+        );
+    }
+}
+
+#[test]
+fn zero_items_zero_chunks() {
+    let empty: Vec<u32> = Vec::new();
+    let out: Vec<u32> = with_workers(4, || empty.par_iter().map(|&x| x).collect());
+    assert!(out.is_empty());
+    let mut none: Vec<u32> = Vec::new();
+    with_workers(4, || {
+        none.par_chunks_mut(8).enumerate().for_each(|(_, _)| {
+            panic!("no chunks should run");
+        });
+    });
+}
+
+#[test]
+fn single_item_runs_once() {
+    let one = [41u32];
+    let out: Vec<u32> = with_workers(8, || one.par_iter().map(|&x| x + 1).collect());
+    assert_eq!(out, vec![42]);
+    let mut data = [0u8; 1];
+    with_workers(8, || {
+        data.par_chunks_mut(1)
+            .enumerate()
+            .for_each(|(i, c)| c[0] = i as u8 + 9);
+    });
+    assert_eq!(data[0], 9);
+}
