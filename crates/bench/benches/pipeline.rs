@@ -1,0 +1,328 @@
+//! End-to-end scan→archive benchmark: the chunked, overlapped pipeline
+//! (`als_tomo::pipeline` via `als_flows::realmode::scan_to_archive`)
+//! against the retained serial baseline (per-slice gather → unfused prep
+//! → per-call SIRT plan → batch archive writes after the fact).
+//!
+//! Writes `BENCH_pipeline.json` at the workspace root: scan→archive wall
+//! time, slices/s, speedup over the serial baseline, per-stage occupancy
+//! (load/prep/recon/sink busy plus the sink-busy-while-recon-busy overlap
+//! figure), and a thread sweep with over-subscribed rows flagged the same
+//! way `BENCH_recon.json` flags them.
+//!
+//! `--quick` (CI) runs a reduced problem and compares the pipeline wall
+//! time against the committed reference in `ci/pipeline_quick_ref.json`,
+//! exiting nonzero on a >2x regression.
+
+use als_flows::realmode::{
+    file_based_reconstruction_baseline, scan_to_archive, streaming_reconstruction_baseline,
+    FileBranchConfig,
+};
+use als_phantom::{shepp_logan_volume, DetectorConfig, ScanSimulator};
+use als_scidata::{tiff, MultiscaleStore, MultiscaleWriter, ScanFile, TiffStackSink};
+use als_tomo::pipeline::{self, PipelineConfig, ReconKind, SliceSink, VolumeSink};
+use als_tomo::{FbpConfig, Geometry, Image};
+use std::path::Path;
+use std::time::Instant;
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Simulate a full acquisition and assemble it into a scan file, exactly
+/// what the beamline file writer would have put on disk.
+fn make_scan(n: usize, nz: usize, n_angles: usize) -> (ScanFile, f64) {
+    let vol = shepp_logan_volume(n, nz);
+    let geom = Geometry::parallel_180(n_angles, n);
+    let det = DetectorConfig::default();
+    let mut sim = ScanSimulator::new(&vol, geom.clone(), det, 20_26);
+    let frames = sim.all_frames();
+    let scan = ScanFile::from_frames(
+        "bench_pipeline",
+        &frames,
+        sim.dark_field(),
+        sim.flat_field(),
+        &geom.angles,
+    )
+    .expect("scan assembles");
+    (scan, det.mu_scale)
+}
+
+/// The "before" measurement: serial per-slice reconstruction, then both
+/// archive products written as a batch afterwards — no stage overlap, no
+/// shared plan, no fused prep.
+fn baseline_scan_to_archive(
+    scan: &ScanFile,
+    mu_scale: f64,
+    cfg: &FileBranchConfig,
+    out_dir: &Path,
+) -> f64 {
+    std::fs::remove_dir_all(out_dir).ok();
+    let t = Instant::now();
+    let vol = file_based_reconstruction_baseline(scan, mu_scale, cfg);
+    let slices: Vec<Image> = (0..vol.nz).map(|z| vol.slice_xy(z)).collect();
+    tiff::write_stack(&out_dir.join("tiff"), &slices).expect("baseline tiff stack");
+    MultiscaleStore::create(
+        &out_dir.join("multiscale"),
+        &scan.scan_name(),
+        &vol,
+        cfg.multiscale_chunk,
+        cfg.multiscale_levels,
+    )
+    .expect("baseline multiscale store");
+    t.elapsed().as_secs_f64()
+}
+
+struct SweepRow {
+    json: String,
+    scan_to_archive_s: f64,
+    speedup_vs_baseline: f64,
+    oversubscribed: bool,
+}
+
+fn pipeline_row(
+    scan: &ScanFile,
+    mu_scale: f64,
+    cfg: &FileBranchConfig,
+    out_dir: &Path,
+    threads: usize,
+    cores: usize,
+    baseline_s: f64,
+) -> SweepRow {
+    rayon::set_num_threads(threads);
+    std::fs::remove_dir_all(out_dir).ok();
+    let t = Instant::now();
+    let result = scan_to_archive(scan, mu_scale, cfg, out_dir);
+    let wall = t.elapsed().as_secs_f64();
+    let report = &result.report;
+    let speedup = baseline_s / wall;
+    let oversubscribed = threads > cores;
+    let efficiency = if oversubscribed {
+        f64::NAN // serialized as null
+    } else {
+        speedup / threads as f64
+    };
+    println!(
+        "pipeline scan->archive {threads} threads: {:.1} ms ({:.1} slices/s), {:.2}x vs serial baseline, overlap ratio {:.2}{}",
+        wall * 1e3,
+        report.slices_per_sec(),
+        speedup,
+        report.overlap_ratio(),
+        if oversubscribed {
+            " [oversubscribed]"
+        } else {
+            ""
+        }
+    );
+    let json = format!(
+        "    {{\"threads\": {threads}, \"oversubscribed\": {oversubscribed}, \"scan_to_archive_ms\": {}, \"slices_per_s\": {}, \"speedup_vs_serial_baseline\": {}, \"scaling_efficiency\": {}, \"plan_build_ms\": {}, \"stage_busy_ms\": {{\"load\": {}, \"prep\": {}, \"recon\": {}, \"sink\": {}}}, \"sink_busy_overlapped_ms\": {}, \"overlap_ratio\": {}}}",
+        json_num(wall * 1e3),
+        json_num(report.slices_per_sec()),
+        json_num(speedup),
+        json_num(efficiency),
+        json_num(report.plan_build.as_secs_f64() * 1e3),
+        json_num(report.load_busy.as_secs_f64() * 1e3),
+        json_num(report.prep_busy.as_secs_f64() * 1e3),
+        json_num(report.recon_busy.as_secs_f64() * 1e3),
+        json_num(report.sink_busy.as_secs_f64() * 1e3),
+        json_num(report.sink_busy_overlapped.as_secs_f64() * 1e3),
+        json_num(report.overlap_ratio())
+    );
+    SweepRow {
+        json,
+        scan_to_archive_s: wall,
+        speedup_vs_baseline: speedup,
+        oversubscribed,
+    }
+}
+
+/// FBP-quality archive run, where reconstruction is cheap enough that
+/// the archive writes are a visible share of the wall — the entry that
+/// makes the I/O/compute overlap measurable rather than epsilon.
+fn fbp_archive_entry(quick: bool, work: &Path) -> String {
+    let (n, nz, n_angles) = if quick { (128, 8, 90) } else { (256, 16, 180) };
+    println!("assembling FBP-archive scan {n}x{n}x{nz}, {n_angles} angles...");
+    let (scan, mu) = make_scan(n, nz, n_angles);
+
+    // serial baseline: per-slice FBP with a per-call plan, then batch
+    // archive writes after the last slice
+    let base_dir = work.join("fbp_baseline");
+    std::fs::remove_dir_all(&base_dir).ok();
+    let t = Instant::now();
+    let vol = streaming_reconstruction_baseline(&scan, mu);
+    let slices: Vec<Image> = (0..vol.nz).map(|z| vol.slice_xy(z)).collect();
+    tiff::write_stack(&base_dir.join("tiff"), &slices).expect("baseline tiff stack");
+    MultiscaleStore::create(
+        &base_dir.join("multiscale"),
+        &scan.scan_name(),
+        &vol,
+        [4, 32, 32],
+        3,
+    )
+    .expect("baseline multiscale store");
+    let baseline_s = t.elapsed().as_secs_f64();
+
+    // overlapped pipeline with both archive sinks attached
+    let pipe_dir = work.join("fbp_pipeline");
+    std::fs::remove_dir_all(&pipe_dir).ok();
+    let mut vol_sink = VolumeSink::new();
+    let mut tiff_sink = TiffStackSink::new(&pipe_dir.join("tiff"));
+    let mut mzarr = MultiscaleWriter::new(
+        &pipe_dir.join("multiscale"),
+        &scan.scan_name(),
+        [4, 32, 32],
+        3,
+    );
+    let t = Instant::now();
+    let report = {
+        let mut sinks: [&mut dyn SliceSink; 3] = [&mut vol_sink, &mut tiff_sink, &mut mzarr];
+        let cfg = PipelineConfig {
+            recon: ReconKind::Fbp(FbpConfig::default()),
+            mu_scale: mu,
+            ..Default::default()
+        };
+        pipeline::run(&scan, &mut sinks, &cfg).expect("fbp archive pipeline succeeds")
+    };
+    let wall = t.elapsed().as_secs_f64();
+    let speedup = baseline_s / wall;
+    let sink_overlap_frac = {
+        let sb = report.sink_busy.as_secs_f64();
+        if sb > 0.0 {
+            report.sink_busy_overlapped.as_secs_f64() / sb
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "fbp archive {n}x{n}x{nz}: baseline {:.1} ms, pipeline {:.1} ms ({:.2}x), sink busy {:.1} ms of which {:.1} ms under recon ({:.0}%)",
+        baseline_s * 1e3,
+        wall * 1e3,
+        speedup,
+        report.sink_busy.as_secs_f64() * 1e3,
+        report.sink_busy_overlapped.as_secs_f64() * 1e3,
+        sink_overlap_frac * 100.0
+    );
+    format!(
+        "    {{\"n\": {n}, \"nz\": {nz}, \"n_angles\": {n_angles}, \"serial_baseline_ms\": {}, \"scan_to_archive_ms\": {}, \"speedup_vs_serial_baseline\": {}, \"stage_busy_ms\": {{\"load\": {}, \"prep\": {}, \"recon\": {}, \"sink\": {}}}, \"sink_busy_overlapped_ms\": {}, \"sink_overlap_fraction\": {}}}",
+        json_num(baseline_s * 1e3),
+        json_num(wall * 1e3),
+        json_num(speedup),
+        json_num(report.load_busy.as_secs_f64() * 1e3),
+        json_num(report.prep_busy.as_secs_f64() * 1e3),
+        json_num(report.recon_busy.as_secs_f64() * 1e3),
+        json_num(report.sink_busy.as_secs_f64() * 1e3),
+        json_num(report.sink_busy_overlapped.as_secs_f64() * 1e3),
+        json_num(sink_overlap_frac)
+    )
+}
+
+/// Pull `"quick_scan_to_archive_ms": <num>` out of the committed
+/// reference file. Returns `None` when the file is absent (first run on
+/// a new machine) — the guard is then skipped with a notice.
+fn load_quick_reference(path: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: serde_json::Value = serde_json::from_str(&text).ok()?;
+    v.get("quick_scan_to_archive_ms")?.as_f64()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Full mode runs the paper-recipe branch config (100 SIRT iterations)
+    // at 96^3; quick mode shrinks every axis so CI stays seconds-scale.
+    let (n, nz, n_angles, iters) = if quick {
+        (64, 4, 48, 20)
+    } else {
+        (96, 8, 96, 100)
+    };
+    let cfg = FileBranchConfig {
+        sirt_iterations: iters,
+        ..Default::default()
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    println!("assembling simulated scan {n}x{n}x{nz}, {n_angles} angles...");
+    let (scan, mu) = make_scan(n, nz, n_angles);
+    let work = std::env::temp_dir().join("bench_pipeline_work");
+
+    // serial baseline, inherently single-thread
+    rayon::set_num_threads(1);
+    let baseline_s = baseline_scan_to_archive(&scan, mu, &cfg, &work.join("baseline"));
+    println!(
+        "serial baseline scan->archive: {:.1} ms ({:.1} slices/s)",
+        baseline_s * 1e3,
+        nz as f64 / baseline_s
+    );
+
+    let sweep_threads: &[usize] = &[1, 2, 4];
+    let rows: Vec<SweepRow> = sweep_threads
+        .iter()
+        .map(|&t| {
+            pipeline_row(
+                &scan,
+                mu,
+                &cfg,
+                &work.join("pipeline"),
+                t,
+                cores,
+                baseline_s,
+            )
+        })
+        .collect();
+    rayon::set_num_threads(1);
+    let fbp_archive = fbp_archive_entry(quick, &work);
+    rayon::set_num_threads(0);
+    std::fs::remove_dir_all(&work).ok();
+
+    let best = rows
+        .iter()
+        .filter(|r| !r.oversubscribed)
+        .map(|r| r.speedup_vs_baseline)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let row_json: Vec<&str> = rows.iter().map(|r| r.json.as_str()).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"mode\": \"{}\",\n  \"note\": \"scan->archive: chunked overlapped pipeline (slab transpose -> fused prep -> shared-plan recon -> tiff+multiscale sinks on an I/O thread) vs retained serial baseline (per-slice gather, unfused prep, per-call plan, batch archive writes); sink_busy_overlapped_ms is sink time spent while recon was simultaneously busy; oversubscribed rows (threads > available_cores) carry null scaling_efficiency\",\n  \"scan\": {{\"n\": {n}, \"nz\": {nz}, \"n_angles\": {n_angles}, \"sirt_iterations\": {iters}}},\n  \"available_cores\": {cores},\n  \"serial_baseline_ms\": {},\n  \"best_speedup_vs_serial_baseline\": {},\n  \"thread_sweep\": [\n{}\n  ],\n  \"fbp_archive\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        json_num(baseline_s * 1e3),
+        json_num(best),
+        row_json.join(",\n"),
+        fbp_archive
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(out, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {out}");
+
+    if best < 3.0 {
+        println!("WARNING: best scan->archive speedup {best:.2}x below the 3x acceptance bar");
+    }
+
+    if quick {
+        // regression guard against the committed reference timing
+        let ref_path = Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../ci/pipeline_quick_ref.json"
+        ));
+        let quick_ms = rows[0].scan_to_archive_s * 1e3;
+        match load_quick_reference(ref_path) {
+            Some(ref_ms) => {
+                println!(
+                    "quick-mode guard: 1-thread scan->archive {quick_ms:.1} ms vs committed reference {ref_ms:.1} ms"
+                );
+                if quick_ms > 2.0 * ref_ms {
+                    eprintln!(
+                        "REGRESSION: quick scan->archive {quick_ms:.1} ms is more than 2x the committed reference {ref_ms:.1} ms"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            None => println!(
+                "quick-mode guard skipped: no committed reference at {}",
+                ref_path.display()
+            ),
+        }
+    }
+}

@@ -5,14 +5,24 @@
 //! PVA mirror → {file writer, streaming recon service}, then a file-based
 //! "high-quality" reconstruction of the written scan — the same dual-path
 //! topology as Figure 3, with real data flowing.
+//!
+//! Since PR 5 the file-based and streaming branches run through the
+//! chunked scan-to-archive pipeline (`als_tomo::pipeline`): slab
+//! transpose → fused prep → slice-parallel recon → archive sinks on a
+//! dedicated I/O thread. The old per-slice paths are retained as
+//! `*_baseline` functions — they are the equivalence reference and the
+//! "before" side of `BENCH_pipeline.json`.
 
 use als_phantom::{DetectorConfig, ScanSimulator};
-use als_scidata::ScanFile;
+use als_scidata::{MultiscaleWriter, ScanFile, TiffStackSink};
 use als_stream::{
     publish_scan, ChannelMirror, FileWriterService, Preview, PvaServer, StreamerConfig,
     StreamingReconService,
 };
-use als_tomo::{fbp_slice, sirt_slice, FbpConfig, Geometry, Image, IterConfig, Sinogram, Volume};
+use als_tomo::pipeline::{self, PipelineConfig, PipelineReport, ReconKind, SliceSink, VolumeSink};
+use als_tomo::{
+    fbp_slice, sirt_slice_baseline, FbpConfig, Geometry, Image, IterConfig, Sinogram, Volume,
+};
 use std::path::Path;
 use std::time::Duration;
 
@@ -29,6 +39,58 @@ pub struct SessionResult {
     pub file_based_volume: Volume,
     /// Streaming-quality (FBP) reconstruction for comparison.
     pub streaming_volume: Volume,
+}
+
+/// Tunables of the file-based "high quality" branch, previously
+/// hardcoded inside `file_based_reconstruction`. Defaults match the
+/// beamline 8.3.2 recipe the paper describes: 100 SIRT iterations and a
+/// log-domain zinger threshold of 0.5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileBranchConfig {
+    /// SIRT iterations per slice (paper recipe: 100).
+    pub sirt_iterations: usize,
+    /// Log-domain zinger threshold; `None` disables zinger removal.
+    pub zinger_threshold: Option<f32>,
+    /// Pipeline slab height in detector rows (0 = engine default).
+    pub slab_rows: usize,
+    /// Bounded-channel depth between pipeline stages, in slabs.
+    pub queue_depth: usize,
+    /// Chunk shape `[z, y, x]` of the multiscale archive product.
+    pub multiscale_chunk: [usize; 3],
+    /// Pyramid depth of the multiscale archive product.
+    pub multiscale_levels: usize,
+}
+
+impl Default for FileBranchConfig {
+    fn default() -> Self {
+        FileBranchConfig {
+            sirt_iterations: 100,
+            zinger_threshold: Some(0.5),
+            slab_rows: 0,
+            queue_depth: 2,
+            multiscale_chunk: [4, 32, 32],
+            multiscale_levels: 3,
+        }
+    }
+}
+
+impl FileBranchConfig {
+    fn iter_config(&self) -> IterConfig {
+        IterConfig {
+            iterations: self.sirt_iterations,
+            ..Default::default()
+        }
+    }
+
+    fn pipeline_config(&self, mu_scale: f64) -> PipelineConfig {
+        PipelineConfig {
+            recon: ReconKind::Sirt(self.iter_config()),
+            mu_scale,
+            zinger_threshold: self.zinger_threshold,
+            slab_rows: self.slab_rows,
+            queue_depth: self.queue_depth,
+        }
+    }
 }
 
 /// Run one complete dual-path session over a phantom volume with the
@@ -103,33 +165,87 @@ pub fn run_session_with(
     }
 }
 
-/// The file-based "high quality" pipeline: normalization chain + SIRT.
+fn volume_from_sink(sink: VolumeSink) -> Volume {
+    let (nx, ny, nz) = sink.shape();
+    let mut vol = Volume::zeros(nx, ny, nz);
+    vol.data = sink.into_data();
+    vol
+}
+
+/// The file-based "high quality" branch: fused preprocessing + SIRT
+/// through the overlapped scan-to-archive pipeline, with the paper
+/// recipe defaults ([`FileBranchConfig`]).
 pub fn file_based_reconstruction(scan: &ScanFile, mu_scale: f64) -> Volume {
+    file_based_reconstruction_with(scan, mu_scale, &FileBranchConfig::default())
+}
+
+/// [`file_based_reconstruction`] with explicit branch tunables.
+pub fn file_based_reconstruction_with(
+    scan: &ScanFile,
+    mu_scale: f64,
+    cfg: &FileBranchConfig,
+) -> Volume {
+    let mut sink = VolumeSink::new();
+    {
+        let mut sinks: [&mut dyn SliceSink; 1] = [&mut sink];
+        pipeline::run(scan, &mut sinks, &cfg.pipeline_config(mu_scale))
+            .expect("file-based pipeline succeeds");
+    }
+    volume_from_sink(sink)
+}
+
+/// Retained pre-pipeline file-based branch: per-slice sinogram gather,
+/// unfused prep chain, per-call SIRT plan. This is the equivalence
+/// baseline and the serial "before" measurement in
+/// `BENCH_pipeline.json` — do not optimise it.
+pub fn file_based_reconstruction_baseline(
+    scan: &ScanFile,
+    mu_scale: f64,
+    cfg: &FileBranchConfig,
+) -> Volume {
     let (n_angles, rows, cols) = scan.shape();
     let geom = Geometry {
         angles: scan.angles(),
         n_det: cols,
         center: (cols as f64 - 1.0) / 2.0,
     };
-    let cfg = IterConfig {
-        iterations: 100,
-        ..Default::default()
-    };
+    let iter_cfg = cfg.iter_config();
     let mut out = Volume::zeros(cols, cols, rows);
     for r in 0..rows {
         let sino = scan_slice_sinogram(scan, r, n_angles, cols, mu_scale);
         // zinger removal only: dark/flat normalization (already applied in
         // scan_slice_sinogram) removes the column-gain errors that stripe
         // filtering targets, so running it here would only erode signal
-        let cleaned = als_tomo::prep::remove_zingers(&sino, 0.5);
-        let img = sirt_slice(&cleaned, &geom, &cfg).expect("sirt succeeds");
+        let cleaned = match cfg.zinger_threshold {
+            Some(thr) => als_tomo::prep::remove_zingers(&sino, thr),
+            None => sino,
+        };
+        let img = sirt_slice_baseline(&cleaned, &geom, &iter_cfg).expect("sirt succeeds");
         out.set_slice_xy(r, &img);
     }
     out
 }
 
-/// The streaming-quality pipeline: plain FBP, no preprocessing.
+/// The streaming-quality branch: plain FBP through the pipeline, no
+/// zinger removal.
 pub fn streaming_reconstruction(scan: &ScanFile, mu_scale: f64) -> Volume {
+    let mut sink = VolumeSink::new();
+    {
+        let mut sinks: [&mut dyn SliceSink; 1] = [&mut sink];
+        let cfg = PipelineConfig {
+            recon: ReconKind::Fbp(FbpConfig::default()),
+            mu_scale,
+            zinger_threshold: None,
+            ..Default::default()
+        };
+        pipeline::run(scan, &mut sinks, &cfg).expect("streaming pipeline succeeds");
+    }
+    volume_from_sink(sink)
+}
+
+/// Retained pre-pipeline streaming branch (per-slice gather + FBP), the
+/// streaming equivalence baseline.
+pub fn streaming_reconstruction_baseline(scan: &ScanFile, mu_scale: f64) -> Volume {
     let (n_angles, rows, cols) = scan.shape();
     let geom = Geometry {
         angles: scan.angles(),
@@ -144,6 +260,53 @@ pub fn streaming_reconstruction(scan: &ScanFile, mu_scale: f64) -> Volume {
         out.set_slice_xy(r, &img);
     }
     out
+}
+
+/// Archive products of one scan-to-archive run.
+#[derive(Debug)]
+pub struct ArchiveResult {
+    /// The reconstructed volume (also streamed to the archive sinks).
+    pub volume: Volume,
+    /// Per-stage pipeline timing.
+    pub report: PipelineReport,
+    /// Directory holding the per-slice TIFF stack.
+    pub tiff_dir: std::path::PathBuf,
+    /// Directory holding the multiscale chunked store.
+    pub multiscale_dir: std::path::PathBuf,
+}
+
+/// The complete file-based product: reconstruct `scan` through the
+/// overlapped pipeline and stream the slices into both archive formats
+/// the paper's flows publish — a TIFF stack (`out_dir/tiff`) and a
+/// multiscale chunked store (`out_dir/multiscale`) — while
+/// reconstruction is still running.
+pub fn scan_to_archive(
+    scan: &ScanFile,
+    mu_scale: f64,
+    cfg: &FileBranchConfig,
+    out_dir: &Path,
+) -> ArchiveResult {
+    let tiff_dir = out_dir.join("tiff");
+    let multiscale_dir = out_dir.join("multiscale");
+    let mut volume = VolumeSink::new();
+    let mut tiff = TiffStackSink::new(&tiff_dir);
+    let mut mzarr = MultiscaleWriter::new(
+        &multiscale_dir,
+        &scan.scan_name(),
+        cfg.multiscale_chunk,
+        cfg.multiscale_levels,
+    );
+    let report = {
+        let mut sinks: [&mut dyn SliceSink; 3] = [&mut volume, &mut tiff, &mut mzarr];
+        pipeline::run(scan, &mut sinks, &cfg.pipeline_config(mu_scale))
+            .expect("scan-to-archive pipeline succeeds")
+    };
+    ArchiveResult {
+        volume: volume_from_sink(volume),
+        report,
+        tiff_dir,
+        multiscale_dir,
+    }
 }
 
 /// Extract the normalized sinogram of detector row `r` from a scan file.
@@ -215,6 +378,83 @@ mod tests {
             err_file < err_stream,
             "file-based mse {err_file} should beat streaming {err_stream}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn small_scan(n: usize, nz: usize, n_angles: usize) -> (ScanFile, f64) {
+        let vol = shepp_logan_volume(n, nz);
+        let geom = Geometry::parallel_180(n_angles, n);
+        let det = DetectorConfig::default();
+        let mut sim = ScanSimulator::new(&vol, geom.clone(), det, 77);
+        let frames = sim.all_frames();
+        let scan = ScanFile::from_frames(
+            "realmode_unit",
+            &frames,
+            sim.dark_field(),
+            sim.flat_field(),
+            &geom.angles,
+        )
+        .unwrap();
+        (scan, det.mu_scale)
+    }
+
+    #[test]
+    fn streaming_pipeline_is_bit_identical_to_baseline() {
+        // same prep math (fused, bit-for-bit) + the same shared FBP plan
+        // per slice: the pipeline must reproduce the per-slice path
+        // exactly, not just approximately
+        let (scan, mu) = small_scan(32, 5, 24);
+        let base = streaming_reconstruction_baseline(&scan, mu);
+        let fast = streaming_reconstruction(&scan, mu);
+        assert_eq!(base, fast);
+    }
+
+    #[test]
+    fn file_branch_config_controls_iterations() {
+        let (scan, mu) = small_scan(24, 2, 16);
+        let quick = FileBranchConfig {
+            sirt_iterations: 3,
+            ..Default::default()
+        };
+        let better = FileBranchConfig {
+            sirt_iterations: 40,
+            ..Default::default()
+        };
+        let truth = shepp_logan_volume(24, 2);
+        let v_quick = file_based_reconstruction_with(&scan, mu, &quick);
+        let v_better = file_based_reconstruction_with(&scan, mu, &better);
+        let e_quick = mse_in_disk(&truth.slice_xy(0), &v_quick.slice_xy(0));
+        let e_better = mse_in_disk(&truth.slice_xy(0), &v_better.slice_xy(0));
+        assert!(
+            e_better < e_quick,
+            "more iterations should reduce error: {e_quick} -> {e_better}"
+        );
+    }
+
+    #[test]
+    fn scan_to_archive_writes_both_products() {
+        let dir = std::env::temp_dir().join("realmode_archive");
+        std::fs::remove_dir_all(&dir).ok();
+        let (scan, mu) = small_scan(32, 4, 16);
+        let cfg = FileBranchConfig {
+            sirt_iterations: 5,
+            multiscale_chunk: [2, 16, 16],
+            multiscale_levels: 2,
+            ..Default::default()
+        };
+        let r = scan_to_archive(&scan, mu, &cfg, &dir);
+        assert_eq!((r.volume.nx, r.volume.ny, r.volume.nz), (32, 32, 4));
+        assert_eq!(r.report.slices, 4);
+        // TIFF stack matches the in-memory volume slice for slice
+        let stack = als_scidata::tiff::read_stack(&r.tiff_dir).unwrap();
+        assert_eq!(stack.len(), 4);
+        for (z, img) in stack.iter().enumerate() {
+            assert_eq!(img.data, r.volume.slice_xy(z).data, "tiff slice {z}");
+        }
+        // multiscale store opens and level 0 round-trips the volume
+        let store = als_scidata::MultiscaleStore::open(&r.multiscale_dir).unwrap();
+        assert_eq!(store.n_levels(), 2);
+        assert_eq!(store.read_level(0).unwrap(), r.volume);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

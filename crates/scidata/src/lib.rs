@@ -15,13 +15,17 @@
 //! * [`tiff`] — a minimal but spec-conforming little-endian TIFF writer
 //!   for reconstructed slices (the paper's per-slice TIFF stacks);
 //! * [`multiscale`] — a Zarr-like chunked multiscale volume store backed
-//!   by a directory tree, powering the itk-vtk-viewer-style access layer.
+//!   by a directory tree, powering the itk-vtk-viewer-style access layer;
+//! * [`sink`] — streaming archive writers (TIFF stack, multiscale store)
+//!   plus the `ProjectionSource` adapter that lets the scan-to-archive
+//!   pipeline (`als_tomo::pipeline`) read a [`ScanFile`] directly.
 
 pub mod checksum;
 pub mod container;
 pub mod hyperslab;
 pub mod multiscale;
 pub mod scanfile;
+pub mod sink;
 pub mod tiff;
 
 pub use checksum::{crc32, Crc32};
@@ -29,3 +33,4 @@ pub use container::{Attribute, Dataset, DatasetData, Group, SdfError, SdfFile};
 pub use hyperslab::{read_f32 as read_hyperslab_f32, read_u16 as read_hyperslab_u16, Hyperslab};
 pub use multiscale::MultiscaleStore;
 pub use scanfile::ScanFile;
+pub use sink::{MultiscaleWriter, TiffStackSink};

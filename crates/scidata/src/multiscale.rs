@@ -265,34 +265,41 @@ fn scatter_chunk(
     Ok(())
 }
 
-/// Halve every axis with 2×2×2 box averaging.
+/// Halve every axis with 2×2×2 box averaging. Output slices are
+/// independent, so the work is parallelized over output z (each voxel's
+/// accumulation order is unchanged — results are identical at any
+/// thread count).
 pub fn downsample2(vol: &Volume) -> Volume {
+    use rayon::prelude::*;
     let nx = (vol.nx / 2).max(1);
     let ny = (vol.ny / 2).max(1);
     let nz = (vol.nz / 2).max(1);
     let mut out = Volume::zeros(nx, ny, nz);
-    for z in 0..nz {
-        for y in 0..ny {
-            for x in 0..nx {
-                let mut acc = 0.0f64;
-                let mut cnt = 0u32;
-                for dz in 0..2 {
-                    for dy in 0..2 {
-                        for dx in 0..2 {
-                            let sx = x * 2 + dx;
-                            let sy = y * 2 + dy;
-                            let sz = z * 2 + dz;
-                            if sx < vol.nx && sy < vol.ny && sz < vol.nz {
-                                acc += vol.get(sx, sy, sz) as f64;
-                                cnt += 1;
+    out.data
+        .par_chunks_mut(nx * ny)
+        .enumerate()
+        .for_each(|(z, slice)| {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let mut acc = 0.0f64;
+                    let mut cnt = 0u32;
+                    for dz in 0..2 {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let sx = x * 2 + dx;
+                                let sy = y * 2 + dy;
+                                let sz = z * 2 + dz;
+                                if sx < vol.nx && sy < vol.ny && sz < vol.nz {
+                                    acc += vol.get(sx, sy, sz) as f64;
+                                    cnt += 1;
+                                }
                             }
                         }
                     }
+                    slice[y * nx + x] = (acc / cnt.max(1) as f64) as f32;
                 }
-                out.set(x, y, z, (acc / cnt.max(1) as f64) as f32);
             }
-        }
-    }
+        });
     out
 }
 

@@ -1,0 +1,406 @@
+//! Archive adapters for the scan-to-archive pipeline
+//! (`als_tomo::pipeline`): a [`ProjectionSource`] view over [`ScanFile`]
+//! and streaming [`SliceSink`]s for the two archive products the
+//! file-based branch publishes — the per-slice TIFF stack and the
+//! multiscale chunked store.
+//!
+//! Both sinks consume z-ordered slabs incrementally on the pipeline's
+//! I/O thread, so archive writes overlap reconstruction instead of
+//! serializing after it, and both produce **byte-identical** output to
+//! their batch counterparts (`tiff::write_stack`,
+//! `MultiscaleStore::create`) — asserted by tests.
+
+use crate::multiscale::{LevelMeta, StoreMeta};
+use crate::scanfile::ScanFile;
+use crate::{crc32, tiff};
+use als_tomo::pipeline::{ProjectionSource, SliceSink};
+use als_tomo::Image;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+impl ProjectionSource for ScanFile {
+    fn dims(&self) -> (usize, usize, usize) {
+        self.shape()
+    }
+
+    fn scan_angles(&self) -> Vec<f64> {
+        self.angles()
+    }
+
+    fn dark_frame(&self) -> &[u16] {
+        self.dark()
+    }
+
+    fn flat_frame(&self) -> &[u16] {
+        self.flat()
+    }
+
+    fn frame(&self, a: usize) -> &[u16] {
+        self.frame_data(a)
+    }
+}
+
+/// Streams reconstructed slices into a TIFF stack directory, one
+/// `slice_{z:04}.tif` per slice, byte-identical to
+/// [`tiff::write_stack`] over the full volume.
+#[derive(Debug)]
+pub struct TiffStackSink {
+    dir: PathBuf,
+    nx: usize,
+    ny: usize,
+    written: usize,
+}
+
+impl TiffStackSink {
+    pub fn new(dir: &Path) -> TiffStackSink {
+        TiffStackSink {
+            dir: dir.to_path_buf(),
+            nx: 0,
+            ny: 0,
+            written: 0,
+        }
+    }
+
+    pub fn slices_written(&self) -> usize {
+        self.written
+    }
+}
+
+impl SliceSink for TiffStackSink {
+    fn begin(&mut self, nx: usize, ny: usize, _nz: usize) -> Result<(), String> {
+        self.nx = nx;
+        self.ny = ny;
+        std::fs::create_dir_all(&self.dir).map_err(|e| e.to_string())
+    }
+
+    fn write_slab(&mut self, z0: usize, n_slices: usize, data: &[f32]) -> Result<(), String> {
+        let px = self.nx * self.ny;
+        if data.len() != n_slices * px {
+            return Err(format!(
+                "slab size {} != {n_slices} slices of {px}",
+                data.len()
+            ));
+        }
+        for i in 0..n_slices {
+            let img = Image::from_vec(self.nx, self.ny, data[i * px..(i + 1) * px].to_vec());
+            let path = self.dir.join(format!("slice_{:04}.tif", z0 + i));
+            std::fs::write(&path, tiff::encode_f32(&img)).map_err(|e| e.to_string())?;
+            self.written += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// One pyramid level being streamed: slices arrive in z order, get
+/// buffered until a full chunk-row (`chunk[0]` slices) can be written,
+/// and are pairwise z-downsampled to feed the next level.
+#[derive(Debug)]
+struct LevelState {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Slices of this level accumulated toward the next chunk-row.
+    buf: Vec<f32>,
+    /// First z index held in `buf`.
+    buf_z0: usize,
+    /// An unpaired slice awaiting its partner for the next level's
+    /// 2×2×2 box filter.
+    pending: Option<Vec<f32>>,
+}
+
+/// Streams reconstructed slices into a multiscale chunked store,
+/// producing byte-identical output (chunk files and `.mzarr.json`) to
+/// `MultiscaleStore::create` over the assembled volume — without ever
+/// holding more than a chunk-row per level in memory.
+///
+/// Downsampling happens incrementally: each pair of level-`L` slices is
+/// box-filtered into one level-`L+1` slice with the same loop order and
+/// f64 accumulation as the batch [`crate::multiscale::downsample2`], so
+/// every level matches the batch pyramid bit-for-bit (an odd z tail is
+/// dropped exactly like the batch path's `(nz / 2).max(1)` output
+/// extent).
+#[derive(Debug)]
+pub struct MultiscaleWriter {
+    root: PathBuf,
+    name: String,
+    chunk: [usize; 3],
+    n_levels: usize,
+    levels: Vec<LevelState>,
+}
+
+impl MultiscaleWriter {
+    pub fn new(root: &Path, name: &str, chunk: [usize; 3], n_levels: usize) -> MultiscaleWriter {
+        assert!(n_levels >= 1, "need at least one level");
+        assert!(chunk.iter().all(|&c| c > 0), "chunk dims must be nonzero");
+        MultiscaleWriter {
+            root: root.to_path_buf(),
+            name: name.to_string(),
+            chunk,
+            n_levels,
+            levels: Vec::new(),
+        }
+    }
+
+    fn push_slice(&mut self, level: usize, slice: Vec<f32>) -> Result<(), String> {
+        let (nx, ny, nz) = {
+            let ls = &self.levels[level];
+            (ls.nx, ls.ny, ls.nz)
+        };
+        // feed the next level before moving `slice` into the buffer
+        if level + 1 < self.n_levels {
+            if nz == 1 {
+                // single-slice level: the batch path still emits one
+                // output slice, filtered over the lone z plane
+                let ds = downsample_slice_pair(&slice, None, nx, ny);
+                self.push_slice(level + 1, ds)?;
+            } else if let Some(prev) = self.levels[level].pending.take() {
+                let ds = downsample_slice_pair(&prev, Some(&slice), nx, ny);
+                self.push_slice(level + 1, ds)?;
+            } else {
+                self.levels[level].pending = Some(slice.clone());
+            }
+        }
+        let ls = &mut self.levels[level];
+        ls.buf.extend_from_slice(&slice);
+        let buffered = ls.buf.len() / (nx * ny);
+        let row_len = self.chunk[0].min(nz - ls.buf_z0);
+        if buffered == row_len {
+            self.flush_chunk_row(level)?;
+        }
+        Ok(())
+    }
+
+    /// Write every `(cy, cx)` chunk of the current chunk-row and clear
+    /// the buffer. Payload layout matches the batch writer: z-major
+    /// within the chunk, CRC-32 prefix.
+    fn flush_chunk_row(&mut self, level: usize) -> Result<(), String> {
+        let ls = &mut self.levels[level];
+        let (nx, ny) = (ls.nx, ls.ny);
+        let lz = ls.buf.len() / (nx * ny);
+        if lz == 0 {
+            return Ok(());
+        }
+        let cz = ls.buf_z0 / self.chunk[0];
+        let dir = self.root.join(format!("L{level}"));
+        let grid_y = ny.div_ceil(self.chunk[1]);
+        let grid_x = nx.div_ceil(self.chunk[2]);
+        for cy in 0..grid_y {
+            let y0 = cy * self.chunk[1];
+            let ly = self.chunk[1].min(ny - y0);
+            for cx in 0..grid_x {
+                let x0 = cx * self.chunk[2];
+                let lx = self.chunk[2].min(nx - x0);
+                let mut payload: Vec<u8> = Vec::with_capacity(lz * ly * lx * 4);
+                for dz in 0..lz {
+                    for dy in 0..ly {
+                        for dx in 0..lx {
+                            let v = ls.buf[(dz * ny + y0 + dy) * nx + x0 + dx];
+                            payload.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                }
+                let mut f = std::fs::File::create(dir.join(format!("{cz}.{cy}.{cx}")))
+                    .map_err(|e| e.to_string())?;
+                f.write_all(&crc32(&payload).to_le_bytes())
+                    .map_err(|e| e.to_string())?;
+                f.write_all(&payload).map_err(|e| e.to_string())?;
+            }
+        }
+        ls.buf_z0 += lz;
+        ls.buf.clear();
+        Ok(())
+    }
+}
+
+/// Box-filter one output slice of the next pyramid level from a pair of
+/// source slices (`b = None` for a single-slice level), replicating
+/// `downsample2`'s exact per-voxel loop order and f64 accumulation.
+fn downsample_slice_pair(a: &[f32], b: Option<&[f32]>, nx: usize, ny: usize) -> Vec<f32> {
+    let onx = (nx / 2).max(1);
+    let ony = (ny / 2).max(1);
+    let mut out = vec![0.0f32; onx * ony];
+    for y in 0..ony {
+        for x in 0..onx {
+            let mut acc = 0.0f64;
+            let mut cnt = 0u32;
+            for dz in 0..2usize {
+                let src = match dz {
+                    0 => a,
+                    _ => match b {
+                        Some(s) => s,
+                        None => continue,
+                    },
+                };
+                for dy in 0..2 {
+                    let sy = y * 2 + dy;
+                    if sy >= ny {
+                        continue;
+                    }
+                    for dx in 0..2 {
+                        let sx = x * 2 + dx;
+                        if sx >= nx {
+                            continue;
+                        }
+                        acc += src[sy * nx + sx] as f64;
+                        cnt += 1;
+                    }
+                }
+            }
+            out[y * onx + x] = (acc / cnt.max(1) as f64) as f32;
+        }
+    }
+    out
+}
+
+impl SliceSink for MultiscaleWriter {
+    fn begin(&mut self, nx: usize, ny: usize, nz: usize) -> Result<(), String> {
+        let (mut lx, mut ly, mut lz) = (nx, ny, nz);
+        self.levels.clear();
+        for level in 0..self.n_levels {
+            std::fs::create_dir_all(self.root.join(format!("L{level}")))
+                .map_err(|e| e.to_string())?;
+            self.levels.push(LevelState {
+                nx: lx,
+                ny: ly,
+                nz: lz,
+                buf: Vec::new(),
+                buf_z0: 0,
+                pending: None,
+            });
+            lx = (lx / 2).max(1);
+            ly = (ly / 2).max(1);
+            lz = (lz / 2).max(1);
+        }
+        Ok(())
+    }
+
+    fn write_slab(&mut self, _z0: usize, n_slices: usize, data: &[f32]) -> Result<(), String> {
+        let px = self.levels[0].nx * self.levels[0].ny;
+        if data.len() != n_slices * px {
+            return Err(format!(
+                "slab size {} != {n_slices} slices of {px}",
+                data.len()
+            ));
+        }
+        for i in 0..n_slices {
+            self.push_slice(0, data[i * px..(i + 1) * px].to_vec())?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        // flush partial chunk-rows (odd unpaired slices are dropped,
+        // matching the batch pyramid's floor-halved z extents)
+        for level in 0..self.n_levels {
+            self.flush_chunk_row(level)?;
+        }
+        let meta = StoreMeta {
+            name: self.name.clone(),
+            dtype: "f32".into(),
+            levels: self
+                .levels
+                .iter()
+                .map(|ls| LevelMeta {
+                    shape: [ls.nz, ls.ny, ls.nx],
+                    chunk: self.chunk,
+                })
+                .collect(),
+        };
+        let meta_json = serde_json::to_string_pretty(&meta).map_err(|e| e.to_string())?;
+        std::fs::write(self.root.join(".mzarr.json"), meta_json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiscale::MultiscaleStore;
+    use als_tomo::Volume;
+
+    fn test_volume(nx: usize, ny: usize, nz: usize) -> Volume {
+        let mut vol = Volume::zeros(nx, ny, nz);
+        for (i, v) in vol.data.iter_mut().enumerate() {
+            *v = (i as f32 * 0.37).sin() * 100.0;
+        }
+        vol
+    }
+
+    fn drive_sink(sink: &mut dyn SliceSink, vol: &Volume, slab: usize) {
+        sink.begin(vol.nx, vol.ny, vol.nz).unwrap();
+        let px = vol.nx * vol.ny;
+        let mut z = 0;
+        while z < vol.nz {
+            let k = slab.min(vol.nz - z);
+            sink.write_slab(z, k, &vol.data[z * px..(z + k) * px])
+                .unwrap();
+            z += k;
+        }
+        sink.finish().unwrap();
+    }
+
+    fn tree_bytes(dir: &Path) -> std::collections::BTreeMap<String, Vec<u8>> {
+        fn walk(dir: &Path, base: &Path, out: &mut std::collections::BTreeMap<String, Vec<u8>>) {
+            for e in std::fs::read_dir(dir).unwrap().filter_map(|e| e.ok()) {
+                let p = e.path();
+                if p.is_dir() {
+                    walk(&p, base, out);
+                } else {
+                    let rel = p.strip_prefix(base).unwrap().to_string_lossy().into_owned();
+                    out.insert(rel, std::fs::read(&p).unwrap());
+                }
+            }
+        }
+        let mut out = std::collections::BTreeMap::new();
+        walk(dir, dir, &mut out);
+        out
+    }
+
+    #[test]
+    fn tiff_sink_matches_batch_write_stack() {
+        let vol = test_volume(20, 20, 7);
+        let base = std::env::temp_dir().join("tiff_sink_eq");
+        std::fs::remove_dir_all(&base).ok();
+        let batch_dir = base.join("batch");
+        let sink_dir = base.join("sink");
+        let slices: Vec<Image> = (0..vol.nz).map(|z| vol.slice_xy(z)).collect();
+        tiff::write_stack(&batch_dir, &slices).unwrap();
+        let mut sink = TiffStackSink::new(&sink_dir);
+        drive_sink(&mut sink, &vol, 3);
+        assert_eq!(sink.slices_written(), 7);
+        assert_eq!(tree_bytes(&batch_dir), tree_bytes(&sink_dir));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn multiscale_writer_matches_batch_create() {
+        // exercises uneven chunk tails and both odd and even z extents
+        for (nx, ny, nz, chunk, levels, slab) in [
+            (20, 18, 10, [4, 8, 8], 3, 4),
+            (16, 16, 9, [4, 4, 4], 3, 2),
+            (12, 12, 1, [2, 8, 8], 2, 1),
+            (10, 14, 6, [3, 5, 5], 2, 5),
+        ] {
+            let vol = test_volume(nx, ny, nz);
+            let base = std::env::temp_dir().join(format!("mzarr_sink_eq_{nx}_{ny}_{nz}"));
+            std::fs::remove_dir_all(&base).ok();
+            let batch_dir = base.join("batch");
+            let sink_dir = base.join("sink");
+            MultiscaleStore::create(&batch_dir, "scan", &vol, chunk, levels).unwrap();
+            let mut sink = MultiscaleWriter::new(&sink_dir, "scan", chunk, levels);
+            drive_sink(&mut sink, &vol, slab);
+            assert_eq!(
+                tree_bytes(&batch_dir),
+                tree_bytes(&sink_dir),
+                "{nx}x{ny}x{nz} chunk {chunk:?} levels {levels} slab {slab}"
+            );
+            // and the streamed store opens + round-trips through the reader
+            let store = MultiscaleStore::open(&sink_dir).unwrap();
+            assert_eq!(store.read_level(0).unwrap(), vol);
+            std::fs::remove_dir_all(&base).ok();
+        }
+    }
+}

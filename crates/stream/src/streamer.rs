@@ -11,8 +11,8 @@
 
 use crate::channel::{StreamMessage, Subscription};
 use crate::ScanAnnounce;
-use als_phantom::{frames_to_sinogram, Frame};
-use als_tomo::{FbpConfig, Geometry, Image, ReconPlan, Sinogram};
+use als_phantom::Frame;
+use als_tomo::{FbpConfig, Geometry, Image, RawPrepPlan, ReconPlan, Sinogram};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -137,22 +137,32 @@ pub fn reconstruct_preview(
     scan_id: &str,
 ) -> Option<Preview> {
     let t_recon = Instant::now();
-    let frames: Vec<Frame> = cache.iter().map(|f| (**f).clone()).collect();
-    let angles: Vec<f64> = frames.iter().map(|f| f.meta.angle_rad).collect();
+    let angles: Vec<f64> = cache.iter().map(|f| f.meta.angle_rad).collect();
     let geom = Geometry {
         angles,
         n_det: announce.cols,
         center: (announce.cols as f64 - 1.0) / 2.0,
     };
+    // gather sinograms straight from the cached frames (no whole-scan
+    // clone) with the fused prep plan: per-pixel dark levels and
+    // denominators are hoisted once for all rows, and each row is one
+    // contiguous read per frame
+    let cols = announce.cols;
+    let prep = RawPrepPlan::new(
+        &announce.dark,
+        &announce.flat,
+        announce.rows,
+        cols,
+        announce.mu_scale,
+        None,
+    );
     let sinos: Vec<Sinogram> = (0..announce.rows)
         .map(|r| {
-            frames_to_sinogram(
-                &frames,
-                &announce.dark,
-                &announce.flat,
-                r,
-                announce.mu_scale,
-            )
+            let mut sino = Sinogram::zeros(cache.len(), cols);
+            for (a, frame) in cache.iter().enumerate() {
+                prep.prep_angle_row(r, &frame.data[r * cols..(r + 1) * cols], sino.row_mut(a));
+            }
+            sino
         })
         .collect();
     // one plan for the whole stack: the filter response, FFT tables and

@@ -23,6 +23,10 @@
 //!   cached filter responses, FFT tables, trig tables, disk-mask extents,
 //!   and reusable per-thread scratch (the CPU analogue of
 //!   streamtomocupy's persistent GPU plans);
+//! * [`pipeline`] — the chunked scan-to-archive engine: slab transpose,
+//!   fused prep, slice-parallel reconstruction, and archive sinks on a
+//!   dedicated I/O thread, connected by bounded channels so the stages
+//!   overlap;
 //! * [`reference`] — retained pre-plan kernels, kept for equivalence
 //!   tests and same-run before/after benchmarking;
 //! * [`quality`] — MSE/PSNR/SSIM metrics used by the quality experiments;
@@ -41,6 +45,7 @@ pub mod geometry;
 pub mod gridrec;
 pub mod image;
 pub mod iterative;
+pub mod pipeline;
 pub mod plan;
 pub mod prep;
 pub mod quality;
@@ -54,8 +59,15 @@ pub use filter::{FilterKind, FilterPlan};
 pub use geometry::Geometry;
 pub use gridrec::{gridrec_slice, GridrecConfig};
 pub use image::{Image, Sinogram, Volume};
-pub use iterative::{art_slice, mlem_slice, sirt_slice, IterConfig};
+pub use iterative::{
+    art_slice, mlem_slice, sirt_slice, sirt_slice_baseline, IterConfig, IterPlan, IterScratch,
+};
+pub use pipeline::{
+    PipelineConfig, PipelineError, PipelineReport, ProjectionSource, ReconKind, SliceSink,
+    VolumeSink,
+};
 pub use plan::{GridrecPlan, GridrecScratch, ReconPlan, ReconScratch};
+pub use prep::{PrepPlan, RawPrepPlan};
 pub use quality::{mse, psnr, ssim};
 pub use radon::{backproject, forward_project};
 pub use sino_ops::{bin_detector, crop_roi, fold_360_to_180, pad_edges};

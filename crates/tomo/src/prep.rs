@@ -145,12 +145,196 @@ pub fn paganin_filter(sino: &Sinogram, delta_beta: f64) -> Sinogram {
     out
 }
 
+/// In-place zinger-removal + −log over one row, bit-for-bit equal to
+/// `minus_log(&remove_zingers(...))` on that row. `row` holds the
+/// pre-log (normalized transmission) values on entry. The rolling
+/// `prev` variable preserves the pre-replacement neighbour values that
+/// `remove_zingers` reads from its immutable source row.
+fn zinger_log_row_inplace(row: &mut [f32], threshold: Option<f32>) {
+    let n = row.len();
+    if n == 0 {
+        return;
+    }
+    let log = |v: f32| -(v.max(1e-6).ln());
+    let Some(thr) = threshold else {
+        for v in row.iter_mut() {
+            *v = log(*v);
+        }
+        return;
+    };
+    let mut prev = row[0];
+    row[0] = log(prev);
+    for t in 1..n.saturating_sub(1) {
+        let cur = row[t];
+        let next = row[t + 1];
+        let v = if cur - prev > thr && cur - next > thr {
+            0.5 * (prev + next)
+        } else {
+            cur
+        };
+        row[t] = log(v);
+        prev = cur;
+    }
+    if n > 1 {
+        row[n - 1] = log(row[n - 1]);
+    }
+}
+
+/// Fused preprocessing plan for float-count sinograms: the
+/// `normalize` → `remove_zingers` → `minus_log` chain collapsed into a
+/// single in-place pass per row, with the per-bin dark levels and
+/// `(flat − dark)` denominators hoisted out of the per-sample loop.
+///
+/// The denominators are stored (not their reciprocals) and applied by
+/// division: hoisting the per-angle recomputation is where the time
+/// goes, and dividing keeps the output **bit-for-bit identical** to the
+/// unfused chain — the equivalence the pipeline tests assert.
+#[derive(Debug, Clone)]
+pub struct PrepPlan {
+    dark: Vec<f32>,
+    denom: Vec<f32>,
+    zinger_threshold: Option<f32>,
+}
+
+impl PrepPlan {
+    /// Precompute per-bin normalization terms from reference rows.
+    /// `zinger_threshold: None` skips zinger removal entirely.
+    pub fn new(dark: &[f32], flat: &[f32], zinger_threshold: Option<f32>) -> PrepPlan {
+        assert_eq!(dark.len(), flat.len(), "dark/flat width mismatch");
+        let denom = flat
+            .iter()
+            .zip(dark.iter())
+            .map(|(&f, &d)| (f - d).max(1e-6))
+            .collect();
+        PrepPlan {
+            dark: dark.to_vec(),
+            denom,
+            zinger_threshold,
+        }
+    }
+
+    pub fn n_det(&self) -> usize {
+        self.dark.len()
+    }
+
+    /// Convert one row of raw counts to line integrals, in place.
+    pub fn apply_row(&self, row: &mut [f32]) {
+        assert_eq!(row.len(), self.dark.len(), "row width mismatch");
+        for (t, r) in row.iter_mut().enumerate() {
+            let v = (*r - self.dark[t]) / self.denom[t];
+            *r = v.clamp(1e-6, f32::MAX);
+        }
+        zinger_log_row_inplace(row, self.zinger_threshold);
+    }
+
+    /// Convert a whole sinogram of raw counts to line integrals, in place.
+    pub fn apply(&self, sino: &mut Sinogram) {
+        assert_eq!(sino.n_det, self.dark.len(), "sinogram width mismatch");
+        for a in 0..sino.n_angles {
+            self.apply_row(sino.row_mut(a));
+        }
+    }
+}
+
+/// Fused preprocessing plan for raw `u16` detector frames, matching the
+/// realmode file/streaming branch semantics: per-pixel
+/// `t = ((raw − dark) / (flat − dark).max(1)).clamp(1e-6, 1.0)` in f64,
+/// `−ln(t) / mu_scale` to f32, then optional zinger removal **in the
+/// log domain**. Per-pixel dark levels and denominators are hoisted
+/// into flat tables at plan build; division and the exact f64→f32
+/// expression order are preserved so the output is bit-for-bit equal to
+/// the unfused per-slice gather it replaces.
+#[derive(Debug, Clone)]
+pub struct RawPrepPlan {
+    rows: usize,
+    cols: usize,
+    dark: Vec<f64>,
+    denom: Vec<f64>,
+    mu_scale: f64,
+    zinger_threshold: Option<f32>,
+}
+
+impl RawPrepPlan {
+    /// `dark`/`flat` are full reference frames (`rows × cols`).
+    pub fn new(
+        dark: &[u16],
+        flat: &[u16],
+        rows: usize,
+        cols: usize,
+        mu_scale: f64,
+        zinger_threshold: Option<f32>,
+    ) -> RawPrepPlan {
+        assert_eq!(dark.len(), rows * cols, "dark frame shape mismatch");
+        assert_eq!(flat.len(), rows * cols, "flat frame shape mismatch");
+        assert!(mu_scale > 0.0, "mu_scale must be positive");
+        let dark_f: Vec<f64> = dark.iter().map(|&d| d as f64).collect();
+        let denom = flat
+            .iter()
+            .zip(dark_f.iter())
+            .map(|(&f, &d)| (f as f64 - d).max(1.0))
+            .collect();
+        RawPrepPlan {
+            rows,
+            cols,
+            dark: dark_f,
+            denom,
+            mu_scale,
+            zinger_threshold,
+        }
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn zinger_threshold(&self) -> Option<f32> {
+        self.zinger_threshold
+    }
+
+    /// Convert one projection row (`cols` raw counts at detector row
+    /// `detector_row` of one frame) into one sinogram row of line
+    /// integrals.
+    pub fn prep_angle_row(&self, detector_row: usize, raw_row: &[u16], dst: &mut [f32]) {
+        assert!(detector_row < self.rows, "detector row out of range");
+        assert_eq!(raw_row.len(), self.cols, "raw row width mismatch");
+        assert_eq!(dst.len(), self.cols, "destination row width mismatch");
+        let off = detector_row * self.cols;
+        let dark = &self.dark[off..off + self.cols];
+        let denom = &self.denom[off..off + self.cols];
+        for c in 0..self.cols {
+            let t = ((raw_row[c] as f64 - dark[c]) / denom[c]).clamp(1e-6, 1.0);
+            dst[c] = (-(t.ln()) / self.mu_scale) as f32;
+        }
+        zinger_row_inplace(dst, self.zinger_threshold);
+    }
+}
+
+/// In-place zinger removal over one row (log-domain variant used by the
+/// raw-count plan), bit-for-bit equal to `remove_zingers` on that row.
+fn zinger_row_inplace(row: &mut [f32], threshold: Option<f32>) {
+    let Some(thr) = threshold else { return };
+    let n = row.len();
+    if n < 3 {
+        return;
+    }
+    let mut prev = row[0];
+    for t in 1..n - 1 {
+        let cur = row[t];
+        let next = row[t + 1];
+        if cur - prev > thr && cur - next > thr {
+            row[t] = 0.5 * (prev + next);
+        }
+        prev = cur;
+    }
+}
+
 /// The full standard preprocessing chain used by the file-based pipeline.
+/// Normalization, zinger removal, and −log run as one fused [`PrepPlan`]
+/// pass (bit-identical to the explicit chain), then ring suppression.
 pub fn standard_chain(raw: &Sinogram, dark: &[f32], flat: &[f32]) -> Sinogram {
-    let norm = normalize(raw, dark, flat);
-    let dezing = remove_zingers(&norm, 0.5);
-    let logged = minus_log(&dezing);
-    remove_stripes(&logged, 9)
+    let mut fused = raw.clone();
+    PrepPlan::new(dark, flat, Some(0.5)).apply(&mut fused);
+    remove_stripes(&fused, 9)
 }
 
 #[cfg(test)]
@@ -265,6 +449,100 @@ mod tests {
             *v = i as f32;
         }
         assert_eq!(paganin_filter(&sino, 0.0), sino);
+    }
+
+    /// Deterministic pseudo-random counts (no external RNG dep).
+    fn lcg_counts(seed: u64, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (state >> 33) as f32 / (1u64 << 31) as f32;
+                lo + u * (hi - lo)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prep_plan_matches_unfused_chain_bit_for_bit() {
+        let n_angles = 23;
+        let n_det = 61;
+        let mut raw = Sinogram::zeros(n_angles, n_det);
+        raw.data
+            .copy_from_slice(&lcg_counts(7, n_angles * n_det, 80.0, 1100.0));
+        // sprinkle zingers and a few below-dark samples
+        for (i, v) in raw.data.iter_mut().enumerate() {
+            if i % 37 == 5 {
+                *v += 900.0;
+            }
+            if i % 53 == 11 {
+                *v = 10.0;
+            }
+        }
+        let dark = lcg_counts(11, n_det, 50.0, 120.0);
+        let mut flat = lcg_counts(13, n_det, 800.0, 1200.0);
+        flat[17] = dark[17]; // dead pixel: exercises the denominator floor
+        for &thr in &[0.5f32, 0.05] {
+            let expected = minus_log(&remove_zingers(&normalize(&raw, &dark, &flat), thr));
+            let mut fused = raw.clone();
+            PrepPlan::new(&dark, &flat, Some(thr)).apply(&mut fused);
+            assert_eq!(
+                expected.data, fused.data,
+                "fused PrepPlan must match normalize→zingers→log bit-for-bit (thr {thr})"
+            );
+        }
+        // no-zinger variant: normalize→log only
+        let expected = minus_log(&normalize(&raw, &dark, &flat));
+        let mut fused = raw.clone();
+        PrepPlan::new(&dark, &flat, None).apply(&mut fused);
+        assert_eq!(expected.data, fused.data);
+    }
+
+    #[test]
+    fn raw_prep_plan_matches_per_element_gather_bit_for_bit() {
+        // reference: the realmode per-element math + log-domain zingers
+        let rows = 5;
+        let cols = 41;
+        let n_angles = 19;
+        let mu = 0.04;
+        let dark: Vec<u16> = lcg_counts(3, rows * cols, 40.0, 110.0)
+            .iter()
+            .map(|&v| v as u16)
+            .collect();
+        let mut flat: Vec<u16> = lcg_counts(5, rows * cols, 700.0, 1300.0)
+            .iter()
+            .map(|&v| v as u16)
+            .collect();
+        flat[2 * cols + 7] = dark[2 * cols + 7]; // dead pixel
+        let frames: Vec<Vec<u16>> = (0..n_angles)
+            .map(|a| {
+                lcg_counts(100 + a as u64, rows * cols, 60.0, 1400.0)
+                    .iter()
+                    .map(|&v| v as u16)
+                    .collect()
+            })
+            .collect();
+        let plan = RawPrepPlan::new(&dark, &flat, rows, cols, mu, Some(0.5));
+        for r in 0..rows {
+            let mut reference = Sinogram::zeros(n_angles, cols);
+            for (a, frame) in frames.iter().enumerate() {
+                for c in 0..cols {
+                    let raw = frame[r * cols + c] as f64;
+                    let d = dark[r * cols + c] as f64;
+                    let f = flat[r * cols + c] as f64;
+                    let t = ((raw - d) / (f - d).max(1.0)).clamp(1e-6, 1.0);
+                    reference.set(a, c, (-(t.ln()) / mu) as f32);
+                }
+            }
+            let reference = remove_zingers(&reference, 0.5);
+            let mut fused = Sinogram::zeros(n_angles, cols);
+            for (a, frame) in frames.iter().enumerate() {
+                plan.prep_angle_row(r, &frame[r * cols..(r + 1) * cols], fused.row_mut(a));
+            }
+            assert_eq!(reference.data, fused.data, "detector row {r}");
+        }
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Equivalence of the chunked scan-to-archive pipeline against the
+//! retained per-slice baselines, on a simulated Shepp-Logan scan — at
+//! one worker thread and at several, to catch ordering/racing bugs in
+//! the slab/parallel plumbing.
+
+use als_flows::realmode::{
+    file_based_reconstruction_baseline, file_based_reconstruction_with, streaming_reconstruction,
+    streaming_reconstruction_baseline, FileBranchConfig,
+};
+use als_phantom::{shepp_logan_volume, DetectorConfig, ScanSimulator};
+use als_scidata::ScanFile;
+use als_tomo::{Geometry, Volume};
+
+fn shepp_logan_scan(n: usize, nz: usize, n_angles: usize) -> (ScanFile, f64) {
+    let vol = shepp_logan_volume(n, nz);
+    let geom = Geometry::parallel_180(n_angles, n);
+    let det = DetectorConfig::default();
+    let mut sim = ScanSimulator::new(&vol, geom.clone(), det, 4242);
+    let frames = sim.all_frames();
+    let scan = ScanFile::from_frames(
+        "pipeline_equivalence",
+        &frames,
+        sim.dark_field(),
+        sim.flat_field(),
+        &geom.angles,
+    )
+    .expect("scan assembles");
+    (scan, det.mu_scale)
+}
+
+fn rmse(a: &Volume, b: &Volume) -> f64 {
+    assert_eq!((a.nx, a.ny, a.nz), (b.nx, b.ny, b.nz));
+    let sum: f64 = a
+        .data
+        .iter()
+        .zip(b.data.iter())
+        .map(|(&x, &y)| (x as f64 - y as f64).powi(2))
+        .sum();
+    (sum / a.data.len() as f64).sqrt()
+}
+
+/// Single test driving both thread counts sequentially:
+/// `rayon::set_num_threads` is process-global, so the 1-thread and
+/// N-thread runs must not race with each other.
+#[test]
+fn pipeline_matches_baseline_at_one_and_many_threads() {
+    let (scan, mu) = shepp_logan_scan(48, 5, 24);
+    let cfg = FileBranchConfig {
+        sirt_iterations: 15,
+        slab_rows: 2,
+        ..Default::default()
+    };
+
+    let file_baseline = file_based_reconstruction_baseline(&scan, mu, &cfg);
+    let stream_baseline = streaming_reconstruction_baseline(&scan, mu);
+
+    let mut per_thread_file: Vec<Volume> = Vec::new();
+    for threads in [1usize, 4] {
+        rayon::set_num_threads(threads);
+        let file_pipeline = file_based_reconstruction_with(&scan, mu, &cfg);
+        let stream_pipeline = streaming_reconstruction(&scan, mu);
+
+        // file branch: the pipeline's table-driven SIRT reassociates
+        // floating-point sums, so agreement is ≤1e-5 RMSE, not bitwise
+        let e = rmse(&file_baseline, &file_pipeline);
+        assert!(
+            e <= 1e-5,
+            "file-based pipeline vs baseline rmse {e} at {threads} threads"
+        );
+
+        // streaming branch: identical fused prep + the same shared FBP
+        // plan — must be exactly the per-slice result
+        assert_eq!(
+            stream_baseline, stream_pipeline,
+            "streaming pipeline diverged at {threads} threads"
+        );
+        per_thread_file.push(file_pipeline);
+    }
+    rayon::set_num_threads(0);
+
+    // thread count must not change the output at all
+    assert_eq!(
+        per_thread_file[0], per_thread_file[1],
+        "pipeline output depends on worker thread count"
+    );
+}
