@@ -1,0 +1,299 @@
+//! Orchestrator journal throughput: sharded group-commit WAL vs the
+//! PR 2 unsharded immediate-mode baseline.
+//!
+//! Each measured configuration drives the same synthetic flow mix
+//! through a [`ShardPool`] whose per-shard sinks write-and-fsync a real
+//! file, then block for a modeled device-sync latency (200 us, an
+//! NVMe-class fsync — the container's filesystem absorbs `sync_data`
+//! in single-digit microseconds, which would understate the very cost
+//! the WAL discipline is designed around). Device syncs are where both
+//! optimisations pay: group commit amortises one fsync over a batch of
+//! records, and sharding lets the per-partition fsyncs overlap instead
+//! of serialising behind a single journal tail. Every flow still pays
+//! the submit barrier (the `ExternalSubmitted` record is flushed
+//! durable immediately — that durability point is not negotiable), so
+//! the speedup reported here is what the barrier discipline actually
+//! leaves on the table.
+//!
+//! The flow mix also exercises the deadline-aware retry policy: each
+//! first attempt fails, and [`RetryPolicy::delay_before_deadline`]
+//! decides whether a retry is admissible — flows with a tight deadline
+//! fail terminally instead of queueing a retry that could never start
+//! in time.
+//!
+//! Writes `BENCH_orchestrator.json`. `--quick` (CI) runs a reduced
+//! flow count and compares sharded flows/s against
+//! `ci/orchestrator_quick_ref.json`, failing on a >2x regression.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use als_orchestrator::{
+    shard_of_key, Claim, DurableOrchestrator, ExternalKind, FlowState, RetryPolicy, ShardPool,
+    ShardedOrchestrator, TaskState,
+};
+use als_simcore::{SimDuration, SimInstant};
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+const LEASE: SimDuration = SimDuration::from_secs(600);
+
+/// Modeled WAL-device sync latency charged per journal flush on top of
+/// the real write+`sync_data`. A blocked sync occupies no CPU, so
+/// syncs on different shards overlap — the same behaviour a real
+/// device gives. The pool hands each sink one coalesced byte delta per
+/// operation; the number of device syncs that delta represents is the
+/// number of journal flushes inside it — every frame individually in
+/// immediate mode, one per group of up to `batch` frames otherwise.
+const DEVICE_SYNC: std::time::Duration = std::time::Duration::from_micros(200);
+
+struct ConfigResult {
+    shards: usize,
+    batch: usize,
+    flows: usize,
+    completed: usize,
+    wall_s: f64,
+    flows_per_s: f64,
+    records_per_s: f64,
+    records: u64,
+    fsyncs: u64,
+    bytes: usize,
+}
+
+/// Drive `flows` synthetic flows through a shard pool whose journals
+/// persist to real files under `wal_dir`, then recover the fleet from
+/// those very files to prove the on-disk bytes are a usable image.
+fn run_config(shards: usize, batch: usize, flows: usize, wal_dir: &Path) -> ConfigResult {
+    std::fs::remove_dir_all(wal_dir).ok();
+    std::fs::create_dir_all(wal_dir).expect("create WAL dir");
+    let now = SimInstant::ZERO;
+    let fleet: Vec<DurableOrchestrator> = (0..shards)
+        .map(|i| DurableOrchestrator::shard("orch-bench", now, i as u64, shards as u64, batch))
+        .collect();
+
+    let dir = wal_dir.to_path_buf();
+    let wall = Instant::now();
+    let pool = ShardPool::spawn_with_sinks(fleet, |i| {
+        let mut f = File::create(dir.join(format!("shard{i}.wal"))).expect("create WAL file");
+        Box::new(move |bytes: &[u8]| {
+            f.write_all(bytes).expect("WAL write");
+            f.sync_data().expect("WAL fsync");
+            let frames = bytes.iter().filter(|&&b| b == b'\n').count();
+            std::thread::sleep(DEVICE_SYNC * frames.div_ceil(batch) as u32);
+        })
+    });
+
+    let policy = RetryPolicy {
+        jitter: 0.25,
+        ..RetryPolicy::default()
+    };
+    for i in 0..flows {
+        let key = format!("flow{i:05}/submit@nersc");
+        let s = shard_of_key(&key, shards);
+        // every fifth flow carries a deadline tighter than the first
+        // backoff delay, so its retry is inadmissible and it must fail
+        // terminally instead of queueing dead work
+        let deadline = now
+            + if i % 5 == 0 {
+                SimDuration::from_secs(5)
+            } else {
+                SimDuration::from_secs(3600)
+            };
+        let handle = i as u64;
+        pool.submit(s, move |orch| {
+            if orch.claim(&key, now, LEASE) != Claim::Run {
+                return;
+            }
+            let run = orch.create_run("bench_flow", now);
+            orch.set_parameter(run, "key", &key);
+            orch.start_run(run, now);
+            let task = orch.start_task(run, "submit_job", Some(&key), now);
+            // submit barrier: flushed durable immediately
+            orch.external_submitted(ExternalKind::Job, handle, run, "bench");
+            orch.finish_task(run, task, TaskState::Failed, now, Some("transient"));
+            match policy.delay_before_deadline(1, handle, now, deadline) {
+                Some(delay) => {
+                    orch.schedule_retry(run, task, 1, delay);
+                    orch.retry_task(run, task, now + delay);
+                    orch.external_resolved(ExternalKind::Job, handle);
+                    orch.complete(&key);
+                    orch.finish_task(run, task, TaskState::Completed, now + delay, None);
+                    orch.finish_run(run, FlowState::Completed, now + delay);
+                }
+                None => {
+                    // retry cannot start before the flow deadline
+                    orch.external_resolved(ExternalKind::Job, handle);
+                    orch.release(&key);
+                    orch.finish_run(run, FlowState::Failed, now);
+                }
+            }
+        });
+    }
+    for s in 0..shards {
+        pool.submit(s, |orch| {
+            orch.commit();
+        });
+    }
+    let drained = pool.join();
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let records: u64 = drained
+        .iter()
+        .map(|o| o.journal().durable_record_count())
+        .sum();
+    let fsyncs: u64 = drained.iter().map(|o| o.journal().write_count()).sum();
+    let bytes: usize = drained.iter().map(|o| o.journal().byte_len()).sum();
+
+    // the files the sinks wrote must be a recoverable fleet image
+    let images: Vec<Vec<u8>> = (0..shards)
+        .map(|i| std::fs::read(dir.join(format!("shard{i}.wal"))).expect("read WAL back"))
+        .collect();
+    let (recovered, info) = ShardedOrchestrator::recover_fleet(&images, "orch-verify", now, batch);
+    assert!(
+        info.damaged_shards().is_empty(),
+        "clean shutdown left damaged shard images"
+    );
+    assert_eq!(
+        recovered.all_runs().count(),
+        flows,
+        "recovered fleet lost flow runs"
+    );
+    let completed = recovered
+        .all_runs()
+        .filter(|r| r.state == FlowState::Completed)
+        .count();
+
+    ConfigResult {
+        shards,
+        batch,
+        flows,
+        completed,
+        wall_s,
+        flows_per_s: flows as f64 / wall_s,
+        records_per_s: records as f64 / wall_s,
+        records,
+        fsyncs,
+        bytes,
+    }
+}
+
+fn load_quick_reference(path: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: serde_json::Value = serde_json::from_str(&text).ok()?;
+    v.get("flows_per_s_sharded")?.as_f64()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let flows = if quick { 400 } else { 1200 };
+    let wal_dir = std::env::temp_dir().join("als_bench_orchestrator_wal");
+
+    // (shards, group-commit batch); first row is the PR 2 shape: one
+    // journal, every record individually flushed
+    let configs: &[(usize, usize)] = if quick {
+        &[(1, 1), (8, 32)]
+    } else {
+        &[(1, 1), (1, 32), (2, 32), (4, 32), (8, 32)]
+    };
+
+    println!("orchestrator WAL throughput ({flows} flows, real file fsyncs)");
+    println!("shards  batch  flows/s  records/s  fsyncs  records  completed");
+    let mut rows = Vec::new();
+    for &(shards, batch) in configs {
+        let r = run_config(shards, batch, flows, &wal_dir);
+        println!(
+            "{:>6}  {:>5}  {:>7.0}  {:>9.0}  {:>6}  {:>7}  {:>6}/{}",
+            r.shards,
+            r.batch,
+            r.flows_per_s,
+            r.records_per_s,
+            r.fsyncs,
+            r.records,
+            r.completed,
+            r.flows
+        );
+        rows.push(r);
+    }
+    std::fs::remove_dir_all(&wal_dir).ok();
+
+    let baseline = &rows[0];
+    let sharded = rows.last().expect("at least one config");
+    let speedup = sharded.flows_per_s / baseline.flows_per_s;
+    println!(
+        "sharded group commit ({} shards, batch {}) vs unsharded immediate: {:.2}x flows/s",
+        sharded.shards, sharded.batch, speedup
+    );
+    if speedup < 2.0 {
+        println!("WARNING: sharded speedup below the 2x bar");
+    }
+
+    let config_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"shards\": {}, \"batch\": {}, \"flows\": {}, \"completed\": {}, ",
+                    "\"wall_s\": {}, \"flows_per_s\": {}, \"records_per_s\": {}, ",
+                    "\"records\": {}, \"fsyncs\": {}, \"journal_bytes\": {}}}"
+                ),
+                r.shards,
+                r.batch,
+                r.flows,
+                r.completed,
+                json_num(r.wall_s),
+                json_num(r.flows_per_s),
+                json_num(r.records_per_s),
+                r.records,
+                r.fsyncs,
+                r.bytes,
+            )
+        })
+        .collect();
+    let artifact = format!(
+        concat!(
+            "{{\n  \"bench\": \"orchestrator\",\n  \"quick\": {},\n  \"flows\": {},\n",
+            "  \"flows_per_s_unsharded\": {},\n  \"flows_per_s_sharded\": {},\n",
+            "  \"speedup_sharded_vs_unsharded\": {},\n  \"configs\": [\n    {}\n  ]\n}}\n"
+        ),
+        quick,
+        flows,
+        json_num(baseline.flows_per_s),
+        json_num(sharded.flows_per_s),
+        json_num(speedup),
+        config_json.join(",\n    "),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_orchestrator.json");
+    std::fs::write(out, artifact).expect("write BENCH_orchestrator.json");
+    println!("wrote {out}");
+
+    if quick {
+        let ref_path = PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../ci/orchestrator_quick_ref.json"
+        ));
+        match load_quick_reference(&ref_path) {
+            Some(reference) => {
+                println!(
+                    "quick guard: sharded {:.0} flows/s vs reference {:.0}",
+                    sharded.flows_per_s, reference
+                );
+                if sharded.flows_per_s < reference / 2.0 {
+                    println!("FAIL: sharded throughput regressed >2x vs reference");
+                    std::process::exit(1);
+                }
+            }
+            None => println!(
+                "quick guard: no reference at {}, skipping",
+                ref_path.display()
+            ),
+        }
+    }
+}

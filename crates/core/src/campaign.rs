@@ -73,7 +73,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     sim.schedule_campaign(&mut workload, cfg.n_scans);
     sim.run(None);
 
-    let q = sim.engine().query();
+    let engine = sim.engine();
+    let q = engine.query();
     let mut flows = Vec::new();
     let mut success_rates = Vec::new();
     for flow in [FLOW_NEW_FILE, FLOW_NERSC, FLOW_ALCF] {

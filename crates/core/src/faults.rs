@@ -61,14 +61,52 @@ impl FaultWindow {
     }
 }
 
+/// What the crash does to the durable journal images beyond killing the
+/// process. A sharded orchestrator persists one WAL partition per shard;
+/// the interesting failure modes are *asymmetric* — one partition's
+/// device tears or rots while the rest survive intact.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum CrashDamage {
+    /// Clean power cut: pending group-commit frames die with the
+    /// process, but every durable image survives byte-for-byte.
+    #[default]
+    None,
+    /// The crash raced a group-commit flush on one shard:
+    /// `keep_milli`/1000 of the in-flight write reached the device,
+    /// leaving a torn frame at that shard's tail.
+    MidGroupCommit { shard: usize, keep_milli: u32 },
+    /// One shard's journal lost its last `drop_bytes` bytes (a write the
+    /// device acknowledged but never committed).
+    ShardTorn { shard: usize, drop_bytes: usize },
+    /// One byte flipped `offset_back` bytes from the end of one shard's
+    /// journal (bit rot / partial-sector damage caught by the CRC).
+    ShardCorrupt { shard: usize, offset_back: usize },
+}
+
+impl CrashDamage {
+    /// The shard this damage targets, if any. Stored indices may exceed
+    /// the fleet size of a particular configuration — callers reduce
+    /// modulo their shard count so one plan drives any fleet width.
+    pub fn target_shard(&self) -> Option<usize> {
+        match self {
+            CrashDamage::None => None,
+            CrashDamage::MidGroupCommit { shard, .. }
+            | CrashDamage::ShardTorn { shard, .. }
+            | CrashDamage::ShardCorrupt { shard, .. } => Some(*shard),
+        }
+    }
+}
+
 /// The orchestrator process dies at `at` and a new incarnation comes up
 /// `restart_after` later. Unlike facility faults, this kills the
 /// *coordinator*: in-memory flow state is lost (unless journaled),
-/// facility-side jobs and transfers keep running unattended.
+/// facility-side jobs and transfers keep running unattended. `damage`
+/// optionally wounds one shard's durable journal on the way down.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OrchestratorCrash {
     pub at: SimInstant,
     pub restart_after: SimDuration,
+    pub damage: CrashDamage,
 }
 
 impl OrchestratorCrash {
@@ -77,7 +115,17 @@ impl OrchestratorCrash {
             restart_after > SimDuration::ZERO,
             "restart must come after the crash"
         );
-        OrchestratorCrash { at, restart_after }
+        OrchestratorCrash {
+            at,
+            restart_after,
+            damage: CrashDamage::None,
+        }
+    }
+
+    /// Builder: wound a shard's journal as part of this crash.
+    pub fn with_damage(mut self, damage: CrashDamage) -> Self {
+        self.damage = damage;
+        self
     }
 
     pub fn restart_at(&self) -> SimInstant {
@@ -176,6 +224,44 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// The R3 shard-chaos schedule: the crash-storm cadence (three
+    /// orchestrator deaths with 450 s restarts) where every crash also
+    /// wounds one journal shard — a torn group-commit flush, a truncated
+    /// tail, or a flipped byte — chosen deterministically from `seed`.
+    /// Shard indices are drawn in `[0, shards)`; running the same plan at
+    /// a smaller fleet width reduces them modulo that width, so sharded
+    /// and unsharded configurations face the same storm.
+    pub fn shard_chaos(seed: u64, shards: usize) -> Self {
+        assert!(shards > 0, "chaos needs at least one shard");
+        let mut rng = SimRng::seeded(seed ^ 0x0005_4A2D_C805);
+        let mut plan = FaultPlan::none();
+        for (i, at_s) in [1500u64, 3600, 5700].into_iter().enumerate() {
+            let shard = rng.uniform_u64(0, shards as u64) as usize;
+            let damage = match i % 3 {
+                0 => CrashDamage::MidGroupCommit {
+                    shard,
+                    keep_milli: rng.uniform_u64(100, 900) as u32,
+                },
+                1 => CrashDamage::ShardTorn {
+                    shard,
+                    drop_bytes: rng.uniform_u64(20, 160) as usize,
+                },
+                _ => CrashDamage::ShardCorrupt {
+                    shard,
+                    offset_back: rng.uniform_u64(5, 120) as usize,
+                },
+            };
+            plan.orchestrator_crashes.push(
+                OrchestratorCrash::new(
+                    SimInstant::ZERO + SimDuration::from_secs(at_s),
+                    SimDuration::from_secs(450),
+                )
+                .with_damage(damage),
+            );
+        }
+        plan
+    }
 }
 
 #[cfg(test)]
@@ -243,5 +329,48 @@ mod tests {
     #[should_panic(expected = "restart must come after")]
     fn instant_restart_is_rejected() {
         OrchestratorCrash::new(secs(100), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn crashes_default_to_clean_power_cuts() {
+        let c = OrchestratorCrash::new(secs(100), SimDuration::from_secs(60));
+        assert_eq!(c.damage, CrashDamage::None);
+        assert_eq!(c.damage.target_shard(), None);
+        let wounded = c.with_damage(CrashDamage::ShardTorn {
+            shard: 3,
+            drop_bytes: 40,
+        });
+        assert_eq!(wounded.damage.target_shard(), Some(3));
+        assert_eq!(wounded.at, c.at, "damage does not move the crash");
+    }
+
+    #[test]
+    fn shard_chaos_is_deterministic_and_covers_every_damage_kind() {
+        let a = FaultPlan::shard_chaos(23, 8);
+        let b = FaultPlan::shard_chaos(23, 8);
+        assert_eq!(a, b, "same seed, same chaos");
+        assert_ne!(a, FaultPlan::shard_chaos(24, 8), "seed steers the chaos");
+        assert_eq!(a.orchestrator_crashes.len(), 3);
+        for c in &a.orchestrator_crashes {
+            let shard = c.damage.target_shard().expect("every crash wounds a shard");
+            assert!(shard < 8);
+        }
+        // the schedule cycles through all three asymmetric damage kinds
+        assert!(matches!(
+            a.orchestrator_crashes[0].damage,
+            CrashDamage::MidGroupCommit { .. }
+        ));
+        assert!(matches!(
+            a.orchestrator_crashes[1].damage,
+            CrashDamage::ShardTorn { .. }
+        ));
+        assert!(matches!(
+            a.orchestrator_crashes[2].damage,
+            CrashDamage::ShardCorrupt { .. }
+        ));
+        // a single-shard fleet reduces every target to shard 0
+        for c in &FaultPlan::shard_chaos(23, 1).orchestrator_crashes {
+            assert_eq!(c.damage.target_shard(), Some(0));
+        }
     }
 }

@@ -49,6 +49,7 @@ pub mod realmode;
 pub mod recovery;
 pub mod resilience;
 pub mod scan;
+pub mod shard_recovery;
 pub mod sim;
 pub mod streaming_model;
 pub mod users;
@@ -63,5 +64,9 @@ pub use resilience::{
     ResilienceReport,
 };
 pub use scan::{Scan, ScanId, ScanWorkload};
+pub use shard_recovery::{
+    run_shard_chaos_sim, shard_chaos_experiment, shard_chaos_outcome, ShardChaosOutcome,
+    ShardChaosReport,
+};
 pub use sim::{FacilitySim, SimConfig};
 pub use users::{user_archetypes, UserArchetype};

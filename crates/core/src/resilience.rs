@@ -101,7 +101,8 @@ pub(crate) fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
 
 /// Aggregate a drained simulator into an outcome row.
 pub fn outcome_of(sim: &FacilitySim, scans: usize) -> ResilienceOutcome {
-    let q = sim.engine().query();
+    let engine = sim.engine();
+    let q = engine.query();
     let mut total = 0usize;
     let mut completed = 0usize;
     let mut durations: Vec<f64> = Vec::new();

@@ -1,0 +1,151 @@
+//! Shard-chaos experiment (R3): fleet-wide crash recovery with damaged
+//! journal partitions.
+//!
+//! R2 establishes that a write-ahead journal lets a crashed coordinator
+//! resume without duplicating facility work — but it assumes the journal
+//! bytes come back intact. R3 drops that assumption: the orchestrator
+//! runs sharded across N journal partitions with group-commit batching,
+//! and every crash in the schedule additionally wounds one shard's
+//! on-disk image (a write torn mid-group-commit, a truncated tail, or a
+//! flipped byte). The campaign must still deliver every branch with zero
+//! duplicated side-effecting steps, and — the isolation claim — only
+//! flows living on the wounded shard may need evidence-based healing
+//! (label adoption, staging-worker re-detection, catalogue evidence);
+//! everything else recovers by plain replay.
+//!
+//! The same storm is run at several shard counts, so the table doubles
+//! as a blast-radius curve: more shards → a smaller fraction of the
+//! campaign exposed to any single damaged partition.
+
+use crate::faults::FaultPlan;
+use crate::scan::ScanWorkload;
+use crate::sim::{FacilitySim, SimConfig};
+use serde::Serialize;
+
+/// Aggregated results of one shard-chaos campaign.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardChaosOutcome {
+    pub shards: usize,
+    pub scans: usize,
+    pub branches_total: usize,
+    pub branches_completed: usize,
+    pub completion_rate: f64,
+    /// Side-effecting steps initiated twice at a facility (must be 0).
+    pub duplicate_side_effects: usize,
+    pub crashes: usize,
+    pub recoveries: usize,
+    /// In-flight ops re-attached from surviving journal records.
+    pub reattached_ops: usize,
+    /// Ops adopted from facility labels because their submission record
+    /// was destroyed with a damaged shard tail.
+    pub adopted_orphan_ops: usize,
+    /// Scans that needed any evidence-based healing.
+    pub degraded_scans: usize,
+    /// Distinct shards wounded across the storm.
+    pub damaged_shards: usize,
+    /// Blast-radius invariant: every degraded scan lives on a damaged
+    /// shard.
+    pub damage_isolated: bool,
+}
+
+/// The full R3 report (what `experiments shard_recovery` prints).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardChaosReport {
+    pub rows: Vec<ShardChaosOutcome>,
+}
+
+/// Run one shard-chaos campaign and return the drained simulator: the
+/// R2 crash-storm schedule, with each crash additionally damaging one
+/// shard image (kind cycling torn-group-commit → truncated tail →
+/// corrupt byte).
+pub fn run_shard_chaos_sim(n_scans: usize, seed: u64, shards: usize) -> FacilitySim {
+    let mut sim = FacilitySim::new(SimConfig {
+        seed,
+        faults: FaultPlan::shard_chaos(seed, shards),
+        durable_recovery: true,
+        shard_count: shards,
+        ..Default::default()
+    });
+    let mut workload = ScanWorkload::production().with_cadence_secs(300.0);
+    sim.schedule_campaign(&mut workload, n_scans);
+    sim.run(None);
+    sim
+}
+
+/// Aggregate a drained simulator into an outcome row.
+pub fn shard_chaos_outcome(sim: &FacilitySim, scans: usize) -> ShardChaosOutcome {
+    let total = scans * 2;
+    let completed = sim.branches_completed();
+    ShardChaosOutcome {
+        shards: sim.cfg.shard_count,
+        scans,
+        branches_total: total,
+        branches_completed: completed,
+        completion_rate: if total > 0 {
+            completed as f64 / total as f64
+        } else {
+            0.0
+        },
+        duplicate_side_effects: sim.duplicate_side_effects,
+        crashes: sim.crash_count,
+        recoveries: sim.recovery_count,
+        reattached_ops: sim.reattached_ops,
+        adopted_orphan_ops: sim.adopted_orphan_ops,
+        degraded_scans: sim.degraded_scans.len(),
+        damaged_shards: sim.damaged_shards_seen.len(),
+        damage_isolated: sim.damage_isolated(),
+    }
+}
+
+/// The R3 experiment: the same chaos storm at increasing shard counts.
+pub fn shard_chaos_experiment(n_scans: usize, seed: u64) -> ShardChaosReport {
+    let rows = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| {
+            let sim = run_shard_chaos_sim(n_scans, seed, shards);
+            shard_chaos_outcome(&sim, n_scans)
+        })
+        .collect();
+    ShardChaosReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_storm_completes_without_duplicates() {
+        for shards in [1usize, 4] {
+            let sim = run_shard_chaos_sim(10, 7, shards);
+            let o = shard_chaos_outcome(&sim, 10);
+            assert_eq!(o.crashes, 3, "{shards} shards");
+            assert_eq!(o.recoveries, 3, "{shards} shards");
+            assert_eq!(
+                o.duplicate_side_effects, 0,
+                "{shards} shards duplicated work"
+            );
+            assert_eq!(
+                (o.branches_completed, o.branches_total),
+                (20, 20),
+                "{shards} shards lost branches"
+            );
+        }
+    }
+
+    #[test]
+    fn damage_degrades_only_the_wounded_shards() {
+        let sim = run_shard_chaos_sim(10, 7, 4);
+        let o = shard_chaos_outcome(&sim, 10);
+        assert!(o.damage_isolated, "healing leaked past damaged shards");
+        // three crashes wound at most three distinct partitions
+        assert!(o.damaged_shards <= 3, "{} shards damaged", o.damaged_shards);
+    }
+
+    #[test]
+    fn chaos_experiment_is_deterministic() {
+        let a = shard_chaos_experiment(6, 11);
+        let b = shard_chaos_experiment(6, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.rows.len(), 4);
+    }
+}

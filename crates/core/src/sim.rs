@@ -9,7 +9,7 @@
 //! catalogue the results land in. Every flow run is recorded in the
 //! Prefect-substitute engine, which is what the Table 2 report queries.
 
-use crate::faults::{FaultKind, FaultPlan};
+use crate::faults::{CrashDamage, FaultKind, FaultPlan};
 use crate::scan::{Scan, ScanId, ScanWorkload};
 use als_catalog::{raw_scan_dataset, recon_dataset, Catalog, DatasetPid, InstrumentMetadata};
 use als_globus::compute::{
@@ -26,7 +26,8 @@ use als_netsim::{esnet_topology_with_nics, SiteId};
 use als_orchestrator::engine::{FlowEngine, FlowRunId, FlowState, TaskState};
 use als_orchestrator::schedule::Schedule;
 use als_orchestrator::{
-    cancel_orphan_jobs, compute_fate, job_fate, Claim, DurableOrchestrator, ExternalKind, OpFate,
+    cancel_orphan_jobs, compute_fate, job_fate, shard_of_key, transfer_fate, Claim, ExternalKind,
+    OpFate, ShardedOrchestrator,
 };
 use als_simcore::{ByteSize, EventQueue, SimDuration, SimInstant, SimRng};
 use serde::{Deserialize, Serialize};
@@ -75,6 +76,13 @@ pub struct SimConfig {
     /// and falls back to rescanning facility state (the measured
     /// baseline for the recovery experiment).
     pub durable_recovery: bool,
+    /// Journal partitions the orchestrator shards its state across.
+    /// Keys for one scan land on one shard, so a damaged shard degrades
+    /// only that shard's flows.
+    pub shard_count: usize,
+    /// Group-commit batch per shard journal: records buffered per
+    /// durable write. `<= 1` writes through on every record.
+    pub group_commit_batch: usize,
 }
 
 impl Default for SimConfig {
@@ -94,6 +102,8 @@ impl Default for SimConfig {
             faults: FaultPlan::none(),
             failover_enabled: true,
             durable_recovery: true,
+            shard_count: 4,
+            group_commit_batch: 32,
         }
     }
 }
@@ -199,9 +209,10 @@ pub struct FacilitySim {
     pub cfg: SimConfig,
     queue: EventQueue<Ev>,
     rng: SimRng,
-    /// The durable orchestrator core: flow engine + idempotency store +
-    /// concurrency limits, every mutation write-ahead journaled.
-    pub orch: DurableOrchestrator,
+    /// The durable orchestrator core, sharded across journal partitions:
+    /// flow engine + idempotency store + concurrency limits, every
+    /// mutation write-ahead journaled on the owning shard.
+    pub orch: ShardedOrchestrator,
     pub catalog: Catalog,
     pub monitor: BandwidthMonitor,
 
@@ -258,8 +269,9 @@ pub struct FacilitySim {
     epoch: u32,
     /// The coordinator process is currently dead.
     orchestrator_down: bool,
-    /// Journal bytes that survive a crash (durable mode only).
-    persisted_wal: Option<Vec<u8>>,
+    /// Per-shard journal bytes that survive a crash (durable mode only),
+    /// after any configured [`CrashDamage`] has been applied.
+    persisted_wal: Option<Vec<Vec<u8>>>,
     /// Scans saved while the coordinator was dead, ingested at restart.
     backlog: Vec<ScanId>,
     /// Branches already counted in `completed_scans` (guards against
@@ -284,6 +296,21 @@ pub struct FacilitySim {
     pub reattached_ops: usize,
     /// Live facility jobs cancelled because the journal disowned them.
     pub orphan_cancel_count: usize,
+
+    /// Beamline-side staging workers in flight: scan → when the worker
+    /// finishes. The worker is facility infrastructure, not coordinator
+    /// state — it survives coordinator crashes and finishes its job
+    /// whether or not the journal remembers asking.
+    ingest_worker: BTreeMap<ScanId, SimInstant>,
+    /// Facility operations adopted at recovery because the journal lost
+    /// their submission record (damaged shards only).
+    pub adopted_orphan_ops: usize,
+    /// Scans that needed evidence-based healing (label adoption, staging
+    /// worker re-detection, catalogue evidence) because journal records
+    /// were destroyed — the blast radius of shard damage.
+    pub degraded_scans: BTreeSet<u32>,
+    /// Shards whose journals were damaged across all crashes suffered.
+    pub damaged_shards_seen: BTreeSet<usize>,
 }
 
 fn branch_key(b: Branch) -> u8 {
@@ -352,7 +379,12 @@ impl FacilitySim {
         FacilitySim {
             queue: EventQueue::new(),
             rng,
-            orch: DurableOrchestrator::production("orch-0", SimInstant::ZERO),
+            orch: ShardedOrchestrator::production(
+                "orch-0",
+                SimInstant::ZERO,
+                cfg.shard_count.max(1),
+                cfg.group_commit_batch,
+            ),
             catalog: Catalog::new(),
             monitor: BandwidthMonitor::new(),
             transfer,
@@ -397,6 +429,10 @@ impl FacilitySim {
             recovery_count: 0,
             reattached_ops: 0,
             orphan_cancel_count: 0,
+            ingest_worker: BTreeMap::new(),
+            adopted_orphan_ops: 0,
+            degraded_scans: BTreeSet::new(),
+            damaged_shards_seen: BTreeSet::new(),
             cfg,
         }
     }
@@ -405,9 +441,27 @@ impl FacilitySim {
         self.queue.now()
     }
 
-    /// The live incarnation's flow-run database (the Table 2 source).
-    pub fn engine(&self) -> &FlowEngine {
-        &self.orch.engine
+    /// The live incarnation's flow-run database (the Table 2 source),
+    /// merged across shards into one owned engine.
+    pub fn engine(&self) -> FlowEngine {
+        self.orch.merged_engine()
+    }
+
+    /// Which journal shard a scan's keys and runs live on.
+    pub fn shard_of_scan(&self, name: &str) -> usize {
+        shard_of_key(name, self.orch.shard_count())
+    }
+
+    /// Does the shard-damage blast radius hold? Every scan that needed
+    /// evidence-based healing (rather than plain journal replay) must
+    /// live on a shard whose journal was actually damaged.
+    pub fn damage_isolated(&self) -> bool {
+        self.degraded_scans.iter().all(|&s| {
+            self.scans.get(&ScanId(s)).is_some_and(|scan| {
+                self.damaged_shards_seen
+                    .contains(&self.shard_of_scan(&scan.name))
+            })
+        })
     }
 
     /// Recon branches that physically delivered their product back to the
@@ -627,7 +681,7 @@ impl FacilitySim {
             // beamline disk full: the flow fails outright (what the
             // pruning flows exist to prevent)
             if !self.orchestrator_down {
-                let run = self.orch.create_run(FLOW_NEW_FILE, now);
+                let run = self.orch.create_run(FLOW_NEW_FILE, &scan.name, now);
                 self.orch.start_run(run, now);
                 self.orch.finish_run(run, FlowState::Failed, now);
             }
@@ -658,7 +712,7 @@ impl FacilitySim {
             Claim::Run => {}
         }
         self.ledger_begin(&key);
-        let run = self.orch.create_run(FLOW_NEW_FILE, now);
+        let run = self.orch.create_run(FLOW_NEW_FILE, &scan.name, now);
         self.orch.set_parameter(run, "scan", &scan.name);
         self.orch
             .set_parameter(run, "size_gib", &format!("{:.3}", scan.size.as_gib_f64()));
@@ -677,8 +731,14 @@ impl FacilitySim {
         let done = now + staging + ingest + jitter;
         self.orch
             .finish_task(run, task, TaskState::Completed, done, None);
+        // the staging worker is beamline infrastructure: it outlives
+        // coordinator crashes and reports completion regardless
+        self.ingest_worker.insert(id, done);
         self.queue
             .schedule_at(done, Ev::NewFileDone(id, self.epoch));
+        // commit barrier: the claim, run, and worker hand-off must be
+        // durable before the beamline-side work exists
+        self.orch.commit_key(&key);
     }
 
     fn on_new_file_done(&mut self, now: SimInstant, id: ScanId, epoch: u32) {
@@ -686,19 +746,18 @@ impl FacilitySim {
             return; // scheduled by a dead incarnation
         }
         let scan = self.scans.get(&id).expect("scan exists").clone();
+        self.ingest_worker.remove(&id);
         if let Some(&run) = self.newfile_runs.get(&id) {
-            if self
-                .orch
-                .engine
-                .run(run)
-                .is_some_and(|r| !r.state.is_terminal())
-            {
+            if self.orch.run(run).is_some_and(|r| !r.state.is_terminal()) {
                 self.orch.finish_run(run, FlowState::Completed, now);
             }
         }
         let key = self.ingest_key(id);
         self.orch.complete(&key);
         self.ledger_done(&key);
+        // durability point: losing the completion would force a
+        // re-ingest on the next recovery
+        self.orch.commit_key(&key);
         // catalogue the raw dataset (idempotent: the PID survives crashes
         // in the catalogue itself)
         if !self.raw_pids.contains_key(&id) {
@@ -733,17 +792,12 @@ impl FacilitySim {
     fn launch_branch(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
         let bk = branch_key(branch);
         if let Some(&run) = self.branch_runs.get(&(id, bk)) {
-            if self
-                .orch
-                .engine
-                .run(run)
-                .is_some_and(|r| r.state.is_terminal())
-            {
+            if self.orch.run(run).is_some_and(|r| r.state.is_terminal()) {
                 return;
             }
         } else {
             let scan = self.scans.get(&id).expect("scan exists").clone();
-            let run = self.orch.create_run(flow_of(branch), now);
+            let run = self.orch.create_run(flow_of(branch), &scan.name, now);
             self.orch.set_parameter(run, "scan", &scan.name);
             self.orch.start_run(run, now);
             self.branch_runs.insert((id, bk), run);
@@ -770,13 +824,15 @@ impl FacilitySim {
         let scan = self.scans.get(&id).expect("scan exists").clone();
         let dst = self.branch_endpoint(exec);
         let opts = self.transfer_opts();
-        let task = self.transfer.submit(self.ep_als, dst, scan.size, opts, now);
+        let ctx = self.op_ctx(id, branch, Leg::ToHpc, exec);
+        let task =
+            self.transfer
+                .submit_labeled(self.ep_als, dst, scan.size, opts, now, Some(ctx.clone()));
         self.transfer_map
             .insert(task, (id, branch, Leg::ToHpc, exec));
         if let Some(&run) = self.branch_runs.get(&(id, bk)) {
             self.orch
                 .start_task(run, "globus_copy_to_hpc", Some(&key), now);
-            let ctx = self.op_ctx(id, branch, Leg::ToHpc, exec);
             self.orch
                 .external_submitted(ExternalKind::Transfer, task.0, run, &ctx);
         }
@@ -861,12 +917,18 @@ impl FacilitySim {
                             let key = self.copy_key(id, branch, fac);
                             self.orch.complete(&key);
                             self.ledger_done(&key);
+                            // durability point: the resolve + completion
+                            // must not split across a group-commit batch
+                            // (losing only the completion would force a
+                            // duplicate transfer after recovery)
+                            self.orch.commit_key(&key);
                             self.step_exec(at, id, branch);
                         }
                         Leg::Back => {
                             let key = self.back_key(id, branch, fac);
                             self.orch.complete(&key);
                             self.ledger_done(&key);
+                            self.orch.commit_key(&key);
                             self.finish_branch(at, id, branch, true);
                         }
                     }
@@ -922,8 +984,11 @@ impl FacilitySim {
         let runtime = stage + recon;
         let walltime =
             SimDuration::from_secs_f64(runtime.as_secs_f64() * calib::WALLTIME_MARGIN + 900.0);
+        // the job name carries the re-attach context so a recovering
+        // coordinator can adopt jobs its journal never heard about
+        let ctx = self.op_ctx(id, branch, Leg::ToHpc, Branch::Nersc);
         let req = JobRequest {
-            name: format!("recon_{}", scan.name),
+            name: format!("recon_{}|{}", scan.name, ctx),
             qos: self.cfg.nersc_qos,
             nodes: 1,
             runtime,
@@ -935,7 +1000,6 @@ impl FacilitySim {
                 if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
                     self.orch
                         .start_task(run, "sfapi_slurm_job", Some(&key), now);
-                    let ctx = self.op_ctx(id, branch, Leg::ToHpc, Branch::Nersc);
                     self.orch
                         .external_submitted(ExternalKind::Job, job.0, run, &ctx);
                 }
@@ -973,7 +1037,8 @@ impl FacilitySim {
             .lognormal_med(calib::ALCF_FIXED_MED_S, calib::ALCF_FIXED_SIGMA)
             .clamp(300.0, 1500.0);
         let runtime = SimDuration::from_secs_f64(fixed + calib::ALCF_RECON_S_PER_GIB * gib);
-        let task = self.alcf.invoke(runtime, now);
+        let ctx = self.op_ctx(id, branch, Leg::ToHpc, Branch::Alcf);
+        let task = self.alcf.invoke_labeled(runtime, now, Some(ctx.clone()));
         if self.alcf.state(task) == Some(ComputeTaskState::Failed) {
             // endpoint down: the invocation is rejected on arrival
             self.orch.release(&key);
@@ -985,7 +1050,6 @@ impl FacilitySim {
         if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
             self.orch
                 .start_task(run, "globus_compute_recon", Some(&key), now);
-            let ctx = self.op_ctx(id, branch, Leg::ToHpc, Branch::Alcf);
             self.orch
                 .external_submitted(ExternalKind::Compute, task.0, run, &ctx);
         }
@@ -1022,6 +1086,7 @@ impl FacilitySim {
                     self.nersc_breaker.record_success();
                     self.orch.complete(&key);
                     self.ledger_done(&key);
+                    self.orch.commit_key(&key);
                     self.step_back(at, scan_id, branch);
                 } else {
                     self.orch.release(&key);
@@ -1052,6 +1117,7 @@ impl FacilitySim {
                         self.alcf_breaker.record_success();
                         self.orch.complete(&key);
                         self.ledger_done(&key);
+                        self.orch.commit_key(&key);
                         self.step_back(at, scan_id, branch);
                     }
                 }
@@ -1117,19 +1183,37 @@ impl FacilitySim {
             Claim::Busy => return,
             Claim::Run => {}
         }
+        // facility evidence: the recon product already landed on the
+        // beamline — the journal lost the completion record with a
+        // damaged shard tail. Harvest the delivery, don't ship a second
+        // copy. (The back leg has no downstream operation whose adoption
+        // would shield it; the product file is its evidence.)
+        let product = format!("{}_recon_{}", self.scan_name(id), facility_name(branch));
+        if self.beamline_tier.contains(&product) {
+            self.orch.complete(&key);
+            self.ledger_done(&key);
+            self.orch.commit_key(&key);
+            self.degraded_scans.insert(id.0);
+            return self.finish_branch(now, id, branch, true);
+        }
         self.ledger_begin(&key);
         let scan = self.scans.get(&id).expect("scan exists").clone();
         let src = self.branch_endpoint(exec);
         let opts = self.transfer_opts();
-        let task = self
-            .transfer
-            .submit(src, self.ep_als, scan.recon_output_size(), opts, now);
+        let ctx = self.op_ctx(id, branch, Leg::Back, exec);
+        let task = self.transfer.submit_labeled(
+            src,
+            self.ep_als,
+            scan.recon_output_size(),
+            opts,
+            now,
+            Some(ctx.clone()),
+        );
         self.transfer_map
             .insert(task, (id, branch, Leg::Back, exec));
         if let Some(&run) = self.branch_runs.get(&(id, bk)) {
             self.orch
                 .start_task(run, "globus_copy_back", Some(&key), now);
-            let ctx = self.op_ctx(id, branch, Leg::Back, exec);
             self.orch
                 .external_submitted(ExternalKind::Transfer, task.0, run, &ctx);
         }
@@ -1178,7 +1262,6 @@ impl FacilitySim {
         let scan = self.scans.get(&id).expect("scan exists").clone();
         let terminal = self
             .orch
-            .engine
             .run(run)
             .map(|r| r.state.is_terminal())
             .unwrap_or(true);
@@ -1381,22 +1464,59 @@ impl FacilitySim {
 
     // ---- orchestrator crash + recovery ----
 
-    fn on_crash_start(&mut self, now: SimInstant, _i: usize) {
+    fn on_crash_start(&mut self, now: SimInstant, i: usize) {
         if self.orchestrator_down {
             return;
         }
         self.orchestrator_down = true;
         self.crash_count += 1;
-        // durable mode: the journal was written ahead of every mutation,
-        // so its bytes survive the process; baseline loses everything
+        // durable mode: each shard's journal was written ahead of every
+        // mutation, so the durable bytes survive the process; the crash
+        // plan may additionally wound one shard's on-disk image (a torn
+        // group-commit write, a truncated tail, a flipped byte). The
+        // baseline loses everything either way.
         self.persisted_wal = if self.cfg.durable_recovery {
-            Some(self.orch.journal().bytes().to_vec())
+            let damage = self
+                .cfg
+                .faults
+                .orchestrator_crashes
+                .get(i)
+                .map(|c| c.damage)
+                .unwrap_or(CrashDamage::None);
+            let n = self.orch.shard_count();
+            let mut images = self.orch.crash_images();
+            match damage {
+                CrashDamage::None => {}
+                CrashDamage::MidGroupCommit { shard, keep_milli } => {
+                    let s = shard % n;
+                    images[s] = self.orch.shards()[s]
+                        .journal()
+                        .crash_image_mid_flush(keep_milli);
+                    self.damaged_shards_seen.insert(s);
+                }
+                CrashDamage::ShardTorn { shard, drop_bytes } => {
+                    let s = shard % n;
+                    let keep = images[s].len().saturating_sub(drop_bytes);
+                    images[s].truncate(keep);
+                    self.damaged_shards_seen.insert(s);
+                }
+                CrashDamage::ShardCorrupt { shard, offset_back } => {
+                    let s = shard % n;
+                    if let Some(pos) = images[s].len().checked_sub(offset_back + 1) {
+                        images[s][pos] ^= 0x01;
+                        self.damaged_shards_seen.insert(s);
+                    }
+                }
+            }
+            Some(images)
         } else {
             None
         };
         let _ = now;
-        // the process dies: every in-memory coordinator structure is gone
-        self.orch = DurableOrchestrator::default();
+        // the process dies: every in-memory coordinator structure is
+        // gone. The staging workers in `ingest_worker` are beamline-side
+        // and deliberately survive.
+        self.orch = ShardedOrchestrator::default();
         self.newfile_runs.clear();
         self.branch_runs.clear();
         self.transfer_map.clear();
@@ -1417,7 +1537,12 @@ impl FacilitySim {
         match self.persisted_wal.take() {
             Some(wal) => self.recover_durable(now, &wal, &holder),
             None => {
-                self.orch = DurableOrchestrator::production(&holder, now);
+                self.orch = ShardedOrchestrator::production(
+                    &holder,
+                    now,
+                    self.cfg.shard_count.max(1),
+                    self.cfg.group_commit_batch,
+                );
                 self.baseline_rescan(now);
             }
         }
@@ -1431,12 +1556,18 @@ impl FacilitySim {
         self.schedule_alcf_poll();
     }
 
-    /// Durable restart: replay the journal, reconcile with live facility
-    /// state, and resume interrupted flows.
-    fn recover_durable(&mut self, now: SimInstant, wal: &[u8], holder: &str) {
-        let (orch, info) = DurableOrchestrator::recover(wal, holder, now);
+    /// Durable restart: replay every shard journal (any order — shards
+    /// are causally independent), reconcile with live facility state
+    /// once across shards, and resume interrupted flows. Damage on one
+    /// shard degrades only that shard's flows: their healing runs on
+    /// facility-side evidence (labels, staging workers, the catalogue)
+    /// instead of journal records.
+    fn recover_durable(&mut self, now: SimInstant, wal: &[Vec<u8>], holder: &str) {
+        let (orch, info) =
+            ShardedOrchestrator::recover_fleet(wal, holder, now, self.cfg.group_commit_batch);
         self.orch = orch;
         self.recovery_count += 1;
+        self.damaged_shards_seen.extend(info.damaged_shards());
 
         // rebuild the in-memory dispatch tables the dead incarnation held
         let by_name: BTreeMap<String, ScanId> = self
@@ -1446,7 +1577,7 @@ impl FacilitySim {
             .collect();
         let mut resume_newfile: Vec<(ScanId, SimInstant)> = Vec::new();
         let mut resume_branches: Vec<(ScanId, Branch)> = Vec::new();
-        for run in self.orch.engine.runs() {
+        for run in self.orch.all_runs() {
             let Some(&id) = run
                 .parameters
                 .get("scan")
@@ -1495,7 +1626,7 @@ impl FacilitySim {
         }
 
         // re-attach in-flight external operations from their journaled ctx
-        for op in &info.pending_external {
+        for op in info.pending_external() {
             let Ok(ctx) = serde_json::from_str::<OpCtx>(&op.ctx) else {
                 continue;
             };
@@ -1529,6 +1660,102 @@ impl FacilitySim {
                 .find(|d| matches!(d.kind, als_catalog::DatasetKind::Raw))
             {
                 self.raw_pids.insert(id, d.pid.clone());
+            }
+        }
+
+        // adopt facility operations the journal never heard about: their
+        // ExternalSubmitted record was destroyed with a damaged shard
+        // tail, but the facility is still running (or already finished)
+        // the work. Every submission carries its re-attach context as a
+        // label; adoption claims the key WITHOUT a ledger `begin` — the
+        // side effect was initiated once, by the dead incarnation, and
+        // is being adopted, not repeated.
+        let labeled_jobs: Vec<(JobId, String)> = self
+            .nersc
+            .scheduler()
+            .jobs_with_prefix("recon_")
+            .into_iter()
+            .filter_map(|(job, name)| name.split_once('|').map(|(_, ctx)| (job, ctx.to_string())))
+            .collect();
+        for (job, ctx_json) in labeled_jobs {
+            if self.job_map.contains_key(&job)
+                || self.orch.external_ever_seen(ExternalKind::Job, job.0)
+            {
+                continue;
+            }
+            if let Some((id, branch, _leg, fac)) = self.parse_ctx(&ctx_json) {
+                let key = self.exec_key(id, branch, Branch::Nersc);
+                if self.adopt_orphan(
+                    now,
+                    id,
+                    branch,
+                    fac,
+                    &key,
+                    ExternalKind::Job,
+                    job.0,
+                    &ctx_json,
+                ) {
+                    self.job_map.insert(job, (id, branch));
+                }
+            }
+        }
+        let labeled_transfers: Vec<(TaskId, String)> = self
+            .transfer
+            .tasks_labeled()
+            .into_iter()
+            .map(|(t, l, _)| (t, l.to_string()))
+            .collect();
+        for (task, ctx_json) in labeled_transfers {
+            if self.transfer_map.contains_key(&task)
+                || self.orch.external_ever_seen(ExternalKind::Transfer, task.0)
+            {
+                continue;
+            }
+            if let Some((id, branch, leg, fac)) = self.parse_ctx(&ctx_json) {
+                let key = match leg {
+                    Leg::ToHpc => self.copy_key(id, branch, fac),
+                    Leg::Back => self.back_key(id, branch, fac),
+                };
+                if self.adopt_orphan(
+                    now,
+                    id,
+                    branch,
+                    fac,
+                    &key,
+                    ExternalKind::Transfer,
+                    task.0,
+                    &ctx_json,
+                ) {
+                    self.transfer_map.insert(task, (id, branch, leg, fac));
+                }
+            }
+        }
+        let labeled_compute: Vec<(ComputeTaskId, String)> = self
+            .alcf
+            .tasks_labeled()
+            .into_iter()
+            .map(|(t, l, _)| (t, l.to_string()))
+            .collect();
+        for (task, ctx_json) in labeled_compute {
+            if self.compute_map.contains_key(&task)
+                || self.orch.external_ever_seen(ExternalKind::Compute, task.0)
+            {
+                continue;
+            }
+            if let Some((id, branch, _leg, fac)) = self.parse_ctx(&ctx_json) {
+                let key = self.exec_key(id, branch, Branch::Alcf);
+                if self.adopt_orphan(
+                    now,
+                    id,
+                    branch,
+                    fac,
+                    &key,
+                    ExternalKind::Compute,
+                    task.0,
+                    &ctx_json,
+                ) {
+                    self.compute_map.insert(task, (id, branch));
+                }
             }
         }
 
@@ -1603,6 +1830,42 @@ impl FacilitySim {
                 }
             }
         }
+        // transfers whose terminal event was consumed by the dead
+        // incarnation right before the crash (the journal still shows
+        // the op open because the resolve was in a lost batch): the
+        // transfer service won't re-emit the event, so ask it directly
+        let tx: Vec<(TaskId, ScanId, Branch, Leg, Branch)> = self
+            .transfer_map
+            .iter()
+            .map(|(&t, &(i, b, l, f))| (t, i, b, l, f))
+            .collect();
+        for (task, id, branch, leg, fac) in tx {
+            let key = match leg {
+                Leg::ToHpc => self.copy_key(id, branch, fac),
+                Leg::Back => self.back_key(id, branch, fac),
+            };
+            match transfer_fate(&self.transfer, task) {
+                OpFate::Live => {}
+                OpFate::Completed => {
+                    self.transfer_map.remove(&task);
+                    self.orch.external_resolved(ExternalKind::Transfer, task.0);
+                    self.orch.complete(&key);
+                    self.ledger_done(&key);
+                    self.orch.commit_key(&key);
+                    match leg {
+                        Leg::ToHpc => self.step_exec(now, id, branch),
+                        Leg::Back => self.finish_branch(now, id, branch, true),
+                    }
+                }
+                OpFate::Failed | OpFate::Lost => {
+                    self.transfer_map.remove(&task);
+                    self.orch.external_resolved(ExternalKind::Transfer, task.0);
+                    self.orch.release(&key);
+                    self.ledger_abort(&key);
+                    self.branch_failed(now, id, branch);
+                }
+            }
+        }
 
         // reconcile: cancel live recon jobs the journal disowns (their
         // ExternalSubmitted record was lost in a torn tail)
@@ -1621,12 +1884,7 @@ impl FacilitySim {
             let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) else {
                 continue;
             };
-            if open_runs.contains(&run)
-                || self
-                    .orch
-                    .engine
-                    .run(run)
-                    .is_some_and(|r| r.state.is_terminal())
+            if open_runs.contains(&run) || self.orch.run(run).is_some_and(|r| r.state.is_terminal())
             {
                 continue;
             }
@@ -1636,17 +1894,116 @@ impl FacilitySim {
             let Some(&run) = self.newfile_runs.get(&id) else {
                 continue;
             };
-            if self
-                .orch
-                .engine
-                .run(run)
-                .is_some_and(|r| r.state.is_terminal())
-            {
+            if self.orch.run(run).is_some_and(|r| r.state.is_terminal()) {
                 continue;
             }
             self.queue
                 .schedule_at(done, Ev::NewFileDone(id, self.epoch));
         }
+
+        // staging workers that survived the crash: the worker finishes
+        // its job whether or not the journal remembers asking. Re-detect
+        // workers whose newfile run the journal lost (damaged shard) and
+        // fire the completion the worker would have reported.
+        let workers: Vec<(ScanId, SimInstant)> =
+            self.ingest_worker.iter().map(|(&i, &d)| (i, d)).collect();
+        for (id, done) in workers {
+            if self.newfile_runs.contains_key(&id) || !self.scans.contains_key(&id) {
+                continue;
+            }
+            let key = self.ingest_key(id);
+            if self.orch.is_completed(&key) {
+                continue;
+            }
+            self.queue
+                .schedule_at(done.max(now), Ev::NewFileDone(id, self.epoch));
+            self.degraded_scans.insert(id.0);
+        }
+        // catalogue evidence: the raw dataset exists but the journal
+        // lost the ingest completion — harvest it, don't re-ingest
+        let with_raw: Vec<ScanId> = self.raw_pids.keys().copied().collect();
+        for id in with_raw {
+            let key = self.ingest_key(id);
+            if self.orch.is_completed(&key) {
+                continue;
+            }
+            self.queue.schedule_at(now, Ev::NewFileDone(id, self.epoch));
+            self.degraded_scans.insert(id.0);
+        }
+    }
+
+    /// Decode a submission label back into dispatch coordinates,
+    /// rejecting scans this sim never produced.
+    fn parse_ctx(&self, ctx_json: &str) -> Option<(ScanId, Branch, Leg, Branch)> {
+        let ctx: OpCtx = serde_json::from_str(ctx_json).ok()?;
+        let id = ScanId(ctx.scan);
+        if !self.scans.contains_key(&id) {
+            return None;
+        }
+        let leg = if ctx.leg == 0 { Leg::ToHpc } else { Leg::Back };
+        Some((
+            id,
+            branch_from_key(ctx.branch),
+            leg,
+            branch_from_key(ctx.fac),
+        ))
+    }
+
+    /// Adopt one facility operation whose submission record the journal
+    /// lost: re-claim its idempotency key (no ledger `begin` — the work
+    /// was initiated once, by the dead incarnation), re-journal the
+    /// submission, and mark the scan degraded. Returns false when the
+    /// key is already completed or held — nothing to adopt.
+    #[allow(clippy::too_many_arguments)]
+    fn adopt_orphan(
+        &mut self,
+        now: SimInstant,
+        id: ScanId,
+        branch: Branch,
+        fac: Branch,
+        key: &str,
+        kind: ExternalKind,
+        handle: u64,
+        ctx: &str,
+    ) -> bool {
+        if self.orch.claim(key, now, CLAIM_LEASE) != Claim::Run {
+            return false;
+        }
+        let run = self.ensure_branch_run(now, id, branch, fac);
+        self.orch.start_task(run, "adopt_orphan_op", Some(key), now);
+        self.orch.external_submitted(kind, handle, run, ctx);
+        self.adopted_orphan_ops += 1;
+        self.degraded_scans.insert(id.0);
+        true
+    }
+
+    /// The branch run for (scan, branch), re-created when the journal
+    /// lost the FlowCreated record along with the submission.
+    fn ensure_branch_run(
+        &mut self,
+        now: SimInstant,
+        id: ScanId,
+        branch: Branch,
+        fac: Branch,
+    ) -> FlowRunId {
+        let bk = branch_key(branch);
+        if let Some(&run) = self.branch_runs.get(&(id, bk)) {
+            self.exec_site.entry((id, bk)).or_insert(fac);
+            return run;
+        }
+        let name = self.scan_name(id);
+        let run = self.orch.create_run(flow_of(branch), &name, now);
+        self.orch.set_parameter(run, "scan", &name);
+        self.orch.start_run(run, now);
+        self.branch_runs.insert((id, bk), run);
+        self.exec_site.insert((id, bk), fac);
+        if fac != branch {
+            // the adopted op was already executing at the other facility:
+            // record the redirect so provenance and re-claims line up
+            self.failed_over.insert((id, bk));
+            self.orch.set_parameter(run, "failover", facility_name(fac));
+        }
+        run
     }
 
     /// Baseline restart (no journal): the new incarnation knows nothing.
@@ -1701,7 +2058,8 @@ mod tests {
     #[test]
     fn every_scan_produces_three_flow_runs() {
         let sim = run_small(5, 1);
-        let q = sim.engine().query();
+        let engine = sim.engine();
+        let q = engine.query();
         assert_eq!(q.runs_of(FLOW_NEW_FILE).len(), 5);
         assert_eq!(q.runs_of(FLOW_NERSC).len(), 5);
         assert_eq!(q.runs_of(FLOW_ALCF).len(), 5);
@@ -1710,7 +2068,8 @@ mod tests {
     #[test]
     fn all_flows_complete_in_a_healthy_campaign() {
         let sim = run_small(8, 2);
-        let q = sim.engine().query();
+        let engine = sim.engine();
+        let q = engine.query();
         for flow in [FLOW_NEW_FILE, FLOW_NERSC, FLOW_ALCF] {
             assert_eq!(
                 q.success_rate(flow),
@@ -1764,7 +2123,8 @@ mod tests {
     #[test]
     fn flow_durations_are_in_plausible_bands() {
         let sim = run_small(12, 7);
-        let q = sim.engine().query();
+        let engine = sim.engine();
+        let q = engine.query();
         let nf = q.table2_summary(FLOW_NEW_FILE, 100).unwrap();
         assert!(
             nf.median > 10.0 && nf.median < 300.0,

@@ -66,6 +66,9 @@ struct Invocation {
     finished: Option<SimInstant>,
     /// When this pending invocation's node acquisition completes.
     node_ready: Option<SimInstant>,
+    /// Caller-supplied label; survives at the facility across
+    /// orchestrator crashes so recovery can adopt orphaned invocations.
+    label: Option<String>,
 }
 
 /// A Globus Compute endpoint bound to one HPC cluster.
@@ -157,6 +160,18 @@ impl ComputeEndpoint {
     /// endpoint is down the task is accepted but immediately Failed —
     /// callers observe the failure via `state()`.
     pub fn invoke(&mut self, runtime: SimDuration, now: SimInstant) -> ComputeTaskId {
+        self.invoke_labeled(runtime, now, None)
+    }
+
+    /// [`ComputeEndpoint::invoke`] with a caller-defined label attached.
+    /// Labels survive at the facility across orchestrator crashes, so
+    /// recovery can find invocations whose journal record was lost.
+    pub fn invoke_labeled(
+        &mut self,
+        runtime: SimDuration,
+        now: SimInstant,
+        label: Option<String>,
+    ) -> ComputeTaskId {
         let id = ComputeTaskId(self.next_id);
         self.next_id += 1;
         if self.down {
@@ -169,6 +184,7 @@ impl ComputeEndpoint {
                     started: None,
                     finished: Some(now),
                     node_ready: None,
+                    label,
                 },
             );
             return id;
@@ -191,10 +207,25 @@ impl ComputeEndpoint {
                 started: None,
                 finished: None,
                 node_ready,
+                label,
             },
         );
         self.live.insert(id);
         id
+    }
+
+    /// The label an invocation was submitted with, if any.
+    pub fn task_label(&self, id: ComputeTaskId) -> Option<&str> {
+        self.tasks.get(&id)?.label.as_deref()
+    }
+
+    /// Every labelled invocation in any state (the recovery sweep:
+    /// compare against the journal's known handles to find orphans).
+    pub fn tasks_labeled(&self) -> Vec<(ComputeTaskId, &str, ComputeTaskState)> {
+        self.tasks
+            .iter()
+            .filter_map(|(&id, t)| t.label.as_deref().map(|l| (id, l, t.state)))
+            .collect()
     }
 
     /// Cancel a pending or running invocation.

@@ -136,6 +136,10 @@ struct Task {
     src_digest: u32,
     /// Did the last delivery pass through a corrupting endpoint?
     delivered_corrupt: bool,
+    /// Caller-supplied label (the real Globus API's `label` field). A
+    /// restarted orchestrator lists labelled tasks to adopt submissions
+    /// its torn journal never heard about.
+    label: Option<String>,
 }
 
 /// Deterministic stand-in for the file's bytes: the simulation doesn't
@@ -273,6 +277,22 @@ impl TransferService {
         opts: TransferOptions,
         now: SimInstant,
     ) -> TaskId {
+        self.submit_labeled(src, dst, size, opts, now, None)
+    }
+
+    /// [`TransferService::submit`] with a caller-defined label attached
+    /// to the task (mirroring the Globus API's `label` field). Labels
+    /// survive at the facility across orchestrator crashes, so recovery
+    /// can find submissions whose journal record was lost.
+    pub fn submit_labeled(
+        &mut self,
+        src: EndpointId,
+        dst: EndpointId,
+        size: ByteSize,
+        opts: TransferOptions,
+        now: SimInstant,
+        label: Option<String>,
+    ) -> TaskId {
         assert!(self.endpoints.contains_key(&src), "unknown src endpoint");
         assert!(self.endpoints.contains_key(&dst), "unknown dst endpoint");
         let id = TaskId(self.next_task);
@@ -293,10 +313,25 @@ impl TransferService {
                 verify_done: None,
                 src_digest: crc32(&payload_sample(id, size)),
                 delivered_corrupt: false,
+                label,
             },
         );
         self.queue.push_back(id);
         id
+    }
+
+    /// The label a task was submitted with, if any.
+    pub fn task_label(&self, id: TaskId) -> Option<&str> {
+        self.tasks.get(&id)?.label.as_deref()
+    }
+
+    /// Every labelled task in any state (the recovery sweep: compare
+    /// against the journal's known handles to find orphans to adopt).
+    pub fn tasks_labeled(&self) -> Vec<(TaskId, &str, TaskStatus)> {
+        self.tasks
+            .iter()
+            .filter_map(|(&id, t)| t.label.as_deref().map(|l| (id, l, t.status)))
+            .collect()
     }
 
     /// Cancel a task in any non-terminal state.

@@ -351,6 +351,17 @@ impl Scheduler {
         self.jobs.get(&id).map(|j| j.req.name.as_str())
     }
 
+    /// Every job (any state, terminal included) whose name starts with
+    /// `prefix`, with its name — the `squeue`/`sacct` query a restarted
+    /// orchestrator runs to find submissions a torn journal forgot.
+    pub fn jobs_with_prefix(&self, prefix: &str) -> Vec<(JobId, &str)> {
+        self.jobs
+            .iter()
+            .filter(|(_, j)| j.req.name.starts_with(prefix))
+            .map(|(&id, j)| (id, j.req.name.as_str()))
+            .collect()
+    }
+
     /// Wall-clock span a finished job occupied (start → finish).
     pub fn run_span(&self, id: JobId) -> Option<SimDuration> {
         let j = self.jobs.get(&id)?;

@@ -108,6 +108,26 @@ impl RetryPolicy {
         let factor = 1.0 - self.jitter + 2.0 * self.jitter * u;
         Some(SimDuration::from_secs_f64(nominal.as_secs_f64() * factor))
     }
+
+    /// Deadline-aware retry scheduling: the (seeded, jittered) delay for
+    /// retry `attempt`, unless that delay would land the retry past
+    /// `deadline` — a retry that cannot start before the flow's deadline
+    /// is wasted queue pressure, so the caller should fail terminally
+    /// instead. Landing exactly *at* the deadline is still allowed (the
+    /// retry fires at the last admissible instant).
+    pub fn delay_before_deadline(
+        &self,
+        attempt: u32,
+        seed: u64,
+        now: SimInstant,
+        deadline: SimInstant,
+    ) -> Option<SimDuration> {
+        let delay = self.delay_after_seeded(attempt, seed)?;
+        if now + delay > deadline {
+            return None;
+        }
+        Some(delay)
+    }
 }
 
 /// One task run inside a flow run.
@@ -147,10 +167,19 @@ impl FlowRun {
 }
 
 /// The engine + run database.
-#[derive(Debug, Default, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowEngine {
     runs: BTreeMap<FlowRunId, FlowRun>,
     next_id: u64,
+    /// Id stride: shard `s` of an `n`-shard fleet uses `with_stride(s, n)`
+    /// so run ids interleave globally without coordination (`id % n == s`).
+    stride: u64,
+}
+
+impl Default for FlowEngine {
+    fn default() -> Self {
+        Self::with_stride(0, 1)
+    }
 }
 
 impl FlowEngine {
@@ -158,10 +187,22 @@ impl FlowEngine {
         Self::default()
     }
 
+    /// An engine whose run ids start at `first` and advance by `stride`.
+    /// A sharded fleet gives shard `s` the engine `with_stride(s, n)`:
+    /// ids stay globally unique and `id % n` recovers the owning shard.
+    pub fn with_stride(first: u64, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        FlowEngine {
+            runs: BTreeMap::new(),
+            next_id: first,
+            stride,
+        }
+    }
+
     /// Create a flow run in `Scheduled` state.
     pub fn create_run(&mut self, flow_name: &str, now: SimInstant) -> FlowRunId {
         let id = FlowRunId(self.next_id);
-        self.next_id += 1;
+        self.next_id += self.stride;
         self.runs.insert(
             id,
             FlowRun {
@@ -268,6 +309,17 @@ impl FlowEngine {
     /// All runs, in creation order.
     pub fn runs(&self) -> impl Iterator<Item = &FlowRun> {
         self.runs.values()
+    }
+
+    /// Merge another engine's run database into this one — the fleet-wide
+    /// query view over per-shard engines. Ids must be disjoint (which the
+    /// stride discipline guarantees); colliding ids would silently shadow,
+    /// so they are rejected.
+    pub fn absorb(&mut self, other: &FlowEngine) {
+        for run in other.runs.values() {
+            let prev = self.runs.insert(run.id, run.clone());
+            assert!(prev.is_none(), "run id collision while merging shards");
+        }
     }
 
     /// Query interface (the Prefect API substitute).
@@ -535,5 +587,104 @@ mod tests {
         let e = FlowEngine::new();
         assert!(e.query().table2_summary("nope", 100).is_none());
         assert!(e.query().success_rate("nope").is_none());
+    }
+
+    #[test]
+    fn strided_engines_interleave_globally_unique_ids() {
+        let t0 = SimInstant::ZERO;
+        let mut shards: Vec<FlowEngine> = (0..4).map(|s| FlowEngine::with_stride(s, 4)).collect();
+        let mut ids = Vec::new();
+        for round in 0..3 {
+            for (s, e) in shards.iter_mut().enumerate() {
+                let id = e.create_run("f", t0);
+                assert_eq!(id.0 % 4, s as u64, "id encodes its shard");
+                assert_eq!(id.0, s as u64 + 4 * round);
+                ids.push(id.0);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12, "no collisions across shards");
+    }
+
+    #[test]
+    fn absorb_builds_the_fleet_wide_view() {
+        let t0 = SimInstant::ZERO;
+        let mut a = FlowEngine::with_stride(0, 2);
+        let mut b = FlowEngine::with_stride(1, 2);
+        for e in [&mut a, &mut b] {
+            let id = e.create_run("nersc_recon_flow", t0);
+            e.start_run(id, t0);
+            e.finish_run(id, FlowState::Completed, t0 + SimDuration::from_secs(30));
+        }
+        let mut merged = FlowEngine::new();
+        merged.absorb(&a);
+        merged.absorb(&b);
+        assert_eq!(merged.run_count(), 2);
+        assert_eq!(merged.query().runs_of("nersc_recon_flow").len(), 2);
+        assert_eq!(
+            merged.query().success_rate("nersc_recon_flow"),
+            Some(1.0),
+            "queries span both shards"
+        );
+    }
+
+    #[test]
+    fn deadline_aware_retry_refuses_delays_landing_past_the_deadline() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            jitter: 0.25,
+            ..Default::default()
+        };
+        let now = SimInstant::ZERO + SimDuration::from_secs(100);
+        let seed = 7u64;
+        // take the actual jittered delay and place the deadline around it
+        let d = p.delay_after_seeded(1, seed).unwrap();
+        assert_eq!(
+            p.delay_before_deadline(1, seed, now, now + d),
+            Some(d),
+            "landing exactly at the deadline is the last admissible retry"
+        );
+        let just_past = now + d - SimDuration::from_millis(1);
+        assert_eq!(
+            p.delay_before_deadline(1, seed, now, just_past),
+            None,
+            "one millisecond short of the landing point means terminal failure"
+        );
+        assert_eq!(
+            p.delay_before_deadline(1, seed, now, now + d + SimDuration::from_secs(1)),
+            Some(d),
+            "room to spare schedules normally"
+        );
+        // attempt exhaustion still wins over any deadline headroom
+        assert_eq!(
+            p.delay_before_deadline(5, seed, now, now + SimDuration::from_hours(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn deadline_aware_retry_is_seed_sensitive_at_the_boundary() {
+        // with ±50% jitter, a deadline sized to the *nominal* delay admits
+        // some seeds (jitter shrank the delay) and rejects others (jitter
+        // grew it) — the boundary the deadline check must respect exactly
+        let p = RetryPolicy {
+            max_attempts: 3,
+            jitter: 0.5,
+            ..Default::default()
+        };
+        let now = SimInstant::ZERO;
+        let deadline = now + p.delay_after(1).unwrap();
+        let (mut admitted, mut rejected) = (0, 0);
+        for seed in 0..64u64 {
+            match p.delay_before_deadline(1, seed, now, deadline) {
+                Some(d) => {
+                    admitted += 1;
+                    assert!(now + d <= deadline, "admitted delay overshoots deadline");
+                }
+                None => rejected += 1,
+            }
+        }
+        assert!(admitted > 0 && rejected > 0, "{admitted} / {rejected}");
     }
 }

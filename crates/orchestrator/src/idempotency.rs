@@ -106,6 +106,12 @@ impl IdempotencyStore {
         self.completed.len()
     }
 
+    /// Completed keys in deterministic order — the per-shard contribution
+    /// to a fleet-wide completed-set union.
+    pub fn completed_keys(&self) -> impl Iterator<Item = &str> {
+        self.completed.iter().map(String::as_str)
+    }
+
     /// The current lease on a key, live or expired.
     pub fn lease(&self, key: &str) -> Option<&Lease> {
         self.leases.get(key)

@@ -174,10 +174,35 @@ impl TailReport {
 /// The append-only journal. In production this would sit on durable
 /// storage; here it is an in-memory byte log whose contents survive a
 /// simulated crash exactly when the simulation chooses to persist them.
+///
+/// Two durability modes:
+///
+/// * **immediate** (`batch <= 1`, the default): every appended record
+///   lands in the durable image at once — one write per record, the
+///   PR 2 behaviour.
+/// * **group commit** (`batch >= 2`): appended frames accumulate in a
+///   pending buffer and move to the durable image together, either when
+///   `batch` records have accumulated or on an explicit [`Journal::flush`]
+///   barrier. One write covers many records; a crash loses whatever is
+///   still pending, and [`Journal::crash_image_mid_flush`] models the
+///   flush itself being torn by the crash.
 #[derive(Debug, Clone, Default)]
 pub struct Journal {
+    /// Durable bytes — what survives a crash.
     buf: Vec<u8>,
     next_seq: u64,
+    /// Group-commit threshold; `0` or `1` means immediate durability.
+    batch: usize,
+    /// Framed records appended but not yet flushed to `buf`.
+    pending: Vec<u8>,
+    pending_records: u64,
+    /// Durable write operations issued (appends in immediate mode,
+    /// flushes in group-commit mode) — the denominator a WAL device
+    /// would fsync on.
+    writes: u64,
+    /// Offset in `buf` where the most recent durable write began; a
+    /// crash racing that write can tear anywhere past this point.
+    last_write_start: usize,
 }
 
 fn frame_crc(seq: u64, payload: &str) -> u32 {
@@ -191,28 +216,107 @@ impl Journal {
         Self::default()
     }
 
+    /// Switch durability mode. Any pending records are flushed first so
+    /// no frame changes mode mid-flight. `0` or `1` = immediate.
+    pub fn set_group_commit(&mut self, batch: usize) {
+        self.flush();
+        self.batch = batch;
+    }
+
+    pub fn group_commit_batch(&self) -> usize {
+        self.batch
+    }
+
     /// Append one record. Must be called *before* applying the mutation
-    /// it describes (write-ahead discipline).
+    /// it describes (write-ahead discipline). In group-commit mode the
+    /// frame is buffered and becomes durable at the next flush.
     pub fn append(&mut self, rec: &JournalRecord) {
         let payload = serde_json::to_string(rec).expect("journal record serializes");
         let crc = frame_crc(self.next_seq, &payload);
         let line = format!("{:016x} {:08x} {}\n", self.next_seq, crc, payload);
-        self.buf.extend_from_slice(line.as_bytes());
         self.next_seq += 1;
+        if self.batch <= 1 {
+            self.last_write_start = self.buf.len();
+            self.buf.extend_from_slice(line.as_bytes());
+            self.writes += 1;
+        } else {
+            self.pending.extend_from_slice(line.as_bytes());
+            self.pending_records += 1;
+            if self.pending_records as usize >= self.batch {
+                self.flush();
+            }
+        }
     }
 
-    /// The raw journal bytes (what a crash-surviving store would hold).
+    /// Commit barrier: move every pending frame into the durable image
+    /// as one write. Returns whether anything was written. Callers place
+    /// this *before* handing side effects to a facility, so the claim
+    /// and submission records are durable before the work exists.
+    pub fn flush(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        self.last_write_start = self.buf.len();
+        self.buf.append(&mut self.pending);
+        self.pending_records = 0;
+        self.writes += 1;
+        true
+    }
+
+    /// The raw *durable* journal bytes (what a crash-surviving store
+    /// would hold). Pending group-commit frames are not included.
     pub fn bytes(&self) -> &[u8] {
         &self.buf
     }
 
-    /// Number of records appended so far.
+    /// Number of records appended so far (durable + pending).
     pub fn record_count(&self) -> u64 {
         self.next_seq
     }
 
+    /// Records already in the durable image.
+    pub fn durable_record_count(&self) -> u64 {
+        self.next_seq - self.pending_records
+    }
+
+    /// Records buffered but not yet flushed.
+    pub fn pending_records(&self) -> u64 {
+        self.pending_records
+    }
+
+    /// Durable write operations issued so far.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
     pub fn byte_len(&self) -> usize {
         self.buf.len()
+    }
+
+    /// What a crash right now leaves on durable storage: the flushed
+    /// image; pending frames die with the process.
+    pub fn crash_image(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    /// What a crash *racing the flush itself* leaves behind: the durable
+    /// image plus a torn prefix of the write that was in flight —
+    /// `keep_milli`/1000 of it. With nothing pending, the tear lands
+    /// inside the most recent durable write instead (the device had not
+    /// finished committing it). Either way the result is a valid prefix
+    /// followed by a torn frame, exactly what replay truncates.
+    pub fn crash_image_mid_flush(&self, keep_milli: u32) -> Vec<u8> {
+        let keep_milli = keep_milli.min(1000) as usize;
+        if !self.pending.is_empty() {
+            let keep = self.pending.len() * keep_milli / 1000;
+            let mut img = self.buf.clone();
+            img.extend_from_slice(&self.pending[..keep]);
+            img
+        } else {
+            let tail = self.buf.len() - self.last_write_start;
+            let keep = tail * keep_milli / 1000;
+            self.buf[..self.last_write_start + keep].to_vec()
+        }
     }
 
     /// Damage the journal for tests/experiments: drop the last
@@ -287,6 +391,8 @@ impl Journal {
         let journal = Journal {
             buf: bytes[..valid_len].to_vec(),
             next_seq: report.valid_records,
+            last_write_start: valid_len,
+            ..Default::default()
         };
         (journal, records, report)
     }
@@ -421,5 +527,87 @@ mod tests {
         let (recs, report) = Journal::replay_bytes(&[]);
         assert!(recs.is_empty());
         assert!(report.is_clean());
+    }
+
+    #[test]
+    fn group_commit_batches_records_into_fewer_writes() {
+        let mut j = Journal::new();
+        j.set_group_commit(3);
+        let recs = sample_records();
+        for r in &recs {
+            j.append(r); // 8 records -> flushes after 3 and 6
+        }
+        assert_eq!(j.record_count(), 8);
+        assert_eq!(j.durable_record_count(), 6);
+        assert_eq!(j.pending_records(), 2);
+        assert_eq!(j.write_count(), 2, "two batch flushes, not eight writes");
+        assert!(j.flush(), "barrier drains the remainder");
+        assert_eq!(j.durable_record_count(), 8);
+        assert_eq!(j.write_count(), 3);
+        let (decoded, report) = Journal::replay_bytes(j.bytes());
+        assert!(report.is_clean());
+        assert_eq!(decoded, recs);
+    }
+
+    #[test]
+    fn immediate_mode_writes_every_record() {
+        let mut j = Journal::new();
+        for r in sample_records() {
+            j.append(&r);
+        }
+        assert_eq!(j.write_count(), j.record_count());
+        assert_eq!(j.pending_records(), 0);
+    }
+
+    #[test]
+    fn crash_drops_pending_but_keeps_the_flushed_prefix() {
+        let mut j = Journal::new();
+        j.set_group_commit(4);
+        let recs = sample_records();
+        for r in &recs {
+            j.append(r); // flushes after 4; 8 total -> 8 durable? 8/4=2 flushes, 0 pending
+        }
+        j.append(&recs[0]); // one pending record on top
+        assert_eq!(j.pending_records(), 1);
+        let image = j.crash_image();
+        let (decoded, report) = Journal::replay_bytes(&image);
+        assert!(report.is_clean(), "durable image is a clean prefix");
+        assert_eq!(decoded.len(), 8, "the pending record died with the crash");
+    }
+
+    #[test]
+    fn mid_flush_tear_degrades_to_a_clean_shorter_prefix() {
+        let mut j = Journal::new();
+        j.set_group_commit(4);
+        let recs = sample_records();
+        for r in &recs[..4] {
+            j.append(r); // exactly one flushed batch, nothing pending
+        }
+        // the crash raced that flush: only 40% of the write hit the disk
+        let image = j.crash_image_mid_flush(400);
+        assert!(image.len() < j.byte_len());
+        let (decoded, report) = Journal::replay_bytes(&image);
+        assert!(!report.is_clean(), "a torn flush leaves a damaged tail");
+        assert!(decoded.len() < 4);
+        assert_eq!(decoded, recs[..decoded.len()].to_vec());
+
+        // with frames pending, the tear lands inside the in-flight flush
+        for r in &recs[4..6] {
+            j.append(r);
+        }
+        let image = j.crash_image_mid_flush(500);
+        let (decoded, _) = Journal::replay_bytes(&image);
+        assert!(decoded.len() >= 4, "durable batch survives the torn flush");
+    }
+
+    #[test]
+    fn mode_switch_flushes_pending_frames_first() {
+        let mut j = Journal::new();
+        j.set_group_commit(8);
+        j.append(&sample_records()[0]);
+        assert_eq!(j.pending_records(), 1);
+        j.set_group_commit(0);
+        assert_eq!(j.pending_records(), 0);
+        assert_eq!(j.durable_record_count(), 1);
     }
 }

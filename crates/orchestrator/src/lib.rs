@@ -16,7 +16,10 @@
 //!   per-record checksums and torn-tail detection;
 //! * [`recovery`] — crash recovery by journal replay plus reconciliation
 //!   against live facility state (orphaned jobs, in-flight transfers,
-//!   leases held by the dead incarnation).
+//!   leases held by the dead incarnation);
+//! * [`shard`] — the durable core partitioned across N journal shards
+//!   with group-commit batching, per-shard event loops, and fleet-wide
+//!   recovery that isolates damage to the shard that suffered it.
 
 pub mod engine;
 pub mod idempotency;
@@ -25,6 +28,7 @@ pub mod limits;
 pub mod logs;
 pub mod recovery;
 pub mod schedule;
+pub mod shard;
 pub mod worker;
 
 pub use engine::{FlowEngine, FlowRunId, FlowState, RetryPolicy, RunQuery, TaskState};
@@ -37,4 +41,5 @@ pub use recovery::{
     PendingOp, PendingRetry, RecoveryInfo,
 };
 pub use schedule::Schedule;
+pub use shard::{shard_of_key, FleetRecoveryInfo, ShardPool, ShardedOrchestrator};
 pub use worker::{WorkerId, WorkerPool};

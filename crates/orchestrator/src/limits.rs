@@ -76,6 +76,21 @@ impl ConcurrencyLimits {
         self.pools.get(tag).is_none_or(|p| p.in_use < p.limit)
     }
 
+    /// Count a rejection without re-evaluating admission — the journal
+    /// replay path for `LimitRejected`. The original refusal may have
+    /// been decided against fleet-level occupancy, so replay must record
+    /// the tally rather than re-run the (shard-local) admission test.
+    pub fn note_rejection(&mut self, tag: &str) {
+        if let Some(pool) = self.pools.get_mut(tag) {
+            pool.rejections += 1;
+        }
+    }
+
+    /// Tags with a configured pool, in deterministic order.
+    pub fn pool_tags(&self) -> Vec<&str> {
+        self.pools.keys().map(String::as_str).collect()
+    }
+
     /// Release a previously acquired slot.
     pub fn release(&mut self, tag: &str) {
         if let Some(pool) = self.pools.get_mut(tag) {

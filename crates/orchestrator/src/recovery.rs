@@ -74,6 +74,11 @@ pub struct DurableOrchestrator {
     holder: String,
     /// Open external operations: handle → (owning run, re-attach ctx).
     open_external: BTreeMap<(ExternalKind, u64), (FlowRunId, String)>,
+    /// Every handle this journal ever recorded a submission for, open or
+    /// since resolved. Rebuilt by replay; recovery uses it to tell
+    /// re-attachable operations from true orphans whose submission
+    /// record was destroyed with the journal tail.
+    seen_external: BTreeSet<(ExternalKind, u64)>,
 }
 
 impl DurableOrchestrator {
@@ -87,6 +92,24 @@ impl DurableOrchestrator {
             holder: holder.to_string(),
             at: now,
         });
+        o
+    }
+
+    /// A fresh shard of an `n`-shard fleet: run ids strided so `id % total
+    /// == index`, and the journal in group-commit mode (`batch <= 1` =
+    /// immediate durability, the unsharded behaviour).
+    pub fn shard(holder: &str, now: SimInstant, index: u64, total: u64, batch: usize) -> Self {
+        assert!(index < total, "shard index out of range");
+        let mut o = DurableOrchestrator {
+            holder: holder.to_string(),
+            engine: FlowEngine::with_stride(index, total),
+            ..Default::default()
+        };
+        o.record(JournalRecord::IncarnationStarted {
+            holder: holder.to_string(),
+            at: now,
+        });
+        o.journal.set_group_commit(batch);
         o
     }
 
@@ -125,6 +148,12 @@ impl DurableOrchestrator {
     fn record(&mut self, rec: JournalRecord) {
         self.journal.append(&rec);
         self.apply(&rec);
+    }
+
+    /// Commit barrier: force any pending group-commit frames into the
+    /// durable image. A no-op in immediate mode.
+    pub fn commit(&mut self) -> bool {
+        self.journal.flush()
     }
 
     fn apply(&mut self, rec: &JournalRecord) {
@@ -186,10 +215,11 @@ impl DurableOrchestrator {
             }
             JournalRecord::LimitReleased { tag } => self.limits.release(tag),
             JournalRecord::LimitRejected { tag } => {
-                // re-running the refused acquire reproduces the rejection
-                // counter exactly
-                let ok = self.limits.try_acquire(tag);
-                debug_assert!(!ok, "journaled rejection must re-refuse on replay");
+                // counter-only: the refusal may have been a *fleet-level*
+                // decision (another shard's pool was full), so re-running
+                // try_acquire against this shard's local pool would be
+                // wrong — only the rejection tally is state
+                self.limits.note_rejection(tag);
             }
             JournalRecord::ExternalSubmitted {
                 kind,
@@ -199,6 +229,7 @@ impl DurableOrchestrator {
             } => {
                 self.open_external
                     .insert((*kind, *handle), (FlowRunId(*run), ctx.clone()));
+                self.seen_external.insert((*kind, *handle));
             }
             JournalRecord::ExternalResolved { kind, handle } => {
                 self.open_external.remove(&(*kind, *handle));
@@ -367,7 +398,11 @@ impl DurableOrchestrator {
     // ----- external-operation ledger -----------------------------------
 
     /// Record that an external operation (job/transfer/invocation) was
-    /// handed to a facility service.
+    /// handed to a facility service. This is a commit barrier: the
+    /// submission record (and everything queued before it — the claim,
+    /// the task start) is flushed durable immediately, because from this
+    /// instant a side effect exists at a facility that the journal must
+    /// not forget.
     pub fn external_submitted(
         &mut self,
         kind: ExternalKind,
@@ -381,6 +416,7 @@ impl DurableOrchestrator {
             run: run.0,
             ctx: ctx.to_string(),
         });
+        self.journal.flush();
     }
 
     /// Record that the operation reached a terminal state (success or
@@ -394,6 +430,14 @@ impl DurableOrchestrator {
     /// Is this handle still open per the journal?
     pub fn external_is_open(&self, kind: ExternalKind, handle: u64) -> bool {
         self.open_external.contains_key(&(kind, handle))
+    }
+
+    /// Did this journal *ever* record the handle's submission (open or
+    /// resolved)? `false` after recovery means the facility is running
+    /// work the journal never heard about — the submission record was
+    /// destroyed, and the operation must be adopted or cancelled.
+    pub fn external_ever_seen(&self, kind: ExternalKind, handle: u64) -> bool {
+        self.seen_external.contains(&(kind, handle))
     }
 
     /// Runs that still own an open external operation — these must *not*
@@ -415,9 +459,27 @@ impl DurableOrchestrator {
     /// incarnations, and report what still needs reconciling against
     /// live facility state.
     pub fn recover(bytes: &[u8], holder: &str, now: SimInstant) -> (Self, RecoveryInfo) {
+        Self::recover_shard(bytes, holder, now, 0, 1, 0)
+    }
+
+    /// [`DurableOrchestrator::recover`] for one shard of an `n`-shard
+    /// fleet: the engine is pre-configured with the shard's id stride
+    /// *before* replay (so `FlowCreated` records land on the same ids
+    /// they were journaled with), and the journal re-enters group-commit
+    /// mode only after the recovery records themselves are durable.
+    pub fn recover_shard(
+        bytes: &[u8],
+        holder: &str,
+        now: SimInstant,
+        index: u64,
+        total: u64,
+        batch: usize,
+    ) -> (Self, RecoveryInfo) {
+        assert!(index < total, "shard index out of range");
         let (journal, records, tail) = Journal::from_bytes(bytes);
         let mut orch = DurableOrchestrator {
             journal,
+            engine: FlowEngine::with_stride(index, total),
             holder: holder.to_string(),
             ..Default::default()
         };
@@ -470,6 +532,9 @@ impl DurableOrchestrator {
             pending_retries: owed.into_values().flatten().collect(),
             expired_leases,
         };
+        // recovery records above were written in immediate mode (durable
+        // at once); only new work batches
+        orch.journal.set_group_commit(batch);
         (orch, info)
     }
 

@@ -1,0 +1,295 @@
+//! Property tests for the *sharded* group-commit journal: fleet
+//! recovery must reproduce each partition's durable state exactly, a
+//! crash image must degrade to the durable prefix of each shard's
+//! history, and damage on one partition must never bleed into the
+//! recovered state of another. A pair of deterministic hardening tests
+//! then pin the zero-duplicate guarantee under the nastiest recovery
+//! shapes: a lease-steal race immediately after a multi-shard recovery,
+//! and a completion record destroyed on its home shard but surviving on
+//! its ring replica.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use als_orchestrator::engine::{FlowRunId, FlowState, TaskState};
+use als_orchestrator::idempotency::Claim;
+use als_orchestrator::{
+    shard_of_key, DurableOrchestrator, ExternalKind, ShardPool, ShardedOrchestrator,
+};
+use als_simcore::{SimDuration, SimInstant};
+use proptest::prelude::*;
+
+const HOLDER: &str = "orch-pt";
+const LEASE: SimDuration = SimDuration::from_secs(600);
+// distinct prefixes before '/' so the keys spread across partitions
+const KEYS: [&str; 4] = [
+    "scan_a/ingest",
+    "scan_b/copy@nersc",
+    "scan_c/exec@alcf",
+    "scan_d/back@nersc",
+];
+
+/// Drive a random-but-valid operation sequence against a fresh fleet,
+/// mirroring the call mix the facility simulator makes — runs routed by
+/// scan key, claims/completions on the owning shard, external barriers.
+fn drive_fleet(ops: &[u8], shards: usize, batch: usize) -> (ShardedOrchestrator, SimInstant) {
+    let mut now = SimInstant::ZERO;
+    let mut fleet = ShardedOrchestrator::new(HOLDER, now, shards, batch);
+    let mut scheduled: Vec<FlowRunId> = Vec::new();
+    let mut running: Vec<(FlowRunId, usize)> = Vec::new();
+    let mut held = [false; 4];
+    let mut done = [false; 4];
+    let mut open_handles: Vec<u64> = Vec::new();
+    let mut next_handle = 0u64;
+
+    for &op in ops {
+        match op % 10 {
+            0 => {
+                let k = (op as usize / 10) % KEYS.len();
+                scheduled.push(fleet.create_run("recon", KEYS[k], now));
+            }
+            1 => {
+                if let Some(run) = scheduled.pop() {
+                    fleet.start_run(run, now);
+                    running.push((run, 0));
+                }
+            }
+            2 => {
+                if let Some((run, tasks)) = running.last_mut() {
+                    fleet.start_task(*run, &format!("t{tasks}"), Some(KEYS[0]), now);
+                    *tasks += 1;
+                }
+            }
+            3 => {
+                if let Some(&(run, tasks)) = running.last() {
+                    if tasks > 0 {
+                        fleet.finish_task(run, tasks - 1, TaskState::Completed, now, None);
+                    }
+                }
+            }
+            4 => {
+                if let Some((run, _)) = running.pop() {
+                    fleet.finish_run(run, FlowState::Completed, now);
+                }
+            }
+            5 => {
+                let k = (op as usize / 10) % KEYS.len();
+                match fleet.claim(KEYS[k], now, LEASE) {
+                    Claim::Run => held[k] = true,
+                    Claim::Cached => assert!(done[k], "cached but never completed"),
+                    Claim::Busy => assert!(held[k], "busy but no live lease"),
+                }
+            }
+            6 => {
+                let k = (op as usize / 10) % KEYS.len();
+                if held[k] {
+                    fleet.complete(KEYS[k]);
+                    held[k] = false;
+                    done[k] = true;
+                }
+            }
+            7 => {
+                let k = (op as usize / 10) % KEYS.len();
+                if held[k] {
+                    fleet.release(KEYS[k]);
+                    held[k] = false;
+                }
+            }
+            8 => {
+                if let Some(&(run, _)) = running.last() {
+                    let kind = match op / 10 {
+                        0..=7 => ExternalKind::Transfer,
+                        8..=15 => ExternalKind::Job,
+                        _ => ExternalKind::Compute,
+                    };
+                    fleet.external_submitted(kind, next_handle, run, "{\"scan\":1}");
+                    open_handles.push(next_handle);
+                    next_handle += 1;
+                } else if let Some(h) = open_handles.pop() {
+                    fleet.external_resolved(ExternalKind::Transfer, h);
+                    fleet.external_resolved(ExternalKind::Job, h);
+                    fleet.external_resolved(ExternalKind::Compute, h);
+                }
+            }
+            _ => now += SimDuration::from_secs(u64::from(op) + 1),
+        }
+    }
+    (fleet, now)
+}
+
+proptest! {
+    /// After a commit barrier on every shard, fleet recovery from the
+    /// crash images reproduces each partition — engine, idempotency
+    /// store, limits, open external ops — exactly, independent of the
+    /// shard count and the group-commit batch size.
+    #[test]
+    fn fleet_recovery_reproduces_every_shard_exactly(
+        ops in prop::collection::vec(any::<u8>(), 0..150),
+        shards in 1usize..5,
+        batch_sel in 0usize..3,
+    ) {
+        let batch = [1usize, 4, 32][batch_sel];
+        let (mut fleet, now) = drive_fleet(&ops, shards, batch);
+        fleet.commit_all();
+        let images = fleet.crash_images();
+        let (replayed, info) = ShardedOrchestrator::recover_fleet(&images, HOLDER, now, batch);
+        prop_assert!(info.damaged_shards().is_empty(), "clean images reported damage");
+        prop_assert_eq!(info.replayed(), fleet.journal_records());
+        for (i, (a, b)) in replayed.shards().iter().zip(fleet.shards()).enumerate() {
+            prop_assert_eq!(&a.engine, &b.engine, "shard {} engine diverged", i);
+            prop_assert_eq!(&a.idempotency, &b.idempotency, "shard {} idempotency diverged", i);
+            prop_assert_eq!(&a.limits, &b.limits, "shard {} limits diverged", i);
+            prop_assert_eq!(a.open_external_count(), b.open_external_count());
+        }
+    }
+
+    /// Without a final barrier, a crash image holds exactly the durable
+    /// prefix of each shard's history (group-commit pending records are
+    /// lost, which is *not* damage), and fleet recovery equals each
+    /// shard recovered independently — replay order across partitions
+    /// cannot matter because they share no state.
+    #[test]
+    fn crash_image_is_the_durable_prefix_and_shards_replay_independently(
+        ops in prop::collection::vec(any::<u8>(), 0..150),
+        shards in 1usize..5,
+        batch_sel in 0usize..3,
+    ) {
+        let batch = [1usize, 4, 32][batch_sel];
+        let (fleet, now) = drive_fleet(&ops, shards, batch);
+        let images = fleet.crash_images();
+        let (replayed, info) = ShardedOrchestrator::recover_fleet(&images, HOLDER, now, batch);
+        prop_assert!(info.damaged_shards().is_empty(), "pending-tail loss is not damage");
+        let durable: u64 = fleet
+            .shards()
+            .iter()
+            .map(|s| s.journal().durable_record_count())
+            .sum();
+        prop_assert_eq!(info.replayed(), durable);
+        // shard-at-a-time recovery (any order) gives the same fleet
+        for (i, image) in images.iter().enumerate().rev() {
+            let (alone, _) = DurableOrchestrator::recover_shard(
+                image, HOLDER, now, i as u64, shards as u64, batch,
+            );
+            prop_assert_eq!(&alone.engine, &replayed.shards()[i].engine);
+            prop_assert_eq!(&alone.idempotency, &replayed.shards()[i].idempotency);
+        }
+    }
+
+    /// Wounding one partition — truncation at an arbitrary byte plus
+    /// appended garbage — degrades only that shard: every other shard's
+    /// recovered state is byte-for-byte what a fully clean recovery
+    /// produces, and reported damage points at the victim alone.
+    #[test]
+    fn damage_on_one_shard_leaves_the_others_intact(
+        ops in prop::collection::vec(any::<u8>(), 1..150),
+        shards in 2usize..5,
+        victim_sel in 0usize..8,
+        cut_frac in 0.0f64..1.0,
+        junk in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let (mut fleet, now) = drive_fleet(&ops, shards, 4);
+        fleet.commit_all();
+        let images = fleet.crash_images();
+        let victim = victim_sel % shards;
+
+        let mut wounded_images = images.clone();
+        let cut = ((wounded_images[victim].len() as f64) * cut_frac) as usize;
+        wounded_images[victim].truncate(cut);
+        wounded_images[victim].extend_from_slice(&junk);
+
+        let (clean, _) = ShardedOrchestrator::recover_fleet(&images, HOLDER, now, 4);
+        let (wounded, info) = ShardedOrchestrator::recover_fleet(&wounded_images, HOLDER, now, 4);
+        prop_assert!(
+            info.damaged_shards().iter().all(|&s| s == victim),
+            "damage reported off the victim: {:?}",
+            info.damaged_shards()
+        );
+        for i in 0..shards {
+            if i == victim {
+                continue;
+            }
+            prop_assert_eq!(&wounded.shards()[i].engine, &clean.shards()[i].engine);
+            prop_assert_eq!(&wounded.shards()[i].idempotency, &clean.shards()[i].idempotency);
+        }
+        // the victim degraded to a prefix of its own history
+        let victim_full = clean.shards()[victim].journal().record_count();
+        prop_assert!(wounded.shards()[victim].journal().record_count() <= victim_full);
+    }
+}
+
+#[test]
+fn post_recovery_steal_race_grants_a_key_exactly_once() {
+    // a dead incarnation crashes holding the key's lease (the claim is
+    // durable because the submit barrier flushed it)
+    let t0 = SimInstant::ZERO;
+    let shards = 4;
+    let key = "scan_0042/nersc_recon_flow/copy@nersc";
+    let mut fleet = ShardedOrchestrator::new("orch-dead", t0, shards, 8);
+    assert_eq!(fleet.claim(key, t0, LEASE), Claim::Run);
+    let run = fleet.create_run("recon", key, t0);
+    fleet.external_submitted(ExternalKind::Transfer, 7, run, "{\"scan\":42}");
+    let images = fleet.crash_images();
+
+    // recovery under a new incarnation force-expires the dead holder's
+    // lease on its shard...
+    let now = t0 + SimDuration::from_secs(60);
+    let (recovered, info) = ShardedOrchestrator::recover_fleet(&images, "orch-new", now, 8);
+    assert!(
+        info.expired_leases() >= 1,
+        "dead-incarnation lease was not force-expired"
+    );
+
+    // ...and a herd of racing claimants on the live event loops must be
+    // granted the key exactly once: the owning shard's mailbox
+    // serialises the steal, everyone behind the winner sees Busy
+    let grants = Arc::new(AtomicUsize::new(0));
+    let pool = ShardPool::spawn(recovered.shards().to_vec());
+    let s = shard_of_key(key, shards);
+    for _ in 0..16 {
+        let grants = Arc::clone(&grants);
+        let key = key.to_string();
+        pool.submit(s, move |orch| {
+            if orch.claim(&key, now, LEASE) == Claim::Run {
+                grants.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+    }
+    pool.join();
+    assert_eq!(
+        grants.load(Ordering::SeqCst),
+        1,
+        "lease steal after multi-shard recovery granted the key more than once"
+    );
+}
+
+#[test]
+fn replicated_completion_blocks_reexecution_after_home_shard_damage() {
+    // complete a key, then destroy the home shard's journal tail — the
+    // very record proving completion. The ring replica on the next
+    // shard must still short-circuit the claim to Cached; anything else
+    // re-executes a facility side effect.
+    let t0 = SimInstant::ZERO;
+    let shards = 4;
+    let key = "scan_0042/alcf_recon_flow/exec@alcf";
+    let mut fleet = ShardedOrchestrator::new("orch-dead", t0, shards, 1);
+    assert_eq!(fleet.claim(key, t0, LEASE), Claim::Run);
+    fleet.complete(key);
+    let mut images = fleet.crash_images();
+
+    let home = fleet.shard_of(key);
+    let torn = images[home].len() - 3; // mid-frame: the completion record is lost
+    images[home].truncate(torn);
+
+    let now = t0 + SimDuration::from_secs(60);
+    let (mut recovered, info) = ShardedOrchestrator::recover_fleet(&images, "orch-new", now, 1);
+    assert_eq!(info.damaged_shards(), vec![home]);
+    assert!(
+        !recovered.shards()[home].idempotency.is_completed(key),
+        "test is vacuous: home shard still remembers the completion"
+    );
+    assert_eq!(
+        recovered.claim(key, now, LEASE),
+        Claim::Cached,
+        "duplicate grant: ring replica ignored after home-shard damage"
+    );
+}

@@ -39,7 +39,8 @@ fn crash_restart_reconcile_completes_without_duplicates() {
 
     // the replayed engine's history is coherent: every terminal flow run
     // completed, and the journal-recovered runs include pre-crash ones
-    let q = sim.engine().query();
+    let engine = sim.engine();
+    let q = engine.query();
     for flow in [FLOW_NEW_FILE, FLOW_NERSC, FLOW_ALCF] {
         for run in q.runs_of(flow) {
             assert!(

@@ -54,7 +54,8 @@ fn campaign_survives_partial_transfer_failures() {
     let mut w = ScanWorkload::production();
     sim.schedule_campaign(&mut w, 10);
     sim.run(None);
-    let q = sim.engine().query();
+    let engine = sim.engine();
+    let q = engine.query();
     // healthy baseline: everything completed
     assert_eq!(q.success_rate(FLOW_NERSC), Some(1.0));
     assert_eq!(q.success_rate(FLOW_ALCF), Some(1.0));
@@ -190,7 +191,8 @@ fn nersc_outage_failover_recovery_and_failback() {
 
     // the run DB shows the redirects: NERSC-branch runs during the outage
     // carry the failover parameter and the redirect + remote-cancel tasks
-    let q = sim.engine().query();
+    let engine = sim.engine();
+    let q = engine.query();
     let nersc_runs = q.runs_of(als_flows::sim::FLOW_NERSC);
     assert_eq!(nersc_runs.len(), 24);
     let redirected: Vec<_> = nersc_runs
