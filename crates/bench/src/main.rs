@@ -7,8 +7,9 @@
 //!
 //! Artifacts: `table1`, `table2`, `fig1`, `fig2`, `fig3`, `streaming`
 //! (S1), `speedup` (S2), `lifecycle` (S3), `incident` (S4), `resilience`
-//! (R1), `recovery` (R2), `quality` (Q1). Output goes to stdout; figure
-//! assets land in `target/experiments/`.
+//! (R1), `recovery` (R2), `shard_recovery` (R3), `routing` (R4),
+//! `quality` (Q1). Output goes to stdout; figure assets land in
+//! `target/experiments/`.
 
 use als_flows::campaign::{run_campaign, CampaignConfig};
 use als_flows::incident::incident_comparison;
@@ -219,6 +220,40 @@ fn main() {
             println!("    failover off: {}", row(&p.comparison.without_failover));
         }
         println!("\n(cross-facility failover holds completion near 100% as faults intensify)");
+    }
+    if wants("routing") {
+        println!(
+            "\n================ R4 (cost-aware N-way routing, rolling outages) ================\n"
+        );
+        let report = als_flows::routing::routing_experiment(24, 5);
+        let row = |o: &als_flows::RoutingOutcome| {
+            let served = o
+                .served_by
+                .iter()
+                .map(|(f, n)| format!("{f}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!(
+                "{:>5.1}% complete ({:>2}/{:<2}) | {:>2} redirects (max {} hops) {:>2} remote-cancels {} dup side-effects | p50 {} p95 {} | served {}",
+                o.completion_rate * 100.0,
+                o.branch_flows_completed,
+                o.branch_flows_total,
+                o.failover_count,
+                o.max_route_hops,
+                o.remote_cancels,
+                o.duplicate_side_effects,
+                o.p50_flow_s.map_or("   n/a".into(), |s| format!("{s:>6.0} s")),
+                o.p95_flow_s.map_or("   n/a".into(), |s| format!("{s:>6.0} s")),
+                served,
+            )
+        };
+        let r = &report.rolling;
+        println!("rolling 3-facility outage schedule (OLCF early, then NERSC, then ALCF on top; 24 scans @ 5 min):");
+        println!("  cost-aware, 3 facilities: {}", row(&r.cost_aware_3fac));
+        println!("  one-shot,   2 facilities: {}", row(&r.one_shot_2fac));
+        println!(
+            "\n(the cost-aware router re-routes a branch more than once — NERSC→ALCF→OLCF —\n so the campaign survives outages that roll across the fleet; the one-shot\n router strands every branch whose single refuge also dies)"
+        );
     }
     if wants("recovery") {
         println!(

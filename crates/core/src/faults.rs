@@ -21,6 +21,10 @@ pub enum FaultKind {
     /// ALCF compute-endpoint outage: live Globus Compute invocations fail
     /// and new ones are rejected; heartbeats stop.
     AlcfOutage,
+    /// OLCF scheduler outage: Frontier's batch partition drains, running
+    /// ALS jobs are killed, heartbeats stop. Same shape as the NERSC
+    /// incident, at the third facility.
+    OlcfOutage,
     /// ESnet brownout: every WAN segment runs at `capacity_factor` ×
     /// nominal bandwidth.
     EsnetBrownout { capacity_factor: f64 },

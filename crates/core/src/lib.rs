@@ -48,6 +48,7 @@ pub mod multibeamline;
 pub mod realmode;
 pub mod recovery;
 pub mod resilience;
+pub mod routing;
 pub mod scan;
 pub mod shard_recovery;
 pub mod sim;
@@ -62,6 +63,9 @@ pub use recovery::{
 pub use resilience::{
     resilience_comparison, resilience_experiment, ResilienceComparison, ResilienceOutcome,
     ResilienceReport,
+};
+pub use routing::{
+    routing_comparison, routing_experiment, RoutingComparison, RoutingOutcome, RoutingReport,
 };
 pub use scan::{Scan, ScanId, ScanWorkload};
 pub use shard_recovery::{

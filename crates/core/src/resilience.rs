@@ -13,6 +13,7 @@
 use crate::faults::{FaultKind, FaultPlan, FaultWindow};
 use crate::scan::ScanWorkload;
 use crate::sim::{FacilitySim, SimConfig, FLOW_ALCF, FLOW_NERSC};
+use als_facility::Facility;
 use als_orchestrator::engine::FlowState;
 use als_simcore::{SimDuration, SimInstant};
 use serde::Serialize;
@@ -132,8 +133,8 @@ pub fn outcome_of(sim: &FacilitySim, scans: usize) -> ResilienceOutcome {
         },
         failover_count: sim.failover_count,
         remote_cancels: sim.remote_cancel_count,
-        nersc_breaker_trips: sim.nersc_breaker.open_count(),
-        alcf_breaker_trips: sim.alcf_breaker.open_count(),
+        nersc_breaker_trips: sim.breaker(Facility::Nersc).open_count(),
+        alcf_breaker_trips: sim.breaker(Facility::Alcf).open_count(),
         p50_flow_s: percentile(&durations, 50.0),
         p99_flow_s: percentile(&durations, 99.0),
     }

@@ -4,30 +4,40 @@
 //! layer emits scans; the orchestration layer runs the `new_file_832`,
 //! `nersc_recon_flow`, and `alcf_recon_flow` state machines; the movement
 //! layer is the Globus transfer service over the ESnet topology; the
-//! compute layer is SFAPI/Slurm (realtime QOS) at NERSC and Globus
-//! Compute pilot jobs at ALCF; the access layer is the storage tiers +
-//! catalogue the results land in. Every flow run is recorded in the
-//! Prefect-substitute engine, which is what the Table 2 report queries.
+//! compute layer is a fleet of pluggable [`FacilityController`] backends
+//! — SFAPI/Slurm (realtime QOS) at NERSC, Globus Compute pilot jobs at
+//! ALCF, and batch Slurm with long queue holds at OLCF; the access layer
+//! is the storage tiers + catalogue the results land in. Every flow run
+//! is recorded in the Prefect-substitute engine, which is what the
+//! Table 2 report queries.
+//!
+//! Branch placement is delegated to the cost-aware [`Router`]: every
+//! branch has a home facility, and under rolling outages the router
+//! re-targets it — possibly more than once — to the cheapest admissible
+//! site by queue wait × estimated transfer time, cancelling work
+//! stranded at abandoned sites and re-admitting recovered facilities
+//! through dedicated probe jobs.
 
 use crate::faults::{CrashDamage, FaultKind, FaultPlan};
 use crate::scan::{Scan, ScanId, ScanWorkload};
 use als_catalog::{raw_scan_dataset, recon_dataset, Catalog, DatasetPid, InstrumentMetadata};
-use als_globus::compute::{
-    AcquisitionMode, ComputeEndpoint, ComputeEvent, ComputeTaskId, ComputeTaskState,
+use als_facility::{
+    AlcfController, CandidateView, Facility, FacilityController, FacilityFault, FacilityTask,
+    NerscController, OlcfController, Router, RouterConfig, RouterMode, SubmitSpec, PROBE_PREFIX,
+    RECON_PREFIX,
 };
+use als_globus::compute::AcquisitionMode;
 use als_globus::transfer::{EndpointId, TaskId, TransferEvent, TransferOptions, TransferService};
 use als_globus::BandwidthMonitor;
 use als_hpc::circuit::{BreakerConfig, CircuitBreaker};
-use als_hpc::health::{Environment, HealthMonitor, HealthState};
-use als_hpc::scheduler::{JobEvent, JobId, JobRequest, JobState, Qos};
-use als_hpc::sfapi::{SfApiClient, SfApiServer};
+use als_hpc::health::{Environment, HealthMonitor};
+use als_hpc::scheduler::Qos;
 use als_hpc::storage::{StorageTier, TierKind};
 use als_netsim::{esnet_topology_with_nics, SiteId};
 use als_orchestrator::engine::{FlowEngine, FlowRunId, FlowState, TaskState};
 use als_orchestrator::schedule::Schedule;
 use als_orchestrator::{
-    cancel_orphan_jobs, compute_fate, job_fate, shard_of_key, transfer_fate, Claim, ExternalKind,
-    OpFate, ShardedOrchestrator,
+    shard_of_key, transfer_fate, Claim, ExternalKind, OpFate, ShardedOrchestrator,
 };
 use als_simcore::{ByteSize, EventQueue, SimDuration, SimInstant, SimRng};
 use serde::{Deserialize, Serialize};
@@ -44,7 +54,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Fail transfers immediately on permission errors (§5.3 remediation).
     pub fail_fast: bool,
-    /// QOS for NERSC reconstruction jobs (paper: `realtime`).
+    /// QOS for NERSC reconstruction jobs (paper: `realtime`). Router
+    /// health probes ride the same QOS so a recovered facility is
+    /// re-admitted promptly even behind a background-job backlog.
     pub nersc_qos: Qos,
     /// ALCF node acquisition (paper: demand queue via Globus Compute).
     pub alcf_mode: AcquisitionMode,
@@ -56,6 +68,10 @@ pub struct SimConfig {
     pub nersc_nodes: usize,
     /// Max pilot nodes the ALCF endpoint may hold.
     pub alcf_max_nodes: usize,
+    /// Whether the OLCF batch facility participates in the fleet.
+    pub olcf_enabled: bool,
+    /// Nodes in the OLCF batch partition slice.
+    pub olcf_nodes: usize,
     /// Mean seconds between competing (non-ALS) NERSC job arrivals;
     /// `None` disables background load.
     pub background_mean_arrival_s: Option<f64>,
@@ -68,9 +84,11 @@ pub struct SimConfig {
     /// (default: none — a healthy campaign).
     pub faults: FaultPlan,
     /// Route recon branches away from an unhealthy facility (circuit
-    /// breakers + NERSC↔ALCF redirects, the §5.3 remediation). With an
-    /// empty fault plan this changes nothing.
+    /// breakers + redirects, the §5.3 remediation). With an empty fault
+    /// plan this changes nothing.
     pub failover_enabled: bool,
+    /// Routing policy: legacy one-shot failover or cost-aware N-way.
+    pub router_mode: RouterMode,
     /// Persist the orchestrator's write-ahead journal and recover from it
     /// after a crash. When `false`, a crashed orchestrator restarts empty
     /// and falls back to rescanning facility state (the measured
@@ -96,11 +114,14 @@ impl Default for SimConfig {
             transfer_concurrency: 4,
             nersc_nodes: 8,
             alcf_max_nodes: 4,
+            olcf_enabled: true,
+            olcf_nodes: 16,
             background_mean_arrival_s: Some(360.0),
             pruning_enabled: true,
             beamline_count: 1,
             faults: FaultPlan::none(),
             failover_enabled: true,
+            router_mode: RouterMode::CostAware,
             durable_recovery: true,
             shard_count: 4,
             group_commit_batch: 32,
@@ -108,7 +129,8 @@ impl Default for SimConfig {
     }
 }
 
-/// Which recon branch a transfer/job belongs to.
+/// Which recon branch a flow run belongs to (its *home* identity; the
+/// executing facility may differ after a redirect).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Branch {
     Nersc,
@@ -135,10 +157,8 @@ enum Ev {
     NewFileDone(ScanId, u32),
     /// Poll the Globus transfer service.
     PollTransfers,
-    /// Poll the NERSC scheduler.
-    PollNersc,
-    /// Poll the ALCF compute endpoint.
-    PollAlcf,
+    /// Poll the facility with this [`Facility::key`].
+    PollFac(u8),
     /// Daily pruning flows fire.
     PruneTick,
     /// A competing (non-ALS) job arrives at NERSC.
@@ -149,11 +169,10 @@ enum Ev {
     FaultEnd(usize),
     /// Facilities emit heartbeats; the router checks for staleness.
     HealthTick,
-    /// Deadline for a NERSC job: if still live, it is stranded behind an
-    /// outage — cancel it remotely and fail over.
-    JobDeadline(JobId),
-    /// Deadline for an ALCF invocation, same semantics.
-    TaskDeadline(ComputeTaskId),
+    /// Deadline for a facility operation (facility-qualified handle): if
+    /// still live, it is stranded behind an outage — cancel it remotely
+    /// and re-route.
+    OpDeadline(u64),
     /// The `i`-th orchestrator crash of the plan: the coordinator process
     /// dies, losing all in-memory state.
     CrashStart(usize),
@@ -170,7 +189,7 @@ struct OpCtx {
     branch: u8,
     /// Transfer leg (0 = to HPC, 1 = back); 0 for jobs/invocations.
     leg: u8,
-    /// Facility actually executing (0 = NERSC, 1 = ALCF).
+    /// Facility actually executing ([`Facility::key`]).
     fac: u8,
 }
 
@@ -200,6 +219,12 @@ pub mod calib {
     /// ALCF function: reconstruction seconds per raw GiB (GPU-assisted).
     pub const ALCF_RECON_S_PER_GIB: f64 = 13.0;
 
+    /// OLCF job: fixed startup on a Frontier batch node (s) — the
+    /// 15-minute queue hold is separate, applied by the controller.
+    pub const OLCF_JOB_FIXED_S: f64 = 420.0;
+    /// OLCF job: reconstruction seconds per raw GiB.
+    pub const OLCF_RECON_S_PER_GIB: f64 = 18.0;
+
     /// Walltime margin over the expected runtime.
     pub const WALLTIME_MARGIN: f64 = 2.0;
 }
@@ -220,14 +245,15 @@ pub struct FacilitySim {
     ep_als: EndpointId,
     ep_nersc: EndpointId,
     ep_alcf: EndpointId,
+    ep_olcf: EndpointId,
 
-    nersc: SfApiServer,
-    nersc_client: SfApiClient,
-    alcf: ComputeEndpoint,
+    /// The facility fleet, behind the [`FacilityController`] seam.
+    facs: Vec<Box<dyn FacilityController>>,
 
     pub beamline_tier: StorageTier,
     pub cfs_tier: StorageTier,
     pub eagle_tier: StorageTier,
+    pub orion_tier: StorageTier,
     pub hpss_tier: StorageTier,
 
     prune_schedule: Schedule,
@@ -237,31 +263,38 @@ pub struct FacilitySim {
     branch_runs: BTreeMap<(ScanId, u8), FlowRunId>,
     /// Live transfers → (scan, flow branch, leg, executing facility the
     /// HPC-side endpoint belongs to).
-    transfer_map: BTreeMap<TaskId, (ScanId, Branch, Leg, Branch)>,
-    /// Live NERSC jobs → (scan, *flow* branch they serve). After a
-    /// failover an ALCF-branch flow may execute at NERSC, so the value is
-    /// the branch identity, not the facility.
-    job_map: BTreeMap<JobId, (ScanId, Branch)>,
-    compute_map: BTreeMap<ComputeTaskId, (ScanId, Branch)>,
+    transfer_map: BTreeMap<TaskId, (ScanId, Branch, Leg, Facility)>,
+    /// Live facility operations (facility-qualified handles) → the
+    /// (scan, *flow* branch) they serve. After a redirect an ALCF-branch
+    /// flow may execute at NERSC or OLCF, so the value is the branch
+    /// identity, not the facility — the facility is in the handle.
+    op_map: BTreeMap<u64, (ScanId, Branch)>,
     raw_pids: BTreeMap<ScanId, DatasetPid>,
 
     /// Facility actually executing each flow branch (differs from the
-    /// branch's home facility after a failover redirect).
-    exec_site: BTreeMap<(ScanId, u8), Branch>,
-    /// Branches that already failed over once (failover is one-shot).
-    failed_over: BTreeSet<(ScanId, u8)>,
-    /// Facility heartbeats + per-facility circuit breakers (§5.3).
+    /// branch's home facility after a redirect).
+    exec_site: BTreeMap<(ScanId, u8), Facility>,
+    /// Per-branch redirect history: `(facility, recoveries-at-
+    /// abandonment)` pairs, in abandonment order. Bounds hops and kills
+    /// A→B→A ping-pong within one health epoch (see [`Router::select`]).
+    route_history: BTreeMap<(ScanId, u8), Vec<(Facility, u32)>>,
+    /// Facility heartbeats (§5.3).
     pub health: HealthMonitor,
-    pub nersc_breaker: CircuitBreaker,
-    pub alcf_breaker: CircuitBreaker,
-    nersc_heartbeats_suppressed: bool,
-    alcf_heartbeats_suppressed: bool,
+    /// The N-way router: per-facility breakers, probe lifecycle, and the
+    /// audit log of every placement decision.
+    pub router: Router,
+    /// Facilities whose heartbeats an outage is suppressing.
+    hb_suppressed: BTreeSet<Facility>,
+    /// In-flight router health probes (facility-qualified handles).
+    probe_ops: BTreeMap<u64, Facility>,
+    probe_seq: u64,
 
     /// Completed end-to-end scans (both branches finished).
     pub completed_scans: usize,
-    /// Branch redirects performed (NERSC↔ALCF).
+    /// Branch redirects performed.
     pub failover_count: usize,
-    /// Jobs/invocations cancelled remotely after missing their deadline.
+    /// Jobs/invocations cancelled remotely after missing their deadline
+    /// or being swept from an abandoned facility.
     pub remote_cancel_count: usize,
 
     /// Orchestrator incarnation counter; bumped at every restart so stale
@@ -320,17 +353,21 @@ fn branch_key(b: Branch) -> u8 {
     }
 }
 
-fn other_branch(b: Branch) -> Branch {
-    match b {
-        Branch::Nersc => Branch::Alcf,
-        Branch::Alcf => Branch::Nersc,
-    }
-}
-
-fn facility_name(b: Branch) -> &'static str {
+/// The branch's *name* — used for flow naming and product files, which
+/// stay keyed to the home identity even when a redirect ran the work
+/// elsewhere.
+fn branch_name(b: Branch) -> &'static str {
     match b {
         Branch::Nersc => "nersc",
         Branch::Alcf => "alcf",
+    }
+}
+
+/// The branch's home facility.
+fn home_fac(b: Branch) -> Facility {
+    match b {
+        Branch::Nersc => Facility::Nersc,
+        Branch::Alcf => Facility::Alcf,
     }
 }
 
@@ -353,11 +390,12 @@ fn branch_from_key(k: u8) -> Branch {
 /// router trips the facility's breaker).
 const HEARTBEAT_PERIOD: SimDuration = SimDuration::from_secs(60);
 const HEARTBEAT_FRESHNESS: SimDuration = SimDuration::from_secs(180);
-/// Slack past a job's walltime before the deadline watchdog fires.
-const DEADLINE_SLACK_S: f64 = 600.0;
 /// Idempotency-claim lease: long enough to cover any single step, short
 /// enough that a wedged holder eventually loses the key.
 const CLAIM_LEASE: SimDuration = SimDuration::from_secs(6 * 3600);
+/// Router health-probe shape: a tiny single-node canary job.
+const PROBE_RUNTIME: SimDuration = SimDuration::from_secs(60);
+const PROBE_WALLTIME: SimDuration = SimDuration::from_secs(600);
 
 impl FacilitySim {
     pub fn new(cfg: SimConfig) -> Self {
@@ -368,14 +406,35 @@ impl FacilitySim {
         let ep_als = transfer.register_endpoint(SiteId::Als);
         let ep_nersc = transfer.register_endpoint(SiteId::Nersc);
         let ep_alcf = transfer.register_endpoint(SiteId::Alcf);
+        let ep_olcf = transfer.register_endpoint(SiteId::Olcf);
         let rng = SimRng::seeded(cfg.seed);
+        let mut facs: Vec<Box<dyn FacilityController>> = vec![
+            Box::new(NerscController::new(cfg.nersc_nodes)),
+            Box::new(AlcfController::new(cfg.alcf_mode, cfg.alcf_max_nodes)),
+        ];
+        if cfg.olcf_enabled {
+            facs.push(Box::new(OlcfController::new(cfg.olcf_nodes)));
+        }
         let mut health = HealthMonitor::new();
-        health.register("nersc", Environment::Production, HEARTBEAT_FRESHNESS);
-        health.register("alcf", Environment::Production, HEARTBEAT_FRESHNESS);
-        let breaker_cfg = BreakerConfig {
-            failure_threshold: 3,
-            cooldown: SimDuration::from_mins(10),
-        };
+        for c in &facs {
+            health.register(
+                c.facility().name(),
+                Environment::Production,
+                HEARTBEAT_FRESHNESS,
+            );
+        }
+        let enabled: Vec<Facility> = facs.iter().map(|c| c.facility()).collect();
+        let router = Router::new(
+            RouterConfig {
+                mode: cfg.router_mode,
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown: SimDuration::from_mins(10),
+                },
+                ..RouterConfig::default()
+            },
+            &enabled,
+        );
         FacilitySim {
             queue: EventQueue::new(),
             rng,
@@ -391,28 +450,27 @@ impl FacilitySim {
             ep_als,
             ep_nersc,
             ep_alcf,
-            nersc: SfApiServer::new(cfg.nersc_nodes),
-            nersc_client: SfApiClient::new("als"),
-            alcf: ComputeEndpoint::new(cfg.alcf_mode, cfg.alcf_max_nodes),
+            ep_olcf,
+            facs,
             beamline_tier: StorageTier::new(TierKind::BeamlineData, ByteSize::from_tib(20)),
             cfs_tier: StorageTier::new(TierKind::Cfs, ByteSize::from_tib(500)),
             eagle_tier: StorageTier::new(TierKind::Eagle, ByteSize::from_tib(100)),
+            orion_tier: StorageTier::new(TierKind::Orion, ByteSize::from_tib(700)),
             hpss_tier: StorageTier::new(TierKind::Hpss, ByteSize::from_tib(10_000)),
             prune_schedule: Schedule::daily_pruning(SimInstant::ZERO),
             scans: BTreeMap::new(),
             newfile_runs: BTreeMap::new(),
             branch_runs: BTreeMap::new(),
             transfer_map: BTreeMap::new(),
-            job_map: BTreeMap::new(),
-            compute_map: BTreeMap::new(),
+            op_map: BTreeMap::new(),
             raw_pids: BTreeMap::new(),
             exec_site: BTreeMap::new(),
-            failed_over: BTreeSet::new(),
+            route_history: BTreeMap::new(),
             health,
-            nersc_breaker: CircuitBreaker::new(breaker_cfg),
-            alcf_breaker: CircuitBreaker::new(breaker_cfg),
-            nersc_heartbeats_suppressed: false,
-            alcf_heartbeats_suppressed: false,
+            router,
+            hb_suppressed: BTreeSet::new(),
+            probe_ops: BTreeMap::new(),
+            probe_seq: 0,
             completed_scans: 0,
             failover_count: 0,
             remote_cancel_count: 0,
@@ -471,8 +529,75 @@ impl FacilitySim {
         self.branch_completed.len()
     }
 
-    // ---- idempotency keys (facility-qualified: a failover redirect is a
-    // fresh claim, not a duplicate of the original site's work) ----
+    /// The facility's circuit breaker (owned by the router).
+    pub fn breaker(&self, f: Facility) -> &CircuitBreaker {
+        self.router.breaker(f)
+    }
+
+    /// The most facilities any single branch abandoned during the
+    /// campaign (0 = nothing ever re-routed; 2 = some branch degraded
+    /// through two sites, e.g. NERSC → ALCF → OLCF).
+    pub fn max_route_hops(&self) -> usize {
+        self.route_history
+            .values()
+            .map(|v| v.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Live reconstruction operations across the whole fleet (stranded-
+    /// work audit: zero once a campaign has drained).
+    pub fn live_recon_ops(&self) -> usize {
+        self.facs
+            .iter()
+            .map(|c| {
+                c.labeled_ops()
+                    .iter()
+                    .filter(|(op, _)| c.op_fate(*op) == OpFate::Live)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Facility operations the orchestrator still considers open.
+    pub fn open_exec_ops(&self) -> usize {
+        self.op_map.len()
+    }
+
+    // ---- facility fleet access ----
+
+    fn fac(&self, f: Facility) -> &dyn FacilityController {
+        self.facs
+            .iter()
+            .find(|c| c.facility() == f)
+            .expect("facility enabled")
+            .as_ref()
+    }
+
+    fn fac_mut(&mut self, f: Facility) -> &mut dyn FacilityController {
+        self.facs
+            .iter_mut()
+            .find(|c| c.facility() == f)
+            .expect("facility enabled")
+            .as_mut()
+    }
+
+    fn fac_endpoint(&self, f: Facility) -> EndpointId {
+        match f {
+            Facility::Nersc => self.ep_nersc,
+            Facility::Alcf => self.ep_alcf,
+            Facility::Olcf => self.ep_olcf,
+        }
+    }
+
+    /// Is the health/heartbeat machinery live this run? (Heartbeat ticks
+    /// are only scheduled for fault-injected campaigns with failover.)
+    fn health_armed(&self) -> bool {
+        self.cfg.failover_enabled && !self.cfg.faults.is_empty()
+    }
+
+    // ---- idempotency keys (facility-qualified: a redirect is a fresh
+    // claim, not a duplicate of the original site's work) ----
 
     fn scan_name(&self, id: ScanId) -> String {
         self.scans.get(&id).expect("scan exists").name.clone()
@@ -482,34 +607,34 @@ impl FacilitySim {
         format!("{}/ingest", self.scan_name(id))
     }
 
-    fn copy_key(&self, id: ScanId, branch: Branch, fac: Branch) -> String {
+    fn copy_key(&self, id: ScanId, branch: Branch, fac: Facility) -> String {
         format!(
             "{}/{}/copy@{}",
             self.scan_name(id),
             flow_of(branch),
-            facility_name(fac)
+            fac.name()
         )
     }
 
-    fn exec_key(&self, id: ScanId, branch: Branch, fac: Branch) -> String {
+    fn exec_key(&self, id: ScanId, branch: Branch, fac: Facility) -> String {
         format!(
             "{}/{}/exec@{}",
             self.scan_name(id),
             flow_of(branch),
-            facility_name(fac)
+            fac.name()
         )
     }
 
-    fn back_key(&self, id: ScanId, branch: Branch, fac: Branch) -> String {
+    fn back_key(&self, id: ScanId, branch: Branch, fac: Facility) -> String {
         format!(
             "{}/{}/back@{}",
             self.scan_name(id),
             flow_of(branch),
-            facility_name(fac)
+            fac.name()
         )
     }
 
-    fn op_ctx(&self, id: ScanId, branch: Branch, leg: Leg, fac: Branch) -> String {
+    fn op_ctx(&self, id: ScanId, branch: Branch, leg: Leg, fac: Facility) -> String {
         let ctx = OpCtx {
             scan: id.0,
             branch: branch_key(branch),
@@ -517,7 +642,7 @@ impl FacilitySim {
                 Leg::ToHpc => 0,
                 Leg::Back => 1,
             },
-            fac: branch_key(fac),
+            fac: fac.key(),
         };
         serde_json::to_string(&ctx).expect("ctx serializes")
     }
@@ -581,7 +706,7 @@ impl FacilitySim {
             self.queue.schedule_at(c.at, Ev::CrashStart(i));
             self.queue.schedule_at(c.restart_at(), Ev::CrashEnd(i));
         }
-        if self.cfg.failover_enabled && !faults.is_empty() {
+        if self.health_armed() {
             let mut horizon = t + SimDuration::from_hours(3);
             for w in &faults.windows {
                 horizon = horizon.max(w.end + SimDuration::from_hours(2));
@@ -626,17 +751,10 @@ impl FacilitySim {
         }
     }
 
-    fn schedule_nersc_poll(&mut self) {
+    fn schedule_fac_poll(&mut self, f: Facility) {
         let now = self.queue.now();
-        if let Some(t) = self.nersc.scheduler().next_event_time() {
-            self.queue.schedule_at(t.max(now), Ev::PollNersc);
-        }
-    }
-
-    fn schedule_alcf_poll(&mut self) {
-        let now = self.queue.now();
-        if let Some(t) = self.alcf.next_event_time() {
-            self.queue.schedule_at(t.max(now), Ev::PollAlcf);
+        if let Some(t) = self.fac(f).next_event_time() {
+            self.queue.schedule_at(t.max(now), Ev::PollFac(f.key()));
         }
     }
 
@@ -646,15 +764,13 @@ impl FacilitySim {
             Ev::ScanSaved(id) => self.on_scan_saved(now, id),
             Ev::NewFileDone(id, epoch) => self.on_new_file_done(now, id, epoch),
             Ev::PollTransfers => self.on_poll_transfers(now),
-            Ev::PollNersc => self.on_poll_nersc(now),
-            Ev::PollAlcf => self.on_poll_alcf(now),
+            Ev::PollFac(k) => self.on_poll_fac(now, k),
             Ev::PruneTick => self.on_prune(now),
             Ev::BackgroundArrival => self.on_background(now),
             Ev::FaultStart(i) => self.on_fault_start(now, i),
             Ev::FaultEnd(i) => self.on_fault_end(now, i),
             Ev::HealthTick => self.on_health_tick(now),
-            Ev::JobDeadline(job) => self.on_job_deadline(now, job),
-            Ev::TaskDeadline(task) => self.on_task_deadline(now, task),
+            Ev::OpDeadline(op) => self.on_op_deadline(now, op),
             Ev::CrashStart(i) => self.on_crash_start(now, i),
             Ev::CrashEnd(i) => self.on_crash_end(now, i),
         }
@@ -803,8 +919,8 @@ impl FacilitySim {
             self.branch_runs.insert((id, bk), run);
         }
         if !self.exec_site.contains_key(&(id, bk)) {
-            // route around a facility whose breaker is open (launch-time
-            // failover: the raw data goes straight to the healthy site)
+            // route around unhealthy facilities at launch time: the raw
+            // data goes straight to whatever site the router picks
             self.choose_exec_site(now, id, branch);
         }
         self.step_copy(now, id, branch);
@@ -813,7 +929,11 @@ impl FacilitySim {
     /// Step 1: ship the raw data to the executing facility.
     fn step_copy(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
         let bk = branch_key(branch);
-        let exec = self.exec_site.get(&(id, bk)).copied().unwrap_or(branch);
+        let exec = self
+            .exec_site
+            .get(&(id, bk))
+            .copied()
+            .unwrap_or(home_fac(branch));
         let key = self.copy_key(id, branch, exec);
         match self.orch.claim(&key, now, CLAIM_LEASE) {
             Claim::Cached => return self.step_exec(now, id, branch),
@@ -822,7 +942,7 @@ impl FacilitySim {
         }
         self.ledger_begin(&key);
         let scan = self.scans.get(&id).expect("scan exists").clone();
-        let dst = self.branch_endpoint(exec);
+        let dst = self.fac_endpoint(exec);
         let opts = self.transfer_opts();
         let ctx = self.op_ctx(id, branch, Leg::ToHpc, exec);
         let task =
@@ -846,44 +966,95 @@ impl FacilitySim {
             .exec_site
             .get(&(id, branch_key(branch)))
             .copied()
-            .unwrap_or(branch);
-        match exec {
-            Branch::Nersc => self.nersc_job_submit(now, id, branch),
-            Branch::Alcf => self.alcf_invoke(now, id, branch),
-        }
+            .unwrap_or(home_fac(branch));
+        self.facility_submit(now, id, branch, exec);
     }
 
-    fn branch_endpoint(&self, b: Branch) -> EndpointId {
-        match b {
-            Branch::Nersc => self.ep_nersc,
-            Branch::Alcf => self.ep_alcf,
-        }
+    /// The router's scoring input: one view per enabled facility, from
+    /// the controller's health snapshot and the WAN capacity estimate.
+    fn candidate_views(&self, now: SimInstant, id: ScanId) -> Vec<CandidateView> {
+        let size = self.scans.get(&id).expect("scan exists").size;
+        let armed = self.health_armed();
+        self.facs
+            .iter()
+            .map(|c| {
+                let f = c.facility();
+                let st = c.health(now);
+                CandidateView {
+                    facility: f,
+                    est_wait_s: if st.accepting {
+                        st.est_wait_s
+                    } else {
+                        f64::INFINITY
+                    },
+                    est_transfer_s: self.transfer.estimate_transfer_seconds(
+                        SiteId::Als,
+                        f.site(),
+                        size,
+                    ),
+                    heartbeat_stale: armed && self.health.heartbeat_stale(f.name(), now),
+                }
+            })
+            .collect()
     }
 
-    fn breaker_allows(&mut self, facility: Branch, now: SimInstant) -> bool {
-        match facility {
-            Branch::Nersc => self.nersc_breaker.allow_request(now),
-            Branch::Alcf => self.alcf_breaker.allow_request(now),
+    /// Record a redirect on the branch's flow run: the `failover`
+    /// parameter names the current target (provenance + recovery), the
+    /// `route` parameter carries the whole path, and failure-driven
+    /// redirects additionally log a `failover_redirect` task.
+    fn record_route(
+        &mut self,
+        now: SimInstant,
+        id: ScanId,
+        branch: Branch,
+        target: Facility,
+        with_task: bool,
+    ) {
+        let bk = branch_key(branch);
+        let Some(&run) = self.branch_runs.get(&(id, bk)) else {
+            return;
+        };
+        self.orch.set_parameter(run, "failover", target.name());
+        let mut path: Vec<&str> = self
+            .route_history
+            .get(&(id, bk))
+            .map(|h| h.iter().map(|(f, _)| f.name()).collect())
+            .unwrap_or_default();
+        path.push(target.name());
+        self.orch.set_parameter(run, "route", &path.join(">"));
+        if with_task {
+            self.orch.start_task(run, "failover_redirect", None, now);
         }
     }
 
     /// Pick the facility that will execute a newly launched flow branch:
-    /// its home facility unless that breaker refuses and the other
-    /// facility's breaker accepts.
-    fn choose_exec_site(&mut self, now: SimInstant, id: ScanId, branch: Branch) -> Branch {
+    /// its home facility unless the router finds it inadmissible and a
+    /// cheaper healthy site exists.
+    fn choose_exec_site(&mut self, now: SimInstant, id: ScanId, branch: Branch) -> Facility {
         let bk = branch_key(branch);
-        let mut exec = branch;
-        if self.cfg.failover_enabled && !self.breaker_allows(branch, now) {
-            let other = other_branch(branch);
-            if self.breaker_allows(other, now) {
-                exec = other;
-                self.failed_over.insert((id, bk));
-                self.failover_count += 1;
-                if let Some(&run) = self.branch_runs.get(&(id, bk)) {
-                    self.orch
-                        .set_parameter(run, "failover", facility_name(other));
+        let home = home_fac(branch);
+        let mut exec = home;
+        if self.cfg.failover_enabled {
+            let cands = self.candidate_views(now, id);
+            let visited = self
+                .route_history
+                .get(&(id, bk))
+                .cloned()
+                .unwrap_or_default();
+            if let Some(target) = self.router.select(home, &visited, &cands, now) {
+                if target != home {
+                    let rec = self.router.recoveries(home);
+                    self.route_history
+                        .entry((id, bk))
+                        .or_default()
+                        .push((home, rec));
+                    self.failover_count += 1;
+                    self.record_route(now, id, branch, target, false);
                 }
+                exec = target;
             }
+            // no admissible facility: fall back to home — the submit
+            // will fail there and the failure path owns what happens next
         }
         self.exec_site.insert((id, bk), exec);
         exec
@@ -960,11 +1131,11 @@ impl FacilitySim {
         !self.cfg.faults.is_empty()
     }
 
-    /// NERSC: stage to CFS, submit the realtime Slurm job through SFAPI.
-    /// `branch` is the *flow* branch this execution serves (it may be the
-    /// ALCF flow, redirected here by a failover).
-    fn nersc_job_submit(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
-        let key = self.exec_key(id, branch, Branch::Nersc);
+    /// Submit the reconstruction for one branch at one facility through
+    /// the [`FacilityController`] seam. `branch` is the *flow* branch
+    /// being served; `exec` is where the work actually runs.
+    fn facility_submit(&mut self, now: SimInstant, id: ScanId, branch: Branch, exec: Facility) {
+        let key = self.exec_key(id, branch, exec);
         match self.orch.claim(&key, now, CLAIM_LEASE) {
             Claim::Cached => return self.step_back(now, id, branch),
             Claim::Busy => return,
@@ -972,42 +1143,68 @@ impl FacilitySim {
         }
         self.ledger_begin(&key);
         let scan = self.scans.get(&id).expect("scan exists").clone();
-        self.cfs_tier
-            .put(&format!("{}.h5", scan.name), scan.size, now)
-            .ok();
         let gib = scan.size.as_gib_f64();
-        // inside the job: copy CFS→pscratch, reconstruct, write TIFF+Zarr
-        let stage = self.cfs_tier.io_time(scan.size);
-        let recon = SimDuration::from_secs_f64(
-            calib::NERSC_JOB_FIXED_S + calib::NERSC_RECON_S_PER_GIB * gib,
-        );
-        let runtime = stage + recon;
+        // the in-job service time, per facility personality: stage from
+        // the site filesystem, reconstruct, write products
+        let runtime = match exec {
+            Facility::Nersc => {
+                self.cfs_tier
+                    .put(&format!("{}.h5", scan.name), scan.size, now)
+                    .ok();
+                let stage = self.cfs_tier.io_time(scan.size);
+                stage
+                    + SimDuration::from_secs_f64(
+                        calib::NERSC_JOB_FIXED_S + calib::NERSC_RECON_S_PER_GIB * gib,
+                    )
+            }
+            Facility::Alcf => {
+                self.eagle_tier
+                    .put(&format!("{}.h5", scan.name), scan.size, now)
+                    .ok();
+                let fixed = self
+                    .rng
+                    .lognormal_med(calib::ALCF_FIXED_MED_S, calib::ALCF_FIXED_SIGMA)
+                    .clamp(300.0, 1500.0);
+                SimDuration::from_secs_f64(fixed + calib::ALCF_RECON_S_PER_GIB * gib)
+            }
+            Facility::Olcf => {
+                self.orion_tier
+                    .put(&format!("{}.h5", scan.name), scan.size, now)
+                    .ok();
+                let stage = self.orion_tier.io_time(scan.size);
+                stage
+                    + SimDuration::from_secs_f64(
+                        calib::OLCF_JOB_FIXED_S + calib::OLCF_RECON_S_PER_GIB * gib,
+                    )
+            }
+        };
         let walltime =
             SimDuration::from_secs_f64(runtime.as_secs_f64() * calib::WALLTIME_MARGIN + 900.0);
-        // the job name carries the re-attach context so a recovering
-        // coordinator can adopt jobs its journal never heard about
-        let ctx = self.op_ctx(id, branch, Leg::ToHpc, Branch::Nersc);
-        let req = JobRequest {
-            name: format!("recon_{}|{}", scan.name, ctx),
+        // the op name carries the re-attach context so a recovering
+        // coordinator can adopt work its journal never heard about
+        let ctx = self.op_ctx(id, branch, Leg::ToHpc, exec);
+        let spec = SubmitSpec {
+            name: format!("{}{}|{}", RECON_PREFIX, scan.name, ctx),
+            task: FacilityTask::Reconstruct,
+            runtime,
+            walltime,
             qos: self.cfg.nersc_qos,
             nodes: 1,
-            runtime,
-            walltime_limit: walltime,
         };
-        match self.nersc_client.submit(&mut self.nersc, req, now) {
-            Ok((job, _events)) => {
-                self.job_map.insert(job, (id, branch));
+        let kind = self.fac(exec).external_kind();
+        let task_name = self.fac(exec).exec_task_name();
+        let armed = self.deadlines_armed();
+        match self.fac_mut(exec).reconstruct(&spec, now) {
+            Ok(sub) => {
+                self.op_map.insert(sub.op, (id, branch));
                 if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
-                    self.orch
-                        .start_task(run, "sfapi_slurm_job", Some(&key), now);
-                    self.orch
-                        .external_submitted(ExternalKind::Job, job.0, run, &ctx);
+                    self.orch.start_task(run, task_name, Some(&key), now);
+                    self.orch.external_submitted(kind, sub.op, run, &ctx);
                 }
-                if self.deadlines_armed() {
-                    let deadline = now + walltime + SimDuration::from_secs_f64(DEADLINE_SLACK_S);
-                    self.queue.schedule_at(deadline, Ev::JobDeadline(job));
+                if armed {
+                    self.queue.schedule_at(sub.deadline, Ev::OpDeadline(sub.op));
                 }
-                self.schedule_nersc_poll();
+                self.schedule_fac_poll(exec);
             }
             Err(_) => {
                 self.orch.release(&key);
@@ -1015,49 +1212,6 @@ impl FacilitySim {
                 self.branch_failed(now, id, branch);
             }
         }
-    }
-
-    /// ALCF: stage to Eagle, dispatch the reconstruction function via
-    /// Globus Compute. `branch` is the flow branch being served.
-    fn alcf_invoke(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
-        let key = self.exec_key(id, branch, Branch::Alcf);
-        match self.orch.claim(&key, now, CLAIM_LEASE) {
-            Claim::Cached => return self.step_back(now, id, branch),
-            Claim::Busy => return,
-            Claim::Run => {}
-        }
-        self.ledger_begin(&key);
-        let scan = self.scans.get(&id).expect("scan exists").clone();
-        self.eagle_tier
-            .put(&format!("{}.h5", scan.name), scan.size, now)
-            .ok();
-        let gib = scan.size.as_gib_f64();
-        let fixed = self
-            .rng
-            .lognormal_med(calib::ALCF_FIXED_MED_S, calib::ALCF_FIXED_SIGMA)
-            .clamp(300.0, 1500.0);
-        let runtime = SimDuration::from_secs_f64(fixed + calib::ALCF_RECON_S_PER_GIB * gib);
-        let ctx = self.op_ctx(id, branch, Leg::ToHpc, Branch::Alcf);
-        let task = self.alcf.invoke_labeled(runtime, now, Some(ctx.clone()));
-        if self.alcf.state(task) == Some(ComputeTaskState::Failed) {
-            // endpoint down: the invocation is rejected on arrival
-            self.orch.release(&key);
-            self.ledger_abort(&key);
-            self.branch_failed(now, id, branch);
-            return;
-        }
-        self.compute_map.insert(task, (id, branch));
-        if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
-            self.orch
-                .start_task(run, "globus_compute_recon", Some(&key), now);
-            self.orch
-                .external_submitted(ExternalKind::Compute, task.0, run, &ctx);
-        }
-        if self.deadlines_armed() {
-            let deadline = now + runtime * 2.0 + SimDuration::from_secs(3600);
-            self.queue.schedule_at(deadline, Ev::TaskDeadline(task));
-        }
-        self.schedule_alcf_poll();
     }
 
     /// Does this completion get converted to a transient failure by the
@@ -1069,114 +1223,93 @@ impl FacilitySim {
         p > 0.0 && self.rng.chance(p)
     }
 
-    fn on_poll_nersc(&mut self, now: SimInstant) {
+    fn on_poll_fac(&mut self, now: SimInstant, fkey: u8) {
         if self.orchestrator_down {
-            return; // events stay buffered in the scheduler until restart
+            return; // events stay buffered in the backend until restart
         }
-        let events = self.nersc.scheduler_mut().advance_to(now);
-        for ev in events {
-            if let JobEvent::Finished { id: job, at, state } = ev {
-                let Some((scan_id, branch)) = self.job_map.remove(&job) else {
-                    continue; // background or abandoned job
-                };
-                let at = at.max(now);
-                self.orch.external_resolved(ExternalKind::Job, job.0);
-                let key = self.exec_key(scan_id, branch, Branch::Nersc);
-                if state == JobState::Completed && !self.rolls_transient_failure() {
-                    self.nersc_breaker.record_success();
-                    self.orch.complete(&key);
-                    self.ledger_done(&key);
-                    self.orch.commit_key(&key);
-                    self.step_back(at, scan_id, branch);
-                } else {
-                    self.orch.release(&key);
-                    self.ledger_abort(&key);
-                    self.branch_failed(at, scan_id, branch);
-                }
-            }
-        }
-        self.schedule_nersc_poll();
-    }
-
-    fn on_poll_alcf(&mut self, now: SimInstant) {
-        if self.orchestrator_down {
+        let Some(f) = Facility::from_key(fkey) else {
+            return;
+        };
+        if !self.router.is_enabled(f) {
             return;
         }
-        let events = self.alcf.advance_to(now);
+        let events = self.fac_mut(f).poll(now);
         for ev in events {
-            if let ComputeEvent::Finished { task, at } = ev {
-                if let Some((scan_id, branch)) = self.compute_map.remove(&task) {
-                    let at = at.max(now);
-                    self.orch.external_resolved(ExternalKind::Compute, task.0);
-                    let key = self.exec_key(scan_id, branch, Branch::Alcf);
-                    if self.rolls_transient_failure() {
-                        self.orch.release(&key);
-                        self.ledger_abort(&key);
-                        self.branch_failed(at, scan_id, branch);
-                    } else {
-                        self.alcf_breaker.record_success();
-                        self.orch.complete(&key);
-                        self.ledger_done(&key);
-                        self.orch.commit_key(&key);
-                        self.step_back(at, scan_id, branch);
-                    }
-                }
+            if let Some(pf) = self.probe_ops.remove(&ev.op) {
+                // an outage window swallows probe successes: a canary
+                // that was already running when the site died must not
+                // re-close the breaker
+                let ok = ev.ok && !self.hb_suppressed.contains(&pf);
+                self.router.probe_resolved(pf, ok, now, self.cfg.seed);
+                continue;
+            }
+            let Some((id, branch)) = self.op_map.remove(&ev.op) else {
+                continue; // abandoned or background op
+            };
+            let at = ev.at.max(now);
+            let kind = self.fac(f).external_kind();
+            self.orch.external_resolved(kind, ev.op);
+            let key = self.exec_key(id, branch, f);
+            if ev.ok && !self.rolls_transient_failure() {
+                self.router.record_success(f);
+                self.orch.complete(&key);
+                self.ledger_done(&key);
+                self.orch.commit_key(&key);
+                self.step_back(at, id, branch);
+            } else {
+                self.orch.release(&key);
+                self.ledger_abort(&key);
+                self.branch_failed(at, id, branch);
             }
         }
-        self.schedule_alcf_poll();
+        self.schedule_fac_poll(f);
     }
 
-    /// Deadline watchdog: the job never finished — it is stranded behind
-    /// a facility outage. Cancel it remotely (§5.3: "remotely cancelling
-    /// stuck jobs") and route the branch elsewhere.
-    fn on_job_deadline(&mut self, now: SimInstant, job: JobId) {
+    /// Deadline watchdog: the operation never resolved — it is stranded
+    /// behind a facility outage. Cancel it remotely (§5.3: "remotely
+    /// cancelling stuck jobs") and route the branch elsewhere.
+    fn on_op_deadline(&mut self, now: SimInstant, op: u64) {
         if self.orchestrator_down {
             return; // nobody is watching; reconciliation handles it
         }
-        let Some((scan_id, branch)) = self.job_map.remove(&job) else {
-            return; // finished in time
+        let Some((f, _)) = Facility::decode_op(op) else {
+            return;
         };
-        // removed from job_map first so the Cancelled event is ignored
-        self.nersc_client.cancel(&mut self.nersc, job, now).ok();
+        if let Some(pf) = self.probe_ops.remove(&op) {
+            // a stranded probe is a failed probe
+            self.fac_mut(f).cancel(op, now);
+            self.router.probe_resolved(pf, false, now, self.cfg.seed);
+            self.schedule_fac_poll(f);
+            return;
+        }
+        let Some((id, branch)) = self.op_map.remove(&op) else {
+            return; // resolved in time
+        };
+        // removed from op_map first so the cancellation event is ignored
+        self.fac_mut(f).cancel(op, now);
         self.remote_cancel_count += 1;
-        self.orch.external_resolved(ExternalKind::Job, job.0);
-        let key = self.exec_key(scan_id, branch, Branch::Nersc);
+        let kind = self.fac(f).external_kind();
+        self.orch.external_resolved(kind, op);
+        let key = self.exec_key(id, branch, f);
         self.orch.release(&key);
         self.ledger_abort(&key);
-        if let Some(&run) = self.branch_runs.get(&(scan_id, branch_key(branch))) {
+        if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
             self.orch
                 .start_task(run, "remote_cancel_stranded_job", None, now);
         }
-        self.schedule_nersc_poll();
-        self.branch_failed(now, scan_id, branch);
-    }
-
-    fn on_task_deadline(&mut self, now: SimInstant, task: ComputeTaskId) {
-        if self.orchestrator_down {
-            return;
-        }
-        let Some((scan_id, branch)) = self.compute_map.remove(&task) else {
-            return;
-        };
-        self.alcf.cancel(task, now);
-        self.remote_cancel_count += 1;
-        self.orch.external_resolved(ExternalKind::Compute, task.0);
-        let key = self.exec_key(scan_id, branch, Branch::Alcf);
-        self.orch.release(&key);
-        self.ledger_abort(&key);
-        if let Some(&run) = self.branch_runs.get(&(scan_id, branch_key(branch))) {
-            self.orch
-                .start_task(run, "remote_cancel_stranded_job", None, now);
-        }
-        self.schedule_alcf_poll();
-        self.branch_failed(now, scan_id, branch);
+        self.schedule_fac_poll(f);
+        self.branch_failed(now, id, branch);
     }
 
     /// Step 3: move the reconstruction products back to the beamline data
     /// server from wherever the branch actually executed.
     fn step_back(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
         let bk = branch_key(branch);
-        let exec = self.exec_site.get(&(id, bk)).copied().unwrap_or(branch);
+        let exec = self
+            .exec_site
+            .get(&(id, bk))
+            .copied()
+            .unwrap_or(home_fac(branch));
         let key = self.back_key(id, branch, exec);
         match self.orch.claim(&key, now, CLAIM_LEASE) {
             Claim::Cached => return self.finish_branch(now, id, branch, true),
@@ -1188,7 +1321,7 @@ impl FacilitySim {
         // damaged shard tail. Harvest the delivery, don't ship a second
         // copy. (The back leg has no downstream operation whose adoption
         // would shield it; the product file is its evidence.)
-        let product = format!("{}_recon_{}", self.scan_name(id), facility_name(branch));
+        let product = format!("{}_recon_{}", self.scan_name(id), branch_name(branch));
         if self.beamline_tier.contains(&product) {
             self.orch.complete(&key);
             self.ledger_done(&key);
@@ -1198,7 +1331,7 @@ impl FacilitySim {
         }
         self.ledger_begin(&key);
         let scan = self.scans.get(&id).expect("scan exists").clone();
-        let src = self.branch_endpoint(exec);
+        let src = self.fac_endpoint(exec);
         let opts = self.transfer_opts();
         let ctx = self.op_ctx(id, branch, Leg::Back, exec);
         let task = self.transfer.submit_labeled(
@@ -1221,29 +1354,38 @@ impl FacilitySim {
     }
 
     /// A branch's execution failed. Record it against the facility that
-    /// ran it; then either fail over (once per branch, if the other
-    /// facility's breaker accepts) or fail the flow run.
+    /// ran it; then ask the router for the next admissible site (the
+    /// failed site joins the branch's redirect history) or fail the run
+    /// when the fleet has nothing left to offer.
     fn branch_failed(&mut self, now: SimInstant, id: ScanId, branch: Branch) {
         let bk = branch_key(branch);
-        let exec = self.exec_site.get(&(id, bk)).copied().unwrap_or(branch);
-        match exec {
-            Branch::Nersc => self.nersc_breaker.record_failure(now),
-            Branch::Alcf => self.alcf_breaker.record_failure(now),
-        }
+        let exec = self
+            .exec_site
+            .get(&(id, bk))
+            .copied()
+            .unwrap_or(home_fac(branch));
+        self.router.record_failure(exec, now);
         self.health
-            .report_error(facility_name(exec), now, "branch execution failed");
-        if self.cfg.failover_enabled && !self.failed_over.contains(&(id, bk)) {
-            let target = other_branch(exec);
-            if self.breaker_allows(target, now) {
-                self.failed_over.insert((id, bk));
+            .report_error(exec.name(), now, "branch execution failed");
+        if self.cfg.failover_enabled {
+            let rec = self.router.recoveries(exec);
+            let mut visited = self
+                .route_history
+                .get(&(id, bk))
+                .cloned()
+                .unwrap_or_default();
+            if !visited.contains(&(exec, rec)) {
+                visited.push((exec, rec));
+            }
+            let cands = self.candidate_views(now, id);
+            let home = home_fac(branch);
+            let target = self.router.select(home, &visited, &cands, now);
+            self.route_history.insert((id, bk), visited);
+            if let Some(target) = target {
                 self.failover_count += 1;
                 self.exec_site.insert((id, bk), target);
-                if let Some(&run) = self.branch_runs.get(&(id, bk)) {
-                    self.orch
-                        .set_parameter(run, "failover", facility_name(target));
-                    self.orch.start_task(run, "failover_redirect", None, now);
-                }
-                // re-ship the raw data from the beamline to the healthy
+                self.record_route(now, id, branch, target, true);
+                // re-ship the raw data from the beamline to the chosen
                 // facility under a fresh facility-qualified claim; the
                 // normal step cascade takes over
                 self.step_copy(now, id, branch);
@@ -1267,14 +1409,18 @@ impl FacilitySim {
             .unwrap_or(true);
         if ok {
             // the facility that produced the recon (≠ home facility
-            // after a failover) is what provenance should record
-            let exec = self.exec_site.get(&(id, bk)).copied().unwrap_or(branch);
+            // after a redirect) is what provenance should record
+            let exec = self
+                .exec_site
+                .get(&(id, bk))
+                .copied()
+                .unwrap_or(home_fac(branch));
             // register the derived dataset with provenance to the raw scan
             if let Some(raw_pid) = self.raw_pids.get(&id) {
                 self.catalog
                     .ingest(recon_dataset(
                         &scan.name,
-                        facility_name(exec),
+                        exec.name(),
                         raw_pid,
                         now,
                         scan.recon_output_size(),
@@ -1282,10 +1428,10 @@ impl FacilitySim {
                     .ok();
             }
             // the product file is named for the flow branch (stable even
-            // when a failover ran it elsewhere), so names stay unique
+            // when a redirect ran it elsewhere), so names stay unique
             self.beamline_tier
                 .put(
-                    &format!("{}_recon_{}", scan.name, facility_name(branch)),
+                    &format!("{}_recon_{}", scan.name, branch_name(branch)),
                     scan.recon_output_size(),
                     now,
                 )
@@ -1305,83 +1451,63 @@ impl FacilitySim {
         }
     }
 
+    /// A facility-wide outage begins: the controller kills running recon
+    /// work (failure events flow through the normal failure path when the
+    /// coordinator is alive) and the site's heartbeats go silent.
+    fn facility_outage_start(&mut self, now: SimInstant, f: Facility) {
+        let events = self.fac_mut(f).inject(FacilityFault::OutageStart, now);
+        if !self.orchestrator_down {
+            for ev in events {
+                if let Some(pf) = self.probe_ops.remove(&ev.op) {
+                    self.router.probe_resolved(pf, false, now, self.cfg.seed);
+                    continue;
+                }
+                let Some((id, branch)) = self.op_map.remove(&ev.op) else {
+                    continue;
+                };
+                let kind = self.fac(f).external_kind();
+                self.orch.external_resolved(kind, ev.op);
+                let key = self.exec_key(id, branch, f);
+                self.orch.release(&key);
+                self.ledger_abort(&key);
+                self.branch_failed(ev.at.max(now), id, branch);
+            }
+            self.schedule_fac_poll(f);
+        }
+        self.hb_suppressed.insert(f);
+    }
+
+    fn facility_outage_end(&mut self, now: SimInstant, f: Facility) {
+        let _ = self.fac_mut(f).inject(FacilityFault::OutageEnd, now);
+        self.hb_suppressed.remove(&f);
+        self.schedule_fac_poll(f);
+    }
+
     fn on_fault_start(&mut self, now: SimInstant, i: usize) {
         let kind = self.cfg.faults.windows[i].kind;
         match kind {
-            FaultKind::NerscOutage => {
-                // the partition drains; running ALS jobs die with it; the
-                // DTN stays up, so in-flight transfers still land and
-                // their jobs strand in the queue (the paper's incident)
-                let total = self.nersc.scheduler().total_nodes();
-                self.nersc.scheduler_mut().set_offline(total, now);
-                if self.orchestrator_down {
-                    // the outage is facility-side and does not care that
-                    // the coordinator is dead: running recon jobs die
-                    let stranded: Vec<JobId> = self
-                        .nersc
-                        .scheduler()
-                        .live_jobs()
-                        .into_iter()
-                        .filter(|&j| {
-                            self.nersc.scheduler().state(j) == Some(JobState::Running)
-                                && self
-                                    .nersc
-                                    .scheduler()
-                                    .job_name(j)
-                                    .is_some_and(|n| n.starts_with("recon_"))
-                        })
-                        .collect();
-                    for job in stranded {
-                        self.nersc.scheduler_mut().fail(job, now);
-                    }
-                } else {
-                    let running: Vec<JobId> = self
-                        .job_map
-                        .iter()
-                        .filter(|(job, _)| {
-                            self.nersc.scheduler().state(**job) == Some(JobState::Running)
-                        })
-                        .map(|(job, _)| *job)
-                        .collect();
-                    for job in running {
-                        let (scan_id, branch) = self.job_map.remove(&job).expect("job is mapped");
-                        self.nersc.scheduler_mut().fail(job, now);
-                        self.orch.external_resolved(ExternalKind::Job, job.0);
-                        let key = self.exec_key(scan_id, branch, Branch::Nersc);
-                        self.orch.release(&key);
-                        self.ledger_abort(&key);
-                        self.branch_failed(now, scan_id, branch);
-                    }
-                    self.schedule_nersc_poll();
+            FaultKind::NerscOutage => self.facility_outage_start(now, Facility::Nersc),
+            FaultKind::AlcfOutage => self.facility_outage_start(now, Facility::Alcf),
+            FaultKind::OlcfOutage => {
+                if self.router.is_enabled(Facility::Olcf) {
+                    self.facility_outage_start(now, Facility::Olcf);
                 }
-                self.nersc_heartbeats_suppressed = true;
-            }
-            FaultKind::AlcfOutage => {
-                let events = self.alcf.set_down(true, now);
-                for ev in events {
-                    if let ComputeEvent::Failed { task, at } = ev {
-                        if let Some((scan_id, branch)) = self.compute_map.remove(&task) {
-                            self.orch.external_resolved(ExternalKind::Compute, task.0);
-                            let key = self.exec_key(scan_id, branch, Branch::Alcf);
-                            self.orch.release(&key);
-                            self.ledger_abort(&key);
-                            self.branch_failed(at, scan_id, branch);
-                        }
-                    }
-                }
-                self.alcf_heartbeats_suppressed = true;
             }
             FaultKind::EsnetBrownout { capacity_factor } => {
                 self.transfer.set_wan_capacity_factor(capacity_factor, now);
                 self.schedule_transfer_poll();
             }
             FaultKind::SfApiAuthExpiry => {
-                self.nersc.set_auth_available(false);
-                self.nersc.revoke_all_tokens();
+                let _ = self
+                    .fac_mut(Facility::Nersc)
+                    .inject(FacilityFault::AuthExpire, now);
             }
             FaultKind::TransferCorruption { burst } => {
                 self.transfer.corrupt_next(self.ep_nersc, burst);
                 self.transfer.corrupt_next(self.ep_alcf, burst);
+                if self.router.is_enabled(Facility::Olcf) {
+                    self.transfer.corrupt_next(self.ep_olcf, burst);
+                }
             }
         }
     }
@@ -1389,54 +1515,113 @@ impl FacilitySim {
     fn on_fault_end(&mut self, now: SimInstant, i: usize) {
         let kind = self.cfg.faults.windows[i].kind;
         match kind {
-            FaultKind::NerscOutage => {
-                self.nersc.scheduler_mut().set_offline(0, now);
-                self.nersc_heartbeats_suppressed = false;
-                self.schedule_nersc_poll();
-            }
-            FaultKind::AlcfOutage => {
-                self.alcf.set_down(false, now);
-                self.alcf_heartbeats_suppressed = false;
-                self.schedule_alcf_poll();
+            FaultKind::NerscOutage => self.facility_outage_end(now, Facility::Nersc),
+            FaultKind::AlcfOutage => self.facility_outage_end(now, Facility::Alcf),
+            FaultKind::OlcfOutage => {
+                if self.router.is_enabled(Facility::Olcf) {
+                    self.facility_outage_end(now, Facility::Olcf);
+                }
             }
             FaultKind::EsnetBrownout { .. } => {
                 self.transfer.set_wan_capacity_factor(1.0, now);
                 self.schedule_transfer_poll();
             }
             FaultKind::SfApiAuthExpiry => {
-                self.nersc.set_auth_available(true);
+                let _ = self
+                    .fac_mut(Facility::Nersc)
+                    .inject(FacilityFault::AuthRestore, now);
             }
             FaultKind::TransferCorruption { .. } => {
                 self.transfer.corrupt_next(self.ep_nersc, 0);
                 self.transfer.corrupt_next(self.ep_alcf, 0);
+                if self.router.is_enabled(Facility::Olcf) {
+                    self.transfer.corrupt_next(self.ep_olcf, 0);
+                }
             }
         }
     }
 
-    fn facility_health(&self, name: &str, now: SimInstant) -> HealthState {
-        self.health
-            .check(Environment::Production, now)
-            .into_iter()
-            .find(|c| c.service == name)
-            .map(|c| c.state)
-            .unwrap_or(HealthState::Unknown)
-    }
-
     /// Heartbeat cadence: facilities under an outage stay silent; a
     /// heartbeat gone stale force-opens that facility's breaker (the
-    /// monitor sees the outage before enough job failures accumulate).
+    /// monitor sees the outage before enough job failures accumulate)
+    /// and — in cost-aware mode — sweeps the work stranded there onto
+    /// healthier sites instead of waiting out each op's deadline.
+    /// Healthy facilities whose breaker has cooled to half-open are
+    /// re-admitted via a probe job, never a campaign branch.
     fn on_health_tick(&mut self, now: SimInstant) {
-        if !self.nersc_heartbeats_suppressed {
-            self.health.heartbeat("nersc", now);
+        let enabled = self.router.enabled_facilities();
+        for f in &enabled {
+            if !self.hb_suppressed.contains(f) {
+                self.health.heartbeat(f.name(), now);
+            }
         }
-        if !self.alcf_heartbeats_suppressed {
-            self.health.heartbeat("alcf", now);
+        for f in enabled {
+            if self.health.heartbeat_stale(f.name(), now) {
+                // force_open on every stale tick: the refreshed open
+                // timestamp keeps the cooldown anchored to the *end* of
+                // the outage, not its start
+                let newly = self.router.force_open(f, now);
+                if newly && self.cfg.failover_enabled && self.router.mode() == RouterMode::CostAware
+                {
+                    self.sweep_stranded(now, f);
+                }
+            } else if self.cfg.failover_enabled && self.router.maybe_probe(f, now, true) {
+                self.launch_probe(now, f);
+            }
         }
-        if self.facility_health("nersc", now) == HealthState::Stale {
-            self.nersc_breaker.force_open(now);
+    }
+
+    /// The moment a facility is declared dead, every op parked there is
+    /// stranded: cancel them remotely and push their branches back
+    /// through the router instead of letting each wait out its deadline.
+    fn sweep_stranded(&mut self, now: SimInstant, f: Facility) {
+        let stranded: Vec<(u64, ScanId, Branch)> = self
+            .op_map
+            .iter()
+            .filter(|(&op, _)| Facility::decode_op(op).is_some_and(|(of, _)| of == f))
+            .map(|(&op, &(id, b))| (op, id, b))
+            .collect();
+        if stranded.is_empty() {
+            return;
         }
-        if self.facility_health("alcf", now) == HealthState::Stale {
-            self.alcf_breaker.force_open(now);
+        let kind = self.fac(f).external_kind();
+        for (op, id, branch) in stranded {
+            self.op_map.remove(&op);
+            self.fac_mut(f).cancel(op, now);
+            self.remote_cancel_count += 1;
+            self.orch.external_resolved(kind, op);
+            let key = self.exec_key(id, branch, f);
+            self.orch.release(&key);
+            self.ledger_abort(&key);
+            if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
+                self.orch
+                    .start_task(run, "remote_cancel_stranded_job", None, now);
+            }
+            self.branch_failed(now, id, branch);
+        }
+        self.schedule_fac_poll(f);
+    }
+
+    /// Launch the single half-open re-admission probe the router just
+    /// authorized: a tiny canary job at the campaign QOS (so it jumps
+    /// any post-outage background backlog).
+    fn launch_probe(&mut self, now: SimInstant, f: Facility) {
+        self.probe_seq += 1;
+        let spec = SubmitSpec {
+            name: format!("{}{}_{}", PROBE_PREFIX, f.name(), self.probe_seq),
+            task: FacilityTask::Probe,
+            runtime: PROBE_RUNTIME,
+            walltime: PROBE_WALLTIME,
+            qos: self.cfg.nersc_qos,
+            nodes: 1,
+        };
+        match self.fac_mut(f).submit(&spec, now) {
+            Ok(sub) => {
+                self.probe_ops.insert(sub.op, f);
+                self.queue.schedule_at(sub.deadline, Ev::OpDeadline(sub.op));
+                self.schedule_fac_poll(f);
+            }
+            Err(_) => self.router.probe_resolved(f, false, now, self.cfg.seed),
         }
     }
 
@@ -1444,6 +1629,7 @@ impl FacilitySim {
         self.beamline_tier.prune(now);
         self.cfs_tier.prune(now);
         self.eagle_tier.prune(now);
+        self.orion_tier.prune(now);
     }
 
     fn on_background(&mut self, now: SimInstant) {
@@ -1451,18 +1637,11 @@ impl FacilitySim {
         let runtime =
             SimDuration::from_secs_f64(self.rng.lognormal_med(1200.0, 0.5).clamp(120.0, 7200.0));
         let nodes = 1 + self.rng.uniform_u64(0, 2) as usize;
-        let req = JobRequest {
-            name: "background".into(),
-            qos: Qos::Regular,
-            nodes: nodes.min(self.cfg.nersc_nodes),
-            runtime,
-            walltime_limit: runtime * 2.0,
-        };
-        self.nersc.scheduler_mut().submit(req, now);
-        self.schedule_nersc_poll();
+        let nodes = nodes.min(self.cfg.nersc_nodes);
+        self.fac_mut(Facility::Nersc)
+            .submit_background(runtime, nodes, now);
+        self.schedule_fac_poll(Facility::Nersc);
     }
-
-    // ---- orchestrator crash + recovery ----
 
     fn on_crash_start(&mut self, now: SimInstant, i: usize) {
         if self.orchestrator_down {
@@ -1512,19 +1691,26 @@ impl FacilitySim {
         } else {
             None
         };
-        let _ = now;
+        // in-flight router probes die with the process; their facilities
+        // stay half-open and re-probe on the next health tick
+        let probes: Vec<(u64, Facility)> = self.probe_ops.iter().map(|(&o, &f)| (o, f)).collect();
+        for (op, f) in probes {
+            self.fac_mut(f).cancel(op, now);
+            self.router.probe_resolved(f, false, now, self.cfg.seed);
+        }
+        self.probe_ops.clear();
         // the process dies: every in-memory coordinator structure is
         // gone. The staging workers in `ingest_worker` are beamline-side
-        // and deliberately survive.
+        // and deliberately survive; router breaker state models the
+        // monitoring service, which also survives.
         self.orch = ShardedOrchestrator::default();
         self.newfile_runs.clear();
         self.branch_runs.clear();
         self.transfer_map.clear();
-        self.job_map.clear();
-        self.compute_map.clear();
+        self.op_map.clear();
         self.raw_pids.clear();
         self.exec_site.clear();
-        self.failed_over.clear();
+        self.route_history.clear();
     }
 
     fn on_crash_end(&mut self, now: SimInstant, _i: usize) {
@@ -1552,8 +1738,9 @@ impl FacilitySim {
             self.start_new_file(now, id);
         }
         self.schedule_transfer_poll();
-        self.schedule_nersc_poll();
-        self.schedule_alcf_poll();
+        for f in self.router.enabled_facilities() {
+            self.schedule_fac_poll(f);
+        }
     }
 
     /// Durable restart: replay every shard journal (any order — shards
@@ -1608,14 +1795,29 @@ impl FacilitySim {
                     };
                     let bk = branch_key(branch);
                     self.branch_runs.insert((id, bk), run.id);
-                    let exec = match run.parameters.get("failover").map(String::as_str) {
-                        Some("nersc") => Branch::Nersc,
-                        Some("alcf") => Branch::Alcf,
-                        _ => branch,
-                    };
+                    let exec = run
+                        .parameters
+                        .get("failover")
+                        .and_then(|s| Facility::from_name(s))
+                        .unwrap_or(home_fac(branch));
                     self.exec_site.insert((id, bk), exec);
-                    if run.parameters.contains_key("failover") {
-                        self.failed_over.insert((id, bk));
+                    // the redirect trail survives in the journaled route
+                    // parameter; recovery recoveries-stamps it against
+                    // the surviving breaker epochs
+                    if let Some(route) = run.parameters.get("route") {
+                        let names: Vec<&str> = route.split('>').collect();
+                        let hist: Vec<(Facility, u32)> = names[..names.len().saturating_sub(1)]
+                            .iter()
+                            .filter_map(|s| Facility::from_name(s))
+                            .map(|f| (f, self.router.recoveries(f)))
+                            .collect();
+                        if !hist.is_empty() {
+                            self.route_history.insert((id, bk), hist);
+                        }
+                    } else if run.parameters.contains_key("failover") {
+                        let home = home_fac(branch);
+                        self.route_history
+                            .insert((id, bk), vec![(home, self.router.recoveries(home))]);
                     }
                     if !terminal {
                         resume_branches.push((id, branch));
@@ -1632,19 +1834,19 @@ impl FacilitySim {
             };
             let id = ScanId(ctx.scan);
             let branch = branch_from_key(ctx.branch);
-            let fac = branch_from_key(ctx.fac);
             match op.kind {
                 ExternalKind::Transfer => {
+                    let Some(fac) = Facility::from_key(ctx.fac) else {
+                        continue;
+                    };
                     let leg = if ctx.leg == 0 { Leg::ToHpc } else { Leg::Back };
                     self.transfer_map
                         .insert(TaskId(op.handle), (id, branch, leg, fac));
                 }
-                ExternalKind::Job => {
-                    self.job_map.insert(JobId(op.handle), (id, branch));
-                }
-                ExternalKind::Compute => {
-                    self.compute_map
-                        .insert(ComputeTaskId(op.handle), (id, branch));
+                ExternalKind::Job | ExternalKind::Compute => {
+                    // handles are facility-qualified; one map serves all
+                    // three facilities
+                    self.op_map.insert(op.handle, (id, branch));
                 }
             }
             self.reattached_ops += 1;
@@ -1670,32 +1872,23 @@ impl FacilitySim {
         // label; adoption claims the key WITHOUT a ledger `begin` — the
         // side effect was initiated once, by the dead incarnation, and
         // is being adopted, not repeated.
-        let labeled_jobs: Vec<(JobId, String)> = self
-            .nersc
-            .scheduler()
-            .jobs_with_prefix("recon_")
-            .into_iter()
-            .filter_map(|(job, name)| name.split_once('|').map(|(_, ctx)| (job, ctx.to_string())))
-            .collect();
-        for (job, ctx_json) in labeled_jobs {
-            if self.job_map.contains_key(&job)
-                || self.orch.external_ever_seen(ExternalKind::Job, job.0)
-            {
-                continue;
-            }
-            if let Some((id, branch, _leg, fac)) = self.parse_ctx(&ctx_json) {
-                let key = self.exec_key(id, branch, Branch::Nersc);
-                if self.adopt_orphan(
-                    now,
-                    id,
-                    branch,
-                    fac,
-                    &key,
-                    ExternalKind::Job,
-                    job.0,
-                    &ctx_json,
-                ) {
-                    self.job_map.insert(job, (id, branch));
+        for f in self.router.enabled_facilities() {
+            let kind = self.fac(f).external_kind();
+            let labeled: Vec<(u64, String)> = self
+                .fac(f)
+                .labeled_ops()
+                .into_iter()
+                .filter_map(|(op, name)| name.split_once('|').map(|(_, ctx)| (op, ctx.to_string())))
+                .collect();
+            for (op, ctx_json) in labeled {
+                if self.op_map.contains_key(&op) || self.orch.external_ever_seen(kind, op) {
+                    continue;
+                }
+                if let Some((id, branch, _leg, _fac)) = self.parse_ctx(&ctx_json) {
+                    let key = self.exec_key(id, branch, f);
+                    if self.adopt_orphan(now, id, branch, f, &key, kind, op, &ctx_json) {
+                        self.op_map.insert(op, (id, branch));
+                    }
                 }
             }
         }
@@ -1730,100 +1923,47 @@ impl FacilitySim {
                 }
             }
         }
-        let labeled_compute: Vec<(ComputeTaskId, String)> = self
-            .alcf
-            .tasks_labeled()
-            .into_iter()
-            .map(|(t, l, _)| (t, l.to_string()))
-            .collect();
-        for (task, ctx_json) in labeled_compute {
-            if self.compute_map.contains_key(&task)
-                || self.orch.external_ever_seen(ExternalKind::Compute, task.0)
-            {
-                continue;
-            }
-            if let Some((id, branch, _leg, fac)) = self.parse_ctx(&ctx_json) {
-                let key = self.exec_key(id, branch, Branch::Alcf);
-                if self.adopt_orphan(
-                    now,
-                    id,
-                    branch,
-                    fac,
-                    &key,
-                    ExternalKind::Compute,
-                    task.0,
-                    &ctx_json,
-                ) {
-                    self.compute_map.insert(task, (id, branch));
-                }
-            }
-        }
 
         // drain facility events buffered while the coordinator was dead —
         // re-attached completions/failures flow through the normal paths
         self.on_poll_transfers(now);
-        self.on_poll_nersc(now);
-        self.on_poll_alcf(now);
+        for f in self.router.enabled_facilities() {
+            self.on_poll_fac(now, f.key());
+        }
 
         // sweep re-attached ops whose terminal event was emitted inline
-        // while nobody was listening (e.g. an endpoint outage window)
-        let jobs: Vec<(JobId, ScanId, Branch)> =
-            self.job_map.iter().map(|(&j, &(i, b))| (j, i, b)).collect();
-        for (job, id, branch) in jobs {
-            match job_fate(self.nersc.scheduler(), job) {
+        // while nobody was listening (e.g. an endpoint outage window);
+        // facility-qualified handles sort NERSC < ALCF < OLCF, so the
+        // sweep visits facilities in fleet order
+        let ops: Vec<(u64, ScanId, Branch)> =
+            self.op_map.iter().map(|(&o, &(i, b))| (o, i, b)).collect();
+        for (op, id, branch) in ops {
+            let Some((f, _)) = Facility::decode_op(op) else {
+                continue;
+            };
+            match self.fac(f).op_fate(op) {
                 OpFate::Live => {}
                 OpFate::Completed => {
-                    self.job_map.remove(&job);
-                    self.orch.external_resolved(ExternalKind::Job, job.0);
-                    let key = self.exec_key(id, branch, Branch::Nersc);
+                    self.op_map.remove(&op);
+                    let kind = self.fac(f).external_kind();
+                    self.orch.external_resolved(kind, op);
+                    let key = self.exec_key(id, branch, f);
                     if self.rolls_transient_failure() {
                         self.orch.release(&key);
                         self.ledger_abort(&key);
                         self.branch_failed(now, id, branch);
                     } else {
-                        self.nersc_breaker.record_success();
+                        self.router.record_success(f);
                         self.orch.complete(&key);
                         self.ledger_done(&key);
                         self.step_back(now, id, branch);
                     }
                 }
                 OpFate::Failed | OpFate::Lost => {
-                    self.job_map.remove(&job);
-                    self.orch.external_resolved(ExternalKind::Job, job.0);
-                    let key = self.exec_key(id, branch, Branch::Nersc);
-                    self.orch.release(&key);
-                    self.ledger_abort(&key);
-                    self.branch_failed(now, id, branch);
-                }
-            }
-        }
-        let tasks: Vec<(ComputeTaskId, ScanId, Branch)> = self
-            .compute_map
-            .iter()
-            .map(|(&t, &(i, b))| (t, i, b))
-            .collect();
-        for (task, id, branch) in tasks {
-            match compute_fate(&self.alcf, task) {
-                OpFate::Live => {}
-                OpFate::Completed => {
-                    self.compute_map.remove(&task);
-                    self.orch.external_resolved(ExternalKind::Compute, task.0);
-                    let key = self.exec_key(id, branch, Branch::Alcf);
-                    if self.rolls_transient_failure() {
-                        self.orch.release(&key);
-                        self.ledger_abort(&key);
-                        self.branch_failed(now, id, branch);
-                    } else {
-                        self.alcf_breaker.record_success();
-                        self.orch.complete(&key);
-                        self.ledger_done(&key);
-                        self.step_back(now, id, branch);
-                    }
-                }
-                OpFate::Failed | OpFate::Lost => {
-                    self.compute_map.remove(&task);
-                    self.orch.external_resolved(ExternalKind::Compute, task.0);
-                    let key = self.exec_key(id, branch, Branch::Alcf);
+                    self.op_map.remove(&op);
+                    let kind = self.fac(f).external_kind();
+                    self.orch.external_resolved(kind, op);
+                    let key = self.exec_key(id, branch, f);
                     self.orch.release(&key);
                     self.ledger_abort(&key);
                     self.branch_failed(now, id, branch);
@@ -1834,7 +1974,7 @@ impl FacilitySim {
         // incarnation right before the crash (the journal still shows
         // the op open because the resolve was in a lost batch): the
         // transfer service won't re-emit the event, so ask it directly
-        let tx: Vec<(TaskId, ScanId, Branch, Leg, Branch)> = self
+        let tx: Vec<(TaskId, ScanId, Branch, Leg, Facility)> = self
             .transfer_map
             .iter()
             .map(|(&t, &(i, b, l, f))| (t, i, b, l, f))
@@ -1867,13 +2007,15 @@ impl FacilitySim {
             }
         }
 
-        // reconcile: cancel live recon jobs the journal disowns (their
+        // reconcile: cancel live recon ops the journal disowns (their
         // ExternalSubmitted record was lost in a torn tail)
-        let known: BTreeSet<u64> = self.job_map.keys().map(|j| j.0).collect();
-        let orphans = cancel_orphan_jobs(self.nersc.scheduler_mut(), &known, "recon_", now);
-        self.orphan_cancel_count += orphans.len();
-        if !orphans.is_empty() {
-            self.schedule_nersc_poll();
+        let known: BTreeSet<u64> = self.op_map.keys().copied().collect();
+        for f in self.router.enabled_facilities() {
+            let n = self.fac_mut(f).cancel_orphans(&known, now);
+            self.orphan_cancel_count += n;
+            if n > 0 {
+                self.schedule_fac_poll(f);
+            }
         }
 
         // resume interrupted flows that have no live op to report back;
@@ -1934,7 +2076,7 @@ impl FacilitySim {
 
     /// Decode a submission label back into dispatch coordinates,
     /// rejecting scans this sim never produced.
-    fn parse_ctx(&self, ctx_json: &str) -> Option<(ScanId, Branch, Leg, Branch)> {
+    fn parse_ctx(&self, ctx_json: &str) -> Option<(ScanId, Branch, Leg, Facility)> {
         let ctx: OpCtx = serde_json::from_str(ctx_json).ok()?;
         let id = ScanId(ctx.scan);
         if !self.scans.contains_key(&id) {
@@ -1945,7 +2087,7 @@ impl FacilitySim {
             id,
             branch_from_key(ctx.branch),
             leg,
-            branch_from_key(ctx.fac),
+            Facility::from_key(ctx.fac)?,
         ))
     }
 
@@ -1960,7 +2102,7 @@ impl FacilitySim {
         now: SimInstant,
         id: ScanId,
         branch: Branch,
-        fac: Branch,
+        fac: Facility,
         key: &str,
         kind: ExternalKind,
         handle: u64,
@@ -1984,7 +2126,7 @@ impl FacilitySim {
         now: SimInstant,
         id: ScanId,
         branch: Branch,
-        fac: Branch,
+        fac: Facility,
     ) -> FlowRunId {
         let bk = branch_key(branch);
         if let Some(&run) = self.branch_runs.get(&(id, bk)) {
@@ -1997,11 +2139,17 @@ impl FacilitySim {
         self.orch.start_run(run, now);
         self.branch_runs.insert((id, bk), run);
         self.exec_site.insert((id, bk), fac);
-        if fac != branch {
-            // the adopted op was already executing at the other facility:
+        let home = home_fac(branch);
+        if fac != home {
+            // the adopted op was already executing at another facility:
             // record the redirect so provenance and re-claims line up
-            self.failed_over.insert((id, bk));
-            self.orch.set_parameter(run, "failover", facility_name(fac));
+            let rec = self.router.recoveries(home);
+            self.route_history
+                .entry((id, bk))
+                .or_insert_with(|| vec![(home, rec)]);
+            self.orch.set_parameter(run, "failover", fac.name());
+            self.orch
+                .set_parameter(run, "route", &format!("{}>{}", home.name(), fac.name()));
         }
         run
     }
@@ -2029,7 +2177,7 @@ impl FacilitySim {
                 Some(pid) => {
                     self.raw_pids.insert(id, pid);
                     for branch in [Branch::Nersc, Branch::Alcf] {
-                        let product = format!("{}_recon_{}", scan.name, facility_name(branch));
+                        let product = format!("{}_recon_{}", scan.name, branch_name(branch));
                         if !self.beamline_tier.contains(&product) {
                             self.launch_branch(now, id, branch);
                         }
@@ -2150,5 +2298,13 @@ mod tests {
         let sim = run_small(3, 9);
         // 3 raw + 6 recon outputs
         assert_eq!(sim.beamline_tier.file_count(), 9);
+    }
+
+    #[test]
+    fn healthy_campaign_stays_on_home_facilities() {
+        let sim = run_small(6, 11);
+        assert_eq!(sim.failover_count, 0);
+        assert_eq!(sim.max_route_hops(), 0);
+        assert!(sim.router.decisions().iter().all(|d| d.chosen == d.home));
     }
 }

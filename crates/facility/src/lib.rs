@@ -1,0 +1,306 @@
+//! Pluggable facility controllers and the cost-aware N-way router.
+//!
+//! The paper's workflows treat each HPC site as an interchangeable
+//! reconstruction backend behind site-specific plumbing: NERSC via
+//! SFAPI/Slurm, ALCF via Globus Compute, OLCF via a Slurm-like batch
+//! system with a very different queue personality. [`FacilityController`]
+//! is that seam: the campaign simulation talks to every site through one
+//! trait, and the [`router::Router`] decides *which* site a branch runs
+//! at — scoring all healthy facilities by queue depth × estimated
+//! transfer time × circuit state, and re-routing a branch more than once
+//! as outages roll across the fleet.
+//!
+//! Operation handles are facility-qualified: the raw Slurm/Compute id is
+//! tagged with the facility in the high bits (see [`Facility::encode_op`])
+//! so a single `op -> branch` map in the orchestrator can address three
+//! independent id spaces without collision, and recovery can route a
+//! journalled handle back to the right site.
+
+pub mod controllers;
+pub mod router;
+
+use als_hpc::Qos;
+use als_netsim::SiteId;
+use als_orchestrator::{ExternalKind, OpFate};
+use als_simcore::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+pub use controllers::{AlcfController, NerscController, OlcfController};
+pub use router::{CandidateView, RouteDecision, Router, RouterConfig, RouterMode};
+
+/// Job-name prefix shared by all reconstruction work across facilities.
+/// Orphan adoption and orphan cancellation key off it.
+pub const RECON_PREFIX: &str = "recon_";
+
+/// Job-name prefix for router health-probe jobs. Probes must never be
+/// adopted as reconstruction work nor reaped as orphans.
+pub const PROBE_PREFIX: &str = "probe_";
+
+/// The facilities in the fleet, in router preference order for ties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Facility {
+    /// NERSC Perlmutter via the Superfacility API (realtime QOS).
+    Nersc,
+    /// ALCF Polaris via Globus Compute (demand-queue endpoint).
+    Alcf,
+    /// OLCF Frontier via batch Slurm (long queue holds, batch QOS).
+    Olcf,
+}
+
+impl Facility {
+    pub const ALL: [Facility; 3] = [Facility::Nersc, Facility::Alcf, Facility::Olcf];
+
+    /// Stable small integer key (used in `OpCtx` labels and op encoding).
+    pub fn key(self) -> u8 {
+        match self {
+            Facility::Nersc => 0,
+            Facility::Alcf => 1,
+            Facility::Olcf => 2,
+        }
+    }
+
+    pub fn from_key(k: u8) -> Option<Facility> {
+        match k {
+            0 => Some(Facility::Nersc),
+            1 => Some(Facility::Alcf),
+            2 => Some(Facility::Olcf),
+            _ => None,
+        }
+    }
+
+    /// Lowercase name used in idempotency keys and flow parameters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Facility::Nersc => "nersc",
+            Facility::Alcf => "alcf",
+            Facility::Olcf => "olcf",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Facility> {
+        match s {
+            "nersc" => Some(Facility::Nersc),
+            "alcf" => Some(Facility::Alcf),
+            "olcf" => Some(Facility::Olcf),
+            _ => None,
+        }
+    }
+
+    pub fn site(self) -> SiteId {
+        match self {
+            Facility::Nersc => SiteId::Nersc,
+            Facility::Alcf => SiteId::Alcf,
+            Facility::Olcf => SiteId::Olcf,
+        }
+    }
+
+    /// Tag a raw facility-local operation id with this facility so ids
+    /// from different facilities never collide in one namespace.
+    pub fn encode_op(self, raw: u64) -> u64 {
+        debug_assert!(raw < (1 << 48));
+        ((self.key() as u64 + 1) << 48) | raw
+    }
+
+    /// Invert [`Facility::encode_op`].
+    pub fn decode_op(op: u64) -> Option<(Facility, u64)> {
+        let tag = (op >> 48) as u8;
+        let fac = Facility::from_key(tag.checked_sub(1)?)?;
+        Some((fac, op & ((1 << 48) - 1)))
+    }
+}
+
+/// What kind of work a submission is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FacilityTask {
+    /// Full tomographic reconstruction of one scan.
+    Reconstruct,
+    /// Multi-resolution pyramid build over a reconstructed volume.
+    MultiResolution,
+    /// Tiny router health probe (half-open breaker re-admission).
+    Probe,
+}
+
+/// A work request, facility-agnostic. Controllers map it onto their own
+/// scheduler personality (QOS downgrades, batch holds, endpoint modes).
+#[derive(Debug, Clone)]
+pub struct SubmitSpec {
+    /// Display/journal name; reconstruction names must start with
+    /// [`RECON_PREFIX`] and probes with [`PROBE_PREFIX`].
+    pub name: String,
+    pub task: FacilityTask,
+    /// Actual service time once running (known to the simulation).
+    pub runtime: SimDuration,
+    /// Walltime limit requested from the scheduler.
+    pub walltime: SimDuration,
+    /// Requested QOS; controllers may downgrade (OLCF is batch-biased).
+    pub qos: Qos,
+    pub nodes: usize,
+}
+
+/// A successfully accepted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Submission {
+    /// Facility-qualified handle ([`Facility::encode_op`]).
+    pub op: u64,
+    /// When the orchestrator should give up and cancel the op if it has
+    /// not resolved (walltime + slack, or runtime-derived for Compute).
+    pub deadline: SimInstant,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FacilityError {
+    /// The facility rejected or immediately failed the request.
+    Rejected(String),
+}
+
+impl std::fmt::Display for FacilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FacilityError::Rejected(why) => write!(f, "submission rejected: {why}"),
+        }
+    }
+}
+
+/// Point-in-time facility health, the router's scoring input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FacilityStatus {
+    /// Whether the control plane would accept a submission right now.
+    pub accepting: bool,
+    /// Jobs/tasks waiting to start.
+    pub queue_depth: usize,
+    /// Jobs/tasks currently running.
+    pub running: usize,
+    pub free_nodes: usize,
+    /// Personality-weighted estimate of queue wait for a new submission,
+    /// in seconds. OLCF's batch bias shows up here.
+    pub est_wait_s: f64,
+}
+
+/// A terminal state change for an operation at a facility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpEvent {
+    /// Facility-qualified handle.
+    pub op: u64,
+    pub at: SimInstant,
+    /// `true` iff the operation completed successfully.
+    pub ok: bool,
+}
+
+/// Fault-plan actions a facility can be subjected to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FacilityFault {
+    /// Scheduler/endpoint outage begins: stop accepting work and kill
+    /// running reconstruction ops (returned as failure events).
+    OutageStart,
+    OutageEnd,
+    /// Auth layer expires all tokens and refuses new ones (SFAPI only;
+    /// a no-op for facilities without a token-auth control plane).
+    AuthExpire,
+    AuthRestore,
+}
+
+/// One HPC site the campaign can reconstruct at.
+///
+/// Controllers own the site's scheduler/endpoint state machine and
+/// translate the trait's facility-agnostic verbs onto it. All `op`
+/// handles crossing this boundary are facility-qualified.
+pub trait FacilityController {
+    fn facility(&self) -> Facility;
+
+    fn site(&self) -> SiteId {
+        self.facility().site()
+    }
+
+    /// Which journal ledger this facility's ops live in.
+    fn external_kind(&self) -> ExternalKind;
+
+    /// Task name recorded on the flow run for a submission here (e.g.
+    /// `sfapi_slurm_job`, `globus_compute_recon`, `olcf_batch_job`).
+    fn exec_task_name(&self) -> &'static str;
+
+    /// Submit work. Controllers apply their scheduler personality (QOS
+    /// bias, batch holds) before handing it to the backend.
+    fn submit(&mut self, spec: &SubmitSpec, now: SimInstant) -> Result<Submission, FacilityError>;
+
+    /// Submit a full reconstruction ([`FacilityTask::Reconstruct`]).
+    fn reconstruct(
+        &mut self,
+        spec: &SubmitSpec,
+        now: SimInstant,
+    ) -> Result<Submission, FacilityError> {
+        debug_assert_eq!(spec.task, FacilityTask::Reconstruct);
+        self.submit(spec, now)
+    }
+
+    /// Submit a multi-resolution build ([`FacilityTask::MultiResolution`]).
+    fn build_multi_resolution(
+        &mut self,
+        spec: &SubmitSpec,
+        now: SimInstant,
+    ) -> Result<Submission, FacilityError> {
+        debug_assert_eq!(spec.task, FacilityTask::MultiResolution);
+        self.submit(spec, now)
+    }
+
+    /// Cancel an operation; `true` if the facility accepted the cancel.
+    fn cancel(&mut self, op: u64, now: SimInstant) -> bool;
+
+    fn health(&self, now: SimInstant) -> FacilityStatus;
+
+    /// Advance the backend clock to `now` and drain terminal events.
+    fn poll(&mut self, now: SimInstant) -> Vec<OpEvent>;
+
+    fn next_event_time(&self) -> Option<SimInstant>;
+
+    /// What became of an op (for crash-recovery reconciliation).
+    fn op_fate(&self, op: u64) -> OpFate;
+
+    /// Reconstruction ops with their labels, as facility-qualified
+    /// handles — including finished ones (backends retain terminal ops
+    /// for fate queries). Recovery adopts these when the journal lost
+    /// the submit; filter by [`FacilityController::op_fate`] for
+    /// liveness.
+    fn labeled_ops(&self) -> Vec<(u64, String)>;
+
+    /// Cancel live reconstruction ops not in `known` (facility-qualified
+    /// handles); returns how many were reaped. Probe jobs are exempt.
+    fn cancel_orphans(&mut self, known: &BTreeSet<u64>, now: SimInstant) -> usize;
+
+    /// Apply a fault-plan action; returns failure events for ops killed
+    /// by the fault.
+    fn inject(&mut self, fault: FacilityFault, now: SimInstant) -> Vec<OpEvent>;
+
+    /// Site-local background load (other users' jobs). Only meaningful
+    /// for facilities that model a shared batch system.
+    fn submit_background(&mut self, _runtime: SimDuration, _nodes: usize, _now: SimInstant) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_encoding_round_trips_and_separates_facilities() {
+        for fac in Facility::ALL {
+            for raw in [0u64, 1, 7, 0xFFFF_FFFF] {
+                let op = fac.encode_op(raw);
+                assert_eq!(Facility::decode_op(op), Some((fac, raw)));
+            }
+        }
+        // same raw id at different facilities must not collide
+        assert_ne!(Facility::Nersc.encode_op(42), Facility::Olcf.encode_op(42));
+        // untagged raw ids decode to nothing
+        assert_eq!(Facility::decode_op(42), None);
+    }
+
+    #[test]
+    fn facility_names_round_trip() {
+        for fac in Facility::ALL {
+            assert_eq!(Facility::from_name(fac.name()), Some(fac));
+            assert_eq!(Facility::from_key(fac.key()), Some(fac));
+        }
+        assert_eq!(Facility::from_name("lcrc"), None);
+    }
+}

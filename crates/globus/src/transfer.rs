@@ -241,6 +241,43 @@ impl TransferService {
         }
     }
 
+    /// The site an endpoint is registered at.
+    pub fn endpoint_site(&self, ep: EndpointId) -> Option<SiteId> {
+        self.endpoints.get(&ep).map(|e| e.site)
+    }
+
+    /// Estimated seconds to move `size` bytes from `src` to `dst` under
+    /// the *current* link conditions: route latency + size over the
+    /// bottleneck link's degraded capacity + the checksum read-back. The
+    /// estimate ignores competing flows (a router cost input, not an
+    /// oracle), so it stays cheap and side-effect free.
+    pub fn estimate_transfer_seconds(&self, src: SiteId, dst: SiteId, size: ByteSize) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        let Some(route) = self.topo.route(src, dst) else {
+            return f64::INFINITY;
+        };
+        let mut bottleneck_bps = f64::INFINITY;
+        for link in &route.links {
+            let cap = self.topo.net.link(*link).capacity.as_gbit_per_sec()
+                * 1e9
+                * self.topo.net.capacity_factor(*link);
+            bottleneck_bps = bottleneck_bps.min(cap);
+        }
+        if bottleneck_bps <= 0.0 {
+            return f64::INFINITY;
+        }
+        let latency = self.topo.net.route_latency(&route).as_secs_f64();
+        let wire = size.as_bytes() as f64 * 8.0 / bottleneck_bps;
+        let verify = self
+            .checksum_rate
+            .transfer_time(size)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        latency + wire + verify
+    }
+
     pub fn status(&self, task: TaskId) -> Option<TaskStatus> {
         self.tasks.get(&task).map(|t| t.status)
     }
@@ -819,6 +856,32 @@ mod tests {
         );
         svc.advance_to(t0);
         assert_eq!(svc.status(id), Some(TaskStatus::Succeeded));
+    }
+
+    #[test]
+    fn transfer_estimate_tracks_size_and_brownouts() {
+        let (mut svc, _, _, _) = service(2);
+        let base =
+            svc.estimate_transfer_seconds(SiteId::Als, SiteId::Nersc, ByteSize::from_gib(25));
+        // 25 GiB at 10 Gbps ≈ 21.5 s wire + ~13.4 s checksum
+        assert!((25.0..50.0).contains(&base), "{base}");
+        assert!(
+            svc.estimate_transfer_seconds(SiteId::Als, SiteId::Olcf, ByteSize::from_gib(25)) > base
+        );
+        assert_eq!(
+            svc.estimate_transfer_seconds(SiteId::Als, SiteId::Als, ByteSize::from_gib(25)),
+            0.0
+        );
+        // a brownout deep enough to drop the 100G hop below the 10G NIC
+        // inflates the estimate; restoring capacity restores it
+        svc.set_wan_capacity_factor(0.05, SimInstant::ZERO);
+        let browned =
+            svc.estimate_transfer_seconds(SiteId::Als, SiteId::Nersc, ByteSize::from_gib(25));
+        assert!(browned > base * 1.5, "{browned} vs {base}");
+        svc.set_wan_capacity_factor(1.0, SimInstant::ZERO + SimDuration::from_secs(1));
+        let restored =
+            svc.estimate_transfer_seconds(SiteId::Als, SiteId::Nersc, ByteSize::from_gib(25));
+        assert!((restored - base).abs() < 1e-6);
     }
 
     #[test]

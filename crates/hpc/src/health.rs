@@ -95,6 +95,18 @@ impl HealthMonitor {
         }
     }
 
+    /// Has the service's heartbeat aged past its freshness deadline?
+    /// Unlike [`HealthMonitor::check`], this ignores explicit error
+    /// reports: a service can be `Failing` (errors reported against it)
+    /// while its heartbeat is still arriving, and vice versa. Outage
+    /// detectors care about the heartbeat alone.
+    pub fn heartbeat_stale(&self, service: &str, now: SimInstant) -> bool {
+        self.probes.get(service).is_some_and(|p| {
+            p.last_heartbeat
+                .is_some_and(|hb| now.duration_since(hb) > p.freshness)
+        })
+    }
+
     /// Record an explicit failure report.
     pub fn report_error(&mut self, service: &str, now: SimInstant, message: &str) {
         if let Some(p) = self.probes.get_mut(service) {

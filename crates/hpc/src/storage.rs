@@ -23,6 +23,8 @@ pub enum TierKind {
     Cfs,
     /// ALCF Eagle filesystem.
     Eagle,
+    /// OLCF Orion (Lustre) filesystem.
+    Orion,
     /// NERSC HPSS tape archive.
     Hpss,
 }
@@ -34,6 +36,7 @@ impl TierKind {
             TierKind::Pscratch => "pscratch",
             TierKind::Cfs => "CFS",
             TierKind::Eagle => "Eagle",
+            TierKind::Orion => "Orion",
             TierKind::Hpss => "HPSS",
         }
     }
@@ -46,6 +49,7 @@ impl TierKind {
             TierKind::Pscratch => Some(SimDuration::from_hours(7 * 24)),
             TierKind::Cfs => Some(SimDuration::from_hours(365 * 24)),
             TierKind::Eagle => Some(SimDuration::from_hours(30 * 24)),
+            TierKind::Orion => Some(SimDuration::from_hours(90 * 24)),
             TierKind::Hpss => None, // indefinite
         }
     }
@@ -58,6 +62,7 @@ impl TierKind {
             TierKind::Pscratch => DataRate::from_gbit_per_sec(80.0),
             TierKind::Cfs => DataRate::from_gbit_per_sec(20.0),
             TierKind::Eagle => DataRate::from_gbit_per_sec(40.0),
+            TierKind::Orion => DataRate::from_gbit_per_sec(50.0),
             TierKind::Hpss => DataRate::from_gbit_per_sec(4.0),
         }
     }

@@ -18,6 +18,8 @@ pub enum SiteId {
     Nersc,
     /// ALCF (Polaris + Eagle), at Argonne.
     Alcf,
+    /// OLCF (Frontier + Orion), at Oak Ridge.
+    Olcf,
 }
 
 impl SiteId {
@@ -26,6 +28,7 @@ impl SiteId {
             SiteId::Als => "ALS",
             SiteId::Nersc => "NERSC",
             SiteId::Alcf => "ALCF",
+            SiteId::Olcf => "OLCF",
         }
     }
 }
@@ -39,6 +42,7 @@ pub struct Topology {
     als_to_esnet: LinkId,
     esnet_backbone: LinkId,
     esnet_to_alcf: LinkId,
+    esnet_to_olcf: LinkId,
     nersc_to_esnet: LinkId,
 }
 
@@ -54,8 +58,20 @@ impl Topology {
                 self.esnet_backbone,
                 self.esnet_to_alcf,
             ],
+            (Als, Olcf) | (Olcf, Als) => vec![
+                self.beamline_nic,
+                self.als_to_esnet,
+                self.esnet_backbone,
+                self.esnet_to_olcf,
+            ],
             (Nersc, Alcf) | (Alcf, Nersc) => {
                 vec![self.nersc_to_esnet, self.esnet_backbone, self.esnet_to_alcf]
+            }
+            (Nersc, Olcf) | (Olcf, Nersc) => {
+                vec![self.nersc_to_esnet, self.esnet_backbone, self.esnet_to_olcf]
+            }
+            (Alcf, Olcf) | (Olcf, Alcf) => {
+                vec![self.esnet_to_alcf, self.esnet_backbone, self.esnet_to_olcf]
             }
             _ => return None,
         };
@@ -71,6 +87,7 @@ impl Topology {
             self.als_to_esnet,
             self.esnet_backbone,
             self.esnet_to_alcf,
+            self.esnet_to_olcf,
             self.nersc_to_esnet,
         ]
     }
@@ -117,6 +134,13 @@ pub fn esnet_topology_with_nics(n_beamlines: usize) -> Topology {
         DataRate::from_gbit_per_sec(100.0),
         SimDuration::from_millis(1),
     );
+    // OLCF hangs off the backbone via its own access link (Chicago <->
+    // Oak Ridge adds a few ms on top of the backbone hop)
+    let esnet_to_olcf = net.add_link(
+        "esnet-olcf-100g",
+        DataRate::from_gbit_per_sec(100.0),
+        SimDuration::from_millis(4),
+    );
     let nersc_to_esnet = net.add_link(
         "nersc-esnet-100g",
         DataRate::from_gbit_per_sec(100.0),
@@ -129,6 +153,7 @@ pub fn esnet_topology_with_nics(n_beamlines: usize) -> Topology {
         als_to_esnet,
         esnet_backbone,
         esnet_to_alcf,
+        esnet_to_olcf,
         nersc_to_esnet,
     }
 }
@@ -141,8 +166,8 @@ mod tests {
     #[test]
     fn all_site_pairs_have_routes() {
         let topo = esnet_topology();
-        for from in [SiteId::Als, SiteId::Nersc, SiteId::Alcf] {
-            for to in [SiteId::Als, SiteId::Nersc, SiteId::Alcf] {
+        for from in [SiteId::Als, SiteId::Nersc, SiteId::Alcf, SiteId::Olcf] {
+            for to in [SiteId::Als, SiteId::Nersc, SiteId::Alcf, SiteId::Olcf] {
                 let r = topo.route(from, to);
                 if from == to {
                     assert!(r.is_none());
@@ -174,6 +199,11 @@ mod tests {
             .net
             .route_latency(&topo.route(SiteId::Als, SiteId::Alcf).unwrap());
         assert!(to_alcf.as_secs_f64() > 10.0 * to_nersc.as_secs_f64());
+        // OLCF sits further down the backbone than ALCF
+        let to_olcf = topo
+            .net
+            .route_latency(&topo.route(SiteId::Als, SiteId::Olcf).unwrap());
+        assert!(to_olcf.as_secs_f64() > to_alcf.as_secs_f64());
     }
 
     #[test]

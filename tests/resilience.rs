@@ -225,7 +225,10 @@ fn nersc_outage_failover_recovery_and_failback() {
     assert!(last.tasks.iter().any(|t| t.name == "sfapi_slurm_job"));
 
     // and the breaker has closed again
-    assert_eq!(sim.nersc_breaker.state(), BreakerState::Closed);
+    assert_eq!(
+        sim.breaker(als_facility::Facility::Nersc).state(),
+        BreakerState::Closed
+    );
 }
 
 /// Paired comparison on the same scans and the same outage: failover

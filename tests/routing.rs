@@ -1,0 +1,94 @@
+//! Property-based tests on the cost-aware router's safety invariants
+//! under arbitrary fault schedules.
+//!
+//! For any combination of facility outage windows the router must:
+//!
+//! 1. never select a facility whose circuit breaker was open (or whose
+//!    heartbeat was stale) at selection time — checked against the
+//!    router's own audit log, which snapshots both at every decision;
+//! 2. never duplicate a facility-side mutation while re-routing — every
+//!    redirect abandons its claim (and remotely cancels stranded work)
+//!    before the branch moves;
+//! 3. leave nothing behind once the campaign drains: no live
+//!    reconstruction ops at any facility, no open entries in the
+//!    orchestrator's op map.
+
+use als_facility::RouterMode;
+use als_flows::faults::{FaultKind, FaultPlan, FaultWindow};
+use als_flows::scan::ScanWorkload;
+use als_flows::sim::{FacilitySim, SimConfig};
+use als_hpc::BreakerState;
+use als_simcore::{SimDuration, SimInstant};
+use proptest::prelude::*;
+
+/// An arbitrary outage schedule: up to one window per facility, each
+/// starting inside the arrival window and lasting 5–90 minutes. Windows
+/// may overlap arbitrarily — including all three facilities at once.
+fn outage_plan(windows: &[(u8, u64, u64)]) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for &(which, start_s, dur_s) in windows {
+        let kind = match which % 3 {
+            0 => FaultKind::NerscOutage,
+            1 => FaultKind::AlcfOutage,
+            _ => FaultKind::OlcfOutage,
+        };
+        let start = SimInstant::ZERO + SimDuration::from_secs(start_s);
+        plan = plan.with_window(FaultWindow::new(
+            start,
+            start + SimDuration::from_secs(dur_s),
+            kind,
+        ));
+    }
+    plan
+}
+
+fn run_campaign(seed: u64, n_scans: usize, plan: &FaultPlan) -> FacilitySim {
+    let mut sim = FacilitySim::new(SimConfig {
+        seed,
+        faults: plan.clone(),
+        failover_enabled: true,
+        router_mode: RouterMode::CostAware,
+        ..Default::default()
+    });
+    let mut workload = ScanWorkload::production().with_cadence_secs(300.0);
+    sim.schedule_campaign(&mut workload, n_scans);
+    sim.run(None);
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Router safety under arbitrary outage schedules.
+    #[test]
+    fn router_never_selects_unhealthy_and_leaks_nothing(
+        seed in 1u64..500,
+        windows in prop::collection::vec(
+            (0u8..3, 120u64..2400, 300u64..5400),
+            0..3,
+        ),
+    ) {
+        let plan = outage_plan(&windows);
+        let sim = run_campaign(seed, 6, &plan);
+
+        // 1. the audit log: every routing decision landed on a facility
+        //    whose breaker was not open and whose heartbeat was fresh
+        for d in sim.router.decisions() {
+            prop_assert_ne!(
+                d.breaker_state,
+                BreakerState::Open,
+                "routed to open breaker: {:?}",
+                d
+            );
+            prop_assert!(!d.heartbeat_stale, "routed to stale facility: {:?}", d);
+        }
+
+        // 2. re-routing never repeated a facility-side mutation
+        prop_assert_eq!(sim.duplicate_side_effects, 0);
+
+        // 3. a drained campaign leaves no stranded work anywhere: every
+        //    abandoned redirect had a matching remote cancel
+        prop_assert_eq!(sim.live_recon_ops(), 0, "live recon ops left at facilities");
+        prop_assert_eq!(sim.open_exec_ops(), 0, "orchestrator still tracking ops");
+    }
+}
