@@ -19,6 +19,7 @@ use als_flows::realmode::{
 };
 use als_phantom::{shepp_logan_volume, DetectorConfig, ScanSimulator};
 use als_scidata::{tiff, MultiscaleStore, MultiscaleWriter, ScanFile, TiffStackSink};
+use als_telemetry::Registry;
 use als_tomo::pipeline::{self, PipelineConfig, ReconKind, SliceSink, VolumeSink};
 use als_tomo::{FbpConfig, Geometry, Image};
 use std::path::Path;
@@ -176,22 +177,28 @@ fn fbp_archive_entry(quick: bool, work: &Path) -> String {
         [4, 32, 32],
         3,
     );
+    let registry = std::sync::Arc::new(Registry::new());
     let t = Instant::now();
     let report = {
         let mut sinks: [&mut dyn SliceSink; 3] = [&mut vol_sink, &mut tiff_sink, &mut mzarr];
         let cfg = PipelineConfig {
             recon: ReconKind::Fbp(FbpConfig::default()),
             mu_scale: mu,
+            registry: Some(registry.clone()),
             ..Default::default()
         };
         pipeline::run(&scan, &mut sinks, &cfg).expect("fbp archive pipeline succeeds")
     };
     let wall = t.elapsed().as_secs_f64();
     let speedup = baseline_s / wall;
+    // overlap fraction now comes from the pipeline's registry counters —
+    // the same stage-occupancy instrumentation the fleet snapshot exports
     let sink_overlap_frac = {
-        let sb = report.sink_busy.as_secs_f64();
-        if sb > 0.0 {
-            report.sink_busy_overlapped.as_secs_f64() / sb
+        let snap = registry.snapshot();
+        let busy_us = snap.counters["pipeline_sink_busy_us_total"];
+        let overlap_us = snap.counters["pipeline_sink_overlapped_us_total"];
+        if busy_us > 0 {
+            overlap_us as f64 / busy_us as f64
         } else {
             0.0
         }

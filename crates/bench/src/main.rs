@@ -8,8 +8,8 @@
 //! Artifacts: `table1`, `table2`, `fig1`, `fig2`, `fig3`, `streaming`
 //! (S1), `speedup` (S2), `lifecycle` (S3), `incident` (S4), `resilience`
 //! (R1), `recovery` (R2), `shard_recovery` (R3), `routing` (R4),
-//! `quality` (Q1). Output goes to stdout; figure assets land in
-//! `target/experiments/`.
+//! `observability` (R5), `quality` (Q1). Output goes to stdout; figure
+//! assets land in `target/experiments/`.
 
 use als_flows::campaign::{run_campaign, CampaignConfig};
 use als_flows::incident::incident_comparison;
@@ -254,6 +254,61 @@ fn main() {
         println!(
             "\n(the cost-aware router re-routes a branch more than once — NERSC→ALCF→OLCF —\n so the campaign survives outages that roll across the fleet; the one-shot\n router strands every branch whose single refuge also dies)"
         );
+    }
+    if wants("observability") {
+        println!(
+            "\n================ R5 (telemetry spine: traces + Table-2 report under crash) ================\n"
+        );
+        let bundle = als_flows::observability::run_observability(24, 5);
+        let r = &bundle.report;
+        println!(
+            "rolling outages + coordinator crash at t={}s ({}s restart); 24 scans @ 5 min:",
+            als_flows::observability::CRASH_AT_S,
+            als_flows::observability::CRASH_RESTART_S,
+        );
+        println!(
+            "  {} traced scans | {} branches completed | {} redirects | {} crash / {} recovery",
+            r.traced_scans, r.completed_branches, r.failover_count, r.crash_count, r.recovery_count,
+        );
+        println!(
+            "  spans: {} open after drain | {} redirect links | {} router-decision notes",
+            r.open_spans, r.redirect_links, r.routed_notes,
+        );
+        println!(
+            "  accounting identity (stage_sum − overlap + idle = end-to-end): {}",
+            if r.accounting_identity_holds {
+                "holds, µs-exact"
+            } else {
+                "VIOLATED"
+            },
+        );
+        println!(
+            "  crash reconstruction (journal-only verifier vs live store):   {}",
+            if r.crash_reconstruction_identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            },
+        );
+        if let Some(t) = &bundle.timeline {
+            println!("\nsample trace timeline (deepest redirect chain):\n");
+            print!("{}", t.rendered);
+        }
+        println!("\nTable-2-style per-stage latency by facility:\n");
+        print!("{}", r.table.render());
+        let dir = out_dir();
+        let metrics = dir.join("r5_metrics.json");
+        std::fs::write(&metrics, &bundle.metrics_json).ok();
+        std::fs::write(dir.join("r5_metrics.prom"), &bundle.prometheus_text).ok();
+        println!(
+            "\n(wrote the fleet metrics snapshot to {} — journal flush batches, group-commit\n latency, router decisions, WAN bandwidth, recovery counters)",
+            metrics.display()
+        );
+        // CI gate: the telemetry spine's two hard guarantees
+        if !r.accounting_identity_holds || !r.crash_reconstruction_identical {
+            eprintln!("R5 FAILED: telemetry invariant violated");
+            std::process::exit(1);
+        }
     }
     if wants("recovery") {
         println!(

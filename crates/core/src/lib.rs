@@ -45,6 +45,7 @@ pub mod faults;
 pub mod incident;
 pub mod lifecycle;
 pub mod multibeamline;
+pub mod observability;
 pub mod realmode;
 pub mod recovery;
 pub mod resilience;
@@ -57,6 +58,9 @@ pub mod users;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
 pub use faults::{FaultKind, FaultPlan, FaultWindow, OrchestratorCrash};
+pub use observability::{
+    run_observability, run_observability_sim, ObservabilityBundle, ObservabilityReport,
+};
 pub use recovery::{
     recovery_comparison, recovery_experiment, RecoveryComparison, RecoveryOutcome, RecoveryReport,
 };

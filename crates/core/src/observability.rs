@@ -1,0 +1,292 @@
+//! Observability experiment (R5): the unified telemetry spine under
+//! fire.
+//!
+//! R4 proved the router keeps a campaign alive through rolling
+//! multi-facility outages; R3 proved the sharded journal survives
+//! coordinator crashes. R5 asks the question both left open: *can you
+//! see what happened?* It replays the R4 rolling-outage schedule with a
+//! mid-campaign coordinator crash on top, and demands that the telemetry
+//! spine — flow-scoped trace spans journaled next to orchestrator state,
+//! plus the fleet metrics registry — reconstructs the campaign's story
+//! exactly:
+//!
+//! * **per-scan timelines** — every lifecycle stage (ingest → transfer →
+//!   queue-wait → recon → back-transfer → catalog) as a span tagged with
+//!   the facility that served it, redirect chains linked parent→child,
+//!   router decisions attached as notes;
+//! * **the Table-2 report** — min/p50/p90/max per (facility, stage) over
+//!   every closed span, with exact nearest-rank quantiles;
+//! * **crash-identical reconstruction** — a verifier incarnation that
+//!   replays nothing but the shard journals must rebuild the *same*
+//!   trace store and therefore the byte-identical report the live
+//!   coordinator holds;
+//! * **the accounting identity** — per scan,
+//!   `stage_sum − overlap + idle = end_to_end`, so the timeline's pieces
+//!   genuinely tile the scan's life.
+
+use crate::faults::FaultPlan;
+use crate::routing::rolling_outage_plan;
+use crate::scan::ScanWorkload;
+use crate::sim::{FacilitySim, SimConfig};
+use als_facility::RouterMode;
+use als_orchestrator::ShardedOrchestrator;
+use als_simcore::{SimDuration, SimInstant};
+use als_telemetry::{TelemetryReport, TraceStore};
+use serde::Serialize;
+
+/// When the coordinator dies (mid-campaign: after the NERSC outage
+/// opens, while redirected work is in flight) and how long the restart
+/// takes.
+pub const CRASH_AT_S: u64 = 3600;
+pub const CRASH_RESTART_S: u64 = 120;
+
+/// Everything the R5 experiment measures.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObservabilityReport {
+    pub scans: usize,
+    pub seed: u64,
+    pub completed_branches: usize,
+    pub crash_count: usize,
+    pub recovery_count: usize,
+    pub failover_count: usize,
+    /// Scans with at least one trace span.
+    pub traced_scans: usize,
+    /// Spans still open once the campaign drained (should be 0).
+    pub open_spans: usize,
+    /// Spans carrying a redirect parent link.
+    pub redirect_links: usize,
+    /// Spans carrying a router-decision note.
+    pub routed_notes: usize,
+    /// Per scan: `stage_sum − overlap + idle == end_to_end` (µs-exact).
+    pub accounting_identity_holds: bool,
+    /// A verifier that replays only the shard journals rebuilds the
+    /// same trace store (and therefore the same report).
+    pub crash_reconstruction_identical: bool,
+    /// The Table-2-style per-(facility, stage) latency distribution.
+    pub table: TelemetryReport,
+}
+
+/// One scan's rendered timeline plus the identity terms behind it.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimelineSample {
+    pub scan: String,
+    pub end_to_end_s: f64,
+    pub covered_s: f64,
+    pub stage_sum_s: f64,
+    pub overlap_s: f64,
+    pub idle_s: f64,
+    pub rendered: String,
+}
+
+/// The full R5 bundle: the measured report, a timeline worth printing
+/// (a scan that lived through a redirect, when one exists), and the
+/// registry exposition snapshots.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObservabilityBundle {
+    pub report: ObservabilityReport,
+    pub timeline: Option<TimelineSample>,
+    pub metrics_json: String,
+    pub prometheus_text: String,
+}
+
+/// The R5 fault schedule: the R4 rolling outages plus a coordinator
+/// crash while the fleet is already degraded.
+pub fn observability_plan() -> FaultPlan {
+    rolling_outage_plan().with_orchestrator_crash(
+        SimInstant::ZERO + SimDuration::from_secs(CRASH_AT_S),
+        SimDuration::from_secs(CRASH_RESTART_S),
+    )
+}
+
+/// Run the R5 campaign and return the drained simulator.
+pub fn run_observability_sim(n_scans: usize, seed: u64) -> FacilitySim {
+    let mut sim = FacilitySim::new(SimConfig {
+        seed,
+        faults: observability_plan(),
+        failover_enabled: true,
+        olcf_enabled: true,
+        router_mode: RouterMode::CostAware,
+        durable_recovery: true,
+        ..Default::default()
+    });
+    let mut workload = ScanWorkload::production().with_cadence_secs(300.0);
+    sim.schedule_campaign(&mut workload, n_scans);
+    sim.run(None);
+    sim
+}
+
+/// Does the accounting identity hold for every traced scan, exactly,
+/// on the integer-microsecond clock?
+pub fn accounting_identity_holds(traces: &TraceStore) -> bool {
+    traces.scans().all(|t| {
+        let Some(e2e) = t.end_to_end() else {
+            return true; // no closed spans, nothing to account for
+        };
+        let lhs = t.stage_sum().as_micros() + t.idle().as_micros();
+        lhs - t.overlap().as_micros() == e2e.as_micros()
+    })
+}
+
+/// Prove crash-identical reconstruction: flush the live journals, hand
+/// the durable bytes to a fresh verifier incarnation, and compare its
+/// replayed trace store (and report) against the live one.
+pub fn verify_crash_reconstruction(sim: &mut FacilitySim) -> (bool, TraceStore) {
+    sim.orch.commit_all();
+    let live = sim.traces();
+    let images = sim.orch.crash_images();
+    let (verifier, _info) = ShardedOrchestrator::recover_fleet(
+        &images,
+        "r5-verifier",
+        sim.now(),
+        sim.cfg.group_commit_batch,
+    );
+    let rebuilt = verifier.merged_traces();
+    let identical = rebuilt == live && rebuilt.report() == live.report();
+    (identical, rebuilt)
+}
+
+/// Pick the scan whose timeline tells the best story: the one with the
+/// most redirect links, falling back to the first traced scan.
+fn sample_scan(traces: &TraceStore) -> Option<String> {
+    traces
+        .scans()
+        .max_by_key(|t| {
+            (
+                t.spans.iter().filter(|s| s.parent.is_some()).count(),
+                std::cmp::Reverse(t.scan.clone()),
+            )
+        })
+        .map(|t| t.scan.clone())
+}
+
+/// Run R5 end to end and aggregate everything the experiment reports.
+pub fn run_observability(n_scans: usize, seed: u64) -> ObservabilityBundle {
+    let mut sim = run_observability_sim(n_scans, seed);
+    let (identical, _) = verify_crash_reconstruction(&mut sim);
+    let traces = sim.traces();
+
+    let mut open_spans = 0usize;
+    let mut redirect_links = 0usize;
+    let mut routed_notes = 0usize;
+    for t in traces.scans() {
+        for s in &t.spans {
+            if !s.is_closed() {
+                open_spans += 1;
+            }
+            if s.parent.is_some() {
+                redirect_links += 1;
+            }
+            routed_notes += s.notes.iter().filter(|n| n.key == "route").count();
+        }
+    }
+
+    let timeline = sample_scan(&traces).and_then(|name| {
+        let t = traces.scan(&name)?;
+        Some(TimelineSample {
+            scan: name.clone(),
+            end_to_end_s: t.end_to_end().unwrap_or(SimDuration::ZERO).as_secs_f64(),
+            covered_s: t.covered().as_secs_f64(),
+            stage_sum_s: t.stage_sum().as_secs_f64(),
+            overlap_s: t.overlap().as_secs_f64(),
+            idle_s: t.idle().as_secs_f64(),
+            rendered: traces.timeline(&name)?,
+        })
+    });
+
+    let report = ObservabilityReport {
+        scans: n_scans,
+        seed,
+        completed_branches: sim.branches_completed(),
+        crash_count: sim.crash_count,
+        recovery_count: sim.recovery_count,
+        failover_count: sim.failover_count,
+        traced_scans: traces.scan_count(),
+        open_spans,
+        redirect_links,
+        routed_notes,
+        accounting_identity_holds: accounting_identity_holds(&traces),
+        crash_reconstruction_identical: identical,
+        table: traces.report(),
+    };
+    ObservabilityBundle {
+        report,
+        timeline,
+        metrics_json: sim.registry.snapshot().to_json(),
+        prometheus_text: sim.registry.snapshot().prometheus_text(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use als_telemetry::Stage;
+
+    fn small_bundle() -> ObservabilityBundle {
+        run_observability(10, 832)
+    }
+
+    #[test]
+    fn r5_campaign_survives_and_traces_every_scan() {
+        let b = small_bundle();
+        assert_eq!(b.report.crash_count, 1);
+        assert_eq!(b.report.recovery_count, 1);
+        assert!(b.report.failover_count > 0, "rolling outages must redirect");
+        assert_eq!(b.report.traced_scans, 10);
+        assert!(
+            b.report.completed_branches >= 18,
+            "campaign mostly completes"
+        );
+        assert_eq!(
+            b.report.open_spans, 0,
+            "a drained campaign closes every span"
+        );
+    }
+
+    #[test]
+    fn r5_report_reconstructs_identically_after_crash() {
+        let b = small_bundle();
+        assert!(b.report.crash_reconstruction_identical);
+        assert!(b.report.accounting_identity_holds);
+    }
+
+    #[test]
+    fn r5_timeline_and_table_carry_the_campaign_story() {
+        let b = small_bundle();
+        let t = b.timeline.expect("at least one traced scan");
+        assert!(t.rendered.contains("end-to-end"));
+        assert!(b.report.redirect_links > 0, "redirect chains are linked");
+        assert!(b.report.routed_notes > 0, "router decisions ride the trace");
+        // the table has rows for the stages every scan passes through
+        for stage in [Stage::Ingest, Stage::Transfer, Stage::Catalog] {
+            assert!(
+                b.report.table.rows.iter().any(|r| r.stage == stage),
+                "missing {} rows",
+                stage.name()
+            );
+        }
+        // recon ran at more than one facility under the rolling outages
+        let recon_sites = b
+            .report
+            .table
+            .rows
+            .iter()
+            .filter(|r| r.stage == Stage::Recon)
+            .count();
+        assert!(recon_sites >= 2, "recon should have run at >= 2 facilities");
+    }
+
+    #[test]
+    fn r5_registry_exports_the_fleet_spine() {
+        let b = small_bundle();
+        for needle in [
+            "orch_recoveries_total",
+            "router_decisions_total",
+            "journal_",
+        ] {
+            assert!(
+                b.metrics_json.contains(needle) || b.prometheus_text.contains(needle),
+                "registry snapshot missing {needle}"
+            );
+        }
+    }
+}

@@ -40,8 +40,10 @@ use als_orchestrator::{
     shard_of_key, transfer_fate, Claim, ExternalKind, OpFate, ShardedOrchestrator,
 };
 use als_simcore::{ByteSize, EventQueue, SimDuration, SimInstant, SimRng};
+use als_telemetry::{Registry, SpanId, SpanOutcome, Stage, TraceEvent, TraceStore};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Names of the three production flows (Table 2's rows).
 pub const FLOW_NEW_FILE: &str = "new_file_832";
@@ -338,6 +340,29 @@ pub struct FacilitySim {
     /// Facility operations adopted at recovery because the journal lost
     /// their submission record (damaged shards only).
     pub adopted_orphan_ops: usize,
+
+    /// The fleet-wide metrics registry: the orchestrator shards, the
+    /// router, the bandwidth monitor, and the sim itself all export into
+    /// this one spine. Shared so callers (experiments, benches) can
+    /// snapshot it while the sim runs.
+    pub registry: Arc<Registry>,
+    /// Span-id allocator. Monotone across restarts: a durable recovery
+    /// resumes it above the highest journaled id.
+    next_span: SpanId,
+    /// Open ingest spans by scan.
+    ingest_spans: BTreeMap<ScanId, SpanId>,
+    /// Open transfer/back-transfer spans by Globus task.
+    transfer_spans: BTreeMap<TaskId, SpanId>,
+    /// Open queue-wait spans by facility op: `(span, submitted-at,
+    /// expected in-job runtime)` — the runtime splits queue-wait from
+    /// recon when the op resolves.
+    op_spans: BTreeMap<u64, (SpanId, SimInstant, SimDuration)>,
+    /// Span a branch's last failure closed, consumed as the `parent`
+    /// link of the replacement span the redirect opens.
+    redirect_parent: BTreeMap<(ScanId, u8), SpanId>,
+    /// Router decision audit (`RouteDecision::note_value`) waiting to be
+    /// attached as a Note on the branch's next transfer span.
+    pending_route_note: BTreeMap<(ScanId, u8), String>,
     /// Scans that needed evidence-based healing (label adoption, staging
     /// worker re-detection, catalogue evidence) because journal records
     /// were destroyed — the blast radius of shard damage.
@@ -424,7 +449,7 @@ impl FacilitySim {
             );
         }
         let enabled: Vec<Facility> = facs.iter().map(|c| c.facility()).collect();
-        let router = Router::new(
+        let mut router = Router::new(
             RouterConfig {
                 mode: cfg.router_mode,
                 breaker: BreakerConfig {
@@ -435,17 +460,25 @@ impl FacilitySim {
             },
             &enabled,
         );
+        // one registry spine for the whole fleet: shard journals, the
+        // router, the WAN monitor, and the sim's own spans/counters
+        let registry = Arc::new(Registry::new());
+        let mut orch = ShardedOrchestrator::production(
+            "orch-0",
+            SimInstant::ZERO,
+            cfg.shard_count.max(1),
+            cfg.group_commit_batch,
+        );
+        orch.instrument(&registry);
+        router.instrument(&registry);
+        let mut monitor = BandwidthMonitor::new();
+        monitor.instrument(&registry);
         FacilitySim {
             queue: EventQueue::new(),
             rng,
-            orch: ShardedOrchestrator::production(
-                "orch-0",
-                SimInstant::ZERO,
-                cfg.shard_count.max(1),
-                cfg.group_commit_batch,
-            ),
+            orch,
             catalog: Catalog::new(),
-            monitor: BandwidthMonitor::new(),
+            monitor,
             transfer,
             ep_als,
             ep_nersc,
@@ -491,8 +524,101 @@ impl FacilitySim {
             adopted_orphan_ops: 0,
             degraded_scans: BTreeSet::new(),
             damaged_shards_seen: BTreeSet::new(),
+            registry,
+            next_span: 0,
+            ingest_spans: BTreeMap::new(),
+            transfer_spans: BTreeMap::new(),
+            op_spans: BTreeMap::new(),
+            redirect_parent: BTreeMap::new(),
+            pending_route_note: BTreeMap::new(),
             cfg,
         }
+    }
+
+    /// The fleet-wide trace store: every journaled span event merged
+    /// across shards. In durable mode this is exactly what a recovered
+    /// incarnation would rebuild from the WAL.
+    pub fn traces(&self) -> TraceStore {
+        self.orch.merged_traces()
+    }
+
+    // ---- flow-scoped trace spans (journaled next to orchestrator
+    // state, so recovery replays them) ----
+
+    fn span_start(
+        &mut self,
+        now: SimInstant,
+        scan: &str,
+        stage: Stage,
+        facility: &str,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        let span = self.next_span;
+        self.next_span += 1;
+        self.orch.record_span(
+            scan,
+            TraceEvent::Start {
+                scan: scan.to_string(),
+                span,
+                parent,
+                stage,
+                facility: facility.to_string(),
+                at: now,
+            },
+        );
+        span
+    }
+
+    fn span_end(&mut self, now: SimInstant, scan: &str, span: SpanId, outcome: SpanOutcome) {
+        self.orch.record_span(
+            scan,
+            TraceEvent::End {
+                scan: scan.to_string(),
+                span,
+                at: now,
+                outcome,
+            },
+        );
+    }
+
+    fn span_note(&mut self, now: SimInstant, scan: &str, span: SpanId, key: &str, value: &str) {
+        self.orch.record_span(
+            scan,
+            TraceEvent::Note {
+                scan: scan.to_string(),
+                span,
+                at: now,
+                key: key.to_string(),
+                value: value.to_string(),
+            },
+        );
+    }
+
+    /// Close the queue-wait span of a resolved facility op. On success
+    /// the in-job runtime journaled at submit time splits the interval:
+    /// queue-wait ends (and a synthesized recon span starts) at
+    /// `at - runtime`. Returns the closed span so failure paths can
+    /// thread it as the redirect parent.
+    fn resolve_op_span(
+        &mut self,
+        op: u64,
+        scan: &str,
+        at: SimInstant,
+        outcome: SpanOutcome,
+    ) -> Option<SpanId> {
+        let (span, submitted, runtime) = self.op_spans.remove(&op)?;
+        if outcome == SpanOutcome::Ok {
+            let qend = submitted.max(at - runtime);
+            self.span_end(qend, scan, span, SpanOutcome::Ok);
+            let fac = Facility::decode_op(op)
+                .map(|(f, _)| f.name())
+                .unwrap_or("unknown");
+            let recon = self.span_start(qend, scan, Stage::Recon, fac, None);
+            self.span_end(at, scan, recon, SpanOutcome::Ok);
+        } else {
+            self.span_end(at, scan, span, outcome);
+        }
+        Some(span)
     }
 
     pub fn now(&self) -> SimInstant {
@@ -828,6 +954,8 @@ impl FacilitySim {
             Claim::Run => {}
         }
         self.ledger_begin(&key);
+        let span = self.span_start(now, &scan.name, Stage::Ingest, "als", None);
+        self.ingest_spans.insert(id, span);
         let run = self.orch.create_run(FLOW_NEW_FILE, &scan.name, now);
         self.orch.set_parameter(run, "scan", &scan.name);
         self.orch
@@ -863,6 +991,9 @@ impl FacilitySim {
         }
         let scan = self.scans.get(&id).expect("scan exists").clone();
         self.ingest_worker.remove(&id);
+        if let Some(span) = self.ingest_spans.remove(&id) {
+            self.span_end(now, &scan.name, span, SpanOutcome::Ok);
+        }
         if let Some(&run) = self.newfile_runs.get(&id) {
             if self.orch.run(run).is_some_and(|r| !r.state.is_terminal()) {
                 self.orch.finish_run(run, FlowState::Completed, now);
@@ -950,6 +1081,12 @@ impl FacilitySim {
                 .submit_labeled(self.ep_als, dst, scan.size, opts, now, Some(ctx.clone()));
         self.transfer_map
             .insert(task, (id, branch, Leg::ToHpc, exec));
+        let parent = self.redirect_parent.remove(&(id, bk));
+        let span = self.span_start(now, &scan.name, Stage::Transfer, exec.name(), parent);
+        self.transfer_spans.insert(task, span);
+        if let Some(note) = self.pending_route_note.remove(&(id, bk)) {
+            self.span_note(now, &scan.name, span, "route", &note);
+        }
         if let Some(&run) = self.branch_runs.get(&(id, bk)) {
             self.orch
                 .start_task(run, "globus_copy_to_hpc", Some(&key), now);
@@ -1042,6 +1179,11 @@ impl FacilitySim {
                 .cloned()
                 .unwrap_or_default();
             if let Some(target) = self.router.select(home, &visited, &cands, now) {
+                if let Some(d) = self.router.decisions().last() {
+                    // satellite: the decision audit rides the trace as a
+                    // Note on the branch's next transfer span
+                    self.pending_route_note.insert((id, bk), d.note_value());
+                }
                 if target != home {
                     let rec = self.router.recoveries(home);
                     self.route_history
@@ -1083,6 +1225,9 @@ impl FacilitySim {
                     if let Some(d) = self.transfer.task_duration(task) {
                         self.monitor.record(at, size, d);
                     }
+                    if let Some(span) = self.transfer_spans.remove(&task) {
+                        self.span_end(at, &scan.name, span, SpanOutcome::Ok);
+                    }
                     match leg {
                         Leg::ToHpc => {
                             let key = self.copy_key(id, branch, fac);
@@ -1114,6 +1259,11 @@ impl FacilitySim {
                         };
                         self.orch.release(&key);
                         self.ledger_abort(&key);
+                        if let Some(span) = self.transfer_spans.remove(&task) {
+                            let name = self.scan_name(id);
+                            self.span_end(at, &name, span, SpanOutcome::Failed);
+                            self.redirect_parent.insert((id, branch_key(branch)), span);
+                        }
                         self.branch_failed(at, id, branch);
                     }
                 }
@@ -1197,6 +1347,9 @@ impl FacilitySim {
         match self.fac_mut(exec).reconstruct(&spec, now) {
             Ok(sub) => {
                 self.op_map.insert(sub.op, (id, branch));
+                let parent = self.redirect_parent.remove(&(id, branch_key(branch)));
+                let span = self.span_start(now, &scan.name, Stage::QueueWait, exec.name(), parent);
+                self.op_spans.insert(sub.op, (span, now, runtime));
                 if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
                     self.orch.start_task(run, task_name, Some(&key), now);
                     self.orch.external_submitted(kind, sub.op, run, &ctx);
@@ -1250,13 +1403,18 @@ impl FacilitySim {
             let kind = self.fac(f).external_kind();
             self.orch.external_resolved(kind, ev.op);
             let key = self.exec_key(id, branch, f);
+            let name = self.scan_name(id);
             if ev.ok && !self.rolls_transient_failure() {
                 self.router.record_success(f);
+                self.resolve_op_span(ev.op, &name, at, SpanOutcome::Ok);
                 self.orch.complete(&key);
                 self.ledger_done(&key);
                 self.orch.commit_key(&key);
                 self.step_back(at, id, branch);
             } else {
+                if let Some(span) = self.resolve_op_span(ev.op, &name, at, SpanOutcome::Failed) {
+                    self.redirect_parent.insert((id, branch_key(branch)), span);
+                }
                 self.orch.release(&key);
                 self.ledger_abort(&key);
                 self.branch_failed(at, id, branch);
@@ -1293,6 +1451,10 @@ impl FacilitySim {
         let key = self.exec_key(id, branch, f);
         self.orch.release(&key);
         self.ledger_abort(&key);
+        let name = self.scan_name(id);
+        if let Some(span) = self.resolve_op_span(op, &name, now, SpanOutcome::Cancelled) {
+            self.redirect_parent.insert((id, branch_key(branch)), span);
+        }
         if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
             self.orch
                 .start_task(run, "remote_cancel_stranded_job", None, now);
@@ -1344,6 +1506,8 @@ impl FacilitySim {
         );
         self.transfer_map
             .insert(task, (id, branch, Leg::Back, exec));
+        let span = self.span_start(now, &scan.name, Stage::BackTransfer, exec.name(), None);
+        self.transfer_spans.insert(task, span);
         if let Some(&run) = self.branch_runs.get(&(id, bk)) {
             self.orch
                 .start_task(run, "globus_copy_back", Some(&key), now);
@@ -1382,6 +1546,9 @@ impl FacilitySim {
             let target = self.router.select(home, &visited, &cands, now);
             self.route_history.insert((id, bk), visited);
             if let Some(target) = target {
+                if let Some(d) = self.router.decisions().last() {
+                    self.pending_route_note.insert((id, bk), d.note_value());
+                }
                 self.failover_count += 1;
                 self.exec_site.insert((id, bk), target);
                 self.record_route(now, id, branch, target, true);
@@ -1440,6 +1607,10 @@ impl FacilitySim {
                 self.orch.finish_run(run, FlowState::Completed, now);
             }
             if self.branch_completed.insert((id, bk)) {
+                // catalogue/archive registration: instantaneous in the
+                // sim, but the span pins the scan's completion point
+                let span = self.span_start(now, &scan.name, Stage::Catalog, "als", None);
+                self.span_end(now, &scan.name, span, SpanOutcome::Ok);
                 self.completed_scans += 1;
                 if let Some(&start) = self.scan_started.get(&id) {
                     self.branch_latencies
@@ -1470,7 +1641,12 @@ impl FacilitySim {
                 let key = self.exec_key(id, branch, f);
                 self.orch.release(&key);
                 self.ledger_abort(&key);
-                self.branch_failed(ev.at.max(now), id, branch);
+                let at = ev.at.max(now);
+                let name = self.scan_name(id);
+                if let Some(span) = self.resolve_op_span(ev.op, &name, at, SpanOutcome::Failed) {
+                    self.redirect_parent.insert((id, branch_key(branch)), span);
+                }
+                self.branch_failed(at, id, branch);
             }
             self.schedule_fac_poll(f);
         }
@@ -1593,6 +1769,10 @@ impl FacilitySim {
             let key = self.exec_key(id, branch, f);
             self.orch.release(&key);
             self.ledger_abort(&key);
+            let name = self.scan_name(id);
+            if let Some(span) = self.resolve_op_span(op, &name, now, SpanOutcome::Cancelled) {
+                self.redirect_parent.insert((id, branch_key(branch)), span);
+            }
             if let Some(&run) = self.branch_runs.get(&(id, branch_key(branch))) {
                 self.orch
                     .start_task(run, "remote_cancel_stranded_job", None, now);
@@ -1711,6 +1891,13 @@ impl FacilitySim {
         self.raw_pids.clear();
         self.exec_site.clear();
         self.route_history.clear();
+        // open-span bookkeeping is coordinator memory too; the journaled
+        // events survive and recovery re-adopts what it can
+        self.ingest_spans.clear();
+        self.transfer_spans.clear();
+        self.op_spans.clear();
+        self.redirect_parent.clear();
+        self.pending_route_note.clear();
     }
 
     fn on_crash_end(&mut self, now: SimInstant, _i: usize) {
@@ -1729,6 +1916,7 @@ impl FacilitySim {
                     self.cfg.shard_count.max(1),
                     self.cfg.group_commit_batch,
                 );
+                self.orch.instrument(&self.registry);
                 self.baseline_rescan(now);
             }
         }
@@ -1753,6 +1941,8 @@ impl FacilitySim {
         let (orch, info) =
             ShardedOrchestrator::recover_fleet(wal, holder, now, self.cfg.group_commit_batch);
         self.orch = orch;
+        self.orch.instrument(&self.registry);
+        self.registry.counter("orch_recoveries_total", &[]).inc();
         self.recovery_count += 1;
         self.damaged_shards_seen.extend(info.damaged_shards());
 
@@ -1924,6 +2114,10 @@ impl FacilitySim {
             }
         }
 
+        // re-adopt the journal's open spans before the drains below close
+        // anything: in-flight stages must finish on their original span
+        self.reattach_spans(now);
+
         // drain facility events buffered while the coordinator was dead —
         // re-attached completions/failures flow through the normal paths
         self.on_poll_transfers(now);
@@ -1948,12 +2142,19 @@ impl FacilitySim {
                     let kind = self.fac(f).external_kind();
                     self.orch.external_resolved(kind, op);
                     let key = self.exec_key(id, branch, f);
+                    let name = self.scan_name(id);
                     if self.rolls_transient_failure() {
+                        if let Some(span) =
+                            self.resolve_op_span(op, &name, now, SpanOutcome::Failed)
+                        {
+                            self.redirect_parent.insert((id, branch_key(branch)), span);
+                        }
                         self.orch.release(&key);
                         self.ledger_abort(&key);
                         self.branch_failed(now, id, branch);
                     } else {
                         self.router.record_success(f);
+                        self.resolve_op_span(op, &name, now, SpanOutcome::Ok);
                         self.orch.complete(&key);
                         self.ledger_done(&key);
                         self.step_back(now, id, branch);
@@ -1964,6 +2165,10 @@ impl FacilitySim {
                     let kind = self.fac(f).external_kind();
                     self.orch.external_resolved(kind, op);
                     let key = self.exec_key(id, branch, f);
+                    let name = self.scan_name(id);
+                    if let Some(span) = self.resolve_op_span(op, &name, now, SpanOutcome::Failed) {
+                        self.redirect_parent.insert((id, branch_key(branch)), span);
+                    }
                     self.orch.release(&key);
                     self.ledger_abort(&key);
                     self.branch_failed(now, id, branch);
@@ -1989,6 +2194,10 @@ impl FacilitySim {
                 OpFate::Completed => {
                     self.transfer_map.remove(&task);
                     self.orch.external_resolved(ExternalKind::Transfer, task.0);
+                    if let Some(span) = self.transfer_spans.remove(&task) {
+                        let name = self.scan_name(id);
+                        self.span_end(now, &name, span, SpanOutcome::Ok);
+                    }
                     self.orch.complete(&key);
                     self.ledger_done(&key);
                     self.orch.commit_key(&key);
@@ -2000,6 +2209,11 @@ impl FacilitySim {
                 OpFate::Failed | OpFate::Lost => {
                     self.transfer_map.remove(&task);
                     self.orch.external_resolved(ExternalKind::Transfer, task.0);
+                    if let Some(span) = self.transfer_spans.remove(&task) {
+                        let name = self.scan_name(id);
+                        self.span_end(now, &name, span, SpanOutcome::Failed);
+                        self.redirect_parent.insert((id, branch_key(branch)), span);
+                    }
                     self.orch.release(&key);
                     self.ledger_abort(&key);
                     self.branch_failed(now, id, branch);
@@ -2071,6 +2285,93 @@ impl FacilitySim {
             }
             self.queue.schedule_at(now, Ev::NewFileDone(id, self.epoch));
             self.degraded_scans.insert(id.0);
+        }
+    }
+
+    /// Re-adopt open spans from the replayed journal. The new
+    /// incarnation resumes the span allocator above the highest
+    /// journaled id, then re-links every open span to the dispatch
+    /// tables `recover_durable` just rebuilt — matched by (scan, stage,
+    /// facility) — so in-flight stages close on their original span when
+    /// their op resolves. Open spans with no surviving op or transfer
+    /// are closed `Cancelled`.
+    fn reattach_spans(&mut self, now: SimInstant) {
+        let traces = self.orch.merged_traces();
+        self.next_span = self
+            .next_span
+            .max(traces.max_span_id().map_or(0, |m| m + 1));
+        let by_name: BTreeMap<String, ScanId> = self
+            .scans
+            .iter()
+            .map(|(&id, s)| (s.name.clone(), id))
+            .collect();
+        // live externals by trace coordinates (leg: 0 = to-HPC, 1 = back)
+        let mut live_tx: BTreeMap<(ScanId, u8, String), Vec<TaskId>> = BTreeMap::new();
+        for (&task, &(id, _b, leg, fac)) in &self.transfer_map {
+            let leg = match leg {
+                Leg::ToHpc => 0u8,
+                Leg::Back => 1,
+            };
+            live_tx
+                .entry((id, leg, fac.name().to_string()))
+                .or_default()
+                .push(task);
+        }
+        let mut live_ops: BTreeMap<(ScanId, String), Vec<u64>> = BTreeMap::new();
+        for (&op, &(id, _b)) in &self.op_map {
+            if let Some((f, _)) = Facility::decode_op(op) {
+                live_ops
+                    .entry((id, f.name().to_string()))
+                    .or_default()
+                    .push(op);
+            }
+        }
+        let mut orphans: Vec<(String, SpanId)> = Vec::new();
+        for trace in traces.scans() {
+            let Some(&id) = by_name.get(&trace.scan) else {
+                continue;
+            };
+            for span in trace.spans.iter().filter(|s| !s.is_closed()) {
+                match span.stage {
+                    Stage::Ingest => {
+                        // completion is driven by the surviving staging
+                        // worker (or evidence healing), which re-fires
+                        // NewFileDone and closes this span
+                        self.ingest_spans.insert(id, span.id);
+                    }
+                    Stage::Transfer | Stage::BackTransfer => {
+                        let leg = if span.stage == Stage::Transfer { 0 } else { 1 };
+                        let slot = live_tx
+                            .get_mut(&(id, leg, span.facility.clone()))
+                            .and_then(Vec::pop);
+                        match slot {
+                            Some(task) => {
+                                self.transfer_spans.insert(task, span.id);
+                            }
+                            None => orphans.push((trace.scan.clone(), span.id)),
+                        }
+                    }
+                    Stage::QueueWait => {
+                        let slot = live_ops
+                            .get_mut(&(id, span.facility.clone()))
+                            .and_then(Vec::pop);
+                        match slot {
+                            Some(op) => {
+                                // the expected in-job runtime died with
+                                // the old incarnation: attribute the
+                                // whole interval to queue-wait
+                                self.op_spans
+                                    .insert(op, (span.id, span.start, SimDuration::ZERO));
+                            }
+                            None => orphans.push((trace.scan.clone(), span.id)),
+                        }
+                    }
+                    _ => orphans.push((trace.scan.clone(), span.id)),
+                }
+            }
+        }
+        for (scan, span) in orphans {
+            self.span_end(now, &scan, span, SpanOutcome::Cancelled);
         }
     }
 

@@ -20,6 +20,7 @@ use crate::Facility;
 use als_hpc::{BreakerConfig, BreakerState, CircuitBreaker};
 use als_orchestrator::RetryPolicy;
 use als_simcore::{SimDuration, SimInstant};
+use als_telemetry::{Counter, Histogram, Registry};
 use std::collections::BTreeMap;
 
 /// Routing policy.
@@ -99,6 +100,35 @@ pub struct RouteDecision {
     pub hop: usize,
 }
 
+impl RouteDecision {
+    /// Render the decision as a span-note value, so the audit log entry
+    /// travels with the scan's trace (`key = "router"`).
+    pub fn note_value(&self) -> String {
+        format!(
+            "home={} chosen={} breaker={:?} heartbeat_stale={} hop={}",
+            self.home.name(),
+            self.chosen.name(),
+            self.breaker_state,
+            self.heartbeat_stale,
+            self.hop
+        )
+    }
+}
+
+/// Interned registry handles for the routing hot path.
+#[derive(Debug, Clone)]
+struct RouterMetrics {
+    decisions: Counter,
+    redirects: Counter,
+    no_route: Counter,
+    hops: Histogram,
+    /// Selections per chosen facility, keyed by `Facility::key()`.
+    chosen: [Counter; 3],
+    /// Candidates rejected as inadmissible per facility (open breaker,
+    /// stale heartbeat, unroutable, or epoch-blocked).
+    inadmissible: [Counter; 3],
+}
+
 #[derive(Debug)]
 struct FacEntry {
     breaker: CircuitBreaker,
@@ -118,6 +148,7 @@ pub struct Router {
     cfg: RouterConfig,
     facs: BTreeMap<Facility, FacEntry>,
     decisions: Vec<RouteDecision>,
+    metrics: Option<RouterMetrics>,
 }
 
 impl Router {
@@ -141,6 +172,37 @@ impl Router {
             cfg,
             facs,
             decisions: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Attach registry handles: decision/redirect/no-route counters, the
+    /// hop-depth histogram, and per-facility chosen/inadmissible
+    /// counters. Pre-attach decisions back-fill the audit counters.
+    pub fn instrument(&mut self, registry: &Registry) {
+        let fac = |name: &str, f: Facility| registry.counter(name, &[("facility", f.name())]);
+        let m = RouterMetrics {
+            decisions: registry.counter("router_decisions_total", &[]),
+            redirects: registry.counter("router_redirects_total", &[]),
+            no_route: registry.counter("router_no_route_total", &[]),
+            hops: registry.histogram("router_hops", &[]),
+            chosen: Facility::ALL.map(|f| fac("router_chosen_total", f)),
+            inadmissible: Facility::ALL.map(|f| fac("router_inadmissible_total", f)),
+        };
+        for d in &self.decisions {
+            m.decisions.inc();
+            m.hops.record(d.hop as u64);
+            if d.hop > 0 {
+                m.redirects.inc();
+            }
+            m.chosen[d.chosen.key() as usize].inc();
+        }
+        self.metrics = Some(m);
+    }
+
+    fn note_inadmissible(&self, f: Facility) {
+        if let Some(m) = &self.metrics {
+            m.inadmissible[f.key() as usize].inc();
         }
     }
 
@@ -239,7 +301,21 @@ impl Router {
         let chosen = match self.cfg.mode {
             RouterMode::OneShot => self.select_one_shot(home, hop, candidates, now),
             RouterMode::CostAware => self.select_cost_aware(home, visited, candidates),
-        }?;
+        };
+        let Some(chosen) = chosen else {
+            if let Some(m) = &self.metrics {
+                m.no_route.inc();
+            }
+            return None;
+        };
+        if let Some(m) = &self.metrics {
+            m.decisions.inc();
+            m.hops.record(hop as u64);
+            if hop > 0 {
+                m.redirects.inc();
+            }
+            m.chosen[chosen.key() as usize].inc();
+        }
         let view = candidates
             .iter()
             .find(|c| c.facility == chosen)
@@ -315,10 +391,12 @@ impl Router {
             if admissible(self, c) {
                 return Some(home);
             }
+            self.note_inadmissible(home);
         }
         let mut best: Option<(f64, Facility)> = None;
         for c in candidates.iter().filter(|c| c.facility != home) {
             if !admissible(self, c) {
+                self.note_inadmissible(c.facility);
                 continue;
             }
             let cost = c.cost();
@@ -594,6 +672,50 @@ mod tests {
             r.select(Facility::Nersc, &[], &cands, t2),
             Some(Facility::Nersc)
         );
+    }
+
+    #[test]
+    fn router_metrics_count_decisions_redirects_and_rejections() {
+        let registry = als_telemetry::Registry::new();
+        let mut r = Router::new(small_cfg(RouterMode::CostAware), &Facility::ALL);
+        let now = SimInstant::ZERO;
+        let cands = [
+            view(Facility::Nersc, 60.0, 10.0),
+            view(Facility::Alcf, 60.0, 30.0),
+            view(Facility::Olcf, 900.0, 33.0),
+        ];
+        // one pre-attach decision back-fills the counters
+        assert_eq!(
+            r.select(Facility::Nersc, &[], &cands, now),
+            Some(Facility::Nersc)
+        );
+        r.instrument(&registry);
+        // redirect: NERSC down, branch hops to ALCF
+        trip(&mut r, Facility::Nersc, now);
+        assert_eq!(
+            r.select(Facility::Nersc, &[(Facility::Nersc, 0)], &cands, now),
+            Some(Facility::Alcf)
+        );
+        // every facility down or visited: no route
+        trip(&mut r, Facility::Alcf, now);
+        trip(&mut r, Facility::Olcf, now);
+        assert_eq!(
+            r.select(Facility::Nersc, &[(Facility::Nersc, 0)], &cands, now),
+            None
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["router_decisions_total"], 2);
+        assert_eq!(snap.counters["router_redirects_total"], 1);
+        assert_eq!(snap.counters["router_no_route_total"], 1);
+        assert_eq!(snap.counters["router_chosen_total{facility=\"nersc\"}"], 1);
+        assert_eq!(snap.counters["router_chosen_total{facility=\"alcf\"}"], 1);
+        assert!(snap.counters["router_inadmissible_total{facility=\"nersc\"}"] >= 1);
+        assert_eq!(snap.histograms["router_hops"].count, 2);
+        assert_eq!(snap.histograms["router_hops"].max, Some(1));
+        // the audit entry renders as a span note
+        let d = r.decisions().last().unwrap();
+        assert!(d.note_value().contains("chosen=alcf"));
+        assert!(d.note_value().contains("hop=1"));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! exposes the aggregates a dashboard would plot.
 
 use als_simcore::{ByteSize, DataRate, OnlineStats, SimDuration, SimInstant};
+use als_telemetry::{Counter, Histogram, Registry};
 
 /// One completed-transfer observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,11 +32,50 @@ pub struct BandwidthMonitor {
     samples: Vec<TransferSample>,
     gbps_stats: OnlineStats,
     total_bytes: ByteSize,
+    metrics: Option<MonitorMetrics>,
+}
+
+/// Interned registry handles mirroring the monitor into the fleet
+/// registry, so transfer throughput shows up on the same snapshot as
+/// every other subsystem.
+#[derive(Debug, Clone)]
+struct MonitorMetrics {
+    transfers: Counter,
+    bytes: Counter,
+    duration_us: Histogram,
+    /// Per-transfer throughput in millibits-per-second × 10⁶ (mGbps),
+    /// integer-quantized for the log-bucket histogram.
+    gbps_milli: Histogram,
 }
 
 impl BandwidthMonitor {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach registry handles (`globus_transfers_total`,
+    /// `globus_transfer_bytes_total`, `globus_transfer_duration_us`,
+    /// `globus_transfer_gbps_milli`). Pre-attach samples are folded in,
+    /// so late attachment loses nothing.
+    pub fn instrument(&mut self, registry: &Registry) {
+        let m = MonitorMetrics {
+            transfers: registry.counter("globus_transfers_total", &[]),
+            bytes: registry.counter("globus_transfer_bytes_total", &[]),
+            duration_us: registry.histogram("globus_transfer_duration_us", &[]),
+            gbps_milli: registry.histogram("globus_transfer_gbps_milli", &[]),
+        };
+        for s in &self.samples {
+            Self::export(&m, s);
+        }
+        self.metrics = Some(m);
+    }
+
+    fn export(m: &MonitorMetrics, s: &TransferSample) {
+        m.transfers.inc();
+        m.bytes.add(s.bytes.as_bytes());
+        m.duration_us.record(s.duration.as_micros());
+        m.gbps_milli
+            .record((s.throughput().as_gbit_per_sec() * 1e3).round().max(0.0) as u64);
     }
 
     /// Record a completed transfer.
@@ -47,6 +87,9 @@ impl BandwidthMonitor {
         };
         self.gbps_stats.push(s.throughput().as_gbit_per_sec());
         self.total_bytes += bytes;
+        if let Some(m) = &self.metrics {
+            Self::export(m, &s);
+        }
         self.samples.push(s);
     }
 
@@ -178,6 +221,37 @@ mod tests {
         assert_eq!(h.len(), 2);
         assert_eq!(h[0].1, ByteSize::from_gib(3));
         assert_eq!(h[1].1, ByteSize::from_gib(4));
+    }
+
+    #[test]
+    fn monitor_folds_into_the_registry_with_backfill() {
+        let registry = Registry::new();
+        let mut m = BandwidthMonitor::new();
+        // pre-attach sample: 10 GiB in 10 s ≈ 8.59 Gbps
+        m.record(
+            SimInstant::ZERO,
+            ByteSize::from_gib(10),
+            SimDuration::from_secs(10),
+        );
+        m.instrument(&registry);
+        m.record(
+            SimInstant::ZERO + SimDuration::from_mins(1),
+            ByteSize::from_gib(20),
+            SimDuration::from_secs(40),
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["globus_transfers_total"], 2);
+        assert_eq!(
+            snap.counters["globus_transfer_bytes_total"],
+            ByteSize::from_gib(30).as_bytes()
+        );
+        let gbps = &snap.histograms["globus_transfer_gbps_milli"];
+        assert_eq!(gbps.count, 2);
+        assert_eq!(gbps.max, Some(8590), "8.59 Gbps quantized to milli-units");
+        assert_eq!(
+            snap.histograms["globus_transfer_duration_us"].max,
+            Some(40_000_000)
+        );
     }
 
     #[test]

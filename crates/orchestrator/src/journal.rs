@@ -22,6 +22,7 @@
 use crate::engine::{FlowState, TaskState};
 use als_scidata::checksum::crc32;
 use als_simcore::{SimDuration, SimInstant};
+use als_telemetry::{Counter, Histogram, Registry, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Kinds of external operations the orchestrator hands off to facility
@@ -139,6 +140,31 @@ pub enum JournalRecord {
         kind: ExternalKind,
         handle: u64,
     },
+    /// A trace span mutation (start/end/note). Spans ride the WAL next
+    /// to the state records, so crash recovery replays them into the
+    /// identical trace store the dead incarnation had.
+    SpanEvent {
+        ev: TraceEvent,
+    },
+}
+
+impl JournalRecord {
+    /// The simulation-clock timestamp the record carries, if any.
+    /// Group-commit latency is measured against these — telemetry never
+    /// reads the wall clock.
+    pub fn timestamp(&self) -> Option<SimInstant> {
+        match self {
+            JournalRecord::IncarnationStarted { at, .. }
+            | JournalRecord::FlowCreated { at, .. }
+            | JournalRecord::FlowStarted { at, .. }
+            | JournalRecord::FlowFinished { at, .. }
+            | JournalRecord::TaskStarted { at, .. }
+            | JournalRecord::TaskFinished { at, .. }
+            | JournalRecord::TaskRetried { at, .. } => Some(*at),
+            JournalRecord::SpanEvent { ev } => Some(ev.at()),
+            _ => None,
+        }
+    }
 }
 
 /// What replay found at the end of the journal.
@@ -203,6 +229,16 @@ pub struct Journal {
     /// Offset in `buf` where the most recent durable write began; a
     /// crash racing that write can tear anywhere past this point.
     last_write_start: usize,
+    /// Registry handles, attached by [`Journal::instrument`].
+    metrics: Option<JournalMetrics>,
+}
+
+/// Interned registry handles for the journal write path.
+#[derive(Debug, Clone)]
+struct JournalMetrics {
+    records: Counter,
+    flushes: Counter,
+    flush_batch: Histogram,
 }
 
 fn frame_crc(seq: u64, payload: &str) -> u32 {
@@ -227,6 +263,22 @@ impl Journal {
         self.batch
     }
 
+    /// Attach registry handles: `orch_journal_records_total`,
+    /// `orch_journal_flushes_total` (durable write operations), and
+    /// `orch_journal_flush_batch_records` (records per durable write).
+    /// Pre-attach history back-fills the counters; per-write batch sizes
+    /// from before attachment are gone.
+    pub fn instrument(&mut self, registry: &Registry) {
+        let m = JournalMetrics {
+            records: registry.counter("orch_journal_records_total", &[]),
+            flushes: registry.counter("orch_journal_flushes_total", &[]),
+            flush_batch: registry.histogram("orch_journal_flush_batch_records", &[]),
+        };
+        m.records.add(self.next_seq);
+        m.flushes.add(self.writes);
+        self.metrics = Some(m);
+    }
+
     /// Append one record. Must be called *before* applying the mutation
     /// it describes (write-ahead discipline). In group-commit mode the
     /// frame is buffered and becomes durable at the next flush.
@@ -235,10 +287,17 @@ impl Journal {
         let crc = frame_crc(self.next_seq, &payload);
         let line = format!("{:016x} {:08x} {}\n", self.next_seq, crc, payload);
         self.next_seq += 1;
+        if let Some(m) = &self.metrics {
+            m.records.inc();
+        }
         if self.batch <= 1 {
             self.last_write_start = self.buf.len();
             self.buf.extend_from_slice(line.as_bytes());
             self.writes += 1;
+            if let Some(m) = &self.metrics {
+                m.flushes.inc();
+                m.flush_batch.record(1);
+            }
         } else {
             self.pending.extend_from_slice(line.as_bytes());
             self.pending_records += 1;
@@ -258,8 +317,13 @@ impl Journal {
         }
         self.last_write_start = self.buf.len();
         self.buf.append(&mut self.pending);
+        let batch = self.pending_records;
         self.pending_records = 0;
         self.writes += 1;
+        if let Some(m) = &self.metrics {
+            m.flushes.inc();
+            m.flush_batch.record(batch);
+        }
         true
     }
 
@@ -598,6 +662,60 @@ mod tests {
         let image = j.crash_image_mid_flush(500);
         let (decoded, _) = Journal::replay_bytes(&image);
         assert!(decoded.len() >= 4, "durable batch survives the torn flush");
+    }
+
+    #[test]
+    fn span_events_frame_like_any_other_record() {
+        use als_telemetry::{SpanOutcome, Stage};
+        let mut j = Journal::new();
+        let evs = [
+            JournalRecord::SpanEvent {
+                ev: TraceEvent::Start {
+                    scan: "scan_0001".into(),
+                    span: 0,
+                    parent: None,
+                    stage: Stage::Transfer,
+                    facility: "nersc".into(),
+                    at: t(10),
+                },
+            },
+            JournalRecord::SpanEvent {
+                ev: TraceEvent::End {
+                    scan: "scan_0001".into(),
+                    span: 0,
+                    at: t(95),
+                    outcome: SpanOutcome::Ok,
+                },
+            },
+        ];
+        for e in &evs {
+            j.append(e);
+        }
+        assert_eq!(evs[0].timestamp(), Some(t(10)));
+        let (decoded, report) = Journal::replay_bytes(j.bytes());
+        assert!(report.is_clean());
+        assert_eq!(decoded, evs);
+    }
+
+    #[test]
+    fn instrumented_journal_reports_flush_batch_sizes() {
+        let registry = Registry::new();
+        let mut j = Journal::new();
+        j.append(&sample_records()[0]); // pre-attach history
+        j.instrument(&registry);
+        j.set_group_commit(3);
+        for r in &sample_records()[..5] {
+            j.append(r); // one auto-flush of 3, then 2 pending
+        }
+        assert!(j.flush(), "barrier drains the remaining 2");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["orch_journal_records_total"], 6);
+        // 1 back-filled immediate write + batch of 3 + barrier of 2
+        assert_eq!(snap.counters["orch_journal_flushes_total"], 3);
+        let h = &snap.histograms["orch_journal_flush_batch_records"];
+        assert_eq!(h.count, 2, "only post-attach flushes have batch sizes");
+        assert_eq!(h.min, Some(2));
+        assert_eq!(h.max, Some(3));
     }
 
     #[test]

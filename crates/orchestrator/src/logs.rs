@@ -6,11 +6,18 @@
 //! that database: per-run, timestamped, leveled log records with tail
 //! subscriptions (the "update in real-time" part) and text search for
 //! debugging sessions.
+//!
+//! A real campaign logs for days, so the store is bounded: a retention
+//! cap evicts the oldest records first. Record positions are *global*
+//! indices (never reused), so `by_run` stays consistent across eviction
+//! and tail cursors survive it; evictions are counted and surfaced as a
+//! telemetry counter.
 
 use crate::engine::FlowRunId;
 use als_simcore::SimInstant;
+use als_telemetry::{Counter, Registry};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Log severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -30,30 +37,92 @@ pub struct LogRecord {
     pub message: String,
 }
 
-/// The log database.
+/// The log database. Bounded: at most `retention` records are held,
+/// oldest evicted first.
 #[derive(Debug, Default)]
 pub struct LogStore {
-    records: Vec<LogRecord>,
-    by_run: BTreeMap<FlowRunId, Vec<usize>>,
+    records: VecDeque<LogRecord>,
+    /// Global index of `records[0]` — indices are assigned once and never
+    /// reused, so `by_run` entries and tail cursors survive eviction.
+    base: usize,
+    by_run: BTreeMap<FlowRunId, VecDeque<usize>>,
+    /// `None` = unbounded (the pre-cap behaviour, tests only).
+    retention: Option<usize>,
+    dropped: u64,
+    dropped_counter: Option<Counter>,
 }
+
+/// Default retention: roughly a week of a busy beamline's log volume.
+pub const DEFAULT_LOG_RETENTION: usize = 100_000;
 
 impl LogStore {
     pub fn new() -> Self {
-        Self::default()
+        LogStore {
+            retention: Some(DEFAULT_LOG_RETENTION),
+            ..Default::default()
+        }
     }
 
-    /// Append a record.
+    /// A store keeping at most `cap` records (`0` is rejected).
+    pub fn with_retention(cap: usize) -> Self {
+        assert!(cap > 0, "retention cap must be positive");
+        LogStore {
+            retention: Some(cap),
+            ..Default::default()
+        }
+    }
+
+    /// An unbounded store.
+    pub fn unbounded() -> Self {
+        LogStore {
+            retention: None,
+            ..Default::default()
+        }
+    }
+
+    /// Surface evictions as `orch_log_records_dropped_total`.
+    pub fn instrument(&mut self, registry: &Registry) {
+        let c = registry.counter("orch_log_records_dropped_total", &[]);
+        c.add(self.dropped); // back-fill evictions that predate attachment
+        self.dropped_counter = Some(c);
+    }
+
+    /// Append a record, evicting the oldest if over the cap.
     pub fn log(&mut self, run: FlowRunId, level: LogLevel, at: SimInstant, message: &str) {
-        let idx = self.records.len();
-        self.records.push(LogRecord {
+        let idx = self.base + self.records.len();
+        self.records.push_back(LogRecord {
             at,
             run,
             level,
             message: message.to_string(),
         });
-        self.by_run.entry(run).or_default().push(idx);
+        self.by_run.entry(run).or_default().push_back(idx);
+        if let Some(cap) = self.retention {
+            while self.records.len() > cap {
+                self.evict_oldest();
+            }
+        }
     }
 
+    fn evict_oldest(&mut self) {
+        let Some(rec) = self.records.pop_front() else {
+            return;
+        };
+        if let Some(idxs) = self.by_run.get_mut(&rec.run) {
+            debug_assert_eq!(idxs.front(), Some(&self.base), "index map out of sync");
+            idxs.pop_front();
+            if idxs.is_empty() {
+                self.by_run.remove(&rec.run);
+            }
+        }
+        self.base += 1;
+        self.dropped += 1;
+        if let Some(c) = &self.dropped_counter {
+            c.inc();
+        }
+    }
+
+    /// Records currently held (evicted ones excluded).
     pub fn len(&self) -> usize {
         self.records.len()
     }
@@ -62,11 +131,21 @@ impl LogStore {
         self.records.is_empty()
     }
 
-    /// All records of one run, in order.
+    /// Records evicted by the retention cap since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Fetch by global index (`None` once evicted).
+    fn get(&self, global: usize) -> Option<&LogRecord> {
+        self.records.get(global.checked_sub(self.base)?)
+    }
+
+    /// All *retained* records of one run, in order.
     pub fn for_run(&self, run: FlowRunId) -> Vec<&LogRecord> {
         self.by_run
             .get(&run)
-            .map(|idxs| idxs.iter().map(|&i| &self.records[i]).collect())
+            .map(|idxs| idxs.iter().filter_map(|&i| self.get(i)).collect())
             .unwrap_or_default()
     }
 
@@ -85,12 +164,15 @@ impl LogStore {
     }
 
     /// "Real-time" tail: everything appended since a previously observed
-    /// cursor; returns the records plus the new cursor.
+    /// cursor; returns the records plus the new cursor. Cursors are
+    /// global indices — a subscriber that fell behind the retention
+    /// window resumes at the oldest retained record (having missed the
+    /// evicted ones, which `dropped()` accounts for).
     pub fn tail(&self, cursor: usize) -> (Vec<&LogRecord>, usize) {
-        let new = self.records[cursor.min(self.records.len())..]
-            .iter()
-            .collect();
-        (new, self.records.len())
+        let end = self.base + self.records.len();
+        let from = cursor.clamp(self.base, end) - self.base;
+        let new = self.records.iter().skip(from).collect();
+        (new, end)
     }
 
     /// Error counts per run — the dashboard's red-badge column.
@@ -168,6 +250,77 @@ mod tests {
         assert_eq!(next[0].message, "b");
         let (empty, _) = store.tail(cursor2);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn retention_cap_evicts_oldest_and_keeps_by_run_consistent() {
+        let mut store = LogStore::with_retention(3);
+        let a = FlowRunId(1);
+        let b = FlowRunId(2);
+        store.log(a, LogLevel::Info, t(0), "a0");
+        store.log(b, LogLevel::Info, t(1), "b0");
+        store.log(a, LogLevel::Info, t(2), "a1");
+        store.log(a, LogLevel::Info, t(3), "a2"); // evicts a0
+        store.log(b, LogLevel::Info, t(4), "b1"); // evicts b0
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.dropped(), 2);
+        let logs_a = store.for_run(a);
+        assert_eq!(
+            logs_a
+                .iter()
+                .map(|r| r.message.as_str())
+                .collect::<Vec<_>>(),
+            ["a1", "a2"],
+            "evicted records vanish from the per-run view"
+        );
+        let logs_b = store.for_run(b);
+        assert_eq!(logs_b.len(), 1);
+        assert_eq!(logs_b[0].message, "b1");
+        // evicting a run's last record drops its index entry entirely
+        let mut tiny = LogStore::with_retention(1);
+        tiny.log(a, LogLevel::Info, t(0), "only");
+        tiny.log(b, LogLevel::Info, t(1), "new");
+        assert!(tiny.for_run(a).is_empty());
+        assert_eq!(tiny.for_run(b).len(), 1);
+    }
+
+    #[test]
+    fn tail_cursor_survives_eviction() {
+        let mut store = LogStore::with_retention(2);
+        store.log(FlowRunId(0), LogLevel::Info, t(0), "a");
+        let (_, cursor) = store.tail(0);
+        assert_eq!(cursor, 1);
+        // three more appends push the window past the cursor
+        for (i, m) in ["b", "c", "d"].iter().enumerate() {
+            store.log(FlowRunId(0), LogLevel::Info, t(1 + i as u64), m);
+        }
+        let (new, cursor2) = store.tail(cursor);
+        // "b" was evicted before the subscriber caught up: it resumes at
+        // the oldest retained record
+        assert_eq!(
+            new.iter().map(|r| r.message.as_str()).collect::<Vec<_>>(),
+            ["c", "d"]
+        );
+        assert_eq!(cursor2, 4);
+        assert_eq!(store.dropped(), 2);
+        let (empty, _) = store.tail(cursor2);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn dropped_records_surface_as_a_telemetry_counter() {
+        let registry = als_telemetry::Registry::new();
+        let mut store = LogStore::with_retention(1);
+        store.log(FlowRunId(0), LogLevel::Info, t(0), "pre");
+        store.log(FlowRunId(0), LogLevel::Info, t(1), "evicts pre");
+        store.instrument(&registry); // back-fills the 1 pre-attach drop
+        store.log(FlowRunId(0), LogLevel::Info, t(2), "evicts again");
+        assert_eq!(
+            registry
+                .counter("orch_log_records_dropped_total", &[])
+                .get(),
+            2
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ use als_globus::compute::{ComputeEndpoint, ComputeTaskId, ComputeTaskState};
 use als_globus::transfer::{TaskId, TaskStatus, TransferService};
 use als_hpc::scheduler::{JobId, JobState, Scheduler};
 use als_simcore::{SimDuration, SimInstant};
+use als_telemetry::{Counter, Histogram, Registry, TraceEvent, TraceStore};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An external operation the journal believes is still in flight.
@@ -79,6 +80,26 @@ pub struct DurableOrchestrator {
     /// re-attachable operations from true orphans whose submission
     /// record was destroyed with the journal tail.
     seen_external: BTreeSet<(ExternalKind, u64)>,
+    /// Projection of journaled `SpanEvent` records — rebuilt by replay,
+    /// so traces survive a crash exactly like the engine state does.
+    traces: TraceStore,
+    /// Record-carried timestamp of the oldest frame still pending in the
+    /// group-commit buffer (None when the journal is drained).
+    pending_since: Option<SimInstant>,
+    /// Latest record-carried timestamp seen — the shard's notion of
+    /// "now" without ever reading a wall clock.
+    last_now: Option<SimInstant>,
+    metrics: Option<OrchMetrics>,
+}
+
+/// Interned registry handles for the durable core.
+#[derive(Debug, Clone)]
+struct OrchMetrics {
+    /// Age (µs, record timestamps) of the oldest pending frame when its
+    /// flush finally lands — the durability lag group commit trades for
+    /// fewer writes.
+    group_commit_latency: Histogram,
+    span_events: Counter,
 }
 
 impl DurableOrchestrator {
@@ -143,17 +164,57 @@ impl DurableOrchestrator {
         &mut self.journal
     }
 
+    /// Attach registry handles to this shard: the journal write metrics
+    /// plus `orch_group_commit_latency_us` and `orch_span_events_total`.
+    /// Handles are shared cells, so instrumenting a fleet's shards with
+    /// one registry yields fleet totals.
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.journal.instrument(registry);
+        let m = OrchMetrics {
+            group_commit_latency: registry.histogram("orch_group_commit_latency_us", &[]),
+            span_events: registry.counter("orch_span_events_total", &[]),
+        };
+        m.span_events.add(self.traces.events_applied());
+        self.metrics = Some(m);
+    }
+
     /// Write-ahead: append the record, then apply it. Apply is the same
     /// function replay uses, which is what makes recovery exact.
     fn record(&mut self, rec: JournalRecord) {
+        if let Some(at) = rec.timestamp() {
+            self.last_now = Some(self.last_now.map_or(at, |n| n.max(at)));
+        }
         self.journal.append(&rec);
+        self.note_durability();
         self.apply(&rec);
+    }
+
+    /// Group-commit latency bookkeeping, on record-carried `SimInstant`s
+    /// only (telemetry never reads the wall clock): stamp the oldest
+    /// pending frame's time, and when the journal drains — batch-bound
+    /// auto-flush or explicit barrier — record how long it sat pending.
+    fn note_durability(&mut self) {
+        if self.journal.pending_records() == 0 {
+            if let (Some(m), Some(since), Some(now)) =
+                (&self.metrics, self.pending_since, self.last_now)
+            {
+                m.group_commit_latency
+                    .record(now.duration_since(since).as_micros());
+            }
+            self.pending_since = None;
+        } else if self.pending_since.is_none() {
+            self.pending_since = self.last_now;
+        }
     }
 
     /// Commit barrier: force any pending group-commit frames into the
     /// durable image. A no-op in immediate mode.
     pub fn commit(&mut self) -> bool {
-        self.journal.flush()
+        let flushed = self.journal.flush();
+        if flushed {
+            self.note_durability();
+        }
+        flushed
     }
 
     fn apply(&mut self, rec: &JournalRecord) {
@@ -233,6 +294,12 @@ impl DurableOrchestrator {
             }
             JournalRecord::ExternalResolved { kind, handle } => {
                 self.open_external.remove(&(*kind, *handle));
+            }
+            JournalRecord::SpanEvent { ev } => {
+                if let Some(m) = &self.metrics {
+                    m.span_events.inc();
+                }
+                self.traces.apply(ev);
             }
         }
     }
@@ -395,6 +462,20 @@ impl DurableOrchestrator {
         });
     }
 
+    // ----- journaled trace spans ---------------------------------------
+
+    /// Journal a trace span event. Spans ride the WAL next to the state
+    /// records, so recovery replays them into the identical trace store
+    /// (and therefore the identical latency report).
+    pub fn record_span(&mut self, ev: TraceEvent) {
+        self.record(JournalRecord::SpanEvent { ev });
+    }
+
+    /// The journaled-span projection.
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
     // ----- external-operation ledger -----------------------------------
 
     /// Record that an external operation (job/transfer/invocation) was
@@ -416,7 +497,9 @@ impl DurableOrchestrator {
             run: run.0,
             ctx: ctx.to_string(),
         });
-        self.journal.flush();
+        if self.journal.flush() {
+            self.note_durability();
+        }
     }
 
     /// Record that the operation reached a terminal state (success or
@@ -716,6 +799,77 @@ mod tests {
         let (rec2, info2) = DurableOrchestrator::recover(rec.journal().bytes(), "orch-2", t(300));
         assert!(info2.tail.is_clean());
         assert_eq!(rec2.engine, rec.engine);
+    }
+
+    #[test]
+    fn journaled_spans_replay_to_the_identical_report() {
+        use als_telemetry::{SpanOutcome, Stage};
+        let scan = "scan_0001";
+        let mut o = DurableOrchestrator::new("orch-0", t(0));
+        let start = |span, parent, stage, fac: &str, at| TraceEvent::Start {
+            scan: scan.into(),
+            span,
+            parent,
+            stage,
+            facility: fac.into(),
+            at,
+        };
+        let end = |span, at, outcome| TraceEvent::End {
+            scan: scan.into(),
+            span,
+            at,
+            outcome,
+        };
+        o.record_span(start(0, None, Stage::Ingest, "als", t(0)));
+        o.record_span(end(0, t(12), SpanOutcome::Ok));
+        // transfer to NERSC fails; the redirect span supersedes it
+        o.record_span(start(1, None, Stage::Transfer, "nersc", t(12)));
+        o.record_span(end(1, t(80), SpanOutcome::Failed));
+        o.record_span(start(2, Some(1), Stage::Transfer, "alcf", t(80)));
+        o.record_span(TraceEvent::Note {
+            scan: scan.into(),
+            span: 2,
+            at: t(80),
+            key: "router".into(),
+            value: "breaker=Open hop=1".into(),
+        });
+        o.record_span(end(2, t(150), SpanOutcome::Ok));
+        let live_report = o.traces().report();
+
+        let (rec, info) = DurableOrchestrator::recover(o.journal().bytes(), "orch-1", t(500));
+        assert!(info.tail.is_clean());
+        assert_eq!(rec.traces(), o.traces(), "replay rebuilds the trace store");
+        assert_eq!(rec.traces().report(), live_report, "…and the report");
+        assert_eq!(
+            rec.traces().max_span_id(),
+            Some(2),
+            "the new incarnation resumes its span allocator above this"
+        );
+        let tr = rec.traces().scan(scan).unwrap();
+        assert_eq!(tr.span(2).unwrap().parent, Some(1));
+        assert_eq!(tr.span(2).unwrap().notes[0].key, "router");
+    }
+
+    #[test]
+    fn group_commit_latency_is_measured_on_record_timestamps() {
+        let registry = Registry::new();
+        let mut o = DurableOrchestrator::shard("orch-0", t(0), 0, 1, 64);
+        o.instrument(&registry);
+        let run = o.create_run("nersc_recon_flow", t(10)); // oldest pending
+        o.start_run(run, t(10));
+        o.finish_run(run, FlowState::Completed, t(25));
+        o.commit(); // barrier at last_now = t(25): 15 s pending
+        let snap = registry.snapshot();
+        let h = &snap.histograms["orch_group_commit_latency_us"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, Some(15_000_000));
+        // submission barrier measures too
+        let run2 = o.create_run("alcf_recon_flow", t(30));
+        o.external_submitted(ExternalKind::Job, 9, run2, "{}");
+        assert_eq!(
+            registry.snapshot().histograms["orch_group_commit_latency_us"].count,
+            2
+        );
     }
 
     #[test]

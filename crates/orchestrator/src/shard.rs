@@ -31,6 +31,7 @@ use crate::idempotency::Claim;
 use crate::journal::ExternalKind;
 use crate::recovery::{DurableOrchestrator, PendingOp, PendingRetry, RecoveryInfo};
 use als_simcore::{SimDuration, SimInstant};
+use als_telemetry::{Registry, TraceEvent, TraceStore};
 use std::collections::BTreeSet;
 use std::sync::mpsc;
 use std::thread;
@@ -208,6 +209,42 @@ impl ShardedOrchestrator {
     /// Total durable write operations across the fleet.
     pub fn journal_writes(&self) -> u64 {
         self.shards.iter().map(|s| s.journal().write_count()).sum()
+    }
+
+    /// Attach registry handles to every shard. The handles are shared
+    /// cells, so journal/flush/span metrics read as fleet totals.
+    pub fn instrument(&mut self, registry: &Registry) {
+        for shard in &mut self.shards {
+            shard.instrument(registry);
+        }
+    }
+
+    // ----- journaled trace spans ---------------------------------------
+
+    /// Journal a span event on the shard owning the scan, so a scan's
+    /// spans and its state records share a WAL partition.
+    pub fn record_span(&mut self, key: &str, ev: TraceEvent) {
+        let s = self.shard_of(key);
+        self.shards[s].record_span(ev);
+    }
+
+    /// Fleet-wide trace view: every shard's journaled spans merged.
+    /// Build once per query burst — it clones the spans.
+    pub fn merged_traces(&self) -> TraceStore {
+        let mut merged = TraceStore::new();
+        for shard in &self.shards {
+            merged.merge_from(shard.traces());
+        }
+        merged
+    }
+
+    /// Highest span id journaled anywhere in the fleet — a recovered
+    /// incarnation resumes its span allocator above this.
+    pub fn max_span_id(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.traces().max_span_id())
+            .max()
     }
 
     // ----- idempotency --------------------------------------------------
@@ -656,6 +693,53 @@ mod tests {
             "the completion was pending: fate sweep must re-complete it"
         );
         assert!(rec.run(run).is_some(), "the barrier made the run durable");
+    }
+
+    #[test]
+    fn fleet_traces_route_by_scan_and_survive_recovery() {
+        use als_telemetry::{SpanOutcome, Stage};
+        let mut fleet = ShardedOrchestrator::new("orch-0", t(0), 4, 8);
+        for i in 0..6u64 {
+            let scan = format!("scan_{i:04}");
+            fleet.record_span(
+                &format!("{scan}/ingest"),
+                TraceEvent::Start {
+                    scan: scan.clone(),
+                    span: i,
+                    parent: None,
+                    stage: Stage::Ingest,
+                    facility: "als".into(),
+                    at: t(i),
+                },
+            );
+            fleet.record_span(
+                &format!("{scan}/ingest"),
+                TraceEvent::End {
+                    scan: scan.clone(),
+                    span: i,
+                    at: t(i + 10),
+                    outcome: SpanOutcome::Ok,
+                },
+            );
+            // a scan's spans live on the shard its keys hash to
+            let home = fleet.shard_of(&scan);
+            assert!(fleet.shards()[home].traces().scan(&scan).is_some());
+        }
+        fleet.commit_all();
+        let live = fleet.merged_traces();
+        assert_eq!(live.scan_count(), 6);
+        assert_eq!(fleet.max_span_id(), Some(5));
+
+        let (rec, info) =
+            ShardedOrchestrator::recover_fleet(&fleet.crash_images(), "orch-1", t(100), 8);
+        assert!(info.shards.iter().all(|s| s.tail.is_clean()));
+        let recovered = rec.merged_traces();
+        assert_eq!(recovered.scan_count(), live.scan_count());
+        assert_eq!(
+            recovered.report(),
+            live.report(),
+            "the fleet-wide report reconstructs identically after recovery"
+        );
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! The unified telemetry spine: a lock-light metrics registry, flow-scoped
+//! trace spans on the simulation clock, and Table-2-style latency reports.
+//!
+//! The paper's operational story leans on observability — Prefect flow
+//! logs "update in real-time", flow statistics are pulled from the API,
+//! and Globus bandwidth is "monitored with Grafana". This crate is the
+//! shared layer those islands plug into:
+//!
+//! * [`Registry`] — atomic counters, gauges, and fixed-bucket log-scale
+//!   histograms. Handles are resolved (interned) once at registration;
+//!   every subsequent increment is a single atomic op, cheap enough for
+//!   the sharded-orchestrator and reconstruction hot paths. Shard-local
+//!   registries merge into a fleet-wide view with [`Registry::merge_from`].
+//! * [`TraceStore`] / [`ScanTrace`] — per-scan spans covering the seven
+//!   lifecycle stages (ingest, transfer, queue-wait, recon, back-transfer,
+//!   multiscale, catalog) with parent/child links across redirects. Span
+//!   events are plain serializable records so the orchestrator can journal
+//!   them next to its own state and replay them after a crash.
+//! * [`TelemetryReport`] — the Table-2-style per-stage latency
+//!   distribution (min/p50/p90/max per stage, per facility) extracted
+//!   from any set of completed traces.
+//!
+//! Determinism rule: telemetry never reads the wall clock. Every
+//! timestamp is a [`als_simcore::SimInstant`] supplied by the caller, so
+//! the same campaign replays to byte-identical traces and reports —
+//! including across a coordinator crash and journal recovery.
+
+pub mod registry;
+pub mod report;
+pub mod trace;
+
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, HIST_BUCKETS,
+};
+pub use report::{ReportRow, StageStats, TelemetryReport};
+pub use trace::{Note, ScanTrace, Span, SpanId, SpanOutcome, Stage, TraceEvent, TraceStore};

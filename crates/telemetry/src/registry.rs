@@ -1,0 +1,620 @@
+//! Lock-light metrics registry.
+//!
+//! Registration resolves a metric's name + label set to a shared handle
+//! once (a write-lock on the registry map); after that every increment,
+//! set, or histogram record is one or two atomic operations with no lock
+//! and no allocation — cheap enough for the orchestrator shard loops and
+//! the reconstruction pipeline's per-slice path.
+//!
+//! Histograms use fixed log₂ buckets over `u64` samples: bucket `i`
+//! holds values in `[2^i, 2^(i+1))` (bucket 0 also takes zero), with
+//! exact atomic min/max kept alongside so the tails of a report are not
+//! bucket-quantized. Quantiles are nearest-rank over the bucket
+//! cumulative, answering with the bucket's inclusive upper bound — a
+//! conservative (never under-reporting) estimate.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of log₂ buckets: one per possible `u64` bit length.
+pub const HIST_BUCKETS: usize = 64;
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A monotone counter handle. Clones share the same underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge handle (current value, not a rate).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-scale histogram handle over `u64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        let c = &self.0;
+        c.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in seconds as integer microseconds.
+    pub fn record_secs(&self, secs: f64) {
+        debug_assert!(secs >= 0.0, "negative duration");
+        self.record((secs * 1e6).round().max(0.0) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.0;
+        let count = c.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets: c
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                None
+            } else {
+                Some(c.min.load(Ordering::Relaxed))
+            },
+            max: if count == 0 {
+                None
+            } else {
+                Some(c.max.load(Ordering::Relaxed))
+            },
+        }
+    }
+
+    fn merge_from(&self, other: &Histogram) {
+        let (a, b) = (&self.0, &other.0);
+        for (dst, src) in a.buckets.iter().zip(b.buckets.iter()) {
+            dst.fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let n = b.count.load(Ordering::Relaxed);
+        if n > 0 {
+            a.count.fetch_add(n, Ordering::Relaxed);
+            a.sum
+                .fetch_add(b.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            a.min
+                .fetch_min(b.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            a.max
+                .fetch_max(b.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time histogram state, serializable for the JSON endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, `buckets[i]` covering `[2^i, 2^(i+1))`.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: Option<u64>,
+    pub max: Option<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank quantile, `q` in `[0, 1]`. Exact at the extremes
+    /// (`q = 0` → min, `q = 1` → max); interior quantiles answer with the
+    /// inclusive upper bound of the bucket holding the ranked sample.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let hi = bucket_upper(i).min(self.max.unwrap_or(u64::MAX));
+                return Some(hi.max(self.min.unwrap_or(0)));
+            }
+        }
+        self.max
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The metrics registry. Cheap to share (`Arc<Registry>`); all handle
+/// operations go through `&self`.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read().unwrap();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+/// Canonical key: `name` alone, or `name{k1="v1",k2="v2"}` with labels
+/// sorted, so the same label set always interns to the same metric.
+fn key_of(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut s = String::with_capacity(name.len() + 16 * sorted.len());
+    s.push_str(name);
+    s.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{v}\"");
+    }
+    s.push('}');
+    s
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or re-fetch) a counter. The returned handle is the
+    /// interned id: keep it and increment without touching the registry.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = key_of(name, labels);
+        if let Some(c) = self.inner.read().unwrap().counters.get(&key) {
+            return c.clone();
+        }
+        self.inner
+            .write()
+            .unwrap()
+            .counters
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = key_of(name, labels);
+        if let Some(g) = self.inner.read().unwrap().gauges.get(&key) {
+            return g.clone();
+        }
+        self.inner
+            .write()
+            .unwrap()
+            .gauges
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = key_of(name, labels);
+        if let Some(h) = self.inner.read().unwrap().histograms.get(&key) {
+            return h.clone();
+        }
+        self.inner
+            .write()
+            .unwrap()
+            .histograms
+            .entry(key)
+            .or_default()
+            .clone()
+    }
+
+    /// Fold another registry's state into this one: counters and
+    /// histograms add, gauges sum (a fleet-wide gauge is the sum of the
+    /// shard-local occupancies). Metrics absent here are registered.
+    pub fn merge_from(&self, other: &Registry) {
+        let src = other.inner.read().unwrap();
+        for (key, c) in &src.counters {
+            if let Some(dst) = self.inner.read().unwrap().counters.get(key) {
+                dst.add(c.get());
+                continue;
+            }
+            self.inner
+                .write()
+                .unwrap()
+                .counters
+                .entry(key.clone())
+                .or_default()
+                .add(c.get());
+        }
+        for (key, g) in &src.gauges {
+            if let Some(dst) = self.inner.read().unwrap().gauges.get(key) {
+                dst.add(g.get());
+                continue;
+            }
+            self.inner
+                .write()
+                .unwrap()
+                .gauges
+                .entry(key.clone())
+                .or_default()
+                .add(g.get());
+        }
+        for (key, h) in &src.histograms {
+            if let Some(dst) = self.inner.read().unwrap().histograms.get(key) {
+                dst.merge_from(h);
+                continue;
+            }
+            self.inner
+                .write()
+                .unwrap()
+                .histograms
+                .entry(key.clone())
+                .or_default()
+                .merge_from(h);
+        }
+    }
+
+    /// Point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.read().unwrap();
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable registry state: the JSON endpoint body, and the input to
+/// the Prometheus text renderer.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Split a canonical key back into `(name, label-block)` where the label
+/// block includes the braces (empty string when unlabelled).
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) => (&key[..i], &key[i..]),
+        None => (key, ""),
+    }
+}
+
+impl RegistrySnapshot {
+    /// Prometheus text exposition format (counters as `_total`-style
+    /// counters, histograms as cumulative `_bucket{le=...}` series).
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (key, v) in &self.counters {
+            let (name, labels) = split_key(key);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}{labels} {v}");
+        }
+        for (key, v) in &self.gauges {
+            let (name, labels) = split_key(key);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{labels} {v}");
+        }
+        for (key, h) in &self.histograms {
+            let (name, labels) = split_key(key);
+            let inner = labels
+                .strip_prefix('{')
+                .and_then(|l| l.strip_suffix('}'))
+                .unwrap_or("");
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cum += n;
+                let le = bucket_upper(i);
+                if inner.is_empty() {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                } else {
+                    let _ = writeln!(out, "{name}_bucket{{{inner},le=\"{le}\"}} {cum}");
+                }
+            }
+            if inner.is_empty() {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            } else {
+                let _ = writeln!(out, "{name}_bucket{{{inner},le=\"+Inf\"}} {}", h.count);
+            }
+            let _ = writeln!(out, "{name}_sum{labels} {}", h.sum);
+            let _ = writeln!(out, "{name}_count{labels} {}", h.count);
+        }
+        out
+    }
+
+    /// The JSON endpoint body.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        let c = r.counter("scans_total", &[("facility", "nersc")]);
+        c.inc();
+        c.add(4);
+        // re-registration returns the same cell
+        let c2 = r.counter("scans_total", &[("facility", "nersc")]);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+        let g = r.gauge("queue_depth", &[]);
+        g.set(3);
+        g.dec();
+        assert_eq!(g.get(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_split_metrics() {
+        let r = Registry::new();
+        let a = r.counter("m", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("m", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "both orders intern to one metric");
+        assert_eq!(r.snapshot().counters["m{a=\"1\",b=\"2\"}"], 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_exact_at_power_of_two_edges() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", &[]);
+        // 2^i is the *lower* edge of bucket i; 2^i - 1 the upper edge of
+        // bucket i-1
+        for i in [0usize, 1, 5, 20, 40, 63] {
+            h.record(1u64 << i);
+        }
+        h.record((1u64 << 5) - 1); // top of bucket 4
+        h.record(0); // zero lands in bucket 0
+        let s = h.snapshot();
+        let mut expect = vec![0u64; HIST_BUCKETS];
+        for v in [
+            1u64 << 0,
+            1 << 1,
+            1 << 5,
+            1 << 20,
+            1 << 40,
+            1 << 63,
+            (1 << 5) - 1,
+            0,
+        ] {
+            expect[super::bucket_of(v)] += 1;
+        }
+        assert_eq!(s.buckets, expect);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, Some(0));
+        assert_eq!(s.max, Some(1u64 << 63));
+    }
+
+    #[test]
+    fn bucket_of_maps_edges_correctly() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of((1 << 10) - 1), 9);
+        assert_eq!(bucket_of(1 << 10), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(9), (1 << 10) - 1);
+        assert_eq!(bucket_upper(63), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_extremes_and_conservative_inside() {
+        let r = Registry::new();
+        let h = r.histogram("q", &[]);
+        for v in [10u64, 20, 30, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), Some(10), "q=0 is the exact min");
+        assert_eq!(s.quantile(1.0), Some(1000), "q=1 is the exact max");
+        // rank ceil(0.5*4)=2 → the sample 20, bucket [16,32) upper bound 31
+        assert_eq!(s.quantile(0.5), Some(31));
+        // p99 → rank 4 → the 1000 sample, bucket [512,1024) upper 1023,
+        // clamped to the exact max
+        assert_eq!(s.quantile(0.99), Some(1000));
+        assert!(r.histogram("empty", &[]).snapshot().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_equals_single_registry() {
+        let global = Registry::new();
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("c", &[]).add(3);
+        b.counter("c", &[]).add(4);
+        b.counter("only_b", &[]).inc();
+        a.gauge("g", &[]).set(2);
+        b.gauge("g", &[]).set(5);
+        a.histogram("h", &[]).record(100);
+        b.histogram("h", &[]).record(7);
+        global.merge_from(&a);
+        global.merge_from(&b);
+        let s = global.snapshot();
+        assert_eq!(s.counters["c"], 7);
+        assert_eq!(s.counters["only_b"], 1);
+        assert_eq!(s.gauges["g"], 7);
+        assert_eq!(s.histograms["h"].count, 2);
+        assert_eq!(s.histograms["h"].min, Some(7));
+        assert_eq!(s.histograms["h"].max, Some(100));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = Registry::new();
+        r.counter("c", &[("k", "v")]).add(9);
+        r.gauge("g", &[]).set(-3);
+        r.histogram("h", &[]).record(42);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        let back: RegistrySnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_text_renders_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("flows_total", &[("facility", "alcf")]).add(2);
+        let h = r.histogram("lat", &[("stage", "recon")]);
+        h.record(3);
+        h.record(300);
+        let text = r.snapshot().prometheus_text();
+        assert!(text.contains("flows_total{facility=\"alcf\"} 2"));
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{stage=\"recon\",le=\"3\"} 1"));
+        assert!(text.contains("lat_bucket{stage=\"recon\",le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_count{stage=\"recon\"} 2"));
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_counts() {
+        let r = std::sync::Arc::new(Registry::new());
+        let c = r.counter("hot", &[]);
+        let h = r.histogram("hist", &[]);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let (c, h) = (c.clone(), h.clone());
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(h.count(), 40_000);
+    }
+}

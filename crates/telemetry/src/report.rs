@@ -1,0 +1,133 @@
+//! Table-2-style latency reports.
+//!
+//! The paper's Table 2 aggregates per-stage completion times over the
+//! last N successful flow runs. [`TelemetryReport`] is that table
+//! generalized: one row per (facility, stage) with min/p50/p90/max over
+//! every closed span, computed with exact nearest-rank quantiles on the
+//! integer-microsecond durations — so a report built from a recovered
+//! journal is bit-identical to the one the dead incarnation would have
+//! produced.
+
+use crate::trace::Stage;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Distribution summary for one (facility, stage) cell, seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    pub n: usize,
+    pub min: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub max: f64,
+}
+
+impl StageStats {
+    /// Exact nearest-rank stats over sorted integer-microsecond samples.
+    pub fn from_sorted_micros(sorted: &[u64]) -> StageStats {
+        assert!(!sorted.is_empty(), "stats need at least one sample");
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        let rank = |q: f64| -> u64 {
+            let r = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[r - 1]
+        };
+        StageStats {
+            n: sorted.len(),
+            min: sorted[0] as f64 / 1e6,
+            p50: rank(0.50) as f64 / 1e6,
+            p90: rank(0.90) as f64 / 1e6,
+            max: sorted[sorted.len() - 1] as f64 / 1e6,
+        }
+    }
+}
+
+/// One report row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportRow {
+    pub facility: String,
+    pub stage: Stage,
+    pub stats: StageStats,
+}
+
+/// The full per-stage, per-facility latency distribution.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    pub rows: Vec<ReportRow>,
+}
+
+impl TelemetryReport {
+    pub fn row(&self, facility: &str, stage: Stage) -> Option<&StageStats> {
+        self.rows
+            .iter()
+            .find(|r| r.facility == facility && r.stage == stage)
+            .map(|r| &r.stats)
+    }
+
+    /// Render the table (seconds, Table-2 layout).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:<13} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            "facility", "stage", "n", "min (s)", "p50 (s)", "p90 (s)", "max (s)"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(74));
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<10} {:<13} {:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                r.facility,
+                r.stage.name(),
+                r.stats.n,
+                r.stats.min,
+                r.stats.p50,
+                r.stats.p90,
+                r.stats.max
+            );
+        }
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_quantiles_are_exact() {
+        // 10 samples 1..=10 s: p50 = 5th = 5 s, p90 = 9th = 9 s
+        let micros: Vec<u64> = (1..=10u64).map(|s| s * 1_000_000).collect();
+        let s = StageStats::from_sorted_micros(&micros);
+        assert_eq!(s.n, 10);
+        assert!((s.min - 1.0).abs() < 1e-9);
+        assert!((s.p50 - 5.0).abs() < 1e-9);
+        assert!((s.p90 - 9.0).abs() < 1e-9);
+        assert!((s.max - 10.0).abs() < 1e-9);
+        // a single sample is every quantile
+        let one = StageStats::from_sorted_micros(&[2_500_000]);
+        assert!((one.p50 - 2.5).abs() < 1e-9);
+        assert!((one.p90 - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders_and_round_trips() {
+        let report = TelemetryReport {
+            rows: vec![ReportRow {
+                facility: "nersc".into(),
+                stage: Stage::Recon,
+                stats: StageStats::from_sorted_micros(&[1_000_000, 2_000_000]),
+            }],
+        };
+        let text = report.render();
+        assert!(text.contains("nersc"));
+        assert!(text.contains("recon"));
+        let back: TelemetryReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert!(report.row("nersc", Stage::Recon).is_some());
+        assert!(report.row("nersc", Stage::Ingest).is_none());
+    }
+}

@@ -1,0 +1,635 @@
+//! Flow-scoped trace spans on the simulation clock.
+//!
+//! A [`ScanTrace`] is the full story of one scan: a span per lifecycle
+//! stage (ingest → transfer → queue-wait → recon → multiscale →
+//! back-transfer → catalog), each tagged with the facility that served
+//! it. Redirect chains are parent/child links: when the router moves a
+//! failed branch to another facility, the replacement span points at the
+//! span it supersedes, so the whole redirect history reads from one
+//! trace.
+//!
+//! Traces are built by applying [`TraceEvent`]s — plain serializable
+//! records carrying only `SimInstant` timestamps. The orchestrator
+//! journals every event next to its own state records, which makes the
+//! trace store a replayable projection: recovery rebuilds the exact same
+//! [`TraceStore`] (and therefore the exact same report) the dead
+//! incarnation had.
+
+use crate::report::{ReportRow, StageStats, TelemetryReport};
+use als_simcore::{SimDuration, SimInstant};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The seven lifecycle stages a scan's spans cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// Detector write → scan detected and registered at the beamline.
+    Ingest,
+    /// WAN transfer of the raw scan to the execution facility.
+    Transfer,
+    /// Submitted to the facility scheduler → observed running.
+    QueueWait,
+    /// Reconstruction compute.
+    Recon,
+    /// Multi-resolution pyramid build at the facility.
+    Multiscale,
+    /// WAN transfer of the products back to the beamline.
+    BackTransfer,
+    /// Catalogue/archive registration of the finished products.
+    Catalog,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 7] = [
+        Stage::Ingest,
+        Stage::Transfer,
+        Stage::QueueWait,
+        Stage::Recon,
+        Stage::Multiscale,
+        Stage::BackTransfer,
+        Stage::Catalog,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::Transfer => "transfer",
+            Stage::QueueWait => "queue-wait",
+            Stage::Recon => "recon",
+            Stage::Multiscale => "multiscale",
+            Stage::BackTransfer => "back-transfer",
+            Stage::Catalog => "catalog",
+        }
+    }
+}
+
+/// How a span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanOutcome {
+    Ok,
+    Failed,
+    Cancelled,
+}
+
+pub type SpanId = u64;
+
+/// One serializable trace mutation. These are what the orchestrator
+/// journals; [`TraceStore::apply`] is the only consumer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Open a span. `parent` links a redirect replacement to the span it
+    /// supersedes (same stage, earlier facility).
+    Start {
+        scan: String,
+        span: SpanId,
+        parent: Option<SpanId>,
+        stage: Stage,
+        facility: String,
+        at: SimInstant,
+    },
+    /// Close a span with an outcome.
+    End {
+        scan: String,
+        span: SpanId,
+        at: SimInstant,
+        outcome: SpanOutcome,
+    },
+    /// Attach a key/value annotation (e.g. a router decision snapshot).
+    Note {
+        scan: String,
+        span: SpanId,
+        at: SimInstant,
+        key: String,
+        value: String,
+    },
+}
+
+impl TraceEvent {
+    pub fn scan(&self) -> &str {
+        match self {
+            TraceEvent::Start { scan, .. }
+            | TraceEvent::End { scan, .. }
+            | TraceEvent::Note { scan, .. } => scan,
+        }
+    }
+
+    pub fn span(&self) -> SpanId {
+        match self {
+            TraceEvent::Start { span, .. }
+            | TraceEvent::End { span, .. }
+            | TraceEvent::Note { span, .. } => *span,
+        }
+    }
+
+    pub fn at(&self) -> SimInstant {
+        match self {
+            TraceEvent::Start { at, .. }
+            | TraceEvent::End { at, .. }
+            | TraceEvent::Note { at, .. } => *at,
+        }
+    }
+}
+
+/// A timestamped annotation on a span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Note {
+    pub at: SimInstant,
+    pub key: String,
+    pub value: String,
+}
+
+/// One stage execution within a scan's life.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    pub id: SpanId,
+    pub parent: Option<SpanId>,
+    pub stage: Stage,
+    pub facility: String,
+    pub start: SimInstant,
+    pub end: Option<SimInstant>,
+    pub outcome: Option<SpanOutcome>,
+    pub notes: Vec<Note>,
+}
+
+impl Span {
+    pub fn duration(&self) -> Option<SimDuration> {
+        Some(self.end?.duration_since(self.start))
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.end.is_some()
+    }
+}
+
+/// The spans of one scan, in event order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScanTrace {
+    pub scan: String,
+    pub spans: Vec<Span>,
+    index: BTreeMap<SpanId, usize>,
+}
+
+impl ScanTrace {
+    pub fn span(&self, id: SpanId) -> Option<&Span> {
+        self.index.get(&id).map(|&i| &self.spans[i])
+    }
+
+    /// Closed-span intervals, sorted by start.
+    fn intervals(&self) -> Vec<(SimInstant, SimInstant)> {
+        let mut v: Vec<(SimInstant, SimInstant)> = self
+            .spans
+            .iter()
+            .filter_map(|s| Some((s.start, s.end?)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// First span start → last span end, the scan's end-to-end latency.
+    pub fn end_to_end(&self) -> Option<SimDuration> {
+        let iv = self.intervals();
+        let first = iv.iter().map(|&(s, _)| s).min()?;
+        let last = iv.iter().map(|&(_, e)| e).max()?;
+        Some(last.duration_since(first))
+    }
+
+    /// Total time covered by at least one span (interval union).
+    pub fn covered(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        let mut cur: Option<(SimInstant, SimInstant)> = None;
+        for (s, e) in self.intervals() {
+            match cur {
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    total += ce.duration_since(cs);
+                    cur = Some((s, e));
+                }
+                None => cur = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            total += ce.duration_since(cs);
+        }
+        total
+    }
+
+    /// Sum of every closed span's duration (double-counts overlap).
+    pub fn stage_sum(&self) -> SimDuration {
+        self.spans
+            .iter()
+            .filter_map(Span::duration)
+            .fold(SimDuration::ZERO, |a, d| a + d)
+    }
+
+    /// Time where two or more spans ran concurrently: `stage_sum -
+    /// covered`.
+    pub fn overlap(&self) -> SimDuration {
+        let (sum, cov) = (self.stage_sum(), self.covered());
+        SimDuration::from_micros(sum.as_micros().saturating_sub(cov.as_micros()))
+    }
+
+    /// Idle time inside the scan's life no span accounts for:
+    /// `end_to_end - covered`.
+    pub fn idle(&self) -> SimDuration {
+        let Some(e2e) = self.end_to_end() else {
+            return SimDuration::ZERO;
+        };
+        SimDuration::from_micros(e2e.as_micros().saturating_sub(self.covered().as_micros()))
+    }
+
+    /// Total closed-span duration per stage.
+    pub fn stage_total(&self, stage: Stage) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .filter_map(Span::duration)
+            .fold(SimDuration::ZERO, |a, d| a + d)
+    }
+}
+
+/// All traces of a campaign, applied from journalled events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceStore {
+    scans: BTreeMap<String, ScanTrace>,
+    events_applied: u64,
+}
+
+impl TraceStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one event. Unknown spans in `End`/`Note` are ignored (a
+    /// torn journal tail may lose a `Start`); double-`End`s keep the
+    /// first close, which makes replay idempotent against duplicates.
+    pub fn apply(&mut self, ev: &TraceEvent) {
+        self.events_applied += 1;
+        match ev {
+            TraceEvent::Start {
+                scan,
+                span,
+                parent,
+                stage,
+                facility,
+                at,
+            } => {
+                let trace = self.scans.entry(scan.clone()).or_insert_with(|| ScanTrace {
+                    scan: scan.clone(),
+                    ..Default::default()
+                });
+                if trace.index.contains_key(span) {
+                    return; // duplicate start: keep the first
+                }
+                trace.index.insert(*span, trace.spans.len());
+                trace.spans.push(Span {
+                    id: *span,
+                    parent: *parent,
+                    stage: *stage,
+                    facility: facility.clone(),
+                    start: *at,
+                    end: None,
+                    outcome: None,
+                    notes: Vec::new(),
+                });
+            }
+            TraceEvent::End {
+                scan,
+                span,
+                at,
+                outcome,
+            } => {
+                if let Some(s) = Self::span_mut(&mut self.scans, scan, *span) {
+                    if s.end.is_none() {
+                        s.end = Some(*at);
+                        s.outcome = Some(*outcome);
+                    }
+                }
+            }
+            TraceEvent::Note {
+                scan,
+                span,
+                at,
+                key,
+                value,
+            } => {
+                if let Some(s) = Self::span_mut(&mut self.scans, scan, *span) {
+                    s.notes.push(Note {
+                        at: *at,
+                        key: key.clone(),
+                        value: value.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn span_mut<'a>(
+        scans: &'a mut BTreeMap<String, ScanTrace>,
+        scan: &str,
+        id: SpanId,
+    ) -> Option<&'a mut Span> {
+        let trace = scans.get_mut(scan)?;
+        let &i = trace.index.get(&id)?;
+        Some(&mut trace.spans[i])
+    }
+
+    pub fn scan(&self, name: &str) -> Option<&ScanTrace> {
+        self.scans.get(name)
+    }
+
+    pub fn scans(&self) -> impl Iterator<Item = &ScanTrace> {
+        self.scans.values()
+    }
+
+    pub fn scan_count(&self) -> usize {
+        self.scans.len()
+    }
+
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Highest span id seen anywhere — a recovered incarnation resumes
+    /// its span allocator above this.
+    pub fn max_span_id(&self) -> Option<SpanId> {
+        self.scans
+            .values()
+            .flat_map(|t| t.index.keys())
+            .max()
+            .copied()
+    }
+
+    /// Merge another store's scans (the fleet view over per-shard
+    /// stores). A scan's events all route to one shard, so scan-level
+    /// collisions merge span-by-span keeping first-seen state.
+    pub fn merge_from(&mut self, other: &TraceStore) {
+        for (name, trace) in &other.scans {
+            match self.scans.get_mut(name) {
+                None => {
+                    self.scans.insert(name.clone(), trace.clone());
+                }
+                Some(dst) => {
+                    for span in &trace.spans {
+                        if !dst.index.contains_key(&span.id) {
+                            dst.index.insert(span.id, dst.spans.len());
+                            dst.spans.push(span.clone());
+                        }
+                    }
+                }
+            }
+        }
+        self.events_applied += other.events_applied;
+    }
+
+    /// The Table-2-style per-(facility, stage) latency distribution over
+    /// every closed span, with exact nearest-rank quantiles.
+    pub fn report(&self) -> TelemetryReport {
+        let mut by_key: BTreeMap<(String, Stage), Vec<u64>> = BTreeMap::new();
+        for trace in self.scans.values() {
+            for span in &trace.spans {
+                if let Some(d) = span.duration() {
+                    by_key
+                        .entry((span.facility.clone(), span.stage))
+                        .or_default()
+                        .push(d.as_micros());
+                }
+            }
+        }
+        let rows = by_key
+            .into_iter()
+            .map(|((facility, stage), mut micros)| {
+                micros.sort_unstable();
+                ReportRow {
+                    facility,
+                    stage,
+                    stats: StageStats::from_sorted_micros(&micros),
+                }
+            })
+            .collect();
+        TelemetryReport { rows }
+    }
+
+    /// Human-readable timeline of one scan: every span in start order
+    /// with redirect links, then the accounting line (stage sum −
+    /// overlap = covered; covered + idle = end-to-end).
+    pub fn timeline(&self, scan: &str) -> Option<String> {
+        let trace = self.scans.get(scan)?;
+        let mut spans: Vec<&Span> = trace.spans.iter().collect();
+        spans.sort_by_key(|s| (s.start, s.id));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{scan}: end-to-end {:.1} s = covered {:.1} s + idle {:.1} s (stage sum {:.1} s, overlap {:.1} s)",
+            trace.end_to_end().unwrap_or(SimDuration::ZERO).as_secs_f64(),
+            trace.covered().as_secs_f64(),
+            trace.idle().as_secs_f64(),
+            trace.stage_sum().as_secs_f64(),
+            trace.overlap().as_secs_f64(),
+        );
+        for s in spans {
+            let end = s
+                .end
+                .map(|e| format!("{:9.1}", e.as_secs_f64()))
+                .unwrap_or_else(|| "     open".into());
+            let outcome = match s.outcome {
+                Some(SpanOutcome::Ok) => "ok",
+                Some(SpanOutcome::Failed) => "FAILED",
+                Some(SpanOutcome::Cancelled) => "cancelled",
+                None => "…",
+            };
+            let link = s
+                .parent
+                .map(|p| format!("  ↳ supersedes #{p}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  #{:<4} [{:9.1} → {end}] {:<13} @{:<6} {outcome}{link}",
+                s.id,
+                s.start.as_secs_f64(),
+                s.stage.name(),
+                s.facility,
+            );
+            for n in &s.notes {
+                let _ = writeln!(
+                    out,
+                    "        · {:9.1} {} = {}",
+                    n.at.as_secs_f64(),
+                    n.key,
+                    n.value
+                );
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimInstant {
+        SimInstant::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn start(scan: &str, span: SpanId, stage: Stage, fac: &str, at: SimInstant) -> TraceEvent {
+        TraceEvent::Start {
+            scan: scan.into(),
+            span,
+            parent: None,
+            stage,
+            facility: fac.into(),
+            at,
+        }
+    }
+
+    fn end(scan: &str, span: SpanId, at: SimInstant) -> TraceEvent {
+        TraceEvent::End {
+            scan: scan.into(),
+            span,
+            at,
+            outcome: SpanOutcome::Ok,
+        }
+    }
+
+    #[test]
+    fn spans_build_a_scan_story() {
+        let mut ts = TraceStore::new();
+        ts.apply(&start("scan_1", 0, Stage::Ingest, "als", t(0)));
+        ts.apply(&end("scan_1", 0, t(10)));
+        ts.apply(&start("scan_1", 1, Stage::Transfer, "nersc", t(10)));
+        ts.apply(&end("scan_1", 1, t(100)));
+        let trace = ts.scan("scan_1").unwrap();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.end_to_end(), Some(SimDuration::from_secs(100)));
+        assert_eq!(
+            trace.stage_total(Stage::Transfer),
+            SimDuration::from_secs(90)
+        );
+        assert_eq!(trace.overlap(), SimDuration::ZERO);
+        assert_eq!(trace.idle(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overlap_and_idle_accounting_identities_hold() {
+        let mut ts = TraceStore::new();
+        // [0,10] and [5,20] overlap by 5; [30,40] leaves a 10 s gap
+        ts.apply(&start("s", 0, Stage::Recon, "nersc", t(0)));
+        ts.apply(&end("s", 0, t(10)));
+        ts.apply(&start("s", 1, Stage::BackTransfer, "nersc", t(5)));
+        ts.apply(&end("s", 1, t(20)));
+        ts.apply(&start("s", 2, Stage::Catalog, "als", t(30)));
+        ts.apply(&end("s", 2, t(40)));
+        let tr = ts.scan("s").unwrap();
+        assert_eq!(tr.stage_sum(), SimDuration::from_secs(35));
+        assert_eq!(tr.covered(), SimDuration::from_secs(30));
+        assert_eq!(tr.overlap(), SimDuration::from_secs(5));
+        assert_eq!(tr.end_to_end(), Some(SimDuration::from_secs(40)));
+        assert_eq!(tr.idle(), SimDuration::from_secs(10));
+        // the acceptance identity: stage_sum - overlap + idle = end-to-end
+        let lhs = tr.stage_sum().as_micros() - tr.overlap().as_micros() + tr.idle().as_micros();
+        assert_eq!(lhs, tr.end_to_end().unwrap().as_micros());
+    }
+
+    #[test]
+    fn redirects_link_parent_spans_and_notes_attach() {
+        let mut ts = TraceStore::new();
+        ts.apply(&start("s", 0, Stage::Recon, "nersc", t(0)));
+        ts.apply(&TraceEvent::End {
+            scan: "s".into(),
+            span: 0,
+            at: t(50),
+            outcome: SpanOutcome::Failed,
+        });
+        ts.apply(&TraceEvent::Start {
+            scan: "s".into(),
+            span: 1,
+            parent: Some(0),
+            stage: Stage::Recon,
+            facility: "alcf".into(),
+            at: t(50),
+        });
+        ts.apply(&TraceEvent::Note {
+            scan: "s".into(),
+            span: 1,
+            at: t(50),
+            key: "router".into(),
+            value: "breaker=Open heartbeat_stale=true hop=1".into(),
+        });
+        ts.apply(&end("s", 1, t(120)));
+        let tr = ts.scan("s").unwrap();
+        assert_eq!(tr.span(1).unwrap().parent, Some(0));
+        assert_eq!(tr.span(0).unwrap().outcome, Some(SpanOutcome::Failed));
+        assert_eq!(tr.span(1).unwrap().notes[0].key, "router");
+        let timeline = ts.timeline("s").unwrap();
+        assert!(timeline.contains("supersedes #0"));
+        assert!(timeline.contains("breaker=Open"));
+    }
+
+    #[test]
+    fn replay_is_idempotent_and_tolerates_lost_starts() {
+        let mut ts = TraceStore::new();
+        let s0 = start("s", 0, Stage::Ingest, "als", t(0));
+        let e0 = end("s", 0, t(5));
+        ts.apply(&s0);
+        ts.apply(&e0);
+        ts.apply(&s0); // duplicate start ignored
+        ts.apply(&e0); // duplicate end keeps first close
+        ts.apply(&end("s", 99, t(7))); // end without start: dropped
+        let tr = ts.scan("s").unwrap();
+        assert_eq!(tr.spans.len(), 1);
+        assert_eq!(tr.span(0).unwrap().end, Some(t(5)));
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let evs = vec![
+            TraceEvent::Start {
+                scan: "scan_7".into(),
+                span: 3,
+                parent: Some(1),
+                stage: Stage::QueueWait,
+                facility: "olcf".into(),
+                at: t(42),
+            },
+            TraceEvent::End {
+                scan: "scan_7".into(),
+                span: 3,
+                at: t(99),
+                outcome: SpanOutcome::Cancelled,
+            },
+            TraceEvent::Note {
+                scan: "scan_7".into(),
+                span: 3,
+                at: t(99),
+                key: "k".into(),
+                value: "v".into(),
+            },
+        ];
+        for ev in evs {
+            let json = serde_json::to_string(&ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn merge_builds_the_fleet_view() {
+        let mut a = TraceStore::new();
+        a.apply(&start("scan_a", 0, Stage::Ingest, "als", t(0)));
+        a.apply(&end("scan_a", 0, t(4)));
+        let mut b = TraceStore::new();
+        b.apply(&start("scan_b", 1, Stage::Ingest, "als", t(1)));
+        b.apply(&end("scan_b", 1, t(9)));
+        let mut merged = TraceStore::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.scan_count(), 2);
+        assert_eq!(merged.max_span_id(), Some(1));
+        let report = merged.report();
+        assert_eq!(report.rows.len(), 1, "one (facility, stage) row");
+        assert_eq!(report.rows[0].stats.n, 2);
+        assert!((report.rows[0].stats.min - 4.0).abs() < 1e-9);
+        assert!((report.rows[0].stats.max - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,48 @@
+//! Property test for the registry's shard-merge semantics: a fleet of
+//! shard-local registries folded into one must be indistinguishable from
+//! a single global registry that saw every operation directly. This is
+//! the invariant that lets each orchestrator shard (and each pipeline
+//! thread) record into its own registry lock-free and still produce one
+//! coherent fleet snapshot.
+
+use als_telemetry::Registry;
+use proptest::prelude::*;
+
+const FACILITIES: [&str; 3] = ["nersc", "alcf", "olcf"];
+
+proptest! {
+    #[test]
+    fn merged_shard_registries_equal_a_single_global_registry(
+        ops in prop::collection::vec((0u8..3, 0usize..3, 0u64..100_000), 0..200),
+        shards in 1usize..5,
+    ) {
+        let global = Registry::new();
+        let locals: Vec<Registry> = (0..shards).map(|_| Registry::new()).collect();
+        for (i, &(kind, fac_sel, v)) in ops.iter().enumerate() {
+            let local = &locals[i % shards];
+            let labels = [("facility", FACILITIES[fac_sel])];
+            match kind {
+                0 => {
+                    local.counter("scans_total", &labels).add(v);
+                    global.counter("scans_total", &labels).add(v);
+                }
+                1 => {
+                    // deltas only: a fleet gauge is the sum of the
+                    // shard-local occupancies, so merge sums them
+                    let delta = v as i64 - 50_000;
+                    local.gauge("queue_depth", &labels).add(delta);
+                    global.gauge("queue_depth", &labels).add(delta);
+                }
+                _ => {
+                    local.histogram("latency_us", &labels).record(v);
+                    global.histogram("latency_us", &labels).record(v);
+                }
+            }
+        }
+        let merged = Registry::new();
+        for local in &locals {
+            merged.merge_from(local);
+        }
+        prop_assert_eq!(merged.snapshot(), global.snapshot());
+    }
+}

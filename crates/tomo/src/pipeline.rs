@@ -41,9 +41,10 @@ use crate::iterative::{IterConfig, IterPlan, IterScratch};
 use crate::plan::{ReconPlan, ReconScratch};
 use crate::prep::RawPrepPlan;
 use crate::TomoError;
+use als_telemetry::Registry;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A source of raw projection data: `n_angles` frames of `rows × cols`
@@ -96,6 +97,10 @@ pub struct PipelineConfig {
     pub slab_rows: usize,
     /// Bounded-channel capacity between stages, in slabs.
     pub queue_depth: usize,
+    /// Fleet metrics registry for stage-occupancy gauges, queue depths,
+    /// and throughput counters. `None` runs against a private throwaway
+    /// registry so the hot path has no conditionals.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for PipelineConfig {
@@ -106,6 +111,7 @@ impl Default for PipelineConfig {
             zinger_threshold: None,
             slab_rows: 0,
             queue_depth: 2,
+            registry: None,
         }
     }
 }
@@ -286,7 +292,35 @@ pub fn run(
         plan_build,
         ..Default::default()
     };
-    let recon_active = AtomicBool::new(false);
+
+    // Stage-occupancy gauges double as the overlap detector: the sink
+    // samples `recon` occupancy instead of a private flag, so the same
+    // signal that feeds fleet dashboards drives `sink_busy_overlapped`.
+    let private;
+    let registry: &Registry = match &cfg.registry {
+        Some(r) => r.as_ref(),
+        None => {
+            private = Registry::new();
+            &private
+        }
+    };
+    let stage_active = |s: &str| registry.gauge("pipeline_stage_active", &[("stage", s)]);
+    let load_active = stage_active("load");
+    let prep_active = stage_active("prep");
+    let recon_active = stage_active("recon");
+    let sink_active = stage_active("sink");
+    let stage_busy = |s: &str| registry.histogram("pipeline_stage_busy_us", &[("stage", s)]);
+    let load_busy_us = stage_busy("load");
+    let prep_busy_us = stage_busy("prep");
+    let recon_busy_us = stage_busy("recon");
+    let sink_busy_us = stage_busy("sink");
+    let raw_depth = registry.gauge("pipeline_queue_depth", &[("queue", "raw")]);
+    let out_depth = registry.gauge("pipeline_queue_depth", &[("queue", "out")]);
+    let slabs_total = registry.counter("pipeline_slabs_total", &[]);
+    let slices_total = registry.counter("pipeline_slices_total", &[]);
+    let frame_reads_total = registry.counter("pipeline_frame_reads_total", &[]);
+    let sink_busy_total = registry.counter("pipeline_sink_busy_us_total", &[]);
+    let sink_overlap_total = registry.counter("pipeline_sink_overlapped_us_total", &[]);
 
     let (prep_busy, recon_busy, load_busy, sink_result) = std::thread::scope(|scope| {
         // raw slabs: (first detector row, n slices, u16 data laid out as
@@ -296,68 +330,98 @@ pub fn run(
         // reconstructed slabs: (z0, n slices, f32 slices)
         let (out_tx, out_rx) = sync_channel::<(usize, usize, Vec<f32>)>(queue_depth);
 
-        let loader = scope.spawn(move || {
-            let mut busy = Duration::ZERO;
-            for slab in 0..n_slabs {
-                let t = Instant::now();
-                let r0 = slab * slab_rows;
-                let r1 = (r0 + slab_rows).min(rows);
-                let k = r1 - r0;
-                let mut raw = vec![0u16; k * n_angles * cols];
-                for a in 0..n_angles {
-                    let frame = source.frame(a);
-                    for r in r0..r1 {
-                        let src = &frame[r * cols..(r + 1) * cols];
-                        let dst = ((r - r0) * n_angles + a) * cols;
-                        raw[dst..dst + cols].copy_from_slice(src);
+        let loader = {
+            let (load_active, load_busy_us) = (load_active.clone(), load_busy_us.clone());
+            let (raw_depth, frame_reads_total) = (raw_depth.clone(), frame_reads_total.clone());
+            scope.spawn(move || {
+                let mut busy = Duration::ZERO;
+                for slab in 0..n_slabs {
+                    load_active.inc();
+                    let t = Instant::now();
+                    let r0 = slab * slab_rows;
+                    let r1 = (r0 + slab_rows).min(rows);
+                    let k = r1 - r0;
+                    let mut raw = vec![0u16; k * n_angles * cols];
+                    for a in 0..n_angles {
+                        let frame = source.frame(a);
+                        for r in r0..r1 {
+                            let src = &frame[r * cols..(r + 1) * cols];
+                            let dst = ((r - r0) * n_angles + a) * cols;
+                            raw[dst..dst + cols].copy_from_slice(src);
+                        }
+                    }
+                    let dt = t.elapsed();
+                    busy += dt;
+                    load_busy_us.record_secs(dt.as_secs_f64());
+                    frame_reads_total.add(n_angles as u64);
+                    load_active.dec();
+                    if raw_tx.send((r0, k, raw)).is_err() {
+                        break; // downstream failed and hung up
+                    }
+                    raw_depth.inc();
+                }
+                busy
+            })
+        };
+
+        let sink_thread = {
+            let (recon_active, sink_active) = (recon_active.clone(), sink_active.clone());
+            let (sink_busy_us, out_depth) = (sink_busy_us.clone(), out_depth.clone());
+            let (sink_busy_total, sink_overlap_total) =
+                (sink_busy_total.clone(), sink_overlap_total.clone());
+            scope.spawn(move || {
+                let mut busy = Duration::ZERO;
+                let mut overlapped = Duration::ZERO;
+                while let Ok((z0, k, data)) = out_rx.recv() {
+                    out_depth.dec();
+                    // recon occupancy is sampled at both ends of the
+                    // write: a short write that starts in the prep gap
+                    // between slabs but finishes under the next slab's
+                    // reconstruction still counts as overlapped
+                    let mut concurrent = recon_active.get() > 0;
+                    sink_active.inc();
+                    let t = Instant::now();
+                    let mut failed = None;
+                    for sink in sinks.iter_mut() {
+                        if let Err(e) = sink.write_slab(z0, k, &data) {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                    let dt = t.elapsed();
+                    sink_active.dec();
+                    if let Some(e) = failed {
+                        return (busy, overlapped, Err(e));
+                    }
+                    concurrent |= recon_active.get() > 0;
+                    busy += dt;
+                    sink_busy_us.record_secs(dt.as_secs_f64());
+                    sink_busy_total.add(dt.as_micros() as u64);
+                    if concurrent {
+                        overlapped += dt;
+                        sink_overlap_total.add(dt.as_micros() as u64);
                     }
                 }
-                busy += t.elapsed();
-                if raw_tx.send((r0, k, raw)).is_err() {
-                    break; // downstream failed and hung up
-                }
-            }
-            busy
-        });
-
-        let recon_active_ref = &recon_active;
-        let sink_thread = scope.spawn(move || {
-            let mut busy = Duration::ZERO;
-            let mut overlapped = Duration::ZERO;
-            while let Ok((z0, k, data)) = out_rx.recv() {
-                // recon_active is sampled at both ends of the write: a
-                // short write that starts in the prep gap between slabs
-                // but finishes under the next slab's reconstruction still
-                // counts as overlapped
-                let mut concurrent = recon_active_ref.load(Ordering::Relaxed);
                 let t = Instant::now();
                 for sink in sinks.iter_mut() {
-                    if let Err(e) = sink.write_slab(z0, k, &data) {
-                        return (busy, overlapped, Err(e));
+                    if let Err(e) = sink.finish() {
+                        return (busy + t.elapsed(), overlapped, Err(e));
                     }
                 }
                 let dt = t.elapsed();
-                concurrent |= recon_active_ref.load(Ordering::Relaxed);
                 busy += dt;
-                if concurrent {
-                    overlapped += dt;
-                }
-            }
-            let t = Instant::now();
-            for sink in sinks.iter_mut() {
-                if let Err(e) = sink.finish() {
-                    return (busy + t.elapsed(), overlapped, Err(e));
-                }
-            }
-            busy += t.elapsed();
-            (busy, overlapped, Ok(()))
-        });
+                sink_busy_total.add(dt.as_micros() as u64);
+                (busy, overlapped, Ok(()))
+            })
+        };
 
         // Compute stage runs on the caller thread: fused prep, then
         // slice-parallel reconstruction over the shared plan.
         let mut prep_busy = Duration::ZERO;
         let mut recon_busy = Duration::ZERO;
         while let Ok((r0, k, raw)) = raw_rx.recv() {
+            raw_depth.dec();
+            prep_active.inc();
             let t = Instant::now();
             let mut sinos: Vec<Sinogram> = Vec::with_capacity(k);
             for i in 0..k {
@@ -369,21 +433,29 @@ pub fn run(
                 }
                 sinos.push(sino);
             }
-            prep_busy += t.elapsed();
+            let dt = t.elapsed();
+            prep_busy += dt;
+            prep_busy_us.record_secs(dt.as_secs_f64());
+            prep_active.dec();
 
+            recon_active.inc();
             let t = Instant::now();
-            recon_active.store(true, Ordering::Relaxed);
             let mut out = vec![0.0f32; k * cols * cols];
             out.par_chunks_mut(cols * cols).enumerate().for_each_init(
                 || engine.make_scratch(),
                 |scratch, (i, slice)| engine.recon_into(&sinos[i], scratch, slice),
             );
-            recon_active.store(false, Ordering::Relaxed);
-            recon_busy += t.elapsed();
+            let dt = t.elapsed();
+            recon_active.dec();
+            recon_busy += dt;
+            recon_busy_us.record_secs(dt.as_secs_f64());
+            slabs_total.inc();
+            slices_total.add(k as u64);
 
             if out_tx.send((r0, k, out)).is_err() {
                 break; // sink failed and hung up
             }
+            out_depth.inc();
         }
         drop(out_tx);
         // If the sink failed and we broke out early, the loader may be
@@ -537,6 +609,7 @@ mod tests {
             zinger_threshold: Some(0.5),
             slab_rows: 4,
             queue_depth: 2,
+            registry: None,
         };
         let (vol, report) = run_volume(&scan, &cfg);
         assert_eq!(report.slices, 6);
@@ -582,6 +655,7 @@ mod tests {
             zinger_threshold: Some(0.5),
             slab_rows: 1,
             queue_depth: 1,
+            registry: None,
         };
         let (v1, _) = run_volume(&scan, &base_cfg);
         for slab_rows in [2, 3, 5] {
@@ -628,6 +702,39 @@ mod tests {
             run(&scan, &mut sinks, &PipelineConfig::default()),
             Err(PipelineError::BadInput(_))
         ));
+    }
+
+    #[test]
+    fn registry_sees_stage_occupancy_and_throughput() {
+        let scan = MemScan::synthetic(16, 6, 32);
+        let registry = Arc::new(Registry::new());
+        let (_, report) = run_volume(
+            &scan,
+            &PipelineConfig {
+                mu_scale: 0.04,
+                slab_rows: 2,
+                registry: Some(registry.clone()),
+                ..Default::default()
+            },
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["pipeline_slabs_total"], 3);
+        assert_eq!(snap.counters["pipeline_slices_total"], 6);
+        assert_eq!(snap.counters["pipeline_frame_reads_total"], 3 * 16);
+        // every stage went busy and idle again; queues drained
+        for stage in ["load", "prep", "recon", "sink"] {
+            let key = format!("pipeline_stage_active{{stage=\"{stage}\"}}");
+            assert_eq!(snap.gauges[&key], 0, "{stage} occupancy drained");
+            let busy = format!("pipeline_stage_busy_us{{stage=\"{stage}\"}}");
+            assert!(snap.histograms[&busy].count >= 3, "{stage} busy samples");
+        }
+        assert_eq!(snap.gauges["pipeline_queue_depth{queue=\"raw\"}"], 0);
+        assert_eq!(snap.gauges["pipeline_queue_depth{queue=\"out\"}"], 0);
+        // the counters re-derive the report's overlap accounting
+        let busy_us = snap.counters["pipeline_sink_busy_us_total"];
+        let overlap_us = snap.counters["pipeline_sink_overlapped_us_total"];
+        assert!(overlap_us <= busy_us);
+        assert_eq!(overlap_us, report.sink_busy_overlapped.as_micros() as u64);
     }
 
     #[test]
