@@ -15,6 +15,7 @@ use als_tomo::prep;
 use als_tomo::radon::{backproject, forward_project};
 use als_tomo::{reference, FbpConfig, Geometry, ReconPlan, Sinogram};
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use std::path::Path;
 use std::time::Instant;
 
 fn bench_fft(c: &mut Criterion) {
@@ -128,10 +129,40 @@ fn json_num(v: f64) -> String {
     }
 }
 
-fn slice_entry(n: usize, n_angles: usize, reps: usize) -> String {
+/// The `cpu` block: detected ISA features, the SIMD path the plans
+/// dispatch to, and its f32 lane width — so BENCH_recon numbers from
+/// different machines (or the `ALS_TOMO_SIMD=scalar` fallback) are
+/// directly comparable. The schema is identical on non-AVX2 hosts;
+/// only the values change.
+fn cpu_block() -> String {
+    let path = als_tomo::simd::detect();
+    #[cfg(target_arch = "x86_64")]
+    let (avx2, fma, avx512f) = (
+        std::is_x86_feature_detected!("avx2"),
+        std::is_x86_feature_detected!("fma"),
+        std::is_x86_feature_detected!("avx512f"),
+    );
+    #[cfg(not(target_arch = "x86_64"))]
+    let (avx2, fma, avx512f) = (false, false, false);
+    format!(
+        "  \"cpu\": {{\"arch\": \"{}\", \"avx2\": {avx2}, \"fma\": {fma}, \"avx512f\": {avx512f}, \"simd_path\": \"{}\", \"f32_lanes\": {}}}",
+        std::env::consts::ARCH,
+        path.name(),
+        als_tomo::simd::lanes(path)
+    )
+}
+
+struct SliceResult {
+    json: String,
+    plan_ms: f64,
+    speedup: f64,
+}
+
+fn slice_entry(n: usize, n_angles: usize, reps: usize) -> SliceResult {
     let (sino, geom) = shepp_sino(n, n_angles);
     let cfg = FbpConfig::default();
     let plan = ReconPlan::new(&geom, &cfg).unwrap();
+    let path = plan.simd_path();
     let mut scratch = plan.make_scratch();
     let t_plan = time_best(reps, || {
         black_box(plan.fbp_slice_with(&sino, &mut scratch).unwrap());
@@ -140,20 +171,72 @@ fn slice_entry(n: usize, n_angles: usize, reps: usize) -> String {
         black_box(reference::fbp_slice(&sino, &geom, &cfg).unwrap());
     });
     let mpix = (n * n) as f64 / 1e6;
+    let speedup = t_ref / t_plan;
     println!(
-        "recon/slice {n}x{n}x{n_angles}: plan {:.3} ms ({:.1} slices/s), reference {:.3} ms, speedup {:.2}x",
+        "recon/slice {n}x{n}x{n_angles} [{}]: plan {:.3} ms ({:.1} slices/s), reference {:.3} ms, speedup {:.2}x",
+        path.name(),
         t_plan * 1e3,
         1.0 / t_plan,
         t_ref * 1e3,
-        t_ref / t_plan
+        speedup
     );
-    format!(
-        "    {{\"n\": {n}, \"n_angles\": {n_angles}, \"plan_ms\": {}, \"reference_ms\": {}, \"plan_slices_per_s\": {}, \"plan_mpix_per_s\": {}, \"speedup\": {}}}",
+    let json = format!(
+        "    {{\"n\": {n}, \"n_angles\": {n_angles}, \"simd_path\": \"{}\", \"plan_ms\": {}, \"reference_ms\": {}, \"plan_slices_per_s\": {}, \"plan_mpix_per_s\": {}, \"speedup\": {}}}",
+        path.name(),
         json_num(t_plan * 1e3),
         json_num(t_ref * 1e3),
         json_num(1.0 / t_plan),
         json_num(mpix / t_plan),
-        json_num(t_ref / t_plan)
+        json_num(speedup)
+    );
+    SliceResult {
+        json,
+        plan_ms: t_plan * 1e3,
+        speedup,
+    }
+}
+
+/// Fused prep chain (PrepPlan + ring + Paganin post-stage, one pass)
+/// vs the unfused reference chain, same inputs, same run.
+fn prep_chain_entry(n: usize, n_angles: usize, reps: usize) -> String {
+    let (sino, _) = shepp_sino(n, n_angles);
+    // treat the projections as raw-ish counts so normalize has work to do
+    let mut raw = sino.clone();
+    for v in raw.data.iter_mut() {
+        *v = 200.0 + v.abs() * 50.0;
+    }
+    let dark = vec![100.0f32; n];
+    let flat = vec![1000.0f32; n];
+    let plan = prep::PrepPlan::new(&dark, &flat, Some(0.5))
+        .with_ring(9)
+        .with_paganin(40.0);
+    let mut scratch = plan.make_post_scratch();
+    let t_fused = time_best(reps, || {
+        let mut s = raw.clone();
+        plan.apply_with(&mut s, &mut scratch);
+        black_box(s);
+    });
+    let t_ref = time_best(reps, || {
+        black_box(reference::prep_chain(
+            &raw,
+            &dark,
+            &flat,
+            Some(0.5),
+            Some(9),
+            Some(40.0),
+        ));
+    });
+    println!(
+        "prep/chain {n_angles}x{n} (norm+zinger+log+ring+paganin): fused {:.3} ms, reference {:.3} ms, speedup {:.2}x",
+        t_fused * 1e3,
+        t_ref * 1e3,
+        t_ref / t_fused
+    );
+    format!(
+        "    {{\"n_det\": {n}, \"n_angles\": {n_angles}, \"fused_ms\": {}, \"reference_ms\": {}, \"speedup\": {}}}",
+        json_num(t_fused * 1e3),
+        json_num(t_ref * 1e3),
+        json_num(t_ref / t_fused)
     )
 }
 
@@ -243,21 +326,36 @@ fn volume_entry(n: usize, n_angles: usize, nz: usize, reps: usize) -> VolumeResu
     }
 }
 
+/// Committed quick-mode reference for the CI regression guard.
+fn load_quick_reference(path: &Path) -> Option<f64> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    let parsed: serde_json::Value = serde_json::from_str(&raw).ok()?;
+    parsed.get("quick_slice_fbp_256_plan_ms")?.as_f64()
+}
+
 fn recon_throughput(quick: bool) {
     let reps = if quick { 1 } else { 3 };
     let nz = if quick { 4 } else { 8 };
+    println!("{}", cpu_block().trim());
     let slice_sizes: &[(usize, usize)] = &[(64, 90), (128, 180), (256, 180), (512, 360)];
-    let slices: Vec<String> = slice_sizes
+    let slices: Vec<SliceResult> = slice_sizes
         .iter()
         .map(|&(n, a)| slice_entry(n, a, reps))
+        .collect();
+    let preps: Vec<String> = [(256usize, 180usize), (512, 360)]
+        .iter()
+        .map(|&(n, a)| prep_chain_entry(n, a, reps))
         .collect();
     // the acceptance volume: 256×256, 180 angles
     let vol = volume_entry(256, 180, nz, reps);
 
+    let slice_rows: Vec<&str> = slices.iter().map(|s| s.json.as_str()).collect();
     let json = format!(
-        "{{\n  \"bench\": \"recon\",\n  \"mode\": \"{}\",\n  \"note\": \"plan engine vs retained pre-plan reference, same run, same inputs; scaling_efficiency = (speedup vs 1 thread) / threads, reported only for rows with threads <= available_cores (oversubscribed rows are flagged and carry null efficiency)\",\n  \"slice_fbp\": [\n{}\n  ],\n  \"volume_fbp\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"recon\",\n  \"mode\": \"{}\",\n{},\n  \"note\": \"plan engine vs retained pre-plan reference, same run, same inputs; scaling_efficiency = (speedup vs 1 thread) / threads, reported only for rows with threads <= available_cores (oversubscribed rows are flagged and carry null efficiency)\",\n  \"slice_fbp\": [\n{}\n  ],\n  \"prep_chain\": [\n{}\n  ],\n  \"volume_fbp\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
-        slices.join(",\n"),
+        cpu_block(),
+        slice_rows.join(",\n"),
+        preps.join(",\n"),
         vol.json
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recon.json");
@@ -268,6 +366,47 @@ fn recon_throughput(quick: bool) {
             "WARNING: single-thread volume speedup {:.2}x below the 3x acceptance bar",
             vol.single_thread_speedup
         );
+    }
+    let big_slices_fast = slices
+        .iter()
+        .zip(slice_sizes)
+        .filter(|(_, &(n, _))| n >= 256)
+        .all(|(s, _)| s.speedup >= 10.0);
+    if !quick && !big_slices_fast {
+        println!("WARNING: n>=256 slice_fbp speedup below the 10x acceptance bar");
+    }
+
+    // CI regression guard (quick mode only): the 256×256 slice row must
+    // stay within 2x of the committed reference, same pattern as the
+    // pipeline and orchestrator benches.
+    if quick {
+        let guard_row = slices
+            .iter()
+            .zip(slice_sizes)
+            .find(|(_, &(n, _))| n == 256)
+            .map(|(s, _)| s.plan_ms);
+        let ref_path = Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../ci/recon_quick_ref.json"
+        ));
+        match (guard_row, load_quick_reference(ref_path)) {
+            (Some(quick_ms), Some(ref_ms)) => {
+                println!(
+                    "recon quick guard: slice_fbp 256 plan {:.3} ms vs committed reference {:.3} ms",
+                    quick_ms, ref_ms
+                );
+                if quick_ms > 2.0 * ref_ms {
+                    eprintln!(
+                        "REGRESSION: quick slice_fbp 256 plan time {quick_ms:.3} ms exceeds 2x the committed reference {ref_ms:.3} ms"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            _ => println!(
+                "recon quick guard: no committed reference at {} — skipping",
+                ref_path.display()
+            ),
+        }
     }
 }
 

@@ -89,7 +89,7 @@ impl FileBranchConfig {
             zinger_threshold: self.zinger_threshold,
             slab_rows: self.slab_rows,
             queue_depth: self.queue_depth,
-            registry: None,
+            ..Default::default()
         }
     }
 }

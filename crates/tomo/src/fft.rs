@@ -4,8 +4,11 @@
 //! dependency. Sizes are restricted to powers of two; callers zero-pad
 //! (which FBP wants anyway to avoid circular-convolution wraparound).
 
-/// A complex number in `f64`.
+/// A complex number in `f64`. `repr(C)` so a `[Complex]` slice can be
+/// reinterpreted as interleaved `(re, im)` f64 pairs by the SIMD
+/// kernels in [`crate::simd`].
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     pub re: f64,
     pub im: f64,
@@ -141,6 +144,13 @@ fn fft_inplace(data: &mut [Complex], inverse: bool) {
 ///
 /// Table twiddles are each computed directly with `sin`/`cos`, so a plan
 /// is also slightly *more* accurate than the recursive path.
+///
+/// Plans dispatch their butterfly stages through [`crate::simd`]: on
+/// hosts with AVX2+FMA the stage loop runs two complexes per 256-bit
+/// lane, **bit-identical** to the scalar loop (mul + addsub, no FMA
+/// contraction — see `simd::stage_butterflies`); elsewhere the scalar
+/// loop runs. [`FftPlan::new`] picks the detected path; tests force
+/// paths via [`FftPlan::with_simd_path`].
 #[derive(Debug, Clone)]
 pub struct FftPlan {
     n: usize,
@@ -149,6 +159,8 @@ pub struct FftPlan {
     /// Forward twiddles, stages concatenated: for each `len` in
     /// `2, 4, …, n`, the factors `e^{-2πi j/len}` for `j < len/2`.
     tw: Vec<Complex>,
+    /// Which butterfly kernel the stage loop dispatches to.
+    path: crate::simd::SimdPath,
 }
 
 impl FftPlan {
@@ -179,7 +191,25 @@ impl FftPlan {
             }
             len <<= 1;
         }
-        FftPlan { n, rev, tw }
+        FftPlan {
+            n,
+            rev,
+            tw,
+            path: crate::simd::detect(),
+        }
+    }
+
+    /// Force a specific SIMD path (clamped to what the host supports).
+    /// Used by the equivalence tests and benches; [`FftPlan::new`]
+    /// already picks the widest safe path.
+    pub fn with_simd_path(mut self, path: crate::simd::SimdPath) -> FftPlan {
+        self.path = path.clamp_to_host();
+        self
+    }
+
+    /// The butterfly kernel family this plan dispatches to.
+    pub fn simd_path(&self) -> crate::simd::SimdPath {
+        self.path
     }
 
     /// Transform length this plan was built for.
@@ -220,13 +250,7 @@ impl FftPlan {
             let tw = &self.tw[stage..stage + half];
             for chunk in data.chunks_mut(len) {
                 let (lo, hi) = chunk.split_at_mut(half);
-                for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(tw.iter()) {
-                    let w = if inverse { w.conj() } else { w };
-                    let u = *a;
-                    let v = *b * w;
-                    *a = u + v;
-                    *b = u - v;
-                }
+                crate::simd::stage_butterflies(self.path, lo, hi, tw, inverse);
             }
             stage += half;
             len <<= 1;
@@ -482,6 +506,26 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn plan_rejects_non_pow2() {
         FftPlan::new(12);
+    }
+
+    #[test]
+    fn simd_plan_is_bit_identical_to_scalar_plan() {
+        use crate::simd::SimdPath;
+        for n in [2usize, 4, 16, 128, 1024] {
+            let scalar = FftPlan::new(n).with_simd_path(SimdPath::Scalar);
+            let wide = FftPlan::new(n).with_simd_path(SimdPath::Avx2);
+            let orig: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.29).sin(), (i as f64 * 0.61).cos()))
+                .collect();
+            let mut a = orig.clone();
+            let mut b = orig;
+            scalar.forward(&mut a);
+            wide.forward(&mut b);
+            assert_eq!(a, b, "forward n={n} diverged across SIMD paths");
+            scalar.inverse(&mut a);
+            wide.inverse(&mut b);
+            assert_eq!(a, b, "inverse n={n} diverged across SIMD paths");
+        }
     }
 
     #[test]

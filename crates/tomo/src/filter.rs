@@ -123,7 +123,11 @@ pub struct FilterPlan {
     pad: usize,
     /// One real gain per FFT bin; empty for [`FilterKind::None`].
     response: Vec<f64>,
+    /// `response` with each gain duplicated (`[g0, g0, g1, g1, ...]`) so
+    /// the spectrum multiply can run two f64 lanes per complex bin.
+    resp2: Vec<f64>,
     fft: FftPlan,
+    path: crate::simd::SimdPath,
 }
 
 impl FilterPlan {
@@ -136,12 +140,29 @@ impl FilterPlan {
         } else {
             kind.response(pad)
         };
+        let resp2 = response.iter().flat_map(|&g| [g, g]).collect();
         FilterPlan {
             n_det,
             pad,
             response,
+            resp2,
             fft: FftPlan::new(pad),
+            path: crate::simd::detect(),
         }
+    }
+
+    /// Force a specific SIMD path (clamped to host capability), also
+    /// propagated to the embedded FFT plan. Used by the benches and the
+    /// SIMD-vs-scalar equivalence gates.
+    pub fn with_simd_path(mut self, path: crate::simd::SimdPath) -> FilterPlan {
+        self.path = path.clamp_to_host();
+        self.fft = self.fft.with_simd_path(path);
+        self
+    }
+
+    /// Which SIMD path the spectrum multiply dispatches to.
+    pub fn simd_path(&self) -> crate::simd::SimdPath {
+        self.path
     }
 
     /// Padded FFT length; the scratch buffer must be exactly this long.
@@ -187,9 +208,7 @@ impl FilterPlan {
                 *c = Complex::ZERO;
             }
             self.fft.forward(cbuf);
-            for (c, &r) in cbuf.iter_mut().zip(self.response.iter()) {
-                *c = c.scale(r);
-            }
+            crate::simd::scale_spectrum(self.path, cbuf, &self.resp2);
             self.fft.inverse(cbuf);
             for (o, c) in out.row_mut(a).iter_mut().zip(cbuf.iter()) {
                 *o = c.re as f32;
@@ -312,5 +331,28 @@ mod tests {
         let sino = Sinogram::zeros(7, 33);
         let f = filter_sinogram(&sino, FilterKind::Hamming);
         assert_eq!((f.n_angles, f.n_det), (7, 33));
+    }
+
+    #[test]
+    fn simd_filter_is_bit_identical_to_scalar_on_odd_widths() {
+        use crate::simd::SimdPath;
+        // odd detector widths exercise the padded tail and the unpacked
+        // final row; the SIMD spectrum multiply must round identically
+        for nd in [17usize, 33, 63, 129] {
+            let mut sino = Sinogram::zeros(5, nd);
+            for (i, v) in sino.data.iter_mut().enumerate() {
+                *v = ((i as f32 * 0.37).sin() + 0.1) * 3.0;
+            }
+            let scalar =
+                FilterPlan::new(FilterKind::SheppLogan, nd).with_simd_path(SimdPath::Scalar);
+            let wide = FilterPlan::new(FilterKind::SheppLogan, nd).with_simd_path(SimdPath::Avx2);
+            let mut buf_a = scalar.make_buf();
+            let mut buf_b = wide.make_buf();
+            let mut out_a = Sinogram::zeros(5, nd);
+            let mut out_b = Sinogram::zeros(5, nd);
+            scalar.filter_rows(&sino, &mut buf_a, &mut out_a);
+            wide.filter_rows(&sino, &mut buf_b, &mut out_b);
+            assert_eq!(out_a.data, out_b.data, "nd={nd} diverged across paths");
+        }
     }
 }

@@ -27,6 +27,8 @@
 //!   fused prep, slice-parallel reconstruction, and archive sinks on a
 //!   dedicated I/O thread, connected by bounded channels so the stages
 //!   overlap;
+//! * [`simd`] — runtime-dispatched wide kernels (AVX2/FMA with a scalar
+//!   fallback) shared by the plan engine, FFT stages, and filter multiply;
 //! * [`reference`] — retained pre-plan kernels, kept for equivalence
 //!   tests and same-run before/after benchmarking;
 //! * [`quality`] — MSE/PSNR/SSIM metrics used by the quality experiments;
@@ -51,6 +53,7 @@ pub mod prep;
 pub mod quality;
 pub mod radon;
 pub mod reference;
+pub mod simd;
 pub mod sino_ops;
 pub mod throughput;
 
@@ -67,9 +70,10 @@ pub use pipeline::{
     VolumeSink,
 };
 pub use plan::{GridrecPlan, GridrecScratch, ReconPlan, ReconScratch};
-pub use prep::{PrepPlan, RawPrepPlan};
+pub use prep::{PaganinPlan, PrepPlan, RawPrepPlan, SinoPostPlan, SinoPostScratch};
 pub use quality::{mse, psnr, ssim};
 pub use radon::{backproject, forward_project};
+pub use simd::SimdPath;
 pub use sino_ops::{bin_detector, crop_roi, fold_360_to_180, pad_edges};
 
 /// Errors produced by reconstruction entry points.

@@ -93,6 +93,11 @@ pub struct PipelineConfig {
     pub mu_scale: f64,
     /// Log-domain zinger threshold; `None` disables zinger removal.
     pub zinger_threshold: Option<f32>,
+    /// Ring-suppression window for the fused per-slice post-stage;
+    /// `None` disables ring removal (the historical behaviour).
+    pub ring_window: Option<usize>,
+    /// Paganin phase-filter strength (δ/β); `None` or ≤ 0 disables it.
+    pub paganin_delta_beta: Option<f64>,
     /// Detector rows (= output slices) per slab; 0 picks a default.
     pub slab_rows: usize,
     /// Bounded-channel capacity between stages, in slabs.
@@ -109,6 +114,8 @@ impl Default for PipelineConfig {
             recon: ReconKind::Fbp(FbpConfig::default()),
             mu_scale: 1.0,
             zinger_threshold: None,
+            ring_window: None,
+            paganin_delta_beta: None,
             slab_rows: 0,
             queue_depth: 2,
             registry: None,
@@ -270,7 +277,12 @@ pub fn run(
         cols,
         cfg.mu_scale,
         cfg.zinger_threshold,
-    );
+    )
+    .with_post(crate::prep::SinoPostPlan::new(
+        cols,
+        cfg.ring_window,
+        cfg.paganin_delta_beta,
+    ));
     let plan_build = t0.elapsed();
 
     let slab_rows = if cfg.slab_rows == 0 {
@@ -419,6 +431,7 @@ pub fn run(
         // slice-parallel reconstruction over the shared plan.
         let mut prep_busy = Duration::ZERO;
         let mut recon_busy = Duration::ZERO;
+        let mut post_scratch = prep.make_post_scratch();
         while let Ok((r0, k, raw)) = raw_rx.recv() {
             raw_depth.dec();
             prep_active.inc();
@@ -430,6 +443,9 @@ pub fn run(
                 for a in 0..n_angles {
                     let off = base + a * cols;
                     prep.prep_angle_row(r0 + i, &raw[off..off + cols], sino.row_mut(a));
+                }
+                if !prep.post_is_empty() {
+                    prep.finish_sinogram(&mut sino, &mut post_scratch);
                 }
                 sinos.push(sino);
             }
@@ -609,7 +625,7 @@ mod tests {
             zinger_threshold: Some(0.5),
             slab_rows: 4,
             queue_depth: 2,
-            registry: None,
+            ..Default::default()
         };
         let (vol, report) = run_volume(&scan, &cfg);
         assert_eq!(report.slices, 6);
@@ -655,7 +671,7 @@ mod tests {
             zinger_threshold: Some(0.5),
             slab_rows: 1,
             queue_depth: 1,
-            registry: None,
+            ..Default::default()
         };
         let (v1, _) = run_volume(&scan, &base_cfg);
         for slab_rows in [2, 3, 5] {
@@ -666,6 +682,60 @@ mod tests {
             };
             let (v, _) = run_volume(&scan, &cfg);
             assert_eq!(v1, v, "slab_rows {slab_rows} changed the output");
+        }
+    }
+
+    #[test]
+    fn ring_and_paganin_flow_through_the_fused_post_stage() {
+        let scan = MemScan::synthetic(12, 4, 24);
+        let cfg = PipelineConfig {
+            recon: ReconKind::Fbp(FbpConfig::default()),
+            mu_scale: 0.04,
+            zinger_threshold: Some(0.5),
+            ring_window: Some(5),
+            paganin_delta_beta: Some(30.0),
+            slab_rows: 2,
+            queue_depth: 2,
+            registry: None,
+        };
+        let (vol, _) = run_volume(&scan, &cfg);
+
+        // per-slice reference: same prep plan + the unfused
+        // remove_stripes → paganin_filter chain, then the same recon plan
+        let geom = Geometry {
+            angles: scan.scan_angles(),
+            n_det: scan.cols,
+            center: (scan.cols as f64 - 1.0) / 2.0,
+        };
+        let prep = RawPrepPlan::new(
+            &scan.dark,
+            &scan.flat,
+            scan.rows,
+            scan.cols,
+            cfg.mu_scale,
+            cfg.zinger_threshold,
+        );
+        let plan = ReconPlan::new(&geom, &FbpConfig::default()).unwrap();
+        let mut scratch = plan.make_scratch();
+        for r in 0..scan.rows {
+            let mut sino = Sinogram::zeros(scan.n_angles, scan.cols);
+            for a in 0..scan.n_angles {
+                let f = &scan.frames[a][r * scan.cols..(r + 1) * scan.cols];
+                prep.prep_angle_row(r, f, sino.row_mut(a));
+            }
+            let sino = crate::prep::remove_stripes(&sino, 5);
+            let sino = crate::prep::paganin_filter(&sino, 30.0);
+            let img = plan.fbp_slice_with(&sino, &mut scratch).unwrap();
+            let got = &vol[r * scan.cols * scan.cols..(r + 1) * scan.cols * scan.cols];
+            let rmse = (img
+                .data
+                .iter()
+                .zip(got.iter())
+                .map(|(a, b)| ((a - b) as f64).powi(2))
+                .sum::<f64>()
+                / img.data.len() as f64)
+                .sqrt();
+            assert!(rmse < 1e-5, "slice {r}: fused post-stage rmse {rmse}");
         }
     }
 

@@ -26,11 +26,18 @@
 //!   and unpacked from the real/imaginary parts. Linearity of the FFT
 //!   and the realness of the filter make this exact; it halves the FFT
 //!   work per sinogram.
-//! * **incremental backprojection** — `t = x·cosθ + y·sinθ + center` is
-//!   affine in `x`, so the inner loop advances `t` by `cosθ` instead of
-//!   recomputing the full affine form per pixel, and the valid `x`
-//!   range (where `t` lands on the detector *and* inside the disk mask)
-//!   is hoisted out of the loop so the body carries no bounds checks.
+//! * **interval-clipped backprojection** — `t = x·cosθ + y·sinθ +
+//!   center` is affine in `x`, so the valid `x` range (where `t` lands
+//!   on the detector *and* inside the disk mask) is a single interval
+//!   per `(angle, row)` pair. Those intervals are slice-independent, so
+//!   the plan precomputes all of them at build time and the hot loop
+//!   carries neither bounds checks nor the per-row binary search.
+//! * **SIMD row kernels with cache-blocked tiling** — the fused-lerp
+//!   inner loop runs through [`crate::simd::backproject_row`] (8 f32
+//!   lanes per iteration on AVX2/FMA hosts, lane-chunked scalar
+//!   fallback elsewhere), and the angle sweep is tiled over blocks of
+//!   output rows so the block being accumulated stays in L1/L2 while
+//!   every sinogram row streams over it once per tile.
 //!
 //! The pre-plan implementations are retained verbatim in
 //! [`crate::reference`]; equivalence tests and the `kernels` bench
@@ -59,8 +66,16 @@ pub struct ReconPlan {
     /// Per output row `y`: the half-open pixel range `[x0, x1)` to
     /// reconstruct (disk-mask extent, or the full row when unmasked).
     extents: Vec<(usize, usize)>,
+    /// Per `(angle, row)` pair (index `a * n_det + y`): the half-open
+    /// pixel range whose detector coordinate lands on the detector,
+    /// already intersected with the row extent. Slice-independent, so
+    /// the per-row binary search runs once at build time instead of
+    /// once per backprojected row.
+    intervals: Vec<(u32, u32)>,
     /// Backprojection weight `π / n_angles`.
     scale: f64,
+    /// Which SIMD kernels the hot loops dispatch to.
+    path: crate::simd::SimdPath,
 }
 
 /// Reusable per-thread buffers for plan-based reconstruction.
@@ -70,6 +85,9 @@ pub struct ReconScratch {
     cbuf: Vec<Complex>,
     /// Filtered-sinogram buffer.
     filtered: Sinogram,
+    /// Prescaled f32 sinogram (`n_angles × (n_det + 1)`, one sentinel
+    /// `0.0` per row) feeding the SIMD backprojection kernel.
+    rowsf: Vec<f32>,
 }
 
 impl ReconPlan {
@@ -81,8 +99,8 @@ impl ReconPlan {
         }
         geom.validate(geom.n_angles(), geom.n_det)?;
         let n = geom.n_det;
-        let trig = geom.angles.iter().map(|&t| t.sin_cos()).collect();
-        let extents = (0..n)
+        let trig: Vec<(f64, f64)> = geom.angles.iter().map(|&t| t.sin_cos()).collect();
+        let extents: Vec<(usize, usize)> = (0..n)
             .map(|y| {
                 if !cfg.mask_disk {
                     return (0, n);
@@ -97,14 +115,37 @@ impl ReconPlan {
                 }
             })
             .collect();
+        let intervals = build_intervals(&trig, &extents, n, geom.center);
         Ok(ReconPlan {
             geom: geom.clone(),
             cfg: *cfg,
             filter: FilterPlan::new(cfg.filter, n),
             trig,
             extents,
+            intervals,
             scale: std::f64::consts::PI / geom.n_angles() as f64,
+            path: crate::simd::detect(),
         })
+    }
+
+    /// Force a specific SIMD path (clamped to host capability) for the
+    /// backprojection kernel, the filter multiply, and the embedded FFT
+    /// plan. Used by the benches and the SIMD-vs-scalar gates.
+    pub fn with_simd_path(mut self, path: crate::simd::SimdPath) -> ReconPlan {
+        self.path = path.clamp_to_host();
+        self.filter = self.filter.with_simd_path(path);
+        self
+    }
+
+    /// Which SIMD path the hot loops dispatch to.
+    pub fn simd_path(&self) -> crate::simd::SimdPath {
+        self.path
+    }
+
+    /// Per output row `y`: the half-open pixel range `[x0, x1)` the
+    /// plan reconstructs (disk-mask extent, or the full row unmasked).
+    pub fn row_extents(&self) -> &[(usize, usize)] {
+        &self.extents
     }
 
     pub fn geometry(&self) -> &Geometry {
@@ -121,6 +162,7 @@ impl ReconPlan {
         ReconScratch {
             cbuf: self.filter.make_buf(),
             filtered: Sinogram::zeros(self.geom.n_angles(), self.geom.n_det),
+            rowsf: vec![0.0; self.geom.n_angles() * (self.geom.n_det + 1)],
         }
     }
 
@@ -128,88 +170,94 @@ impl ReconPlan {
     /// cached frequency response, two rows per complex FFT (see
     /// [`FilterPlan::filter_rows`]).
     pub fn filter_sinogram_with(&self, sino: &Sinogram, scratch: &mut ReconScratch) {
-        let ReconScratch { cbuf, filtered } = scratch;
+        let ReconScratch { cbuf, filtered, .. } = scratch;
         self.filter.filter_rows(sino, cbuf, filtered);
     }
 
     /// Accumulate the backprojection of `sino` into `out` (`n_det²`
     /// pixels, row-major), weighting every angle by `scale`. Pixels
-    /// outside the plan's row extents are untouched.
+    /// outside the plan's row extents are untouched. Allocates the
+    /// prescale buffer internally; hot loops should go through
+    /// [`ReconPlan::fbp_slice_into`], which reuses scratch.
     pub fn backproject_acc(&self, sino: &Sinogram, out: &mut [f32], scale: f64) {
-        let mut rowf = vec![0.0f64; self.geom.n_det + 1];
-        for (a, &(sin_t, cos_t)) in self.trig.iter().enumerate() {
-            prescale_row(sino.row(a), scale, &mut rowf);
-            self.backproject_one(&rowf, sin_t, cos_t, out);
-        }
+        let mut rowsf = vec![0.0f32; self.geom.n_angles() * (self.geom.n_det + 1)];
+        prescale_sino(sino, scale, &mut rowsf);
+        self.backproject_prescaled(&rowsf, out);
     }
 
     /// Accumulate the backprojection of a single projection row (angle
     /// index `a` of the plan's geometry) into `out`.
     pub fn backproject_angle_acc(&self, row: &[f32], a: usize, out: &mut [f32], scale: f64) {
-        let (sin_t, cos_t) = self.trig[a];
-        let mut rowf = vec![0.0f64; self.geom.n_det + 1];
-        prescale_row(row, scale, &mut rowf);
-        self.backproject_one(&rowf, sin_t, cos_t, out);
-    }
-
-    /// `rowf` is the projection row pre-multiplied by the angle weight,
-    /// one sentinel `0.0` appended (see [`prescale_row`]).
-    fn backproject_one(&self, rowf: &[f64], sin_t: f64, cos_t: f64, out: &mut [f32]) {
         let n = self.geom.n_det;
         debug_assert_eq!(out.len(), n * n);
-        debug_assert_eq!(rowf.len(), n + 1);
+        let mut rowf = vec![0.0f32; n + 1];
+        prescale_row(row, scale, &mut rowf);
+        let (_, cos_t) = self.trig[a];
         let c = (n as f64 - 1.0) / 2.0;
-        let last = (n - 1) as f64;
         for y in 0..n {
-            let (x0, x1) = self.extents[y];
-            if x0 >= x1 {
-                continue;
-            }
-            let yr = y as f64 - c;
-            // Detector coordinate with the same float association as the
-            // reference backprojector's bounds test, so inclusion never
-            // flips on a boundary ulp.
-            let t_of = |x: usize| -> f64 { (x as f64 - c) * cos_t + yr * sin_t + self.geom.center };
-            // t_of is weakly monotone in x (affine map, and f64 rounding
-            // is monotone), so the x range landing on the detector is a
-            // single interval — binary-search its endpoints instead of
-            // bounds-testing every pixel. An inverse float solve is NOT
-            // safe here: near θ = π/2, rounding makes t_of plateau at a
-            // boundary value across many pixels, far outside any fixed
-            // widening of the algebraic interval.
-            let (xa, xb) = if cos_t > 0.0 {
-                (
-                    lower_bound(x0, x1, |x| t_of(x) >= 0.0),
-                    lower_bound(x0, x1, |x| t_of(x) > last),
-                )
-            } else if cos_t < 0.0 {
-                (
-                    lower_bound(x0, x1, |x| t_of(x) <= last),
-                    lower_bound(x0, x1, |x| t_of(x) < 0.0),
-                )
-            } else if (0.0..=last).contains(&t_of(x0)) {
-                (x0, x1)
-            } else {
-                continue;
-            };
+            let (xa, xb) = self.intervals[a * n + y];
+            let (xa, xb) = (xa as usize, xb as usize);
             if xa >= xb {
                 continue;
             }
-            let base = yr * sin_t + self.geom.center;
-            // Hoisted bounds: every x in [xa, xb) passes the predicate,
-            // so t stays in [0, last] (give or take ~n·ε of incremental
-            // drift) and the loop needs no clamp branches: `t as usize`
-            // saturates at 0 for drift below zero, and the sentinel
-            // rowf[n] = 0 absorbs i+1 = n when t lands on `last` — the
-            // f ≈ 0 weight makes either deviation vanish in round-off.
-            let mut t = (xa as f64 - c) * cos_t + base;
-            for o in out[y * n + xa..y * n + xb].iter_mut() {
-                let i = t as usize;
-                let f = t - i as f64;
-                let lo = rowf[i];
-                *o += (lo + f * (rowf[i + 1] - lo)) as f32;
-                t += cos_t;
+            let t0 = self.t_start(a, y, xa, c);
+            crate::simd::backproject_row(
+                self.path,
+                &rowf,
+                t0,
+                cos_t,
+                &mut out[y * n + xa..y * n + xb],
+            );
+        }
+    }
+
+    /// Detector coordinate of pixel `(xa, y)` at angle `a`, with the
+    /// same float association as the interval predicate so the kernel
+    /// never starts outside `[0, n_det − 1]`.
+    #[inline]
+    fn t_start(&self, a: usize, y: usize, xa: usize, c: f64) -> f64 {
+        let (sin_t, cos_t) = self.trig[a];
+        let yr = y as f64 - c;
+        (xa as f64 - c) * cos_t + (yr * sin_t + self.geom.center)
+    }
+
+    /// Backproject a whole prescaled sinogram (`rowsf` as produced by
+    /// [`prescale_sino`]) into `out`, tiled over blocks of output rows:
+    /// the loop order is tile → angle → row, so the `tile × n_det`
+    /// output block being accumulated stays cache-resident while every
+    /// sinogram row streams over it once per tile, and each output
+    /// pixel still sums its angles in ascending order (the result is
+    /// numerically identical to the untiled sweep).
+    fn backproject_prescaled(&self, rowsf: &[f32], out: &mut [f32]) {
+        let n = self.geom.n_det;
+        let stride = n + 1;
+        debug_assert_eq!(out.len(), n * n);
+        debug_assert_eq!(rowsf.len(), self.trig.len() * stride);
+        let c = (n as f64 - 1.0) / 2.0;
+        let tile = tile_rows(n);
+        let mut y0 = 0usize;
+        while y0 < n {
+            let y1 = (y0 + tile).min(n);
+            for (a, &(sin_t, cos_t)) in self.trig.iter().enumerate() {
+                let rowf = &rowsf[a * stride..(a + 1) * stride];
+                let ivals = &self.intervals[a * n..(a + 1) * n];
+                for (y, &(xa, xb)) in ivals.iter().enumerate().take(y1).skip(y0) {
+                    let (xa, xb) = (xa as usize, xb as usize);
+                    if xa >= xb {
+                        continue;
+                    }
+                    let yr = y as f64 - c;
+                    let t0 = (xa as f64 - c) * cos_t + (yr * sin_t + self.geom.center);
+                    crate::simd::backproject_row(
+                        self.path,
+                        rowf,
+                        t0,
+                        cos_t,
+                        &mut out[y * n + xa..y * n + xb],
+                    );
+                }
             }
+            y0 = y1;
         }
     }
 
@@ -218,10 +266,15 @@ impl ReconPlan {
     /// slice). The buffer is fully overwritten. Shapes must already be
     /// validated against the plan's geometry.
     pub fn fbp_slice_into(&self, sino: &Sinogram, scratch: &mut ReconScratch, out: &mut [f32]) {
-        let ReconScratch { cbuf, filtered } = scratch;
+        let ReconScratch {
+            cbuf,
+            filtered,
+            rowsf,
+        } = scratch;
         self.filter.filter_rows(sino, cbuf, filtered);
+        prescale_sino(filtered, self.scale, rowsf);
         out.fill(0.0);
-        self.backproject_acc(filtered, out, self.scale);
+        self.backproject_prescaled(rowsf, out);
     }
 
     /// Filtered back projection of one sinogram, returning a fresh
@@ -277,17 +330,85 @@ impl ReconPlan {
     }
 }
 
-/// Widen a projection row to f64 pre-multiplied by the angle weight,
-/// so the backprojection inner loop pays neither the scale multiply
-/// nor the f32→f64 conversion per pixel. `rowf` must hold `n + 1`
-/// entries; the extra sentinel stays `0.0` and is only ever read with
-/// an interpolation weight of (numerically) zero.
-fn prescale_row(row: &[f32], scale: f64, rowf: &mut [f64]) {
+/// Pre-multiply a projection row by the angle weight (in f64, rounded
+/// once to f32), so the backprojection inner loop pays no per-pixel
+/// scale multiply. `rowf` must hold `n + 1` entries; the extra
+/// sentinel stays `0.0` and is only ever read with an interpolation
+/// weight of (numerically) zero.
+fn prescale_row(row: &[f32], scale: f64, rowf: &mut [f32]) {
     debug_assert_eq!(rowf.len(), row.len() + 1);
     for (d, &s) in rowf.iter_mut().zip(row.iter()) {
-        *d = s as f64 * scale;
+        *d = (s as f64 * scale) as f32;
     }
     rowf[row.len()] = 0.0;
+}
+
+/// [`prescale_row`] over a whole sinogram, stride `n_det + 1` per row.
+fn prescale_sino(sino: &Sinogram, scale: f64, rowsf: &mut [f32]) {
+    let stride = sino.n_det + 1;
+    debug_assert_eq!(rowsf.len(), sino.n_angles * stride);
+    for (a, dst) in rowsf.chunks_exact_mut(stride).enumerate() {
+        prescale_row(sino.row(a), scale, dst);
+    }
+}
+
+/// Output rows per backprojection tile: sized so the `tile × n_det`
+/// f32 block under accumulation fits comfortably in L1 (32 KiB),
+/// floored at 8 rows so small images stay a single sweep.
+fn tile_rows(n: usize) -> usize {
+    (8192 / n.max(1)).clamp(8, 64)
+}
+
+/// Per-`(angle, row)` clip intervals: the half-open `x` range whose
+/// detector coordinate lands on the detector, intersected with the
+/// row extents. Uses the exact predicate (not an inverse float solve)
+/// because near θ = π/2 rounding makes `t_of` plateau at a boundary
+/// value across many pixels, far outside any fixed widening of the
+/// algebraic interval; `t_of` is weakly monotone in `x` (affine map,
+/// and f64 rounding is monotone), so each range is a single interval
+/// found by binary search.
+fn build_intervals(
+    trig: &[(f64, f64)],
+    extents: &[(usize, usize)],
+    n: usize,
+    center: f64,
+) -> Vec<(u32, u32)> {
+    let c = (n as f64 - 1.0) / 2.0;
+    let last = (n - 1) as f64;
+    let mut intervals = Vec::with_capacity(trig.len() * n);
+    for &(sin_t, cos_t) in trig {
+        for (y, &(x0, x1)) in extents.iter().enumerate() {
+            if x0 >= x1 {
+                intervals.push((0, 0));
+                continue;
+            }
+            let yr = y as f64 - c;
+            // Same float association as the reference backprojector's
+            // bounds test, so inclusion never flips on a boundary ulp.
+            let t_of = |x: usize| -> f64 { (x as f64 - c) * cos_t + yr * sin_t + center };
+            let (xa, xb) = if cos_t > 0.0 {
+                (
+                    lower_bound(x0, x1, |x| t_of(x) >= 0.0),
+                    lower_bound(x0, x1, |x| t_of(x) > last),
+                )
+            } else if cos_t < 0.0 {
+                (
+                    lower_bound(x0, x1, |x| t_of(x) <= last),
+                    lower_bound(x0, x1, |x| t_of(x) < 0.0),
+                )
+            } else if (0.0..=last).contains(&t_of(x0)) {
+                (x0, x1)
+            } else {
+                (0, 0)
+            };
+            intervals.push(if xa < xb {
+                (xa as u32, xb as u32)
+            } else {
+                (0, 0)
+            });
+        }
+    }
+    intervals
 }
 
 /// Smallest `x` in `[lo, hi]` for which `cond` holds, assuming `cond`

@@ -5,7 +5,18 @@
 //! dark/flat-field normalization → zinger removal → −log transform →
 //! ring-artifact suppression, with an optional Paganin-style single-material
 //! phase filter.
+//!
+//! Two layers exist for every step: standalone functions (the unfused
+//! originals, kept as the equivalence baseline — see also
+//! [`crate::reference::prep_chain`]) and the fused plans. [`PrepPlan`] /
+//! [`RawPrepPlan`] collapse normalization, zinger removal, and −log into
+//! one in-place pass per row; an optional [`SinoPostPlan`] rides behind
+//! them folding ring suppression (bit-for-bit equal to
+//! [`remove_stripes`]) and Paganin phase retrieval (precomputed filter
+//! response on a cached [`FftPlan`], two mirror-padded rows per complex
+//! FFT) into the same sweep over the sinogram.
 
+use crate::fft::{next_pow2, Complex, FftPlan};
 use crate::image::Sinogram;
 
 /// Normalize raw detector counts with dark- and flat-field references:
@@ -145,6 +156,203 @@ pub fn paganin_filter(sino: &Sinogram, delta_beta: f64) -> Sinogram {
     out
 }
 
+/// Precomputed Paganin low-pass: the `1 / (1 + α ω² pad)` transfer
+/// function and a table-driven [`FftPlan`], built once per detector
+/// width. The gains are real and symmetric, so — exactly like the ramp
+/// filter — two mirror-padded rows ride one complex FFT round trip.
+#[derive(Debug, Clone)]
+pub struct PaganinPlan {
+    n_det: usize,
+    pad: usize,
+    /// Per-bin gains duplicated (`[g0, g0, g1, g1, ...]`) for the SIMD
+    /// spectrum multiply.
+    gains2: Vec<f64>,
+    fft: FftPlan,
+    path: crate::simd::SimdPath,
+}
+
+impl PaganinPlan {
+    pub fn new(n_det: usize, delta_beta: f64) -> PaganinPlan {
+        assert!(n_det > 0, "empty detector");
+        assert!(delta_beta > 0.0, "delta_beta must be positive");
+        let pad = next_pow2(2 * n_det);
+        let alpha = delta_beta / 100.0;
+        let gains2 = (0..pad)
+            .flat_map(|k| {
+                let f = if k <= pad / 2 { k } else { pad - k } as f64 / pad as f64;
+                let w = 2.0 * f;
+                [1.0 / (1.0 + alpha * w * w * pad as f64); 2]
+            })
+            .collect();
+        PaganinPlan {
+            n_det,
+            pad,
+            gains2,
+            fft: FftPlan::new(pad),
+            path: crate::simd::detect(),
+        }
+    }
+
+    /// Padded FFT length; scratch buffers must be exactly this long.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Mirror-padded source index for padded position `i` (the same
+    /// reflection [`paganin_filter`] uses).
+    #[inline]
+    fn mirror(&self, i: usize) -> usize {
+        let idx = i % (2 * self.n_det);
+        let t = if idx < self.n_det {
+            idx
+        } else {
+            2 * self.n_det - 1 - idx
+        };
+        t.min(self.n_det - 1)
+    }
+
+    /// Low-pass every row of `sino` in place, two rows per complex FFT.
+    pub fn apply(&self, sino: &mut Sinogram, cbuf: &mut [Complex]) {
+        assert_eq!(sino.n_det, self.n_det, "detector width mismatch");
+        assert_eq!(cbuf.len(), self.pad, "scratch buffer length mismatch");
+        let mut a = 0usize;
+        while a < sino.n_angles {
+            let packed = a + 1 < sino.n_angles;
+            {
+                let r0 = sino.row(a);
+                if packed {
+                    let r1 = sino.row(a + 1);
+                    for (i, c) in cbuf.iter_mut().enumerate() {
+                        let t = self.mirror(i);
+                        *c = Complex::new(r0[t] as f64, r1[t] as f64);
+                    }
+                } else {
+                    for (i, c) in cbuf.iter_mut().enumerate() {
+                        *c = Complex::from_re(r0[self.mirror(i)] as f64);
+                    }
+                }
+            }
+            self.fft.forward(cbuf);
+            crate::simd::scale_spectrum(self.path, cbuf, &self.gains2);
+            self.fft.inverse(cbuf);
+            for (o, c) in sino.row_mut(a).iter_mut().zip(cbuf.iter()) {
+                *o = c.re as f32;
+            }
+            if packed {
+                for (o, c) in sino.row_mut(a + 1).iter_mut().zip(cbuf.iter()) {
+                    *o = c.im as f32;
+                }
+                a += 2;
+            } else {
+                a += 1;
+            }
+        }
+    }
+}
+
+/// Fused whole-sinogram post-stage riding behind the per-row prep
+/// plans: streaming column-mean ring detrend (bit-for-bit equal to
+/// [`remove_stripes`]) followed by the planned Paganin low-pass. Both
+/// steps are optional; with neither, [`SinoPostPlan::apply`] is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct SinoPostPlan {
+    ring_window: Option<usize>,
+    paganin: Option<PaganinPlan>,
+}
+
+/// Reusable buffers for [`SinoPostPlan::apply`].
+#[derive(Debug, Clone, Default)]
+pub struct SinoPostScratch {
+    /// Padded complex FFT staging buffer (Paganin only).
+    cbuf: Vec<Complex>,
+    /// Per-column mean accumulator (ring only).
+    col_mean: Vec<f64>,
+    /// Smoothed column-mean profile (ring only).
+    smooth: Vec<f64>,
+}
+
+impl SinoPostPlan {
+    pub fn new(
+        n_det: usize,
+        ring_window: Option<usize>,
+        paganin_delta_beta: Option<f64>,
+    ) -> SinoPostPlan {
+        SinoPostPlan {
+            ring_window,
+            paganin: paganin_delta_beta
+                .filter(|&db| db > 0.0)
+                .map(|db| PaganinPlan::new(n_det, db)),
+        }
+    }
+
+    /// True when the stage does nothing (lets callers skip the sweep).
+    pub fn is_empty(&self) -> bool {
+        self.ring_window.is_none() && self.paganin.is_none()
+    }
+
+    pub fn make_scratch(&self) -> SinoPostScratch {
+        SinoPostScratch {
+            cbuf: self
+                .paganin
+                .as_ref()
+                .map(|p| vec![Complex::ZERO; p.pad])
+                .unwrap_or_default(),
+            col_mean: Vec::new(),
+            smooth: Vec::new(),
+        }
+    }
+
+    /// Run the fused post-chain over a fully prepped sinogram in place.
+    pub fn apply(&self, sino: &mut Sinogram, scratch: &mut SinoPostScratch) {
+        if let Some(w) = self.ring_window {
+            ring_detrend_inplace(sino, w, &mut scratch.col_mean, &mut scratch.smooth);
+        }
+        if let Some(p) = &self.paganin {
+            p.apply(sino, &mut scratch.cbuf);
+        }
+    }
+}
+
+/// In-place ring suppression, bit-for-bit equal to [`remove_stripes`]:
+/// identical accumulation order for the column means, identical
+/// moving-average smoothing, identical subtraction expression.
+fn ring_detrend_inplace(
+    sino: &mut Sinogram,
+    window: usize,
+    col_mean: &mut Vec<f64>,
+    smooth: &mut Vec<f64>,
+) {
+    let n_det = sino.n_det;
+    if n_det == 0 || sino.n_angles == 0 {
+        return;
+    }
+    col_mean.clear();
+    col_mean.resize(n_det, 0.0);
+    for a in 0..sino.n_angles {
+        for (m, &v) in col_mean.iter_mut().zip(sino.row(a).iter()) {
+            *m += v as f64;
+        }
+    }
+    for m in col_mean.iter_mut() {
+        *m /= sino.n_angles as f64;
+    }
+    let w = window.max(1);
+    smooth.clear();
+    smooth.resize(n_det, 0.0);
+    for (t, sm) in smooth.iter_mut().enumerate() {
+        let lo = t.saturating_sub(w);
+        let hi = (t + w + 1).min(n_det);
+        let s: f64 = col_mean[lo..hi].iter().sum();
+        *sm = s / (hi - lo) as f64;
+    }
+    for a in 0..sino.n_angles {
+        let row = sino.row_mut(a);
+        for t in 0..n_det {
+            row[t] -= (col_mean[t] - smooth[t]) as f32;
+        }
+    }
+}
+
 /// In-place zinger-removal + −log over one row, bit-for-bit equal to
 /// `minus_log(&remove_zingers(...))` on that row. `row` holds the
 /// pre-log (normalized transmission) values on entry. The rolling
@@ -194,6 +402,7 @@ pub struct PrepPlan {
     dark: Vec<f32>,
     denom: Vec<f32>,
     zinger_threshold: Option<f32>,
+    post: SinoPostPlan,
 }
 
 impl PrepPlan {
@@ -210,7 +419,31 @@ impl PrepPlan {
             dark: dark.to_vec(),
             denom,
             zinger_threshold,
+            post: SinoPostPlan::default(),
         }
+    }
+
+    /// Fold ring-artifact suppression (window `window`, bit-for-bit
+    /// equal to [`remove_stripes`]) into [`PrepPlan::apply_with`].
+    pub fn with_ring(mut self, window: usize) -> PrepPlan {
+        self.post.ring_window = Some(window);
+        self
+    }
+
+    /// Fold the Paganin phase filter (strength `delta_beta`) into
+    /// [`PrepPlan::apply_with`]; values ≤ 0 disable it.
+    pub fn with_paganin(mut self, delta_beta: f64) -> PrepPlan {
+        self.post = SinoPostPlan {
+            ring_window: self.post.ring_window,
+            paganin: (delta_beta > 0.0).then(|| PaganinPlan::new(self.n_det(), delta_beta)),
+        };
+        self
+    }
+
+    /// Allocate the buffers [`PrepPlan::apply_with`] reuses across
+    /// sinograms.
+    pub fn make_post_scratch(&self) -> SinoPostScratch {
+        self.post.make_scratch()
     }
 
     pub fn n_det(&self) -> usize {
@@ -234,6 +467,14 @@ impl PrepPlan {
             self.apply_row(sino.row_mut(a));
         }
     }
+
+    /// [`PrepPlan::apply`] plus the fused ring/Paganin post-stage
+    /// configured via [`PrepPlan::with_ring`] / [`PrepPlan::with_paganin`],
+    /// all in one pass over the sinogram with reusable scratch.
+    pub fn apply_with(&self, sino: &mut Sinogram, scratch: &mut SinoPostScratch) {
+        self.apply(sino);
+        self.post.apply(sino, scratch);
+    }
 }
 
 /// Fused preprocessing plan for raw `u16` detector frames, matching the
@@ -252,6 +493,7 @@ pub struct RawPrepPlan {
     denom: Vec<f64>,
     mu_scale: f64,
     zinger_threshold: Option<f32>,
+    post: SinoPostPlan,
 }
 
 impl RawPrepPlan {
@@ -280,7 +522,33 @@ impl RawPrepPlan {
             denom,
             mu_scale,
             zinger_threshold,
+            post: SinoPostPlan::default(),
         }
+    }
+
+    /// Attach a fused ring/Paganin post-stage, run per slice by
+    /// [`RawPrepPlan::finish_sinogram`] after all angle rows landed.
+    pub fn with_post(mut self, post: SinoPostPlan) -> RawPrepPlan {
+        self.post = post;
+        self
+    }
+
+    /// True when [`RawPrepPlan::finish_sinogram`] would do nothing.
+    pub fn post_is_empty(&self) -> bool {
+        self.post.is_empty()
+    }
+
+    /// Allocate the buffers [`RawPrepPlan::finish_sinogram`] reuses
+    /// across slices.
+    pub fn make_post_scratch(&self) -> SinoPostScratch {
+        self.post.make_scratch()
+    }
+
+    /// Run the fused ring/Paganin post-stage over one fully assembled
+    /// sinogram (all angle rows already prepped via
+    /// [`RawPrepPlan::prep_angle_row`]).
+    pub fn finish_sinogram(&self, sino: &mut Sinogram, scratch: &mut SinoPostScratch) {
+        self.post.apply(sino, scratch);
     }
 
     pub fn shape(&self) -> (usize, usize) {
@@ -329,12 +597,15 @@ fn zinger_row_inplace(row: &mut [f32], threshold: Option<f32>) {
 }
 
 /// The full standard preprocessing chain used by the file-based pipeline.
-/// Normalization, zinger removal, and −log run as one fused [`PrepPlan`]
-/// pass (bit-identical to the explicit chain), then ring suppression.
+/// Normalization, zinger removal, −log, and ring suppression all run
+/// through the fused [`PrepPlan`] pass (bit-identical to the explicit
+/// `normalize → remove_zingers → minus_log → remove_stripes` chain).
 pub fn standard_chain(raw: &Sinogram, dark: &[f32], flat: &[f32]) -> Sinogram {
     let mut fused = raw.clone();
-    PrepPlan::new(dark, flat, Some(0.5)).apply(&mut fused);
-    remove_stripes(&fused, 9)
+    let plan = PrepPlan::new(dark, flat, Some(0.5)).with_ring(9);
+    let mut scratch = plan.make_post_scratch();
+    plan.apply_with(&mut fused, &mut scratch);
+    fused
 }
 
 #[cfg(test)]

@@ -53,6 +53,33 @@ pub fn filter_sinogram(sino: &Sinogram, kind: FilterKind) -> Sinogram {
     out
 }
 
+/// The unfused preprocessing chain, one full sinogram sweep (and
+/// allocation) per step: `normalize → remove_zingers → minus_log →
+/// remove_stripes → paganin_filter`, each stage optional after the
+/// first. This is the equivalence baseline for the fused
+/// [`crate::prep::PrepPlan`] / [`crate::prep::SinoPostPlan`] pass.
+pub fn prep_chain(
+    raw: &Sinogram,
+    dark: &[f32],
+    flat: &[f32],
+    zinger_threshold: Option<f32>,
+    ring_window: Option<usize>,
+    paganin_delta_beta: Option<f64>,
+) -> Sinogram {
+    let mut s = crate::prep::normalize(raw, dark, flat);
+    if let Some(thr) = zinger_threshold {
+        s = crate::prep::remove_zingers(&s, thr);
+    }
+    s = crate::prep::minus_log(&s);
+    if let Some(w) = ring_window {
+        s = crate::prep::remove_stripes(&s, w);
+    }
+    if let Some(db) = paganin_delta_beta {
+        s = crate::prep::paganin_filter(&s, db);
+    }
+    s
+}
+
 /// Pre-plan forward projection: every ray walks the full ±image-diagonal
 /// integration range, sampling (mostly zeros) outside the image too.
 pub fn forward_project_into(img: &Image, geom: &Geometry, sino: &mut Sinogram) {

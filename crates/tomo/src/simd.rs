@@ -1,0 +1,390 @@
+//! Runtime SIMD dispatch and the vectorized hot-loop kernels.
+//!
+//! The reconstruction hot loops — fused-lerp backprojection, the packed
+//! FFT butterflies, and the ramp-filter spectrum multiply — all dispatch
+//! through a [`SimdPath`] chosen once at plan-build time:
+//!
+//! * [`SimdPath::Avx2`] — explicit `core::arch::x86_64` kernels using
+//!   256-bit lanes (8 × f32 for the backprojection lerp, 2 complexes per
+//!   butterfly). Selected only when the host reports both `avx2` and
+//!   `fma` at runtime; no compile-time `target-feature` flags are
+//!   required, so one binary serves every x86-64 host.
+//! * [`SimdPath::Scalar`] — safe lane-chunked loops with the same
+//!   arithmetic structure. Always available; the only path on
+//!   non-x86-64 targets.
+//!
+//! Precision contract: the FFT butterfly and spectrum-multiply kernels
+//! are **bit-exact** against the scalar path (each lane performs the
+//! same multiply/add/sub sequence in the same order — AVX only, no FMA
+//! contraction). The backprojection kernel computes the detector
+//! coordinate in f64 (so interval-clipping invariants hold to plan
+//! precision) but interpolates in f32 wide lanes; it is gated against
+//! the scalar path and the pre-plan reference at ≤1e-5 RMSE by
+//! `tests/plan_equivalence.rs`.
+//!
+//! Set `ALS_TOMO_SIMD=scalar` in the environment to force the scalar
+//! path regardless of CPU features (used by benches to measure the
+//! fallback on wide hosts).
+
+use crate::fft::Complex;
+
+/// Which kernel family plans dispatch to. Ordered: later variants are
+/// strictly wider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum SimdPath {
+    /// Safe lane-chunked loops; always available.
+    #[default]
+    Scalar,
+    /// 256-bit AVX2 + FMA kernels behind runtime feature detection.
+    Avx2,
+}
+
+impl SimdPath {
+    /// Stable lowercase name, used in `BENCH_recon.json` and bench logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdPath::Scalar => "scalar",
+            SimdPath::Avx2 => "avx2",
+        }
+    }
+
+    /// Clamp a requested path to what this host can actually execute —
+    /// forcing `Scalar` always works; forcing `Avx2` on a host without
+    /// the features silently degrades to the detected path.
+    pub fn clamp_to_host(self) -> SimdPath {
+        self.min(detect())
+    }
+}
+
+/// Detect the widest safe path for this host (cached after first call).
+/// Honors the `ALS_TOMO_SIMD=scalar` override.
+pub fn detect() -> SimdPath {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<SimdPath> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if std::env::var("ALS_TOMO_SIMD").is_ok_and(|v| v.eq_ignore_ascii_case("scalar")) {
+            return SimdPath::Scalar;
+        }
+        detect_uncached()
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_uncached() -> SimdPath {
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        SimdPath::Avx2
+    } else {
+        SimdPath::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_uncached() -> SimdPath {
+    SimdPath::Scalar
+}
+
+/// f32 lanes the backprojection inner loop processes per iteration.
+pub fn lanes(path: SimdPath) -> usize {
+    match path {
+        SimdPath::Scalar => 1,
+        SimdPath::Avx2 => 8,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backprojection: fused-lerp row kernel
+// ---------------------------------------------------------------------------
+
+/// Accumulate one (output-row, angle) span of fused-lerp backprojection.
+///
+/// `rowf` is the prescaled f32 projection row with one sentinel `0.0`
+/// appended (`n_det + 1` entries). `out` is the span of output pixels
+/// `[xa, xb)`; pixel `k` samples the detector at `t0 + k·step`, which
+/// the plan's precomputed clip intervals guarantee lands in
+/// `[0, n_det − 1]` (up to rounding the sentinel absorbs).
+#[inline]
+pub(crate) fn backproject_row(path: SimdPath, rowf: &[f32], t0: f64, step: f64, out: &mut [f32]) {
+    match path {
+        SimdPath::Scalar => backproject_row_scalar(rowf, t0, step, out),
+        #[cfg(target_arch = "x86_64")]
+        SimdPath::Avx2 => unsafe { backproject_row_avx2(rowf, t0, step, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        SimdPath::Avx2 => backproject_row_scalar(rowf, t0, step, out),
+    }
+}
+
+/// Lane-chunked scalar fallback: the detector coordinate is recomputed
+/// per pixel from the affine form (no serial `t += step` dependency
+/// chain), the index math runs in f64, and the interpolation runs in
+/// f32 — the same precision split as the AVX2 kernel.
+fn backproject_row_scalar(rowf: &[f32], t0: f64, step: f64, out: &mut [f32]) {
+    let last = rowf.len() - 2; // rowf holds n_det + 1 entries
+    for (k, o) in out.iter_mut().enumerate() {
+        let t = t0 + k as f64 * step;
+        let i = (t as usize).min(last);
+        let f = (t - i as f64) as f32;
+        // SAFETY: i ≤ last = rowf.len() − 2, so i + 1 is in bounds.
+        let (lo, hi) = unsafe { (*rowf.get_unchecked(i), *rowf.get_unchecked(i + 1)) };
+        *o += lo + f * (hi - lo);
+    }
+}
+
+/// AVX2+FMA kernel: 8 output pixels per iteration. Detector coordinates
+/// are computed 4-wide in f64, converted to i32 indices + f32 fractional
+/// weights; the two lerp endpoints `rowf[i], rowf[i+1]` are adjacent in
+/// memory, so each pair is fetched with a single 64-bit gather and
+/// deinterleaved — two gathers serve all eight lanes.
+///
+/// # Safety
+/// Caller must ensure the host supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn backproject_row_avx2(rowf: &[f32], t0: f64, step: f64, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let last = rowf.len() - 2;
+    let base = rowf.as_ptr();
+    let stepv = _mm256_set1_pd(step);
+    let offs_lo = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+    let offs_hi = _mm256_setr_pd(4.0, 5.0, 6.0, 7.0);
+    let imax = _mm_set1_epi32(last as i32);
+    let izero = _mm_setzero_si128();
+    let mut k = 0usize;
+    while k + 8 <= n {
+        let tk = _mm256_set1_pd(t0 + k as f64 * step);
+        let t_lo = _mm256_add_pd(tk, _mm256_mul_pd(offs_lo, stepv));
+        let t_hi = _mm256_add_pd(tk, _mm256_mul_pd(offs_hi, stepv));
+        // clamp indices into [0, last]: the clip intervals already
+        // guarantee this up to rounding drift, the clamp is a safety net
+        let i_lo = _mm_min_epi32(_mm_max_epi32(_mm256_cvttpd_epi32(t_lo), izero), imax);
+        let i_hi = _mm_min_epi32(_mm_max_epi32(_mm256_cvttpd_epi32(t_hi), izero), imax);
+        let f_lo = _mm256_cvtpd_ps(_mm256_sub_pd(t_lo, _mm256_cvtepi32_pd(i_lo)));
+        let f_hi = _mm256_cvtpd_ps(_mm256_sub_pd(t_hi, _mm256_cvtepi32_pd(i_hi)));
+        let f = _mm256_set_m128(f_hi, f_lo); // [f0..f7]
+                                             // 64-bit gathers: each element is the adjacent pair
+                                             // (rowf[i], rowf[i+1]) packed little-endian
+        let g0 = _mm256_i32gather_epi64(base.cast::<i64>(), i_lo, 4);
+        let g1 = _mm256_i32gather_epi64(base.cast::<i64>(), i_hi, 4);
+        let p0 = _mm256_castsi256_ps(g0); // [lo0 hi0 lo1 hi1 | lo2 hi2 lo3 hi3]
+        let p1 = _mm256_castsi256_ps(g1);
+        // per-128-lane shuffle, then a cross-lane permute to restore
+        // pixel order 0..7
+        let lo_m = _mm256_shuffle_ps(p0, p1, 0b10_00_10_00); // [lo0 lo1 lo4 lo5 | lo2 lo3 lo6 lo7]
+        let hi_m = _mm256_shuffle_ps(p0, p1, 0b11_01_11_01);
+        let lo = _mm256_castpd_ps(_mm256_permute4x64_pd(_mm256_castps_pd(lo_m), 0b11_01_10_00));
+        let hi = _mm256_castpd_ps(_mm256_permute4x64_pd(_mm256_castps_pd(hi_m), 0b11_01_10_00));
+        let lerp = _mm256_fmadd_ps(f, _mm256_sub_ps(hi, lo), lo);
+        let dst = out.as_mut_ptr().add(k).cast::<f32>();
+        _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), lerp));
+        k += 8;
+    }
+    backproject_row_scalar(rowf, t0 + k as f64 * step, step, &mut out[k..]);
+}
+
+// ---------------------------------------------------------------------------
+// FFT butterflies (bit-exact vs the scalar stage loop)
+// ---------------------------------------------------------------------------
+
+/// One FFT stage over a chunk: `lo[j] ± tw[j]·hi[j]` for `j < half`,
+/// conjugating the twiddles when `inverse`. Dispatches to the AVX pair
+/// kernel when the path allows and the stage is wide enough.
+#[inline]
+pub(crate) fn stage_butterflies(
+    path: SimdPath,
+    lo: &mut [Complex],
+    hi: &mut [Complex],
+    tw: &[Complex],
+    inverse: bool,
+) {
+    debug_assert_eq!(lo.len(), hi.len());
+    debug_assert_eq!(lo.len(), tw.len());
+    #[cfg(target_arch = "x86_64")]
+    if path == SimdPath::Avx2 && lo.len() >= 2 {
+        // SAFETY: Avx2 is only selected when the host reports the features.
+        unsafe { stage_butterflies_avx(lo, hi, tw, inverse) };
+        return;
+    }
+    let _ = path;
+    stage_butterflies_scalar(lo, hi, tw, inverse);
+}
+
+fn stage_butterflies_scalar(lo: &mut [Complex], hi: &mut [Complex], tw: &[Complex], inverse: bool) {
+    for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(tw.iter()) {
+        let w = if inverse { w.conj() } else { w };
+        let u = *a;
+        let v = *b * w;
+        *a = u + v;
+        *b = u - v;
+    }
+}
+
+/// Two butterflies per iteration on interleaved `(re, im)` pairs. The
+/// complex multiply uses mul + addsub (never FMA), so every lane rounds
+/// exactly like the scalar `Complex` operators and the transform is
+/// bit-identical to the scalar path.
+///
+/// # Safety
+/// Caller must ensure the host supports AVX; `lo.len() == hi.len() ==
+/// tw.len()` and the length is ≥ 2 and even (stage halves are powers of
+/// two).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn stage_butterflies_avx(
+    lo: &mut [Complex],
+    hi: &mut [Complex],
+    tw: &[Complex],
+    inverse: bool,
+) {
+    use std::arch::x86_64::*;
+    let half = lo.len();
+    let lp = lo.as_mut_ptr().cast::<f64>();
+    let hp = hi.as_mut_ptr().cast::<f64>();
+    let wp = tw.as_ptr().cast::<f64>();
+    // sign mask flipping the imaginary lanes: conj(w) for the inverse
+    let conj_mask = if inverse {
+        _mm256_setr_pd(0.0, -0.0, 0.0, -0.0)
+    } else {
+        _mm256_setzero_pd()
+    };
+    let mut j = 0usize;
+    while j + 2 <= half {
+        let w = _mm256_xor_pd(_mm256_loadu_pd(wp.add(2 * j)), conj_mask);
+        let wr = _mm256_movedup_pd(w); // [w0.re w0.re w1.re w1.re]
+        let wi = _mm256_permute_pd(w, 0b1111); // [w0.im w0.im w1.im w1.im]
+        let b = _mm256_loadu_pd(hp.add(2 * j));
+        let bswap = _mm256_permute_pd(b, 0b0101); // [b0.im b0.re b1.im b1.re]
+        let v = _mm256_addsub_pd(_mm256_mul_pd(b, wr), _mm256_mul_pd(bswap, wi));
+        let u = _mm256_loadu_pd(lp.add(2 * j));
+        _mm256_storeu_pd(lp.add(2 * j), _mm256_add_pd(u, v));
+        _mm256_storeu_pd(hp.add(2 * j), _mm256_sub_pd(u, v));
+        j += 2;
+    }
+    if j < half {
+        stage_butterflies_scalar(&mut lo[j..], &mut hi[j..], &tw[j..], inverse);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spectrum multiply (filter / Paganin gains; bit-exact vs scalar)
+// ---------------------------------------------------------------------------
+
+/// Multiply a complex spectrum by per-bin real gains stored duplicated
+/// (`gains2[2k] == gains2[2k+1] ==` gain of bin `k`), i.e. a plain
+/// element-wise f64 product over the interleaved buffer. Bit-exact on
+/// every path (one multiply per lane).
+#[inline]
+pub(crate) fn scale_spectrum(path: SimdPath, buf: &mut [Complex], gains2: &[f64]) {
+    debug_assert_eq!(gains2.len(), 2 * buf.len());
+    #[cfg(target_arch = "x86_64")]
+    if path == SimdPath::Avx2 && buf.len() >= 2 {
+        // SAFETY: Avx2 is only selected when the host reports the features.
+        unsafe { scale_spectrum_avx(buf, gains2) };
+        return;
+    }
+    let _ = path;
+    scale_spectrum_scalar(buf, gains2);
+}
+
+fn scale_spectrum_scalar(buf: &mut [Complex], gains2: &[f64]) {
+    for (c, g) in buf.iter_mut().zip(gains2.chunks_exact(2)) {
+        *c = c.scale(g[0]);
+    }
+}
+
+/// # Safety
+/// Caller must ensure the host supports AVX and `gains2.len() == 2 * buf.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn scale_spectrum_avx(buf: &mut [Complex], gains2: &[f64]) {
+    use std::arch::x86_64::*;
+    let n2 = 2 * buf.len();
+    let bp = buf.as_mut_ptr().cast::<f64>();
+    let gp = gains2.as_ptr();
+    let mut i = 0usize;
+    while i + 4 <= n2 {
+        let v = _mm256_mul_pd(_mm256_loadu_pd(bp.add(i)), _mm256_loadu_pd(gp.add(i)));
+        _mm256_storeu_pd(bp.add(i), v);
+        i += 4;
+    }
+    while i < n2 {
+        *bp.add(i) *= *gp.add(i);
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_is_stable_and_names_are_lowercase() {
+        let a = detect();
+        let b = detect();
+        assert_eq!(a, b);
+        assert!(a.name().chars().all(|c| c.is_ascii_lowercase() || c == '2'));
+    }
+
+    #[test]
+    fn clamp_never_exceeds_host() {
+        assert_eq!(SimdPath::Scalar.clamp_to_host(), SimdPath::Scalar);
+        assert!(SimdPath::Avx2.clamp_to_host() <= detect());
+    }
+
+    #[test]
+    fn lanes_match_path() {
+        assert_eq!(lanes(SimdPath::Scalar), 1);
+        assert_eq!(lanes(SimdPath::Avx2), 8);
+    }
+
+    #[test]
+    fn backproject_row_paths_agree() {
+        let n = 37;
+        let rowf: Vec<f32> = (0..n)
+            .map(|i| ((i as f32) * 0.37).sin())
+            .chain(std::iter::once(0.0))
+            .collect();
+        for &(t0, step, len) in &[(0.3f64, 0.71, 33usize), (35.2, -0.93, 36), (1.0, 0.0, 20)] {
+            let mut a = vec![0.5f32; len];
+            let mut b = a.clone();
+            backproject_row(SimdPath::Scalar, &rowf, t0, step, &mut a);
+            backproject_row(detect(), &rowf, t0, step, &mut b);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y} (t0 {t0} step {step})");
+            }
+        }
+    }
+
+    #[test]
+    fn butterflies_bit_exact_across_paths() {
+        for half in [1usize, 2, 4, 8, 16] {
+            let mk = |s: f64| -> Vec<Complex> {
+                (0..half)
+                    .map(|i| Complex::new((i as f64 * s).sin(), (i as f64 * s).cos()))
+                    .collect()
+            };
+            let tw = mk(0.13);
+            for inverse in [false, true] {
+                let (mut lo_a, mut hi_a) = (mk(0.71), mk(0.37));
+                let (mut lo_b, mut hi_b) = (lo_a.clone(), hi_a.clone());
+                stage_butterflies(SimdPath::Scalar, &mut lo_a, &mut hi_a, &tw, inverse);
+                stage_butterflies(detect(), &mut lo_b, &mut hi_b, &tw, inverse);
+                assert_eq!(lo_a, lo_b, "half {half} inverse {inverse}");
+                assert_eq!(hi_a, hi_b, "half {half} inverse {inverse}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_scale_bit_exact_across_paths() {
+        for n in [1usize, 2, 5, 16, 33] {
+            let mut a: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64 * 0.3 - 1.0, (i as f64 * 0.17).cos()))
+                .collect();
+            let mut b = a.clone();
+            let gains2: Vec<f64> = (0..n).flat_map(|i| [i as f64 * 0.01; 2]).collect();
+            scale_spectrum(SimdPath::Scalar, &mut a, &gains2);
+            scale_spectrum(detect(), &mut b, &gains2);
+            assert_eq!(a, b, "n {n}");
+        }
+    }
+}

@@ -10,10 +10,14 @@
 //! *bit-identical*: the samples it skips are exact zeros.
 
 use als_phantom::shepp_logan_2d;
+use als_tomo::fft::{Complex, FftPlan};
 use als_tomo::gridrec::{gridrec_slice, GridrecConfig};
 use als_tomo::image::{Image, Sinogram};
 use als_tomo::radon::forward_project;
-use als_tomo::{fbp_slice, reference, FbpConfig, FilterKind, FilterPlan, Geometry, ReconPlan};
+use als_tomo::{
+    fbp_slice, reference, FbpConfig, FilterKind, FilterPlan, Geometry, PrepPlan, ReconPlan,
+    SimdPath,
+};
 use proptest::prelude::*;
 
 fn rmse(a: &Image, b: &Image) -> f64 {
@@ -135,6 +139,112 @@ fn iterative_solvers_stay_close_to_reference_scheme() {
 }
 
 #[test]
+fn simd_fbp_matches_scalar_fbp_on_shepp_logan() {
+    // On non-AVX2 hosts `with_simd_path(Avx2)` clamps back to scalar and
+    // this degenerates to scalar-vs-scalar — still a valid (vacuous) gate.
+    for (n, n_angles) in [(64usize, 180usize), (128, 90)] {
+        let (sino, geom) = shepp_sinogram(n, n_angles);
+        for mask_disk in [true, false] {
+            let cfg = FbpConfig {
+                filter: FilterKind::SheppLogan,
+                mask_disk,
+            };
+            let scalar_plan = ReconPlan::new(&geom, &cfg)
+                .unwrap()
+                .with_simd_path(SimdPath::Scalar);
+            let wide_plan = ReconPlan::new(&geom, &cfg)
+                .unwrap()
+                .with_simd_path(SimdPath::Avx2);
+            let mut s1 = scalar_plan.make_scratch();
+            let mut s2 = wide_plan.make_scratch();
+            let a = scalar_plan.fbp_slice_with(&sino, &mut s1).unwrap();
+            let b = wide_plan.fbp_slice_with(&sino, &mut s2).unwrap();
+            let e = rmse(&a, &b);
+            assert!(e < 1e-5, "n={n} mask={mask_disk}: simd-vs-scalar rmse {e}");
+        }
+    }
+}
+
+#[test]
+fn simd_fbp_matches_reference_on_shepp_logan() {
+    // the full gate the issue asks for: SIMD plan vs the pre-plan
+    // reference kernels, not just vs the scalar plan
+    let (sino, geom) = shepp_sinogram(64, 180);
+    let cfg = FbpConfig::default();
+    let plan = ReconPlan::new(&geom, &cfg)
+        .unwrap()
+        .with_simd_path(SimdPath::Avx2);
+    let mut scratch = plan.make_scratch();
+    let a = plan.fbp_slice_with(&sino, &mut scratch).unwrap();
+    let b = reference::fbp_slice(&sino, &geom, &cfg).unwrap();
+    let e = rmse(&a, &b);
+    assert!(e < 1e-5, "simd-vs-reference rmse {e}");
+}
+
+#[test]
+fn fused_ring_suppression_is_bit_identical_to_remove_stripes() {
+    let n_angles = 37;
+    let n_det = 53;
+    let mut raw = Sinogram::zeros(n_angles, n_det);
+    for (i, v) in raw.data.iter_mut().enumerate() {
+        *v = 400.0 + ((i * 31 + 7) % 900) as f32 + if i % n_det == 13 { 120.0 } else { 0.0 };
+    }
+    let dark = vec![90.0f32; n_det];
+    let flat = vec![1100.0f32; n_det];
+    let expected = {
+        let mut s = raw.clone();
+        PrepPlan::new(&dark, &flat, Some(0.5)).apply(&mut s);
+        als_tomo::prep::remove_stripes(&s, 7)
+    };
+    let plan = PrepPlan::new(&dark, &flat, Some(0.5)).with_ring(7);
+    let mut scratch = plan.make_post_scratch();
+    let mut fused = raw;
+    plan.apply_with(&mut fused, &mut scratch);
+    assert_eq!(
+        expected.data, fused.data,
+        "fused ring detrend must match remove_stripes bit-for-bit"
+    );
+}
+
+#[test]
+fn fused_ring_paganin_chain_matches_reference_prep_chain() {
+    let n_angles = 41;
+    let n_det = 61;
+    let mut raw = Sinogram::zeros(n_angles, n_det);
+    for (i, v) in raw.data.iter_mut().enumerate() {
+        *v = 300.0 + ((i * 17 + 3) % 1000) as f32 + if i % n_det == 20 { 90.0 } else { 0.0 };
+    }
+    let dark: Vec<f32> = (0..n_det).map(|t| 80.0 + (t % 7) as f32 * 4.0).collect();
+    let flat: Vec<f32> = (0..n_det).map(|t| 1000.0 + (t % 11) as f32 * 9.0).collect();
+    for &(ring, paganin) in &[
+        (Some(9usize), Some(40.0f64)),
+        (None, Some(25.0)),
+        (Some(5), None),
+    ] {
+        let expected = reference::prep_chain(&raw, &dark, &flat, Some(0.5), ring, paganin);
+        let mut plan = PrepPlan::new(&dark, &flat, Some(0.5));
+        if let Some(w) = ring {
+            plan = plan.with_ring(w);
+        }
+        if let Some(db) = paganin {
+            plan = plan.with_paganin(db);
+        }
+        let mut scratch = plan.make_post_scratch();
+        let mut fused = raw.clone();
+        plan.apply_with(&mut fused, &mut scratch);
+        let e: f64 = expected
+            .data
+            .iter()
+            .zip(fused.data.iter())
+            .map(|(&x, &y)| (x as f64 - y as f64).powi(2))
+            .sum::<f64>()
+            / expected.data.len() as f64;
+        let e = e.sqrt();
+        assert!(e < 1e-5, "ring {ring:?} paganin {paganin:?}: rmse {e}");
+    }
+}
+
+#[test]
 fn scratch_independent_of_sharing() {
     // two slices through one scratch == two slices through two scratches
     let (sino, geom) = shepp_sinogram(48, 60);
@@ -181,5 +291,64 @@ proptest! {
                 kind, i, p, r
             );
         }
+    }
+
+    /// The AVX butterfly kernel must be bit-identical to the scalar
+    /// stage loop for every transform size and arbitrary data — the
+    /// equivalence that lets `FftPlan::new` default to the wide path
+    /// everywhere (gridrec, packed filtering, streaming). On non-AVX2
+    /// hosts both plans run scalar and the property holds vacuously.
+    #[test]
+    fn simd_fft_is_bit_exact_for_any_signal(
+        log_n in 1u32..10,
+        fill in proptest::collection::vec(-1e3f64..1e3, 2..64),
+        inverse in any::<bool>(),
+    ) {
+        let n = 1usize << log_n;
+        let scalar = FftPlan::new(n).with_simd_path(SimdPath::Scalar);
+        let wide = FftPlan::new(n).with_simd_path(SimdPath::Avx2);
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| {
+                let re = fill[i % fill.len()];
+                let im = fill[(i * 7 + 3) % fill.len()];
+                Complex::new(re, im)
+            })
+            .collect();
+        let mut a = orig.clone();
+        let mut b = orig;
+        if inverse {
+            scalar.inverse(&mut a);
+            wide.inverse(&mut b);
+        } else {
+            scalar.forward(&mut a);
+            wide.forward(&mut b);
+        }
+        prop_assert_eq!(a, b, "n {} inverse {}", n, inverse);
+    }
+
+    /// SIMD-filtered rows must be bit-identical to scalar-filtered rows
+    /// across odd detector widths and both packed/unpacked final rows
+    /// (the spectrum multiply is one rounding per lane on either path).
+    #[test]
+    fn simd_filter_is_bit_exact_across_widths(
+        n_angles in 1usize..6,
+        n_det in 3usize..70,
+        fill in proptest::collection::vec(-100.0f64..100.0, 1..128),
+        kind_idx in 0usize..7,
+    ) {
+        let kind = FilterKind::ALL[kind_idx];
+        let mut sino = Sinogram::zeros(n_angles, n_det);
+        for (v, &x) in sino.data.iter_mut().zip(fill.iter().cycle()) {
+            *v = x as f32;
+        }
+        let scalar = FilterPlan::new(kind, n_det).with_simd_path(SimdPath::Scalar);
+        let wide = FilterPlan::new(kind, n_det).with_simd_path(SimdPath::Avx2);
+        let mut buf_a = scalar.make_buf();
+        let mut buf_b = wide.make_buf();
+        let mut out_a = Sinogram::zeros(n_angles, n_det);
+        let mut out_b = Sinogram::zeros(n_angles, n_det);
+        scalar.filter_rows(&sino, &mut buf_a, &mut out_a);
+        wide.filter_rows(&sino, &mut buf_b, &mut out_b);
+        prop_assert_eq!(out_a.data, out_b.data, "{:?} nd {}", kind, n_det);
     }
 }
