@@ -7,11 +7,11 @@
 //! 4-GPU node, <1 s preview send, <10 s total.
 
 use als_phantom::{shepp_logan_volume, DetectorConfig, ScanSimulator};
+use als_stream::slab::{FrameSlab, SlabFrame};
 use als_stream::streamer::{reconstruct_preview, StreamerConfig};
 use als_stream::ScanAnnounce;
 use als_tomo::Geometry;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::Arc;
 
 fn bench_streaming_recon(c: &mut Criterion) {
     let mut group = c.benchmark_group("streaming_recon");
@@ -21,7 +21,11 @@ fn bench_streaming_recon(c: &mut Criterion) {
         let geom = Geometry::parallel_180(n_angles, n);
         let det = DetectorConfig::default();
         let mut sim = ScanSimulator::new(&vol, geom.clone(), det, 3);
-        let frames: Vec<Arc<_>> = sim.all_frames().into_iter().map(Arc::new).collect();
+        let frames: Vec<SlabFrame> = sim
+            .all_frames()
+            .into_iter()
+            .map(|f| FrameSlab::detached(f.meta, f.data))
+            .collect();
         let announce = ScanAnnounce {
             scan_id: "bench".into(),
             n_angles,

@@ -11,9 +11,13 @@
 
 use als_phantom::proppant::{proppant_creep_series, ProppantConfig};
 use als_phantom::{DetectorConfig, ScanSimulator};
-use als_stream::{publish_scan, PvaServer, StreamerConfig, StreamingReconService};
+use als_stream::{
+    publish_scan_pooled, PlanCache, PvaServer, SlabPool, StreamerConfig, StreamingReconService,
+};
+use als_telemetry::Registry;
 use als_tomo::{Geometry, Image, Volume};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One time step of the 4D series.
@@ -25,6 +29,9 @@ pub struct TimeStep {
     pub compaction: f64,
     /// Wall seconds the streaming reconstruction took.
     pub recon_secs: f64,
+    /// Wall seconds from scan end to preview in hand — the steering
+    /// feedback latency the experimenter experiences.
+    pub feedback_secs: f64,
     /// The steering metric: fracture porosity measured on the preview's
     /// central slice.
     pub porosity: f64,
@@ -34,6 +41,14 @@ pub struct TimeStep {
 #[derive(Debug, Serialize)]
 pub struct DynamicSeries {
     pub steps: Vec<TimeStep>,
+    /// Reconstruction plans built across the whole series (the shared
+    /// plan cache makes this 1 for a fixed-geometry experiment).
+    pub plans_built: u64,
+    /// Plan-cache hits across the series (steps − plans_built).
+    pub plan_cache_hits: u64,
+    /// Slab buffers ever allocated by the acquisition source: the
+    /// steady-state working set of the zero-copy stream.
+    pub slabs_allocated: u64,
 }
 
 impl DynamicSeries {
@@ -75,10 +90,34 @@ pub fn run_creep_series(
     n_angles: usize,
     seed: u64,
 ) -> DynamicSeries {
+    run_creep_series_with_registry(n, nz, steps, n_angles, seed, None)
+}
+
+/// [`run_creep_series`] with per-step latency metrics exported into a
+/// telemetry registry (labelled `stream="4d"`).
+pub fn run_creep_series_with_registry(
+    n: usize,
+    nz: usize,
+    steps: usize,
+    n_angles: usize,
+    seed: u64,
+    registry: Option<Arc<Registry>>,
+) -> DynamicSeries {
     let series: Vec<Volume> = proppant_creep_series(n, nz, &ProppantConfig::default(), steps, seed);
     let server = PvaServer::new();
+    // one plan cache and one slab pool across the whole experiment: every
+    // step after the first reuses the first step's reconstruction plan
+    // and detector buffers
+    let plans = PlanCache::new();
+    let pool = SlabPool::new(n * nz);
+    let cfg = StreamerConfig {
+        preview_queue: steps.max(1),
+        stream: "4d".to_string(),
+        registry,
+        ..Default::default()
+    };
     let (svc, previews) =
-        StreamingReconService::spawn(server.subscribe(1 << 17), StreamerConfig::default());
+        StreamingReconService::spawn_shared(server.subscribe(1 << 17), cfg, Arc::clone(&plans));
     let det = DetectorConfig {
         noise: false,
         ..Default::default()
@@ -88,7 +127,13 @@ pub fn run_creep_series(
     for (step, vol) in series.iter().enumerate() {
         let geom = Geometry::parallel_180(n_angles, n);
         let mut sim = ScanSimulator::new(vol, geom, det, seed + step as u64);
-        publish_scan(&server, &mut sim, &format!("t{step:03}"), det.mu_scale);
+        publish_scan_pooled(
+            &server,
+            &mut sim,
+            &format!("t{step:03}"),
+            det.mu_scale,
+            &pool,
+        );
         let preview = previews
             .recv_timeout(Duration::from_secs(120))
             .expect("time-step preview");
@@ -102,11 +147,17 @@ pub fn run_creep_series(
             step,
             compaction,
             recon_secs: preview.recon_wall.as_secs_f64(),
+            feedback_secs: preview.feedback_wall.as_secs_f64(),
             porosity: slice_porosity(&preview.slices[0]),
         });
     }
     svc.stop();
-    DynamicSeries { steps: out }
+    DynamicSeries {
+        steps: out,
+        plans_built: plans.misses(),
+        plan_cache_hits: plans.hits(),
+        slabs_allocated: pool.allocated(),
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +175,24 @@ mod tests {
         // compaction ramps 0 -> 1
         assert_eq!(series.steps[0].compaction, 0.0);
         assert_eq!(series.steps[3].compaction, 1.0);
+    }
+
+    #[test]
+    fn series_shares_one_plan_and_a_bounded_slab_set() {
+        let series = run_creep_series(32, 2, 3, 24, 4);
+        assert_eq!(
+            series.plans_built, 1,
+            "fixed geometry: one plan for the whole experiment"
+        );
+        assert_eq!(series.plan_cache_hits, 2);
+        assert!(
+            series.slabs_allocated <= 24,
+            "zero-copy stream keeps a bounded slab working set, allocated {}",
+            series.slabs_allocated
+        );
+        for s in &series.steps {
+            assert!(s.feedback_secs >= s.recon_secs);
+        }
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! `*_baseline` functions — they are the equivalence reference and the
 //! "before" side of `BENCH_pipeline.json`.
 
-use als_phantom::{DetectorConfig, ScanSimulator};
+use crate::faults::{FaultKind, FaultPlan};
+use als_phantom::{DetectorConfig, FrameMeta, ScanSimulator};
 use als_scidata::{MultiscaleWriter, ScanFile, TiffStackSink};
+use als_simcore::{SimDuration, SimInstant};
 use als_stream::{
-    publish_scan, ChannelMirror, FileWriterService, Preview, PvaServer, StreamerConfig,
-    StreamingReconService,
+    announce_for, ChannelMirror, DeliveryMode, FileWriterService, FrameSlab, Preview, PvaServer,
+    SlabPool, StreamMessage, StreamerConfig, StreamingReconService,
 };
 use als_tomo::pipeline::{self, PipelineConfig, PipelineReport, ReconKind, SliceSink, VolumeSink};
 use als_tomo::{
@@ -127,18 +129,32 @@ pub fn run_session_with(
     let geom = Geometry::parallel_180(n_angles, vol.nx);
     let mut sim = ScanSimulator::new(vol, geom.clone(), det_cfg, seed);
 
-    // acquisition layer: IOC channel + mirror
+    // acquisition layer: IOC channel + mirror. The mirror is a Reliable
+    // subscriber — a slow local storage server backpressures the IOC
+    // rather than losing frames.
     let ioc = PvaServer::new();
-    let mirror = ChannelMirror::spawn(ioc.subscribe(1 << 16), Duration::from_millis(10));
-    // orchestration-layer consumers on the mirrored channel
-    let writer = FileWriterService::spawn(mirror.output().subscribe(1 << 16), out_dir);
+    let mirror = ChannelMirror::spawn(
+        ioc.subscribe_named("mirror", 1 << 10, DeliveryMode::Reliable),
+        Duration::from_millis(10),
+    );
+    // orchestration-layer consumers on the mirrored channel: the file
+    // writer must see every frame (Reliable), the preview path is a lossy
+    // PVA monitor — dropping a preview frame costs quality, not data.
+    let writer = FileWriterService::spawn(
+        mirror
+            .output()
+            .subscribe_named("filewriter", 1 << 10, DeliveryMode::Reliable),
+        out_dir,
+    );
     let (streamer, previews) = StreamingReconService::spawn(
-        mirror.output().subscribe(1 << 16),
+        mirror
+            .output()
+            .subscribe_named("preview", 1 << 10, DeliveryMode::Lossy),
         StreamerConfig::default(),
     );
 
     // drive the scan
-    publish_scan(&ioc, &mut sim, scan_id, det_cfg.mu_scale);
+    als_stream::publish_scan(&ioc, &mut sim, scan_id, det_cfg.mu_scale);
 
     let preview = previews
         .recv_timeout(Duration::from_secs(120))
@@ -310,6 +326,104 @@ pub fn scan_to_archive(
     }
 }
 
+/// What a storm-afflicted acquisition publish did to the stream.
+#[derive(Debug, Clone, Default)]
+pub struct StormPublishStats {
+    /// Genuine detector frames published.
+    pub published: usize,
+    /// Corrupt frames injected by [`FaultKind::TransferCorruption`]
+    /// windows (wrong-shape metadata; downstream validation rejects and
+    /// counts them).
+    pub corrupt_injected: usize,
+    /// Frames whose publish was throttled by an
+    /// [`FaultKind::EsnetBrownout`] window.
+    pub brownout_throttled: usize,
+    /// Total wall time spent in brownout throttling.
+    pub throttle_wall: Duration,
+}
+
+/// Drive a scan through `server` while `plan`'s fault storm plays out
+/// over the acquisition timeline.
+///
+/// Each frame `i` maps onto the storm's simulation clock at
+/// `i × sim_seconds_per_frame`. While an ESnet brownout window covers
+/// that instant the source pace is divided by the window's
+/// `capacity_factor` (a 0.25× brownout makes frames 4× slower), modelled
+/// as a real sleep of `frame_period / capacity_factor` instead of
+/// `frame_period`; `frame_period = ZERO` publishes at full speed outside
+/// brownouts. While a transfer-corruption window covers the instant, its
+/// burst budget injects corrupt frames — detached slabs whose metadata
+/// disagrees with the announcement — which downstream validation must
+/// reject and count, never write or reconstruct.
+///
+/// Reliable subscribers add their own backpressure on top: a stalled
+/// file writer slows this loop through `publish` itself.
+pub fn publish_scan_under_storm(
+    server: &PvaServer,
+    sim: &mut ScanSimulator,
+    scan_id: &str,
+    mu_scale: f64,
+    plan: &FaultPlan,
+    frame_period: Duration,
+    sim_seconds_per_frame: f64,
+) -> StormPublishStats {
+    let pool = SlabPool::new(sim.rows() * sim.cols());
+    let announce = announce_for(sim, scan_id, mu_scale);
+    let (rows, cols) = (announce.rows, announce.cols);
+    server.publish(StreamMessage::ScanStart(std::sync::Arc::new(announce)));
+    let mut stats = StormPublishStats::default();
+    let n = sim.n_frames();
+    let mut corrupt_budget: Vec<Option<u32>> = vec![None; plan.windows.len()];
+    for a in 0..n {
+        let t = SimInstant::ZERO + SimDuration::from_secs_f64(a as f64 * sim_seconds_per_frame);
+        let mut pace = frame_period;
+        for (w, window) in plan.windows.iter().enumerate() {
+            if !window.contains(t) {
+                continue;
+            }
+            match window.kind {
+                FaultKind::EsnetBrownout { capacity_factor } => {
+                    pace = Duration::from_secs_f64(
+                        frame_period.as_secs_f64().max(1e-4) / capacity_factor,
+                    );
+                    stats.brownout_throttled += 1;
+                }
+                FaultKind::TransferCorruption { burst } => {
+                    let left = corrupt_budget[w].get_or_insert(burst);
+                    if *left > 0 {
+                        *left -= 1;
+                        stats.corrupt_injected += 1;
+                        server.publish(StreamMessage::Frame(FrameSlab::detached(
+                            FrameMeta {
+                                frame_id: a,
+                                angle_rad: 0.0,
+                                n_angles: n,
+                                rows: rows * 2,
+                                cols: cols * 2,
+                            },
+                            vec![0u16; rows * cols * 4],
+                        )));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if pace > Duration::ZERO {
+            std::thread::sleep(pace);
+            if pace > frame_period {
+                stats.throttle_wall += pace - frame_period;
+            }
+        }
+        let frame = pool.frame_from(|buf| sim.fill_frame(a, buf));
+        server.publish(StreamMessage::Frame(frame));
+        stats.published += 1;
+    }
+    server.publish(StreamMessage::ScanEnd {
+        scan_id: std::sync::Arc::from(scan_id),
+    });
+    stats
+}
+
 /// Extract the normalized sinogram of detector row `r` from a scan file.
 pub fn scan_slice_sinogram(
     scan: &ScanFile,
@@ -430,6 +544,74 @@ mod tests {
             e_better < e_quick,
             "more iterations should reduce error: {e_quick} -> {e_better}"
         );
+    }
+
+    #[test]
+    fn storm_publish_survives_corruption_and_brownout() {
+        use crate::faults::FaultWindow;
+        let dir = std::env::temp_dir().join("realmode_storm");
+        std::fs::remove_dir_all(&dir).ok();
+        let vol = shepp_logan_volume(32, 2);
+        let geom = Geometry::parallel_180(20, 32);
+        let det = DetectorConfig {
+            noise: false,
+            ..Default::default()
+        };
+        let mut sim = ScanSimulator::new(&vol, geom, det, 11);
+        // hand-built storm: brownout over frames 5..10, corruption burst
+        // of 2 over frames 12..15 (1 sim second per frame)
+        let plan = FaultPlan::none()
+            .with_window(FaultWindow::new(
+                SimInstant::ZERO + SimDuration::from_secs(5),
+                SimInstant::ZERO + SimDuration::from_secs(10),
+                FaultKind::EsnetBrownout {
+                    capacity_factor: 0.25,
+                },
+            ))
+            .with_window(FaultWindow::new(
+                SimInstant::ZERO + SimDuration::from_secs(12),
+                SimInstant::ZERO + SimDuration::from_secs(15),
+                FaultKind::TransferCorruption { burst: 2 },
+            ));
+
+        let ioc = PvaServer::new();
+        let writer = FileWriterService::spawn(
+            ioc.subscribe_named("filewriter", 64, DeliveryMode::Reliable),
+            &dir,
+        );
+        let (streamer, previews) = StreamingReconService::spawn(
+            ioc.subscribe_named("preview", 64, DeliveryMode::Lossy),
+            StreamerConfig::default(),
+        );
+        let stats = publish_scan_under_storm(
+            &ioc,
+            &mut sim,
+            "storm",
+            det.mu_scale,
+            &plan,
+            Duration::ZERO,
+            1.0,
+        );
+        assert_eq!(stats.published, 20);
+        assert_eq!(stats.corrupt_injected, 2);
+        assert_eq!(stats.brownout_throttled, 5);
+        assert!(stats.throttle_wall > Duration::ZERO);
+
+        // the preview reconstructs from exactly the 20 genuine frames
+        let p = previews
+            .recv_timeout(Duration::from_secs(30))
+            .expect("preview despite the storm");
+        assert_eq!(p.cached_frames, 20);
+        assert_eq!(p.rejected_frames, 2, "corrupt frames rejected, counted");
+        // the written file holds only genuine frames too
+        let w = writer
+            .wait_completion(Duration::from_secs(30))
+            .expect("scan written despite the storm");
+        assert_eq!(w.n_frames, 20);
+        assert_eq!(w.rejected_frames, 2);
+        streamer.stop();
+        writer.stop();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -164,26 +164,34 @@ impl ScanSimulator {
 
     /// Generate frame `a` (projection at the `a`-th angle).
     pub fn frame(&mut self, a: usize) -> Frame {
+        let cols = self.geom.n_det;
+        let mut data = vec![0u16; self.rows * cols];
+        let meta = self.fill_frame(a, &mut data);
+        Frame { meta, data }
+    }
+
+    /// Generate frame `a` directly into a caller-provided buffer (a
+    /// recycled slab), avoiding the per-frame allocation of [`frame`].
+    /// `out` must hold exactly `rows × cols` pixels.
+    pub fn fill_frame(&mut self, a: usize, out: &mut [u16]) -> FrameMeta {
         assert!(a < self.geom.n_angles(), "frame index out of range");
         let cols = self.geom.n_det;
-        let mut data = Vec::with_capacity(self.rows * cols);
+        assert_eq!(out.len(), self.rows * cols, "slab size mismatch");
         for r in 0..self.rows {
             let row = self.sinos[r].row(a);
-            for &p in row.iter() {
+            let dst = &mut out[r * cols..(r + 1) * cols];
+            for (d, &p) in dst.iter_mut().zip(row.iter()) {
                 let transmission = (-(p as f64) * self.cfg.mu_scale).exp();
                 let expected = self.cfg.dark_counts + self.cfg.i0 * transmission;
-                data.push(sample_counts(expected, self.cfg.noise, &mut self.rng));
+                *d = sample_counts(expected, self.cfg.noise, &mut self.rng);
             }
         }
-        Frame {
-            meta: FrameMeta {
-                frame_id: a,
-                angle_rad: self.geom.angles[a],
-                n_angles: self.geom.n_angles(),
-                rows: self.rows,
-                cols,
-            },
-            data,
+        FrameMeta {
+            frame_id: a,
+            angle_rad: self.geom.angles[a],
+            n_angles: self.geom.n_angles(),
+            rows: self.rows,
+            cols,
         }
     }
 

@@ -44,10 +44,58 @@ impl ScanFile {
         for f in frames {
             data.extend_from_slice(&f.data);
         }
+        Self::from_raw_parts(
+            scan_name,
+            frames.len(),
+            rows,
+            cols,
+            data,
+            dark,
+            flat,
+            angles,
+        )
+    }
+
+    /// Assemble a scan file from an already-contiguous projection stack.
+    ///
+    /// This is the zero-copy streaming path: the file writer appends each
+    /// validated frame's pixels into one growing buffer as they arrive and
+    /// hands the buffer over here by value — no per-frame `Frame` clones
+    /// and no second whole-scan copy at completion time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        scan_name: &str,
+        n_frames: usize,
+        rows: usize,
+        cols: usize,
+        data: Vec<u16>,
+        dark: &[u16],
+        flat: &[u16],
+        angles: &[f64],
+    ) -> Result<ScanFile, SdfError> {
+        if n_frames == 0 {
+            return Err(SdfError::Corrupt("scan has no frames".into()));
+        }
+        if data.len() != n_frames * rows * cols {
+            return Err(SdfError::Corrupt(format!(
+                "projection stack holds {} pixels, expected {}x{}x{}",
+                data.len(),
+                n_frames,
+                rows,
+                cols
+            )));
+        }
+        if angles.len() != n_frames {
+            return Err(SdfError::Corrupt(format!(
+                "{} angles for {} frames",
+                angles.len(),
+                n_frames
+            )));
+        }
         let mut file = SdfFile::new();
         file.write_dataset(
             "/exchange/data",
-            Dataset::new(vec![frames.len(), rows, cols], DatasetData::U16(data))?,
+            Dataset::new(vec![n_frames, rows, cols], DatasetData::U16(data))?,
         )?;
         file.write_dataset(
             "/exchange/data_dark",
@@ -66,7 +114,7 @@ impl ScanFile {
         file.set_attr(
             "/process/acquisition",
             "n_angles",
-            Attribute::Int(frames.len() as i64),
+            Attribute::Int(n_frames as i64),
         )?;
         file.set_attr("/process/acquisition", "rows", Attribute::Int(rows as i64))?;
         file.set_attr("/process/acquisition", "cols", Attribute::Int(cols as i64))?;

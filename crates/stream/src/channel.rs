@@ -1,35 +1,94 @@
-//! PVA-style pub/sub channel.
+//! PVA-style pub/sub channel with zero-copy handoff.
 //!
-//! One publisher, many monitor subscribers. Each subscriber owns a bounded
-//! queue; when a slow subscriber's queue is full the update is dropped for
-//! that subscriber only (PVA monitor semantics) and counted, so tests can
-//! assert on backpressure behaviour.
+//! One publisher, many monitor subscribers. Every message variant is a
+//! cheap handle — frames are [`SlabFrame`]s, announcements and scan ids
+//! are `Arc`s — so fanning a frame out to N subscribers bumps refcounts
+//! and never copies pixels.
+//!
+//! Each subscriber owns a bounded queue and a [`DeliveryMode`]:
+//!
+//! * [`DeliveryMode::Lossy`] — PVA monitor semantics: when the queue is
+//!   full the update is dropped *for that subscriber only* and counted.
+//! * [`DeliveryMode::Reliable`] — must-deliver consumers (the file
+//!   writer): the publisher blocks up to the channel's reliable-wait
+//!   budget, propagating backpressure to the source; a frame abandoned
+//!   after the budget is still counted, never silently lost.
+//!
+//! Per-subscriber drop counters and queue-depth gauges export through an
+//! optional `als-telemetry` registry.
 
+use crate::slab::SlabFrame;
 use crate::ScanAnnounce;
-use als_phantom::Frame;
+use als_telemetry::{Counter, Gauge, Registry};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Messages carried by the channel.
+/// Messages carried by the channel. `Clone` is refcount-only on every
+/// variant: cloning a message never copies pixel data.
 #[derive(Debug, Clone)]
 pub enum StreamMessage {
     /// A scan is starting; payload describes the acquisition.
     ScanStart(Arc<ScanAnnounce>),
-    /// One detector frame.
-    Frame(Arc<Frame>),
+    /// One detector frame, backed by a pooled slab.
+    Frame(SlabFrame),
     /// The acquisition finished.
-    ScanEnd { scan_id: String },
+    ScanEnd { scan_id: Arc<str> },
+}
+
+/// How the publisher treats a subscriber whose queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// Drop the update for this subscriber and count it (PVA monitors).
+    Lossy,
+    /// Block the publisher up to the reliable-wait budget — backpressure
+    /// into the source — before counting a drop.
+    Reliable,
+}
+
+struct SubEntry {
+    tx: Sender<StreamMessage>,
+    mode: DeliveryMode,
+    dropped: Arc<AtomicU64>,
+    dropped_metric: Option<Counter>,
+    depth_metric: Option<Gauge>,
 }
 
 /// The publisher side.
-#[derive(Debug, Default)]
 pub struct PvaServer {
-    subs: Mutex<Vec<Sender<StreamMessage>>>,
+    subs: Mutex<Vec<SubEntry>>,
     published: AtomicU64,
     dropped: AtomicU64,
+    /// How long a publish may stall on one Reliable subscriber before the
+    /// frame is abandoned (and counted) for it.
+    reliable_wait: Duration,
+    telemetry: Option<(Arc<Registry>, String)>,
+    published_metric: Option<Counter>,
+}
+
+impl std::fmt::Debug for PvaServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PvaServer")
+            .field("subscribers", &self.subs.lock().len())
+            .field("published", &self.published_count())
+            .field("dropped", &self.dropped_count())
+            .finish()
+    }
+}
+
+impl Default for PvaServer {
+    fn default() -> Self {
+        PvaServer {
+            subs: Mutex::new(Vec::new()),
+            published: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            reliable_wait: Duration::from_secs(30),
+            telemetry: None,
+            published_metric: None,
+        }
+    }
 }
 
 impl PvaServer {
@@ -37,25 +96,104 @@ impl PvaServer {
         Arc::new(PvaServer::default())
     }
 
-    /// Attach a monitor with a queue of `capacity` updates.
-    pub fn subscribe(&self, capacity: usize) -> Subscription {
-        let (tx, rx) = bounded(capacity.max(1));
-        self.subs.lock().push(tx);
-        Subscription { rx }
+    /// A server whose publish/drop/occupancy counters export through
+    /// `registry` under the `channel` label.
+    pub fn with_registry(channel: &str, registry: Arc<Registry>) -> Arc<PvaServer> {
+        let published_metric =
+            registry.counter("stream_frames_published_total", &[("channel", channel)]);
+        Arc::new(PvaServer {
+            telemetry: Some((registry, channel.to_string())),
+            published_metric: Some(published_metric),
+            ..PvaServer::default()
+        })
     }
 
-    /// Publish to every live subscriber; slow subscribers drop this
-    /// update. Disconnected subscribers are pruned.
+    /// Override the backpressure budget for Reliable subscribers.
+    pub fn set_reliable_wait(self: &mut Arc<PvaServer>, wait: Duration) {
+        Arc::get_mut(self)
+            .expect("set_reliable_wait before sharing the server")
+            .reliable_wait = wait;
+    }
+
+    /// Attach an anonymous lossy monitor with a queue of `capacity`
+    /// updates (PVA monitor semantics, the historical default).
+    pub fn subscribe(&self, capacity: usize) -> Subscription {
+        self.subscribe_named("monitor", capacity, DeliveryMode::Lossy)
+    }
+
+    /// Attach a named subscriber with an explicit delivery mode. The name
+    /// labels this subscriber's drop counter and queue-depth gauge.
+    pub fn subscribe_named(&self, name: &str, capacity: usize, mode: DeliveryMode) -> Subscription {
+        let (tx, rx) = bounded(capacity.max(1));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let (dropped_metric, depth_metric) = match &self.telemetry {
+            Some((registry, channel)) => (
+                Some(registry.counter(
+                    "stream_frames_dropped_total",
+                    &[("channel", channel), ("subscriber", name)],
+                )),
+                Some(registry.gauge(
+                    "stream_queue_depth",
+                    &[("channel", channel), ("subscriber", name)],
+                )),
+            ),
+            None => (None, None),
+        };
+        self.subs.lock().push(SubEntry {
+            tx,
+            mode,
+            dropped: Arc::clone(&dropped),
+            dropped_metric,
+            depth_metric,
+        });
+        Subscription {
+            rx,
+            dropped,
+            name: name.to_string(),
+        }
+    }
+
+    /// Publish to every live subscriber. Lossy subscribers behind on
+    /// their queue drop this update (counted per subscriber); Reliable
+    /// subscribers stall the publisher — backpressure — up to the
+    /// reliable-wait budget. Disconnected subscribers are pruned.
     pub fn publish(&self, msg: StreamMessage) {
         self.published.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &self.published_metric {
+            c.inc();
+        }
         let mut subs = self.subs.lock();
-        subs.retain(|tx| match tx.try_send(msg.clone()) {
-            Ok(()) => true,
-            Err(crossbeam::channel::TrySendError::Full(_)) => {
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-                true
+        let reliable_wait = self.reliable_wait;
+        let server_dropped = &self.dropped;
+        subs.retain(|entry| {
+            let delivered = match entry.mode {
+                DeliveryMode::Lossy => match entry.tx.try_send(msg.clone()) {
+                    Ok(()) => Ok(true),
+                    Err(crossbeam::channel::TrySendError::Full(_)) => Ok(false),
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => Err(()),
+                },
+                DeliveryMode::Reliable => match entry.tx.send_timeout(msg.clone(), reliable_wait) {
+                    Ok(()) => Ok(true),
+                    Err(crossbeam::channel::SendTimeoutError::Timeout(_)) => Ok(false),
+                    Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => Err(()),
+                },
+            };
+            match delivered {
+                Ok(sent) => {
+                    if !sent {
+                        entry.dropped.fetch_add(1, Ordering::Relaxed);
+                        server_dropped.fetch_add(1, Ordering::Relaxed);
+                        if let Some(c) = &entry.dropped_metric {
+                            c.inc();
+                        }
+                    }
+                    if let Some(g) = &entry.depth_metric {
+                        g.set(entry.tx.len() as i64);
+                    }
+                    true
+                }
+                Err(()) => false,
             }
-            Err(crossbeam::channel::TrySendError::Disconnected(_)) => false,
         });
     }
 
@@ -78,6 +216,8 @@ impl PvaServer {
 #[derive(Debug)]
 pub struct Subscription {
     rx: Receiver<StreamMessage>,
+    dropped: Arc<AtomicU64>,
+    name: String,
 }
 
 impl Subscription {
@@ -98,24 +238,36 @@ impl Subscription {
     pub fn is_empty(&self) -> bool {
         self.rx.is_empty()
     }
+
+    /// Updates the publisher dropped for this subscriber because its
+    /// queue was full (exact: published = received + queued + dropped).
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The name this subscriber registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slab::FrameSlab;
     use als_phantom::FrameMeta;
 
     fn frame(id: usize) -> StreamMessage {
-        StreamMessage::Frame(Arc::new(Frame {
-            meta: FrameMeta {
+        StreamMessage::Frame(FrameSlab::detached(
+            FrameMeta {
                 frame_id: id,
                 angle_rad: 0.0,
                 n_angles: 100,
                 rows: 2,
                 cols: 2,
             },
-            data: vec![0; 4],
-        }))
+            vec![0; 4],
+        ))
     }
 
     #[test]
@@ -135,13 +287,23 @@ mod tests {
     }
 
     #[test]
-    fn every_subscriber_gets_a_copy() {
+    fn every_subscriber_shares_the_same_slab() {
         let server = PvaServer::new();
         let a = server.subscribe(8);
         let b = server.subscribe(8);
         server.publish(frame(0));
-        assert!(a.try_recv().is_some());
-        assert!(b.try_recv().is_some());
+        let fa = match a.try_recv().unwrap() {
+            StreamMessage::Frame(f) => f,
+            other => panic!("unexpected {other:?}"),
+        };
+        let fb = match b.try_recv().unwrap() {
+            StreamMessage::Frame(f) => f,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(
+            Arc::ptr_eq(&fa, &fb),
+            "fanout must hand every subscriber the same buffer"
+        );
         assert_eq!(server.subscriber_count(), 2);
     }
 
@@ -156,8 +318,46 @@ mod tests {
         // slow kept only the first two, fast all ten
         assert_eq!(slow.len(), 2);
         assert_eq!(fast.len(), 10);
+        assert_eq!(slow.dropped_count(), 8);
+        assert_eq!(fast.dropped_count(), 0);
         assert_eq!(server.dropped_count(), 8);
         assert_eq!(server.published_count(), 10);
+    }
+
+    #[test]
+    fn reliable_subscriber_backpressures_the_publisher() {
+        let mut server = PvaServer::new();
+        server.set_reliable_wait(Duration::from_secs(10));
+        let sub = server.subscribe_named("filewriter", 2, DeliveryMode::Reliable);
+        let s2 = Arc::clone(&server);
+        let publisher = std::thread::spawn(move || {
+            for i in 0..8 {
+                s2.publish(frame(i));
+            }
+        });
+        // drain slowly: the publisher must wait, not drop
+        let mut got = 0;
+        while got < 8 {
+            if let Ok(StreamMessage::Frame(f)) = sub.recv_timeout(Duration::from_secs(5)) {
+                assert_eq!(f.meta.frame_id, got);
+                got += 1;
+            }
+        }
+        publisher.join().unwrap();
+        assert_eq!(sub.dropped_count(), 0, "reliable consumer loses nothing");
+        assert_eq!(server.dropped_count(), 0);
+    }
+
+    #[test]
+    fn reliable_drop_after_budget_is_counted() {
+        let mut server = PvaServer::new();
+        server.set_reliable_wait(Duration::from_millis(10));
+        let sub = server.subscribe_named("stuck", 1, DeliveryMode::Reliable);
+        server.publish(frame(0));
+        server.publish(frame(1)); // nobody drains: abandoned after 10 ms
+        assert_eq!(sub.dropped_count(), 1);
+        assert_eq!(server.dropped_count(), 1);
+        assert_eq!(sub.len(), 1);
     }
 
     #[test]
@@ -193,5 +393,28 @@ mod tests {
             got += 1;
         }
         assert_eq!(got, 32);
+    }
+
+    #[test]
+    fn registry_sees_publishes_drops_and_depth() {
+        let registry = Arc::new(Registry::new());
+        let server = PvaServer::with_registry("ioc0", Arc::clone(&registry));
+        let _slow = server.subscribe_named("preview", 2, DeliveryMode::Lossy);
+        for i in 0..5 {
+            server.publish(frame(i));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters["stream_frames_published_total{channel=\"ioc0\"}"],
+            5
+        );
+        assert_eq!(
+            snap.counters["stream_frames_dropped_total{channel=\"ioc0\",subscriber=\"preview\"}"],
+            3
+        );
+        assert_eq!(
+            snap.gauges["stream_queue_depth{channel=\"ioc0\",subscriber=\"preview\"}"],
+            2
+        );
     }
 }

@@ -4,12 +4,20 @@
 //! the acquisition completes — writes the scan container to the beamline
 //! data directory and reports the finished file (the hook that triggers
 //! the Prefect `new_file_832` flow in production).
+//!
+//! The writer is zero-copy on the hot path: each validated frame's
+//! pixels are appended straight out of the shared slab into the one
+//! contiguous projection stack that becomes `/exchange/data`, and the
+//! slab handle is released immediately (the buffer returns to its pool
+//! mid-scan instead of being pinned until scan end). At completion the
+//! stack is handed to [`ScanFile::from_raw_parts`] by value — no
+//! per-frame `Frame` clone and no second whole-scan copy.
 
 use crate::channel::{StreamMessage, Subscription};
 use crate::ScanAnnounce;
-use als_phantom::Frame;
 use als_scidata::ScanFile;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use als_telemetry::Registry;
+use crossbeam::channel::{bounded, Receiver, Sender};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,10 +35,32 @@ pub struct WrittenScan {
     pub rejected_frames: usize,
 }
 
+/// Configuration for the writer service.
+#[derive(Debug, Clone)]
+pub struct FileWriterConfig {
+    /// Bound of the completion-report queue (scans, not frames).
+    pub completion_queue: usize,
+    /// Label for this writer's metrics.
+    pub stream: String,
+    /// Metrics registry; `None` disables telemetry.
+    pub registry: Option<Arc<Registry>>,
+}
+
+impl Default for FileWriterConfig {
+    fn default() -> Self {
+        FileWriterConfig {
+            completion_queue: 64,
+            stream: "stream0".to_string(),
+            registry: None,
+        }
+    }
+}
+
 /// Handle to a running file writer.
 pub struct FileWriterHandle {
     completions: Receiver<WrittenScan>,
     rejected: Arc<AtomicU64>,
+    completions_dropped: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
@@ -44,6 +74,11 @@ impl FileWriterHandle {
     /// Total frames rejected by validation so far.
     pub fn rejected_count(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Completion reports abandoned because the bounded queue was full.
+    pub fn completions_dropped(&self) -> u64 {
+        self.completions_dropped.load(Ordering::Relaxed)
     }
 
     /// Stop the service and join its thread.
@@ -64,6 +99,15 @@ impl Drop for FileWriterHandle {
     }
 }
 
+/// Pixels accumulated for the scan currently being received.
+struct ScanInProgress {
+    announce: Arc<ScanAnnounce>,
+    /// The growing `/exchange/data` stack, appended frame by frame.
+    stack: Vec<u16>,
+    angles: Vec<f64>,
+    rejected: usize,
+}
+
 /// The service itself.
 pub struct FileWriterService;
 
@@ -71,14 +115,34 @@ impl FileWriterService {
     /// Spawn the writer consuming `sub`, writing finished scans into
     /// `out_dir`.
     pub fn spawn(sub: Subscription, out_dir: &Path) -> FileWriterHandle {
+        Self::spawn_with(sub, out_dir, FileWriterConfig::default())
+    }
+
+    /// Spawn with an explicit completion-queue bound and telemetry.
+    pub fn spawn_with(
+        sub: Subscription,
+        out_dir: &Path,
+        cfg: FileWriterConfig,
+    ) -> FileWriterHandle {
         let out_dir = out_dir.to_path_buf();
-        let (tx, rx): (Sender<WrittenScan>, Receiver<WrittenScan>) = unbounded();
+        let (tx, rx): (Sender<WrittenScan>, Receiver<WrittenScan>) =
+            bounded(cfg.completion_queue.max(1));
         let rejected = Arc::new(AtomicU64::new(0));
         let rejected2 = Arc::clone(&rejected);
+        let completions_dropped = Arc::new(AtomicU64::new(0));
+        let completions_dropped2 = Arc::clone(&completions_dropped);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let metrics = cfg.registry.as_ref().map(|r| {
+            let l = &[("stream", cfg.stream.as_str())][..];
+            (
+                r.counter("stream_writer_rejected_total", l),
+                r.counter("stream_scans_written_total", l),
+                r.counter("stream_writer_completions_dropped_total", l),
+            )
+        });
         let handle = std::thread::spawn(move || {
-            let mut current: Option<(Arc<ScanAnnounce>, Vec<Frame>, usize)> = None;
+            let mut current: Option<ScanInProgress> = None;
             while !stop2.load(Ordering::Relaxed) {
                 let msg = match sub.recv_timeout(Duration::from_millis(20)) {
                     Ok(m) => m,
@@ -87,48 +151,72 @@ impl FileWriterService {
                 };
                 match msg {
                     StreamMessage::ScanStart(announce) => {
-                        current = Some((announce, Vec::new(), 0));
+                        let capacity = announce.n_angles * announce.rows * announce.cols;
+                        current = Some(ScanInProgress {
+                            stack: Vec::with_capacity(capacity),
+                            angles: Vec::with_capacity(announce.n_angles),
+                            announce,
+                            rejected: 0,
+                        });
                     }
                     StreamMessage::Frame(frame) => {
-                        if let Some((announce, frames, rejected_here)) = current.as_mut() {
+                        if let Some(scan) = current.as_mut() {
                             // validate metadata before writing, as the
                             // production service does
+                            let a = &scan.announce;
                             let valid = frame.meta.validate().is_ok()
-                                && frame.meta.rows == announce.rows
-                                && frame.meta.cols == announce.cols
-                                && frame.data.len() == announce.rows * announce.cols;
+                                && frame.meta.rows == a.rows
+                                && frame.meta.cols == a.cols
+                                && frame.data().len() == a.rows * a.cols;
                             if valid {
-                                frames.push((*frame).clone());
+                                scan.stack.extend_from_slice(frame.data());
+                                scan.angles.push(frame.meta.angle_rad);
                             } else {
-                                *rejected_here += 1;
+                                scan.rejected += 1;
                                 rejected2.fetch_add(1, Ordering::Relaxed);
+                                if let Some((rej, _, _)) = &metrics {
+                                    rej.inc();
+                                }
                             }
                         }
+                        // `frame` drops here: the slab recycles mid-scan
                     }
                     StreamMessage::ScanEnd { scan_id } => {
-                        if let Some((announce, frames, rejected_here)) = current.take() {
-                            if frames.is_empty() {
-                                continue;
-                            }
-                            let angles: Vec<f64> =
-                                frames.iter().map(|f| f.meta.angle_rad).collect();
-                            if let Ok(scan) = ScanFile::from_frames(
-                                &scan_id,
-                                &frames,
-                                &announce.dark,
-                                &announce.flat,
-                                &angles,
-                            ) {
-                                std::fs::create_dir_all(&out_dir).ok();
-                                let path = out_dir.join(format!("{scan_id}.sdf"));
-                                if scan.save(&path).is_ok() {
-                                    let _ = tx.send(WrittenScan {
-                                        scan_id,
-                                        path,
-                                        n_frames: frames.len(),
-                                        bytes: scan.nbytes(),
-                                        rejected_frames: rejected_here,
-                                    });
+                        let Some(scan) = current.take() else {
+                            continue;
+                        };
+                        if scan.angles.is_empty() {
+                            continue;
+                        }
+                        let n_frames = scan.angles.len();
+                        if let Ok(file) = ScanFile::from_raw_parts(
+                            &scan_id,
+                            n_frames,
+                            scan.announce.rows,
+                            scan.announce.cols,
+                            scan.stack,
+                            &scan.announce.dark,
+                            &scan.announce.flat,
+                            &scan.angles,
+                        ) {
+                            std::fs::create_dir_all(&out_dir).ok();
+                            let path = out_dir.join(format!("{scan_id}.sdf"));
+                            if file.save(&path).is_ok() {
+                                if let Some((_, written, _)) = &metrics {
+                                    written.inc();
+                                }
+                                let report = WrittenScan {
+                                    scan_id: scan_id.to_string(),
+                                    path,
+                                    n_frames,
+                                    bytes: file.nbytes(),
+                                    rejected_frames: scan.rejected,
+                                };
+                                if tx.try_send(report).is_err() {
+                                    completions_dropped2.fetch_add(1, Ordering::Relaxed);
+                                    if let Some((_, _, cd)) = &metrics {
+                                        cd.inc();
+                                    }
                                 }
                             }
                         }
@@ -139,6 +227,7 @@ impl FileWriterService {
         FileWriterHandle {
             completions: rx,
             rejected,
+            completions_dropped,
             stop,
             handle: Some(handle),
         }
@@ -150,6 +239,7 @@ mod tests {
     use super::*;
     use crate::channel::PvaServer;
     use crate::publish_scan;
+    use crate::slab::FrameSlab;
     use als_phantom::{shepp_logan_volume, DetectorConfig, FrameMeta, ScanSimulator};
     use als_tomo::Geometry;
 
@@ -187,6 +277,33 @@ mod tests {
     }
 
     #[test]
+    fn written_file_matches_simulator_frames_exactly() {
+        let dir = tmpdir("exact");
+        let server = PvaServer::new();
+        let writer = FileWriterService::spawn(server.subscribe(4096), &dir);
+        let vol = shepp_logan_volume(32, 2);
+        let geom = Geometry::parallel_180(6, 32);
+        let cfg = DetectorConfig {
+            noise: false,
+            ..Default::default()
+        };
+        let mut sim = ScanSimulator::new(&vol, geom.clone(), cfg, 9);
+        let reference = ScanSimulator::new(&vol, geom, cfg, 9).all_frames();
+        publish_scan(&server, &mut sim, "exact", cfg.mu_scale);
+        let written = writer.wait_completion(Duration::from_secs(5)).unwrap();
+        let loaded = ScanFile::load(&written.path).unwrap();
+        for (a, f) in reference.iter().enumerate() {
+            assert_eq!(
+                loaded.frame_data(a),
+                &f.data[..],
+                "incremental append must be byte-identical at frame {a}"
+            );
+        }
+        writer.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn malformed_frames_are_rejected_not_written() {
         let dir = tmpdir("reject");
         let server = PvaServer::new();
@@ -203,41 +320,41 @@ mod tests {
         };
         server.publish(StreamMessage::ScanStart(Arc::new(announce)));
         // one good frame, one with a NaN angle, one with wrong shape
-        let good = Frame {
-            meta: FrameMeta {
+        let good = FrameSlab::detached(
+            FrameMeta {
                 frame_id: 0,
                 angle_rad: 0.0,
                 n_angles: 3,
                 rows: 2,
                 cols: 2,
             },
-            data: vec![1; 4],
-        };
-        let nan_angle = Frame {
-            meta: FrameMeta {
+            vec![1; 4],
+        );
+        let nan_angle = FrameSlab::detached(
+            FrameMeta {
                 frame_id: 1,
                 angle_rad: f64::NAN,
                 n_angles: 3,
                 rows: 2,
                 cols: 2,
             },
-            data: vec![1; 4],
-        };
-        let wrong_shape = Frame {
-            meta: FrameMeta {
+            vec![1; 4],
+        );
+        let wrong_shape = FrameSlab::detached(
+            FrameMeta {
                 frame_id: 2,
                 angle_rad: 0.2,
                 n_angles: 3,
                 rows: 4,
                 cols: 4,
             },
-            data: vec![1; 16],
-        };
+            vec![1; 16],
+        );
         for f in [good, nan_angle, wrong_shape] {
-            server.publish(StreamMessage::Frame(Arc::new(f)));
+            server.publish(StreamMessage::Frame(f));
         }
         server.publish(StreamMessage::ScanEnd {
-            scan_id: "bad".into(),
+            scan_id: Arc::from("bad"),
         });
         let written = writer
             .wait_completion(Duration::from_secs(5))
@@ -254,19 +371,19 @@ mod tests {
         let dir = tmpdir("orphan");
         let server = PvaServer::new();
         let writer = FileWriterService::spawn(server.subscribe(64), &dir);
-        let f = Frame {
-            meta: FrameMeta {
+        let f = FrameSlab::detached(
+            FrameMeta {
                 frame_id: 0,
                 angle_rad: 0.0,
                 n_angles: 1,
                 rows: 2,
                 cols: 2,
             },
-            data: vec![1; 4],
-        };
-        server.publish(StreamMessage::Frame(Arc::new(f)));
+            vec![1; 4],
+        );
+        server.publish(StreamMessage::Frame(f));
         server.publish(StreamMessage::ScanEnd {
-            scan_id: "orphan".into(),
+            scan_id: Arc::from("orphan"),
         });
         assert!(writer.wait_completion(Duration::from_millis(300)).is_none());
         writer.stop();

@@ -3,30 +3,42 @@
 //! The streaming branch of the paper's infrastructure, implemented with
 //! real threads and channels (not the discrete-event model):
 //!
+//! * [`slab`] — Arc-backed slab buffers: frames are written once into a
+//!   pooled buffer and shared zero-copy by every consumer;
 //! * [`channel`] — a PVA-style pub/sub channel: one publisher (the
-//!   detector IOC), many monitor subscribers with bounded queues;
+//!   detector IOC), many monitor subscribers with bounded queues, lossy
+//!   or reliable (backpressuring) delivery, and exact drop accounting;
 //! * [`mirror`] — the channel mirror server that republishes the
 //!   detector stream for the file writer *and* the optional remote
 //!   streaming service (§4.2.1);
 //! * [`filewriter`] — the file-writing systemd-service substitute: it
-//!   validates each frame's metadata and assembles the scan file on
-//!   acquisition completion;
-//! * [`streamer`] — the NERSC streaming reconstruction service: caches
-//!   frames in memory, reconstructs on scan end, and sends a three-slice
-//!   preview back over a ZeroMQ-style reply channel — the paper's
-//!   sub-10-second feedback path.
+//!   validates each frame's metadata and appends pixels straight into
+//!   the scan container's projection stack as they arrive;
+//! * [`streamer`] — the NERSC streaming reconstruction service: preps
+//!   sinogram rows incrementally as frames arrive, reconstructs on scan
+//!   end through a shared plan cache, and sends a three-slice preview
+//!   back over a bounded ZeroMQ-style reply channel — the paper's
+//!   sub-10-second feedback path;
+//! * [`multiplex`] — N concurrent detector streams sharing one plan
+//!   cache and one telemetry registry.
 
 pub mod channel;
 pub mod filewriter;
 pub mod mirror;
+pub mod multiplex;
+pub mod slab;
 pub mod streamer;
 
-pub use channel::{PvaServer, StreamMessage, Subscription};
-pub use filewriter::{FileWriterHandle, FileWriterService};
+pub use channel::{DeliveryMode, PvaServer, StreamMessage, Subscription};
+pub use filewriter::{FileWriterConfig, FileWriterHandle, FileWriterService};
 pub use mirror::ChannelMirror;
-pub use streamer::{Preview, PreviewChannel, StreamerConfig, StreamingReconService};
+pub use multiplex::{StreamHub, StreamLane};
+pub use slab::{deep_copy_count, FrameSlab, SlabFrame, SlabPool};
+pub use streamer::{
+    IncrementalScan, PlanCache, Preview, PreviewChannel, StreamerConfig, StreamingReconService,
+};
 
-use als_phantom::{Frame, ScanSimulator};
+use als_phantom::ScanSimulator;
 use std::sync::Arc;
 
 /// Announcement published at the start of a scan: everything downstream
@@ -44,15 +56,9 @@ pub struct ScanAnnounce {
     pub mu_scale: f64,
 }
 
-/// Drive a [`ScanSimulator`] through a PVA server: Start, every frame in
-/// order, End. This is the detector IOC's role.
-pub fn publish_scan(
-    server: &PvaServer,
-    sim: &mut ScanSimulator,
-    scan_id: &str,
-    mu_scale: f64,
-) -> usize {
-    let announce = ScanAnnounce {
+/// Build the start-of-scan announcement for a simulator acquisition.
+pub fn announce_for(sim: &ScanSimulator, scan_id: &str, mu_scale: f64) -> ScanAnnounce {
+    ScanAnnounce {
         scan_id: scan_id.to_string(),
         n_angles: sim.n_frames(),
         rows: sim.rows(),
@@ -61,15 +67,47 @@ pub fn publish_scan(
         dark: sim.dark_field().to_vec(),
         flat: sim.flat_field().to_vec(),
         mu_scale,
-    };
+    }
+}
+
+/// Drive a [`ScanSimulator`] through a PVA server: Start, every frame in
+/// order, End. This is the detector IOC's role. Frames are rendered
+/// directly into slabs leased from a pool scoped to this scan.
+pub fn publish_scan(
+    server: &PvaServer,
+    sim: &mut ScanSimulator,
+    scan_id: &str,
+    mu_scale: f64,
+) -> usize {
+    let pool = SlabPool::new(sim.rows() * sim.cols());
+    publish_scan_pooled(server, sim, scan_id, mu_scale, &pool)
+}
+
+/// [`publish_scan`] with a caller-owned slab pool, so back-to-back scans
+/// (and benches asserting on allocation counts) reuse the same buffers.
+pub fn publish_scan_pooled(
+    server: &PvaServer,
+    sim: &mut ScanSimulator,
+    scan_id: &str,
+    mu_scale: f64,
+    pool: &SlabPool,
+) -> usize {
+    assert_eq!(
+        pool.slab_len(),
+        sim.rows() * sim.cols(),
+        "pool slabs must match the detector shape"
+    );
+    let announce = announce_for(sim, scan_id, mu_scale);
     server.publish(StreamMessage::ScanStart(Arc::new(announce)));
     let n = sim.n_frames();
     for a in 0..n {
-        let frame: Frame = sim.frame(a);
-        server.publish(StreamMessage::Frame(Arc::new(frame)));
+        // render straight into the pooled slab: the one and only write of
+        // this frame's pixels anywhere in the pipeline
+        let frame = pool.frame_from(|buf| sim.fill_frame(a, buf));
+        server.publish(StreamMessage::Frame(frame));
     }
     server.publish(StreamMessage::ScanEnd {
-        scan_id: scan_id.to_string(),
+        scan_id: Arc::from(scan_id),
     });
     n
 }

@@ -25,7 +25,17 @@ impl ChannelMirror {
     /// `idle_timeout` bounds how long the mirror waits for the next
     /// upstream update before checking its stop flag again.
     pub fn spawn(upstream: Subscription, idle_timeout: Duration) -> ChannelMirror {
-        let output = PvaServer::new();
+        Self::spawn_onto(upstream, PvaServer::new(), idle_timeout)
+    }
+
+    /// Spawn a mirror republishing onto a caller-built output server —
+    /// e.g. one created with [`PvaServer::with_registry`] so the mirrored
+    /// channel's fanout metrics export under its own channel label.
+    pub fn spawn_onto(
+        upstream: Subscription,
+        output: Arc<PvaServer>,
+        idle_timeout: Duration,
+    ) -> ChannelMirror {
         let forwarded = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
         let out2 = Arc::clone(&output);
@@ -88,19 +98,20 @@ pub fn forward(msg: StreamMessage) -> StreamMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use als_phantom::{Frame, FrameMeta};
+    use crate::slab::FrameSlab;
+    use als_phantom::FrameMeta;
 
     fn frame(id: usize) -> StreamMessage {
-        StreamMessage::Frame(Arc::new(Frame {
-            meta: FrameMeta {
+        StreamMessage::Frame(FrameSlab::detached(
+            FrameMeta {
                 frame_id: id,
                 angle_rad: 0.1,
                 n_angles: 64,
                 rows: 2,
                 cols: 2,
             },
-            data: vec![7; 4],
-        }))
+            vec![7; 4],
+        ))
     }
 
     #[test]
@@ -136,6 +147,32 @@ mod tests {
         let a = file_writer.recv_timeout(Duration::from_secs(1));
         let b = streaming_svc.recv_timeout(Duration::from_secs(1));
         assert!(a.is_ok() && b.is_ok());
+        mirror.stop();
+    }
+
+    #[test]
+    fn mirror_forwards_the_same_slab_zero_copy() {
+        let ioc = PvaServer::new();
+        let mirror = ChannelMirror::spawn(ioc.subscribe(8), Duration::from_millis(10));
+        let downstream = mirror.output().subscribe(8);
+        let original = FrameSlab::detached(
+            FrameMeta {
+                frame_id: 0,
+                angle_rad: 0.1,
+                n_angles: 64,
+                rows: 2,
+                cols: 2,
+            },
+            vec![7; 4],
+        );
+        ioc.publish(StreamMessage::Frame(Arc::clone(&original)));
+        match downstream.recv_timeout(Duration::from_secs(1)).unwrap() {
+            StreamMessage::Frame(f) => assert!(
+                Arc::ptr_eq(&f, &original),
+                "the mirror must forward the very same slab"
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
         mirror.stop();
     }
 

@@ -1,0 +1,244 @@
+//! Arc-backed slab buffers: the zero-copy frame currency of the stream.
+//!
+//! A detector frame is written **once** into a slab leased from a
+//! [`SlabPool`], sealed into an immutable [`SlabFrame`] (`Arc<FrameSlab>`),
+//! and from then on every consumer — monitor fanout, channel mirror, file
+//! writer, preview assembler — shares the same pixel buffer by reference.
+//! When the last holder drops its handle the buffer returns to the pool
+//! and the next frame reuses it, so a steady-state acquisition runs with
+//! a fixed working set of slabs (≈ the sum of the bounded queue depths)
+//! and zero per-frame allocation or pixel copies.
+//!
+//! The only way to duplicate pixel data is the explicit
+//! [`FrameSlab::to_frame`] escape hatch, and it is globally counted —
+//! the streaming bench asserts the count stays zero across the hot path.
+
+use als_phantom::{Frame, FrameMeta};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+/// Global count of explicit frame deep-copies ([`FrameSlab::to_frame`]).
+/// The hot path must never bump this; benches and tests assert on it.
+static DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
+
+/// Explicit pixel deep-copies performed so far, process-wide.
+pub fn deep_copy_count() -> u64 {
+    DEEP_COPIES.load(Ordering::Relaxed)
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    free: Mutex<Vec<Vec<u16>>>,
+    slab_len: usize,
+    allocated: AtomicU64,
+    recycled: AtomicU64,
+}
+
+/// A pool of reusable `rows × cols` pixel buffers for one detector shape.
+#[derive(Debug, Clone)]
+pub struct SlabPool {
+    inner: Arc<PoolInner>,
+}
+
+impl SlabPool {
+    /// Pool of slabs holding `slab_len` pixels each.
+    pub fn new(slab_len: usize) -> SlabPool {
+        assert!(slab_len > 0, "slabs must hold at least one pixel");
+        SlabPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::new()),
+                slab_len,
+                allocated: AtomicU64::new(0),
+                recycled: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Lease a slab, let `fill` write the pixels, and seal the result
+    /// into an immutable shared frame. The buffer comes from the free
+    /// list when a previous frame has been fully released.
+    pub fn frame(&self, meta: FrameMeta, fill: impl FnOnce(&mut [u16])) -> SlabFrame {
+        self.frame_from(|buf| {
+            fill(buf);
+            meta
+        })
+    }
+
+    /// Like [`SlabPool::frame`], but for producers that compute the
+    /// metadata *while* rendering the pixels (the detector simulator):
+    /// `fill` writes the buffer and returns the frame's metadata.
+    pub fn frame_from(&self, fill: impl FnOnce(&mut [u16]) -> FrameMeta) -> SlabFrame {
+        let mut data = match self.inner.free.lock().pop() {
+            Some(v) => {
+                self.inner.recycled.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                self.inner.allocated.fetch_add(1, Ordering::Relaxed);
+                vec![0u16; self.inner.slab_len]
+            }
+        };
+        let meta = fill(&mut data);
+        Arc::new(FrameSlab {
+            meta,
+            data,
+            pool: Arc::downgrade(&self.inner),
+        })
+    }
+
+    /// Pixels per slab.
+    pub fn slab_len(&self) -> usize {
+        self.inner.slab_len
+    }
+
+    /// Slabs ever allocated (the peak concurrent working set).
+    pub fn allocated(&self) -> u64 {
+        self.inner.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Leases served from the free list instead of a fresh allocation.
+    pub fn recycled(&self) -> u64 {
+        self.inner.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Slabs currently idle in the free list.
+    pub fn free_slabs(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+}
+
+/// One immutable detector frame backed by a pooled slab. Shared as
+/// [`SlabFrame`]; the pixel buffer returns to its pool when the last
+/// reference drops.
+#[derive(Debug)]
+pub struct FrameSlab {
+    pub meta: FrameMeta,
+    data: Vec<u16>,
+    pool: Weak<PoolInner>,
+}
+
+/// The shared handle every stream consumer holds. Cloning bumps a
+/// refcount; it never copies pixels.
+pub type SlabFrame = Arc<FrameSlab>;
+
+impl FrameSlab {
+    /// A frame owning its own buffer, outside any pool — corrupted-frame
+    /// injection and unit tests; the hot path always goes through a pool.
+    pub fn detached(meta: FrameMeta, data: Vec<u16>) -> SlabFrame {
+        Arc::new(FrameSlab {
+            meta,
+            data,
+            pool: Weak::new(),
+        })
+    }
+
+    /// The row-major `rows × cols` pixel payload.
+    pub fn data(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Size of the pixel payload in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * 2
+    }
+
+    /// Explicit deep copy into an owned [`Frame`]. Counted globally so
+    /// benches can prove the hot path never pays for one.
+    pub fn to_frame(&self) -> Frame {
+        DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+        Frame {
+            meta: self.meta.clone(),
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl Drop for FrameSlab {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.upgrade() {
+            // only same-shape buffers go back; anything resized (never on
+            // the normal path) is simply freed
+            if self.data.len() == pool.slab_len {
+                pool.free.lock().push(std::mem::take(&mut self.data));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: usize) -> FrameMeta {
+        FrameMeta {
+            frame_id: id,
+            angle_rad: 0.0,
+            n_angles: 8,
+            rows: 2,
+            cols: 3,
+        }
+    }
+
+    #[test]
+    fn slabs_recycle_once_released() {
+        let pool = SlabPool::new(6);
+        let f0 = pool.frame(meta(0), |d| d.fill(7));
+        assert_eq!(pool.allocated(), 1);
+        assert_eq!(f0.data(), &[7; 6]);
+        drop(f0);
+        assert_eq!(pool.free_slabs(), 1);
+        let f1 = pool.frame(meta(1), |d| d.fill(9));
+        assert_eq!(pool.allocated(), 1, "second frame reuses the slab");
+        assert_eq!(pool.recycled(), 1);
+        assert_eq!(f1.data(), &[9; 6]);
+    }
+
+    #[test]
+    fn live_references_pin_the_buffer() {
+        let pool = SlabPool::new(6);
+        let f0 = pool.frame(meta(0), |d| d.fill(1));
+        let alias = Arc::clone(&f0);
+        drop(f0);
+        assert_eq!(pool.free_slabs(), 0, "alias still holds the slab");
+        assert_eq!(alias.data(), &[1; 6]);
+        drop(alias);
+        assert_eq!(pool.free_slabs(), 1);
+    }
+
+    #[test]
+    fn steady_state_allocation_is_bounded_by_concurrency() {
+        let pool = SlabPool::new(4);
+        for i in 0..100 {
+            let f = pool.frame(meta(i % 8), |d| d.fill(i as u16));
+            drop(f); // consumer releases before the next frame
+        }
+        assert_eq!(pool.allocated(), 1);
+        assert_eq!(pool.recycled(), 99);
+    }
+
+    #[test]
+    fn detached_frames_skip_the_pool() {
+        let f = FrameSlab::detached(meta(0), vec![3; 6]);
+        assert_eq!(f.nbytes(), 12);
+        drop(f); // no pool to return to; must not panic
+    }
+
+    #[test]
+    fn deep_copies_are_counted() {
+        let before = deep_copy_count();
+        let pool = SlabPool::new(6);
+        let f = pool.frame(meta(0), |d| d.fill(2));
+        let owned = f.to_frame();
+        assert_eq!(owned.data, vec![2; 6]);
+        assert_eq!(deep_copy_count(), before + 1);
+    }
+
+    #[test]
+    fn pool_death_orphans_outstanding_slabs_cleanly() {
+        let pool = SlabPool::new(6);
+        let f = pool.frame(meta(0), |d| d.fill(5));
+        drop(pool);
+        drop(f); // pool gone: buffer is simply freed
+    }
+}

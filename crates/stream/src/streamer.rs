@@ -1,29 +1,260 @@
 //! The NERSC streaming reconstruction service (§4.2.3, the <10 s path).
 //!
-//! Connects to the beamline's PVA mirror, caches incoming frames in
-//! memory (no filesystem hop — the whole point of the streaming branch),
-//! and when the acquisition ends performs a back projection of the full
-//! dataset and sends a three-slice preview back to the beamline over a
-//! ZeroMQ-style reply channel. The measured wall times feed the S1
-//! experiment (paper: 7–8 s reconstruction, <1 s preview return, <10 s
-//! total at 1969×2160×2560 scale on 4 GPUs; here: laptop scale, same
-//! code path, plus the calibrated model for paper-scale numbers).
+//! Connects to the beamline's PVA mirror and assembles sinograms
+//! **incrementally**: every arriving frame's rows are dark/flat
+//! normalized and −log converted straight out of the shared slab into the
+//! per-row sinogram buffers, then the slab handle is released back to the
+//! pool. When the acquisition ends the sinograms are already prepped, so
+//! preview latency after scan end is reconstruction only — no re-reading
+//! of a whole-acquisition frame cache.
+//!
+//! Reconstruction plans are shared through a [`PlanCache`]: N concurrent
+//! detector streams with the same geometry multiplex onto one
+//! [`ReconPlan`] (filter response, FFT tables, trig, clip intervals built
+//! once), each stream keeping only its own scratch/sinogram state.
+//!
+//! Previews return over a *bounded* reply channel; a preview abandoned
+//! because the beamline side is behind is counted, never silently lost.
+//! Per-stream ingest/drop/latency metrics export through `als-telemetry`.
 
 use crate::channel::{StreamMessage, Subscription};
+use crate::slab::{FrameSlab, SlabFrame};
 use crate::ScanAnnounce;
-use als_phantom::Frame;
-use als_tomo::{FbpConfig, Geometry, Image, RawPrepPlan, ReconPlan, Sinogram};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicBool, Ordering};
+use als_telemetry::{Counter, Histogram, Registry};
+use als_tomo::{FbpConfig, Geometry, Image, RawPrepPlan, ReconPlan, Sinogram, TomoError};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration for the streaming service.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StreamerConfig {
     /// Reconstruction settings for the preview pass.
     pub fbp: FbpConfig,
+    /// Bound of the preview reply queue (previews, not frames).
+    pub preview_queue: usize,
+    /// Label for this stream's metrics.
+    pub stream: String,
+    /// Metrics registry; `None` disables telemetry.
+    pub registry: Option<Arc<Registry>>,
+}
+
+impl Default for StreamerConfig {
+    fn default() -> Self {
+        StreamerConfig {
+            fbp: FbpConfig::default(),
+            preview_queue: 8,
+            stream: "stream0".to_string(),
+            registry: None,
+        }
+    }
+}
+
+/// Cache of [`ReconPlan`]s keyed by exact geometry + FBP settings, shared
+/// by every stream of a hub so N concurrent detectors reuse one plan.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<ReconPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct PlanKey {
+    n_det: usize,
+    center: u64,
+    filter: u8,
+    mask_disk: bool,
+    /// Exact angle set (bit patterns): plans are only shared between
+    /// streams whose acquisitions are bit-identical in geometry.
+    angles: Vec<u64>,
+}
+
+impl PlanKey {
+    fn new(geom: &Geometry, cfg: &FbpConfig) -> PlanKey {
+        use als_tomo::FilterKind::*;
+        PlanKey {
+            n_det: geom.n_det,
+            center: geom.center.to_bits(),
+            filter: match cfg.filter {
+                RamLak => 0,
+                SheppLogan => 1,
+                Cosine => 2,
+                Hamming => 3,
+                Hann => 4,
+                Butterworth => 5,
+                None => 6,
+            },
+            mask_disk: cfg.mask_disk,
+            angles: geom.angles.iter().map(|a| a.to_bits()).collect(),
+        }
+    }
+}
+
+impl PlanCache {
+    pub fn new() -> Arc<PlanCache> {
+        Arc::new(PlanCache::default())
+    }
+
+    /// Fetch (or build and install) the plan for this exact geometry.
+    pub fn get(&self, geom: &Geometry, cfg: &FbpConfig) -> Result<Arc<ReconPlan>, TomoError> {
+        let key = PlanKey::new(geom, cfg);
+        if let Some(plan) = self.plans.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        // build outside the lock: plan construction is the expensive part
+        let plan = Arc::new(ReconPlan::new(geom, cfg)?);
+        let mut plans = self.plans.lock();
+        let entry = plans.entry(key).or_insert_with(|| Arc::clone(&plan));
+        if Arc::ptr_eq(entry, &plan) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(Arc::clone(entry))
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Incremental sinogram assembly for one in-flight acquisition: each
+/// frame is prepped into the per-row sinograms on arrival and its slab
+/// released, so scan end leaves nothing to do but reconstruct.
+pub struct IncrementalScan {
+    announce: Arc<ScanAnnounce>,
+    prep: RawPrepPlan,
+    /// One sinogram per detector row, rows filled in arrival order.
+    sinos: Vec<Sinogram>,
+    /// Projection angles in arrival order.
+    angles: Vec<f64>,
+    received: usize,
+    rejected: usize,
+}
+
+impl IncrementalScan {
+    pub fn new(announce: Arc<ScanAnnounce>) -> IncrementalScan {
+        let capacity = announce.n_angles.max(1);
+        let prep = RawPrepPlan::new(
+            &announce.dark,
+            &announce.flat,
+            announce.rows,
+            announce.cols,
+            announce.mu_scale,
+            None,
+        );
+        let sinos = (0..announce.rows)
+            .map(|_| Sinogram::zeros(capacity, announce.cols))
+            .collect();
+        IncrementalScan {
+            announce,
+            prep,
+            sinos,
+            angles: Vec::with_capacity(capacity),
+            received: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Prep one frame's rows into the sinograms. Returns `false` (and
+    /// counts a rejection) when the frame's shape disagrees with the
+    /// announcement — a corrupted frame never poisons the assembly.
+    pub fn ingest(&mut self, frame: &FrameSlab) -> bool {
+        let a = &self.announce;
+        let ok = frame.meta.validate().is_ok()
+            && frame.meta.rows == a.rows
+            && frame.meta.cols == a.cols
+            && frame.data().len() == a.rows * a.cols;
+        if !ok {
+            self.rejected += 1;
+            return false;
+        }
+        let cols = a.cols;
+        let slot = self.received;
+        if slot >= self.sinos.first().map_or(0, |s| s.n_angles) {
+            // more frames than announced: grow every row buffer by one
+            for sino in &mut self.sinos {
+                sino.data.extend(std::iter::repeat_n(0.0, cols));
+                sino.n_angles += 1;
+            }
+        }
+        let data = frame.data();
+        for (r, sino) in self.sinos.iter_mut().enumerate() {
+            self.prep
+                .prep_angle_row(r, &data[r * cols..(r + 1) * cols], sino.row_mut(slot));
+        }
+        self.angles.push(frame.meta.angle_rad);
+        self.received += 1;
+        true
+    }
+
+    /// Frames prepped so far.
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Frames rejected by shape/metadata validation so far.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Finish the acquisition: truncate to the frames that arrived,
+    /// reconstruct through the (shared) plan, and assemble the preview.
+    pub fn finish(mut self, plans: &PlanCache, cfg: &FbpConfig, scan_id: &str) -> Option<Preview> {
+        if self.received == 0 {
+            return None;
+        }
+        let t_recon = Instant::now();
+        let cols = self.announce.cols;
+        for sino in &mut self.sinos {
+            sino.data.truncate(self.received * cols);
+            sino.n_angles = self.received;
+        }
+        let geom = Geometry {
+            angles: self.angles,
+            n_det: cols,
+            center: (cols as f64 - 1.0) / 2.0,
+        };
+        let plan = plans.get(&geom, cfg).ok()?;
+        let vol = plan.fbp_volume(&self.sinos).ok()?;
+        let recon_wall = t_recon.elapsed();
+
+        let t_send = Instant::now();
+        let slices = [
+            vol.slice_xy(vol.nz / 2),
+            vol.slice_xz(vol.ny / 2),
+            vol.slice_yz(vol.nx / 2),
+        ];
+        let send_wall = t_send.elapsed();
+        Some(Preview {
+            scan_id: scan_id.to_string(),
+            slices,
+            cached_frames: self.received,
+            dropped_frames: self.announce.n_angles.saturating_sub(self.received),
+            rejected_frames: self.rejected,
+            recon_wall,
+            send_wall,
+            feedback_wall: recon_wall + send_wall,
+        })
+    }
 }
 
 /// The three orthogonal preview slices sent back to the beamline, plus
@@ -33,22 +264,59 @@ pub struct Preview {
     pub scan_id: String,
     /// XY (axial), XZ and YZ slices through the volume center.
     pub slices: [Image; 3],
-    /// Frames that were cached when the scan ended.
+    /// Frames that were assembled when the scan ended.
     pub cached_frames: usize,
+    /// Frames the announcement promised but that never arrived (dropped
+    /// upstream or rejected).
+    pub dropped_frames: usize,
+    /// Frames rejected by shape/metadata validation.
+    pub rejected_frames: usize,
     /// Wall-clock reconstruction time.
     pub recon_wall: Duration,
     /// Wall-clock preview serialization + send time.
     pub send_wall: Duration,
+    /// Wall clock from scan end to preview ready — the paper's <10 s
+    /// feedback figure. Recon-only because assembly happened in-stream.
+    pub feedback_wall: Duration,
 }
 
 /// Receiving side of the ZeroMQ-style reply channel at the beamline.
 pub struct PreviewChannel {
     rx: Receiver<Preview>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl PreviewChannel {
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Preview> {
         self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Previews abandoned because this channel's bounded queue was full.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+struct StreamMetrics {
+    ingested: Counter,
+    rejected: Counter,
+    previews: Counter,
+    previews_dropped: Counter,
+    feedback_us: Histogram,
+    recon_us: Histogram,
+}
+
+impl StreamMetrics {
+    fn new(registry: &Registry, stream: &str) -> StreamMetrics {
+        let l = &[("stream", stream)][..];
+        StreamMetrics {
+            ingested: registry.counter("stream_frames_ingested_total", l),
+            rejected: registry.counter("stream_frames_rejected_total", l),
+            previews: registry.counter("stream_previews_total", l),
+            previews_dropped: registry.counter("stream_previews_dropped_total", l),
+            feedback_us: registry.histogram("stream_preview_feedback_us", l),
+            recon_us: registry.histogram("stream_preview_recon_us", l),
+        }
     }
 }
 
@@ -59,17 +327,33 @@ pub struct StreamingReconService {
 }
 
 impl StreamingReconService {
-    /// Launch the service consuming `sub`. Returns the service handle and
-    /// the beamline-side preview channel.
+    /// Launch the service consuming `sub` with a private plan cache.
     pub fn spawn(
         sub: Subscription,
         cfg: StreamerConfig,
     ) -> (StreamingReconService, PreviewChannel) {
-        let (tx, rx): (Sender<Preview>, Receiver<Preview>) = unbounded();
+        Self::spawn_shared(sub, cfg, PlanCache::new())
+    }
+
+    /// Launch the service consuming `sub`, sharing `plans` with other
+    /// streams (the multi-detector multiplexing path). Returns the
+    /// service handle and the beamline-side preview channel.
+    pub fn spawn_shared(
+        sub: Subscription,
+        cfg: StreamerConfig,
+        plans: Arc<PlanCache>,
+    ) -> (StreamingReconService, PreviewChannel) {
+        let (tx, rx): (Sender<Preview>, Receiver<Preview>) = bounded(cfg.preview_queue.max(1));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let dropped2 = Arc::clone(&dropped);
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let metrics = cfg
+            .registry
+            .as_ref()
+            .map(|r| StreamMetrics::new(r, &cfg.stream));
         let handle = std::thread::spawn(move || {
-            let mut current: Option<(Arc<ScanAnnounce>, Vec<Arc<Frame>>)> = None;
+            let mut current: Option<IncrementalScan> = None;
             while !stop2.load(Ordering::Relaxed) {
                 let msg = match sub.recv_timeout(Duration::from_millis(20)) {
                     Ok(m) => m,
@@ -78,25 +362,38 @@ impl StreamingReconService {
                 };
                 match msg {
                     StreamMessage::ScanStart(announce) => {
-                        // in-memory frame cache for this acquisition
-                        current = Some((announce, Vec::new()));
+                        current = Some(IncrementalScan::new(announce));
                     }
                     StreamMessage::Frame(frame) => {
-                        if let Some((_, cache)) = current.as_mut() {
-                            cache.push(frame);
+                        if let Some(scan) = current.as_mut() {
+                            let ok = scan.ingest(&frame);
+                            if let Some(m) = &metrics {
+                                if ok {
+                                    m.ingested.inc();
+                                } else {
+                                    m.rejected.inc();
+                                }
+                            }
                         }
+                        // `frame` drops here: slab returns to its pool
                     }
                     StreamMessage::ScanEnd { scan_id } => {
-                        let Some((announce, cache)) = current.take() else {
+                        let Some(scan) = current.take() else {
                             continue;
                         };
-                        if cache.is_empty() {
-                            continue;
-                        }
-                        if let Some(preview) =
-                            reconstruct_preview(&announce, &cache, &cfg, &scan_id)
-                        {
-                            let _ = tx.send(preview);
+                        let t_end = Instant::now();
+                        if let Some(preview) = scan.finish(&plans, &cfg.fbp, &scan_id) {
+                            if let Some(m) = &metrics {
+                                m.previews.inc();
+                                m.recon_us.record(preview.recon_wall.as_micros() as u64);
+                                m.feedback_us.record(t_end.elapsed().as_micros() as u64);
+                            }
+                            if tx.try_send(preview).is_err() {
+                                dropped2.fetch_add(1, Ordering::Relaxed);
+                                if let Some(m) = &metrics {
+                                    m.previews_dropped.inc();
+                                }
+                            }
                         }
                     }
                 }
@@ -107,7 +404,7 @@ impl StreamingReconService {
                 stop,
                 handle: Some(handle),
             },
-            PreviewChannel { rx },
+            PreviewChannel { rx, dropped },
         )
     }
 
@@ -128,11 +425,14 @@ impl Drop for StreamingReconService {
     }
 }
 
-/// Reconstruct the cached acquisition and assemble the preview. Public so
-/// benches can measure the same code path the service thread runs.
+/// From-scratch preview reconstruction over a cached frame list: gathers
+/// and preps every sinogram row from the cache at scan end, the way the
+/// pre-incremental service worked. Retained as the equivalence baseline
+/// (the incremental path must match it bit for bit) and as the "before"
+/// arm of the streaming bench.
 pub fn reconstruct_preview(
     announce: &ScanAnnounce,
-    cache: &[Arc<Frame>],
+    cache: &[SlabFrame],
     cfg: &StreamerConfig,
     scan_id: &str,
 ) -> Option<Preview> {
@@ -143,10 +443,6 @@ pub fn reconstruct_preview(
         n_det: announce.cols,
         center: (announce.cols as f64 - 1.0) / 2.0,
     };
-    // gather sinograms straight from the cached frames (no whole-scan
-    // clone) with the fused prep plan: per-pixel dark levels and
-    // denominators are hoisted once for all rows, and each row is one
-    // contiguous read per frame
     let cols = announce.cols;
     let prep = RawPrepPlan::new(
         &announce.dark,
@@ -160,13 +456,11 @@ pub fn reconstruct_preview(
         .map(|r| {
             let mut sino = Sinogram::zeros(cache.len(), cols);
             for (a, frame) in cache.iter().enumerate() {
-                prep.prep_angle_row(r, &frame.data[r * cols..(r + 1) * cols], sino.row_mut(a));
+                prep.prep_angle_row(r, &frame.data()[r * cols..(r + 1) * cols], sino.row_mut(a));
             }
             sino
         })
         .collect();
-    // one plan for the whole stack: the filter response, FFT tables and
-    // trig tables are shared by every slice worker
     let plan = ReconPlan::new(&geom, &cfg.fbp).ok()?;
     let vol = plan.fbp_volume(&sinos).ok()?;
     let recon_wall = t_recon.elapsed();
@@ -182,8 +476,11 @@ pub fn reconstruct_preview(
         scan_id: scan_id.to_string(),
         slices,
         cached_frames: cache.len(),
+        dropped_frames: announce.n_angles.saturating_sub(cache.len()),
+        rejected_frames: 0,
         recon_wall,
         send_wall,
+        feedback_wall: recon_wall + send_wall,
     })
 }
 
@@ -213,9 +510,11 @@ mod tests {
             .expect("preview");
         assert_eq!(p.scan_id, "stream_scan");
         assert_eq!(p.cached_frames, 40);
+        assert_eq!(p.dropped_frames, 0);
         assert_eq!(p.slices[0].width, 48); // XY slice
         assert_eq!(p.slices[1].height, 4); // XZ slice spans nz
         assert!(p.recon_wall > Duration::ZERO);
+        assert!(p.feedback_wall >= p.recon_wall);
         svc.stop();
     }
 
@@ -250,7 +549,7 @@ mod tests {
         let (svc, previews) =
             StreamingReconService::spawn(server.subscribe(64), StreamerConfig::default());
         server.publish(StreamMessage::ScanEnd {
-            scan_id: "ghost".into(),
+            scan_id: Arc::from("ghost"),
         });
         assert!(previews.recv_timeout(Duration::from_millis(300)).is_none());
         svc.stop();
@@ -274,6 +573,96 @@ mod tests {
                 .expect("preview");
             assert_eq!(p.scan_id, format!("s{i}"));
         }
+        svc.stop();
+    }
+
+    #[test]
+    fn plan_cache_shares_one_plan_across_identical_geometries() {
+        let plans = PlanCache::new();
+        let geom = TomoGeometry::parallel_180(24, 32);
+        let cfg = FbpConfig::default();
+        let a = plans.get(&geom, &cfg).unwrap();
+        let b = plans.get(&geom, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "identical geometry shares the plan");
+        assert_eq!((plans.misses(), plans.hits()), (1, 1));
+        // different geometry builds a second plan
+        let geom2 = TomoGeometry::parallel_180(25, 32);
+        let c = plans.get(&geom2, &cfg).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(plans.len(), 2);
+    }
+
+    #[test]
+    fn incremental_assembly_rejects_malformed_frames() {
+        use als_phantom::FrameMeta;
+        let announce = Arc::new(crate::ScanAnnounce {
+            scan_id: "reject".into(),
+            n_angles: 3,
+            rows: 2,
+            cols: 2,
+            angles: vec![0.0, 0.1, 0.2],
+            dark: vec![0; 4],
+            flat: vec![100; 4],
+            mu_scale: 0.04,
+        });
+        let mut scan = IncrementalScan::new(Arc::clone(&announce));
+        let good = crate::slab::FrameSlab::detached(
+            FrameMeta {
+                frame_id: 0,
+                angle_rad: 0.0,
+                n_angles: 3,
+                rows: 2,
+                cols: 2,
+            },
+            vec![50; 4],
+        );
+        let bad_shape = crate::slab::FrameSlab::detached(
+            FrameMeta {
+                frame_id: 1,
+                angle_rad: 0.1,
+                n_angles: 3,
+                rows: 4,
+                cols: 4,
+            },
+            vec![50; 16],
+        );
+        assert!(scan.ingest(&good));
+        assert!(!scan.ingest(&bad_shape));
+        assert_eq!(scan.received(), 1);
+        assert_eq!(scan.rejected(), 1);
+        let plans = PlanCache::new();
+        let p = scan
+            .finish(&plans, &FbpConfig::default(), "reject")
+            .expect("preview from the surviving frame");
+        assert_eq!(p.cached_frames, 1);
+        assert_eq!(p.dropped_frames, 2);
+        assert_eq!(p.rejected_frames, 1);
+    }
+
+    #[test]
+    fn bounded_preview_queue_counts_overflow() {
+        let server = PvaServer::new();
+        let cfg = StreamerConfig {
+            preview_queue: 1,
+            ..Default::default()
+        };
+        let (svc, previews) = StreamingReconService::spawn(server.subscribe(16384), cfg);
+        let vol = shepp_logan_volume(24, 2);
+        let geom = TomoGeometry::parallel_180(8, 24);
+        for i in 0..3 {
+            let det = DetectorConfig::default();
+            let mut sim = ScanSimulator::new(&vol, geom.clone(), det, i);
+            publish_scan(&server, &mut sim, &format!("s{i}"), det.mu_scale);
+        }
+        // nobody drained while three scans completed: queue of 1 keeps the
+        // first preview, the other two are counted drops
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while previews.dropped_count() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(previews.dropped_count(), 2);
+        let kept = previews.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(kept.scan_id, "s0");
         svc.stop();
     }
 }

@@ -19,8 +19,8 @@ fn main() {
     let series = run_creep_series(80, 5, 6, 80, 2020);
 
     println!(
-        "{:>5} {:>12} {:>12} {:>12}",
-        "step", "compaction", "porosity", "recon (s)"
+        "{:>5} {:>12} {:>12} {:>12} {:>13}",
+        "step", "compaction", "porosity", "recon (s)", "feedback (s)"
     );
     let mut prev: Option<f64> = None;
     for s in &series.steps {
@@ -30,11 +30,20 @@ fn main() {
             None => "",
         };
         println!(
-            "{:>5} {:>12.2} {:>12.3} {:>12.2}   {}",
-            s.step, s.compaction, s.porosity, s.recon_secs, trend
+            "{:>5} {:>12.2} {:>12.3} {:>12.2} {:>13.2}   {}",
+            s.step, s.compaction, s.porosity, s.recon_secs, s.feedback_secs, trend
         );
         prev = Some(s.porosity);
     }
+    println!(
+        "\nzero-copy stream: {} reconstruction plan(s) built for {} steps \
+         ({} cache hits), {} slab buffer(s) allocated for {} frames",
+        series.plans_built,
+        series.steps.len(),
+        series.plan_cache_hits,
+        series.slabs_allocated,
+        series.steps.len() * 80
+    );
 
     let first = series.steps.first().unwrap().porosity;
     let last = series.steps.last().unwrap().porosity;

@@ -9,7 +9,11 @@ use als_flows::realmode::{
 };
 use als_phantom::{shepp_logan_volume, DetectorConfig, ScanSimulator};
 use als_scidata::ScanFile;
+use als_stream::slab::{FrameSlab, SlabFrame};
+use als_stream::streamer::{reconstruct_preview, IncrementalScan, PlanCache, StreamerConfig};
+use als_stream::{announce_for, ScanAnnounce};
 use als_tomo::{Geometry, Volume};
+use std::sync::Arc;
 
 fn shepp_logan_scan(n: usize, nz: usize, n_angles: usize) -> (ScanFile, f64) {
     let vol = shepp_logan_volume(n, nz);
@@ -83,4 +87,80 @@ fn pipeline_matches_baseline_at_one_and_many_threads() {
         per_thread_file[0], per_thread_file[1],
         "pipeline output depends on worker thread count"
     );
+}
+
+/// The streaming service's incremental sinogram assembly (rows prepped as
+/// each frame arrives, slab released immediately) must produce previews
+/// **bit-identical** to the retained from-scratch path that gathers every
+/// row from a whole-scan frame cache at scan end: per-element the float
+/// operations are the same, only their interleaving differs.
+#[test]
+fn incremental_preview_is_bit_identical_to_from_scratch() {
+    let vol = shepp_logan_volume(48, 4);
+    let geom = Geometry::parallel_180(36, 48);
+    let det = DetectorConfig::default();
+    let mut sim = ScanSimulator::new(&vol, geom.clone(), det, 97);
+    let announce: ScanAnnounce = announce_for(&sim, "equiv", det.mu_scale);
+    let frames: Vec<SlabFrame> = sim
+        .all_frames()
+        .into_iter()
+        .map(|f| FrameSlab::detached(f.meta, f.data))
+        .collect();
+
+    let cfg = StreamerConfig::default();
+    let scratch = reconstruct_preview(&announce, &frames, &cfg, "equiv").expect("scratch preview");
+
+    let announce = Arc::new(announce);
+    let mut scan = IncrementalScan::new(Arc::clone(&announce));
+    for f in &frames {
+        assert!(scan.ingest(f));
+    }
+    let plans = PlanCache::new();
+    let incremental = scan
+        .finish(&plans, &cfg.fbp, "equiv")
+        .expect("incremental preview");
+
+    assert_eq!(incremental.cached_frames, scratch.cached_frames);
+    for (i, (a, b)) in incremental
+        .slices
+        .iter()
+        .zip(scratch.slices.iter())
+        .enumerate()
+    {
+        assert_eq!(a.data, b.data, "preview slice {i} diverged");
+    }
+}
+
+/// Same equivalence when the acquisition is truncated — frames lost
+/// upstream must shrink both paths' geometry identically.
+#[test]
+fn incremental_preview_matches_from_scratch_on_partial_scans() {
+    let vol = shepp_logan_volume(32, 3);
+    let geom = Geometry::parallel_180(24, 32);
+    let det = DetectorConfig::default();
+    let mut sim = ScanSimulator::new(&vol, geom.clone(), det, 31);
+    let announce = announce_for(&sim, "partial", det.mu_scale);
+    // only 17 of the announced 24 frames arrive
+    let frames: Vec<SlabFrame> = sim
+        .all_frames()
+        .into_iter()
+        .take(17)
+        .map(|f| FrameSlab::detached(f.meta, f.data))
+        .collect();
+
+    let cfg = StreamerConfig::default();
+    let scratch = reconstruct_preview(&announce, &frames, &cfg, "partial").unwrap();
+    let announce = Arc::new(announce);
+    let mut scan = IncrementalScan::new(Arc::clone(&announce));
+    for f in &frames {
+        scan.ingest(f);
+    }
+    let incremental = scan.finish(&PlanCache::new(), &cfg.fbp, "partial").unwrap();
+
+    assert_eq!(incremental.cached_frames, 17);
+    assert_eq!(incremental.dropped_frames, 7);
+    assert_eq!(scratch.dropped_frames, 7);
+    for (a, b) in incremental.slices.iter().zip(scratch.slices.iter()) {
+        assert_eq!(a.data, b.data);
+    }
 }

@@ -44,6 +44,12 @@ pub mod channel {
         Disconnected(T),
     }
 
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        Timeout(T),
+        Disconnected(T),
+    }
+
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
@@ -151,6 +157,38 @@ pub mod channel {
                 match s.cap {
                     Some(cap) if s.queue.len() >= cap => {
                         s = self.shared.not_full.wait(s).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            s.queue.push_back(value);
+            drop(s);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Bounded-wait send: waits up to `timeout` for queue space, the
+        /// primitive a backpressuring publisher needs to slow a source
+        /// without risking a permanent wedge on a dead consumer.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut s = self.shared.state.lock().unwrap();
+            loop {
+                if s.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                match s.cap {
+                    Some(cap) if s.queue.len() >= cap => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(SendTimeoutError::Timeout(value));
+                        }
+                        let (guard, _res) = self
+                            .shared
+                            .not_full
+                            .wait_timeout(s, deadline - now)
+                            .unwrap();
+                        s = guard;
                     }
                     _ => break,
                 }
@@ -322,6 +360,30 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
         t.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn send_timeout_waits_then_gives_up_or_delivers() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        // full queue, no consumer progress: times out and returns the value
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(10)),
+            Err(SendTimeoutError::Timeout(2))
+        );
+        // consumer drains concurrently: the waiting send goes through
+        let t = std::thread::spawn(move || tx.send_timeout(3, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(3));
+        t.join().unwrap().unwrap();
+
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(4, Duration::from_millis(1)),
+            Err(SendTimeoutError::Disconnected(4))
+        );
     }
 
     #[test]
